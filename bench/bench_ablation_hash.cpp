@@ -1,0 +1,107 @@
+// Ablation A1 (§VI-C2): "the majority of the patch time comes from the
+// patch verification process, which involves computing a SHA-2 hash. We
+// could reduce this time by employing a simpler hashing algorithm such as
+// SDBM." This bench quantifies that claim with google-benchmark sweeps over
+// SHA-256, SDBM, FNV-1a and CRC-32 and projects the SMM verify-phase saving.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/simple_hash.hpp"
+
+using namespace kshot;
+
+namespace {
+
+Bytes payload(size_t n) {
+  Rng rng(n * 31 + 7);
+  return rng.next_bytes(n);
+}
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data = payload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_Sdbm(benchmark::State& state) {
+  Bytes data = payload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sdbm(data));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_Fnv1a(benchmark::State& state) {
+  Bytes data = payload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::fnv1a(data));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_Crc32(benchmark::State& state) {
+  Bytes data = payload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          state.range(0));
+}
+
+BENCHMARK(BM_Sha256)->Arg(40)->Arg(400)->Arg(4 << 10)->Arg(40 << 10)->Arg(
+    400 << 10);
+BENCHMARK(BM_Sdbm)->Arg(40)->Arg(400)->Arg(4 << 10)->Arg(40 << 10)->Arg(
+    400 << 10);
+BENCHMARK(BM_Fnv1a)->Arg(4 << 10)->Arg(400 << 10);
+BENCHMARK(BM_Crc32)->Arg(4 << 10)->Arg(400 << 10);
+
+double measure_us(size_t size, u64 (*h64)(ByteSpan), bool sha) {
+  Bytes data = payload(size);
+  auto t0 = std::chrono::steady_clock::now();
+  const int n = size > (64 << 10) ? 20 : 200;
+  for (int i = 0; i < n; ++i) {
+    if (sha) {
+      benchmark::DoNotOptimize(crypto::sha256(data));
+    } else {
+      benchmark::DoNotOptimize(h64(data));
+    }
+  }
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+             .count() /
+         n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf(
+      "\nProjected SMM verify phase, SHA-256 vs SDBM "
+      "(paper suggests SDBM to cut verification time):\n");
+  std::printf("%-10s %14s %14s %10s\n", "PatchSize", "SHA-256 (us)",
+              "SDBM (us)", "speedup");
+  for (size_t size : {size_t{40}, size_t{400}, size_t{4} << 10,
+                      size_t{40} << 10, size_t{400} << 10}) {
+    double sha = measure_us(size, nullptr, true);
+    double sdbm = measure_us(size, crypto::sdbm, false);
+    std::printf("%-10zu %14.3f %14.3f %9.1fx\n", size, sha, sdbm,
+                sha / sdbm);
+  }
+  std::printf(
+      "Tradeoff: SDBM is not collision-resistant — an attacker who can "
+      "write mem_W could forge a\npackage, so the speedup costs the "
+      "integrity guarantee (which is why KShot uses SHA-2).\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Regenerates Table IV (§VI-D1): comparison with general binary patching
+// approaches. The qualitative columns are backed by live probes where our
+// simulation can demonstrate them: the OS-trust column is *measured* by
+// running the reversion rootkit against kpatch (fails) and KShot (survives).
+#include <cstdio>
+
+#include "attacks/rootkits.hpp"
+#include "baselines/kpatch_sim.hpp"
+#include "bench_util.hpp"
+#include "testbed/testbed.hpp"
+
+using namespace kshot;
+
+namespace {
+
+/// Probe: does a kernel-resident reversion rootkit defeat the mechanism?
+/// Returns true if the exploit is dead at the end (mechanism survived).
+bool probe_kshot_survives_rootkit() {
+  const auto& c = cve::find_case("CVE-2014-0196");
+  auto tb = testbed::Testbed::boot(c, {.seed = 1});
+  if (!tb.is_ok()) return false;
+  testbed::Testbed& t = **tb;
+  t.kernel().insmod(std::make_shared<attacks::ReversionRootkit>(
+      t.pre_image()));
+  if (!t.kshot().live_patch(c.id).is_ok()) return false;
+  t.scheduler().run(5);
+  // Periodic introspection is part of the deployment.
+  t.kshot().introspect();
+  auto exploit = t.run_exploit();
+  return exploit.is_ok() && !exploit->oops;
+}
+
+bool probe_kpatch_survives_rootkit() {
+  const auto& c = cve::find_case("CVE-2014-0196");
+  auto tb = testbed::Testbed::boot(c, {.seed = 2});
+  if (!tb.is_ok()) return false;
+  testbed::Testbed& t = **tb;
+  t.kernel().insmod(std::make_shared<attacks::ReversionRootkit>(
+      t.pre_image()));
+  baselines::KpatchSim kpatch(t.kernel(), t.scheduler());
+  auto set = t.server().build_patchset(c.id, t.kernel().os_info());
+  if (!set.is_ok()) return false;
+  auto rep = kpatch.apply(*set);
+  if (!rep.is_ok() || !rep->success) return false;
+  t.scheduler().run(5);
+  auto exploit = t.run_exploit();
+  return exploit.is_ok() && !exploit->oops;
+}
+
+}  // namespace
+
+int main() {
+  bool kshot_survives = probe_kshot_survives_rootkit();
+  bool kpatch_survives = probe_kpatch_survives_rootkit();
+
+  bench::title("Table IV — General patching system comparison");
+  std::printf("%-12s %-10s %-16s %-22s %-18s\n", "System", "Level",
+              "Runtime memory", "State handling", "Trusts OS kernel?");
+  bench::rule('-', 84);
+  std::printf("%-12s %-10s %-16s %-22s %-18s\n", "Dyninst", "binary file",
+              "no", "n/a (offline)", "yes");
+  std::printf("%-12s %-10s %-16s %-22s %-18s\n", "EEL", "binary file", "no",
+              "n/a (offline)", "yes");
+  std::printf("%-12s %-10s %-16s %-22s %-18s\n", "Libcare", "user process",
+              "yes", "per-process hooks", "yes");
+  std::printf("%-12s %-10s %-16s %-22s %-18s\n", "Kitsune", "user process",
+              "yes", "developer annotations", "yes");
+  std::printf("%-12s %-10s %-16s %-22s %-18s\n", "PROTEOS", "OS components",
+              "yes", "annotated safe points", "yes");
+  std::printf("%-12s %-10s %-16s %-22s %-18s\n", "kpatch", "kernel", "yes",
+              "stop_machine+checks",
+              kpatch_survives ? "yes (probe: survived?!)"
+                              : "yes (probe: rootkit wins)");
+  std::printf("%-12s %-10s %-16s %-22s %-18s\n", "KShot", "kernel", "yes",
+              "hardware pause (SMM)",
+              kshot_survives ? "NO (probe: survives rootkit)"
+                             : "NO (probe FAILED)");
+  bench::rule('-', 84);
+  std::printf(
+      "Live probes: a kernel reversion rootkit defeats kpatch (%s) but not "
+      "KShot (%s),\nreproducing the paper's claim that only KShot needs no "
+      "trust in the target kernel.\n",
+      kpatch_survives ? "UNEXPECTEDLY survived" : "reverted as expected",
+      kshot_survives ? "patch persists" : "UNEXPECTED failure");
+  return (kshot_survives && !kpatch_survives) ? 0 : 1;
+}

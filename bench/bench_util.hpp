@@ -1,0 +1,84 @@
+// Shared helpers for the benchmark binaries: repetition timing, humanized
+// sizes, and aligned table printing. Each bench regenerates one table or
+// figure from the paper's evaluation (see DESIGN.md's experiment index) and
+// prints the paper's reported values alongside for shape comparison.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kshot::bench {
+
+struct Stats {
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  int n = 0;
+};
+
+/// Runs `fn` n times, returning stats over per-iteration wall time in us.
+inline Stats time_us(int n, const std::function<void()>& fn) {
+  Stats s;
+  s.n = n;
+  s.min = 1e300;
+  for (int i = 0; i < n; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    double us = std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    s.mean += us;
+    s.min = std::min(s.min, us);
+    s.max = std::max(s.max, us);
+  }
+  s.mean /= n;
+  return s;
+}
+
+/// Aggregates externally collected samples.
+inline Stats stats_of(const std::vector<double>& xs) {
+  Stats s;
+  s.n = static_cast<int>(xs.size());
+  if (xs.empty()) return s;
+  s.min = 1e300;
+  for (double x : xs) {
+    s.mean += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean /= static_cast<double>(xs.size());
+  return s;
+}
+
+inline std::string human_bytes(size_t n) {
+  char buf[32];
+  if (n >= (10ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%zuMB", n >> 20);
+  } else if (n >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", double(n) / (1 << 20));
+  } else if (n >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%zuKB", n >> 10);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", n);
+  }
+  return buf;
+}
+
+inline void rule(char c = '-', int width = 96) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void title(const std::string& t) {
+  rule('=');
+  std::printf("%s\n", t.c_str());
+  rule('=');
+}
+
+}  // namespace kshot::bench

@@ -1,0 +1,60 @@
+// Fleet-style patch campaign: live-patch every Table I CVE on its own
+// target machine while a workload runs, collecting the aggregate statistics
+// the paper's RQ1/RQ2 sections report.
+//
+//   $ ./examples/cve_campaign
+#include <cstdio>
+
+#include "testbed/testbed.hpp"
+
+using namespace kshot;
+
+int main() {
+  std::printf("== Patch campaign across %zu CVE targets ==\n\n",
+              cve::all_cases().size());
+
+  int ok = 0;
+  double worst_pause = 0, total_pause = 0;
+  u64 total_oopses = 0;
+  size_t total_bytes = 0;
+
+  for (const auto& c : cve::all_cases()) {
+    auto tb = testbed::Testbed::boot(c, {.workload_threads = 3});
+    if (!tb.is_ok()) {
+      std::printf("%-16s boot failed\n", c.id.c_str());
+      continue;
+    }
+    testbed::Testbed& t = **tb;
+    t.scheduler().run(300, 64);  // busy system before the patch
+
+    auto rep = t.kshot().live_patch(c.id);
+    bool patched = rep.is_ok() && rep->success;
+
+    t.scheduler().run(300, 64);  // busy system after the patch
+    auto exploit = t.run_exploit();
+    bool dead = exploit.is_ok() && !exploit->oops;
+
+    bool healthy = t.scheduler().stats().oopses == 0;
+    if (patched && dead && healthy) ++ok;
+    if (patched) {
+      worst_pause = std::max(worst_pause, rep->smm.modeled_total_us);
+      total_pause += rep->smm.modeled_total_us;
+      total_bytes += rep->stats.code_bytes;
+    }
+    total_oopses += t.scheduler().stats().oopses;
+
+    std::printf("%-16s %s  pause %6.1fus  exploit %s  workload %s\n",
+                c.id.c_str(), patched ? "patched" : "FAILED ",
+                patched ? rep->smm.modeled_total_us : 0.0,
+                dead ? "dead " : "ALIVE",
+                healthy ? "healthy" : "OOPSED");
+  }
+
+  std::printf("\n%d/%zu targets fully patched and healthy.\n", ok,
+              cve::all_cases().size());
+  std::printf("Mean OS pause %.1fus, worst %.1fus; %zu patch bytes shipped; "
+              "%llu workload oopses.\n",
+              total_pause / cve::all_cases().size(), worst_pause, total_bytes,
+              static_cast<unsigned long long>(total_oopses));
+  return ok == static_cast<int>(cve::all_cases().size()) ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// Quickstart: the complete KShot pipeline on one CVE, narrated.
+//
+//   $ ./examples/quickstart
+//
+// Boots a simulated target machine running a vulnerable kernel, demonstrates
+// the exploit, live-patches the kernel through the SGX enclave + SMM handler
+// pipeline, and shows the exploit is dead while benign behaviour and the
+// running workload are untouched.
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "testbed/testbed.hpp"
+
+using namespace kshot;
+
+int main() {
+  set_log_level(LogLevel::kInfo);
+  const auto& c = cve::find_case("CVE-2017-17806");
+
+  std::printf("== KShot quickstart: live patching %s ==\n\n", c.id.c_str());
+  std::printf(
+      "Vulnerability: missing bounds check in %s() — a crafted syscall "
+      "argument reaches a kernel BUG.\n\n",
+      c.entry_function.c_str());
+
+  // 1. Boot the deployment: machine, vulnerable kernel, SGX runtime, remote
+  //    patch server, and KShot (SMM handler installed + SMRAM locked at
+  //    "firmware" time, enclave loaded at "boot" time).
+  auto tb = testbed::Testbed::boot(c, {.workload_threads = 4});
+  if (!tb.is_ok()) {
+    std::printf("boot failed: %s\n", tb.status().to_string().c_str());
+    return 1;
+  }
+  testbed::Testbed& t = **tb;
+  std::printf("[1] target machine booted: kernel %s, %zu functions, %zu "
+              "bytes of text, 4 workload threads\n",
+              c.kernel.c_str(), t.kernel().image().symbols.size(),
+              t.kernel().image().text.size());
+
+  // 2. Demonstrate the exploit.
+  auto exploit = t.run_exploit();
+  std::printf("[2] exploit syscall(%d, 0x%llx): %s\n", c.syscall_nr,
+              static_cast<unsigned long long>(c.exploit_args[0]),
+              exploit->oops ? "KERNEL OOPS (vulnerable)" : "no effect?!");
+
+  // 3. Live patch: fetch (attested, encrypted) -> SGX preprocessing ->
+  //    mem_W staging -> SMI -> SMM verify + apply.
+  auto report = t.kshot().live_patch(c.id);
+  if (!report.is_ok() || !report->success) {
+    std::printf("live patch failed\n");
+    return 1;
+  }
+  std::printf(
+      "[3] live patch applied: %u function(s), %u bytes\n"
+      "      SGX:  fetch %.1fus, preprocess %.1fus, pass %.1fus\n"
+      "      SMM:  keygen %.1fus + decrypt %.1fus + verify %.1fus + apply "
+      "%.1fus + switch %.1fus\n"
+      "      OS paused for %.1fus (modeled; paper reports ~50us)\n",
+      report->stats.functions, report->stats.code_bytes,
+      report->sgx.fetch_us, report->sgx.preprocess_us,
+      report->sgx.passing_us, report->smm.keygen_us, report->smm.decrypt_us,
+      report->smm.verify_us, report->smm.apply_us, report->smm.switch_us,
+      report->smm.modeled_total_us);
+
+  // 4. Verify.
+  exploit = t.run_exploit();
+  auto benign = t.run_benign();
+  std::printf("[4] exploit after patch: %s (returns -EINVAL: %s)\n",
+              exploit->oops ? "STILL VULNERABLE" : "neutralized",
+              exploit->value == cve::kEinval ? "yes" : "no");
+  std::printf("    benign syscall unaffected: %s\n",
+              !benign->oops ? "yes" : "no");
+
+  // 5. Workload health.
+  t.scheduler().run(2000, 64);
+  std::printf("[5] workload after patching: %llu syscalls served, %llu "
+              "oopses\n",
+              static_cast<unsigned long long>(
+                  t.scheduler().stats().syscalls_completed),
+              static_cast<unsigned long long>(t.scheduler().stats().oopses));
+
+  std::printf("\nDone: the kernel was never rebooted and no process was "
+              "checkpointed.\n");
+  return exploit->oops ? 1 : 0;
+}

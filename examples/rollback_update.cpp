@@ -1,0 +1,72 @@
+// Patch rollback (paper §V-C "Patch Rollback/Update"): 15-24% of OS patches
+// are themselves buggy (Yin et al., cited by the paper). This example ships
+// a *bad* patch that breaks benign traffic, detects the regression from the
+// oops log, rolls it back from SMM, and then applies the corrected patch.
+//
+//   $ ./examples/rollback_update
+#include <cstdio>
+
+#include "testbed/testbed.hpp"
+
+using namespace kshot;
+
+int main() {
+  const auto& c = cve::find_case("CVE-2015-5707");
+  std::printf("== Rollback of a faulty update: %s ==\n\n", c.id.c_str());
+
+  auto tb = testbed::Testbed::boot(c, {.workload_threads = 2});
+  testbed::Testbed& t = **tb;
+
+  // A "fix" that is itself broken: it blocks the exploit but BUGs on any
+  // odd-valued benign argument (an overly aggressive check).
+  std::string bad_post = c.pre_source;
+  std::string needle = "bug(" + std::to_string(c.trap_code) + ");";
+  size_t pos = bad_post.find(needle);
+  bad_post.replace(pos, needle.size(), "return 0 - 22;");
+  // Insert a fresh bug on the benign path, right after the guard block.
+  std::string guard_end = "return 0 - 22;\n  }\n";
+  pos = bad_post.find(guard_end);
+  bad_post.insert(pos + guard_end.size(),
+                  "  if ((a1 & 1) == 1) {\n    bug(77);\n  }\n");
+  t.server().add_patch({"BROKEN-FIX", c.kernel, c.pre_source, bad_post});
+
+  std::printf("[1] applying the vendor's first (broken) fix...\n");
+  auto rep = t.kshot().live_patch("BROKEN-FIX");
+  std::printf("    deployed: %s (the pipeline can't know the patch logic "
+              "is wrong)\n",
+              rep->success ? "yes" : "no");
+
+  auto exploit = t.run_exploit();
+  std::printf("[2] exploit: %s\n", exploit->oops ? "fires" : "blocked");
+
+  // The regression shows up in production traffic.
+  auto odd = t.run_syscall(c.syscall_nr, {33, 1, 0, 0, 0});
+  std::printf("    benign odd-argument syscall: %s\n",
+              odd->oops ? "KERNEL OOPS — the patch is bad" : "fine");
+
+  std::printf("[3] operator sends the remote rollback instruction...\n");
+  auto rb = t.kshot().rollback();
+  std::printf("    rollback: %s (SMM restored the original entry bytes)\n",
+              rb->success ? "done" : "failed");
+  odd = t.run_syscall(c.syscall_nr, {33, 1, 0, 0, 0});
+  std::printf("    benign odd-argument syscall: %s\n",
+              odd->oops ? "still broken" : "healthy again");
+  exploit = t.run_exploit();
+  std::printf("    (of course the original vulnerability is back: exploit "
+              "%s)\n",
+              exploit->oops ? "fires" : "blocked");
+
+  std::printf("[4] applying the corrected fix...\n");
+  rep = t.kshot().live_patch(c.id);
+  exploit = t.run_exploit();
+  odd = t.run_syscall(c.syscall_nr, {33, 1, 0, 0, 0});
+  std::printf("    exploit: %s, odd-argument syscall: %s\n",
+              exploit->oops ? "fires" : "blocked",
+              odd->oops ? "broken" : "healthy");
+
+  bool ok = rep->success && !exploit->oops && !odd->oops;
+  std::printf("\n%s\n", ok ? "Recovered without a reboot: bad patch in, bad "
+                             "patch out, good patch in."
+                           : "Scenario failed.");
+  return ok ? 0 : 1;
+}

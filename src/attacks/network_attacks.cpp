@@ -1,0 +1,52 @@
+#include "attacks/network_attacks.hpp"
+
+namespace kshot::attacks {
+
+netsim::Channel::Tamperer make_bitflip_mitm(size_t min_size,
+                                            u64* tamper_count) {
+  return [min_size, tamper_count](Bytes& msg) {
+    if (msg.size() < min_size) return;
+    msg[msg.size() / 2] ^= 0x40;
+    msg[msg.size() / 3] ^= 0x01;
+    if (tamper_count) ++*tamper_count;
+  };
+}
+
+Status ReplayAttacker::capture(machine::Machine& m) {
+  core::Mailbox mbox(m.mem(), layout_.mem_rw_base(),
+                     machine::AccessMode::normal());
+  auto size = mbox.read_staged_size();
+  if (!size || *size == 0) {
+    return {Errc::kFailedPrecondition, "nothing staged to capture"};
+  }
+  auto pub = mbox.read_enclave_pub();
+  if (!pub) return pub.status();
+  // Harness-mode read standing in for interception inside the helper app.
+  auto data = m.mem().read_bytes(layout_.mem_w_base(), *size,
+                                 machine::AccessMode::smm());
+  if (!data) return data.status();
+  captured_ = std::move(*data);
+  captured_pub_ = *pub;
+  captured_size_ = *size;
+  return Status::ok();
+}
+
+Result<core::SmmStatus> ReplayAttacker::replay(machine::Machine& m) {
+  if (captured_.empty()) {
+    return Status{Errc::kFailedPrecondition, "no capture"};
+  }
+  core::Mailbox mbox(m.mem(), layout_.mem_rw_base(),
+                     machine::AccessMode::normal());
+  // Kernel-privileged writes: mem_W is write-only but writable.
+  KSHOT_RETURN_IF_ERROR(m.mem().write(layout_.mem_w_base(), captured_,
+                                      machine::AccessMode::normal()));
+  KSHOT_RETURN_IF_ERROR(mbox.write_enclave_pub(captured_pub_));
+  KSHOT_RETURN_IF_ERROR(mbox.write_staged_size(captured_size_));
+  KSHOT_RETURN_IF_ERROR(mbox.write_command(core::SmmCommand::kApplyPatch));
+  m.trigger_smi();
+  auto st = mbox.read_status();
+  if (!st) return st.status();
+  return *st;
+}
+
+}  // namespace kshot::attacks

@@ -1,0 +1,42 @@
+// Network-path attacks: man-in-the-middle tampering on the patch-server
+// channel and replay of stale encrypted packages into mem_W.
+#pragma once
+
+#include "core/kshot.hpp"
+#include "netsim/channel.hpp"
+
+namespace kshot::attacks {
+
+/// Channel tamperer that flips bits in every message over `min_size` bytes
+/// (so small control messages pass but patch payloads are corrupted).
+netsim::Channel::Tamperer make_bitflip_mitm(size_t min_size,
+                                            u64* tamper_count);
+
+/// Replay attack against the SGX->SMM handoff (paper §V-C: per-patch DH keys
+/// defeat "replay attacks between data transmissions"). The attacker records
+/// the encrypted package while it transits the compromised helper
+/// application, then re-stages it later and raises an SMI.
+class ReplayAttacker {
+ public:
+  explicit ReplayAttacker(kernel::MemoryLayout layout) : layout_(layout) {}
+
+  /// Records the currently staged ciphertext + mailbox metadata. (The read
+  /// uses harness access as a stand-in for hooking the helper app's write
+  /// path — mem_W itself is write-only for kernel code.)
+  Status capture(machine::Machine& m);
+
+  /// Re-stages the recorded ciphertext and triggers an apply SMI. Returns
+  /// the SMM status — success of the *attack*, so the expected value in a
+  /// defended system is kMacFailure or kNoSession.
+  Result<core::SmmStatus> replay(machine::Machine& m);
+
+  [[nodiscard]] bool has_capture() const { return !captured_.empty(); }
+
+ private:
+  kernel::MemoryLayout layout_;
+  Bytes captured_;
+  crypto::X25519Key captured_pub_{};
+  u64 captured_size_ = 0;
+};
+
+}  // namespace kshot::attacks

@@ -1,0 +1,79 @@
+#include "attacks/rootkits.hpp"
+
+#include "common/log.hpp"
+
+namespace kshot::attacks {
+
+ReversionRootkit::ReversionRootkit(const kcc::KernelImage& pristine)
+    : pristine_(pristine) {}
+
+void ReversionRootkit::on_tick(machine::Machine& m, kernel::Kernel& k) {
+  (void)k;
+  const auto mode = machine::AccessMode::normal();
+  for (const auto& sym : pristine_.symbols) {
+    u64 entry = sym.addr + (sym.traced ? 5 : 0);
+    u8 b = 0;
+    if (!m.mem().read(entry, MutByteSpan(&b, 1), mode).is_ok()) continue;
+    if (b != 0xE9) continue;
+    // A trampoline is present where the pristine kernel had none: check the
+    // jmp target — if it leaves kernel text, revert to the recorded bytes.
+    auto rel_bytes = m.mem().read_bytes(entry + 1, 4, mode);
+    if (!rel_bytes) continue;
+    i32 rel = static_cast<i32>(static_cast<u32>(
+        (*rel_bytes)[0] | ((*rel_bytes)[1] << 8) | ((*rel_bytes)[2] << 16) |
+        (static_cast<u32>((*rel_bytes)[3]) << 24)));
+    u64 target = entry + 5 + static_cast<i64>(rel);
+    bool in_text = target >= pristine_.text_base &&
+                   target < pristine_.text_base + pristine_.text.size();
+    if (in_text) continue;
+
+    size_t off = entry - pristine_.text_base;
+    if (off + 5 > pristine_.text.size()) continue;
+    Bytes original(pristine_.text.begin() + static_cast<std::ptrdiff_t>(off),
+                   pristine_.text.begin() +
+                       static_cast<std::ptrdiff_t>(off + 5));
+    if (m.mem().write(entry, original, mode).is_ok()) {
+      ++reversions_;
+      KSHOT_LOG(kDebug, "attack")
+          << "reverted trampoline at " << sym.name;
+    }
+  }
+}
+
+void MemXCorruptorRootkit::on_tick(machine::Machine& m, kernel::Kernel& k) {
+  (void)k;
+  // Step 1 (page-table edit): make mem_X writable from normal mode.
+  machine::PageAttr open_attr{true, true, true, 0};
+  m.mem().set_attrs(layout_.mem_x_base(), layout_.mem_x_size, open_attr);
+  // Step 2: stomp the first page of patched text.
+  Bytes garbage(256, 0xCC);
+  if (m.mem()
+          .write(layout_.mem_x_base(), garbage, machine::AccessMode::normal())
+          .is_ok()) {
+    ++corruptions_;
+  }
+}
+
+std::function<void(Bytes&)> make_patch_corruptor(u64* corruption_count) {
+  return [corruption_count](Bytes& code) {
+    if (code.empty()) return;
+    // Replace the patch body's first real bytes with a BUG trap: the
+    // "patched" function now oopses on entry.
+    for (size_t i = 0; i + 1 < code.size() && i < 16; i += 2) {
+      code[i] = 0x72;      // trap
+      code[i + 1] = 0x66;  // attacker-chosen code 0x66
+    }
+    if (corruption_count) ++*corruption_count;
+  };
+}
+
+std::function<void(kcc::KernelImage&)> make_kexec_hijacker(
+    kcc::KernelImage malicious, u64* hijack_count) {
+  return [malicious = std::move(malicious),
+          hijack_count](kcc::KernelImage& image) {
+    image = malicious;
+    if (hijack_count) ++*hijack_count;
+  };
+}
+
+}  // namespace kshot::attacks

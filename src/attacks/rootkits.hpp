@@ -1,0 +1,60 @@
+// Kernel-privileged attacks against live patching (threat model §III).
+// Every rootkit here runs as an ordinary kernel module — exactly the
+// privilege a real attacker gets from a kernel exploit like CVE-2016-5195.
+#pragma once
+
+#include "core/kshot.hpp"
+#include "kernel/kernel.hpp"
+
+namespace kshot::attacks {
+
+/// "Malicious Patch Reversion" (paper §V-D): the rootkit was resident before
+/// the patch, kept a pristine copy of the kernel text, and on every tick
+/// scans function entries for foreign jmp trampolines, restoring the
+/// original (vulnerable) bytes.
+class ReversionRootkit final : public kernel::KernelModule {
+ public:
+  explicit ReversionRootkit(const kcc::KernelImage& pristine);
+
+  [[nodiscard]] std::string name() const override {
+    return "reversion_rootkit";
+  }
+  void on_tick(machine::Machine& m, kernel::Kernel& k) override;
+
+  [[nodiscard]] u64 reversions() const { return reversions_; }
+
+ private:
+  kcc::KernelImage pristine_;
+  u64 reversions_ = 0;
+};
+
+/// Page-table attack: re-opens the execute-only mem_X region for writing and
+/// scribbles over patched bodies. Normal-mode writes to mem_X are denied
+/// until the attribute flip, which models a rootkit editing kernel page
+/// tables (only SMM introspection can catch this).
+class MemXCorruptorRootkit final : public kernel::KernelModule {
+ public:
+  explicit MemXCorruptorRootkit(kernel::MemoryLayout layout)
+      : layout_(layout) {}
+
+  [[nodiscard]] std::string name() const override { return "memx_corruptor"; }
+  void on_tick(machine::Machine& m, kernel::Kernel& k) override;
+
+  [[nodiscard]] u64 corruptions() const { return corruptions_; }
+
+ private:
+  kernel::MemoryLayout layout_;
+  u64 corruptions_ = 0;
+};
+
+/// Returns a kpatch write hook that flips bytes in every staged patch —
+/// the hijacked in-kernel patching path of §VI-D. The counter records how
+/// many writes were corrupted.
+std::function<void(Bytes&)> make_patch_corruptor(u64* corruption_count);
+
+/// Returns a KUP kexec hook that swaps the booted image for a backdoored
+/// one: the CVE-2015-7837 unsigned-kexec attack.
+std::function<void(kcc::KernelImage&)> make_kexec_hijacker(
+    kcc::KernelImage malicious, u64* hijack_count);
+
+}  // namespace kshot::attacks

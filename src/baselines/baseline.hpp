@@ -1,0 +1,29 @@
+// Common reporting surface for the baseline kernel live patchers KShot is
+// compared against in Tables IV/V: kpatch (function-level, OS-trusted),
+// KUP (whole-kernel replacement + checkpoint/restore) and KARMA
+// (instruction-level in-place). All of them execute with *kernel* privilege
+// and therefore sit inside the threat model KShot removes.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace kshot::baselines {
+
+struct BaselineReport {
+  std::string id;
+  bool success = false;
+  std::string detail;
+  /// Virtual cycles the OS (all threads) was paused while applying.
+  u64 downtime_cycles = 0;
+  /// Extra memory the mechanism consumed (trampoline area, checkpoint
+  /// buffers, staged kernel image...).
+  size_t memory_overhead_bytes = 0;
+  /// Trusted code base: for in-kernel patchers, the whole kernel text plus
+  /// the patcher itself.
+  size_t tcb_bytes = 0;
+};
+
+}  // namespace kshot::baselines

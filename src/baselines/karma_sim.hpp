@@ -1,0 +1,26 @@
+// KARMA-style patcher: adaptive instruction-level patching from a kernel
+// module. Replaces the vulnerable function's instructions *in place*, which
+// is tiny and fast but only works when the replacement fits in the original
+// footprint and nothing else (globals, added functions) changes — the
+// limitations Table V records ("Instruction" granularity, "<5us small
+// patches", fails on data-structure changes).
+#pragma once
+
+#include "baselines/baseline.hpp"
+#include "kernel/scheduler.hpp"
+#include "patchtool/patch.hpp"
+
+namespace kshot::baselines {
+
+class KarmaSim {
+ public:
+  KarmaSim(kernel::Kernel& k, kernel::Scheduler& sched);
+
+  Result<BaselineReport> apply(const patchtool::PatchSet& set);
+
+ private:
+  kernel::Kernel& kernel_;
+  kernel::Scheduler& sched_;
+};
+
+}  // namespace kshot::baselines

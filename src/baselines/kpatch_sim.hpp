@@ -1,0 +1,47 @@
+// kpatch-style live patcher: runs as kernel code, uses stop_machine plus an
+// activeness check, allocates trampoline targets from the kernel module
+// area, and rewrites function entries through the ftrace pad. Everything it
+// does is observable and corruptible by other kernel-privileged code — the
+// `pre_write_hook` models a hijacked ftrace/patching path (paper §VI-D:
+// "the integrity of patches can be easily compromised by attacks which have
+// the kernel access privilege").
+#pragma once
+
+#include <functional>
+
+#include "baselines/baseline.hpp"
+#include "kernel/scheduler.hpp"
+#include "patchtool/patch.hpp"
+
+namespace kshot::baselines {
+
+class KpatchSim {
+ public:
+  KpatchSim(kernel::Kernel& k, kernel::Scheduler& sched);
+
+  /// Kernel-privileged hook on every patch byte-write (rootkit attack
+  /// surface; nullptr when the kernel is clean).
+  using WriteHook = std::function<void(Bytes& code)>;
+  void set_pre_write_hook(WriteHook h) { hook_ = std::move(h); }
+
+  /// Applies a (plaintext, kernel-resident) patch set.
+  Result<BaselineReport> apply(const patchtool::PatchSet& set);
+
+  /// Undo the most recent apply.
+  Status revert_last();
+
+ private:
+  kernel::Kernel& kernel_;
+  kernel::Scheduler& sched_;
+  WriteHook hook_;
+  u64 module_cursor_ = 0;
+
+  struct Applied {
+    u64 taddr = 0;
+    u16 ftrace_off = 0;
+    std::array<u8, 5> original{};
+  };
+  std::vector<Applied> last_applied_;
+};
+
+}  // namespace kshot::baselines

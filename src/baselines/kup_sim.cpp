@@ -1,0 +1,79 @@
+#include "baselines/kup_sim.hpp"
+
+namespace kshot::baselines {
+
+namespace {
+// Checkpoint/restore costs ~4 cycles/byte each way (Criu-style serialize +
+// deserialize), and the kernel swap is a straight memcpy.
+constexpr double kCheckpointCyclesPerByte = 4.0;
+constexpr double kSwapCyclesPerByte = 1.0;
+}  // namespace
+
+KupSim::KupSim(kernel::Kernel& k, kernel::Scheduler& sched)
+    : kernel_(k), sched_(sched) {}
+
+Result<BaselineReport> KupSim::apply(const std::string& id,
+                                     kcc::KernelImage post) {
+  auto& m = kernel_.machine();
+  const auto& lay = kernel_.layout();
+  const auto mode = machine::AccessMode::normal();
+
+  BaselineReport rep;
+  rep.id = id;
+  rep.tcb_bytes = kernel_.image().text.size() + 96 * 1024;  // kernel + kup
+  u64 cycles_before = m.cycles();
+
+  if (post.text.size() > lay.text_max) {
+    rep.detail = "post image too large";
+    return rep;
+  }
+
+  // 1. Checkpoint userspace: copy every live thread's stack + context.
+  size_t ckpt_bytes = sched_.checkpointable_bytes();
+  Bytes checkpoint;
+  checkpoint.reserve(ckpt_bytes);
+  for (size_t tid = 0; tid < sched_.thread_count(); ++tid) {
+    auto stack = m.mem().read_bytes(
+        lay.stacks_base + tid * lay.stack_size, lay.stack_size, mode);
+    if (stack) {
+      checkpoint.insert(checkpoint.end(), stack->begin(), stack->end());
+    }
+  }
+  m.charge_cycles(
+      static_cast<u64>(kCheckpointCyclesPerByte * checkpoint.size()));
+
+  // 2. kexec the new kernel. The hook models a compromised kexec path that
+  //    swaps in an attacker-controlled image (CVE-2015-7837 analogue).
+  if (hook_) hook_(post);
+  Status st = m.mem().write(lay.text_base, post.text, mode);
+  if (!st.is_ok()) {
+    rep.detail = "kernel swap failed: " + st.message();
+    return rep;
+  }
+  Bytes data = post.data_image();
+  if (!data.empty()) {
+    st = m.mem().write(lay.data_base, data, mode);
+    if (!st.is_ok()) {
+      rep.detail = "data swap failed: " + st.message();
+      return rep;
+    }
+  }
+  m.charge_cycles(static_cast<u64>(
+      kSwapCyclesPerByte * (post.text.size() + data.size())));
+
+  // The kernel object now describes the new image (symbols moved!).
+  kernel_.replace_image(std::move(post));
+
+  // 3. Restore userspace and restart every in-flight syscall: saved
+  //    kernel-mode contexts reference the old image and cannot resume.
+  m.charge_cycles(
+      static_cast<u64>(kCheckpointCyclesPerByte * checkpoint.size()));
+  sched_.restart_in_flight_syscalls();
+
+  rep.success = true;
+  rep.downtime_cycles = m.cycles() - cycles_before;
+  rep.memory_overhead_bytes = checkpoint.size() + kernel_.image().text.size();
+  return rep;
+}
+
+}  // namespace kshot::baselines

@@ -1,0 +1,37 @@
+// KUP-style patcher: replaces the *entire* kernel image and carries the
+// applications across with checkpoint/restore (Criu analogue). Handles
+// arbitrary patches — including data-structure layout changes — at the price
+// of large memory overhead and long downtime, and it depends on kexec, a
+// kernel facility with its own CVE history (paper §VI-D cites
+// CVE-2015-7837: unsigned kernels loadable via kexec).
+#pragma once
+
+#include <functional>
+
+#include "baselines/baseline.hpp"
+#include "kcc/image.hpp"
+#include "kernel/scheduler.hpp"
+
+namespace kshot::baselines {
+
+class KupSim {
+ public:
+  KupSim(kernel::Kernel& k, kernel::Scheduler& sched);
+
+  /// Kexec-style hook: kernel-privileged code may substitute the image that
+  /// actually gets booted (models the unsigned-kexec attack).
+  using KexecHook = std::function<void(kcc::KernelImage& image)>;
+  void set_kexec_hook(KexecHook h) { hook_ = std::move(h); }
+
+  /// Checkpoints userspace, swaps in `post` as the running kernel, restores
+  /// userspace, restarting in-flight syscalls.
+  Result<BaselineReport> apply(const std::string& id,
+                               kcc::KernelImage post);
+
+ private:
+  kernel::Kernel& kernel_;
+  kernel::Scheduler& sched_;
+  KexecHook hook_;
+};
+
+}  // namespace kshot::baselines

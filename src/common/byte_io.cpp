@@ -1,0 +1,94 @@
+#include "common/byte_io.hpp"
+
+namespace kshot {
+
+void ByteWriter::put_u16(u16 v) {
+  put_u8(static_cast<u8>(v));
+  put_u8(static_cast<u8>(v >> 8));
+}
+
+void ByteWriter::put_u32(u32 v) {
+  for (int i = 0; i < 4; ++i) put_u8(static_cast<u8>(v >> (8 * i)));
+}
+
+void ByteWriter::put_u64(u64 v) {
+  for (int i = 0; i < 8; ++i) put_u8(static_cast<u8>(v >> (8 * i)));
+}
+
+Result<u8> ByteReader::get_u8() {
+  if (remaining() < 1) return {Errc::kOutOfRange, "read past end"};
+  return data_[pos_++];
+}
+
+Result<u16> ByteReader::get_u16() {
+  if (remaining() < 2) return {Errc::kOutOfRange, "read past end"};
+  u16 v = load_u16(data_.data() + pos_);
+  pos_ += 2;
+  return v;
+}
+
+Result<u32> ByteReader::get_u32() {
+  if (remaining() < 4) return {Errc::kOutOfRange, "read past end"};
+  u32 v = load_u32(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<u64> ByteReader::get_u64() {
+  if (remaining() < 8) return {Errc::kOutOfRange, "read past end"};
+  u64 v = load_u64(data_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+Result<Bytes> ByteReader::get_bytes(size_t n) {
+  if (remaining() < n) return {Errc::kOutOfRange, "read past end"};
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Result<ByteSpan> ByteReader::get_span(size_t n) {
+  if (remaining() < n) return {Errc::kOutOfRange, "read past end"};
+  ByteSpan out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Status ByteReader::skip(size_t n) {
+  if (remaining() < n) return {Errc::kOutOfRange, "skip past end"};
+  pos_ += n;
+  return Status::ok();
+}
+
+u16 load_u16(const u8* p) {
+  return static_cast<u16>(p[0] | (static_cast<u16>(p[1]) << 8));
+}
+
+u32 load_u32(const u8* p) {
+  u32 v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+u64 load_u64(const u8* p) {
+  u64 v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void store_u16(u8* p, u16 v) {
+  p[0] = static_cast<u8>(v);
+  p[1] = static_cast<u8>(v >> 8);
+}
+
+void store_u32(u8* p, u32 v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<u8>(v >> (8 * i));
+}
+
+void store_u64(u8* p, u64 v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<u8>(v >> (8 * i));
+}
+
+}  // namespace kshot

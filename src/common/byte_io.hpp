@@ -1,0 +1,60 @@
+// Little-endian binary serialization helpers used by the patch package
+// format, the SMRAM save-state area, and wire protocols.
+#pragma once
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace kshot {
+
+/// Appends little-endian scalars and raw bytes to a growable buffer.
+class ByteWriter {
+ public:
+  void put_u8(u8 v) { buf_.push_back(v); }
+  void put_u16(u16 v);
+  void put_u32(u32 v);
+  void put_u64(u64 v);
+  void put_bytes(ByteSpan b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+  void put_zeros(size_t n) { buf_.insert(buf_.end(), n, 0); }
+
+  [[nodiscard]] size_t size() const { return buf_.size(); }
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads little-endian scalars from a span; all reads are bounds-checked.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  [[nodiscard]] size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] size_t position() const { return pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ >= data_.size(); }
+
+  Result<u8> get_u8();
+  Result<u16> get_u16();
+  Result<u32> get_u32();
+  Result<u64> get_u64();
+  /// Copies the next n bytes out; fails if fewer remain.
+  Result<Bytes> get_bytes(size_t n);
+  /// Returns a view of the next n bytes and advances.
+  Result<ByteSpan> get_span(size_t n);
+  Status skip(size_t n);
+
+ private:
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+/// In-place little-endian scalar access over raw memory.
+u16 load_u16(const u8* p);
+u32 load_u32(const u8* p);
+u64 load_u64(const u8* p);
+void store_u16(u8* p, u16 v);
+void store_u32(u8* p, u32 v);
+void store_u64(u8* p, u64 v);
+
+}  // namespace kshot

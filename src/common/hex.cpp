@@ -1,0 +1,68 @@
+#include "common/hex.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace kshot {
+
+namespace {
+constexpr char kDigits[] = "0123456789abcdef";
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(ByteSpan data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (u8 b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Result<Bytes> from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) return {Errc::kInvalidArgument, "odd hex length"};
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return {Errc::kInvalidArgument, "bad hex digit"};
+    out.push_back(static_cast<u8>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string hexdump(ByteSpan data, u64 base_addr) {
+  std::ostringstream os;
+  char buf[32];
+  for (size_t row = 0; row < data.size(); row += 16) {
+    std::snprintf(buf, sizeof(buf), "%08llx  ",
+                  static_cast<unsigned long long>(base_addr + row));
+    os << buf;
+    for (size_t i = 0; i < 16; ++i) {
+      if (row + i < data.size()) {
+        std::snprintf(buf, sizeof(buf), "%02x ", data[row + i]);
+        os << buf;
+      } else {
+        os << "   ";
+      }
+      if (i == 7) os << ' ';
+    }
+    os << " |";
+    for (size_t i = 0; i < 16 && row + i < data.size(); ++i) {
+      u8 c = data[row + i];
+      os << (std::isprint(c) ? static_cast<char>(c) : '.');
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace kshot

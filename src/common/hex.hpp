@@ -1,0 +1,18 @@
+// Hex encoding/decoding for digests, test vectors and diagnostics.
+#pragma once
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace kshot {
+
+/// Lowercase hex of a byte span.
+std::string to_hex(ByteSpan data);
+
+/// Parses lowercase/uppercase hex; fails on odd length or bad digits.
+Result<Bytes> from_hex(const std::string& hex);
+
+/// Classic hexdump (offset, 16 bytes, ASCII gutter) for diagnostics.
+std::string hexdump(ByteSpan data, u64 base_addr = 0);
+
+}  // namespace kshot

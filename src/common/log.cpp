@@ -1,0 +1,36 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace kshot {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& component,
+              const std::string& message) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "[%s] %-10s %s\n", level_tag(level), component.c_str(),
+               message.c_str());
+}
+}  // namespace detail
+
+}  // namespace kshot

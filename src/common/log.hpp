@@ -1,0 +1,46 @@
+// Minimal leveled logger. Quiet by default so tests and benches stay clean;
+// examples turn it up to narrate the patching pipeline.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace kshot {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& component,
+              const std::string& message);
+}
+
+/// Streams a message: KSHOT_LOG(kInfo, "smm") << "applied " << n << " fns";
+#define KSHOT_LOG(level, component)                                 \
+  for (bool _once = ::kshot::log_level() <= ::kshot::LogLevel::level; \
+       _once; _once = false)                                         \
+  ::kshot::detail::LogLine(::kshot::LogLevel::level, component)
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { log_emit(level_, component_, os_.str()); }
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace kshot

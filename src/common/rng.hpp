@@ -1,0 +1,61 @@
+// Deterministic RNG (xoshiro256**) so experiments and tests reproduce
+// byte-for-byte across runs. Simulated "hardware entropy" (DH private keys,
+// nonces) is drawn from machine-owned instances seeded per scenario.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace kshot {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    u64 x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  u64 next() {
+    u64 result = rotl(state_[1] * 5, 7) * 9;
+    u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  u64 next_below(u64 bound) { return next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  u64 next_range(u64 lo, u64 hi) { return lo + next_below(hi - lo + 1); }
+
+  u8 next_byte() { return static_cast<u8>(next()); }
+
+  Bytes next_bytes(size_t n) {
+    Bytes out(n);
+    fill(out);
+    return out;
+  }
+
+  void fill(MutByteSpan out) {
+    for (auto& b : out) b = next_byte();
+  }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4];
+};
+
+}  // namespace kshot

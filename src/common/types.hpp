@@ -1,0 +1,37 @@
+// Fundamental aliases shared by every KShot module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace kshot {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Owned byte buffer.
+using Bytes = std::vector<u8>;
+/// Non-owning read-only view of bytes.
+using ByteSpan = std::span<const u8>;
+/// Non-owning mutable view of bytes.
+using MutByteSpan = std::span<u8>;
+
+/// Guest-physical address inside the simulated machine.
+using PhysAddr = u64;
+
+inline Bytes to_bytes(ByteSpan s) { return Bytes(s.begin(), s.end()); }
+
+inline Bytes to_bytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+}  // namespace kshot

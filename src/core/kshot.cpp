@@ -1,0 +1,327 @@
+#include "core/kshot.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/byte_io.hpp"
+#include "common/log.hpp"
+
+namespace kshot::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+}  // namespace
+
+Kshot::Kshot(kernel::Kernel& kernel, sgx::SgxRuntime& sgx,
+             netsim::PatchServer& server, netsim::Channel& channel,
+             u64 entropy_seed)
+    : kernel_(kernel),
+      sgx_(sgx),
+      server_(server),
+      channel_(channel),
+      entropy_seed_(entropy_seed) {}
+
+Status Kshot::install(u64 watchdog_interval_cycles) {
+  if (installed_) return {Errc::kFailedPrecondition, "already installed"};
+  auto& m = kernel_.machine();
+  const auto& lay = kernel_.layout();
+
+  // Firmware step: SMM handler into SMRAM, optional watchdog timer, then
+  // lock (D_LCK). After this, nothing — including a fully compromised
+  // kernel — can replace either.
+  handler_ = std::make_unique<SmmPatchHandler>(lay, entropy_seed_ ^ 0x5A5A);
+  SmmPatchHandler* h = handler_.get();
+  KSHOT_RETURN_IF_ERROR(
+      m.set_smm_handler([h](machine::Machine& mm) { h->on_smi(mm); }));
+  if (watchdog_interval_cycles != 0) {
+    KSHOT_RETURN_IF_ERROR(m.set_periodic_smi(watchdog_interval_cycles));
+    handler_->set_introspect_on_idle(true);
+  }
+  m.lock_smram();
+
+  // Boot step: load the preprocessing enclave. Its EPC slice must hold two
+  // copies of the largest deliverable package — bounded by mem_X, since
+  // chunked staging lets packages exceed mem_W — capped by available EPC.
+  enclave_ = std::make_unique<KshotEnclave>(kernel_.os_info(),
+                                            entropy_seed_ ^ 0xE9C1);
+  size_t epc_bytes =
+      std::min<size_t>(lay.epc_size, 2 * lay.mem_x_size + (1ull << 20));
+  KSHOT_RETURN_IF_ERROR(sgx_.load_enclave(*enclave_, epc_bytes));
+
+  ReservedGeometry geom;
+  geom.mem_x_base = lay.mem_x_base();
+  geom.mem_x_size = lay.mem_x_size;
+  geom.mem_w_size = lay.mem_w_size;
+  KSHOT_RETURN_IF_ERROR(enclave_->initialize(geom));
+
+  installed_ = true;
+  return Status::ok();
+}
+
+Result<SmmStatus> Kshot::trigger_and_status(SmmCommand cmd) {
+  auto& m = kernel_.machine();
+  Mailbox mbox(m.mem(), kernel_.layout().mem_rw_base(),
+               machine::AccessMode::normal());
+  KSHOT_RETURN_IF_ERROR(mbox.write_command(cmd));
+  m.trigger_smi();
+  auto st = mbox.read_status();
+  if (!st) return st.status();
+  return *st;
+}
+
+Result<PatchReport> Kshot::live_patch(const std::string& patch_id) {
+  if (!installed_) {
+    return Status{Errc::kFailedPrecondition, "install() first"};
+  }
+  auto& m = kernel_.machine();
+  const auto& lay = kernel_.layout();
+  Mailbox mbox(m.mem(), lay.mem_rw_base(), machine::AccessMode::normal());
+
+  PatchReport report;
+  report.id = patch_id;
+  u64 smm_cycles_before = m.smm_cycles();
+
+  // ---- Fetch (SGX <-> remote server over the untrusted channel) ----------
+  auto t0 = Clock::now();
+  auto request = enclave_->begin_fetch(patch_id,
+                                       netsim::PatchRequest::Op::kFetchPatch);
+  if (!request) return request.status();
+  Bytes req_wire = channel_.transfer(std::move(*request));
+  double link_us = channel_.last_latency_us();
+  auto response = server_.handle_request(req_wire);
+  if (!response) return response.status();
+  Bytes resp_wire = channel_.transfer(std::move(*response));
+  link_us += channel_.last_latency_us();
+  auto fetch_stats = enclave_->finish_fetch(resp_wire);
+  if (!fetch_stats) return fetch_stats.status();
+  report.sgx.fetch_us = us_since(t0) + link_us;
+
+  // ---- SMI #1: fresh SMM session key --------------------------------------
+  auto begin = trigger_and_status(SmmCommand::kBeginSession);
+  if (!begin) return begin.status();
+  auto smm_pub = mbox.read_smm_pub();
+  if (!smm_pub) return smm_pub.status();
+
+  // ---- Preprocess + seal inside the enclave --------------------------------
+  t0 = Clock::now();
+  auto prep_stats = enclave_->preprocess();
+  if (!prep_stats) return prep_stats.status();
+  auto sealed = enclave_->seal_for_smm(*smm_pub);
+  if (!sealed) return sealed.status();
+  report.sgx.preprocess_us = us_since(t0);
+  report.stats = *prep_stats;
+
+  // ---- Passing: untrusted app writes mem_W + mailbox ----------------------
+  t0 = Clock::now();
+  if (sealed->size() < 32) {
+    return Status{Errc::kInternal, "malformed seal output"};
+  }
+  crypto::X25519Key enclave_pub;
+  std::memcpy(enclave_pub.data(), sealed->data(), 32);
+  ByteSpan package(sealed->data() + 32, sealed->size() - 32);
+  if (package.size() > lay.mem_w_size) {
+    return Status{Errc::kResourceExhausted, "package exceeds mem_W"};
+  }
+  KSHOT_RETURN_IF_ERROR(m.mem().write(lay.mem_w_base(), package,
+                                      machine::AccessMode::normal()));
+  KSHOT_RETURN_IF_ERROR(mbox.write_enclave_pub(enclave_pub));
+  KSHOT_RETURN_IF_ERROR(mbox.write_staged_size(package.size()));
+  report.sgx.passing_us = us_since(t0);
+
+  // ---- SMI #2: decrypt, verify, apply --------------------------------------
+  auto status = trigger_and_status(SmmCommand::kApplyPatch);
+  if (!status) return status.status();
+  report.smm_status = *status;
+  report.success = *status == SmmStatus::kOk;
+
+  const SmmPatchTimings& t = handler_->last_timings();
+  const auto& cost = m.cost_model();
+  report.smm.keygen_us = t.keygen_ns / 1000.0;
+  report.smm.decrypt_us = t.decrypt_ns / 1000.0;
+  report.smm.verify_us = t.verify_ns / 1000.0;
+  report.smm.apply_us = t.apply_ns / 1000.0;
+  report.smm.switch_us =
+      2 * cost.to_us(cost.smi_entry_cycles + cost.rsm_cycles);
+  report.smm.total_us = report.smm.keygen_us + report.smm.decrypt_us +
+                        report.smm.verify_us + report.smm.apply_us +
+                        report.smm.switch_us;
+  report.downtime_cycles = m.smm_cycles() - smm_cycles_before;
+  report.smm.modeled_total_us = cost.to_us(report.downtime_cycles);
+  return report;
+}
+
+Result<PatchReport> Kshot::live_patch_chunked(const std::string& patch_id,
+                                              u32 chunk_bytes) {
+  if (!installed_) {
+    return Status{Errc::kFailedPrecondition, "install() first"};
+  }
+  auto& m = kernel_.machine();
+  const auto& lay = kernel_.layout();
+  if (chunk_bytes < 512 || chunk_bytes + 64 > lay.mem_w_size) {
+    return Status{Errc::kInvalidArgument, "bad chunk size"};
+  }
+  Mailbox mbox(m.mem(), lay.mem_rw_base(), machine::AccessMode::normal());
+
+  PatchReport report;
+  report.id = patch_id;
+  u64 smm_cycles_before = m.smm_cycles();
+
+  // Fetch + preprocess exactly as in the single-shot path.
+  auto t0 = Clock::now();
+  auto request = enclave_->begin_fetch(patch_id,
+                                       netsim::PatchRequest::Op::kFetchPatch);
+  if (!request) return request.status();
+  Bytes req_wire = channel_.transfer(std::move(*request));
+  double link_us = channel_.last_latency_us();
+  auto response = server_.handle_request(req_wire);
+  if (!response) return response.status();
+  Bytes resp_wire = channel_.transfer(std::move(*response));
+  link_us += channel_.last_latency_us();
+  auto fetch_stats = enclave_->finish_fetch(resp_wire);
+  if (!fetch_stats) return fetch_stats.status();
+  report.sgx.fetch_us = us_since(t0) + link_us;
+
+  auto begin = trigger_and_status(SmmCommand::kBeginSession);
+  if (!begin) return begin.status();
+  auto smm_pub = mbox.read_smm_pub();
+  if (!smm_pub) return smm_pub.status();
+
+  t0 = Clock::now();
+  auto prep_stats = enclave_->preprocess();
+  if (!prep_stats) return prep_stats.status();
+  report.stats = *prep_stats;
+  auto setup = enclave_->begin_seal_chunked(*smm_pub, chunk_bytes);
+  if (!setup) return setup.status();
+  if (setup->size() != 36) {
+    return Status{Errc::kInternal, "malformed chunk setup"};
+  }
+  crypto::X25519Key enclave_pub;
+  std::memcpy(enclave_pub.data(), setup->data(), 32);
+  u32 chunks = load_u32(setup->data() + 32);
+  report.sgx.preprocess_us = us_since(t0);
+  KSHOT_RETURN_IF_ERROR(mbox.write_enclave_pub(enclave_pub));
+
+  // Stream the chunks, one SMI each.
+  for (u32 i = 0; i < chunks; ++i) {
+    t0 = Clock::now();
+    auto chunk = enclave_->get_chunk(i);
+    if (!chunk) return chunk.status();
+    if (chunk->size() > lay.mem_w_size) {
+      return Status{Errc::kResourceExhausted, "chunk exceeds mem_W"};
+    }
+    KSHOT_RETURN_IF_ERROR(m.mem().write(lay.mem_w_base(), *chunk,
+                                        machine::AccessMode::normal()));
+    KSHOT_RETURN_IF_ERROR(mbox.write_staged_size(chunk->size()));
+    report.sgx.passing_us += us_since(t0);
+
+    auto status = trigger_and_status(SmmCommand::kStageChunk);
+    if (!status) return status.status();
+    report.smm_status = *status;
+    bool last = i + 1 == chunks;
+    if ((last && *status != SmmStatus::kOk) ||
+        (!last && *status != SmmStatus::kChunkAccepted)) {
+      report.success = false;
+      return report;
+    }
+  }
+  report.success = report.smm_status == SmmStatus::kOk;
+
+  const SmmPatchTimings& t = handler_->last_timings();
+  const auto& cost = m.cost_model();
+  report.smm.keygen_us = t.keygen_ns / 1000.0;
+  report.smm.verify_us = t.verify_ns / 1000.0;
+  report.smm.apply_us = t.apply_ns / 1000.0;
+  report.smm.switch_us = (1 + chunks) *
+                         cost.to_us(cost.smi_entry_cycles + cost.rsm_cycles);
+  report.downtime_cycles = m.smm_cycles() - smm_cycles_before;
+  report.smm.modeled_total_us = cost.to_us(report.downtime_cycles);
+  return report;
+}
+
+Result<PatchReport> Kshot::rollback() {
+  if (!installed_) {
+    return Status{Errc::kFailedPrecondition, "install() first"};
+  }
+  auto& m = kernel_.machine();
+  u64 before = m.smm_cycles();
+  auto status = trigger_and_status(SmmCommand::kRollback);
+  if (!status) return status.status();
+
+  PatchReport report;
+  report.id = "(rollback)";
+  report.smm_status = *status;
+  report.success = *status == SmmStatus::kOk;
+  report.downtime_cycles = m.smm_cycles() - before;
+  report.smm.modeled_total_us =
+      m.cost_model().to_us(report.downtime_cycles);
+  return report;
+}
+
+Status Kshot::arm_kernel_guard() {
+  if (!installed_) return {Errc::kFailedPrecondition, "install() first"};
+  // The dynamic tracer legitimately rewrites the 5-byte pad of every traced
+  // function; everything else in kernel text is guarded.
+  std::vector<MutableWindow> windows;
+  for (const auto& sym : kernel_.image().symbols) {
+    if (sym.traced) windows.push_back({sym.addr, 5});
+  }
+  return handler_->arm_kernel_guard(kernel_.machine(), std::move(windows));
+}
+
+Result<IntrospectionReport> Kshot::introspect() {
+  if (!installed_) {
+    return Status{Errc::kFailedPrecondition, "install() first"};
+  }
+  auto status = trigger_and_status(SmmCommand::kIntrospect);
+  if (!status) return status.status();
+  return handler_->last_introspection();
+}
+
+Result<DosCheckReport> Kshot::dos_check() {
+  if (!installed_) {
+    return Status{Errc::kFailedPrecondition, "install() first"};
+  }
+  auto& m = kernel_.machine();
+  Mailbox mbox(m.mem(), kernel_.layout().mem_rw_base(),
+               machine::AccessMode::normal());
+  DosCheckReport rep;
+  auto hb_before = mbox.read_heartbeat();
+  auto status = trigger_and_status(SmmCommand::kIntrospect);
+  if (!status) return status.status();
+  auto hb_after = mbox.read_heartbeat();
+  rep.smm_alive = hb_before.is_ok() && hb_after.is_ok() &&
+                  *hb_after > *hb_before;
+  rep.staging_observed = handler_->patches_applied() > 0;
+  rep.dos_suspected = !rep.smm_alive || !rep.staging_observed;
+  return rep;
+}
+
+bool Kshot::is_patched(const std::string& function) const {
+  if (!handler_) return false;
+  for (const auto& p : handler_->installed()) {
+    if (p.name == function && p.taddr != 0) return true;
+  }
+  return false;
+}
+
+size_t Kshot::tcb_bytes() const {
+  // SMM handler state (SMRAM-resident) + a fixed estimate of the handler and
+  // enclave code footprints. Contrast with baselines whose TCB is the whole
+  // kernel text.
+  size_t smm_state = sizeof(SmmPatchHandler);
+  if (handler_) {
+    for (const auto& p : handler_->installed()) {
+      smm_state += sizeof(InstalledPatch) + p.code.size();
+    }
+  }
+  constexpr size_t kHandlerCodeEstimate = 24 * 1024;
+  constexpr size_t kEnclaveCodeEstimate = 48 * 1024;
+  return smm_state + kHandlerCodeEstimate + kEnclaveCodeEstimate;
+}
+
+}  // namespace kshot::core

@@ -1,0 +1,129 @@
+// KShot public API: the end-to-end live-patch pipeline of paper Fig. 2.
+//
+//   Kshot kshot(kernel, sgx, server, channel);
+//   kshot.install();                        // firmware + enclave setup
+//   auto report = kshot.live_patch("CVE-2017-17806");
+//   kshot.rollback();                       // if the patch misbehaves
+//   kshot.introspect();                     // detect/repair reversion
+//
+// The class also plays the role of the *untrusted helper application*: all
+// its direct machine-memory accesses use normal (kernel-privilege) mode, so
+// everything it relays can be tampered with by a rootkit — by construction
+// the only consequences are detected integrity failures.
+#pragma once
+
+#include "core/kshot_enclave.hpp"
+#include "core/smm_handler.hpp"
+#include "kernel/scheduler.hpp"
+#include "netsim/channel.hpp"
+#include "netsim/patch_server.hpp"
+
+namespace kshot::core {
+
+/// Table II columns (microseconds; real measured work + modeled link time).
+struct SgxPhaseTimings {
+  double fetch_us = 0;       // request/response crypto + modeled network
+  double preprocess_us = 0;  // integrity check, layout, branch replacement,
+                             // sealing for SMM
+  double passing_us = 0;     // writing mem_W + mailbox (untrusted app)
+  [[nodiscard]] double total_us() const {
+    return fetch_us + preprocess_us + passing_us;
+  }
+};
+
+/// Table III columns (microseconds).
+struct SmmPhaseTimings {
+  double keygen_us = 0;
+  double decrypt_us = 0;
+  double verify_us = 0;
+  double apply_us = 0;
+  double switch_us = 0;       // modeled SMI entry + RSM, both SMIs
+  double total_us = 0;        // sum of the above
+  double modeled_total_us = 0;  // virtual-clock downtime incl. switches
+};
+
+struct PatchReport {
+  std::string id;
+  bool success = false;
+  SmmStatus smm_status = SmmStatus::kOk;
+  PackageStats stats;
+  SgxPhaseTimings sgx;
+  SmmPhaseTimings smm;
+  /// Virtual cycles the OS was paused (both SMIs), from the machine clock.
+  u64 downtime_cycles = 0;
+};
+
+struct DosCheckReport {
+  bool smm_alive = false;       // heartbeat advanced when poked
+  bool staging_observed = false;  // SMM saw a staged package this session
+  bool dos_suspected = false;
+};
+
+class Kshot {
+ public:
+  Kshot(kernel::Kernel& kernel, sgx::SgxRuntime& sgx,
+        netsim::PatchServer& server, netsim::Channel& channel,
+        u64 entropy_seed = 0xC0FFEE);
+
+  /// One-time setup: registers the SMM handler and locks SMRAM (firmware
+  /// step), loads the preprocessing enclave (boot-time step). Must run
+  /// before any kernel code executes untrusted modules.
+  /// `watchdog_interval_cycles`, when nonzero, arms a firmware periodic SMI
+  /// on which the handler runs its introspection sweep automatically — the
+  /// SMM-based kernel protection deployment of §V-D.
+  Status install(u64 watchdog_interval_cycles = 0);
+
+  /// Fetches, preprocesses, and applies `patch_id` end to end. The target
+  /// OS keeps running except during the two SMIs.
+  Result<PatchReport> live_patch(const std::string& patch_id);
+
+  /// Streaming variant for packages larger than mem_W: the sealed package
+  /// crosses the reserved region in `chunk_bytes`-sized pieces, one SMI per
+  /// chunk, with per-chunk authenticated ordering. Downtime is spread over
+  /// the chunk SMIs; the patch itself still applies atomically after the
+  /// final chunk verifies.
+  Result<PatchReport> live_patch_chunked(const std::string& patch_id,
+                                         u32 chunk_bytes);
+
+  /// Rolls back the most recent patch (remote rollback instruction, §V-C).
+  Result<PatchReport> rollback();
+
+  /// SMM introspection sweep (§V-D): verifies and repairs trampolines,
+  /// mem_X contents, and reserved-region page attributes.
+  Result<IntrospectionReport> introspect();
+
+  /// Arms the SMM kernel-text guard (§IV-A "kernel introspection module for
+  /// kernel protection"): snapshots the just-booted kernel text into SMRAM
+  /// state and builds the kernel-mutable window list from the symbol
+  /// table's ftrace pads. Call at trusted-boot time, right after install().
+  Status arm_kernel_guard();
+
+  /// DoS detection handshake (§V-D): the remote server verifies with the
+  /// SMM handler that patch staging actually happened.
+  Result<DosCheckReport> dos_check();
+
+  [[nodiscard]] SmmPatchHandler& handler() { return *handler_; }
+  [[nodiscard]] KshotEnclave& enclave() { return *enclave_; }
+
+  /// True if a trampoline for `function` is currently installed.
+  [[nodiscard]] bool is_patched(const std::string& function) const;
+
+  /// Trusted code base of the deployment pipeline in bytes (SMM handler
+  /// state + enclave EPC footprint); used by the Table V comparison.
+  [[nodiscard]] size_t tcb_bytes() const;
+
+ private:
+  Result<SmmStatus> trigger_and_status(SmmCommand cmd);
+
+  kernel::Kernel& kernel_;
+  sgx::SgxRuntime& sgx_;
+  netsim::PatchServer& server_;
+  netsim::Channel& channel_;
+  u64 entropy_seed_;
+
+  std::unique_ptr<SmmPatchHandler> handler_;
+  std::unique_ptr<KshotEnclave> enclave_;
+  bool installed_ = false;
+};
+
+}  // namespace kshot::core

@@ -1,0 +1,382 @@
+#include "core/kshot_enclave.hpp"
+
+#include <cstring>
+
+#include "common/byte_io.hpp"
+#include "common/log.hpp"
+#include "isa/reloc.hpp"
+
+namespace kshot::core {
+
+namespace {
+// EPC internal layout: two package regions after a header page.
+constexpr u64 kRawRegion = 0;
+constexpr u64 kProcessedRegion = 1;
+constexpr u64 kRegionHeader = 0x1000;
+
+Bytes identity_blob(const kernel::OsInfo& os) {
+  ByteWriter w;
+  w.put_bytes(to_bytes(std::string("kshot-enclave-v1:")));
+  w.put_bytes(to_bytes(os.version));
+  return w.take();
+}
+}  // namespace
+
+Bytes ReservedGeometry::serialize() const {
+  ByteWriter w;
+  w.put_u64(mem_x_base);
+  w.put_u64(mem_x_size);
+  w.put_u64(mem_w_size);
+  return w.take();
+}
+
+Result<ReservedGeometry> ReservedGeometry::deserialize(ByteSpan wire) {
+  ByteReader r(wire);
+  ReservedGeometry g;
+  auto a = r.get_u64();
+  auto b = r.get_u64();
+  auto c = r.get_u64();
+  if (!a || !b || !c) return Status{Errc::kOutOfRange, "truncated geometry"};
+  g.mem_x_base = *a;
+  g.mem_x_size = *b;
+  g.mem_w_size = *c;
+  return g;
+}
+
+Bytes PackageStats::serialize() const {
+  ByteWriter w;
+  w.put_u32(functions);
+  w.put_u32(code_bytes);
+  w.put_u32(package_bytes);
+  return w.take();
+}
+
+Result<PackageStats> PackageStats::deserialize(ByteSpan wire) {
+  ByteReader r(wire);
+  PackageStats s;
+  auto a = r.get_u32();
+  auto b = r.get_u32();
+  auto c = r.get_u32();
+  if (!a || !b || !c) return Status{Errc::kOutOfRange, "truncated stats"};
+  s.functions = *a;
+  s.code_bytes = *b;
+  s.package_bytes = *c;
+  return s;
+}
+
+KshotEnclave::KshotEnclave(kernel::OsInfo os, u64 entropy_seed)
+    : sgx::Enclave("kshot-prep", identity_blob(os)),
+      os_(std::move(os)),
+      rng_(entropy_seed) {}
+
+// ---- typed wrappers -------------------------------------------------------
+
+Status KshotEnclave::initialize(const ReservedGeometry& geom) {
+  auto r = ecall(kEcallInitialize, geom.serialize());
+  return r.is_ok() ? Status::ok() : r.status();
+}
+
+Result<Bytes> KshotEnclave::begin_fetch(const std::string& patch_id,
+                                        netsim::PatchRequest::Op op) {
+  ByteWriter w;
+  w.put_u8(static_cast<u8>(op));
+  w.put_bytes(to_bytes(patch_id));
+  return ecall(kEcallBeginFetch, w.bytes());
+}
+
+Result<PackageStats> KshotEnclave::finish_fetch(ByteSpan response_wire) {
+  auto r = ecall(kEcallFinishFetch, response_wire);
+  if (!r) return r.status();
+  return PackageStats::deserialize(*r);
+}
+
+Result<PackageStats> KshotEnclave::preprocess() {
+  auto r = ecall(kEcallPreprocess, {});
+  if (!r) return r.status();
+  return PackageStats::deserialize(*r);
+}
+
+Result<Bytes> KshotEnclave::seal_for_smm(const crypto::X25519Key& smm_pub) {
+  return ecall(kEcallSeal, ByteSpan(smm_pub.data(), smm_pub.size()));
+}
+
+Result<Bytes> KshotEnclave::begin_seal_chunked(const crypto::X25519Key& smm_pub,
+                                               u32 max_chunk_plain_bytes) {
+  ByteWriter w;
+  w.put_bytes(ByteSpan(smm_pub.data(), smm_pub.size()));
+  w.put_u32(max_chunk_plain_bytes);
+  return ecall(kEcallBeginSealChunked, w.bytes());
+}
+
+Result<Bytes> KshotEnclave::get_chunk(u32 index) {
+  ByteWriter w;
+  w.put_u32(index);
+  return ecall(kEcallGetChunk, w.bytes());
+}
+
+// ---- ECALL dispatch --------------------------------------------------------
+
+Result<Bytes> KshotEnclave::handle_ecall(int fn, ByteSpan input) {
+  switch (fn) {
+    case kEcallInitialize: {
+      auto g = ReservedGeometry::deserialize(input);
+      if (!g) return g.status();
+      geom_ = *g;
+      initialized_ = true;
+      return Bytes{};
+    }
+    case kEcallBeginFetch:
+      return do_begin_fetch(input);
+    case kEcallFinishFetch:
+      return do_finish_fetch(input);
+    case kEcallPreprocess:
+      return do_preprocess();
+    case kEcallSeal:
+      return do_seal(input);
+    case kEcallBeginSealChunked:
+      return do_begin_seal_chunked(input);
+    case kEcallGetChunk:
+      return do_get_chunk(input);
+    default:
+      return Status{Errc::kInvalidArgument, "unknown ecall"};
+  }
+}
+
+Result<Bytes> KshotEnclave::do_begin_fetch(ByteSpan input) {
+  if (!initialized_) {
+    return Status{Errc::kFailedPrecondition, "enclave not initialized"};
+  }
+  ByteReader r(input);
+  auto op = r.get_u8();
+  if (!op || (*op != 1 && *op != 2)) {
+    return Status{Errc::kInvalidArgument, "bad fetch op"};
+  }
+  auto id_bytes = r.get_bytes(r.remaining());
+  std::string patch_id(id_bytes->begin(), id_bytes->end());
+
+  // Fresh DH key per fetch; the attestation report binds the public key so
+  // the server knows it is talking to this enclave, not a MITM.
+  server_session_ = crypto::dh_generate(rng_);
+  netsim::PatchRequest req;
+  req.op = static_cast<netsim::PatchRequest::Op>(*op);
+  req.patch_id = patch_id;
+  req.os = os_;
+  req.client_pub = server_session_.public_key;
+  req.attestation = create_report(
+      ByteSpan(server_session_.public_key.data(),
+               server_session_.public_key.size()));
+  fetch_in_flight_ = true;
+  return req.serialize();
+}
+
+Result<Bytes> KshotEnclave::do_finish_fetch(ByteSpan input) {
+  if (!fetch_in_flight_) {
+    return Status{Errc::kFailedPrecondition, "no fetch in flight"};
+  }
+  fetch_in_flight_ = false;
+
+  auto resp = netsim::PatchResponse::deserialize(input);
+  if (!resp) return resp.status();
+
+  crypto::X25519Key shared =
+      crypto::dh_shared(server_session_.private_key, resp->server_pub);
+  crypto::Key256 session = crypto::derive_key(
+      ByteSpan(shared.data(), shared.size()), "server-enclave");
+
+  auto box = crypto::SealedBox::deserialize(resp->sealed_package);
+  if (!box) return box.status();
+  auto package = crypto::open(session, *box);
+  if (!package) return package.status();
+
+  // Integrity check #1 (network transmission errors / tampering): full
+  // package validation before anything is kept.
+  auto set = patchtool::parse_patchset(*package);
+  if (!set) return set.status();
+
+  KSHOT_RETURN_IF_ERROR(store_package(kRawRegion, *package));
+  raw_size_ = package->size();
+  processed_size_ = 0;
+
+  PackageStats stats;
+  stats.functions = static_cast<u32>(set->patches.size());
+  stats.code_bytes = static_cast<u32>(set->total_code_bytes());
+  stats.package_bytes = static_cast<u32>(package->size());
+  return stats.serialize();
+}
+
+Result<Bytes> KshotEnclave::do_preprocess() {
+  if (raw_size_ == 0) {
+    return Status{Errc::kFailedPrecondition, "no package fetched"};
+  }
+  auto raw = load_package(kRawRegion);
+  if (!raw) return raw.status();
+  auto set_r = patchtool::parse_patchset(*raw);
+  if (!set_r) return set_r.status();
+  patchtool::PatchSet set = std::move(*set_r);
+  patchtool::PatchOp op = set.patches.empty()
+                              ? patchtool::PatchOp::kPatch
+                              : set.patches[0].op;
+
+  // 1. Lay the patched functions out in mem_X (paper §V-C: p1 at the base,
+  //    p_i at p_{i-1}.paddr + p_{i-1}.size), 16-byte aligned.
+  for (auto& p : set.patches) {
+    u64 aligned = (mem_x_cursor_ + 15) & ~u64{15};
+    if (aligned + p.code.size() > geom_.mem_x_size) {
+      return Status{Errc::kResourceExhausted, "mem_X exhausted"};
+    }
+    p.paddr = geom_.mem_x_base + aligned;
+    mem_x_cursor_ = aligned + p.code.size();
+  }
+
+  // 2. Branch replacement: rewrite every external rel32 for the new home.
+  //    Intra-patch-set references resolve to the callee's mem_X body.
+  for (auto& p : set.patches) {
+    for (const auto& rel : p.relocs) {
+      u64 target;
+      if (rel.patch_index >= 0) {
+        if (static_cast<size_t>(rel.patch_index) >= set.patches.size()) {
+          return Status{Errc::kIntegrityFailure, "bad intra-set reloc"};
+        }
+        const auto& callee = set.patches[rel.patch_index];
+        target = callee.paddr + callee.ftrace_off;
+      } else {
+        target = rel.target;
+      }
+      if (rel.offset + 4 > p.code.size()) {
+        return Status{Errc::kIntegrityFailure, "reloc outside code"};
+      }
+      isa::retarget_rel32(MutByteSpan(p.code), rel.offset, p.paddr, target);
+    }
+    p.relocs.clear();  // fixups are baked into the code now
+  }
+
+  Bytes processed = patchtool::serialize_patchset(set, op);
+  KSHOT_RETURN_IF_ERROR(store_package(kProcessedRegion, processed));
+  processed_size_ = processed.size();
+
+  PackageStats stats;
+  stats.functions = static_cast<u32>(set.patches.size());
+  stats.code_bytes = static_cast<u32>(set.total_code_bytes());
+  stats.package_bytes = static_cast<u32>(processed.size());
+  return stats.serialize();
+}
+
+Result<Bytes> KshotEnclave::do_seal(ByteSpan input) {
+  if (processed_size_ == 0) {
+    return Status{Errc::kFailedPrecondition, "nothing preprocessed"};
+  }
+  if (processed_size_ + 64 > geom_.mem_w_size) {
+    return Status{Errc::kResourceExhausted,
+                  "package exceeds mem_W; use chunked staging"};
+  }
+  if (input.size() != 32) {
+    return Status{Errc::kInvalidArgument, "expected 32-byte SMM public key"};
+  }
+  crypto::X25519Key smm_pub;
+  std::memcpy(smm_pub.data(), input.data(), 32);
+
+  // Fresh enclave-side key for the SGX<->SMM session too.
+  crypto::DhKeyPair smm_session = crypto::dh_generate(rng_);
+  crypto::X25519Key shared =
+      crypto::dh_shared(smm_session.private_key, smm_pub);
+  crypto::Key256 key = crypto::derive_key(
+      ByteSpan(shared.data(), shared.size()), "sgx-smm");
+  crypto::Nonce96 nonce{};
+  rng_.fill(MutByteSpan(nonce.data(), nonce.size()));
+
+  auto processed = load_package(kProcessedRegion);
+  if (!processed) return processed.status();
+  Bytes sealed = crypto::seal(key, nonce, *processed).serialize();
+
+  ByteWriter out;
+  out.put_bytes(ByteSpan(smm_session.public_key.data(),
+                         smm_session.public_key.size()));
+  out.put_bytes(sealed);
+  return out.take();
+}
+
+Result<Bytes> KshotEnclave::do_begin_seal_chunked(ByteSpan input) {
+  if (processed_size_ == 0) {
+    return Status{Errc::kFailedPrecondition, "nothing preprocessed"};
+  }
+  ByteReader r(input);
+  auto pub_bytes = r.get_bytes(32);
+  auto max_plain = r.get_u32();
+  if (!pub_bytes || !max_plain || *max_plain < 256) {
+    return Status{Errc::kInvalidArgument, "bad chunking parameters"};
+  }
+  crypto::X25519Key smm_pub;
+  std::memcpy(smm_pub.data(), pub_bytes->data(), 32);
+
+  crypto::DhKeyPair session = crypto::dh_generate(rng_);
+  crypto::X25519Key shared = crypto::dh_shared(session.private_key, smm_pub);
+  chunk_key_ = crypto::derive_key(ByteSpan(shared.data(), shared.size()),
+                                  "sgx-smm-stream");
+  chunk_plain_bytes_ = *max_plain - 8;  // room for the {index,total} header
+  chunk_count_ = static_cast<u32>(
+      (processed_size_ + chunk_plain_bytes_ - 1) / chunk_plain_bytes_);
+  chunking_ = true;
+
+  ByteWriter out;
+  out.put_bytes(
+      ByteSpan(session.public_key.data(), session.public_key.size()));
+  out.put_u32(chunk_count_);
+  return out.take();
+}
+
+Result<Bytes> KshotEnclave::do_get_chunk(ByteSpan input) {
+  if (!chunking_) {
+    return Status{Errc::kFailedPrecondition, "chunking not set up"};
+  }
+  ByteReader r(input);
+  auto index = r.get_u32();
+  if (!index || *index >= chunk_count_) {
+    return Status{Errc::kInvalidArgument, "bad chunk index"};
+  }
+  auto processed = load_package(kProcessedRegion);
+  if (!processed) return processed.status();
+
+  u64 off = static_cast<u64>(*index) * chunk_plain_bytes_;
+  u64 len = std::min<u64>(chunk_plain_bytes_, processed->size() - off);
+
+  // Authenticated chunk header + payload slice.
+  ByteWriter plain;
+  plain.put_u32(*index);
+  plain.put_u32(chunk_count_);
+  plain.put_bytes(ByteSpan(*processed).subspan(off, len));
+
+  // Nonce: per-chunk, derived from the index — never reused under this
+  // stream's fresh key.
+  crypto::Nonce96 nonce{};
+  store_u32(nonce.data(), *index);
+  nonce[11] = 0x5C;  // stream-mode domain separator
+  return crypto::seal(chunk_key_, nonce, plain.bytes()).serialize();
+}
+
+// ---- EPC package storage ----------------------------------------------------
+
+Status KshotEnclave::store_package(u64 region, ByteSpan data) {
+  u64 half = (epc_size() - kRegionHeader) / 2;
+  if (data.size() + 8 > half) {
+    return {Errc::kResourceExhausted, "package exceeds EPC region"};
+  }
+  u64 base = kRegionHeader + region * half;
+  ByteWriter w;
+  w.put_u64(data.size());
+  w.put_bytes(data);
+  return epc_write(base, w.bytes());
+}
+
+Result<Bytes> KshotEnclave::load_package(u64 region) const {
+  u64 half = (epc_size() - kRegionHeader) / 2;
+  u64 base = kRegionHeader + region * half;
+  auto hdr = epc_read(base, 8);
+  if (!hdr) return hdr.status();
+  u64 size = load_u64(hdr->data());
+  if (size == 0 || size > half - 8) {
+    return Status{Errc::kInternal, "corrupt EPC package header"};
+  }
+  return epc_read(base + 8, size);
+}
+
+}  // namespace kshot::core

@@ -1,0 +1,117 @@
+// The KShot SGX enclave (paper §V-B "SGX-based Patch Preparation").
+//
+// All patch plaintext and private keys live in the enclave's EPC slice; the
+// untrusted helper application only ever relays opaque wire blobs:
+//
+//   ecall kBeginFetch   -> attested PatchRequest wire (app sends to server)
+//   ecall kFinishFetch  <- PatchResponse wire (app got from server); the
+//                          enclave unseals and integrity-checks the package
+//   ecall kPreprocess   -> lays the patch functions out in mem_X, applies
+//                          branch/relocation fixups, formats the package
+//   ecall kSeal         <- SMM's session public key (app read the mailbox);
+//                          returns the encrypted package + enclave pub key
+//                          for the app to place in mem_W / mem_RW
+#pragma once
+
+#include "core/mailbox.hpp"
+#include "kernel/kernel.hpp"
+#include "netsim/protocol.hpp"
+#include "patchtool/package.hpp"
+#include "sgx/sgx.hpp"
+
+namespace kshot::core {
+
+/// ECALL function numbers.
+enum EnclaveCall : int {
+  kEcallInitialize = 1,
+  kEcallBeginFetch = 2,
+  kEcallFinishFetch = 3,
+  kEcallPreprocess = 4,
+  kEcallSeal = 5,
+  kEcallBeginSealChunked = 6,  // set up streaming; returns chunk count
+  kEcallGetChunk = 7,          // one sealed chunk by index
+};
+
+/// Geometry of the reserved region, passed to the enclave at initialization.
+struct ReservedGeometry {
+  u64 mem_x_base = 0;
+  u64 mem_x_size = 0;
+  u64 mem_w_size = 0;
+
+  Bytes serialize() const;
+  static Result<ReservedGeometry> deserialize(ByteSpan wire);
+};
+
+/// Summary returned by kFinishFetch / kPreprocess.
+struct PackageStats {
+  u32 functions = 0;
+  u32 code_bytes = 0;
+  u32 package_bytes = 0;
+
+  Bytes serialize() const;
+  static Result<PackageStats> deserialize(ByteSpan wire);
+};
+
+class KshotEnclave final : public sgx::Enclave {
+ public:
+  KshotEnclave(kernel::OsInfo os, u64 entropy_seed);
+
+  /// Typed wrappers over ecall() for the helper application.
+  Status initialize(const ReservedGeometry& geom);
+  Result<Bytes> begin_fetch(const std::string& patch_id,
+                            netsim::PatchRequest::Op op);
+  Result<PackageStats> finish_fetch(ByteSpan response_wire);
+  Result<PackageStats> preprocess();
+  /// Returns enclave_pub(32) || sealed package wire.
+  Result<Bytes> seal_for_smm(const crypto::X25519Key& smm_pub);
+
+  /// Streaming mode for packages larger than mem_W: sets up per-chunk
+  /// sealing under the SMM session key. Returns enclave_pub(32) || u32
+  /// chunk count. Each chunk's sealed plaintext carries an authenticated
+  /// {index, total} header so the SMM side can enforce ordering.
+  Result<Bytes> begin_seal_chunked(const crypto::X25519Key& smm_pub,
+                                   u32 max_chunk_plain_bytes);
+  /// One sealed chunk (SealedBox wire) by index.
+  Result<Bytes> get_chunk(u32 index);
+
+  /// mem_X bytes consumed so far by preprocessing layout.
+  [[nodiscard]] u64 mem_x_cursor() const { return mem_x_cursor_; }
+  /// Resets the mem_X layout cursor (fresh reserved region).
+  void reset_mem_x_cursor() { mem_x_cursor_ = 0; }
+
+ protected:
+  Result<Bytes> handle_ecall(int fn, ByteSpan input) override;
+
+ private:
+  Result<Bytes> do_begin_fetch(ByteSpan input);
+  Result<Bytes> do_finish_fetch(ByteSpan input);
+  Result<Bytes> do_preprocess();
+  Result<Bytes> do_seal(ByteSpan input);
+  Result<Bytes> do_begin_seal_chunked(ByteSpan input);
+  Result<Bytes> do_get_chunk(ByteSpan input);
+
+  // EPC-backed package storage.
+  Status store_package(u64 region, ByteSpan data);
+  Result<Bytes> load_package(u64 region) const;
+
+  kernel::OsInfo os_;
+  ReservedGeometry geom_{};
+  Rng rng_;  // enclave-internal entropy (RDRAND analogue)
+  bool initialized_ = false;
+
+  // DH key for the server session; private part conceptually EPC-resident.
+  crypto::DhKeyPair server_session_{};
+  bool fetch_in_flight_ = false;
+
+  u64 mem_x_cursor_ = 0;
+  u64 raw_size_ = 0;
+  u64 processed_size_ = 0;
+
+  // Streaming-seal state.
+  bool chunking_ = false;
+  crypto::Key256 chunk_key_{};
+  u32 chunk_plain_bytes_ = 0;
+  u32 chunk_count_ = 0;
+};
+
+}  // namespace kshot::core

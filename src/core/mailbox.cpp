@@ -1,0 +1,87 @@
+#include "core/mailbox.hpp"
+
+namespace kshot::core {
+
+Status Mailbox::write_command(SmmCommand cmd) {
+  return mem_.write_u64(base_ + MailboxLayout::kCommand,
+                        static_cast<u64>(cmd), mode_);
+}
+
+Result<SmmCommand> Mailbox::read_command() const {
+  auto v = mem_.read_u64(base_ + MailboxLayout::kCommand, mode_);
+  if (!v) return v.status();
+  if (*v > static_cast<u64>(SmmCommand::kStageChunk)) {
+    return SmmCommand::kIdle;
+  }
+  return static_cast<SmmCommand>(*v);
+}
+
+Status Mailbox::write_status(SmmStatus st) {
+  return mem_.write_u64(base_ + MailboxLayout::kStatus, static_cast<u64>(st),
+                        mode_);
+}
+
+Result<SmmStatus> Mailbox::read_status() const {
+  auto v = mem_.read_u64(base_ + MailboxLayout::kStatus, mode_);
+  if (!v) return v.status();
+  return static_cast<SmmStatus>(*v);
+}
+
+namespace {
+Status write_key(machine::PhysMem& mem, PhysAddr addr,
+                 const crypto::X25519Key& k, machine::AccessMode mode) {
+  return mem.write(addr, ByteSpan(k.data(), k.size()), mode);
+}
+
+Result<crypto::X25519Key> read_key(const machine::PhysMem& mem, PhysAddr addr,
+                                   machine::AccessMode mode) {
+  crypto::X25519Key k{};
+  Status st = mem.read(addr, MutByteSpan(k.data(), k.size()), mode);
+  if (!st.is_ok()) return st;
+  return k;
+}
+}  // namespace
+
+Status Mailbox::write_enclave_pub(const crypto::X25519Key& k) {
+  return write_key(mem_, base_ + MailboxLayout::kEnclavePub, k, mode_);
+}
+
+Result<crypto::X25519Key> Mailbox::read_enclave_pub() const {
+  return read_key(mem_, base_ + MailboxLayout::kEnclavePub, mode_);
+}
+
+Status Mailbox::write_smm_pub(const crypto::X25519Key& k) {
+  return write_key(mem_, base_ + MailboxLayout::kSmmPub, k, mode_);
+}
+
+Result<crypto::X25519Key> Mailbox::read_smm_pub() const {
+  return read_key(mem_, base_ + MailboxLayout::kSmmPub, mode_);
+}
+
+Status Mailbox::write_staged_size(u64 n) {
+  return mem_.write_u64(base_ + MailboxLayout::kStagedSize, n, mode_);
+}
+
+Result<u64> Mailbox::read_staged_size() const {
+  return mem_.read_u64(base_ + MailboxLayout::kStagedSize, mode_);
+}
+
+Status Mailbox::bump_heartbeat() {
+  auto v = mem_.read_u64(base_ + MailboxLayout::kHeartbeat, mode_);
+  if (!v) return v.status();
+  return mem_.write_u64(base_ + MailboxLayout::kHeartbeat, *v + 1, mode_);
+}
+
+Result<u64> Mailbox::read_heartbeat() const {
+  return mem_.read_u64(base_ + MailboxLayout::kHeartbeat, mode_);
+}
+
+Status Mailbox::write_session_id(u64 id) {
+  return mem_.write_u64(base_ + MailboxLayout::kSessionId, id, mode_);
+}
+
+Result<u64> Mailbox::read_session_id() const {
+  return mem_.read_u64(base_ + MailboxLayout::kSessionId, mode_);
+}
+
+}  // namespace kshot::core

@@ -1,0 +1,78 @@
+// The mem_RW mailbox: the only memory both the (untrusted-app-mediated) SGX
+// side and the SMM handler use for control data. Everything here is
+// *untrusted plumbing* — a rootkit can scribble over it — so the design
+// only ever places public values (DH public keys, sizes, command codes) and
+// SMM-written status here. Secrets never touch it; tampering at worst
+// causes a detected integrity failure.
+#pragma once
+
+#include "common/status.hpp"
+#include "crypto/x25519.hpp"
+#include "machine/phys_mem.hpp"
+
+namespace kshot::core {
+
+/// SMI commands written to the mailbox before triggering the SMI.
+enum class SmmCommand : u64 {
+  kIdle = 0,
+  kBeginSession = 1,  // generate a fresh DH key pair, publish the public key
+  kApplyPatch = 2,    // decrypt/verify/apply the package staged in mem_W
+  kRollback = 3,      // restore original bytes of the last applied patch
+  kIntrospect = 4,    // verify installed patches + reserved-region attrs
+  kStageChunk = 5,    // streaming mode: accept one sealed chunk from mem_W;
+                      // the final chunk triggers verify + apply
+};
+
+/// SMM status codes (mirrored into PatchReport).
+enum class SmmStatus : u64 {
+  kOk = 0,
+  kNothingStaged = 1,
+  kMacFailure = 2,      // mem_W contents failed authenticated decryption
+  kDigestFailure = 3,   // package digest / CRC mismatch
+  kBadPackage = 4,      // malformed or out-of-bounds package
+  kNoSession = 5,       // kApplyPatch without kBeginSession
+  kNothingToRollback = 6,
+  kBadCommand = 7,
+  kChunkAccepted = 8,   // streaming: chunk stored, send the next one
+  kChunkOutOfOrder = 9, // streaming: unexpected index; session aborted
+};
+
+/// Field offsets within mem_RW.
+struct MailboxLayout {
+  static constexpr u64 kCommand = 0x00;        // u64 SmmCommand
+  static constexpr u64 kEnclavePub = 0x08;     // 32 bytes
+  static constexpr u64 kSmmPub = 0x28;         // 32 bytes
+  static constexpr u64 kStagedSize = 0x48;     // u64: bytes staged in mem_W
+  static constexpr u64 kStatus = 0x50;         // u64 SmmStatus
+  static constexpr u64 kHeartbeat = 0x58;      // u64: incremented per SMI
+  static constexpr u64 kSessionId = 0x60;      // u64: bumped per session
+};
+
+/// Typed accessor over the mailbox for a given access mode.
+class Mailbox {
+ public:
+  Mailbox(machine::PhysMem& mem, PhysAddr base, machine::AccessMode mode)
+      : mem_(mem), base_(base), mode_(mode) {}
+
+  Status write_command(SmmCommand cmd);
+  Result<SmmCommand> read_command() const;
+  Status write_status(SmmStatus st);
+  Result<SmmStatus> read_status() const;
+  Status write_enclave_pub(const crypto::X25519Key& k);
+  Result<crypto::X25519Key> read_enclave_pub() const;
+  Status write_smm_pub(const crypto::X25519Key& k);
+  Result<crypto::X25519Key> read_smm_pub() const;
+  Status write_staged_size(u64 n);
+  Result<u64> read_staged_size() const;
+  Status bump_heartbeat();
+  Result<u64> read_heartbeat() const;
+  Status write_session_id(u64 id);
+  Result<u64> read_session_id() const;
+
+ private:
+  machine::PhysMem& mem_;
+  PhysAddr base_;
+  machine::AccessMode mode_;
+};
+
+}  // namespace kshot::core

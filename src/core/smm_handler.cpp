@@ -1,0 +1,464 @@
+#include "core/smm_handler.hpp"
+
+#include <cstring>
+
+#include "common/byte_io.hpp"
+#include "common/log.hpp"
+#include "crypto/x25519.hpp"
+
+namespace kshot::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ns_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+}
+
+/// Builds the 5-byte jmp encoding for a trampoline at `jmp_addr` reaching
+/// `target`: E9 rel32 with rel32 relative to the end of the instruction.
+std::array<u8, 5> make_jmp(u64 jmp_addr, u64 target) {
+  std::array<u8, 5> bytes{};
+  bytes[0] = 0xE9;
+  i64 rel = static_cast<i64>(target) - static_cast<i64>(jmp_addr + 5);
+  store_u32(bytes.data() + 1, static_cast<u32>(static_cast<i32>(rel)));
+  return bytes;
+}
+
+}  // namespace
+
+SmmPatchHandler::SmmPatchHandler(kernel::MemoryLayout layout, u64 entropy_seed)
+    : layout_(layout), rng_(entropy_seed) {}
+
+void SmmPatchHandler::on_smi(machine::Machine& m) {
+  Mailbox mbox(m.mem(), layout_.mem_rw_base(), machine::AccessMode::smm());
+  mbox.bump_heartbeat();
+
+  auto cmd = mbox.read_command();
+  if (!cmd) return;
+  switch (*cmd) {
+    case SmmCommand::kIdle:
+      // Watchdog SMI: nothing requested, so guard the installed patches.
+      if (introspect_on_idle_) introspect(m);
+      return;
+    case SmmCommand::kBeginSession:
+      begin_session(m, mbox);
+      mbox.write_status(SmmStatus::kOk);
+      break;
+    case SmmCommand::kApplyPatch:
+      mbox.write_status(apply_patch(m, mbox));
+      break;
+    case SmmCommand::kStageChunk:
+      mbox.write_status(stage_chunk(m, mbox));
+      break;
+    case SmmCommand::kRollback:
+      mbox.write_status(rollback(m));
+      break;
+    case SmmCommand::kIntrospect:
+      introspect(m);
+      mbox.write_status(SmmStatus::kOk);
+      break;
+  }
+  mbox.write_command(SmmCommand::kIdle);
+}
+
+void SmmPatchHandler::begin_session(machine::Machine& m, Mailbox& mbox) {
+  auto t0 = Clock::now();
+  session_keys_ = crypto::dh_generate(rng_);
+  timings_.keygen_ns = ns_since(t0);
+  m.charge_cycles(m.cost_model().keygen_cycles);
+
+  ++sessions_;
+  ++session_id_;
+  mbox.write_smm_pub(session_keys_->public_key);
+  mbox.write_session_id(session_id_);
+}
+
+bool SmmPatchHandler::bounds_ok(const patchtool::FunctionPatch& p) const {
+  u64 memx_base = layout_.mem_x_base();
+  u64 memx_end = memx_base + layout_.mem_x_size;
+  if (p.paddr < memx_base || p.paddr + p.code.size() > memx_end) return false;
+  if (p.taddr != 0) {
+    u64 text_end = layout_.text_base + layout_.text_max;
+    if (p.taddr < layout_.text_base ||
+        p.taddr + p.ftrace_off + 5 > text_end) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SmmStatus SmmPatchHandler::apply_patch(machine::Machine& m, Mailbox& mbox) {
+  const auto mode = machine::AccessMode::smm();
+  const auto& cost = m.cost_model();
+
+  if (!session_keys_.has_value()) return SmmStatus::kNoSession;
+  auto staged = mbox.read_staged_size();
+  if (!staged || *staged == 0) return SmmStatus::kNothingStaged;
+  if (*staged > layout_.mem_w_size) return SmmStatus::kBadPackage;
+
+  // ---- Data fetching + decryption (Table III "Data Decryption") ----------
+  auto t0 = Clock::now();
+  auto sealed_wire = m.mem().read_bytes(layout_.mem_w_base(), *staged, mode);
+  if (!sealed_wire) return SmmStatus::kBadPackage;
+  auto enclave_pub = mbox.read_enclave_pub();
+  if (!enclave_pub) return SmmStatus::kBadPackage;
+
+  crypto::X25519Key shared =
+      crypto::dh_shared(session_keys_->private_key, *enclave_pub);
+  crypto::Key256 key = crypto::derive_key(
+      ByteSpan(shared.data(), shared.size()), "sgx-smm");
+  auto box = crypto::SealedBox::deserialize(*sealed_wire);
+  if (!box) {
+    // Undecodable staging is indistinguishable from tampering; burn the
+    // session either way.
+    session_keys_.reset();
+    return SmmStatus::kMacFailure;
+  }
+  auto package = crypto::open(key, *box);
+  timings_.decrypt_ns = ns_since(t0);
+  m.charge_cycles(cost.bytes_cost(cost.decrypt_cycles_per_byte, *staged));
+  if (!package) {
+    // MAC failure: tampered mem_W or a replayed blob from an old session.
+    session_keys_.reset();
+    return SmmStatus::kMacFailure;
+  }
+
+  // Session keys are single-use: replaying this exact ciphertext later
+  // cannot succeed (paper §V-C).
+  session_keys_.reset();
+
+  return verify_and_apply(m, *package, *staged);
+}
+
+SmmStatus SmmPatchHandler::verify_and_apply(machine::Machine& m,
+                                            const Bytes& package,
+                                            size_t staged_bytes) {
+  const auto& cost = m.cost_model();
+
+  // ---- Patch verification (Table III "Patch Verification": SHA-2 digest
+  //      over the package plus per-function CRCs, done by the parser) ------
+  auto t0 = Clock::now();
+  auto set = patchtool::parse_patchset(package);
+  timings_.verify_ns = ns_since(t0);
+  m.charge_cycles(cost.verify_fixed_cycles +
+                  cost.bytes_cost(cost.verify_cycles_per_byte,
+                                  package.size()));
+  if (!set) {
+    return set.status().code() == Errc::kIntegrityFailure
+               ? SmmStatus::kDigestFailure
+               : SmmStatus::kBadPackage;
+  }
+
+  timings_.package_bytes = package.size();
+  timings_.code_bytes = set->total_code_bytes();
+  timings_.functions = static_cast<u32>(set->patches.size());
+
+  // ---- Patch application (Table III "Patch Application") ------------------
+  t0 = Clock::now();
+  SmmStatus st;
+  if (!set->patches.empty() &&
+      set->patches[0].op == patchtool::PatchOp::kRollback) {
+    st = rollback_parsed(m, *set);
+  } else {
+    st = apply_parsed(m, *set);
+  }
+  timings_.apply_ns = ns_since(t0);
+  m.charge_cycles(cost.bytes_cost(cost.apply_cycles_per_byte,
+                                  set->total_code_bytes()));
+  timings_.modeled_cycles =
+      cost.keygen_cycles +
+      cost.bytes_cost(cost.decrypt_cycles_per_byte, staged_bytes) +
+      cost.verify_fixed_cycles +
+      cost.bytes_cost(cost.verify_cycles_per_byte, package.size()) +
+      cost.bytes_cost(cost.apply_cycles_per_byte, set->total_code_bytes());
+  return st;
+}
+
+SmmStatus SmmPatchHandler::stage_chunk(machine::Machine& m, Mailbox& mbox) {
+  const auto mode = machine::AccessMode::smm();
+  constexpr u32 kMaxChunks = 4096;
+  constexpr size_t kMaxStreamBytes = 256ull << 20;
+
+  auto abort_stream = [&]() {
+    stream_key_.reset();
+    stream_buffer_.clear();
+    stream_expected_ = 0;
+    stream_total_ = 0;
+  };
+
+  // First chunk: consume the session key and derive the stream key.
+  if (!stream_key_.has_value()) {
+    if (!session_keys_.has_value()) return SmmStatus::kNoSession;
+    auto enclave_pub = mbox.read_enclave_pub();
+    if (!enclave_pub) return SmmStatus::kBadPackage;
+    crypto::X25519Key shared =
+        crypto::dh_shared(session_keys_->private_key, *enclave_pub);
+    stream_key_ = crypto::derive_key(ByteSpan(shared.data(), shared.size()),
+                                     "sgx-smm-stream");
+    session_keys_.reset();
+    stream_expected_ = 0;
+    stream_total_ = 0;
+    stream_buffer_.clear();
+  }
+
+  auto staged = mbox.read_staged_size();
+  if (!staged || *staged == 0) {
+    abort_stream();
+    return SmmStatus::kNothingStaged;
+  }
+  if (*staged > layout_.mem_w_size) {
+    abort_stream();
+    return SmmStatus::kBadPackage;
+  }
+  auto sealed_wire = m.mem().read_bytes(layout_.mem_w_base(), *staged, mode);
+  if (!sealed_wire) {
+    abort_stream();
+    return SmmStatus::kBadPackage;
+  }
+  auto box = crypto::SealedBox::deserialize(*sealed_wire);
+  if (!box) {
+    abort_stream();
+    return SmmStatus::kMacFailure;
+  }
+  // Enforce the expected index through the nonce: a chunk sealed for a
+  // different position cannot authenticate.
+  crypto::Nonce96 want_nonce{};
+  store_u32(want_nonce.data(), stream_expected_);
+  want_nonce[11] = 0x5C;
+  if (box->nonce != want_nonce) {
+    abort_stream();
+    return SmmStatus::kChunkOutOfOrder;
+  }
+  auto plain = crypto::open(*stream_key_, *box);
+  m.charge_cycles(m.cost_model().bytes_cost(
+      m.cost_model().decrypt_cycles_per_byte, *staged));
+  if (!plain) {
+    abort_stream();
+    return SmmStatus::kMacFailure;
+  }
+
+  ByteReader r(*plain);
+  auto index = r.get_u32();
+  auto total = r.get_u32();
+  if (!index || !total || *index != stream_expected_ || *total == 0 ||
+      *total > kMaxChunks || (stream_total_ != 0 && *total != stream_total_)) {
+    abort_stream();
+    return SmmStatus::kChunkOutOfOrder;
+  }
+  stream_total_ = *total;
+  auto payload = r.get_bytes(r.remaining());
+  if (stream_buffer_.size() + payload->size() > kMaxStreamBytes) {
+    abort_stream();
+    return SmmStatus::kBadPackage;
+  }
+  stream_buffer_.insert(stream_buffer_.end(), payload->begin(),
+                        payload->end());
+  ++stream_expected_;
+
+  if (stream_expected_ < stream_total_) return SmmStatus::kChunkAccepted;
+
+  // Final chunk: the accumulated plaintext is the full package.
+  Bytes package = std::move(stream_buffer_);
+  size_t staged_total = package.size();
+  abort_stream();
+  return verify_and_apply(m, package, staged_total);
+}
+
+SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
+                                        const patchtool::PatchSet& set) {
+  const auto mode = machine::AccessMode::smm();
+
+  // Validate everything before touching memory: the whole set applies or
+  // nothing does.
+  for (const auto& p : set.patches) {
+    if (!bounds_ok(p)) return SmmStatus::kBadPackage;
+    if (!p.relocs.empty()) return SmmStatus::kBadPackage;  // not preprocessed
+  }
+
+  // 1. Global/shared variable edits (paper: before redirection).
+  for (const auto& p : set.patches) {
+    for (const auto& v : p.var_edits) {
+      if (v.addr < layout_.data_base ||
+          v.addr + 8 > layout_.data_base + layout_.data_max) {
+        return SmmStatus::kBadPackage;
+      }
+      m.mem().write_u64(v.addr, v.value, mode);
+    }
+  }
+
+  // 2. Place the patched bodies in mem_X.
+  std::vector<InstalledPatch> batch;
+  for (const auto& p : set.patches) {
+    m.mem().write(p.paddr, p.code, mode);
+    InstalledPatch inst;
+    inst.name = p.name;
+    inst.taddr = p.taddr;
+    inst.paddr = p.paddr;
+    inst.ftrace_off = p.ftrace_off;
+    inst.code_size = static_cast<u32>(p.code.size());
+    inst.memx_hash = crypto::sha256(p.code);
+    inst.code = p.code;  // SMRAM-kept authoritative copy (§V-D)
+    batch.push_back(std::move(inst));
+  }
+
+  // 3. Install trampolines, preserving the 5-byte kernel-tracing pad: the
+  //    jmp lands *after* it, and targets the patched body past its own pad.
+  last_apply_indices_.clear();
+  for (auto& inst : batch) {
+    if (inst.taddr == 0) {
+      // Newly added helper function: lives only in mem_X, no trampoline.
+      last_apply_indices_.push_back(installed_.size());
+      installed_.push_back(inst);
+      continue;
+    }
+    u64 jmp_addr = inst.taddr + inst.ftrace_off;
+    u64 target = inst.paddr + inst.ftrace_off;
+    m.mem().read(jmp_addr,
+                 MutByteSpan(inst.original_entry.data(), 5), mode);
+    inst.trampoline = make_jmp(jmp_addr, target);
+    Status st = write_trampoline(m, inst);
+    if (!st.is_ok()) return SmmStatus::kBadPackage;
+    last_apply_indices_.push_back(installed_.size());
+    installed_.push_back(inst);
+  }
+  ++applied_;
+  KSHOT_LOG(kInfo, "smm") << "applied " << set.id << ": "
+                          << set.patches.size() << " function(s)";
+  return SmmStatus::kOk;
+}
+
+Status SmmPatchHandler::write_trampoline(machine::Machine& m,
+                                         const InstalledPatch& p) {
+  return m.mem().write(p.taddr + p.ftrace_off,
+                       ByteSpan(p.trampoline.data(), p.trampoline.size()),
+                       machine::AccessMode::smm());
+}
+
+SmmStatus SmmPatchHandler::rollback_parsed(machine::Machine& m,
+                                           const patchtool::PatchSet& set) {
+  (void)set;  // a rollback package authorizes the operation; state is local
+  return rollback(m);
+}
+
+SmmStatus SmmPatchHandler::rollback(machine::Machine& m) {
+  if (last_apply_indices_.empty()) return SmmStatus::kNothingToRollback;
+  // Restore original entries in reverse order.
+  for (auto it = last_apply_indices_.rbegin();
+       it != last_apply_indices_.rend(); ++it) {
+    const InstalledPatch& p = installed_[*it];
+    if (p.taddr != 0) {
+      m.mem().write(p.taddr + p.ftrace_off,
+                    ByteSpan(p.original_entry.data(), 5),
+                    machine::AccessMode::smm());
+    }
+  }
+  // Drop the rolled-back records (highest indices first).
+  for (auto it = last_apply_indices_.rbegin();
+       it != last_apply_indices_.rend(); ++it) {
+    installed_.erase(installed_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  last_apply_indices_.clear();
+  ++rollbacks_;
+  KSHOT_LOG(kInfo, "smm") << "rolled back last patch";
+  return SmmStatus::kOk;
+}
+
+Status SmmPatchHandler::arm_kernel_guard(machine::Machine& m,
+                                         std::vector<MutableWindow> windows) {
+  auto text = m.mem().read_bytes(layout_.text_base, layout_.text_max,
+                                 machine::AccessMode::smm());
+  if (!text) return text.status();
+  pristine_text_ = std::move(*text);
+  guard_windows_ = std::move(windows);
+  guard_armed_ = true;
+  return Status::ok();
+}
+
+void SmmPatchHandler::introspect(machine::Machine& m) {
+  const auto mode = machine::AccessMode::smm();
+  IntrospectionReport rep;
+  rep.patches_checked = static_cast<u32>(installed_.size());
+
+  for (const auto& p : installed_) {
+    // Trampoline still present? (Malicious patch reversion, §V-D.)
+    if (p.taddr != 0) {
+      std::array<u8, 5> cur{};
+      m.mem().read(p.taddr + p.ftrace_off, MutByteSpan(cur.data(), 5), mode);
+      if (cur != p.trampoline) {
+        ++rep.trampolines_reverted;
+        write_trampoline(m, p);
+      }
+    }
+    // mem_X body intact?
+    auto body = m.mem().read_bytes(p.paddr, p.code_size, mode);
+    if (body) {
+      auto h = crypto::sha256(*body);
+      if (!crypto::digest_equal(h, p.memx_hash)) {
+        ++rep.memx_tampered;
+        // Repair from the authoritative copy kept in SMRAM, so the patched
+        // version persists (§V-D "Malicious Patch Reversion").
+        m.mem().write(p.paddr, p.code, mode);
+      }
+    }
+  }
+
+  // Reserved-region page attributes (a rootkit with page-table control could
+  // have re-opened mem_X for writing).
+  auto check_attrs = [&](PhysAddr base, size_t len, machine::PageAttr want) {
+    for (PhysAddr a = base; a < base + len; a += machine::kPageSize) {
+      machine::PageAttr got = m.mem().attrs_at(a);
+      if (got.read != want.read || got.write != want.write ||
+          got.exec != want.exec) {
+        ++rep.attrs_restored;
+        m.mem().set_attrs(a, machine::kPageSize, want);
+      }
+    }
+  };
+  check_attrs(layout_.mem_rw_base(), layout_.mem_rw_size,
+              {true, true, false, 0});
+  check_attrs(layout_.mem_w_base(), layout_.mem_w_size,
+              {false, true, false, 0});
+  check_attrs(layout_.mem_x_base(), layout_.mem_x_size,
+              {false, false, true, 0});
+
+  // Kernel-text guard: any byte differing from the trusted-boot snapshot —
+  // outside KShot's own trampolines and the kernel-mutable windows — is an
+  // unauthorized kernel modification; restore it.
+  if (guard_armed_) {
+    auto current = m.mem().read_bytes(layout_.text_base, pristine_text_.size(),
+                                      mode);
+    if (current) {
+      auto in_window = [&](u64 addr) {
+        for (const auto& w : guard_windows_) {
+          if (addr >= w.addr && addr < w.addr + w.len) return true;
+        }
+        for (const auto& p : installed_) {
+          if (p.taddr != 0 && addr >= p.taddr + p.ftrace_off &&
+              addr < p.taddr + p.ftrace_off + 5) {
+            return true;
+          }
+        }
+        return false;
+      };
+      for (size_t i = 0; i < current->size(); ++i) {
+        if ((*current)[i] == pristine_text_[i]) continue;
+        u64 addr = layout_.text_base + i;
+        if (in_window(addr)) continue;
+        m.mem().write(addr, ByteSpan(&pristine_text_[i], 1), mode);
+        ++rep.text_bytes_restored;
+      }
+    }
+  }
+
+  last_introspection_ = rep;
+  if (!rep.clean()) {
+    KSHOT_LOG(kWarn, "smm") << "introspection repaired tampering: "
+                            << rep.trampolines_reverted << " trampolines, "
+                            << rep.memx_tampered << " bodies, "
+                            << rep.attrs_restored << " pages";
+  }
+}
+
+}  // namespace kshot::core

@@ -1,0 +1,161 @@
+// The SMM handler (paper §V-C "SMM-based Live Patching" and §V-D "Patching
+// Protection"). In the real system this is firmware code resident in locked
+// SMRAM; here it is a native object whose mutable state models SMRAM-resident
+// data — the simulated kernel can only reach it by raising an SMI, and the
+// handler touches machine memory exclusively in SMM access mode.
+//
+// Per SMI it dispatches on the mem_RW mailbox command:
+//   kBeginSession  fresh DH key pair (5.2 us modeled), public key published
+//   kApplyPatch    read mem_W -> authenticated decrypt -> package digest +
+//                  per-function CRC verify -> global variable edits ->
+//                  copy bodies into mem_X -> install 5-byte jmp trampolines
+//   kRollback      restore the last patch's original entry bytes
+//   kIntrospect    re-check trampolines, mem_X hash and reserved-region page
+//                  attributes; repair anything a rootkit reverted
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <vector>
+
+#include "core/mailbox.hpp"
+#include "crypto/aead.hpp"
+#include "kernel/layout.hpp"
+#include "machine/machine.hpp"
+#include "patchtool/package.hpp"
+
+namespace kshot::core {
+
+/// Wall-clock nanoseconds of each SMM phase during the last kApplyPatch,
+/// plus the modeled virtual-time charges (Table III columns).
+struct SmmPatchTimings {
+  double keygen_ns = 0;       // measured in the last kBeginSession
+  double decrypt_ns = 0;      // mem_W read + DH shared secret + ChaCha20/MAC
+  double verify_ns = 0;       // package SHA-256 digest + per-function CRCs
+  double apply_ns = 0;        // var edits + mem_X copies + trampolines
+  u64 modeled_cycles = 0;     // total modeled SMM work (excl. SMI/RSM)
+  size_t package_bytes = 0;
+  size_t code_bytes = 0;
+  u32 functions = 0;
+};
+
+/// One installed trampoline, remembered for rollback and introspection.
+struct InstalledPatch {
+  std::string name;
+  u64 taddr = 0;
+  u64 paddr = 0;
+  u16 ftrace_off = 0;
+  u32 code_size = 0;
+  std::array<u8, 5> original_entry{};  // bytes replaced by the jmp
+  std::array<u8, 5> trampoline{};      // the jmp we wrote
+  crypto::Digest256 memx_hash{};       // hash of the mem_X body
+  Bytes code;                          // SMRAM-kept copy for repair
+};
+
+struct IntrospectionReport {
+  u32 patches_checked = 0;
+  u32 trampolines_reverted = 0;  // found tampered, repaired
+  u32 memx_tampered = 0;         // mem_X body hash mismatches, repaired
+  u32 attrs_restored = 0;        // reserved-region page attributes fixed
+  u32 text_bytes_restored = 0;   // kernel-text guard repairs (see below)
+  [[nodiscard]] bool clean() const {
+    return trampolines_reverted == 0 && memx_tampered == 0 &&
+           attrs_restored == 0 && text_bytes_restored == 0;
+  }
+};
+
+/// A byte range of kernel text the guard must treat as legitimately
+/// kernel-mutable (e.g. the 5-byte ftrace pads the dynamic tracer rewrites).
+struct MutableWindow {
+  u64 addr = 0;
+  u32 len = 0;
+};
+
+class SmmPatchHandler {
+ public:
+  explicit SmmPatchHandler(kernel::MemoryLayout layout, u64 entropy_seed);
+
+  /// The entry point registered with Machine::set_smm_handler.
+  void on_smi(machine::Machine& m);
+
+  /// Firmware configuration: run an introspection sweep on SMIs that carry
+  /// no command (the periodic watchdog SMIs).
+  void set_introspect_on_idle(bool v) { introspect_on_idle_ = v; }
+
+  /// Arms the kernel-text guard (the paper's §IV-A "kernel introspection
+  /// module for kernel protection"): snapshots the pristine kernel text
+  /// into SMRAM state; every introspection sweep thereafter detects and
+  /// restores any modification outside (a) KShot's own trampolines and
+  /// (b) the provided kernel-mutable windows (ftrace pads). Must be armed
+  /// at trusted-boot time, before untrusted code runs.
+  Status arm_kernel_guard(machine::Machine& m,
+                          std::vector<MutableWindow> windows);
+  [[nodiscard]] bool kernel_guard_armed() const { return guard_armed_; }
+
+  // SMRAM-resident state inspection (harness/test access; simulated software
+  // cannot reach any of this).
+  [[nodiscard]] const SmmPatchTimings& last_timings() const {
+    return timings_;
+  }
+  [[nodiscard]] const std::vector<InstalledPatch>& installed() const {
+    return installed_;
+  }
+  [[nodiscard]] const IntrospectionReport& last_introspection() const {
+    return last_introspection_;
+  }
+  [[nodiscard]] u64 sessions_started() const { return sessions_; }
+  [[nodiscard]] u64 patches_applied() const { return applied_; }
+  [[nodiscard]] u64 rollbacks() const { return rollbacks_; }
+
+ private:
+  void begin_session(machine::Machine& m, Mailbox& mbox);
+  SmmStatus apply_patch(machine::Machine& m, Mailbox& mbox);
+  SmmStatus stage_chunk(machine::Machine& m, Mailbox& mbox);
+  SmmStatus rollback(machine::Machine& m);
+  void introspect(machine::Machine& m);
+
+  /// Shared tail of apply_patch / stage_chunk: verify the plaintext package
+  /// and apply it, charging costs and recording timings.
+  SmmStatus verify_and_apply(machine::Machine& m, const Bytes& package,
+                             size_t staged_bytes);
+
+  SmmStatus apply_parsed(machine::Machine& m,
+                         const patchtool::PatchSet& set);
+  SmmStatus rollback_parsed(machine::Machine& m,
+                            const patchtool::PatchSet& set);
+
+  Status write_trampoline(machine::Machine& m, const InstalledPatch& p);
+  [[nodiscard]] bool bounds_ok(const patchtool::FunctionPatch& p) const;
+
+  kernel::MemoryLayout layout_;
+  Rng rng_;  // hardware entropy for DH keys
+
+  // Session state (fresh per patch, defeating replay §V-C).
+  std::optional<crypto::DhKeyPair> session_keys_;
+  u64 session_id_ = 0;
+
+  // Streaming-mode state (SMRAM-resident accumulation buffer).
+  std::optional<crypto::Key256> stream_key_;
+  Bytes stream_buffer_;
+  u32 stream_expected_ = 0;
+  u32 stream_total_ = 0;
+
+  std::vector<InstalledPatch> installed_;
+  /// Patches from the most recent apply (the unit of rollback).
+  std::vector<size_t> last_apply_indices_;
+
+  bool introspect_on_idle_ = false;
+
+  // Kernel-text guard state (SMRAM-resident).
+  bool guard_armed_ = false;
+  Bytes pristine_text_;
+  std::vector<MutableWindow> guard_windows_;
+
+  SmmPatchTimings timings_;
+  IntrospectionReport last_introspection_;
+  u64 sessions_ = 0;
+  u64 applied_ = 0;
+  u64 rollbacks_ = 0;
+};
+
+}  // namespace kshot::core

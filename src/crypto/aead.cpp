@@ -1,0 +1,81 @@
+#include "crypto/aead.hpp"
+
+#include <cstring>
+
+#include "common/byte_io.hpp"
+
+namespace kshot::crypto {
+
+namespace {
+
+Digest256 mac_key(const Key256& key) {
+  ByteWriter w;
+  w.put_bytes(ByteSpan(key.data(), key.size()));
+  w.put_bytes(to_bytes(std::string("mac")));
+  return sha256(w.bytes());
+}
+
+Digest256 compute_mac(const Key256& key, const Nonce96& nonce,
+                      ByteSpan ciphertext) {
+  Digest256 mk = mac_key(key);
+  ByteWriter w;
+  w.put_bytes(ByteSpan(nonce.data(), nonce.size()));
+  w.put_bytes(ciphertext);
+  return hmac_sha256(ByteSpan(mk.data(), mk.size()), w.bytes());
+}
+
+}  // namespace
+
+Bytes SealedBox::serialize() const {
+  ByteWriter w;
+  w.put_bytes(ByteSpan(nonce.data(), nonce.size()));
+  w.put_u32(static_cast<u32>(ciphertext.size()));
+  w.put_bytes(ciphertext);
+  w.put_bytes(ByteSpan(mac.data(), mac.size()));
+  return w.take();
+}
+
+Result<SealedBox> SealedBox::deserialize(ByteSpan wire) {
+  ByteReader r(wire);
+  SealedBox box;
+  auto nonce = r.get_bytes(box.nonce.size());
+  if (!nonce) return nonce.status();
+  std::memcpy(box.nonce.data(), nonce->data(), box.nonce.size());
+  auto len = r.get_u32();
+  if (!len) return len.status();
+  auto ct = r.get_bytes(*len);
+  if (!ct) return ct.status();
+  box.ciphertext = std::move(*ct);
+  auto mac = r.get_bytes(box.mac.size());
+  if (!mac) return mac.status();
+  std::memcpy(box.mac.data(), mac->data(), box.mac.size());
+  return box;
+}
+
+SealedBox seal(const Key256& key, const Nonce96& nonce, ByteSpan plaintext) {
+  SealedBox box;
+  box.nonce = nonce;
+  box.ciphertext = chacha20(key, nonce, 1, plaintext);
+  box.mac = compute_mac(key, nonce, box.ciphertext);
+  return box;
+}
+
+Result<Bytes> open(const Key256& key, const SealedBox& box) {
+  Digest256 expect = compute_mac(key, box.nonce, box.ciphertext);
+  if (!digest_equal(expect, box.mac)) {
+    return {Errc::kIntegrityFailure, "AEAD MAC mismatch"};
+  }
+  return chacha20(key, box.nonce, 1, box.ciphertext);
+}
+
+Key256 derive_key(ByteSpan shared_secret, const std::string& label) {
+  ByteWriter w;
+  w.put_bytes(shared_secret);
+  w.put_bytes(to_bytes(label));
+  Digest256 d = sha256(w.bytes());
+  Key256 k;
+  std::memcpy(k.data(), d.data(), k.size());
+  return k;
+}
+
+}  // namespace kshot::crypto

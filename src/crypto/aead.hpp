@@ -1,0 +1,31 @@
+// Authenticated encryption envelope: ChaCha20 + HMAC-SHA256
+// (encrypt-then-MAC). Wraps the patch package for the server->enclave channel
+// and the enclave->SMM shared-memory handoff.
+#pragma once
+
+#include "common/status.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+
+namespace kshot::crypto {
+
+/// Wire layout: nonce(12) || ciphertext || mac(32).
+struct SealedBox {
+  Nonce96 nonce;
+  Bytes ciphertext;
+  Digest256 mac;
+
+  Bytes serialize() const;
+  static Result<SealedBox> deserialize(ByteSpan wire);
+};
+
+/// Seals plaintext under (enc = key, mac = HMAC(key || "mac")).
+SealedBox seal(const Key256& key, const Nonce96& nonce, ByteSpan plaintext);
+
+/// Opens a box; fails with kIntegrityFailure if the MAC does not verify.
+Result<Bytes> open(const Key256& key, const SealedBox& box);
+
+/// Derives a 256-bit key from a DH shared secret and a context label.
+Key256 derive_key(ByteSpan shared_secret, const std::string& label);
+
+}  // namespace kshot::crypto

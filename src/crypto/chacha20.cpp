@@ -1,0 +1,67 @@
+#include "crypto/chacha20.hpp"
+
+#include <cstring>
+
+#include "common/byte_io.hpp"
+
+namespace kshot::crypto {
+
+namespace {
+
+inline u32 rotl(u32 x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void quarter_round(u32& a, u32& b, u32& c, u32& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+}  // namespace
+
+void chacha20_block(const Key256& key, const Nonce96& nonce, u32 counter,
+                    u8 out[64]) {
+  u32 state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load_u32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load_u32(nonce.data() + 4 * i);
+
+  u32 x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) store_u32(out + 4 * i, x[i] + state[i]);
+}
+
+void chacha20_xor(const Key256& key, const Nonce96& nonce, u32 counter,
+                  MutByteSpan data) {
+  u8 block[64];
+  size_t off = 0;
+  while (off < data.size()) {
+    chacha20_block(key, nonce, counter++, block);
+    size_t n = std::min(data.size() - off, size_t{64});
+    for (size_t i = 0; i < n; ++i) data[off + i] ^= block[i];
+    off += n;
+  }
+}
+
+Bytes chacha20(const Key256& key, const Nonce96& nonce, u32 counter,
+               ByteSpan data) {
+  Bytes out(data.begin(), data.end());
+  chacha20_xor(key, nonce, counter, MutByteSpan(out));
+  return out;
+}
+
+}  // namespace kshot::crypto

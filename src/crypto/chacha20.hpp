@@ -1,0 +1,26 @@
+// ChaCha20 stream cipher (RFC 8439). Encrypts the binary patch in transit
+// (patch server -> enclave) and at rest in mem_W (enclave -> SMM handler).
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace kshot::crypto {
+
+using Key256 = std::array<u8, 32>;
+using Nonce96 = std::array<u8, 12>;
+
+/// XORs the keystream into `data` in place (encrypt == decrypt).
+void chacha20_xor(const Key256& key, const Nonce96& nonce, u32 counter,
+                  MutByteSpan data);
+
+/// Copying convenience.
+Bytes chacha20(const Key256& key, const Nonce96& nonce, u32 counter,
+               ByteSpan data);
+
+/// Raw ChaCha20 block function — exposed for tests against RFC vectors.
+void chacha20_block(const Key256& key, const Nonce96& nonce, u32 counter,
+                    u8 out[64]);
+
+}  // namespace kshot::crypto

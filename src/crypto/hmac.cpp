@@ -1,0 +1,39 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace kshot::crypto {
+
+Digest256 hmac_sha256(ByteSpan key, ByteSpan message) {
+  u8 k[64] = {0};
+  if (key.size() > 64) {
+    Digest256 kh = sha256(key);
+    std::memcpy(k, kh.data(), kh.size());
+  } else {
+    std::memcpy(k, key.data(), key.size());
+  }
+
+  u8 ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ByteSpan(ipad, 64));
+  inner.update(message);
+  Digest256 ih = inner.finish();
+
+  Sha256 outer;
+  outer.update(ByteSpan(opad, 64));
+  outer.update(ByteSpan(ih.data(), ih.size()));
+  return outer.finish();
+}
+
+bool digest_equal(const Digest256& a, const Digest256& b) {
+  u8 acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace kshot::crypto

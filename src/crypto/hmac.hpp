@@ -1,0 +1,15 @@
+// HMAC-SHA256 (RFC 2104). Authenticates patch-server messages and the
+// enclave→SMM shared-memory packages.
+#pragma once
+
+#include "crypto/sha256.hpp"
+
+namespace kshot::crypto {
+
+Digest256 hmac_sha256(ByteSpan key, ByteSpan message);
+
+/// Constant-time comparison of two digests (MAC checks must not leak
+/// position-of-first-difference timing).
+bool digest_equal(const Digest256& a, const Digest256& b);
+
+}  // namespace kshot::crypto

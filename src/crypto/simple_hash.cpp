@@ -1,0 +1,41 @@
+#include "crypto/simple_hash.hpp"
+
+#include <array>
+
+namespace kshot::crypto {
+
+u64 sdbm(ByteSpan data) {
+  u64 h = 0;
+  for (u8 c : data) h = c + (h << 6) + (h << 16) - h;
+  return h;
+}
+
+u64 fnv1a(ByteSpan data) {
+  u64 h = 0xcbf29ce484222325ULL;
+  for (u8 c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+std::array<u32, 256> make_crc_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+u32 crc32(ByteSpan data) {
+  static const std::array<u32, 256> table = make_crc_table();
+  u32 c = 0xFFFFFFFFu;
+  for (u8 b : data) c = table[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace kshot::crypto

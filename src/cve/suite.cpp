@@ -1,0 +1,399 @@
+#include "cve/suite.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+namespace kshot::cve {
+
+namespace {
+
+/// How a case exercises global/shared data (Type 3 flavors).
+enum class GlobalMode {
+  kNone,    // no data changes
+  kAdd,     // post-patch source adds a new global
+  kModify,  // post-patch source changes an existing global's value
+};
+
+struct Spec {
+  const char* id;
+  const char* kernel;
+  std::vector<const char*> functions;  // Table I affected functions
+  int loc;
+  const char* types;
+  GlobalMode gmode = GlobalMode::kNone;
+  /// For kAdd: index into `functions` naming the added variable rather than
+  /// a function (CVE-2014-3690 lists the struct field vmcs_host_cr4).
+  int var_name_index = -1;
+};
+
+// Table I, transcribed. 2014/2015 CVEs target sim-3.14, later ones sim-4.4.
+// CVE-2014-4608 (last) is the §VI-C3 / Fig. 4-5 extra case.
+const std::vector<Spec>& specs() {
+  static const std::vector<Spec> kSpecs = {
+      {"CVE-2014-0196", "sim-3.14", {"n_tty_write"}, 86, "1"},
+      {"CVE-2014-3687", "sim-3.14",
+       {"scp_chunk_pending", "ctp_assoc_lookup_asconf_ack"}, 16, "1,2"},
+      {"CVE-2014-3690", "sim-3.14",
+       {"vmx_vcpu_run", "vmcs_host_cr4", "vmx_set_constant_host_state"}, 247,
+       "3", GlobalMode::kAdd, 1},
+      {"CVE-2014-4157", "sim-3.14", {"current_thread_info"}, 5, "2"},
+      {"CVE-2014-5077", "sim-3.14", {"scpct_assoce_update"}, 98, "1"},
+      {"CVE-2014-8206", "sim-3.14", {"do_remount"}, 34, "2"},
+      {"CVE-2014-7842", "sim-3.14", {"handle_emulation_failure"}, 16, "1"},
+      {"CVE-2014-8133", "sim-3.14", {"set_tls_desc", "regset_tls_set"}, 81,
+       "1,2"},
+      {"CVE-2015-1333", "sim-3.14", {"__key_link_end"}, 21, "1"},
+      {"CVE-2015-1421", "sim-3.14", {"scpct_assoce_update"}, 96, "1"},
+      {"CVE-2015-5707", "sim-3.14", {"sg_start_req"}, 117, "1"},
+      {"CVE-2015-7172", "sim-3.14",
+       {"key_gc_unused_keys", "request_key_and_link"}, 20, "1"},
+      {"CVE-2015-8812", "sim-3.14",
+       {"iwch_li2_send", "iwch_cxgb3_ofld_send"}, 26, "1"},
+      {"CVE-2015-8963", "sim-3.14",
+       {"perf_swevent_add", "swevent_hist_get_cpu",
+        "perf_event_exit_cpu_context"},
+       72, "3", GlobalMode::kModify},
+      {"CVE-2015-8964", "sim-3.14", {"tty_set_termios_ldisc"}, 10, "2"},
+      {"CVE-2016-2143", "sim-4.4",
+       {"init_new_context", "pgd_alloc", "pgd_free"}, 53, "2"},
+      {"CVE-2016-2543", "sim-4.4", {"snd_seq_ioctl_remove_events"}, 25, "1"},
+      {"CVE-2016-4578", "sim-4.4", {"snd_timer_user_callback"}, 24, "1"},
+      {"CVE-2016-4580", "sim-4.4", {"x25_negotiate_facilities"}, 67, "1"},
+      {"CVE-2016-5195", "sim-4.4", {"follow_page_pte", "faulti_page"}, 229,
+       "1,3", GlobalMode::kAdd},
+      {"CVE-2016-5829", "sim-4.4", {"hiddev_ioctl_usage"}, 119, "1"},
+      {"CVE-2016-7914", "sim-4.4",
+       {"assoc_array_insert__into_terminal_node"}, 330, "1"},
+      {"CVE-2016-7916", "sim-4.4", {"environ_read"}, 63, "1"},
+      {"CVE-2017-6347", "sim-4.4", {"ip_msg_recv_checksum"}, 15, "2"},
+      {"CVE-2017-8251", "sim-4.4", {"omninetc_open"}, 9, "2"},
+      {"CVE-2017-16994", "sim-4.4", {"walk_page_range"}, 27, "1"},
+      {"CVE-2017-17053", "sim-4.4", {"init_new_context"}, 13, "2"},
+      {"CVE-2017-17806", "sim-4.4",
+       {"hmac_create", "crypto_hash_algs_setkey"}, 91, "1,2"},
+      {"CVE-2017-18270", "sim-4.4",
+       {"install_user_keyring", "join_session_keyring"}, 273, "1,2"},
+      {"CVE-2018-10124", "sim-4.4", {"kill_something_info", "sys_kill"}, 51,
+       "1,2"},
+      // §VI-C3's whole-system example (156-byte patch), used in Figs. 4/5.
+      {"CVE-2014-4608", "sim-3.14", {"lzo1x_decompress_safe"}, 30, "1"},
+  };
+  return kSpecs;
+}
+
+bool spec_has_type(const Spec& s, char t) {
+  return std::string(s.types).find(t) != std::string::npos;
+}
+
+/// Filler statements: deterministic, side-effect free, `count` lines.
+std::string filler(int count, const std::string& seed_var) {
+  std::ostringstream os;
+  for (int i = 0; i < count; ++i) {
+    os << "  let f" << i << " = (" << seed_var << " + " << (i * 7 + 3)
+       << ") * " << (i % 9 + 2) << ";\n";
+  }
+  return os.str();
+}
+
+struct GeneratedCase {
+  std::string pre;
+  std::string post;
+  std::string entry;
+};
+
+/// Emits one CVE's functions (pre and post variants) following the schema
+/// described in suite.hpp.
+GeneratedCase generate(const Spec& s, u8 trap_code) {
+  std::ostringstream pre, post;
+  GeneratedCase out;
+
+  // Resolve the function list: for kAdd with var_name_index, one entry is a
+  // variable name, not a function.
+  std::vector<std::string> fns;
+  std::string added_global;
+  for (size_t i = 0; i < s.functions.size(); ++i) {
+    if (s.gmode == GlobalMode::kAdd &&
+        static_cast<int>(i) == s.var_name_index) {
+      added_global = s.functions[i];
+    } else {
+      fns.emplace_back(s.functions[i]);
+    }
+  }
+  if (s.gmode == GlobalMode::kAdd && added_global.empty()) {
+    added_global = std::string(s.id) + "_state";
+    for (auto& c : added_global) {
+      if (c == '-') c = '_';
+    }
+  }
+
+  bool inline_case = spec_has_type(s, '2');
+  std::string inline_fn = inline_case ? fns.back() : "";
+  std::string modified_global;
+  if (s.gmode == GlobalMode::kModify) {
+    modified_global = "perf_sample_window";
+    pre << "global " << modified_global << " = 16384;\n\n";
+    post << "global " << modified_global << " = 4096;\n\n";
+  }
+  if (s.gmode == GlobalMode::kAdd) {
+    post << "global " << added_global << " = 17;\n\n";
+  }
+
+  int share = std::max(2, s.loc / static_cast<int>(fns.size()));
+
+  // --- The inline (Type 2) function, if any -----------------------------
+  if (inline_case) {
+    int fill = std::min(share - 2 > 0 ? share - 2 : 1, 8);
+    pre << "inline fn " << inline_fn << "(v) {\n"
+        << filler(fill, "v")
+        << "  let r = v & 4095;\n"
+        << "  if (v > " << kGuardLimit << ") {\n"
+        << "    bug(" << int(trap_code) << ");\n"
+        << "  }\n"
+        << "  return r;\n"
+        << "}\n\n";
+    post << "inline fn " << inline_fn << "(v) {\n"
+         << filler(fill, "v")
+         << "  let r = v & 4095;\n"
+         << "  if (v > " << kGuardLimit << ") {\n"
+         << "    r = 4095;\n"
+         << "  }\n"
+         << "  return r;\n"
+         << "}\n\n";
+  }
+
+  // --- Regular functions -------------------------------------------------
+  std::vector<std::string> regular(fns.begin(),
+                                   fns.end() - (inline_case ? 1 : 0));
+  for (size_t i = 0; i < regular.size(); ++i) {
+    const std::string& name = regular[i];
+    bool is_entry = i == 0;
+    int fill = std::max(1, share - 8);
+
+    auto emit = [&](std::ostringstream& os, bool fixed) {
+      os << "fn " << name << "(a1, a2) {\n"
+         << "  let t = k_account();\n"
+         << filler(fill, "a1");
+      if (is_entry) {
+        if (fixed) {
+          // The official fix: reject out-of-range input up front.
+          if (!modified_global.empty()) {
+            os << "  if (a1 > " << modified_global << ") {\n"
+               << "    return 0 - 22;\n"
+               << "  }\n";
+          } else {
+            os << "  if (a1 > " << kGuardLimit << ") {\n"
+               << "    return 0 - 22;\n"
+               << "  }\n";
+          }
+          if (!added_global.empty()) {
+            os << "  " << added_global << " = " << added_global << " + 1;\n";
+          }
+        } else {
+          if (!inline_case) {
+            // The vulnerability: reachable BUG on crafted input.
+            if (!modified_global.empty()) {
+              os << "  if (a1 > " << modified_global << ") {\n"
+                 << "    bug(" << int(trap_code) << ");\n"
+                 << "  }\n";
+            } else {
+              os << "  if (a1 > " << kGuardLimit << ") {\n"
+                 << "    bug(" << int(trap_code) << ");\n"
+                 << "  }\n";
+            }
+          }
+        }
+        if (inline_case) {
+          os << "  let w = " << inline_fn << "(a1);\n";
+        } else {
+          os << "  let w = a1 & 4095;\n";
+        }
+        os << "  let r = k_hash(w) + t * 0;\n";
+        // Chain into the other affected functions.
+        for (size_t j = 1; j < regular.size(); ++j) {
+          os << "  r = r + " << regular[j] << "(a1 & 4095, a2);\n";
+        }
+        os << "  return r;\n";
+      } else {
+        if (fixed) {
+          os << "  let __cve_fix = " << (i + 1) << ";\n";
+          if (!added_global.empty()) {
+            os << "  " << added_global << " = " << added_global << " + 1;\n";
+          }
+        }
+        os << "  return k_hash(a1) + " << (i * 13 + 5) << " + t * 0;\n";
+      }
+      os << "}\n\n";
+    };
+    emit(pre, false);
+    emit(post, true);
+  }
+
+  // --- Synthesized callers for Type 2 cases --------------------------------
+  // These functions are byte-identical at the source level between pre and
+  // post; they change in the *binary* only because the edited inline
+  // function is expanded into them — the pure "implicated via inlining"
+  // situation the worklist analysis must discover.
+  if (inline_case) {
+    // __usera passes its argument through unmasked (it is the exploitable
+    // syscall entry for pure Type 2 cases); __userb is a second, benign
+    // call site.
+    for (const char* suffix : {"__usera", "__userb"}) {
+      bool masked = std::string(suffix) == "__userb";
+      for (auto* os : {&pre, &post}) {
+        *os << "fn " << inline_fn << suffix << "(a1, a2) {\n"
+            << "  let t = k_account();\n"
+            << filler(2, "a1")
+            << "  let v = " << inline_fn << "(a1"
+            << (masked ? " & 4095" : "") << ");\n"
+            << "  return v + k_hash(a2) * 0 + t * 0;\n"
+            << "}\n\n";
+      }
+    }
+  }
+  if (inline_case && regular.empty()) {
+    out.entry = inline_fn + "__usera";
+  } else {
+    out.entry = regular.empty() ? inline_fn : regular[0];
+  }
+
+  out.pre = pre.str();
+  out.post = post.str();
+  return out;
+}
+
+std::vector<CveCase> build_all() {
+  std::vector<CveCase> cases;
+  const std::string base = base_kernel_source();
+  int idx = 0;
+  for (const Spec& s : specs()) {
+    CveCase c;
+    c.id = s.id;
+    c.kernel = s.kernel;
+    for (const char* f : s.functions) c.functions.emplace_back(f);
+    c.patch_loc = s.loc;
+    c.types = s.types;
+    c.trap_code = static_cast<u8>(20 + idx);
+    c.syscall_nr = 100 + idx;
+
+    GeneratedCase g = generate(s, c.trap_code);
+    c.entry_function = g.entry;
+    c.pre_source = base + "\n" + g.pre;
+    c.post_source = base + "\n" + g.post;
+
+    u64 exploit = s.gmode == GlobalMode::kModify ? 20000 : 8192;
+    c.exploit_args = {exploit, 1, 0, 0, 0};
+    c.benign_args = {static_cast<u64>(37 + idx * 11 % 1000), 2, 0, 0, 0};
+    cases.push_back(std::move(c));
+    ++idx;
+  }
+  return cases;
+}
+
+}  // namespace
+
+std::string base_kernel_source() {
+  return R"(// base simulated kernel
+global jiffies = 0;
+global syscalls_served = 0;
+
+fn k_hash(x) {
+  let h = (x & 1048575) * 40503;
+  h = h % 65521;
+  return h;
+}
+
+fn k_account() {
+  jiffies = jiffies + 1;
+  syscalls_served = syscalls_served + 1;
+  return jiffies;
+}
+
+fn k_busy(n) {
+  let i = 0;
+  let acc = 0;
+  while (i < n) {
+    acc = acc + k_hash(i);
+    i = i + 1;
+  }
+  return acc;
+}
+
+fn sys_account(a1) {
+  return k_account() * 0 + 1;
+}
+
+fn sys_busy(n) {
+  let t = k_account();
+  return k_busy(n & 1023) + t * 0;
+}
+
+fn sys_hash(x) {
+  let t = k_account();
+  return k_hash(x) + t * 0;
+}
+)";
+}
+
+const std::vector<CveCase>& all_cases() {
+  static const std::vector<CveCase> kCases = build_all();
+  return kCases;
+}
+
+const CveCase& find_case(const std::string& id) {
+  for (const auto& c : all_cases()) {
+    if (c.id == id) return c;
+  }
+  std::fprintf(stderr, "unknown CVE case: %s\n", id.c_str());
+  std::abort();
+}
+
+Result<BatchCase> combine_cases(const std::vector<std::string>& ids) {
+  if (ids.empty()) {
+    return Status{Errc::kInvalidArgument, "no cases to combine"};
+  }
+  BatchCase batch;
+  const std::string base = base_kernel_source();
+  std::string pre = base, post = base;
+  std::set<std::string> seen_functions;
+  std::string kernel;
+  std::string id = "BATCH(";
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const CveCase& c = find_case(ids[i]);
+    if (kernel.empty()) {
+      kernel = c.kernel;
+    } else if (kernel != c.kernel) {
+      return Status{Errc::kInvalidArgument,
+                    "cases target different kernel versions"};
+    }
+    for (const auto& fn : c.functions) {
+      if (!seen_functions.insert(fn).second) {
+        return Status{Errc::kInvalidArgument,
+                      "function name collision on '" + fn + "'"};
+      }
+    }
+    // Each case's source is base + its own code; strip the shared base.
+    pre += c.pre_source.substr(base.size());
+    post += c.post_source.substr(base.size());
+    batch.parts.push_back(c);
+    id += ids[i];
+    if (i + 1 < ids.size()) id += ",";
+  }
+  id += ")";
+
+  batch.merged = batch.parts[0];
+  batch.merged.id = id;
+  batch.merged.kernel = kernel;
+  batch.merged.pre_source = pre;
+  batch.merged.post_source = post;
+  return batch;
+}
+
+std::vector<std::string> figure_case_ids() {
+  return {"CVE-2014-0196", "CVE-2014-3687",  "CVE-2014-4608",
+          "CVE-2015-8964", "CVE-2016-5195", "CVE-2017-17806"};
+}
+
+}  // namespace kshot::cve

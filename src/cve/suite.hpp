@@ -1,0 +1,80 @@
+// The Table I benchmark suite: 30 indicative kernel CVE patches (plus
+// CVE-2014-4608, which §VI-C3 and Figs. 4/5 use), synthesized as ksrc kernel
+// modules that mirror the paper's affected-function names, patch sizes
+// (lines of code) and Type 1/2/3 classification.
+//
+// Every case follows one schema:
+//   * the vulnerable path is a reachable `bug(trap_code)` guarded by an
+//     attacker-controlled argument (the exploit);
+//   * the post-patch source removes the trap behind a proper bounds check
+//     (returning -EINVAL) while preserving behaviour for benign arguments;
+//   * Type 2 cases put the flaw in an `inline fn`, so the binary patch must
+//     implicate the synthesized callers;
+//   * Type 3 cases add or modify a global in the post-patch source.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace kshot::cve {
+
+/// The value the fixed code returns for exploit inputs (-EINVAL as u64).
+inline constexpr u64 kEinval = static_cast<u64>(-22);
+/// Guard threshold used by every synthesized vulnerability.
+inline constexpr u64 kGuardLimit = 4096;
+
+struct CveCase {
+  std::string id;                  // e.g. "CVE-2017-17806"
+  std::string kernel;              // "sim-3.14" or "sim-4.4"
+  std::vector<std::string> functions;  // Table I "Affected Functions"
+  int patch_loc = 0;               // Table I "Size" (LoC)
+  std::string types;               // Table I "Type", e.g. "1,2"
+  u8 trap_code = 0;                // trap the exploit fires pre-patch
+  int syscall_nr = 0;              // syscall wired to the entry function
+  std::string entry_function;      // emitted function the syscall calls
+  std::array<u64, 5> exploit_args{};
+  std::array<u64, 5> benign_args{};
+
+  std::string pre_source;          // full kernel source (base + CVE code)
+  std::string post_source;
+
+  [[nodiscard]] bool has_type(int t) const {
+    return types.find(static_cast<char>('0' + t)) != std::string::npos;
+  }
+};
+
+/// All 31 cases (Table I's 30 + CVE-2014-4608), in table order.
+const std::vector<CveCase>& all_cases();
+
+/// Case lookup by id; aborts if unknown (benchmark ids are compile-time).
+const CveCase& find_case(const std::string& id);
+
+/// The 6 CVEs of Figs. 4 and 5.
+std::vector<std::string> figure_case_ids();
+
+/// Shared base-kernel source every case builds on (workload syscalls the
+/// Sysbench-style benchmarks exercise).
+std::string base_kernel_source();
+
+/// A distro-style cumulative update: several CVE fixes merged into a single
+/// kernel + a single patch set.
+struct BatchCase {
+  CveCase merged;              // pre = all vulnerable, post = all fixed
+  std::vector<CveCase> parts;  // per-CVE syscall/exploit metadata
+};
+
+/// Merges the given cases (which must target the same kernel version and
+/// have pairwise-distinct function names) into one BatchCase. The merged
+/// case's id is "BATCH(<id>,...)".
+Result<BatchCase> combine_cases(const std::vector<std::string>& ids);
+
+/// Syscall numbers provided by the base kernel.
+inline constexpr int kSysAccount = 1;  // bumps jiffies
+inline constexpr int kSysBusy = 2;     // CPU-bound loop, arg = iterations
+inline constexpr int kSysHash = 3;     // hashes arg
+
+}  // namespace kshot::cve

@@ -1,0 +1,91 @@
+// Label-based assembler used by the kcc code generator and by tests that
+// hand-craft kernel functions. Produces position-independent code except for
+// external call sites, which are recorded for the linker to resolve.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace kshot::isa {
+
+/// A forward-referencable code label (function-local).
+struct Label {
+  int id = -1;
+};
+
+/// An unresolved reference to another function, to be patched by the linker.
+/// `offset` is the offset of the rel32 field within the emitted bytes.
+struct ExtRef {
+  size_t offset = 0;
+  std::string symbol;
+};
+
+class Assembler {
+ public:
+  Label new_label() { return Label{next_label_++}; }
+
+  /// Binds `l` to the current position. A label may be bound exactly once.
+  void bind(Label l);
+
+  size_t here() const { return code_.size(); }
+
+  void emit(const Instr& in) { isa::encode(in, code_); }
+
+  // Convenience emitters -----------------------------------------------
+  void nop() { emit({Op::kNop}); }
+  void nop5() { emit({Op::kNop5}); }
+  void ret() { emit({Op::kRet}); }
+  void ud2() { emit({Op::kUd2}); }
+  void hlt() { emit({Op::kHlt}); }
+  void trap(u8 code) { emit({Op::kTrap, 0, 0, code}); }
+  void mov(u8 dst, u8 src) { emit({Op::kMov, dst, src}); }
+  void movi(u8 dst, i64 imm) { emit({Op::kMovi, dst, 0, imm}); }
+  void alu(Op op, u8 dst, u8 src) { emit({op, dst, src}); }
+  void alui(Op op, u8 dst, i64 imm) { emit({op, dst, 0, imm}); }
+  void loadg(u8 dst, u32 abs) { emit({Op::kLoadG, dst, 0, abs}); }
+  void storeg(u8 src, u32 abs) { emit({Op::kStoreG, src, 0, abs}); }
+  void loadr(u8 dst, u8 base, i32 disp) { emit({Op::kLoadR, dst, base, disp}); }
+  void storer(u8 src, u8 base, i32 disp) {
+    emit({Op::kStoreR, src, base, disp});
+  }
+  void cmp(u8 a, u8 b) { emit({Op::kCmp, a, b}); }
+  void cmpi(u8 a, i64 imm) { emit({Op::kCmpi, a, 0, imm}); }
+  void push(u8 r) { emit({Op::kPush, r}); }
+  void pop(u8 r) { emit({Op::kPop, r}); }
+
+  /// rel32 branch to a (possibly not yet bound) local label.
+  void branch(Op op, Label target);
+  void jmp(Label l) { branch(Op::kJmp, l); }
+  void je(Label l) { branch(Op::kJe, l); }
+  void jne(Label l) { branch(Op::kJne, l); }
+  void jl(Label l) { branch(Op::kJl, l); }
+  void jge(Label l) { branch(Op::kJge, l); }
+  void jg(Label l) { branch(Op::kJg, l); }
+  void jle(Label l) { branch(Op::kJle, l); }
+
+  /// Call to an external symbol; the rel32 is left zero and recorded.
+  void call_sym(const std::string& symbol);
+
+  /// External references accumulated so far (valid after finish()).
+  const std::vector<ExtRef>& ext_refs() const { return ext_refs_; }
+
+  /// Resolves all label fixups and returns the code. Unbound labels fail.
+  Result<Bytes> finish();
+
+ private:
+  struct Fixup {
+    size_t offset;  // of the rel32 field
+    int label;
+  };
+
+  Bytes code_;
+  int next_label_ = 0;
+  std::map<int, size_t> bound_;
+  std::vector<Fixup> fixups_;
+  std::vector<ExtRef> ext_refs_;
+};
+
+}  // namespace kshot::isa

@@ -1,0 +1,119 @@
+#include "isa/disasm.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace kshot::isa {
+
+std::string to_string(const Instr& in) {
+  char buf[96];
+  const char* name = op_name(in.op);
+  switch (in.op) {
+    case Op::kNop:
+    case Op::kNop5:
+    case Op::kRet:
+    case Op::kInt3:
+    case Op::kHlt:
+    case Op::kUd2:
+      std::snprintf(buf, sizeof(buf), "%s", name);
+      break;
+    case Op::kJmp:
+    case Op::kCall:
+    case Op::kJe:
+    case Op::kJne:
+    case Op::kJl:
+    case Op::kJge:
+    case Op::kJg:
+    case Op::kJle:
+      std::snprintf(buf, sizeof(buf), "%s %+lld", name,
+                    static_cast<long long>(in.imm));
+      break;
+    case Op::kMov:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod:
+    case Op::kXor:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kCmp:
+      std::snprintf(buf, sizeof(buf), "%s r%d, r%d", name, in.a, in.b);
+      break;
+    case Op::kMovi:
+    case Op::kAddi:
+    case Op::kSubi:
+    case Op::kMuli:
+    case Op::kDivi:
+    case Op::kModi:
+    case Op::kXori:
+    case Op::kAndi:
+    case Op::kOri:
+    case Op::kShli:
+    case Op::kShri:
+    case Op::kCmpi:
+      std::snprintf(buf, sizeof(buf), "%s r%d, %lld", name, in.a,
+                    static_cast<long long>(in.imm));
+      break;
+    case Op::kLoadG:
+      std::snprintf(buf, sizeof(buf), "loadg r%d, [0x%llx]", in.a,
+                    static_cast<unsigned long long>(in.imm));
+      break;
+    case Op::kStoreG:
+      std::snprintf(buf, sizeof(buf), "storeg [0x%llx], r%d",
+                    static_cast<unsigned long long>(in.imm), in.a);
+      break;
+    case Op::kLoadR:
+      std::snprintf(buf, sizeof(buf), "loadr r%d, [r%d%+lld]", in.a, in.b,
+                    static_cast<long long>(in.imm));
+      break;
+    case Op::kStoreR:
+      std::snprintf(buf, sizeof(buf), "storer [r%d%+lld], r%d", in.b,
+                    static_cast<long long>(in.imm), in.a);
+      break;
+    case Op::kPush:
+    case Op::kPop:
+      std::snprintf(buf, sizeof(buf), "%s r%d", name, in.a);
+      break;
+    case Op::kTrap:
+      std::snprintf(buf, sizeof(buf), "trap %lld",
+                    static_cast<long long>(in.imm));
+      break;
+  }
+  return buf;
+}
+
+std::string disassemble(ByteSpan code, u64 base) {
+  std::ostringstream os;
+  size_t off = 0;
+  char addr[32];
+  while (off < code.size()) {
+    auto d = decode(code.subspan(off));
+    if (!d) {
+      std::snprintf(addr, sizeof(addr), "%08llx  ",
+                    static_cast<unsigned long long>(base + off));
+      os << addr << "(bad byte 0x" << std::hex << int(code[off]) << std::dec
+         << ")\n";
+      break;
+    }
+    std::snprintf(addr, sizeof(addr), "%08llx  ",
+                  static_cast<unsigned long long>(base + off));
+    os << addr;
+    if (is_rel32_branch(d->instr.op)) {
+      // Print the absolute target for branches.
+      u64 target = base + off + d->len + static_cast<i64>(d->instr.imm);
+      char t[64];
+      std::snprintf(t, sizeof(t), "%s 0x%llx", op_name(d->instr.op),
+                    static_cast<unsigned long long>(target));
+      os << t << '\n';
+    } else {
+      os << to_string(d->instr) << '\n';
+    }
+    off += d->len;
+  }
+  return os.str();
+}
+
+}  // namespace kshot::isa

@@ -1,0 +1,18 @@
+// Disassembler for diagnostics, binary-level call-graph construction and
+// the examples' narrated output.
+#pragma once
+
+#include <string>
+
+#include "isa/isa.hpp"
+
+namespace kshot::isa {
+
+/// One instruction, e.g. "jmp +0x2a" or "movi r3, 17".
+std::string to_string(const Instr& in);
+
+/// Disassembles a code region; `base` is the address of code[0] so branch
+/// targets can be printed absolutely. Stops at the first undecodable byte.
+std::string disassemble(ByteSpan code, u64 base = 0);
+
+}  // namespace kshot::isa

@@ -1,0 +1,37 @@
+#include "isa/reloc.hpp"
+
+#include "common/byte_io.hpp"
+
+namespace kshot::isa {
+
+Result<std::vector<Rel32Site>> scan_rel32(ByteSpan body) {
+  std::vector<Rel32Site> sites;
+  size_t off = 0;
+  while (off < body.size()) {
+    auto d = decode(body.subspan(off));
+    if (!d) return d.status();
+    if (is_rel32_branch(d->instr.op)) {
+      Rel32Site s;
+      s.instr_off = off;
+      s.rel_off = off + 1;
+      s.op = d->instr.op;
+      s.rel = static_cast<i32>(d->instr.imm);
+      s.target_off = static_cast<i64>(off + d->len) + s.rel;
+      s.internal = s.target_off >= 0 &&
+                   s.target_off <= static_cast<i64>(body.size());
+      sites.push_back(s);
+    }
+    off += d->len;
+  }
+  return sites;
+}
+
+void retarget_rel32(MutByteSpan body, size_t rel_off, u64 new_base,
+                    u64 target) {
+  // rel32 is relative to the end of the rel32 field itself.
+  i64 rel = static_cast<i64>(target) -
+            static_cast<i64>(new_base + rel_off + 4);
+  store_u32(body.data() + rel_off, static_cast<u32>(static_cast<i32>(rel)));
+}
+
+}  // namespace kshot::isa

@@ -1,0 +1,41 @@
+// Relocation analysis for function bodies: finds every rel32 site so a
+// function can be moved (into mem_X) while preserving its external branch
+// targets — the "calculating label differences" step of paper §V-A.
+#pragma once
+
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace kshot::isa {
+
+/// One rel32 control-transfer site inside a function body.
+struct Rel32Site {
+  size_t instr_off = 0;  // offset of the opcode byte
+  size_t rel_off = 0;    // offset of the rel32 field (instr_off + 1)
+  Op op = Op::kJmp;
+  i32 rel = 0;           // displacement as encoded
+  /// Target as a function-relative offset (may be outside [0, size)).
+  i64 target_off = 0;
+  /// True if the target lies inside the function body (no fixup needed when
+  /// the function is relocated as a unit).
+  bool internal = false;
+};
+
+/// Scans a function body, decoding linearly from offset 0.
+/// Fails if any byte fails to decode (function bodies are expected to be
+/// well-formed instruction streams).
+Result<std::vector<Rel32Site>> scan_rel32(ByteSpan body);
+
+/// Rewrites the rel32 at `rel_off` in `body` so that the branch, once the
+/// function is placed at `new_base`, reaches absolute `target`.
+void retarget_rel32(MutByteSpan body, size_t rel_off, u64 new_base,
+                    u64 target);
+
+/// Computes the absolute target of a rel32 branch located at `instr_addr`
+/// with encoded instruction length `len`.
+inline u64 branch_target(u64 instr_addr, size_t len, i32 rel) {
+  return instr_addr + len + static_cast<i64>(rel);
+}
+
+}  // namespace kshot::isa

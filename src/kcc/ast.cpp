@@ -1,0 +1,93 @@
+#include "kcc/ast.hpp"
+
+namespace kshot::kcc {
+
+ExprPtr Expr::make_num(i64 v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kNum;
+  e->num = v;
+  return e;
+}
+
+ExprPtr Expr::make_var(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kVar;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::make_bin(BinOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBin;
+  e->op = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+ExprPtr Expr::make_call(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kCall;
+  e->name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->num = num;
+  e->name = name;
+  e->op = op;
+  if (lhs) e->lhs = lhs->clone();
+  if (rhs) e->rhs = rhs->clone();
+  for (const auto& a : args) e->args.push_back(a->clone());
+  return e;
+}
+
+namespace {
+std::vector<StmtPtr> clone_stmts(const std::vector<StmtPtr>& in) {
+  std::vector<StmtPtr> out;
+  out.reserve(in.size());
+  for (const auto& s : in) out.push_back(s->clone());
+  return out;
+}
+}  // namespace
+
+StmtPtr Stmt::clone() const {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->name = name;
+  if (value) s->value = value->clone();
+  if (cond) s->cond = cond->clone();
+  s->body = clone_stmts(body);
+  s->else_body = clone_stmts(else_body);
+  s->num = num;
+  return s;
+}
+
+Function Function::clone() const {
+  Function f;
+  f.name = name;
+  f.params = params;
+  f.body = clone_stmts(body);
+  f.is_inline = is_inline;
+  f.notrace = notrace;
+  return f;
+}
+
+const Function* Module::find_function(const std::string& name) const {
+  for (const auto& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Module Module::clone() const {
+  Module m;
+  m.globals = globals;
+  for (const auto& f : functions) m.functions.push_back(f.clone());
+  return m;
+}
+
+}  // namespace kshot::kcc

@@ -1,0 +1,103 @@
+// AST for "ksrc", the mini-C kernel source language. The patch server holds
+// pre- and post-patch kernel sources in this language; kcc compiles them to
+// binary kernel images that the patch toolchain diffs.
+//
+// Language summary:
+//   global name = <num>;
+//   [inline] [notrace] fn name(p1, p2) {
+//     let x = expr;            // declare local
+//     x = expr;                // assign local or global
+//     if (expr) { ... } [else { ... }]
+//     while (expr) { ... }
+//     return expr;
+//     bug(code);               // kernel BUG(): traps when executed
+//     pad(n);                  // emit n nop bytes (size shaping)
+//     f(a, b);                 // call for effect
+//   }
+// Expressions: integer literals, variables, globals, calls, ( ),
+// + - * / % & | ^ << >>, and comparisons == != < <= > >=.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kshot::kcc {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod, kAnd, kOr, kXor, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+struct Expr {
+  enum class Kind { kNum, kVar, kBin, kCall } kind = Kind::kNum;
+
+  // kNum
+  i64 num = 0;
+  // kVar / kCall
+  std::string name;
+  // kBin
+  BinOp op = BinOp::kAdd;
+  ExprPtr lhs, rhs;
+  // kCall
+  std::vector<ExprPtr> args;
+
+  static ExprPtr make_num(i64 v);
+  static ExprPtr make_var(std::string name);
+  static ExprPtr make_bin(BinOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr make_call(std::string name, std::vector<ExprPtr> args);
+
+  ExprPtr clone() const;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind {
+    kLet, kAssign, kIf, kWhile, kReturn, kBug, kPad, kExpr,
+  } kind = Kind::kExpr;
+
+  // kLet / kAssign: name = value
+  std::string name;
+  ExprPtr value;           // also the return expr / condition-less uses
+  // kIf / kWhile
+  ExprPtr cond;
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+  // kBug / kPad
+  i64 num = 0;
+
+  StmtPtr clone() const;
+};
+
+struct Function {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  bool is_inline = false;
+  bool notrace = false;
+
+  Function clone() const;
+};
+
+struct GlobalDecl {
+  std::string name;
+  i64 init = 0;
+};
+
+/// A complete kernel source module.
+struct Module {
+  std::vector<GlobalDecl> globals;
+  std::vector<Function> functions;
+
+  const Function* find_function(const std::string& name) const;
+  Module clone() const;
+};
+
+}  // namespace kshot::kcc

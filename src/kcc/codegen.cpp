@@ -1,0 +1,278 @@
+#include "kcc/codegen.hpp"
+
+#include <cstdint>
+#include <functional>
+
+namespace kshot::kcc {
+
+namespace {
+
+using isa::Assembler;
+using isa::Label;
+using isa::Op;
+
+class FnCodegen {
+ public:
+  FnCodegen(const Function& f, const CodegenContext& ctx) : f_(f), ctx_(ctx) {}
+
+  Result<CompiledFunction> run() {
+    KSHOT_RETURN_IF_ERROR(collect_slots());
+
+    bool traced = ctx_.ftrace && !f_.notrace;
+    if (traced) asm_.nop5();
+
+    // Prologue: save caller fp, establish frame, spill params. The first
+    // instruction is deliberately 6 bytes long so that a live-patch
+    // trampoline (5-byte jmp) overwriting the entry leaves no instruction
+    // boundary inside the overwritten window — a thread suspended mid-call
+    // can only have its saved rip at the entry itself, where resuming into
+    // the trampoline is semantically a clean restart of the function.
+    asm_.alui(Op::kSubi, kRegSp, 8);
+    asm_.storer(kRegFp, kRegSp, 0);
+    asm_.mov(kRegFp, kRegSp);
+    asm_.alui(Op::kSubi, kRegSp, static_cast<i64>(8 * slots_.size()));
+    if (f_.params.size() > kMaxArgs) {
+      return Status{Errc::kUnsupported,
+                    "function '" + f_.name + "' has too many parameters"};
+    }
+    for (size_t i = 0; i < f_.params.size(); ++i) {
+      asm_.storer(static_cast<u8>(kRegArg0 + i), kRegFp,
+                  slot_disp(f_.params[i]));
+    }
+
+    epilogue_ = asm_.new_label();
+    KSHOT_RETURN_IF_ERROR(gen_stmts(f_.body));
+
+    // Fall-through return: r0 = 0.
+    asm_.movi(kRegAcc, 0);
+    asm_.bind(epilogue_);
+    asm_.mov(kRegSp, kRegFp);
+    asm_.pop(kRegFp);
+    asm_.ret();
+
+    auto code = asm_.finish();
+    if (!code) return code.status();
+    CompiledFunction out;
+    out.name = f_.name;
+    out.code = std::move(*code);
+    out.ext_refs = asm_.ext_refs();
+    out.traced = traced;
+    return out;
+  }
+
+ private:
+  // Slot management --------------------------------------------------------
+  Status collect_slots() {
+    for (const auto& p : f_.params) {
+      if (slots_.count(p)) {
+        return {Errc::kInvalidArgument, "duplicate parameter '" + p + "'"};
+      }
+      slots_[p] = static_cast<int>(slots_.size());
+    }
+    std::function<Status(const std::vector<StmtPtr>&)> walk =
+        [&](const std::vector<StmtPtr>& body) -> Status {
+      for (const auto& s : body) {
+        if (s->kind == Stmt::Kind::kLet && !slots_.count(s->name)) {
+          slots_[s->name] = static_cast<int>(slots_.size());
+        }
+        if (s->kind == Stmt::Kind::kIf || s->kind == Stmt::Kind::kWhile) {
+          KSHOT_RETURN_IF_ERROR(walk(s->body));
+          KSHOT_RETURN_IF_ERROR(walk(s->else_body));
+        }
+      }
+      return Status::ok();
+    };
+    return walk(f_.body);
+  }
+
+  i32 slot_disp(const std::string& name) const {
+    return -8 * (slots_.at(name) + 1);
+  }
+
+  bool is_local(const std::string& name) const { return slots_.count(name); }
+
+  // Statements --------------------------------------------------------------
+  Status gen_stmts(const std::vector<StmtPtr>& body) {
+    for (const auto& s : body) KSHOT_RETURN_IF_ERROR(gen_stmt(*s));
+    return Status::ok();
+  }
+
+  Status gen_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::kLet:
+      case Stmt::Kind::kAssign: {
+        KSHOT_RETURN_IF_ERROR(gen_expr(*s.value));
+        if (is_local(s.name)) {
+          asm_.storer(kRegAcc, kRegFp, slot_disp(s.name));
+        } else {
+          auto g = ctx_.global_addrs.find(s.name);
+          if (g == ctx_.global_addrs.end()) {
+            return {Errc::kNotFound, "unknown variable '" + s.name + "'"};
+          }
+          asm_.storeg(kRegAcc, static_cast<u32>(g->second));
+        }
+        return Status::ok();
+      }
+      case Stmt::Kind::kIf: {
+        Label lelse = asm_.new_label();
+        Label lend = asm_.new_label();
+        KSHOT_RETURN_IF_ERROR(gen_expr(*s.cond));
+        asm_.cmpi(kRegAcc, 0);
+        asm_.je(lelse);
+        KSHOT_RETURN_IF_ERROR(gen_stmts(s.body));
+        asm_.jmp(lend);
+        asm_.bind(lelse);
+        KSHOT_RETURN_IF_ERROR(gen_stmts(s.else_body));
+        asm_.bind(lend);
+        return Status::ok();
+      }
+      case Stmt::Kind::kWhile: {
+        Label lcond = asm_.new_label();
+        Label lend = asm_.new_label();
+        asm_.bind(lcond);
+        KSHOT_RETURN_IF_ERROR(gen_expr(*s.cond));
+        asm_.cmpi(kRegAcc, 0);
+        asm_.je(lend);
+        KSHOT_RETURN_IF_ERROR(gen_stmts(s.body));
+        asm_.jmp(lcond);
+        asm_.bind(lend);
+        return Status::ok();
+      }
+      case Stmt::Kind::kReturn:
+        KSHOT_RETURN_IF_ERROR(gen_expr(*s.value));
+        asm_.jmp(epilogue_);
+        return Status::ok();
+      case Stmt::Kind::kBug:
+        asm_.trap(static_cast<u8>(s.num));
+        return Status::ok();
+      case Stmt::Kind::kPad:
+        for (i64 i = 0; i < s.num; ++i) asm_.nop();
+        return Status::ok();
+      case Stmt::Kind::kExpr:
+        return gen_expr(*s.value);
+    }
+    return Status::ok();
+  }
+
+  /// Loads an arbitrary 64-bit constant into `dst`. movi carries a
+  /// sign-extended imm32; wider values are assembled from 16-bit chunks
+  /// (shifted in high-to-low so sign extension never corrupts the result).
+  void emit_const(u8 dst, u64 v) {
+    i64 sv = static_cast<i64>(v);
+    if (sv >= INT32_MIN && sv <= INT32_MAX) {
+      asm_.movi(dst, sv);
+      return;
+    }
+    asm_.movi(dst, static_cast<i64>((v >> 48) & 0xFFFF));
+    for (int shift = 32; shift >= 0; shift -= 16) {
+      asm_.alui(Op::kShli, dst, 16);
+      u64 chunk = (v >> shift) & 0xFFFF;
+      if (chunk != 0) asm_.alui(Op::kOri, dst, static_cast<i64>(chunk));
+    }
+  }
+
+  // Expressions: evaluate into r0 ---------------------------------------
+  Status gen_expr(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kNum:
+        emit_const(kRegAcc, static_cast<u64>(e.num));
+        return Status::ok();
+      case Expr::Kind::kVar: {
+        if (is_local(e.name)) {
+          asm_.loadr(kRegAcc, kRegFp, slot_disp(e.name));
+          return Status::ok();
+        }
+        auto g = ctx_.global_addrs.find(e.name);
+        if (g == ctx_.global_addrs.end()) {
+          return {Errc::kNotFound,
+                  "unknown variable '" + e.name + "' in " + f_.name};
+        }
+        asm_.loadg(kRegAcc, static_cast<u32>(g->second));
+        return Status::ok();
+      }
+      case Expr::Kind::kBin: {
+        KSHOT_RETURN_IF_ERROR(gen_expr(*e.lhs));
+        asm_.push(kRegAcc);
+        KSHOT_RETURN_IF_ERROR(gen_expr(*e.rhs));
+        asm_.pop(kRegScratch);  // scratch = lhs, acc = rhs
+        return gen_binop(e.op);
+      }
+      case Expr::Kind::kCall: {
+        if (!ctx_.known_functions.count(e.name)) {
+          return {Errc::kNotFound,
+                  "call to unknown function '" + e.name + "' in " + f_.name};
+        }
+        if (e.args.size() > kMaxArgs) {
+          return {Errc::kUnsupported, "too many call arguments"};
+        }
+        for (const auto& a : e.args) {
+          KSHOT_RETURN_IF_ERROR(gen_expr(*a));
+          asm_.push(kRegAcc);
+        }
+        for (size_t i = e.args.size(); i-- > 0;) {
+          asm_.pop(static_cast<u8>(kRegArg0 + i));
+        }
+        asm_.call_sym(e.name);
+        return Status::ok();
+      }
+    }
+    return Status::ok();
+  }
+
+  Status gen_binop(BinOp op) {
+    // scratch = lhs, acc = rhs; result must land in acc.
+    switch (op) {
+      case BinOp::kAdd: return arith(Op::kAdd);
+      case BinOp::kSub: return arith(Op::kSub);
+      case BinOp::kMul: return arith(Op::kMul);
+      case BinOp::kDiv: return arith(Op::kDiv);
+      case BinOp::kMod: return arith(Op::kMod);
+      case BinOp::kAnd: return arith(Op::kAnd);
+      case BinOp::kOr: return arith(Op::kOr);
+      case BinOp::kXor: return arith(Op::kXor);
+      case BinOp::kShl: return arith(Op::kShl);
+      case BinOp::kShr: return arith(Op::kShr);
+      case BinOp::kEq: return compare(Op::kJe);
+      case BinOp::kNe: return compare(Op::kJne);
+      case BinOp::kLt: return compare(Op::kJl);
+      case BinOp::kLe: return compare(Op::kJle);
+      case BinOp::kGt: return compare(Op::kJg);
+      case BinOp::kGe: return compare(Op::kJge);
+    }
+    return Status::ok();
+  }
+
+  Status arith(Op op) {
+    asm_.alu(op, kRegScratch, kRegAcc);  // scratch = lhs OP rhs
+    asm_.mov(kRegAcc, kRegScratch);
+    return Status::ok();
+  }
+
+  Status compare(Op jcc) {
+    Label ltrue = asm_.new_label();
+    Label lend = asm_.new_label();
+    asm_.cmp(kRegScratch, kRegAcc);
+    asm_.branch(jcc, ltrue);
+    asm_.movi(kRegAcc, 0);
+    asm_.jmp(lend);
+    asm_.bind(ltrue);
+    asm_.movi(kRegAcc, 1);
+    asm_.bind(lend);
+    return Status::ok();
+  }
+
+  const Function& f_;
+  const CodegenContext& ctx_;
+  Assembler asm_;
+  std::map<std::string, int> slots_;
+  Label epilogue_;
+};
+
+}  // namespace
+
+Result<CompiledFunction> codegen_function(const Function& f,
+                                          const CodegenContext& ctx) {
+  return FnCodegen(f, ctx).run();
+}
+
+}  // namespace kshot::kcc

@@ -1,0 +1,50 @@
+// Code generation: one AST function -> machine code + external call refs.
+//
+// Calling convention (shared with the kernel runtime):
+//   r1..r5   arguments
+//   r0       return value / expression accumulator
+//   r10      secondary scratch
+//   r14      frame pointer (callee saved)
+//   r15      stack pointer
+// All params and locals live in stack slots at [fp - 8*(slot+1)], so nothing
+// is live in scratch registers across a call.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "kcc/ast.hpp"
+
+namespace kshot::kcc {
+
+inline constexpr u8 kRegAcc = 0;   // r0
+inline constexpr u8 kRegArg0 = 1;  // r1..r5
+inline constexpr u8 kRegScratch = 10;
+inline constexpr u8 kRegFp = 14;
+inline constexpr u8 kRegSp = 15;
+inline constexpr int kMaxArgs = 5;
+
+/// Output of compiling one function.
+struct CompiledFunction {
+  std::string name;
+  Bytes code;
+  std::vector<isa::ExtRef> ext_refs;  // call sites to resolve at link time
+  bool traced = false;                // begins with the ftrace nop5 pad
+};
+
+struct CodegenContext {
+  /// Absolute addresses of globals.
+  std::map<std::string, u64> global_addrs;
+  /// Names of functions callable from generated code.
+  std::map<std::string, bool> known_functions;
+  /// Emit the 5-byte ftrace pad at function entry.
+  bool ftrace = true;
+};
+
+/// Compiles `f`; fails on unknown identifiers, arity overflow, etc.
+Result<CompiledFunction> codegen_function(const Function& f,
+                                          const CodegenContext& ctx);
+
+}  // namespace kshot::kcc

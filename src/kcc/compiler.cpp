@@ -1,0 +1,111 @@
+#include "kcc/compiler.hpp"
+
+#include "common/byte_io.hpp"
+#include "kcc/codegen.hpp"
+#include "kcc/constfold.hpp"
+#include "kcc/inline_pass.hpp"
+#include "kcc/parser.hpp"
+
+namespace kshot::kcc {
+
+namespace {
+constexpr size_t kFnAlign = 16;
+
+size_t align_up(size_t v, size_t a) { return (v + a - 1) / a * a; }
+}  // namespace
+
+Result<KernelImage> compile_module(const Module& module,
+                                   const CompileOptions& opts) {
+  Module m = module.clone();
+  if (opts.enable_inlining) {
+    KSHOT_RETURN_IF_ERROR(run_inline_pass(m));
+  }
+  if (opts.enable_constfold) {
+    run_constfold_pass(m);
+  }
+
+  KernelImage img;
+  img.text_base = opts.text_base;
+  img.data_base = opts.data_base;
+  img.version = opts.version;
+
+  // Lay out globals: 8 bytes each, declaration order. A patch that appends a
+  // global therefore lands in the running kernel's data-segment slack.
+  CodegenContext ctx;
+  ctx.ftrace = opts.enable_ftrace;
+  for (size_t i = 0; i < m.globals.size(); ++i) {
+    u64 addr = opts.data_base + 8 * i;
+    ctx.global_addrs[m.globals[i].name] = addr;
+    img.globals.push_back({m.globals[i].name, addr, m.globals[i].init});
+  }
+
+  // Functions emitted into the image (inline fns are expanded away unless
+  // inlining is disabled).
+  // Calls to inline functions must be gone after the pass, so only emitted
+  // functions are callable.
+  std::vector<const Function*> emitted;
+  for (const auto& f : m.functions) {
+    if (opts.enable_inlining && f.is_inline) continue;
+    emitted.push_back(&f);
+    ctx.known_functions[f.name] = true;
+  }
+
+  // Compile each function, then link.
+  struct Linked {
+    CompiledFunction fn;
+    u64 addr = 0;
+  };
+  std::vector<Linked> linked;
+  u64 cursor = opts.text_base;
+  for (const Function* f : emitted) {
+    auto cf = codegen_function(*f, ctx);
+    if (!cf) {
+      return Status{cf.status().code(),
+                    "in function '" + f->name + "': " + cf.status().message()};
+    }
+    Linked l;
+    l.fn = std::move(*cf);
+    l.addr = cursor;
+    cursor = align_up(cursor + l.fn.code.size(), kFnAlign);
+    linked.push_back(std::move(l));
+  }
+
+  // Symbol table.
+  for (const auto& l : linked) {
+    img.symbols.push_back({l.fn.name, l.addr,
+                           static_cast<u32>(l.fn.code.size()), l.fn.traced});
+  }
+
+  // Resolve external call rel32s and emit text.
+  img.text.assign(cursor - opts.text_base, 0x90 /* pad with nop */);
+  for (auto& l : linked) {
+    for (const auto& ref : l.fn.ext_refs) {
+      const Symbol* target = img.find_symbol(ref.symbol);
+      if (!target) {
+        return Status{Errc::kNotFound, "undefined function '" + ref.symbol +
+                                           "' called from '" + l.fn.name +
+                                           "'"};
+      }
+      // rel32 relative to the end of the rel32 field.
+      u64 site_addr = l.addr + ref.offset;
+      i64 rel = static_cast<i64>(target->addr) -
+                static_cast<i64>(site_addr + 4);
+      store_u32(l.fn.code.data() + ref.offset,
+                static_cast<u32>(static_cast<i32>(rel)));
+    }
+    std::copy(l.fn.code.begin(), l.fn.code.end(),
+              img.text.begin() +
+                  static_cast<std::ptrdiff_t>(l.addr - opts.text_base));
+  }
+
+  return img;
+}
+
+Result<KernelImage> compile_source(const std::string& source,
+                                   const CompileOptions& opts) {
+  auto m = parse(source);
+  if (!m) return m.status();
+  return compile_module(*m, opts);
+}
+
+}  // namespace kshot::kcc

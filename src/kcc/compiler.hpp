@@ -1,0 +1,35 @@
+// Compiler driver: ksrc source -> linked KernelImage. The remote patch
+// server invokes this twice (pre- and post-patch source) with the *same*
+// options gathered from the target machine, which is what makes the binary
+// diff meaningful (paper §V-A "Binary Patch Preparation").
+#pragma once
+
+#include "kcc/ast.hpp"
+#include "kcc/image.hpp"
+
+namespace kshot::kcc {
+
+struct CompileOptions {
+  u64 text_base = 0x10'0000;   // 1 MB: kernel text segment
+  u64 data_base = 0x40'0000;   // 4 MB: kernel data segment
+  /// Expand `inline` functions (the realistic configuration). Disabling it
+  /// models an -O0 build where inline functions are real symbols.
+  bool enable_inlining = true;
+  /// Emit the 5-byte ftrace pad at each traced function entry (paper §V-A
+  /// "Supporting Kernel Tracing").
+  bool enable_ftrace = true;
+  /// Constant folding + static branch pruning (another optimization that
+  /// perturbs binary diffs without changing semantics).
+  bool enable_constfold = false;
+  std::string version = "sim-4.4";
+};
+
+/// Compiles a parsed module.
+Result<KernelImage> compile_module(const Module& module,
+                                   const CompileOptions& opts);
+
+/// Parses and compiles ksrc text.
+Result<KernelImage> compile_source(const std::string& source,
+                                   const CompileOptions& opts);
+
+}  // namespace kshot::kcc

@@ -1,0 +1,113 @@
+#include "kcc/constfold.hpp"
+
+namespace kshot::kcc {
+
+namespace {
+
+/// Computes `a op b` with the language's u64 semantics. Returns false for
+/// division/modulo by zero (must stay a runtime oops).
+bool apply(BinOp op, u64 a, u64 b, u64& out) {
+  switch (op) {
+    case BinOp::kAdd: out = a + b; return true;
+    case BinOp::kSub: out = a - b; return true;
+    case BinOp::kMul: out = a * b; return true;
+    case BinOp::kDiv:
+      if (b == 0) return false;
+      out = a / b;
+      return true;
+    case BinOp::kMod:
+      if (b == 0) return false;
+      out = a % b;
+      return true;
+    case BinOp::kAnd: out = a & b; return true;
+    case BinOp::kOr: out = a | b; return true;
+    case BinOp::kXor: out = a ^ b; return true;
+    case BinOp::kShl: out = a << (b & 63); return true;
+    case BinOp::kShr: out = a >> (b & 63); return true;
+    case BinOp::kEq: out = a == b; return true;
+    case BinOp::kNe: out = a != b; return true;
+    case BinOp::kLt: out = static_cast<i64>(a) < static_cast<i64>(b); return true;
+    case BinOp::kLe: out = static_cast<i64>(a) <= static_cast<i64>(b); return true;
+    case BinOp::kGt: out = static_cast<i64>(a) > static_cast<i64>(b); return true;
+    case BinOp::kGe: out = static_cast<i64>(a) >= static_cast<i64>(b); return true;
+  }
+  return false;
+}
+
+void fold_stmts(std::vector<StmtPtr>& body) {
+  std::vector<StmtPtr> out;
+  out.reserve(body.size());
+  for (auto& s : body) {
+    switch (s->kind) {
+      case Stmt::Kind::kLet:
+      case Stmt::Kind::kAssign:
+      case Stmt::Kind::kReturn:
+      case Stmt::Kind::kExpr:
+        fold_expr(s->value);
+        out.push_back(std::move(s));
+        break;
+      case Stmt::Kind::kIf: {
+        fold_expr(s->cond);
+        fold_stmts(s->body);
+        fold_stmts(s->else_body);
+        if (s->cond->kind == Expr::Kind::kNum) {
+          // Statically decided: splice the live branch.
+          auto& live = s->cond->num != 0 ? s->body : s->else_body;
+          for (auto& inner : live) out.push_back(std::move(inner));
+        } else {
+          out.push_back(std::move(s));
+        }
+        break;
+      }
+      case Stmt::Kind::kWhile:
+        fold_expr(s->cond);
+        fold_stmts(s->body);
+        if (s->cond->kind == Expr::Kind::kNum && s->cond->num == 0) {
+          break;  // while(0): drop entirely
+        }
+        out.push_back(std::move(s));
+        break;
+      case Stmt::Kind::kBug:
+      case Stmt::Kind::kPad:
+        out.push_back(std::move(s));
+        break;
+    }
+  }
+  body = std::move(out);
+}
+
+}  // namespace
+
+bool fold_expr(ExprPtr& e) {
+  switch (e->kind) {
+    case Expr::Kind::kNum:
+    case Expr::Kind::kVar:
+      return false;
+    case Expr::Kind::kBin: {
+      bool changed = fold_expr(e->lhs);
+      changed |= fold_expr(e->rhs);
+      if (e->lhs->kind == Expr::Kind::kNum &&
+          e->rhs->kind == Expr::Kind::kNum) {
+        u64 v;
+        if (apply(e->op, static_cast<u64>(e->lhs->num),
+                  static_cast<u64>(e->rhs->num), v)) {
+          e = Expr::make_num(static_cast<i64>(v));
+          return true;
+        }
+      }
+      return changed;
+    }
+    case Expr::Kind::kCall: {
+      bool changed = false;
+      for (auto& a : e->args) changed |= fold_expr(a);
+      return changed;
+    }
+  }
+  return false;
+}
+
+void run_constfold_pass(Module& module) {
+  for (auto& f : module.functions) fold_stmts(f.body);
+}
+
+}  // namespace kshot::kcc

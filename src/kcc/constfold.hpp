@@ -1,0 +1,20 @@
+// Constant folding + branch pruning. This is the "compiler optimization"
+// knob (besides inlining) that makes pre/post binaries differ even for
+// semantically equivalent sources — the class of problems the paper's patch
+// analysis (§V-A) has to be robust against.
+#pragma once
+
+#include "common/status.hpp"
+#include "kcc/ast.hpp"
+
+namespace kshot::kcc {
+
+/// Folds numeric subexpressions (2 + 3 -> 5) and prunes statically decided
+/// `if` branches throughout the module. Division/modulo by a constant zero
+/// is left unfolded so the runtime oops semantics are preserved.
+void run_constfold_pass(Module& module);
+
+/// Folds one expression in place; returns true if anything changed.
+bool fold_expr(ExprPtr& e);
+
+}  // namespace kshot::kcc

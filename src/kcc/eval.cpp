@@ -1,0 +1,218 @@
+#include "kcc/eval.hpp"
+
+namespace kshot::kcc {
+
+AstEvaluator::AstEvaluator(const Module& m) : module_(m) {
+  for (const auto& g : m.globals) {
+    globals_[g.name] = static_cast<u64>(g.init);
+  }
+}
+
+Result<u64> AstEvaluator::global(const std::string& name) const {
+  auto it = globals_.find(name);
+  if (it == globals_.end()) return Status{Errc::kNotFound, "no global"};
+  return it->second;
+}
+
+Result<EvalOutcome> AstEvaluator::call(const std::string& function,
+                                       const std::vector<u64>& args) {
+  const Function* f = module_.find_function(function);
+  if (f == nullptr) {
+    return Status{Errc::kNotFound, "no function '" + function + "'"};
+  }
+  if (args.size() > f->params.size()) {
+    return Status{Errc::kInvalidArgument, "too many arguments"};
+  }
+  Frame frame;
+  for (size_t i = 0; i < f->params.size(); ++i) {
+    frame.locals[f->params[i]] = i < args.size() ? args[i] : 0;
+  }
+  auto sig = exec_block(f->body, frame, 0);
+  if (!sig) return sig.status();
+
+  EvalOutcome out;
+  switch (sig->kind) {
+    case Signal::Kind::kReturn:
+      out.value = sig->value;
+      break;
+    case Signal::Kind::kOops:
+      out.oops = true;
+      out.trap_code = sig->trap;
+      break;
+    case Signal::Kind::kNone:
+      out.value = 0;  // fall-through return
+      break;
+  }
+  return out;
+}
+
+Result<AstEvaluator::Signal> AstEvaluator::exec_block(
+    const std::vector<StmtPtr>& body, Frame& f, int depth) {
+  for (const auto& s : body) {
+    auto sig = exec_stmt(*s, f, depth);
+    if (!sig) return sig;
+    if (sig->kind != Signal::Kind::kNone) return sig;
+  }
+  return Signal{};
+}
+
+Result<AstEvaluator::Signal> AstEvaluator::exec_stmt(const Stmt& s, Frame& f,
+                                                     int depth) {
+  if (++steps_ > kStepBudget) {
+    return Status{Errc::kResourceExhausted, "step budget exhausted"};
+  }
+  Signal sig;
+  switch (s.kind) {
+    case Stmt::Kind::kLet:
+    case Stmt::Kind::kAssign: {
+      auto v = eval_expr(*s.value, f, depth, sig);
+      if (!v) return v.status();
+      if (sig.kind == Signal::Kind::kOops) return sig;
+      if (s.kind == Stmt::Kind::kLet || f.locals.count(s.name)) {
+        f.locals[s.name] = *v;
+      } else if (globals_.count(s.name)) {
+        globals_[s.name] = *v;
+      } else {
+        return Status{Errc::kNotFound, "unbound variable '" + s.name + "'"};
+      }
+      return Signal{};
+    }
+    case Stmt::Kind::kIf: {
+      auto c = eval_expr(*s.cond, f, depth, sig);
+      if (!c) return c.status();
+      if (sig.kind == Signal::Kind::kOops) return sig;
+      return exec_block(*c != 0 ? s.body : s.else_body, f, depth);
+    }
+    case Stmt::Kind::kWhile: {
+      while (true) {
+        if (++steps_ > kStepBudget) {
+          return Status{Errc::kResourceExhausted, "step budget exhausted"};
+        }
+        auto c = eval_expr(*s.cond, f, depth, sig);
+        if (!c) return c.status();
+        if (sig.kind == Signal::Kind::kOops) return sig;
+        if (*c == 0) return Signal{};
+        auto b = exec_block(s.body, f, depth);
+        if (!b) return b;
+        if (b->kind != Signal::Kind::kNone) return b;
+      }
+    }
+    case Stmt::Kind::kReturn: {
+      auto v = eval_expr(*s.value, f, depth, sig);
+      if (!v) return v.status();
+      if (sig.kind == Signal::Kind::kOops) return sig;
+      Signal ret;
+      ret.kind = Signal::Kind::kReturn;
+      ret.value = *v;
+      return ret;
+    }
+    case Stmt::Kind::kBug: {
+      Signal oops;
+      oops.kind = Signal::Kind::kOops;
+      // The trap instruction carries an 8-bit code; match that semantics.
+      oops.trap = static_cast<u8>(s.num);
+      return oops;
+    }
+    case Stmt::Kind::kPad:
+      return Signal{};
+    case Stmt::Kind::kExpr: {
+      auto v = eval_expr(*s.value, f, depth, sig);
+      if (!v) return v.status();
+      if (sig.kind == Signal::Kind::kOops) return sig;
+      return Signal{};
+    }
+  }
+  return Signal{};
+}
+
+Result<u64> AstEvaluator::eval_expr(const Expr& e, Frame& f, int depth,
+                                    Signal& sig) {
+  switch (e.kind) {
+    case Expr::Kind::kNum:
+      return static_cast<u64>(e.num);
+    case Expr::Kind::kVar: {
+      auto it = f.locals.find(e.name);
+      if (it != f.locals.end()) return it->second;
+      auto g = globals_.find(e.name);
+      if (g != globals_.end()) return g->second;
+      return Status{Errc::kNotFound, "unbound variable '" + e.name + "'"};
+    }
+    case Expr::Kind::kBin: {
+      auto l = eval_expr(*e.lhs, f, depth, sig);
+      if (!l) return l;
+      if (sig.kind == Signal::Kind::kOops) return u64{0};
+      auto r = eval_expr(*e.rhs, f, depth, sig);
+      if (!r) return r;
+      if (sig.kind == Signal::Kind::kOops) return u64{0};
+      u64 a = *l, b = *r;
+      switch (e.op) {
+        case BinOp::kAdd: return a + b;
+        case BinOp::kSub: return a - b;
+        case BinOp::kMul: return a * b;
+        case BinOp::kDiv:
+          if (b == 0) {
+            sig.kind = Signal::Kind::kOops;
+            sig.trap = 0;
+            return u64{0};
+          }
+          return a / b;
+        case BinOp::kMod:
+          if (b == 0) {
+            sig.kind = Signal::Kind::kOops;
+            sig.trap = 0;
+            return u64{0};
+          }
+          return a % b;
+        case BinOp::kAnd: return a & b;
+        case BinOp::kOr: return a | b;
+        case BinOp::kXor: return a ^ b;
+        case BinOp::kShl: return a << (b & 63);
+        case BinOp::kShr: return a >> (b & 63);
+        case BinOp::kEq: return u64{a == b};
+        case BinOp::kNe: return u64{a != b};
+        case BinOp::kLt:
+          return u64{static_cast<i64>(a) < static_cast<i64>(b)};
+        case BinOp::kLe:
+          return u64{static_cast<i64>(a) <= static_cast<i64>(b)};
+        case BinOp::kGt:
+          return u64{static_cast<i64>(a) > static_cast<i64>(b)};
+        case BinOp::kGe:
+          return u64{static_cast<i64>(a) >= static_cast<i64>(b)};
+      }
+      return u64{0};
+    }
+    case Expr::Kind::kCall: {
+      if (depth >= kMaxDepth) {
+        return Status{Errc::kResourceExhausted, "call depth exhausted"};
+      }
+      const Function* callee = module_.find_function(e.name);
+      if (callee == nullptr) {
+        return Status{Errc::kNotFound, "no function '" + e.name + "'"};
+      }
+      if (e.args.size() > callee->params.size()) {
+        return Status{Errc::kInvalidArgument, "too many arguments"};
+      }
+      Frame inner;
+      for (size_t i = 0; i < callee->params.size(); ++i) {
+        if (i < e.args.size()) {
+          auto v = eval_expr(*e.args[i], f, depth, sig);
+          if (!v) return v;
+          if (sig.kind == Signal::Kind::kOops) return u64{0};
+          inner.locals[callee->params[i]] = *v;
+        } else {
+          inner.locals[callee->params[i]] = 0;
+        }
+      }
+      auto ret = exec_block(callee->body, inner, depth + 1);
+      if (!ret) return ret.status();
+      if (ret->kind == Signal::Kind::kOops) {
+        sig = *ret;
+        return u64{0};
+      }
+      return ret->kind == Signal::Kind::kReturn ? ret->value : u64{0};
+    }
+  }
+  return u64{0};
+}
+
+}  // namespace kshot::kcc

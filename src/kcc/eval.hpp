@@ -1,0 +1,57 @@
+// Reference AST interpreter for ksrc. Defines the language's semantics
+// independently of the compiler + machine pipeline, enabling differential
+// testing: for any program and input, compiled execution must agree with
+// this evaluator (including oops/trap behaviour).
+#pragma once
+
+#include <map>
+
+#include "common/status.hpp"
+#include "kcc/ast.hpp"
+
+namespace kshot::kcc {
+
+struct EvalOutcome {
+  bool oops = false;
+  u64 trap_code = 0;  // bug() code or 0 for div-by-zero
+  u64 value = 0;
+};
+
+class AstEvaluator {
+ public:
+  explicit AstEvaluator(const Module& m);
+
+  /// Calls `function` with up to 5 args. Global state persists across calls
+  /// (like a running kernel's data segment). Fails on unknown functions,
+  /// unbound variables, call-depth or step-budget exhaustion.
+  Result<EvalOutcome> call(const std::string& function,
+                           const std::vector<u64>& args);
+
+  [[nodiscard]] Result<u64> global(const std::string& name) const;
+  void set_global(const std::string& name, u64 v) { globals_[name] = v; }
+
+ private:
+  struct Frame {
+    std::map<std::string, u64> locals;
+  };
+
+  struct Signal {
+    enum class Kind { kNone, kReturn, kOops } kind = Kind::kNone;
+    u64 value = 0;
+    u64 trap = 0;
+  };
+
+  Result<Signal> exec_block(const std::vector<StmtPtr>& body, Frame& f,
+                            int depth);
+  Result<Signal> exec_stmt(const Stmt& s, Frame& f, int depth);
+  /// Evaluates an expression; a Signal with kOops aborts evaluation.
+  Result<u64> eval_expr(const Expr& e, Frame& f, int depth, Signal& sig);
+
+  const Module& module_;
+  std::map<std::string, u64> globals_;
+  u64 steps_ = 0;
+  static constexpr u64 kStepBudget = 50'000'000;
+  static constexpr int kMaxDepth = 128;
+};
+
+}  // namespace kshot::kcc

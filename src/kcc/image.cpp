@@ -1,0 +1,51 @@
+#include "kcc/image.hpp"
+
+#include "common/byte_io.hpp"
+
+namespace kshot::kcc {
+
+const Symbol* KernelImage::find_symbol(const std::string& name) const {
+  for (const auto& s : symbols) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const GlobalSym* KernelImage::find_global(const std::string& name) const {
+  for (const auto& g : globals) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const Symbol* KernelImage::symbol_at(u64 addr) const {
+  for (const auto& s : symbols) {
+    if (addr >= s.addr && addr < s.addr + s.size) return &s;
+  }
+  return nullptr;
+}
+
+Result<Bytes> KernelImage::function_bytes(const std::string& name) const {
+  const Symbol* s = find_symbol(name);
+  if (!s) return {Errc::kNotFound, "symbol '" + name + "' not in image"};
+  size_t off = s->addr - text_base;
+  return Bytes(text.begin() + static_cast<std::ptrdiff_t>(off),
+               text.begin() + static_cast<std::ptrdiff_t>(off + s->size));
+}
+
+Bytes KernelImage::data_image() const {
+  ByteWriter w;
+  for (const auto& g : globals) w.put_u64(static_cast<u64>(g.init));
+  return w.take();
+}
+
+crypto::Digest256 KernelImage::measurement() const {
+  ByteWriter w;
+  w.put_u64(text_base);
+  w.put_u64(data_base);
+  w.put_bytes(text);
+  w.put_bytes(data_image());
+  return crypto::sha256(w.bytes());
+}
+
+}  // namespace kshot::kcc

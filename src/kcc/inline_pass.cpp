@@ -1,0 +1,260 @@
+#include "kcc/inline_pass.hpp"
+
+#include <map>
+#include <set>
+
+namespace kshot::kcc {
+
+namespace {
+
+bool stmts_inlinable(const std::vector<StmtPtr>& body, bool allow_return_last);
+
+bool stmt_inlinable(const Stmt& s, bool may_be_return) {
+  switch (s.kind) {
+    case Stmt::Kind::kLet:
+    case Stmt::Kind::kAssign:
+    case Stmt::Kind::kBug:
+    case Stmt::Kind::kPad:
+    case Stmt::Kind::kExpr:
+      return true;
+    case Stmt::Kind::kIf:
+      return stmts_inlinable(s.body, false) &&
+             stmts_inlinable(s.else_body, false);
+    case Stmt::Kind::kWhile:
+      return false;
+    case Stmt::Kind::kReturn:
+      return may_be_return;
+  }
+  return false;
+}
+
+bool stmts_inlinable(const std::vector<StmtPtr>& body, bool allow_return_last) {
+  for (size_t i = 0; i < body.size(); ++i) {
+    bool last = allow_return_last && i + 1 == body.size();
+    if (!stmt_inlinable(*body[i], last)) return false;
+  }
+  return true;
+}
+
+/// Renames variable references: params/locals of the inlinee get fresh
+/// names; anything else (globals, function names) is left alone.
+void rename_expr(Expr& e, const std::map<std::string, std::string>& renames) {
+  switch (e.kind) {
+    case Expr::Kind::kNum:
+      break;
+    case Expr::Kind::kVar: {
+      auto it = renames.find(e.name);
+      if (it != renames.end()) e.name = it->second;
+      break;
+    }
+    case Expr::Kind::kBin:
+      rename_expr(*e.lhs, renames);
+      rename_expr(*e.rhs, renames);
+      break;
+    case Expr::Kind::kCall:
+      for (auto& a : e.args) rename_expr(*a, renames);
+      break;
+  }
+}
+
+void rename_stmts(std::vector<StmtPtr>& body,
+                  std::map<std::string, std::string>& renames,
+                  int inst_id) {
+  for (auto& s : body) {
+    switch (s->kind) {
+      case Stmt::Kind::kLet: {
+        // Rename uses first, then introduce the fresh binding.
+        rename_expr(*s->value, renames);
+        std::string fresh =
+            "__inl" + std::to_string(inst_id) + "_" + s->name;
+        renames[s->name] = fresh;
+        s->name = fresh;
+        break;
+      }
+      case Stmt::Kind::kAssign: {
+        rename_expr(*s->value, renames);
+        auto it = renames.find(s->name);
+        if (it != renames.end()) s->name = it->second;
+        break;
+      }
+      case Stmt::Kind::kIf:
+        rename_expr(*s->cond, renames);
+        rename_stmts(s->body, renames, inst_id);
+        rename_stmts(s->else_body, renames, inst_id);
+        break;
+      case Stmt::Kind::kWhile:
+        rename_expr(*s->cond, renames);
+        rename_stmts(s->body, renames, inst_id);
+        break;
+      case Stmt::Kind::kReturn:
+      case Stmt::Kind::kExpr:
+        rename_expr(*s->value, renames);
+        break;
+      case Stmt::Kind::kBug:
+      case Stmt::Kind::kPad:
+        break;
+    }
+  }
+}
+
+class Inliner {
+ public:
+  explicit Inliner(Module& m) : module_(m) {
+    for (const auto& f : m.functions) {
+      if (f.is_inline) inlinable_.insert(f.name);
+    }
+  }
+
+  Status run() {
+    for (const auto& name : inlinable_) {
+      const Function* f = module_.find_function(name);
+      if (!is_inlinable_shape(*f)) {
+        return {Errc::kUnsupported,
+                "inline function '" + name + "' has unsupported shape"};
+      }
+    }
+    for (auto& f : module_.functions) {
+      if (f.is_inline) continue;
+      KSHOT_RETURN_IF_ERROR(expand_in_stmts(f.body, 0));
+    }
+    return Status::ok();
+  }
+
+ private:
+  /// Rewrites `e` in place, appending prelude statements (argument bindings
+  /// and the inlinee body) to `prelude`. Depth caps transitive expansion.
+  Status expand_in_expr(ExprPtr& e, std::vector<StmtPtr>& prelude, int depth) {
+    if (depth > 16) {
+      return {Errc::kResourceExhausted, "inline expansion too deep"};
+    }
+    switch (e->kind) {
+      case Expr::Kind::kNum:
+      case Expr::Kind::kVar:
+        return Status::ok();
+      case Expr::Kind::kBin:
+        KSHOT_RETURN_IF_ERROR(expand_in_expr(e->lhs, prelude, depth));
+        KSHOT_RETURN_IF_ERROR(expand_in_expr(e->rhs, prelude, depth));
+        return Status::ok();
+      case Expr::Kind::kCall: {
+        for (auto& a : e->args) {
+          KSHOT_RETURN_IF_ERROR(expand_in_expr(a, prelude, depth));
+        }
+        if (!inlinable_.count(e->name)) return Status::ok();
+
+        const Function* callee = module_.find_function(e->name);
+        if (callee->params.size() != e->args.size()) {
+          return {Errc::kInvalidArgument,
+                  "arity mismatch calling '" + e->name + "'"};
+        }
+        int id = next_instance_++;
+        std::map<std::string, std::string> renames;
+        // Bind arguments to fresh locals.
+        for (size_t i = 0; i < callee->params.size(); ++i) {
+          std::string fresh = "__inl" + std::to_string(id) + "_" +
+                              callee->params[i];
+          renames[callee->params[i]] = fresh;
+          auto let = std::make_unique<Stmt>();
+          let->kind = Stmt::Kind::kLet;
+          let->name = fresh;
+          let->value = std::move(e->args[i]);
+          prelude.push_back(std::move(let));
+        }
+        // Splice the body (all but the trailing return), renamed.
+        Function body_copy = callee->clone();
+        StmtPtr ret = std::move(body_copy.body.back());
+        body_copy.body.pop_back();
+        rename_stmts(body_copy.body, renames, id);
+        // The return expression replaces the call. Rename it with the final
+        // rename map (which now includes the inlinee's lets).
+        rename_expr(*ret->value, renames);
+        // Transitively expand calls inside the spliced body.
+        for (auto& s : body_copy.body) prelude.push_back(std::move(s));
+        KSHOT_RETURN_IF_ERROR(expand_prelude_tail(prelude, depth + 1));
+        ExprPtr replacement = std::move(ret->value);
+        KSHOT_RETURN_IF_ERROR(
+            expand_in_expr(replacement, prelude, depth + 1));
+        e = std::move(replacement);
+        return Status::ok();
+      }
+    }
+    return Status::ok();
+  }
+
+  /// Expands inlinable calls inside statements just appended to a prelude.
+  Status expand_prelude_tail(std::vector<StmtPtr>& prelude, int depth) {
+    // Re-run expansion over the prelude itself; expand_in_stmts handles
+    // insertion ordering.
+    return expand_in_stmts(prelude, depth);
+  }
+
+  Status expand_in_stmts(std::vector<StmtPtr>& body, int depth) {
+    std::vector<StmtPtr> out;
+    out.reserve(body.size());
+    for (auto& s : body) {
+      std::vector<StmtPtr> prelude;
+      switch (s->kind) {
+        case Stmt::Kind::kLet:
+        case Stmt::Kind::kAssign:
+        case Stmt::Kind::kReturn:
+        case Stmt::Kind::kExpr:
+          KSHOT_RETURN_IF_ERROR(expand_in_expr(s->value, prelude, depth));
+          break;
+        case Stmt::Kind::kIf: {
+          KSHOT_RETURN_IF_ERROR(expand_in_expr(s->cond, prelude, depth));
+          KSHOT_RETURN_IF_ERROR(expand_in_stmts(s->body, depth));
+          KSHOT_RETURN_IF_ERROR(expand_in_stmts(s->else_body, depth));
+          break;
+        }
+        case Stmt::Kind::kWhile: {
+          if (contains_inlinable_call(*s->cond)) {
+            return {Errc::kUnsupported,
+                    "inline call in while-condition is not supported"};
+          }
+          KSHOT_RETURN_IF_ERROR(expand_in_stmts(s->body, depth));
+          break;
+        }
+        case Stmt::Kind::kBug:
+        case Stmt::Kind::kPad:
+          break;
+      }
+      for (auto& p : prelude) out.push_back(std::move(p));
+      out.push_back(std::move(s));
+    }
+    body = std::move(out);
+    return Status::ok();
+  }
+
+  bool contains_inlinable_call(const Expr& e) const {
+    switch (e.kind) {
+      case Expr::Kind::kNum:
+      case Expr::Kind::kVar:
+        return false;
+      case Expr::Kind::kBin:
+        return contains_inlinable_call(*e.lhs) ||
+               contains_inlinable_call(*e.rhs);
+      case Expr::Kind::kCall:
+        if (inlinable_.count(e.name)) return true;
+        for (const auto& a : e.args) {
+          if (contains_inlinable_call(*a)) return true;
+        }
+        return false;
+    }
+    return false;
+  }
+
+  Module& module_;
+  std::set<std::string> inlinable_;
+  int next_instance_ = 0;
+};
+
+}  // namespace
+
+bool is_inlinable_shape(const Function& f) {
+  if (f.body.empty()) return false;
+  if (f.body.back()->kind != Stmt::Kind::kReturn) return false;
+  return stmts_inlinable(f.body, true);
+}
+
+Status run_inline_pass(Module& module) { return Inliner(module).run(); }
+
+}  // namespace kshot::kcc

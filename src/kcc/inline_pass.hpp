@@ -1,0 +1,24 @@
+// Source-level function inlining. Functions marked `inline` are expanded at
+// every call site (like static inline in kernel C) and are not emitted into
+// the binary image. This is what creates the paper's Type 2 patches: editing
+// an inlined function's source implicates every *caller* in the binary, and
+// the patch toolchain must discover that via the source-vs-binary call-graph
+// difference (§V-A).
+#pragma once
+
+#include "kcc/ast.hpp"
+#include "common/status.hpp"
+
+namespace kshot::kcc {
+
+/// Expands all calls to `inline` functions in place. Fails if an inline
+/// function has an unsupported shape (loops, early returns, or a call to it
+/// appears in a loop condition) or if inlining exceeds the transitive depth
+/// limit (recursive inline functions).
+Status run_inline_pass(Module& module);
+
+/// True if `f` has a shape the inliner supports: straight-line lets/assigns/
+/// ifs/bugs/pads with a single trailing `return`.
+bool is_inlinable_shape(const Function& f);
+
+}  // namespace kshot::kcc

@@ -1,0 +1,127 @@
+#include "kcc/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace kshot::kcc {
+
+Result<std::vector<Token>> lex(const std::string& src) {
+  static const std::map<std::string, Tok> kKeywords = {
+      {"fn", Tok::kFn},         {"let", Tok::kLet},
+      {"if", Tok::kIf},         {"else", Tok::kElse},
+      {"while", Tok::kWhile},   {"return", Tok::kReturn},
+      {"global", Tok::kGlobal}, {"inline", Tok::kInline},
+      {"notrace", Tok::kNotrace}, {"bug", Tok::kBug},
+      {"pad", Tok::kPad},
+  };
+
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  auto peek = [&](size_t k = 0) -> char {
+    return i + k < src.size() ? src[i + k] : '\0';
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                                src[i] == '_')) {
+        ++i;
+      }
+      std::string word = src.substr(start, i - start);
+      auto kw = kKeywords.find(word);
+      if (kw != kKeywords.end()) {
+        out.push_back({kw->second, word, 0, line});
+      } else {
+        out.push_back({Tok::kIdent, word, 0, line});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      i64 value = 0;
+      if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        i += 2;
+        while (i < src.size() &&
+               std::isxdigit(static_cast<unsigned char>(src[i]))) {
+          char d = src[i];
+          int v = std::isdigit(static_cast<unsigned char>(d))
+                      ? d - '0'
+                      : (std::tolower(d) - 'a' + 10);
+          value = value * 16 + v;
+          ++i;
+        }
+      } else {
+        while (i < src.size() &&
+               std::isdigit(static_cast<unsigned char>(src[i]))) {
+          value = value * 10 + (src[i] - '0');
+          ++i;
+        }
+      }
+      (void)start;
+      out.push_back({Tok::kNum, "", value, line});
+      continue;
+    }
+
+    auto two = [&](char a, char b, Tok t) -> bool {
+      if (c == a && peek(1) == b) {
+        out.push_back({t, "", 0, line});
+        i += 2;
+        return true;
+      }
+      return false;
+    };
+    if (two('=', '=', Tok::kEq)) continue;
+    if (two('!', '=', Tok::kNe)) continue;
+    if (two('<', '=', Tok::kLe)) continue;
+    if (two('>', '=', Tok::kGe)) continue;
+    if (two('<', '<', Tok::kShl)) continue;
+    if (two('>', '>', Tok::kShr)) continue;
+
+    Tok t;
+    switch (c) {
+      case '(': t = Tok::kLParen; break;
+      case ')': t = Tok::kRParen; break;
+      case '{': t = Tok::kLBrace; break;
+      case '}': t = Tok::kRBrace; break;
+      case ',': t = Tok::kComma; break;
+      case ';': t = Tok::kSemi; break;
+      case '=': t = Tok::kAssign; break;
+      case '+': t = Tok::kPlus; break;
+      case '-': t = Tok::kMinus; break;
+      case '*': t = Tok::kStar; break;
+      case '/': t = Tok::kSlash; break;
+      case '%': t = Tok::kPercent; break;
+      case '&': t = Tok::kAmp; break;
+      case '|': t = Tok::kPipe; break;
+      case '^': t = Tok::kCaret; break;
+      case '<': t = Tok::kLt; break;
+      case '>': t = Tok::kGt; break;
+      default:
+        return {Errc::kInvalidArgument,
+                "unexpected character '" + std::string(1, c) + "' at line " +
+                    std::to_string(line)};
+    }
+    out.push_back({t, "", 0, line});
+    ++i;
+  }
+  out.push_back({Tok::kEof, "", 0, line});
+  return out;
+}
+
+}  // namespace kshot::kcc

@@ -1,0 +1,36 @@
+// Tokenizer for ksrc.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace kshot::kcc {
+
+enum class Tok {
+  kEof,
+  kIdent,
+  kNum,
+  // keywords
+  kFn, kLet, kIf, kElse, kWhile, kReturn, kGlobal, kInline, kNotrace,
+  kBug, kPad,
+  // punctuation
+  kLParen, kRParen, kLBrace, kRBrace, kComma, kSemi, kAssign,
+  // operators
+  kPlus, kMinus, kStar, kSlash, kPercent, kAmp, kPipe, kCaret,
+  kShl, kShr, kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;   // identifier text
+  i64 num = 0;        // literal value
+  int line = 1;       // 1-based source line, for diagnostics
+};
+
+/// Tokenizes the whole source; fails on an unexpected character.
+Result<std::vector<Token>> lex(const std::string& source);
+
+}  // namespace kshot::kcc

@@ -1,0 +1,342 @@
+#include "kcc/parser.hpp"
+
+namespace kshot::kcc {
+
+namespace {
+
+// Consumes the expected token or early-returns the error from the enclosing
+// Result-returning parse method.
+#define KSHOT_PARSE_EXPECT(tok, what)        \
+  do {                                       \
+    ::kshot::Status _st = expect(tok, what); \
+    if (!_st.is_ok()) return _st;            \
+  } while (0)
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<Module> run() {
+    Module m;
+    while (!at(Tok::kEof)) {
+      if (at(Tok::kGlobal)) {
+        auto g = parse_global();
+        if (!g) return g.status();
+        m.globals.push_back(*g);
+      } else {
+        auto f = parse_function();
+        if (!f) return f.status();
+        m.functions.push_back(std::move(*f));
+      }
+    }
+    return m;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(Tok t) const { return cur().kind == t; }
+  Token advance() { return toks_[pos_++]; }
+
+  Status expect(Tok t, const char* what) {
+    if (!at(t)) {
+      return {Errc::kInvalidArgument,
+              std::string("expected ") + what + " at line " +
+                  std::to_string(cur().line)};
+    }
+    ++pos_;
+    return Status::ok();
+  }
+
+  Result<GlobalDecl> parse_global() {
+    ++pos_;  // 'global'
+    if (!at(Tok::kIdent)) {
+      return Status{Errc::kInvalidArgument, "expected global name"};
+    }
+    GlobalDecl g;
+    g.name = advance().text;
+    KSHOT_PARSE_EXPECT(Tok::kAssign, "'='");
+    i64 sign = 1;
+    if (at(Tok::kMinus)) {
+      sign = -1;
+      ++pos_;
+    }
+    if (!at(Tok::kNum)) {
+      return Status{Errc::kInvalidArgument, "expected global initializer"};
+    }
+    g.init = sign * advance().num;
+    KSHOT_PARSE_EXPECT(Tok::kSemi, "';'");
+    return g;
+  }
+
+  Result<Function> parse_function() {
+    Function f;
+    while (at(Tok::kInline) || at(Tok::kNotrace)) {
+      if (at(Tok::kInline)) f.is_inline = true;
+      if (at(Tok::kNotrace)) f.notrace = true;
+      ++pos_;
+    }
+    KSHOT_PARSE_EXPECT(Tok::kFn, "'fn'");
+    if (!at(Tok::kIdent)) {
+      return Status{Errc::kInvalidArgument,
+                    "expected function name at line " +
+                        std::to_string(cur().line)};
+    }
+    f.name = advance().text;
+    KSHOT_PARSE_EXPECT(Tok::kLParen, "'('");
+    if (!at(Tok::kRParen)) {
+      while (true) {
+        if (!at(Tok::kIdent)) {
+          return Status{Errc::kInvalidArgument, "expected parameter name"};
+        }
+        f.params.push_back(advance().text);
+        if (at(Tok::kComma)) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+    }
+    KSHOT_PARSE_EXPECT(Tok::kRParen, "')'");
+    auto body = parse_block();
+    if (!body) return body.status();
+    f.body = std::move(*body);
+    return f;
+  }
+
+  Result<std::vector<StmtPtr>> parse_block() {
+    KSHOT_PARSE_EXPECT(Tok::kLBrace, "'{'");
+    std::vector<StmtPtr> stmts;
+    while (!at(Tok::kRBrace)) {
+      if (at(Tok::kEof)) {
+        return Status{Errc::kInvalidArgument, "unterminated block"};
+      }
+      auto s = parse_stmt();
+      if (!s) return s.status();
+      stmts.push_back(std::move(*s));
+    }
+    ++pos_;  // '}'
+    return stmts;
+  }
+
+  Result<StmtPtr> parse_stmt() {
+    auto s = std::make_unique<Stmt>();
+    if (at(Tok::kLet)) {
+      ++pos_;
+      s->kind = Stmt::Kind::kLet;
+      if (!at(Tok::kIdent)) {
+        return Status{Errc::kInvalidArgument, "expected local name"};
+      }
+      s->name = advance().text;
+      KSHOT_PARSE_EXPECT(Tok::kAssign, "'='");
+      auto e = parse_expr();
+      if (!e) return e.status();
+      s->value = std::move(*e);
+      KSHOT_PARSE_EXPECT(Tok::kSemi, "';'");
+      return s;
+    }
+    if (at(Tok::kIf)) {
+      ++pos_;
+      s->kind = Stmt::Kind::kIf;
+      KSHOT_PARSE_EXPECT(Tok::kLParen, "'('");
+      auto c = parse_expr();
+      if (!c) return c.status();
+      s->cond = std::move(*c);
+      KSHOT_PARSE_EXPECT(Tok::kRParen, "')'");
+      auto body = parse_block();
+      if (!body) return body.status();
+      s->body = std::move(*body);
+      if (at(Tok::kElse)) {
+        ++pos_;
+        auto eb = parse_block();
+        if (!eb) return eb.status();
+        s->else_body = std::move(*eb);
+      }
+      return s;
+    }
+    if (at(Tok::kWhile)) {
+      ++pos_;
+      s->kind = Stmt::Kind::kWhile;
+      KSHOT_PARSE_EXPECT(Tok::kLParen, "'('");
+      auto c = parse_expr();
+      if (!c) return c.status();
+      s->cond = std::move(*c);
+      KSHOT_PARSE_EXPECT(Tok::kRParen, "')'");
+      auto body = parse_block();
+      if (!body) return body.status();
+      s->body = std::move(*body);
+      return s;
+    }
+    if (at(Tok::kReturn)) {
+      ++pos_;
+      s->kind = Stmt::Kind::kReturn;
+      auto e = parse_expr();
+      if (!e) return e.status();
+      s->value = std::move(*e);
+      KSHOT_PARSE_EXPECT(Tok::kSemi, "';'");
+      return s;
+    }
+    if (at(Tok::kBug)) {
+      ++pos_;
+      s->kind = Stmt::Kind::kBug;
+      KSHOT_PARSE_EXPECT(Tok::kLParen, "'('");
+      if (!at(Tok::kNum)) {
+        return Status{Errc::kInvalidArgument, "bug() needs a numeric code"};
+      }
+      s->num = advance().num;
+      KSHOT_PARSE_EXPECT(Tok::kRParen, "')'");
+      KSHOT_PARSE_EXPECT(Tok::kSemi, "';'");
+      return s;
+    }
+    if (at(Tok::kPad)) {
+      ++pos_;
+      s->kind = Stmt::Kind::kPad;
+      KSHOT_PARSE_EXPECT(Tok::kLParen, "'('");
+      if (!at(Tok::kNum)) {
+        return Status{Errc::kInvalidArgument, "pad() needs a byte count"};
+      }
+      s->num = advance().num;
+      KSHOT_PARSE_EXPECT(Tok::kRParen, "')'");
+      KSHOT_PARSE_EXPECT(Tok::kSemi, "';'");
+      return s;
+    }
+    // assignment or expression statement
+    if (at(Tok::kIdent) && toks_[pos_ + 1].kind == Tok::kAssign) {
+      s->kind = Stmt::Kind::kAssign;
+      s->name = advance().text;
+      ++pos_;  // '='
+      auto e = parse_expr();
+      if (!e) return e.status();
+      s->value = std::move(*e);
+      KSHOT_PARSE_EXPECT(Tok::kSemi, "';'");
+      return s;
+    }
+    {
+      s->kind = Stmt::Kind::kExpr;
+      auto e = parse_expr();
+      if (!e) return e.status();
+      s->value = std::move(*e);
+      KSHOT_PARSE_EXPECT(Tok::kSemi, "';'");
+      return s;
+    }
+  }
+
+  Result<ExprPtr> parse_expr() { return parse_comparison(); }
+
+  Result<ExprPtr> parse_comparison() {
+    auto lhs = parse_additive();
+    if (!lhs) return lhs;
+    BinOp op;
+    switch (cur().kind) {
+      case Tok::kEq: op = BinOp::kEq; break;
+      case Tok::kNe: op = BinOp::kNe; break;
+      case Tok::kLt: op = BinOp::kLt; break;
+      case Tok::kLe: op = BinOp::kLe; break;
+      case Tok::kGt: op = BinOp::kGt; break;
+      case Tok::kGe: op = BinOp::kGe; break;
+      default: return lhs;
+    }
+    ++pos_;
+    auto rhs = parse_additive();
+    if (!rhs) return rhs;
+    return Expr::make_bin(op, std::move(*lhs), std::move(*rhs));
+  }
+
+  Result<ExprPtr> parse_additive() {
+    auto lhs = parse_term();
+    if (!lhs) return lhs;
+    while (at(Tok::kPlus) || at(Tok::kMinus) || at(Tok::kAmp) ||
+           at(Tok::kPipe) || at(Tok::kCaret)) {
+      BinOp op;
+      switch (cur().kind) {
+        case Tok::kPlus: op = BinOp::kAdd; break;
+        case Tok::kMinus: op = BinOp::kSub; break;
+        case Tok::kAmp: op = BinOp::kAnd; break;
+        case Tok::kPipe: op = BinOp::kOr; break;
+        default: op = BinOp::kXor; break;
+      }
+      ++pos_;
+      auto rhs = parse_term();
+      if (!rhs) return rhs;
+      lhs = Expr::make_bin(op, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> parse_term() {
+    auto lhs = parse_unary();
+    if (!lhs) return lhs;
+    while (at(Tok::kStar) || at(Tok::kSlash) || at(Tok::kPercent) ||
+           at(Tok::kShl) || at(Tok::kShr)) {
+      BinOp op;
+      switch (cur().kind) {
+        case Tok::kStar: op = BinOp::kMul; break;
+        case Tok::kSlash: op = BinOp::kDiv; break;
+        case Tok::kPercent: op = BinOp::kMod; break;
+        case Tok::kShl: op = BinOp::kShl; break;
+        default: op = BinOp::kShr; break;
+      }
+      ++pos_;
+      auto rhs = parse_unary();
+      if (!rhs) return rhs;
+      lhs = Expr::make_bin(op, std::move(*lhs), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> parse_unary() {
+    if (at(Tok::kNum)) {
+      return Expr::make_num(advance().num);
+    }
+    if (at(Tok::kMinus)) {
+      ++pos_;
+      auto e = parse_unary();
+      if (!e) return e;
+      return Expr::make_bin(BinOp::kSub, Expr::make_num(0), std::move(*e));
+    }
+    if (at(Tok::kLParen)) {
+      ++pos_;
+      auto e = parse_expr();
+      if (!e) return e;
+      KSHOT_PARSE_EXPECT(Tok::kRParen, "')'");
+      return e;
+    }
+    if (at(Tok::kIdent)) {
+      std::string name = advance().text;
+      if (at(Tok::kLParen)) {
+        ++pos_;
+        std::vector<ExprPtr> args;
+        if (!at(Tok::kRParen)) {
+          while (true) {
+            auto a = parse_expr();
+            if (!a) return a;
+            args.push_back(std::move(*a));
+            if (at(Tok::kComma)) {
+              ++pos_;
+              continue;
+            }
+            break;
+          }
+        }
+        KSHOT_PARSE_EXPECT(Tok::kRParen, "')'");
+        return Expr::make_call(std::move(name), std::move(args));
+      }
+      return Expr::make_var(std::move(name));
+    }
+    return Status{Errc::kInvalidArgument,
+                  "unexpected token at line " + std::to_string(cur().line)};
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Module> parse(const std::string& source) {
+  auto toks = lex(source);
+  if (!toks) return toks.status();
+  Parser p(std::move(*toks));
+  return p.run();
+}
+
+}  // namespace kshot::kcc

@@ -1,0 +1,12 @@
+// Recursive-descent parser: tokens -> Module.
+#pragma once
+
+#include "kcc/ast.hpp"
+#include "kcc/lexer.hpp"
+
+namespace kshot::kcc {
+
+/// Parses a complete ksrc module. Errors carry a line number.
+Result<Module> parse(const std::string& source);
+
+}  // namespace kshot::kcc

@@ -1,0 +1,119 @@
+#include "kcc/printer.hpp"
+
+#include <sstream>
+
+namespace kshot::kcc {
+
+namespace {
+const char* binop_str(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kAnd: return "&";
+    case BinOp::kOr: return "|";
+    case BinOp::kXor: return "^";
+    case BinOp::kShl: return "<<";
+    case BinOp::kShr: return ">>";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string ind(int n) { return std::string(static_cast<size_t>(n) * 2, ' '); }
+}  // namespace
+
+std::string to_source(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kNum:
+      return std::to_string(e.num);
+    case Expr::Kind::kVar:
+      return e.name;
+    case Expr::Kind::kBin:
+      return "(" + to_source(*e.lhs) + " " + binop_str(e.op) + " " +
+             to_source(*e.rhs) + ")";
+    case Expr::Kind::kCall: {
+      std::string s = e.name + "(";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i) s += ", ";
+        s += to_source(*e.args[i]);
+      }
+      return s + ")";
+    }
+  }
+  return "";
+}
+
+std::string to_source(const Stmt& s, int indent) {
+  std::ostringstream os;
+  switch (s.kind) {
+    case Stmt::Kind::kLet:
+      os << ind(indent) << "let " << s.name << " = " << to_source(*s.value)
+         << ";\n";
+      break;
+    case Stmt::Kind::kAssign:
+      os << ind(indent) << s.name << " = " << to_source(*s.value) << ";\n";
+      break;
+    case Stmt::Kind::kIf:
+      os << ind(indent) << "if (" << to_source(*s.cond) << ") {\n";
+      for (const auto& b : s.body) os << to_source(*b, indent + 1);
+      if (!s.else_body.empty()) {
+        os << ind(indent) << "} else {\n";
+        for (const auto& b : s.else_body) os << to_source(*b, indent + 1);
+      }
+      os << ind(indent) << "}\n";
+      break;
+    case Stmt::Kind::kWhile:
+      os << ind(indent) << "while (" << to_source(*s.cond) << ") {\n";
+      for (const auto& b : s.body) os << to_source(*b, indent + 1);
+      os << ind(indent) << "}\n";
+      break;
+    case Stmt::Kind::kReturn:
+      os << ind(indent) << "return " << to_source(*s.value) << ";\n";
+      break;
+    case Stmt::Kind::kBug:
+      os << ind(indent) << "bug(" << s.num << ");\n";
+      break;
+    case Stmt::Kind::kPad:
+      os << ind(indent) << "pad(" << s.num << ");\n";
+      break;
+    case Stmt::Kind::kExpr:
+      os << ind(indent) << to_source(*s.value) << ";\n";
+      break;
+  }
+  return os.str();
+}
+
+std::string to_source(const Function& f) {
+  std::ostringstream os;
+  if (f.is_inline) os << "inline ";
+  if (f.notrace) os << "notrace ";
+  os << "fn " << f.name << "(";
+  for (size_t i = 0; i < f.params.size(); ++i) {
+    if (i) os << ", ";
+    os << f.params[i];
+  }
+  os << ") {\n";
+  for (const auto& s : f.body) os << to_source(*s, 1);
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_source(const Module& m) {
+  std::ostringstream os;
+  for (const auto& g : m.globals) {
+    os << "global " << g.name << " = " << g.init << ";\n";
+  }
+  if (!m.globals.empty()) os << "\n";
+  for (const auto& f : m.functions) os << to_source(f) << "\n";
+  return os.str();
+}
+
+}  // namespace kshot::kcc

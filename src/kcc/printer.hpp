@@ -1,0 +1,16 @@
+// Canonical ksrc pretty-printer. Used to compare functions structurally
+// (source-level diff) and to round-trip sources in tests.
+#pragma once
+
+#include <string>
+
+#include "kcc/ast.hpp"
+
+namespace kshot::kcc {
+
+std::string to_source(const Expr& e);
+std::string to_source(const Stmt& s, int indent = 0);
+std::string to_source(const Function& f);
+std::string to_source(const Module& m);
+
+}  // namespace kshot::kcc

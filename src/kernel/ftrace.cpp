@@ -1,0 +1,81 @@
+#include "kernel/ftrace.hpp"
+
+#include "common/byte_io.hpp"
+#include "isa/assembler.hpp"
+
+namespace kshot::kernel {
+
+namespace {
+// The stub and counter live in the last page of the module area, away from
+// kpatch-style patch modules that allocate from the bottom.
+constexpr u64 kStubPageOffsetFromEnd = 4096;
+}  // namespace
+
+Status FtraceRuntime::install() {
+  if (installed_) return Status::ok();
+  const MemoryLayout& lay = kernel_.layout();
+  auto& mem = kernel_.machine().mem();
+
+  u64 page = lay.module_base + lay.module_size - kStubPageOffsetFromEnd;
+  counter_addr_ = page;      // 8-byte hit counter
+  stub_addr_ = page + 16;    // stub code follows
+
+  // __fentry__: preserve r10 (the only register used), bump the counter.
+  isa::Assembler a;
+  a.push(10);
+  a.loadg(10, static_cast<u32>(counter_addr_));
+  a.alui(isa::Op::kAddi, 10, 1);
+  a.storeg(10, static_cast<u32>(counter_addr_));
+  a.pop(10);
+  a.ret();
+  auto code = a.finish();
+  if (!code) return code.status();
+
+  KSHOT_RETURN_IF_ERROR(
+      mem.write_u64(counter_addr_, 0, machine::AccessMode::normal()));
+  KSHOT_RETURN_IF_ERROR(
+      mem.write(stub_addr_, *code, machine::AccessMode::normal()));
+  installed_ = true;
+  return Status::ok();
+}
+
+Status FtraceRuntime::enable(const std::string& function) {
+  if (!installed_) return {Errc::kFailedPrecondition, "ftrace not installed"};
+  const kcc::Symbol* sym = kernel_.image().find_symbol(function);
+  if (sym == nullptr) return {Errc::kNotFound, "no such function"};
+  if (!sym->traced) {
+    return {Errc::kUnsupported, "function compiled notrace"};
+  }
+  // call rel32: E8, displacement relative to the end of the instruction.
+  Bytes call;
+  call.push_back(0xE8);
+  u8 rel[4];
+  i64 disp = static_cast<i64>(stub_addr_) - static_cast<i64>(sym->addr + 5);
+  store_u32(rel, static_cast<u32>(static_cast<i32>(disp)));
+  call.insert(call.end(), rel, rel + 4);
+  KSHOT_RETURN_IF_ERROR(kernel_.machine().mem().write(
+      sym->addr, call, machine::AccessMode::normal()));
+  enabled_.insert(function);
+  return Status::ok();
+}
+
+Status FtraceRuntime::disable(const std::string& function) {
+  if (!enabled_.count(function)) {
+    return {Errc::kFailedPrecondition, "not traced"};
+  }
+  const kcc::Symbol* sym = kernel_.image().find_symbol(function);
+  if (sym == nullptr) return {Errc::kNotFound, "no such function"};
+  Bytes nop5 = {0x0F, 0x1F, 0x44, 0x00, 0x00};
+  KSHOT_RETURN_IF_ERROR(kernel_.machine().mem().write(
+      sym->addr, nop5, machine::AccessMode::normal()));
+  enabled_.erase(function);
+  return Status::ok();
+}
+
+Result<u64> FtraceRuntime::hits() const {
+  if (!installed_) return Status{Errc::kFailedPrecondition, "not installed"};
+  return kernel_.machine().mem().read_u64(counter_addr_,
+                                          machine::AccessMode::normal());
+}
+
+}  // namespace kshot::kernel

@@ -1,0 +1,52 @@
+// Kernel dynamic tracing runtime (paper §V-A "Supporting Kernel Tracing").
+// Traced functions are compiled with a 5-byte nop pad at their entry; this
+// runtime — like the real kernel's ftrace — rewrites that pad at runtime
+// into `call __fentry__` and back. Live patching must coexist: KShot writes
+// its trampoline *after* the pad, so the tracer and the patcher own disjoint
+// bytes of the function entry.
+//
+// The __fentry__ stub is hand-assembled to clobber nothing the interrupted
+// function needs: it saves the one scratch register it uses and touches no
+// flags (our ISA's arithmetic does not set flags; only cmp does).
+#pragma once
+
+#include <set>
+
+#include "kernel/kernel.hpp"
+
+namespace kshot::kernel {
+
+class FtraceRuntime {
+ public:
+  explicit FtraceRuntime(Kernel& k) : kernel_(k) {}
+
+  /// Installs the __fentry__ stub and its hit counter at the top of the
+  /// kernel module area.
+  Status install();
+
+  /// Rewrites `function`'s entry pad into `call __fentry__`. Fails for
+  /// functions compiled `notrace` or when not installed.
+  Status enable(const std::string& function);
+
+  /// Restores the nop pad.
+  Status disable(const std::string& function);
+
+  [[nodiscard]] bool is_traced(const std::string& function) const {
+    return enabled_.count(function) > 0;
+  }
+
+  /// Number of traced-function entries since install().
+  [[nodiscard]] Result<u64> hits() const;
+
+  /// Address of the stub (for tests).
+  [[nodiscard]] u64 stub_addr() const { return stub_addr_; }
+
+ private:
+  Kernel& kernel_;
+  bool installed_ = false;
+  u64 stub_addr_ = 0;
+  u64 counter_addr_ = 0;
+  std::set<std::string> enabled_;
+};
+
+}  // namespace kshot::kernel

@@ -1,0 +1,137 @@
+#include "kernel/kernel.hpp"
+
+#include "common/log.hpp"
+
+namespace kshot::kernel {
+
+MemoryLayout MemoryLayout::for_size_sweep() {
+  MemoryLayout l;
+  l.mem_bytes = 256ull << 20;
+  l.text_base = 0x10'0000;
+  l.text_max = 24ull << 20;            // text ends at 25 MB
+  l.data_base = 0x190'0000;            // 25 MB
+  l.data_max = 1ull << 20;
+  l.stacks_base = 0x1A0'0000;          // 26 MB
+  l.module_base = 0x1E0'0000;          // 30 MB
+  l.reserved_base = 0x200'0000;        // 32 MB
+  l.mem_w_size = (24ull << 20) - l.mem_rw_size;
+  l.mem_x_size = 24ull << 20;          // reserved region ends at 80 MB
+  l.epc_base = 0x500'0000;             // 80 MB
+  l.epc_size = 52ull << 20;            // ends at 132 MB
+  return l;
+}
+
+MemoryLayout MemoryLayout::for_large_patches() {
+  MemoryLayout l;
+  l.mem_bytes = 128ull << 20;
+  l.mem_w_size = (24ull << 20) - l.mem_rw_size;
+  l.mem_x_size = 24ull << 20;   // reserved region ends at 64 MB
+  l.epc_base = 0x400'0000;      // EPC: 52 MB starting at 64 MB
+  l.epc_size = 52ull << 20;
+  return l;
+}
+
+Kernel::Kernel(machine::Machine& m, kcc::KernelImage image, MemoryLayout layout)
+    : machine_(m), image_(std::move(image)), layout_(layout) {}
+
+Status Kernel::load() {
+  using machine::AccessMode;
+  using machine::PageAttr;
+  auto& mem = machine_.mem();
+
+  if (image_.text.size() > layout_.text_max) {
+    return {Errc::kResourceExhausted, "kernel text exceeds segment"};
+  }
+  if (image_.text_base != layout_.text_base ||
+      image_.data_base != layout_.data_base) {
+    return {Errc::kFailedPrecondition, "image linked for a different layout"};
+  }
+
+  // The loader acts as early boot firmware: raw copies, then attributes.
+  KSHOT_RETURN_IF_ERROR(
+      mem.write(layout_.text_base, image_.text, AccessMode::smm()));
+  Bytes data = image_.data_image();
+  if (!data.empty()) {
+    KSHOT_RETURN_IF_ERROR(
+        mem.write(layout_.data_base, data, AccessMode::smm()));
+  }
+
+  // Kernel text: readable, writable, executable from normal mode (real
+  // kernels can patch their own text; so can rootkits — that is the threat).
+  mem.set_attrs(layout_.text_base, layout_.text_max, {true, true, true, 0});
+  // Data and stacks: RW, no exec.
+  mem.set_attrs(layout_.data_base, layout_.data_max, {true, true, false, 0});
+  mem.set_attrs(layout_.stacks_base, layout_.stack_size * layout_.max_threads,
+                {true, true, false, 0});
+  // Module area: RWX (loadable kernel modules, kpatch trampoline memory).
+  mem.set_attrs(layout_.module_base, layout_.module_size,
+                {true, true, true, 0});
+
+  // KShot reserved region (paper §V-B "Memory Protection and Isolation"):
+  //   mem_RW: read/write mailbox for key exchange,
+  //   mem_W : write-only staging for the encrypted patch,
+  //   mem_X : execute-only home for patched function text.
+  mem.set_attrs(layout_.mem_rw_base(), layout_.mem_rw_size,
+                {true, true, false, 0});
+  mem.set_attrs(layout_.mem_w_base(), layout_.mem_w_size,
+                {false, true, false, 0});
+  mem.set_attrs(layout_.mem_x_base(), layout_.mem_x_size,
+                {false, false, true, 0});
+
+  loaded_ = true;
+  KSHOT_LOG(kInfo, "kernel") << "loaded " << image_.version << ": "
+                             << image_.symbols.size() << " functions, "
+                             << image_.text.size() << " text bytes";
+  return Status::ok();
+}
+
+Status Kernel::register_syscall(int nr, const std::string& function) {
+  if (!image_.find_symbol(function)) {
+    return {Errc::kNotFound, "no such kernel function: " + function};
+  }
+  syscalls_[nr] = function;
+  return Status::ok();
+}
+
+Result<u64> Kernel::syscall_entry(int nr) const {
+  auto it = syscalls_.find(nr);
+  if (it == syscalls_.end()) {
+    return {Errc::kNotFound, "unknown syscall " + std::to_string(nr)};
+  }
+  return image_.find_symbol(it->second)->addr;
+}
+
+OsInfo Kernel::os_info() const {
+  OsInfo info;
+  info.version = image_.version;
+  info.text_base = image_.text_base;
+  info.data_base = image_.data_base;
+  info.ftrace = true;
+  info.measurement = image_.measurement();
+  return info;
+}
+
+Result<u64> Kernel::read_global(const std::string& name) const {
+  const kcc::GlobalSym* g = image_.find_global(name);
+  if (!g) return {Errc::kNotFound, "no global '" + name + "'"};
+  return machine_.mem().read_u64(g->addr, machine::AccessMode::normal());
+}
+
+Status Kernel::write_global(const std::string& name, u64 value) {
+  const kcc::GlobalSym* g = image_.find_global(name);
+  if (!g) return {Errc::kNotFound, "no global '" + name + "'"};
+  return machine_.mem().write_u64(g->addr, value,
+                                  machine::AccessMode::normal());
+}
+
+Status Kernel::rmmod(const std::string& name) {
+  for (auto it = modules_.begin(); it != modules_.end(); ++it) {
+    if ((*it)->name() == name) {
+      modules_.erase(it);
+      return Status::ok();
+    }
+  }
+  return {Errc::kNotFound, "module not loaded: " + name};
+}
+
+}  // namespace kshot::kernel

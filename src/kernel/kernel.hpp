@@ -1,0 +1,103 @@
+// The simulated OS kernel: loads a kcc KernelImage into machine memory,
+// dispatches syscalls to kernel functions, and keeps an oops log. Also hosts
+// the kernel-module framework that both benign modules and rootkits use —
+// modules run with full kernel privilege (normal-mode memory access), which
+// is exactly the privilege level the paper distrusts.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kcc/image.hpp"
+#include "kernel/layout.hpp"
+#include "machine/machine.hpp"
+
+namespace kshot::kernel {
+
+/// Diagnostic record for a kernel oops (trap, BUG, fault).
+struct OopsRecord {
+  int thread_id = -1;
+  u64 rip = 0;
+  u64 code = 0;
+  std::string detail;
+};
+
+/// Information the target sends to the remote patch server so it can build a
+/// byte-compatible image (paper: "kernel version, configuration, and
+/// compilation flags sufficient to rebuild the binary image").
+struct OsInfo {
+  std::string version;
+  u64 text_base = 0;
+  u64 data_base = 0;
+  bool ftrace = true;
+  crypto::Digest256 measurement{};
+};
+
+class Kernel;
+
+/// A loadable kernel module: runs with kernel privilege on every scheduler
+/// tick. Rootkits in `attacks/` implement this interface.
+class KernelModule {
+ public:
+  virtual ~KernelModule() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void on_tick(machine::Machine& m, Kernel& k) = 0;
+};
+
+class Kernel {
+ public:
+  Kernel(machine::Machine& m, kcc::KernelImage image, MemoryLayout layout);
+
+  /// Copies text and data into machine memory and applies the boot-time page
+  /// attribute configuration, including the KShot reserved region (mem_RW /
+  /// mem_W / mem_X) that paging_init would set up (paper §V-B).
+  Status load();
+
+  /// Registers syscall `nr` -> kernel function.
+  Status register_syscall(int nr, const std::string& function);
+  [[nodiscard]] Result<u64> syscall_entry(int nr) const;
+
+  [[nodiscard]] const kcc::KernelImage& image() const { return image_; }
+
+  /// Swaps the kernel's notion of its own image (whole-kernel replacement,
+  /// used by the KUP baseline). Syscalls re-resolve by symbol name.
+  void replace_image(kcc::KernelImage img) { image_ = std::move(img); }
+  [[nodiscard]] const MemoryLayout& layout() const { return layout_; }
+  machine::Machine& machine() { return machine_; }
+
+  [[nodiscard]] OsInfo os_info() const;
+
+  /// Current value of a global variable, read from machine memory.
+  [[nodiscard]] Result<u64> read_global(const std::string& name) const;
+  Status write_global(const std::string& name, u64 value);
+
+  // Oops log ---------------------------------------------------------------
+  void record_oops(OopsRecord rec) { oops_log_.push_back(std::move(rec)); }
+  [[nodiscard]] const std::vector<OopsRecord>& oops_log() const {
+    return oops_log_;
+  }
+  void clear_oops_log() { oops_log_.clear(); }
+
+  // Kernel modules -----------------------------------------------------------
+  void insmod(std::shared_ptr<KernelModule> mod) {
+    modules_.push_back(std::move(mod));
+  }
+  Status rmmod(const std::string& name);
+  [[nodiscard]] const std::vector<std::shared_ptr<KernelModule>>& modules()
+      const {
+    return modules_;
+  }
+
+ private:
+  machine::Machine& machine_;
+  kcc::KernelImage image_;
+  MemoryLayout layout_;
+  std::map<int, std::string> syscalls_;
+  std::vector<OopsRecord> oops_log_;
+  std::vector<std::shared_ptr<KernelModule>> modules_;
+  bool loaded_ = false;
+};
+
+}  // namespace kshot::kernel

@@ -1,0 +1,71 @@
+// Physical memory map of the simulated target machine.
+//
+//   0x000A0000  SMRAM (128 KB)           -- locked by firmware at boot
+//   0x00100000  kernel text (<= 2 MB)    -- RWX for normal mode (the kernel
+//                                           may patch itself; so may rootkits)
+//   0x00400000  kernel data (<= 1 MB)    -- globals, 8 bytes each, plus slack
+//   0x00800000  thread stacks            -- 64 KB per thread
+//   0x01000000  KShot reserved region    -- 18 MB by default (paper §V-B):
+//                 mem_RW (4 KB)   key-exchange mailbox, read/write
+//                 mem_W  (~8 MB)  encrypted patch staging, write-only
+//                 mem_X  (~10 MB) patched function text, execute-only
+//   0x02400000  SGX EPC (16 MB)
+//
+// The machine defaults to 64 MB of physical memory.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace kshot::kernel {
+
+struct MemoryLayout {
+  size_t mem_bytes = 64ull << 20;
+
+  PhysAddr smram_base = 0xA0000;
+  size_t smram_size = 0x20000;
+
+  PhysAddr text_base = 0x10'0000;
+  size_t text_max = 2ull << 20;
+
+  PhysAddr data_base = 0x40'0000;
+  size_t data_max = 1ull << 20;
+
+  PhysAddr stacks_base = 0x80'0000;
+  size_t stack_size = 64 * 1024;
+  size_t max_threads = 64;
+
+  // Kernel module area (kpatch-style in-kernel patchers allocate here).
+  PhysAddr module_base = 0xE0'0000;
+  size_t module_size = 1ull << 20;
+
+  // KShot reserved region (total = paper's 18 MB).
+  PhysAddr reserved_base = 0x100'0000;
+  size_t mem_rw_size = 4 * 1024;
+  size_t mem_w_size = (6ull << 20) - 4 * 1024;
+  size_t mem_x_size = 12ull << 20;
+
+  PhysAddr epc_base = 0x240'0000;
+  size_t epc_size = 16ull << 20;
+
+  [[nodiscard]] PhysAddr mem_rw_base() const { return reserved_base; }
+  [[nodiscard]] PhysAddr mem_w_base() const {
+    return reserved_base + mem_rw_size;
+  }
+  [[nodiscard]] PhysAddr mem_x_base() const {
+    return reserved_base + mem_rw_size + mem_w_size;
+  }
+  [[nodiscard]] size_t reserved_total() const {
+    return mem_rw_size + mem_w_size + mem_x_size;
+  }
+
+  /// A layout with an enlarged staging/text region for the big-patch
+  /// sweeps of Tables II/III (up to 10 MB patches need both a bigger mem_W
+  /// and a bigger mem_X).
+  static MemoryLayout for_large_patches();
+
+  /// A layout whose kernel text segment itself is large enough to hold a
+  /// multi-megabyte function (Table II/III sweeps go to 10 MB patches).
+  static MemoryLayout for_size_sweep();
+};
+
+}  // namespace kshot::kernel

@@ -1,0 +1,104 @@
+// Threads and a round-robin scheduler. Each thread repeatedly issues
+// syscalls from a small program; the scheduler time-slices them on the
+// single simulated core. Because SMIs arrive between instructions, a live
+// patch can land while any thread is suspended *inside* a target function —
+// the consistency situation trampoline-at-entry patching must tolerate.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+
+namespace kshot::kernel {
+
+/// One syscall invocation in a thread's program.
+struct SyscallReq {
+  int nr = 0;
+  std::array<u64, 5> args{};
+};
+
+enum class ThreadState { kReady, kRunning, kFinished, kOops };
+
+class Thread {
+ public:
+  Thread(int id, std::vector<SyscallReq> program, bool loop);
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] ThreadState state() const { return state_; }
+  [[nodiscard]] u64 syscalls_completed() const { return completed_; }
+  [[nodiscard]] u64 last_result() const { return last_result_; }
+  /// All syscall return values collected so far (capped).
+  [[nodiscard]] const std::vector<u64>& results() const { return results_; }
+
+  /// True if the thread is currently suspended mid-syscall (its saved rip is
+  /// inside kernel text rather than between calls).
+  [[nodiscard]] bool mid_syscall() const { return in_call_; }
+  [[nodiscard]] const machine::CpuState& saved_ctx() const { return ctx_; }
+
+ private:
+  friend class Scheduler;
+
+  int id_;
+  std::vector<SyscallReq> program_;
+  bool loop_;
+  size_t pc_ = 0;  // index of next syscall
+  bool in_call_ = false;
+  machine::CpuState ctx_{};
+  ThreadState state_ = ThreadState::kReady;
+  u64 completed_ = 0;
+  u64 last_result_ = 0;
+  std::vector<u64> results_;
+};
+
+struct SchedulerStats {
+  u64 quanta = 0;
+  u64 syscalls_completed = 0;
+  u64 oopses = 0;
+};
+
+class Scheduler {
+ public:
+  Scheduler(machine::Machine& m, Kernel& k) : machine_(m), kernel_(k) {}
+
+  /// Creates a thread running `program`; if `loop`, the program repeats
+  /// forever. Returns the thread id.
+  Result<int> spawn(std::vector<SyscallReq> program, bool loop = true);
+
+  [[nodiscard]] Thread& thread(int id) { return threads_[id]; }
+  [[nodiscard]] const Thread& thread(int id) const { return threads_[id]; }
+  [[nodiscard]] size_t thread_count() const { return threads_.size(); }
+
+  /// Runs `quanta` scheduling quanta of `quantum_instrs` instructions each.
+  /// Kernel modules' on_tick hooks run between quanta (with kernel
+  /// privilege).
+  void run(u64 quanta, u64 quantum_instrs = 64);
+
+  [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
+
+  /// Sum of userspace memory bytes (stacks) across live threads — what a
+  /// checkpoint/restore patching system (KUP) would have to save.
+  [[nodiscard]] size_t checkpointable_bytes() const;
+
+  /// Aborts every in-flight syscall and restarts it from its entry point —
+  /// what a whole-kernel-replacement patcher (KUP) does after swapping
+  /// kernels, since saved kernel-mode contexts are invalid in the new image.
+  void restart_in_flight_syscalls();
+
+  /// True if any live thread's saved rip lies within [lo, hi) — the
+  /// activeness check in-kernel patchers (kpatch/KARMA) rely on.
+  [[nodiscard]] bool any_thread_in_range(u64 lo, u64 hi) const;
+
+ private:
+  void run_thread_quantum(Thread& t, u64 quantum_instrs);
+  void begin_syscall(Thread& t);
+
+  machine::Machine& machine_;
+  Kernel& kernel_;
+  std::vector<Thread> threads_;
+  size_t next_ = 0;
+  SchedulerStats stats_;
+};
+
+}  // namespace kshot::kernel

@@ -1,0 +1,281 @@
+#include "machine/machine.hpp"
+
+#include <cassert>
+
+#include "common/byte_io.hpp"
+#include "common/log.hpp"
+
+namespace kshot::machine {
+
+Machine::Machine(size_t mem_bytes, PhysAddr smram_base, size_t smram_size,
+                 u64 entropy_seed)
+    : mem_(mem_bytes), rng_(entropy_seed) {
+  mem_.set_smram(smram_base, smram_size);
+}
+
+Status Machine::set_smm_handler(std::function<void(Machine&)> handler) {
+  if (smram_locked_) {
+    return {Errc::kPermissionDenied, "SMRAM is locked (D_LCK)"};
+  }
+  smm_handler_ = std::move(handler);
+  return Status::ok();
+}
+
+void Machine::save_state_to_smram() {
+  PhysAddr base = mem_.smram_base() + kSaveStateOffset;
+  u8* p = mem_.raw(base, 16 * 8 + 3 * 8);
+  for (int i = 0; i < isa::kNumRegs; ++i) store_u64(p + 8 * i, cpu_.regs[i]);
+  store_u64(p + 128, cpu_.rip);
+  // regs already include the stack pointer (r15).
+  store_u64(p + 144, (cpu_.zf ? 1u : 0u) | (cpu_.sf ? 2u : 0u));
+}
+
+void Machine::restore_state_from_smram() {
+  PhysAddr base = mem_.smram_base() + kSaveStateOffset;
+  const u8* p = mem_.raw(base, 16 * 8 + 3 * 8);
+  for (int i = 0; i < isa::kNumRegs; ++i) cpu_.regs[i] = load_u64(p + 8 * i);
+  cpu_.rip = load_u64(p + 128);
+  
+  u64 flags = load_u64(p + 144);
+  cpu_.zf = flags & 1;
+  cpu_.sf = flags & 2;
+}
+
+void Machine::trigger_smi() {
+  assert(!in_smi_ && "nested SMI not modeled");
+  in_smi_ = true;
+  ++smi_count_;
+
+  u64 entered = cycles_;
+  charge_cycles(cost_.smi_entry_cycles);
+  save_state_to_smram();
+  mode_ = CpuMode::kSmm;
+
+  if (smm_handler_) {
+    smm_handler_(*this);
+  } else {
+    KSHOT_LOG(kWarn, "machine") << "SMI with no handler installed";
+  }
+
+  // RSM: restore the architectural state the hardware saved.
+  restore_state_from_smram();
+  mode_ = CpuMode::kProtected;
+  charge_cycles(cost_.rsm_cycles);
+
+  smm_cycles_ += cycles_ - entered;
+  in_smi_ = false;
+}
+
+StepResult Machine::step() {
+  // Fetch up to the longest instruction (7 bytes).
+  u8 buf[8] = {0};
+  size_t want = 7;
+  if (cpu_.rip + want > mem_.size()) {
+    if (cpu_.rip >= mem_.size()) {
+      return {StepKind::kMemFault, cpu_.rip, "rip out of range"};
+    }
+    want = mem_.size() - cpu_.rip;
+  }
+  Status st = mem_.fetch(cpu_.rip, want, MutByteSpan(buf, sizeof(buf)),
+                         access_mode());
+  if (!st.is_ok()) {
+    return {StepKind::kMemFault, cpu_.rip, "fetch: " + st.message()};
+  }
+  auto dec = isa::decode(ByteSpan(buf, want));
+  if (!dec) {
+    return {StepKind::kBadInstr, cpu_.rip, dec.status().message()};
+  }
+  charge_cycles(cost_.cycles_per_instr);
+  ++instret_;
+  StepResult res = exec(dec->instr, dec->len);
+
+  // Firmware periodic SMI timer: fires between instructions.
+  if (periodic_smi_interval_ != 0 && cycles_ >= next_periodic_smi_ &&
+      !in_smi_) {
+    trigger_smi();
+    next_periodic_smi_ = cycles_ + periodic_smi_interval_;
+  }
+  return res;
+}
+
+StepResult Machine::exec(const isa::Instr& in, size_t len) {
+  using isa::Op;
+  u64 next = cpu_.rip + len;
+  auto& r = cpu_.regs;
+
+  auto set_flags_cmp = [&](u64 a, u64 b) {
+    cpu_.zf = a == b;
+    cpu_.sf = static_cast<i64>(a) < static_cast<i64>(b);
+  };
+
+  switch (in.op) {
+    case Op::kNop:
+    case Op::kNop5:
+      break;
+    case Op::kHlt:
+      cpu_.rip = next;
+      return {StepKind::kHalt, 0, ""};
+    case Op::kInt3:
+      cpu_.rip = next;
+      return {StepKind::kBreak, 0, ""};
+    case Op::kUd2:
+      return {StepKind::kOops, 0, "ud2 (kernel BUG)"};
+    case Op::kTrap:
+      return {StepKind::kOops, static_cast<u64>(in.imm), "software trap"};
+
+    case Op::kMov:
+      r[in.a] = r[in.b];
+      break;
+    case Op::kMovi:
+      r[in.a] = static_cast<u64>(in.imm);
+      break;
+
+    case Op::kAdd: r[in.a] += r[in.b]; break;
+    case Op::kSub: r[in.a] -= r[in.b]; break;
+    case Op::kMul: r[in.a] *= r[in.b]; break;
+    case Op::kDiv:
+      if (r[in.b] == 0) return {StepKind::kOops, 0, "divide by zero"};
+      r[in.a] /= r[in.b];
+      break;
+    case Op::kMod:
+      if (r[in.b] == 0) return {StepKind::kOops, 0, "mod by zero"};
+      r[in.a] %= r[in.b];
+      break;
+    case Op::kXor: r[in.a] ^= r[in.b]; break;
+    case Op::kAnd: r[in.a] &= r[in.b]; break;
+    case Op::kOr: r[in.a] |= r[in.b]; break;
+    case Op::kShl: r[in.a] <<= (r[in.b] & 63); break;
+    case Op::kShr: r[in.a] >>= (r[in.b] & 63); break;
+
+    case Op::kAddi: r[in.a] += static_cast<u64>(in.imm); break;
+    case Op::kSubi: r[in.a] -= static_cast<u64>(in.imm); break;
+    case Op::kMuli: r[in.a] *= static_cast<u64>(in.imm); break;
+    case Op::kDivi:
+      if (in.imm == 0) return {StepKind::kOops, 0, "divide by zero"};
+      r[in.a] /= static_cast<u64>(in.imm);
+      break;
+    case Op::kModi:
+      if (in.imm == 0) return {StepKind::kOops, 0, "mod by zero"};
+      r[in.a] %= static_cast<u64>(in.imm);
+      break;
+    case Op::kXori: r[in.a] ^= static_cast<u64>(in.imm); break;
+    case Op::kAndi: r[in.a] &= static_cast<u64>(in.imm); break;
+    case Op::kOri: r[in.a] |= static_cast<u64>(in.imm); break;
+    case Op::kShli: r[in.a] <<= (in.imm & 63); break;
+    case Op::kShri: r[in.a] >>= (in.imm & 63); break;
+
+    case Op::kLoadG: {
+      auto v = mem_.read_u64(static_cast<u64>(in.imm), access_mode());
+      if (!v) return {StepKind::kMemFault, static_cast<u64>(in.imm),
+                      v.status().message()};
+      r[in.a] = *v;
+      break;
+    }
+    case Op::kStoreG: {
+      Status st =
+          mem_.write_u64(static_cast<u64>(in.imm), r[in.a], access_mode());
+      if (!st.is_ok()) {
+        return {StepKind::kMemFault, static_cast<u64>(in.imm), st.message()};
+      }
+      break;
+    }
+    case Op::kLoadR: {
+      u64 addr = r[in.b] + static_cast<u64>(in.imm);
+      auto v = mem_.read_u64(addr, access_mode());
+      if (!v) return {StepKind::kMemFault, addr, v.status().message()};
+      r[in.a] = *v;
+      break;
+    }
+    case Op::kStoreR: {
+      u64 addr = r[in.b] + static_cast<u64>(in.imm);
+      Status st = mem_.write_u64(addr, r[in.a], access_mode());
+      if (!st.is_ok()) return {StepKind::kMemFault, addr, st.message()};
+      break;
+    }
+
+    case Op::kCmp:
+      set_flags_cmp(r[in.a], r[in.b]);
+      break;
+    case Op::kCmpi:
+      set_flags_cmp(r[in.a], static_cast<u64>(in.imm));
+      break;
+
+    case Op::kJmp:
+      next = next + static_cast<i64>(in.imm);
+      break;
+    case Op::kJe:
+      if (cpu_.zf) next = next + static_cast<i64>(in.imm);
+      break;
+    case Op::kJne:
+      if (!cpu_.zf) next = next + static_cast<i64>(in.imm);
+      break;
+    case Op::kJl:
+      if (cpu_.sf) next = next + static_cast<i64>(in.imm);
+      break;
+    case Op::kJge:
+      if (!cpu_.sf) next = next + static_cast<i64>(in.imm);
+      break;
+    case Op::kJg:
+      if (!cpu_.sf && !cpu_.zf) next = next + static_cast<i64>(in.imm);
+      break;
+    case Op::kJle:
+      if (cpu_.sf || cpu_.zf) next = next + static_cast<i64>(in.imm);
+      break;
+
+    case Op::kCall: {
+      cpu_.sp() -= 8;
+      Status st = mem_.write_u64(cpu_.sp(), next, access_mode());
+      if (!st.is_ok()) return {StepKind::kMemFault, cpu_.sp(), st.message()};
+      next = next + static_cast<i64>(in.imm);
+      break;
+    }
+    case Op::kRet: {
+      auto ra = mem_.read_u64(cpu_.sp(), access_mode());
+      if (!ra) return {StepKind::kMemFault, cpu_.sp(), ra.status().message()};
+      cpu_.sp() += 8;
+      if (*ra == kReturnSentinel) {
+        cpu_.rip = *ra;
+        return {StepKind::kRetTop, 0, ""};
+      }
+      next = *ra;
+      break;
+    }
+
+    case Op::kPush: {
+      cpu_.sp() -= 8;
+      Status st = mem_.write_u64(cpu_.sp(), r[in.a], access_mode());
+      if (!st.is_ok()) return {StepKind::kMemFault, cpu_.sp(), st.message()};
+      break;
+    }
+    case Op::kPop: {
+      auto v = mem_.read_u64(cpu_.sp(), access_mode());
+      if (!v) return {StepKind::kMemFault, cpu_.sp(), v.status().message()};
+      cpu_.sp() += 8;
+      r[in.a] = *v;
+      break;
+    }
+  }
+
+  cpu_.rip = next;
+  return {StepKind::kOk, 0, ""};
+}
+
+Status Machine::set_periodic_smi(u64 interval_cycles) {
+  if (smram_locked_) {
+    return {Errc::kPermissionDenied, "SMRAM is locked (D_LCK)"};
+  }
+  periodic_smi_interval_ = interval_cycles;
+  next_periodic_smi_ = cycles_ + interval_cycles;
+  return Status::ok();
+}
+
+StepResult Machine::run(u64 max_instrs) {
+  StepResult res;
+  for (u64 i = 0; i < max_instrs; ++i) {
+    res = step();
+    if (res.kind != StepKind::kOk) return res;
+  }
+  return res;
+}
+
+}  // namespace kshot::machine

@@ -1,0 +1,153 @@
+// The simulated target machine: CPU state, instruction interpreter, System
+// Management Mode with its SMRAM save-state area, and the virtual cycle
+// clock. The SMM handler is a native callback registered by "firmware"
+// before SMRAM is locked — after locking, nothing (in particular not the
+// simulated kernel or a rootkit) can replace it, which models D_LCK.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "isa/isa.hpp"
+#include "machine/cost_model.hpp"
+#include "machine/phys_mem.hpp"
+
+namespace kshot::machine {
+
+/// Register used as the stack pointer by push/pop/call/ret (like x86 rsp,
+/// it is an ordinary GPR).
+inline constexpr int kSpReg = 15;
+/// Register used as the frame pointer by compiled code (convention only).
+inline constexpr int kFpReg = 14;
+
+/// Architectural register state of the single simulated core.
+struct CpuState {
+  std::array<u64, isa::kNumRegs> regs{};
+  u64 rip = 0;
+  // Flags produced by cmp: zero and signed-less.
+  bool zf = false;
+  bool sf = false;
+
+  u64& sp() { return regs[kSpReg]; }
+  [[nodiscard]] u64 sp() const { return regs[kSpReg]; }
+};
+
+enum class CpuMode { kProtected, kSmm };
+
+/// Why a step() stopped (other than normal completion).
+enum class StepKind {
+  kOk,         // instruction retired
+  kHalt,       // hlt
+  kBreak,      // int3
+  kOops,       // ud2 / trap / divide-by-zero: a kernel oops
+  kMemFault,   // page-attribute or range violation
+  kBadInstr,   // undecodable bytes at rip
+  kRetTop,     // returned to the call-stack sentinel (function finished)
+};
+
+struct StepResult {
+  StepKind kind = StepKind::kOk;
+  u64 info = 0;          // trap code / faulting address
+  std::string detail;    // diagnostic text for faults
+};
+
+/// Return address sentinel pushed by the kernel runtime before dispatching
+/// into a function; `ret` to it reports kRetTop.
+inline constexpr u64 kReturnSentinel = 0xFFFF'FFFF'FFFF'F000ULL;
+
+/// Offset of the save-state area inside SMRAM (mirrors real hardware's
+/// SMBASE + 0xFC00 layout).
+inline constexpr u64 kSaveStateOffset = 0xFC00;
+
+class Machine {
+ public:
+  /// Creates a machine with `mem_bytes` of physical memory and SMRAM at
+  /// [smram_base, smram_base + smram_size).
+  Machine(size_t mem_bytes, PhysAddr smram_base, size_t smram_size,
+          u64 entropy_seed = 0x5eed);
+
+  PhysMem& mem() { return mem_; }
+  const PhysMem& mem() const { return mem_; }
+  CpuState& cpu() { return cpu_; }
+  const CpuState& cpu() const { return cpu_; }
+  [[nodiscard]] CpuMode mode() const { return mode_; }
+
+  CostModel& cost_model() { return cost_; }
+  const CostModel& cost_model() const { return cost_; }
+
+  /// "Hardware" entropy source (used by the SMM handler's DH keygen).
+  Rng& hw_rng() { return rng_; }
+
+  // Firmware configuration ------------------------------------------------
+  /// Registers the SMM handler. Fails once SMRAM is locked.
+  Status set_smm_handler(std::function<void(Machine&)> handler);
+  /// Locks SMRAM (models the D_LCK bit); irreversible.
+  void lock_smram() { smram_locked_ = true; }
+  [[nodiscard]] bool smram_locked() const { return smram_locked_; }
+
+  // Execution ---------------------------------------------------------------
+  /// Interprets the instruction at cpu().rip in the current mode.
+  StepResult step();
+
+  /// Runs up to `max_instrs` instructions; stops early on any non-kOk result.
+  StepResult run(u64 max_instrs);
+
+  /// Arms a firmware periodic SMI timer: an SMI fires automatically every
+  /// `interval_cycles` of virtual time while instructions execute (the
+  /// HyperCheck-style heartbeat KShot's introspection can ride on). Pass 0
+  /// to disarm. Fails once SMRAM is locked, like handler registration.
+  Status set_periodic_smi(u64 interval_cycles);
+  [[nodiscard]] u64 periodic_smi_interval() const {
+    return periodic_smi_interval_;
+  }
+
+  /// Raises a System Management Interrupt: saves the architectural state into
+  /// the SMRAM save-state area, switches to SMM, runs the handler, and
+  /// resumes (RSM) by restoring the saved state. Charges modeled entry/exit
+  /// cycles and accounts the SMM residency as downtime.
+  void trigger_smi();
+
+  // Virtual time ------------------------------------------------------------
+  [[nodiscard]] u64 cycles() const { return cycles_; }
+  void charge_cycles(u64 c) { cycles_ += c; }
+  /// Cycles spent inside SMM since construction (the paper's "downtime").
+  [[nodiscard]] u64 smm_cycles() const { return smm_cycles_; }
+  /// Number of SMIs taken.
+  [[nodiscard]] u64 smi_count() const { return smi_count_; }
+  /// Instructions retired in protected mode.
+  [[nodiscard]] u64 instret() const { return instret_; }
+
+  /// Current access mode for memory operations performed by executing code.
+  [[nodiscard]] AccessMode access_mode() const {
+    return mode_ == CpuMode::kSmm ? AccessMode::smm() : AccessMode::normal();
+  }
+
+  // Save-state serialization (exposed for tests and for the SMM handler,
+  // which may legitimately inspect/modify the saved context).
+  void save_state_to_smram();
+  void restore_state_from_smram();
+
+ private:
+  StepResult exec(const isa::Instr& in, size_t len);
+
+  PhysMem mem_;
+  CpuState cpu_;
+  CpuMode mode_ = CpuMode::kProtected;
+  CostModel cost_;
+  Rng rng_;
+
+  std::function<void(Machine&)> smm_handler_;
+  bool smram_locked_ = false;
+  bool in_smi_ = false;
+  u64 periodic_smi_interval_ = 0;
+  u64 next_periodic_smi_ = 0;
+
+  u64 cycles_ = 0;
+  u64 smm_cycles_ = 0;
+  u64 smi_count_ = 0;
+  u64 instret_ = 0;
+};
+
+}  // namespace kshot::machine

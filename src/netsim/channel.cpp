@@ -1,0 +1,15 @@
+#include "netsim/channel.hpp"
+
+namespace kshot::netsim {
+
+Bytes Channel::transfer(Bytes message) {
+  if (tamperer_) tamperer_(message);
+  last_latency_us_ = model_.fixed_latency_us +
+                     static_cast<double>(message.size()) / model_.bytes_per_us;
+  total_latency_us_ += last_latency_us_;
+  ++messages_;
+  bytes_moved_ += message.size();
+  return message;
+}
+
+}  // namespace kshot::netsim

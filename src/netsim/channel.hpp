@@ -1,0 +1,50 @@
+// Simulated network channel between the target machine and the remote patch
+// server. Models transfer latency (for the "Fetching" column of Table II)
+// and exposes a tamper hook so tests can mount man-in-the-middle attacks.
+// The channel is *untrusted*: nothing here provides integrity — that is the
+// job of the crypto envelope above it.
+#pragma once
+
+#include <functional>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace kshot::netsim {
+
+class Channel {
+ public:
+  /// Hook invoked on every message in flight; may mutate or observe bytes.
+  using Tamperer = std::function<void(Bytes&)>;
+
+  struct LinkModel {
+    double fixed_latency_us = 40.0;  // per-message RTT share
+    double bytes_per_us = 50.0;      // ~50 MB/s, fits Table II's fetch column
+  };
+
+  Channel() = default;
+  explicit Channel(LinkModel model) : model_(model) {}
+
+  void set_tamperer(Tamperer t) { tamperer_ = std::move(t); }
+  void clear_tamperer() { tamperer_ = nullptr; }
+
+  /// Moves a message across the link: applies the tamper hook and accrues
+  /// modeled latency.
+  Bytes transfer(Bytes message);
+
+  /// Modeled latency of the last transfer, in microseconds.
+  [[nodiscard]] double last_latency_us() const { return last_latency_us_; }
+  [[nodiscard]] double total_latency_us() const { return total_latency_us_; }
+  [[nodiscard]] u64 messages() const { return messages_; }
+  [[nodiscard]] u64 bytes_moved() const { return bytes_moved_; }
+
+ private:
+  LinkModel model_;
+  Tamperer tamperer_;
+  double last_latency_us_ = 0;
+  double total_latency_us_ = 0;
+  u64 messages_ = 0;
+  u64 bytes_moved_ = 0;
+};
+
+}  // namespace kshot::netsim

@@ -1,0 +1,141 @@
+#include "netsim/patch_server.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+#include "kcc/parser.hpp"
+#include "patchtool/callgraph.hpp"
+#include "patchtool/package.hpp"
+
+namespace kshot::netsim {
+
+PatchServer::PatchServer(const sgx::SgxRuntime* attestation_verifier,
+                         u64 key_seed)
+    : verifier_(attestation_verifier), rng_(key_seed) {}
+
+void PatchServer::add_patch(PatchSource src) {
+  patches_[src.id] = std::move(src);
+}
+
+bool PatchServer::has_patch(const std::string& id) const {
+  return patches_.count(id) > 0;
+}
+
+kcc::CompileOptions PatchServer::options_for(const kernel::OsInfo& os,
+                                             const std::string& ver) const {
+  kcc::CompileOptions opts;
+  opts.text_base = os.text_base;
+  opts.data_base = os.data_base;
+  opts.enable_ftrace = os.ftrace;
+  opts.enable_inlining = true;
+  opts.version = ver;
+  return opts;
+}
+
+Result<kcc::KernelImage> PatchServer::build_pre_image(
+    const std::string& id, const kcc::CompileOptions& o) const {
+  auto it = patches_.find(id);
+  if (it == patches_.end()) return Status{Errc::kNotFound, "unknown patch"};
+  return kcc::compile_source(it->second.pre_source, o);
+}
+
+Result<kcc::KernelImage> PatchServer::build_post_image(
+    const std::string& id, const kcc::CompileOptions& o) const {
+  auto it = patches_.find(id);
+  if (it == patches_.end()) return Status{Errc::kNotFound, "unknown patch"};
+  return kcc::compile_source(it->second.post_source, o);
+}
+
+Result<patchtool::PatchSet> PatchServer::build_patchset(
+    const std::string& id, const kernel::OsInfo& os) const {
+  auto it = patches_.find(id);
+  if (it == patches_.end()) return Status{Errc::kNotFound, "unknown patch"};
+  const PatchSource& src = it->second;
+
+  std::string cache_key =
+      id + ":" +
+      std::string(reinterpret_cast<const char*>(os.measurement.data()),
+                  os.measurement.size());
+  auto cached = build_cache_.find(cache_key);
+  if (cached != build_cache_.end()) return cached->second;
+
+  kcc::CompileOptions opts = options_for(os, src.kernel_version);
+  auto pre = kcc::compile_source(src.pre_source, opts);
+  if (!pre) return pre.status();
+  auto post = kcc::compile_source(src.post_source, opts);
+  if (!post) return post.status();
+
+  // Compatibility: the rebuilt pre image must be the binary the target runs.
+  if (!crypto::digest_equal(pre->measurement(), os.measurement)) {
+    return Status{Errc::kFailedPrecondition,
+                  "target kernel does not match server rebuild (version/"
+                  "config drift)"};
+  }
+
+  auto pre_mod = kcc::parse(src.pre_source);
+  if (!pre_mod) return pre_mod.status();
+  auto post_mod = kcc::parse(src.post_source);
+  if (!post_mod) return post_mod.status();
+
+  patchtool::BuildPatchOptions bopts;
+  bopts.id = id;
+  auto changed =
+      patchtool::source_changed_functions(*pre_mod, *post_mod);
+  bopts.source_changed.assign(changed.begin(), changed.end());
+
+  auto set = patchtool::build_patchset(*pre, *post, bopts);
+  if (set.is_ok()) build_cache_[cache_key] = *set;
+  return set;
+}
+
+Result<Bytes> PatchServer::handle_request(ByteSpan request_wire) {
+  auto req_r = PatchRequest::deserialize(request_wire);
+  if (!req_r) {
+    ++rejected_;
+    return req_r.status();
+  }
+  const PatchRequest& req = *req_r;
+
+  // 1. Attestation: the report must verify and must bind the DH key.
+  if (verifier_ == nullptr || !verifier_->verify_report(req.attestation)) {
+    ++rejected_;
+    return Status{Errc::kPermissionDenied, "enclave attestation failed"};
+  }
+  if (std::memcmp(req.attestation.report_data.data(), req.client_pub.data(),
+                  req.client_pub.size()) != 0) {
+    ++rejected_;
+    return Status{Errc::kPermissionDenied,
+                  "attestation does not bind the session key"};
+  }
+
+  // 2. Build the patch set.
+  auto set = build_patchset(req.patch_id, req.os);
+  if (!set) {
+    ++rejected_;
+    return set.status();
+  }
+  patchtool::PatchOp op = req.op == PatchRequest::Op::kFetchRollback
+                              ? patchtool::PatchOp::kRollback
+                              : patchtool::PatchOp::kPatch;
+  Bytes package = patchtool::serialize_patchset(*set, op);
+
+  // 3. Seal under the DH session key.
+  crypto::DhKeyPair server_keys = crypto::dh_generate(rng_);
+  crypto::X25519Key shared =
+      crypto::dh_shared(server_keys.private_key, req.client_pub);
+  crypto::Key256 session = crypto::derive_key(
+      ByteSpan(shared.data(), shared.size()), "server-enclave");
+  crypto::Nonce96 nonce{};
+  rng_.fill(MutByteSpan(nonce.data(), nonce.size()));
+
+  PatchResponse resp;
+  resp.server_pub = server_keys.public_key;
+  resp.sealed_package = crypto::seal(session, nonce, package).serialize();
+
+  KSHOT_LOG(kInfo, "server") << "served " << req.patch_id << " ("
+                             << package.size() << " bytes, "
+                             << set->patches.size() << " functions)";
+  return resp.serialize();
+}
+
+}  // namespace kshot::netsim

@@ -1,0 +1,68 @@
+// The remote, trusted patch server (paper §IV-A / §V-A "Binary Patch
+// Preparation"). Holds pre- and post-patch kernel *sources*, rebuilds the
+// target's exact binary image from the OsInfo the target sends (verifying
+// the measurement so the diff is meaningful), runs the patch toolchain, and
+// ships the resulting package sealed under an attested DH session key.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "kcc/compiler.hpp"
+#include "netsim/protocol.hpp"
+#include "patchtool/bindiff.hpp"
+
+namespace kshot::netsim {
+
+/// One patch known to the server.
+struct PatchSource {
+  std::string id;              // e.g. "CVE-2017-17806"
+  std::string kernel_version;  // version the patch applies to
+  std::string pre_source;      // vulnerable kernel source
+  std::string post_source;     // fixed kernel source
+};
+
+class PatchServer {
+ public:
+  /// `attestation_verifier` models the provisioned SGX attestation
+  /// infrastructure; `key_seed` seeds the server's ephemeral DH keys.
+  PatchServer(const sgx::SgxRuntime* attestation_verifier, u64 key_seed);
+
+  void add_patch(PatchSource src);
+  [[nodiscard]] bool has_patch(const std::string& id) const;
+
+  /// Full request handling: attestation check, compatibility check (rebuild
+  /// pre image from OsInfo and compare measurements), patch-set
+  /// construction, and sealing. Input/output are raw wire bytes, so a
+  /// Channel (with its tamper hook) can sit in between.
+  Result<Bytes> handle_request(ByteSpan request_wire);
+
+  /// Builds the unsealed patch set for a patch id + target info (exposed for
+  /// tests and for the baseline patchers, which consume plain patch sets).
+  Result<patchtool::PatchSet> build_patchset(const std::string& id,
+                                             const kernel::OsInfo& os) const;
+
+  /// Compiles the *pre* (vulnerable) kernel image for a patch id — the image
+  /// a target machine boots in experiments.
+  Result<kcc::KernelImage> build_pre_image(const std::string& id,
+                                           const kcc::CompileOptions& o) const;
+  Result<kcc::KernelImage> build_post_image(const std::string& id,
+                                            const kcc::CompileOptions& o) const;
+
+  /// Number of requests that failed attestation or compatibility checks.
+  [[nodiscard]] u64 rejected_requests() const { return rejected_; }
+
+ private:
+  [[nodiscard]] kcc::CompileOptions options_for(const kernel::OsInfo& os,
+                                                const std::string& ver) const;
+
+  const sgx::SgxRuntime* verifier_;
+  Rng rng_;
+  std::map<std::string, PatchSource> patches_;
+  /// Build cache keyed by patch id + target measurement: repeated requests
+  /// for the same target skip the double kernel rebuild.
+  mutable std::map<std::string, patchtool::PatchSet> build_cache_;
+  u64 rejected_ = 0;
+};
+
+}  // namespace kshot::netsim

@@ -1,0 +1,125 @@
+#include "patchtool/callgraph.hpp"
+
+#include "isa/reloc.hpp"
+#include "kcc/printer.hpp"
+
+namespace kshot::patchtool {
+
+namespace {
+
+void collect_calls(const kcc::Expr& e, std::set<std::string>& out) {
+  switch (e.kind) {
+    case kcc::Expr::Kind::kNum:
+    case kcc::Expr::Kind::kVar:
+      return;
+    case kcc::Expr::Kind::kBin:
+      collect_calls(*e.lhs, out);
+      collect_calls(*e.rhs, out);
+      return;
+    case kcc::Expr::Kind::kCall:
+      out.insert(e.name);
+      for (const auto& a : e.args) collect_calls(*a, out);
+      return;
+  }
+}
+
+void collect_calls(const std::vector<kcc::StmtPtr>& body,
+                   std::set<std::string>& out) {
+  for (const auto& s : body) {
+    if (s->value) collect_calls(*s->value, out);
+    if (s->cond) collect_calls(*s->cond, out);
+    collect_calls(s->body, out);
+    collect_calls(s->else_body, out);
+  }
+}
+
+}  // namespace
+
+CallGraph source_call_graph(const kcc::Module& m) {
+  CallGraph g;
+  for (const auto& f : m.functions) {
+    std::set<std::string> callees;
+    collect_calls(f.body, callees);
+    g[f.name] = std::move(callees);
+  }
+  return g;
+}
+
+CallGraph binary_call_graph(const kcc::KernelImage& img) {
+  CallGraph g;
+  for (const auto& sym : img.symbols) {
+    std::set<std::string> callees;
+    auto body = img.function_bytes(sym.name);
+    if (body) {
+      auto sites = isa::scan_rel32(*body);
+      if (sites) {
+        for (const auto& s : *sites) {
+          if (s.op != isa::Op::kCall) continue;
+          u64 target = sym.addr + static_cast<u64>(s.target_off);
+          const kcc::Symbol* callee = img.symbol_at(target);
+          if (callee) callees.insert(callee->name);
+        }
+      }
+    }
+    g[sym.name] = std::move(callees);
+  }
+  return g;
+}
+
+std::set<std::string> inlined_functions(const kcc::Module& m,
+                                        const kcc::KernelImage& img) {
+  std::set<std::string> out;
+  for (const auto& f : m.functions) {
+    if (!img.find_symbol(f.name)) out.insert(f.name);
+  }
+  return out;
+}
+
+std::set<std::string> implicated_functions(
+    const kcc::Module& m, const kcc::KernelImage& img,
+    const std::set<std::string>& changed_source_fns) {
+  CallGraph src = source_call_graph(m);
+  // Reverse edges: callee -> callers.
+  CallGraph callers;
+  for (const auto& [caller, callees] : src) {
+    for (const auto& callee : callees) callers[callee].insert(caller);
+  }
+  std::set<std::string> inlined = inlined_functions(m, img);
+
+  // Worklist: a changed function that exists in the binary is patched
+  // directly; a changed function that was inlined away implicates its
+  // callers (transitively through chains of inlined functions).
+  std::set<std::string> result;
+  std::set<std::string> visited;
+  std::vector<std::string> work(changed_source_fns.begin(),
+                                changed_source_fns.end());
+  while (!work.empty()) {
+    std::string fn = std::move(work.back());
+    work.pop_back();
+    if (!visited.insert(fn).second) continue;
+    if (!inlined.count(fn)) {
+      if (img.find_symbol(fn)) result.insert(fn);
+      continue;
+    }
+    for (const auto& caller : callers[fn]) work.push_back(caller);
+  }
+  return result;
+}
+
+std::set<std::string> source_changed_functions(const kcc::Module& pre,
+                                               const kcc::Module& post) {
+  std::set<std::string> out;
+  for (const auto& f : post.functions) {
+    const kcc::Function* old = pre.find_function(f.name);
+    if (old == nullptr || kcc::to_source(*old) != kcc::to_source(f)) {
+      out.insert(f.name);
+    }
+  }
+  // Deleted functions also count as source changes.
+  for (const auto& f : pre.functions) {
+    if (!post.find_function(f.name)) out.insert(f.name);
+  }
+  return out;
+}
+
+}  // namespace kshot::patchtool

@@ -1,0 +1,43 @@
+// Call-graph construction and inlining analysis (paper §V-A "Identifying
+// Target Functions"): a source-level call graph (codeviz analogue), a
+// binary-level call graph recovered from E8 rel32 sites (IDA analogue), and
+// the worklist algorithm that finds all functions implicated by edits to
+// (possibly transitively) inlined functions.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "kcc/ast.hpp"
+#include "kcc/image.hpp"
+
+namespace kshot::patchtool {
+
+using CallGraph = std::map<std::string, std::set<std::string>>;
+
+/// Direct calls visible in the source AST.
+CallGraph source_call_graph(const kcc::Module& m);
+
+/// Calls recovered by scanning linked function bodies for E8 targets.
+/// Undecodable bodies are skipped (conservative).
+CallGraph binary_call_graph(const kcc::KernelImage& img);
+
+/// Functions present in the source call graph but absent from the binary
+/// symbol table — i.e. compiled away by inlining.
+std::set<std::string> inlined_functions(const kcc::Module& m,
+                                        const kcc::KernelImage& img);
+
+/// Worklist algorithm: given source-changed functions, returns the set of
+/// *binary* functions that must be patched. A changed inline function
+/// implicates all its callers; inline-into-inline chains propagate until no
+/// new function is added.
+std::set<std::string> implicated_functions(
+    const kcc::Module& m, const kcc::KernelImage& img,
+    const std::set<std::string>& changed_source_fns);
+
+/// Functions whose canonical source text differs between two modules.
+std::set<std::string> source_changed_functions(const kcc::Module& pre,
+                                               const kcc::Module& post);
+
+}  // namespace kshot::patchtool

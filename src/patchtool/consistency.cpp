@@ -1,0 +1,98 @@
+#include "patchtool/consistency.hpp"
+
+#include <algorithm>
+
+#include "patchtool/callgraph.hpp"
+
+namespace kshot::patchtool {
+
+namespace {
+
+void collect_vars(const kcc::Expr& e, std::set<std::string>& out) {
+  switch (e.kind) {
+    case kcc::Expr::Kind::kNum:
+      return;
+    case kcc::Expr::Kind::kVar:
+      out.insert(e.name);
+      return;
+    case kcc::Expr::Kind::kBin:
+      collect_vars(*e.lhs, out);
+      collect_vars(*e.rhs, out);
+      return;
+    case kcc::Expr::Kind::kCall:
+      for (const auto& a : e.args) collect_vars(*a, out);
+      return;
+  }
+}
+
+void collect_vars(const std::vector<kcc::StmtPtr>& body,
+                  std::set<std::string>& reads,
+                  std::set<std::string>& writes) {
+  for (const auto& s : body) {
+    if (s->value) collect_vars(*s->value, reads);
+    if (s->cond) collect_vars(*s->cond, reads);
+    if (s->kind == kcc::Stmt::Kind::kAssign) writes.insert(s->name);
+    collect_vars(s->body, reads, writes);
+    collect_vars(s->else_body, reads, writes);
+  }
+}
+
+}  // namespace
+
+std::set<std::string> referenced_globals(const kcc::Function& f,
+                                         const kcc::Module& m) {
+  std::set<std::string> reads, writes;
+  collect_vars(f.body, reads, writes);
+  std::set<std::string> all;
+  all.insert(reads.begin(), reads.end());
+  all.insert(writes.begin(), writes.end());
+
+  std::set<std::string> globals;
+  for (const auto& g : m.globals) {
+    if (all.count(g.name)) globals.insert(g.name);
+  }
+  return globals;
+}
+
+ConsistencyReport check_consistency(const kcc::Module& post_module,
+                                    const kcc::KernelImage& post_image,
+                                    const DiffResult& diff) {
+  ConsistencyReport rep;
+
+  std::set<std::string> touched_globals;
+  for (const auto& g : diff.added_globals) touched_globals.insert(g.name);
+  for (const auto& g : diff.modified_globals) touched_globals.insert(g.name);
+  if (touched_globals.empty()) return rep;
+
+  std::set<std::string> patched(diff.changed_functions.begin(),
+                                diff.changed_functions.end());
+  patched.insert(diff.added_functions.begin(), diff.added_functions.end());
+
+  // For every source function referencing a touched global, find the binary
+  // functions it lands in (itself, or — if inlined — its transitive
+  // callers) and require them to be in the patch set.
+  for (const auto& f : post_module.functions) {
+    std::set<std::string> refs = referenced_globals(f, post_module);
+    bool touches = std::any_of(
+        refs.begin(), refs.end(),
+        [&](const std::string& g) { return touched_globals.count(g) > 0; });
+    if (!touches) continue;
+
+    std::set<std::string> binary_homes =
+        implicated_functions(post_module, post_image, {f.name});
+    for (const auto& home : binary_homes) {
+      if (!patched.count(home)) {
+        rep.safe = false;
+        rep.warnings.push_back(
+            "function '" + home + "' uses patched global data (via '" +
+            f.name + "') but is not part of the patch");
+      }
+    }
+  }
+  std::sort(rep.warnings.begin(), rep.warnings.end());
+  rep.warnings.erase(std::unique(rep.warnings.begin(), rep.warnings.end()),
+                     rep.warnings.end());
+  return rep;
+}
+
+}  // namespace kshot::patchtool

@@ -1,0 +1,38 @@
+// Consistency analysis (paper §VIII "Consistency Issues"): some patches
+// change global data that non-patched functions also use, or change
+// semantics across multiple functions — KShot "currently cannot handle
+// those cases" (~2% of kernel CVE patches). This checker detects the shared
+// -data flavor before deployment, so an operator can fall back to a
+// whole-kernel update instead of shipping an unsafe live patch.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kcc/ast.hpp"
+#include "kcc/image.hpp"
+#include "patchtool/bindiff.hpp"
+
+namespace kshot::patchtool {
+
+struct ConsistencyReport {
+  bool safe = true;
+  /// One entry per unpatched binary function that reads or writes a global
+  /// the patch modifies.
+  std::vector<std::string> warnings;
+};
+
+/// Checks a computed diff against the post-patch source + image: every
+/// global the patch adds or modifies must only be referenced (at the binary
+/// level, i.e. after inlining) by functions that the patch also replaces.
+ConsistencyReport check_consistency(const kcc::Module& post_module,
+                                    const kcc::KernelImage& post_image,
+                                    const DiffResult& diff);
+
+/// Source-level helper: names of globals referenced (read or written)
+/// anywhere in `f`.
+std::set<std::string> referenced_globals(const kcc::Function& f,
+                                         const kcc::Module& m);
+
+}  // namespace kshot::patchtool

@@ -1,0 +1,212 @@
+#include "patchtool/package.hpp"
+
+#include "common/byte_io.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/simple_hash.hpp"
+
+namespace kshot::patchtool {
+
+namespace {
+
+void put_string8(ByteWriter& w, const std::string& s) {
+  w.put_u8(static_cast<u8>(std::min<size_t>(s.size(), 255)));
+  w.put_bytes(to_bytes(s.substr(0, 255)));
+}
+
+Result<std::string> get_string8(ByteReader& r) {
+  auto len = r.get_u8();
+  if (!len) return len.status();
+  auto bytes = r.get_bytes(*len);
+  if (!bytes) return bytes.status();
+  return std::string(bytes->begin(), bytes->end());
+}
+
+Bytes serialize_entries(const PatchSet& set, PatchOp op) {
+  ByteWriter w;
+  put_string8(w, set.id);
+  put_string8(w, set.kernel_version);
+  for (const auto& p : set.patches) {
+    // 42-byte header (see file comment).
+    w.put_u16(p.sequence);
+    w.put_u8(static_cast<u8>(op));
+    w.put_u8(static_cast<u8>(p.type));
+    w.put_u64(p.taddr);
+    w.put_u64(p.paddr);
+    w.put_u32(static_cast<u32>(p.code.size()));
+    w.put_u16(p.ftrace_off);
+    w.put_u16(static_cast<u16>(p.relocs.size()));
+    w.put_u16(static_cast<u16>(p.var_edits.size()));
+    w.put_u32(crypto::crc32(p.code));
+    w.put_u64(crypto::sdbm(to_bytes(p.name)));
+    // Trailer: diagnostics + variable-size payloads.
+    put_string8(w, p.name);
+    for (const auto& rel : p.relocs) {
+      w.put_u32(rel.offset);
+      w.put_u32(static_cast<u32>(rel.patch_index));
+      w.put_u64(rel.target);
+    }
+    for (const auto& v : p.var_edits) {
+      w.put_u64(v.addr);
+      w.put_u64(v.value);
+      w.put_u8(static_cast<u8>(v.kind));
+    }
+    w.put_bytes(p.code);
+  }
+  return w.take();
+}
+
+}  // namespace
+
+crypto::Digest256 package_digest(ByteSpan wire_after_digest) {
+  return crypto::sha256(wire_after_digest);
+}
+
+Bytes serialize_patchset(const PatchSet& set, PatchOp op) {
+  Bytes entries = serialize_entries(set, op);
+  crypto::Digest256 digest = package_digest(entries);
+
+  ByteWriter w;
+  w.put_u32(kPackageMagic);
+  w.put_u16(kPackageVersion);
+  w.put_u16(static_cast<u16>(set.patches.size()));
+  w.put_u32(static_cast<u32>(entries.size()));
+  w.put_bytes(ByteSpan(digest.data(), digest.size()));
+  w.put_bytes(entries);
+  return w.take();
+}
+
+Result<PatchOp> peek_op(ByteSpan wire) {
+  ByteReader r(wire);
+  auto magic = r.get_u32();
+  if (!magic || *magic != kPackageMagic) {
+    return Status{Errc::kIntegrityFailure, "bad package magic"};
+  }
+  // Skip version/count/size/digest, id and kernel version strings.
+  if (!r.skip(2 + 2 + 4 + 32).is_ok()) {
+    return Status{Errc::kOutOfRange, "truncated package"};
+  }
+  ByteReader r2 = r;
+  auto id = get_string8(r2);
+  if (!id) return id.status();
+  auto kver = get_string8(r2);
+  if (!kver) return kver.status();
+  KSHOT_RETURN_IF_ERROR(r2.skip(2));  // sequence
+  auto op = r2.get_u8();
+  if (!op) return op.status();
+  if (*op != 1 && *op != 2) {
+    return Status{Errc::kIntegrityFailure, "bad op field"};
+  }
+  return static_cast<PatchOp>(*op);
+}
+
+Result<PatchSet> parse_patchset(ByteSpan wire) {
+  ByteReader r(wire);
+  auto magic = r.get_u32();
+  if (!magic || *magic != kPackageMagic) {
+    return Status{Errc::kIntegrityFailure, "bad package magic"};
+  }
+  auto version = r.get_u16();
+  if (!version || *version != kPackageVersion) {
+    return Status{Errc::kIntegrityFailure, "unsupported package version"};
+  }
+  auto count = r.get_u16();
+  if (!count) return count.status();
+  auto entries_size = r.get_u32();
+  if (!entries_size) return entries_size.status();
+  auto digest_bytes = r.get_bytes(32);
+  if (!digest_bytes) return digest_bytes.status();
+  auto entries = r.get_span(*entries_size);
+  if (!entries) return Status{Errc::kIntegrityFailure, "truncated package"};
+  if (!r.exhausted()) {
+    return Status{Errc::kIntegrityFailure, "trailing bytes after package"};
+  }
+
+  crypto::Digest256 stored;
+  std::copy(digest_bytes->begin(), digest_bytes->end(), stored.begin());
+  if (!crypto::digest_equal(stored, package_digest(*entries))) {
+    return Status{Errc::kIntegrityFailure, "package digest mismatch"};
+  }
+
+  ByteReader er(*entries);
+  PatchSet set;
+  auto id = get_string8(er);
+  if (!id) return id.status();
+  set.id = std::move(*id);
+  auto kver = get_string8(er);
+  if (!kver) return kver.status();
+  set.kernel_version = std::move(*kver);
+
+  for (u16 i = 0; i < *count; ++i) {
+    FunctionPatch p;
+    auto seq = er.get_u16();
+    auto op = er.get_u8();
+    auto type = er.get_u8();
+    auto taddr = er.get_u64();
+    auto paddr = er.get_u64();
+    auto size = er.get_u32();
+    auto ftrace_off = er.get_u16();
+    auto nreloc = er.get_u16();
+    auto nvar = er.get_u16();
+    auto crc = er.get_u32();
+    auto name_hash = er.get_u64();
+    if (!seq || !op || !type || !taddr || !paddr || !size || !ftrace_off ||
+        !nreloc || !nvar || !crc || !name_hash) {
+      return Status{Errc::kIntegrityFailure, "truncated function header"};
+    }
+    if (*op != 1 && *op != 2) {
+      return Status{Errc::kIntegrityFailure, "bad op field"};
+    }
+    if (*type < 1 || *type > 3) {
+      return Status{Errc::kIntegrityFailure, "bad type field"};
+    }
+    p.sequence = *seq;
+    p.op = static_cast<PatchOp>(*op);
+    p.type = static_cast<PatchType>(*type);
+    p.taddr = *taddr;
+    p.paddr = *paddr;
+    p.ftrace_off = *ftrace_off;
+
+    auto name = get_string8(er);
+    if (!name) return name.status();
+    p.name = std::move(*name);
+    if (crypto::sdbm(to_bytes(p.name)) != *name_hash) {
+      return Status{Errc::kIntegrityFailure, "name hash mismatch"};
+    }
+    for (u16 k = 0; k < *nreloc; ++k) {
+      auto off = er.get_u32();
+      auto idx = er.get_u32();
+      auto target = er.get_u64();
+      if (!off || !idx || !target) {
+        return Status{Errc::kIntegrityFailure, "truncated reloc"};
+      }
+      p.relocs.push_back(
+          {*off, static_cast<i32>(*idx), *target});
+    }
+    for (u16 k = 0; k < *nvar; ++k) {
+      auto addr = er.get_u64();
+      auto value = er.get_u64();
+      auto kind = er.get_u8();
+      if (!addr || !value || !kind) {
+        return Status{Errc::kIntegrityFailure, "truncated var edit"};
+      }
+      if (*kind != 1 && *kind != 2) {
+        return Status{Errc::kIntegrityFailure, "bad var edit kind"};
+      }
+      p.var_edits.push_back(
+          {*addr, *value, static_cast<VarEdit::Kind>(*kind)});
+    }
+    auto code = er.get_bytes(*size);
+    if (!code) return Status{Errc::kIntegrityFailure, "truncated code"};
+    p.code = std::move(*code);
+    if (crypto::crc32(p.code) != *crc) {
+      return Status{Errc::kIntegrityFailure, "function payload CRC mismatch"};
+    }
+    set.patches.push_back(std::move(p));
+  }
+  if (!er.exhausted()) {
+    return Status{Errc::kIntegrityFailure, "trailing bytes in package"};
+  }
+  return set;
+}
+
+}  // namespace kshot::patchtool

@@ -1,0 +1,49 @@
+// Wire format of the patch package exchanged between the patch server, the
+// SGX enclave, and the SMM handler — the structure of paper Fig. 3. Each
+// function carries exactly 42 bytes of header (§VI-C3: "each function
+// requires 42 bytes of header data in the transmitted patch package"):
+//
+//   offset  field        size
+//   0       sequence     u16
+//   2       opt          u8    (1 = patch, 2 = rollback)
+//   3       type         u8    (1/2/3)
+//   4       taddr        u64   target entry in the running kernel
+//   12      paddr        u64   destination in mem_X (0 until preprocessing)
+//   20      size         u32   code payload bytes
+//   24      ftrace_off   u16   5 if the target begins with the ftrace pad
+//   26      nreloc       u16
+//   28      nvar         u16
+//   30      payload_crc  u32   CRC-32 of the code payload
+//   34      name_hash    u64   SDBM hash of the symbol name
+//   42      --- end of header ---
+//
+// The package set prepends a set header with a SHA-256 digest over all
+// entries; the SMM handler recomputes it before applying anything (§V-C).
+#pragma once
+
+#include "common/status.hpp"
+#include "crypto/sha256.hpp"
+#include "patchtool/patch.hpp"
+
+namespace kshot::patchtool {
+
+inline constexpr u32 kPackageMagic = 0x5448534B;  // "KSHT"
+inline constexpr u16 kPackageVersion = 1;
+inline constexpr size_t kFnHeaderBytes = 42;
+
+/// Serializes a patch set, overriding every entry's op with `op` (the same
+/// set is shipped with kPatch and replayed with kRollback).
+Bytes serialize_patchset(const PatchSet& set, PatchOp op);
+
+/// Parses and fully verifies a package (magic, version, set digest, per-
+/// function CRCs). Returns kIntegrityFailure on any mismatch.
+Result<PatchSet> parse_patchset(ByteSpan wire);
+
+/// The set digest stored in (and checked against) the set header.
+crypto::Digest256 package_digest(ByteSpan wire_after_digest);
+
+/// Parsed op of a serialized package without full validation (the SMM
+/// handler dispatches on this before verifying).
+Result<PatchOp> peek_op(ByteSpan wire);
+
+}  // namespace kshot::patchtool

@@ -1,0 +1,76 @@
+// In-memory patch representation shared by the patch server, the SGX
+// preprocessing enclave, and the SMM handler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kshot::patchtool {
+
+/// Function category from paper §V-A: Type 1 = plain replacement, Type 2 =
+/// implicated via inlining, Type 3 = global/shared variable changes.
+enum class PatchType : u8 { kType1 = 1, kType2 = 2, kType3 = 3 };
+
+/// Operation field of the package header (§V-C).
+enum class PatchOp : u8 { kPatch = 1, kRollback = 2 };
+
+/// An external rel32 fixup inside a patched function body. If
+/// `patch_index >= 0` the branch targets another function in the same patch
+/// set (resolved after paddr assignment); otherwise `target` is an absolute
+/// address in the running kernel.
+struct RelocEntry {
+  u32 offset = 0;       // offset of the rel32 field within the code payload
+  i32 patch_index = -1;
+  u64 target = 0;
+
+  friend bool operator==(const RelocEntry&, const RelocEntry&) = default;
+};
+
+/// A global-variable edit applied from SMM before installing trampolines.
+struct VarEdit {
+  enum class Kind : u8 {
+    kInit = 1,  // new global: initialize slack slot
+    kSet = 2,   // existing global: overwrite value
+  };
+  u64 addr = 0;
+  u64 value = 0;
+  Kind kind = Kind::kInit;
+
+  friend bool operator==(const VarEdit&, const VarEdit&) = default;
+};
+
+/// One function-level patch (one Fig. 3 package entry).
+struct FunctionPatch {
+  u16 sequence = 0;
+  PatchOp op = PatchOp::kPatch;
+  PatchType type = PatchType::kType1;
+  std::string name;      // symbol name (diagnostic; not in the 42-byte header)
+  u64 taddr = 0;         // entry of the vulnerable function in the running
+                         // kernel; 0 for newly added helper functions
+  u64 paddr = 0;         // location in mem_X; assigned by SGX preprocessing
+  u16 ftrace_off = 0;    // 5 if the target begins with the ftrace pad
+  Bytes code;            // post-patch function body
+  std::vector<RelocEntry> relocs;
+  std::vector<VarEdit> var_edits;
+
+  [[nodiscard]] size_t payload_bytes() const {
+    return code.size() + relocs.size() * 16 + var_edits.size() * 17;
+  }
+};
+
+/// A complete patch produced for one CVE / one kernel update.
+struct PatchSet {
+  std::string id;              // e.g. "CVE-2017-17806"
+  std::string kernel_version;  // target kernel the patch was built against
+  std::vector<FunctionPatch> patches;
+
+  [[nodiscard]] size_t total_code_bytes() const {
+    size_t n = 0;
+    for (const auto& p : patches) n += p.code.size();
+    return n;
+  }
+};
+
+}  // namespace kshot::patchtool

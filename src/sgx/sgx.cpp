@@ -1,0 +1,120 @@
+#include "sgx/sgx.hpp"
+
+#include <cstring>
+
+#include "common/byte_io.hpp"
+#include "common/rng.hpp"
+
+namespace kshot::sgx {
+
+Enclave::Enclave(std::string name, ByteSpan code_identity)
+    : name_(std::move(name)), mrenclave_(crypto::sha256(code_identity)) {}
+
+Result<Bytes> Enclave::ecall(int fn, ByteSpan input) {
+  if (runtime_ == nullptr) {
+    return {Errc::kFailedPrecondition, "enclave not loaded"};
+  }
+  return handle_ecall(fn, input);
+}
+
+Status Enclave::epc_write(u64 offset, ByteSpan data) {
+  if (runtime_ == nullptr) {
+    return {Errc::kFailedPrecondition, "enclave not loaded"};
+  }
+  if (offset + data.size() > epc_len_) {
+    return {Errc::kOutOfRange, "EPC slice overflow"};
+  }
+  return runtime_->machine_.mem().write(epc_base_ + offset, data,
+                                        machine::AccessMode::enclave(id_));
+}
+
+Result<Bytes> Enclave::epc_read(u64 offset, size_t n) const {
+  if (runtime_ == nullptr) {
+    return {Errc::kFailedPrecondition, "enclave not loaded"};
+  }
+  if (offset + n > epc_len_) {
+    return {Errc::kOutOfRange, "EPC slice overflow"};
+  }
+  return runtime_->machine_.mem().read_bytes(
+      epc_base_ + offset, n, machine::AccessMode::enclave(id_));
+}
+
+Report Enclave::create_report(ByteSpan user_data) const {
+  Report r;
+  r.enclave_id = id_;
+  r.mrenclave = mrenclave_;
+  size_t n = std::min(user_data.size(), r.report_data.size());
+  std::memcpy(r.report_data.data(), user_data.data(), n);
+  r.mac = runtime_->report_mac(r);
+  return r;
+}
+
+machine::Machine* Enclave::target_machine() {
+  return runtime_ ? &runtime_->machine_ : nullptr;
+}
+
+SgxRuntime::SgxRuntime(machine::Machine& m, PhysAddr epc_base, size_t epc_size,
+                       u64 hw_key_seed)
+    : machine_(m),
+      epc_base_(epc_base),
+      epc_size_(epc_size),
+      epc_cursor_(epc_base) {
+  // The hardware report key is derived from fuses; simulated software can
+  // never observe it (it lives only in this harness object).
+  Rng rng(hw_key_seed);
+  rng.fill(MutByteSpan(hw_report_key_.data(), hw_report_key_.size()));
+}
+
+Status SgxRuntime::load_enclave(Enclave& e, size_t epc_bytes) {
+  if (e.runtime_ != nullptr) {
+    return {Errc::kFailedPrecondition, "enclave already loaded"};
+  }
+  size_t rounded =
+      (epc_bytes + machine::kPageSize - 1) / machine::kPageSize *
+      machine::kPageSize;
+  if (epc_cursor_ + rounded > epc_base_ + epc_size_) {
+    return {Errc::kResourceExhausted, "EPC exhausted"};
+  }
+  e.runtime_ = this;
+  e.id_ = next_id_++;
+  e.epc_base_ = epc_cursor_;
+  e.epc_len_ = rounded;
+  epc_cursor_ += rounded;
+
+  machine::PageAttr attr;
+  attr.read = attr.write = attr.exec = false;  // opaque to normal mode
+  attr.epc_owner = e.id_;
+  machine_.mem().set_attrs(e.epc_base_, e.epc_len_, attr);
+  return Status::ok();
+}
+
+Status SgxRuntime::destroy_enclave(Enclave& e) {
+  if (e.runtime_ != this) {
+    return {Errc::kFailedPrecondition, "enclave not loaded here"};
+  }
+  // Scrub before releasing the pages back to the OS.
+  Bytes zeros(e.epc_len_, 0);
+  KSHOT_RETURN_IF_ERROR(machine_.mem().write(
+      e.epc_base_, zeros, machine::AccessMode::enclave(e.id_)));
+  machine_.mem().set_attrs(e.epc_base_, e.epc_len_, machine::PageAttr{});
+  e.runtime_ = nullptr;
+  e.id_ = 0;
+  e.epc_base_ = 0;
+  e.epc_len_ = 0;
+  return Status::ok();
+}
+
+crypto::Digest256 SgxRuntime::report_mac(const Report& r) const {
+  ByteWriter w;
+  w.put_u16(r.enclave_id);
+  w.put_bytes(ByteSpan(r.mrenclave.data(), r.mrenclave.size()));
+  w.put_bytes(ByteSpan(r.report_data.data(), r.report_data.size()));
+  return crypto::hmac_sha256(
+      ByteSpan(hw_report_key_.data(), hw_report_key_.size()), w.bytes());
+}
+
+bool SgxRuntime::verify_report(const Report& r) const {
+  return crypto::digest_equal(report_mac(r), r.mac);
+}
+
+}  // namespace kshot::sgx

@@ -1,0 +1,111 @@
+// Simulated Intel SGX: an Enclave Page Cache carved out of machine memory,
+// enclaves entered only through a registered ECALL gate, SHA-256 code
+// measurement (MRENCLAVE), and local-attestation reports MACed with a
+// hardware key that simulated software can never read.
+//
+// The isolation contract this reproduces (paper §II-C): non-enclave code —
+// including the kernel and any rootkit — cannot read or write EPC pages;
+// the OS can only *invoke* the enclave through its ECALL interface and relay
+// opaque (encrypted) buffers for it.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "crypto/hmac.hpp"
+#include "machine/machine.hpp"
+
+namespace kshot::sgx {
+
+/// Local attestation report (EREPORT analogue).
+struct Report {
+  u16 enclave_id = 0;
+  crypto::Digest256 mrenclave{};
+  std::array<u8, 64> report_data{};
+  crypto::Digest256 mac{};
+};
+
+class SgxRuntime;
+
+/// Base class for enclave logic. The enclave's *data* lives in its EPC slice
+/// inside simulated physical memory; its *code* is native C++ (as compiled
+/// enclave code would be), identified by a measured identity blob.
+class Enclave {
+ public:
+  Enclave(std::string name, ByteSpan code_identity);
+  virtual ~Enclave() = default;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] u16 id() const { return id_; }
+  [[nodiscard]] const crypto::Digest256& mrenclave() const {
+    return mrenclave_;
+  }
+
+  /// Untrusted entry point: dispatches to handle_ecall. Returns
+  /// kFailedPrecondition if the enclave was never loaded into a runtime.
+  Result<Bytes> ecall(int fn, ByteSpan input);
+
+ protected:
+  /// Enclave-defined ECALL dispatch.
+  virtual Result<Bytes> handle_ecall(int fn, ByteSpan input) = 0;
+
+  // EPC-backed private storage, offset-addressed within this enclave's
+  // slice. Accesses go through the machine's access checks in enclave mode.
+  Status epc_write(u64 offset, ByteSpan data);
+  Result<Bytes> epc_read(u64 offset, size_t n) const;
+  [[nodiscard]] size_t epc_size() const { return epc_len_; }
+
+  /// Issues an attestation report bound to `user_data`.
+  [[nodiscard]] Report create_report(ByteSpan user_data) const;
+
+  /// Access to ordinary (non-EPC) machine memory in enclave mode — used to
+  /// write staged patches into the shared reserved region.
+  machine::Machine* target_machine();
+
+ private:
+  friend class SgxRuntime;
+
+  std::string name_;
+  crypto::Digest256 mrenclave_;
+  SgxRuntime* runtime_ = nullptr;
+  u16 id_ = 0;
+  PhysAddr epc_base_ = 0;
+  size_t epc_len_ = 0;
+};
+
+/// Manages the EPC region and the hardware report key.
+class SgxRuntime {
+ public:
+  SgxRuntime(machine::Machine& m, PhysAddr epc_base, size_t epc_size,
+             u64 hw_key_seed);
+
+  /// Loads an enclave: allocates `epc_bytes` of EPC for it, marks the pages,
+  /// and measures it. Fails if EPC is exhausted.
+  Status load_enclave(Enclave& e, size_t epc_bytes);
+
+  /// Tears down an enclave, scrubbing and releasing its EPC pages.
+  Status destroy_enclave(Enclave& e);
+
+  /// Verifies a report against the hardware key (usable by parties that
+  /// were provisioned with it, e.g. the remote patch server).
+  [[nodiscard]] bool verify_report(const Report& r) const;
+
+  machine::Machine& machine() { return machine_; }
+
+ private:
+  friend class Enclave;
+
+  [[nodiscard]] crypto::Digest256 report_mac(const Report& r) const;
+
+  machine::Machine& machine_;
+  PhysAddr epc_base_;
+  size_t epc_size_;
+  PhysAddr epc_cursor_;
+  std::array<u8, 32> hw_report_key_{};
+  u16 next_id_ = 1;
+};
+
+}  // namespace kshot::sgx

@@ -1,0 +1,89 @@
+// Experiment harness: boots a complete simulated deployment — target
+// machine, vulnerable kernel, SGX runtime, remote patch server, network
+// channel, and an installed KShot — for one CVE case. Shared by the test
+// suite, the benchmark binaries, and the examples.
+#pragma once
+
+#include <memory>
+
+#include "core/kshot.hpp"
+#include "cve/suite.hpp"
+#include "kernel/scheduler.hpp"
+#include "netsim/patch_server.hpp"
+
+namespace kshot::testbed {
+
+/// Outcome of driving one syscall to completion on the target.
+struct SyscallOutcome {
+  bool oops = false;
+  u64 trap_code = 0;   // meaningful when oops
+  u64 value = 0;       // r0 when !oops
+  std::string detail;
+};
+
+struct TestbedOptions {
+  kernel::MemoryLayout layout{};
+  u64 seed = 0x1234;
+  bool install_kshot = true;
+  /// Spawn this many looping background workload threads (sys_busy).
+  int workload_threads = 0;
+  /// Nonzero arms the firmware periodic-SMI introspection watchdog.
+  u64 watchdog_interval_cycles = 0;
+};
+
+class Testbed {
+ public:
+  /// Boots the full deployment for `c`. The machine runs the *pre* (still
+  /// vulnerable) kernel; the server knows the patch.
+  static Result<std::unique_ptr<Testbed>> boot(const cve::CveCase& c,
+                                               TestbedOptions opts = {});
+
+  machine::Machine& machine() { return *machine_; }
+  kernel::Kernel& kernel() { return *kernel_; }
+  kernel::Scheduler& scheduler() { return *sched_; }
+  sgx::SgxRuntime& sgx() { return *sgx_; }
+  netsim::Channel& channel() { return *channel_; }
+  netsim::PatchServer& server() { return *server_; }
+  core::Kshot& kshot() { return *kshot_; }
+  const cve::CveCase& cve_case() const { return case_; }
+  const kcc::KernelImage& pre_image() const { return pre_image_; }
+
+  /// Runs one syscall synchronously on a dedicated context (not a scheduler
+  /// thread), up to `max_instrs` instructions.
+  Result<SyscallOutcome> run_syscall(int nr, std::array<u64, 5> args,
+                                     u64 max_instrs = 2'000'000);
+
+  /// Convenience: fires the case's exploit / benign input.
+  Result<SyscallOutcome> run_exploit();
+  Result<SyscallOutcome> run_benign();
+
+  /// The OsInfo + compile options matching this deployment.
+  [[nodiscard]] kcc::CompileOptions compile_options() const;
+
+ private:
+  Testbed(cve::CveCase c) : case_(std::move(c)) {}
+
+  cve::CveCase case_;
+  std::unique_ptr<machine::Machine> machine_;
+  std::unique_ptr<kernel::Kernel> kernel_;
+  std::unique_ptr<kernel::Scheduler> sched_;
+  std::unique_ptr<sgx::SgxRuntime> sgx_;
+  std::unique_ptr<netsim::Channel> channel_;
+  std::unique_ptr<netsim::PatchServer> server_;
+  std::unique_ptr<core::Kshot> kshot_;
+  kcc::KernelImage pre_image_;
+};
+
+/// Compile options for a memory layout + kernel version.
+kcc::CompileOptions options_for_layout(const kernel::MemoryLayout& lay,
+                                       const std::string& version);
+
+/// Synthesizes a case whose post-patch binary payload is approximately
+/// `target_bytes`, for the Table II/III patch-size sweeps (40 B .. 10 MB).
+/// The exact payload size is whatever the compiler emits; benches report it.
+cve::CveCase make_size_sweep_case(size_t target_bytes);
+
+/// A layout that can stage and place a patch of `target_bytes`.
+kernel::MemoryLayout layout_for_patch_bytes(size_t target_bytes);
+
+}  // namespace kshot::testbed

@@ -1,0 +1,152 @@
+// Cumulative (batch) updates: several CVE fixes merged into one kernel and
+// shipped as a single KShot patch set — the distro point-release scenario —
+// plus pipeline property sweeps over synthetic patch sizes.
+#include <gtest/gtest.h>
+
+#include "testbed/testbed.hpp"
+
+namespace kshot::cve {
+namespace {
+
+TEST(Batch, CombineRejectsMixedKernels) {
+  auto b = combine_cases({"CVE-2014-0196", "CVE-2016-5195"});
+  ASSERT_FALSE(b.is_ok());
+  EXPECT_EQ(b.status().code(), Errc::kInvalidArgument);
+}
+
+TEST(Batch, CombineRejectsNameCollisions) {
+  // Both define scpct_assoce_update.
+  auto b = combine_cases({"CVE-2014-5077", "CVE-2015-1421"});
+  ASSERT_FALSE(b.is_ok());
+}
+
+TEST(Batch, CombineRejectsEmpty) {
+  EXPECT_FALSE(combine_cases({}).is_ok());
+}
+
+TEST(Batch, SingleKshotPatchFixesThreeCves) {
+  auto batch = combine_cases(
+      {"CVE-2014-0196", "CVE-2014-5077", "CVE-2015-5707"});
+  ASSERT_TRUE(batch.is_ok()) << batch.status().to_string();
+
+  auto tb = testbed::Testbed::boot(batch->merged, {.workload_threads = 2});
+  ASSERT_TRUE(tb.is_ok()) << tb.status().to_string();
+  testbed::Testbed& t = **tb;
+  for (const auto& part : batch->parts) {
+    ASSERT_TRUE(t.kernel()
+                    .register_syscall(part.syscall_nr, part.entry_function)
+                    .is_ok());
+  }
+
+  // All three exploits fire before...
+  for (const auto& part : batch->parts) {
+    auto e = t.run_syscall(part.syscall_nr, part.exploit_args);
+    ASSERT_TRUE(e.is_ok());
+    EXPECT_TRUE(e->oops) << part.id;
+  }
+
+  // ...one live patch, one OS pause...
+  auto rep = t.kshot().live_patch(batch->merged.id);
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+  ASSERT_TRUE(rep->success);
+  EXPECT_GE(rep->stats.functions, 3u);
+
+  // ...and all three are dead, with benign behaviour preserved.
+  for (const auto& part : batch->parts) {
+    auto e = t.run_syscall(part.syscall_nr, part.exploit_args);
+    ASSERT_TRUE(e.is_ok());
+    EXPECT_FALSE(e->oops) << part.id;
+    auto b = t.run_syscall(part.syscall_nr, part.benign_args);
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_FALSE(b->oops) << part.id;
+  }
+  t.scheduler().run(500, 64);
+  EXPECT_EQ(t.scheduler().stats().oopses, 0u);
+}
+
+TEST(Batch, RollbackUndoesTheWholeBatch) {
+  auto batch = combine_cases({"CVE-2014-7842", "CVE-2015-1333"});
+  ASSERT_TRUE(batch.is_ok());
+  auto tb = testbed::Testbed::boot(batch->merged, {});
+  ASSERT_TRUE(tb.is_ok());
+  testbed::Testbed& t = **tb;
+  for (const auto& part : batch->parts) {
+    ASSERT_TRUE(t.kernel()
+                    .register_syscall(part.syscall_nr, part.entry_function)
+                    .is_ok());
+  }
+  ASSERT_TRUE(t.kshot().live_patch(batch->merged.id)->success);
+  ASSERT_TRUE(t.kshot().rollback()->success);
+  for (const auto& part : batch->parts) {
+    auto e = t.run_syscall(part.syscall_nr, part.exploit_args);
+    ASSERT_TRUE(e.is_ok());
+    EXPECT_TRUE(e->oops) << part.id << " not restored by batch rollback";
+  }
+}
+
+TEST(Batch, MixedTypesInOneBatch) {
+  // Type 1 + Type 2 + Type 3 in a single cumulative update.
+  auto batch = combine_cases(
+      {"CVE-2014-0196", "CVE-2014-4157", "CVE-2014-3690"});
+  ASSERT_TRUE(batch.is_ok()) << batch.status().to_string();
+  auto tb = testbed::Testbed::boot(batch->merged, {});
+  ASSERT_TRUE(tb.is_ok());
+  testbed::Testbed& t = **tb;
+  for (const auto& part : batch->parts) {
+    ASSERT_TRUE(t.kernel()
+                    .register_syscall(part.syscall_nr, part.entry_function)
+                    .is_ok());
+  }
+  auto rep = t.kshot().live_patch(batch->merged.id);
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+  ASSERT_TRUE(rep->success);
+  for (const auto& part : batch->parts) {
+    auto e = t.run_syscall(part.syscall_nr, part.exploit_args);
+    ASSERT_TRUE(e.is_ok());
+    EXPECT_FALSE(e->oops) << part.id;
+  }
+}
+
+// ---- Synthetic size sweep through the full pipeline -----------------------------
+
+class SizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SizeSweep, FullPipelineAtSize) {
+  size_t size = GetParam();
+  CveCase c = testbed::make_size_sweep_case(size);
+  testbed::TestbedOptions opts;
+  opts.layout = testbed::layout_for_patch_bytes(size);
+  auto tb = testbed::Testbed::boot(c, opts);
+  ASSERT_TRUE(tb.is_ok()) << tb.status().to_string();
+  testbed::Testbed& t = **tb;
+
+  auto pre = t.run_exploit();
+  ASSERT_TRUE(pre.is_ok());
+  EXPECT_TRUE(pre->oops);
+
+  auto rep = t.kshot().live_patch(c.id);
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+  ASSERT_TRUE(rep->success);
+  // The staged payload should be in the ballpark of the target size.
+  if (size >= 1024) {
+    EXPECT_GT(rep->stats.code_bytes, size / 2);
+    EXPECT_LT(rep->stats.code_bytes, size * 2);
+  }
+
+  auto post = t.run_exploit();
+  ASSERT_TRUE(post.is_ok());
+  EXPECT_FALSE(post->oops);
+  auto benign = t.run_benign();
+  ASSERT_TRUE(benign.is_ok());
+  EXPECT_FALSE(benign->oops);
+
+  // Downtime grows monotonically-ish with size but stays bounded.
+  EXPECT_GT(rep->smm.modeled_total_us, 70.0);   // fixed floor
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         ::testing::Values(64, 256, 1024, 4096, 16384,
+                                           65536, 262144));
+
+}  // namespace
+}  // namespace kshot::cve

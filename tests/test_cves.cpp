@@ -1,0 +1,199 @@
+// RQ1 as a parameterized test: every Table I CVE case must (a) expose a
+// working exploit on the vulnerable kernel, (b) live-patch successfully
+// through the full KShot pipeline, (c) no longer be exploitable, and (d)
+// behave identically to a natively-built post-patch kernel on benign input.
+#include <gtest/gtest.h>
+
+#include "patchtool/callgraph.hpp"
+#include "kcc/parser.hpp"
+#include "testbed/testbed.hpp"
+
+namespace kshot::cve {
+namespace {
+
+class CveSuite : public ::testing::TestWithParam<std::string> {};
+
+std::vector<std::string> all_ids() {
+  std::vector<std::string> ids;
+  for (const auto& c : all_cases()) ids.push_back(c.id);
+  return ids;
+}
+
+TEST_P(CveSuite, SuiteMetadataMatchesTable1) {
+  const CveCase& c = find_case(GetParam());
+  EXPECT_FALSE(c.functions.empty());
+  EXPECT_GT(c.patch_loc, 0);
+  EXPECT_TRUE(c.kernel == "sim-3.14" || c.kernel == "sim-4.4");
+  EXPECT_TRUE(c.has_type(1) || c.has_type(2) || c.has_type(3));
+}
+
+TEST_P(CveSuite, SourcesCompile) {
+  const CveCase& c = find_case(GetParam());
+  kernel::MemoryLayout lay;
+  auto opts = testbed::options_for_layout(lay, c.kernel);
+  auto pre = kcc::compile_source(c.pre_source, opts);
+  ASSERT_TRUE(pre.is_ok()) << c.id << ": " << pre.status().to_string();
+  auto post = kcc::compile_source(c.post_source, opts);
+  ASSERT_TRUE(post.is_ok()) << c.id << ": " << post.status().to_string();
+  EXPECT_FALSE(
+      crypto::digest_equal(pre->measurement(), post->measurement()));
+}
+
+TEST_P(CveSuite, ExploitFiresPrePatch) {
+  const CveCase& c = find_case(GetParam());
+  auto tb = testbed::Testbed::boot(c, {.seed = 0x999});
+  ASSERT_TRUE(tb.is_ok()) << tb.status().to_string();
+  auto exploit = (*tb)->run_exploit();
+  ASSERT_TRUE(exploit.is_ok()) << exploit.status().to_string();
+  EXPECT_TRUE(exploit->oops) << c.id << " exploit did not fire";
+  EXPECT_EQ(exploit->trap_code, c.trap_code);
+  auto benign = (*tb)->run_benign();
+  ASSERT_TRUE(benign.is_ok());
+  EXPECT_FALSE(benign->oops);
+}
+
+TEST_P(CveSuite, PatchSetHasExpectedShape) {
+  const CveCase& c = find_case(GetParam());
+  auto tb = testbed::Testbed::boot(c, {});
+  ASSERT_TRUE(tb.is_ok());
+  auto set = (*tb)->server().build_patchset(c.id, (*tb)->kernel().os_info());
+  ASSERT_TRUE(set.is_ok()) << c.id << ": " << set.status().to_string();
+  EXPECT_FALSE(set->patches.empty());
+
+  bool any_type2 = false, any_type3 = false, any_var_edit = false;
+  for (const auto& p : set->patches) {
+    if (p.type == patchtool::PatchType::kType2) any_type2 = true;
+    if (p.type == patchtool::PatchType::kType3) any_type3 = true;
+    if (!p.var_edits.empty()) any_var_edit = true;
+    EXPECT_FALSE(p.code.empty());
+  }
+  if (c.has_type(3)) {
+    EXPECT_TRUE(any_type3) << c.id;
+    EXPECT_TRUE(any_var_edit) << c.id;
+  } else {
+    EXPECT_FALSE(any_var_edit) << c.id;
+  }
+  if (c.has_type(2) && !c.has_type(3)) {
+    EXPECT_TRUE(any_type2) << c.id << " should show inlining implication";
+  }
+}
+
+TEST_P(CveSuite, InliningWorklistAgreesWithBinaryDiff) {
+  const CveCase& c = find_case(GetParam());
+  if (!c.has_type(2)) GTEST_SKIP() << "no inlining in this case";
+  kernel::MemoryLayout lay;
+  auto opts = testbed::options_for_layout(lay, c.kernel);
+  auto pre_m = kcc::parse(c.pre_source);
+  auto post_m = kcc::parse(c.post_source);
+  ASSERT_TRUE(pre_m.is_ok() && post_m.is_ok());
+  auto post_img = kcc::compile_source(c.post_source, opts);
+  ASSERT_TRUE(post_img.is_ok());
+
+  auto changed = patchtool::source_changed_functions(*pre_m, *post_m);
+  auto implicated =
+      patchtool::implicated_functions(*post_m, *post_img, changed);
+  // Every function the worklist implicates must exist in the binary, and at
+  // least one inline function must have been expanded away.
+  for (const auto& fn : implicated) {
+    EXPECT_NE(post_img->find_symbol(fn), nullptr) << fn;
+  }
+  EXPECT_FALSE(
+      patchtool::inlined_functions(*post_m, *post_img).empty());
+}
+
+TEST_P(CveSuite, KshotLivePatchEndToEnd) {
+  const CveCase& c = find_case(GetParam());
+  auto tb = testbed::Testbed::boot(c, {.seed = 0xABC});
+  ASSERT_TRUE(tb.is_ok()) << tb.status().to_string();
+  testbed::Testbed& t = **tb;
+
+  auto benign_before = t.run_benign();
+  ASSERT_TRUE(benign_before.is_ok());
+
+  auto report = t.kshot().live_patch(c.id);
+  ASSERT_TRUE(report.is_ok()) << c.id << ": " << report.status().to_string();
+  ASSERT_TRUE(report->success)
+      << c.id << " smm status " << static_cast<u64>(report->smm_status);
+
+  auto exploit = t.run_exploit();
+  ASSERT_TRUE(exploit.is_ok()) << exploit.status().to_string();
+  EXPECT_FALSE(exploit->oops) << c.id << " still exploitable after patch";
+
+  auto benign_after = t.run_benign();
+  ASSERT_TRUE(benign_after.is_ok());
+  EXPECT_FALSE(benign_after->oops);
+  EXPECT_EQ(benign_after->value, benign_before->value)
+      << c.id << " patch changed benign behaviour";
+}
+
+TEST_P(CveSuite, PatchedBehaviourMatchesNativePostKernel) {
+  const CveCase& c = find_case(GetParam());
+
+  // Live-patched pre kernel.
+  auto tb = testbed::Testbed::boot(c, {.seed = 0x111});
+  ASSERT_TRUE(tb.is_ok());
+  ASSERT_TRUE((*tb)->kshot().live_patch(c.id).is_ok());
+
+  // Natively built post kernel: swap sources so the "pre" the testbed boots
+  // is the fixed code.
+  CveCase native = c;
+  native.pre_source = c.post_source;
+  auto tb2 = testbed::Testbed::boot(native, {.seed = 0x222,
+                                             .install_kshot = false});
+  ASSERT_TRUE(tb2.is_ok()) << tb2.status().to_string();
+
+  for (auto args : {c.exploit_args, c.benign_args}) {
+    auto patched = (*tb)->run_syscall(c.syscall_nr, args);
+    auto nativer = (*tb2)->run_syscall(c.syscall_nr, args);
+    ASSERT_TRUE(patched.is_ok() && nativer.is_ok());
+    EXPECT_EQ(patched->oops, nativer->oops);
+    EXPECT_EQ(patched->value, nativer->value)
+        << c.id << " diverges from native post kernel";
+  }
+}
+
+TEST_P(CveSuite, RollbackRestoresExploit) {
+  const CveCase& c = find_case(GetParam());
+  auto tb = testbed::Testbed::boot(c, {.seed = 0x333});
+  ASSERT_TRUE(tb.is_ok());
+  testbed::Testbed& t = **tb;
+  ASSERT_TRUE(t.kshot().live_patch(c.id).is_ok());
+  ASSERT_TRUE(t.kshot().rollback().is_ok());
+  auto exploit = t.run_exploit();
+  ASSERT_TRUE(exploit.is_ok());
+  EXPECT_TRUE(exploit->oops) << c.id << " rollback incomplete";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, CveSuite, ::testing::ValuesIn(all_ids()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(CveSuiteGlobal, ThirtyOneCasesPresent) {
+  EXPECT_EQ(all_cases().size(), 31u);  // Table I's 30 + CVE-2014-4608
+}
+
+TEST(CveSuiteGlobal, FigureCasesExist) {
+  auto ids = figure_case_ids();
+  EXPECT_EQ(ids.size(), 6u);
+  for (const auto& id : ids) {
+    EXPECT_NO_FATAL_FAILURE(find_case(id));
+  }
+}
+
+TEST(CveSuiteGlobal, UniqueTrapCodesAndSyscalls) {
+  std::set<u8> traps;
+  std::set<int> nrs;
+  for (const auto& c : all_cases()) {
+    EXPECT_TRUE(traps.insert(c.trap_code).second) << c.id;
+    EXPECT_TRUE(nrs.insert(c.syscall_nr).second) << c.id;
+  }
+}
+
+}  // namespace
+}  // namespace kshot::cve

@@ -1,0 +1,151 @@
+// Kernel tracing coexistence (paper §V-A "Supporting Kernel Tracing"): the
+// dynamic tracer owns the first 5 bytes of a traced function; KShot's
+// trampoline owns the next 5. Each must keep working whatever order they
+// are enabled in.
+#include <gtest/gtest.h>
+
+#include "kernel/ftrace.hpp"
+#include "testbed/testbed.hpp"
+
+namespace kshot::kernel {
+namespace {
+
+using testbed::Testbed;
+
+std::unique_ptr<Testbed> boot(const char* id = "CVE-2014-0196") {
+  auto tb = Testbed::boot(cve::find_case(id), {});
+  EXPECT_TRUE(tb.is_ok()) << tb.status().to_string();
+  return std::move(*tb);
+}
+
+TEST(Ftrace, StubCountsCalls) {
+  auto t = boot();
+  FtraceRuntime ftrace(t->kernel());
+  ASSERT_TRUE(ftrace.install().is_ok());
+  ASSERT_TRUE(ftrace.enable("sys_hash").is_ok());
+  EXPECT_TRUE(ftrace.is_traced("sys_hash"));
+
+  auto r = t->run_syscall(cve::kSysHash, {7, 0, 0, 0, 0});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_FALSE(r->oops);
+  EXPECT_EQ(*ftrace.hits(), 1u);
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t->run_syscall(cve::kSysHash, {7, 0, 0, 0, 0}).is_ok());
+  }
+  EXPECT_EQ(*ftrace.hits(), 6u);
+}
+
+TEST(Ftrace, TracingPreservesResults) {
+  auto t = boot();
+  auto before = t->run_syscall(cve::kSysHash, {41, 0, 0, 0, 0});
+  FtraceRuntime ftrace(t->kernel());
+  ASSERT_TRUE(ftrace.install().is_ok());
+  ASSERT_TRUE(ftrace.enable("sys_hash").is_ok());
+  auto after = t->run_syscall(cve::kSysHash, {41, 0, 0, 0, 0});
+  ASSERT_TRUE(before.is_ok() && after.is_ok());
+  EXPECT_EQ(before->value, after->value);
+}
+
+TEST(Ftrace, DisableRestoresPad) {
+  auto t = boot();
+  FtraceRuntime ftrace(t->kernel());
+  ASSERT_TRUE(ftrace.install().is_ok());
+  const kcc::Symbol* sym = t->kernel().image().find_symbol("sys_hash");
+  ASSERT_TRUE(ftrace.enable("sys_hash").is_ok());
+  ASSERT_TRUE(ftrace.disable("sys_hash").is_ok());
+  auto bytes = t->machine().mem().read_bytes(sym->addr, 5,
+                                             machine::AccessMode::normal());
+  ASSERT_TRUE(bytes.is_ok());
+  EXPECT_EQ(*bytes, (Bytes{0x0F, 0x1F, 0x44, 0x00, 0x00}));
+  u64 hits_before = *ftrace.hits();
+  ASSERT_TRUE(t->run_syscall(cve::kSysHash, {1, 0, 0, 0, 0}).is_ok());
+  EXPECT_EQ(*ftrace.hits(), hits_before);
+}
+
+TEST(Ftrace, NotraceFunctionRejected) {
+  auto t = boot();
+  FtraceRuntime ftrace(t->kernel());
+  ASSERT_TRUE(ftrace.install().is_ok());
+  // Sweep-case entry functions under 128B are notrace; use one here.
+  EXPECT_EQ(ftrace.enable("no_such_fn").code(), Errc::kNotFound);
+  EXPECT_EQ(ftrace.disable("sys_hash").code(), Errc::kFailedPrecondition);
+}
+
+TEST(Ftrace, PatchThenTrace) {
+  auto t = boot();
+  const auto& c = t->cve_case();
+  ASSERT_TRUE(t->kshot().live_patch(c.id)->success);
+
+  FtraceRuntime ftrace(t->kernel());
+  ASSERT_TRUE(ftrace.install().is_ok());
+  ASSERT_TRUE(ftrace.enable(c.entry_function).is_ok());
+
+  // Tracing the *patched* function: the fentry call runs, then the
+  // trampoline redirects to the patched body.
+  auto exploit = t->run_exploit();
+  ASSERT_TRUE(exploit.is_ok());
+  EXPECT_FALSE(exploit->oops);
+  EXPECT_EQ(exploit->value, cve::kEinval);
+  EXPECT_GE(*ftrace.hits(), 1u);
+}
+
+TEST(Ftrace, TraceThenPatch) {
+  auto t = boot();
+  const auto& c = t->cve_case();
+  FtraceRuntime ftrace(t->kernel());
+  ASSERT_TRUE(ftrace.install().is_ok());
+  ASSERT_TRUE(ftrace.enable(c.entry_function).is_ok());
+
+  ASSERT_TRUE(t->kshot().live_patch(c.id)->success);
+
+  // Patch applied after the tracer: both still work.
+  u64 hits_before = *ftrace.hits();
+  auto exploit = t->run_exploit();
+  ASSERT_TRUE(exploit.is_ok());
+  EXPECT_FALSE(exploit->oops);
+  EXPECT_GT(*ftrace.hits(), hits_before);
+
+  auto benign = t->run_benign();
+  ASSERT_TRUE(benign.is_ok());
+  EXPECT_FALSE(benign->oops);
+}
+
+TEST(Ftrace, IntrospectionDoesNotFightTracer) {
+  // The SMM introspection sweep must treat the tracer-owned pad bytes as
+  // kernel-mutable and only guard its own trampoline bytes.
+  auto t = boot();
+  const auto& c = t->cve_case();
+  ASSERT_TRUE(t->kshot().live_patch(c.id)->success);
+
+  FtraceRuntime ftrace(t->kernel());
+  ASSERT_TRUE(ftrace.install().is_ok());
+  ASSERT_TRUE(ftrace.enable(c.entry_function).is_ok());
+
+  auto rep = t->kshot().introspect();
+  ASSERT_TRUE(rep.is_ok());
+  EXPECT_TRUE(rep->clean()) << "introspection treated tracing as tampering";
+  // And tracing still works afterwards.
+  ASSERT_TRUE(t->run_benign().is_ok());
+  EXPECT_GE(*ftrace.hits(), 1u);
+}
+
+TEST(Ftrace, RollbackLeavesTracingIntact) {
+  auto t = boot();
+  const auto& c = t->cve_case();
+  FtraceRuntime ftrace(t->kernel());
+  ASSERT_TRUE(ftrace.install().is_ok());
+  ASSERT_TRUE(ftrace.enable(c.entry_function).is_ok());
+
+  ASSERT_TRUE(t->kshot().live_patch(c.id)->success);
+  ASSERT_TRUE(t->kshot().rollback()->success);
+
+  u64 hits_before = *ftrace.hits();
+  auto exploit = t->run_exploit();
+  ASSERT_TRUE(exploit.is_ok());
+  EXPECT_TRUE(exploit->oops);  // rollback restored the vulnerable body
+  EXPECT_GT(*ftrace.hits(), hits_before);  // but tracing survived
+}
+
+}  // namespace
+}  // namespace kshot::kernel

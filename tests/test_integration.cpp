@@ -1,0 +1,212 @@
+// Cross-module integration: live patching under active workloads, patch /
+// rollback / re-patch cycles, multiple sequential patches, the large-patch
+// memory layout, and virtual-time accounting across the whole pipeline.
+#include <gtest/gtest.h>
+
+#include "testbed/testbed.hpp"
+
+namespace kshot {
+namespace {
+
+using testbed::Testbed;
+using testbed::TestbedOptions;
+
+TEST(Integration, PatchUnderActiveWorkload) {
+  const auto& c = cve::find_case("CVE-2014-0196");
+  auto tb = Testbed::boot(c, {.workload_threads = 6});
+  ASSERT_TRUE(tb.is_ok()) << tb.status().to_string();
+  Testbed& t = **tb;
+
+  // Warm up the workload; several threads will be suspended mid-syscall.
+  t.scheduler().run(500, 32);
+  u64 served_before = t.scheduler().stats().syscalls_completed;
+  ASSERT_GT(served_before, 0u);
+
+  auto report = t.kshot().live_patch(c.id);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  ASSERT_TRUE(report->success);
+
+  // The workload continues unharmed — no oopses, progress continues.
+  t.scheduler().run(1000, 32);
+  EXPECT_GT(t.scheduler().stats().syscalls_completed, served_before);
+  EXPECT_EQ(t.scheduler().stats().oopses, 0u);
+  EXPECT_TRUE(t.kernel().oops_log().empty());
+
+  auto exploit = t.run_exploit();
+  ASSERT_TRUE(exploit.is_ok());
+  EXPECT_FALSE(exploit->oops);
+}
+
+TEST(Integration, ThreadSuspendedInsideTargetSurvivesPatch) {
+  // The consistency case §IV/§V-A care about: a thread is parked *inside*
+  // the function being patched; trampoline-at-entry leaves the old body
+  // intact so the in-flight call completes on the old code, and the next
+  // call takes the patch.
+  const auto& c = cve::find_case("CVE-2016-7914");  // big body, easy to park
+  auto tb = Testbed::boot(c, {});
+  ASSERT_TRUE(tb.is_ok());
+  Testbed& t = **tb;
+
+  auto tid = t.scheduler().spawn({{c.syscall_nr, c.benign_args}}, true);
+  ASSERT_TRUE(tid.is_ok());
+  const kcc::Symbol* sym = t.kernel().image().find_symbol(c.entry_function);
+  bool inside = false;
+  for (int i = 0; i < 2000 && !inside; ++i) {
+    t.scheduler().run(1, 11);
+    const auto& th = t.scheduler().thread(*tid);
+    u64 rip = th.saved_ctx().rip;
+    inside = th.mid_syscall() && rip > sym->addr + 10 &&
+             rip < sym->addr + sym->size;
+  }
+  ASSERT_TRUE(inside);
+
+  ASSERT_TRUE(t.kshot().live_patch(c.id)->success);
+
+  // The suspended thread finishes its old-code call and keeps looping on
+  // the patched function with no faults.
+  t.scheduler().run(3000, 64);
+  EXPECT_EQ(t.scheduler().stats().oopses, 0u);
+  EXPECT_GT(t.scheduler().thread(*tid).syscalls_completed(), 1u);
+}
+
+TEST(Integration, PatchRollbackRepatchCycle) {
+  const auto& c = cve::find_case("CVE-2015-5707");
+  auto tb = Testbed::boot(c, {});
+  ASSERT_TRUE(tb.is_ok());
+  Testbed& t = **tb;
+
+  for (int round = 0; round < 3; ++round) {
+    auto rep = t.kshot().live_patch(c.id);
+    ASSERT_TRUE(rep.is_ok()) << "round " << round;
+    ASSERT_TRUE(rep->success);
+    auto exploit = t.run_exploit();
+    ASSERT_TRUE(exploit.is_ok());
+    EXPECT_FALSE(exploit->oops) << "round " << round;
+
+    ASSERT_TRUE(t.kshot().rollback()->success);
+    exploit = t.run_exploit();
+    ASSERT_TRUE(exploit.is_ok());
+    EXPECT_TRUE(exploit->oops) << "round " << round;
+  }
+}
+
+TEST(Integration, SequentialDistinctPatchesAccumulate) {
+  // Two CVEs from the same kernel version, patched one after the other on
+  // one machine: both exploits must end up dead.
+  const auto& c1 = cve::find_case("CVE-2014-0196");
+  const auto& c2 = cve::find_case("CVE-2014-5077");
+  // Boot with c1's kernel and teach the server both patches against a
+  // combined source.
+  cve::CveCase combined = c1;
+  // Append c2's unique functions to both sources.
+  std::string extra_pre =
+      c2.pre_source.substr(cve::base_kernel_source().size());
+  std::string extra_post =
+      c2.post_source.substr(cve::base_kernel_source().size());
+  combined.pre_source = c1.pre_source + extra_pre;
+  combined.post_source = c1.post_source + extra_pre;  // only c1 fixed
+
+  auto tb = Testbed::boot(combined, {});
+  ASSERT_TRUE(tb.is_ok()) << tb.status().to_string();
+  Testbed& t = **tb;
+  ASSERT_TRUE(t.kernel().register_syscall(c2.syscall_nr, c2.entry_function)
+                  .is_ok());
+
+  // Second patch: the running kernel is combined.pre (both vulnerable), so
+  // it is built as pre = combined.pre, post = c1-vulnerable + c2-fixed.
+  t.server().add_patch({"SECOND", combined.kernel, combined.pre_source,
+                        c1.pre_source + extra_post});
+
+  // Patch #1 (fixes c1):
+  ASSERT_TRUE(t.kshot().live_patch(c1.id)->success);
+  auto e1 = t.run_syscall(c1.syscall_nr, c1.exploit_args);
+  ASSERT_TRUE(e1.is_ok());
+  EXPECT_FALSE(e1->oops);
+  auto e2 = t.run_syscall(c2.syscall_nr, c2.exploit_args);
+  ASSERT_TRUE(e2.is_ok());
+  EXPECT_TRUE(e2->oops) << "c2 should still be vulnerable";
+
+  // Patch #2 — but the kernel text changed (trampoline) since boot, so the
+  // server's measurement check would fail if we naively re-sent os_info.
+  // KShot handles this because os_info was captured at boot (§V-B assumes
+  // boot-time collection).
+  ASSERT_TRUE(t.kshot().live_patch("SECOND")->success);
+  e2 = t.run_syscall(c2.syscall_nr, c2.exploit_args);
+  ASSERT_TRUE(e2.is_ok());
+  EXPECT_FALSE(e2->oops);
+  // And c1's fix is still in place.
+  e1 = t.run_syscall(c1.syscall_nr, c1.exploit_args);
+  ASSERT_TRUE(e1.is_ok());
+  EXPECT_FALSE(e1->oops);
+}
+
+TEST(Integration, LargePatchLayoutWorks) {
+  const auto& c = cve::find_case("CVE-2016-7914");
+  TestbedOptions opts;
+  opts.layout = kernel::MemoryLayout::for_large_patches();
+  auto tb = Testbed::boot(c, opts);
+  ASSERT_TRUE(tb.is_ok()) << tb.status().to_string();
+  auto rep = (*tb)->kshot().live_patch(c.id);
+  ASSERT_TRUE(rep.is_ok());
+  EXPECT_TRUE(rep->success);
+}
+
+TEST(Integration, DowntimeIsOnlySmmResidency) {
+  const auto& c = cve::find_case("CVE-2014-0196");
+  auto tb = Testbed::boot(c, {});
+  ASSERT_TRUE(tb.is_ok());
+  Testbed& t = **tb;
+
+  u64 smm_before = t.machine().smm_cycles();
+  u64 smi_before = t.machine().smi_count();
+  auto rep = t.kshot().live_patch(c.id);
+  ASSERT_TRUE(rep.is_ok());
+  EXPECT_EQ(t.machine().smi_count(), smi_before + 2);  // begin + apply
+  EXPECT_EQ(rep->downtime_cycles, t.machine().smm_cycles() - smm_before);
+  // Modeled downtime stays well under a millisecond for a small patch
+  // (paper: ~50us for ~1KB patches).
+  EXPECT_LT(rep->smm.modeled_total_us, 1000.0);
+}
+
+TEST(Integration, EnclaveStateInvisibleToKernelScan) {
+  // A kernel scan over the whole EPC range must not find the patch
+  // plaintext staged by the enclave.
+  const auto& c = cve::find_case("CVE-2014-0196");
+  auto tb = Testbed::boot(c, {});
+  ASSERT_TRUE(tb.is_ok());
+  Testbed& t = **tb;
+  ASSERT_TRUE(t.kshot().live_patch(c.id)->success);
+
+  const auto& lay = t.kernel().layout();
+  for (PhysAddr a = lay.epc_base; a < lay.epc_base + lay.epc_size;
+       a += machine::kPageSize * 64) {
+    auto r = t.machine().mem().read_bytes(a, 8,
+                                          machine::AccessMode::normal());
+    if (r.is_ok()) {
+      // Unallocated EPC slack is ordinary memory — but allocated enclave
+      // pages must be opaque. Verify via attrs.
+      EXPECT_EQ(t.machine().mem().attrs_at(a).epc_owner, 0);
+    }
+  }
+}
+
+TEST(Integration, HundredPatchRollbackCyclesStayStable) {
+  const auto& c = cve::find_case("CVE-2017-17053");
+  auto tb = Testbed::boot(c, {.workload_threads = 2});
+  ASSERT_TRUE(tb.is_ok());
+  Testbed& t = **tb;
+  for (int i = 0; i < 100; ++i) {
+    auto rep = t.kshot().live_patch(c.id);
+    ASSERT_TRUE(rep.is_ok()) << "iteration " << i << ": "
+                             << rep.status().to_string();
+    ASSERT_TRUE(rep->success) << "iteration " << i;
+    ASSERT_TRUE(t.kshot().rollback()->success) << "iteration " << i;
+    t.scheduler().run(20, 32);
+  }
+  EXPECT_EQ(t.scheduler().stats().oopses, 0u);
+  EXPECT_EQ(t.kshot().handler().patches_applied(), 100u);
+  EXPECT_EQ(t.kshot().handler().rollbacks(), 100u);
+}
+
+}  // namespace
+}  // namespace kshot

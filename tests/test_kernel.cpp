@@ -1,0 +1,250 @@
+// Kernel runtime tests: loader page attributes, syscall dispatch, the
+// scheduler (time slicing, oops accounting, mid-syscall suspension), and the
+// kernel-module hook.
+#include <gtest/gtest.h>
+
+#include "cve/suite.hpp"
+#include "crypto/hmac.hpp"
+#include "kcc/compiler.hpp"
+#include "kernel/scheduler.hpp"
+
+namespace kshot::kernel {
+namespace {
+
+struct World {
+  std::unique_ptr<machine::Machine> m;
+  std::unique_ptr<Kernel> k;
+  std::unique_ptr<Scheduler> sched;
+};
+
+World make_world(const std::string& extra_src = "") {
+  MemoryLayout lay;
+  World w;
+  w.m = std::make_unique<machine::Machine>(lay.mem_bytes, lay.smram_base,
+                                           lay.smram_size);
+  kcc::CompileOptions opts;
+  opts.text_base = lay.text_base;
+  opts.data_base = lay.data_base;
+  opts.version = "sim-4.4";
+  auto img = kcc::compile_source(cve::base_kernel_source() + extra_src, opts);
+  EXPECT_TRUE(img.is_ok()) << img.status().to_string();
+  w.k = std::make_unique<Kernel>(*w.m, std::move(*img), lay);
+  EXPECT_TRUE(w.k->load().is_ok());
+  EXPECT_TRUE(w.k->register_syscall(cve::kSysAccount, "sys_account").is_ok());
+  EXPECT_TRUE(w.k->register_syscall(cve::kSysBusy, "sys_busy").is_ok());
+  EXPECT_TRUE(w.k->register_syscall(cve::kSysHash, "sys_hash").is_ok());
+  w.sched = std::make_unique<Scheduler>(*w.m, *w.k);
+  return w;
+}
+
+TEST(KernelLoad, TextCopiedAndExecutable) {
+  World w = make_world();
+  const auto& img = w.k->image();
+  auto text = w.m->mem().read_bytes(img.text_base, img.text.size(),
+                                    machine::AccessMode::normal());
+  ASSERT_TRUE(text.is_ok());
+  EXPECT_EQ(*text, img.text);
+}
+
+TEST(KernelLoad, ReservedRegionAttributes) {
+  World w = make_world();
+  const auto& lay = w.k->layout();
+  auto rw = w.m->mem().attrs_at(lay.mem_rw_base());
+  EXPECT_TRUE(rw.read && rw.write);
+  auto ww = w.m->mem().attrs_at(lay.mem_w_base());
+  EXPECT_TRUE(!ww.read && ww.write && !ww.exec);
+  auto x = w.m->mem().attrs_at(lay.mem_x_base());
+  EXPECT_TRUE(!x.read && !x.write && x.exec);
+}
+
+TEST(KernelLoad, MismatchedImageBaseRejected) {
+  MemoryLayout lay;
+  machine::Machine m(lay.mem_bytes, lay.smram_base, lay.smram_size);
+  kcc::CompileOptions opts;
+  opts.text_base = 0x999000;  // wrong
+  opts.data_base = lay.data_base;
+  auto img = kcc::compile_source("fn f() { return 1; }", opts);
+  ASSERT_TRUE(img.is_ok());
+  Kernel k(m, std::move(*img), lay);
+  EXPECT_EQ(k.load().code(), Errc::kFailedPrecondition);
+}
+
+TEST(KernelSyscalls, RegistrationValidatesSymbol) {
+  World w = make_world();
+  EXPECT_EQ(w.k->register_syscall(99, "no_such_fn").code(), Errc::kNotFound);
+  EXPECT_FALSE(w.k->syscall_entry(1234).is_ok());
+  EXPECT_TRUE(w.k->syscall_entry(cve::kSysHash).is_ok());
+}
+
+TEST(KernelGlobals, ReadWriteThroughSymbolTable) {
+  World w = make_world();
+  auto j = w.k->read_global("jiffies");
+  ASSERT_TRUE(j.is_ok());
+  EXPECT_EQ(*j, 0u);
+  ASSERT_TRUE(w.k->write_global("jiffies", 55).is_ok());
+  EXPECT_EQ(*w.k->read_global("jiffies"), 55u);
+  EXPECT_FALSE(w.k->read_global("bogus").is_ok());
+}
+
+TEST(KernelOsInfo, MatchesImage) {
+  World w = make_world();
+  OsInfo info = w.k->os_info();
+  EXPECT_EQ(info.version, "sim-4.4");
+  EXPECT_EQ(info.text_base, w.k->layout().text_base);
+  EXPECT_TRUE(
+      crypto::digest_equal(info.measurement, w.k->image().measurement()));
+}
+
+// ---- Scheduler ---------------------------------------------------------------
+
+TEST(Scheduler, SingleThreadCompletesSyscalls) {
+  World w = make_world();
+  auto tid = w.sched->spawn({{cve::kSysHash, {5, 0, 0, 0, 0}}}, false);
+  ASSERT_TRUE(tid.is_ok());
+  w.sched->run(100);
+  const Thread& t = w.sched->thread(*tid);
+  EXPECT_EQ(t.state(), ThreadState::kFinished);
+  EXPECT_EQ(t.syscalls_completed(), 1u);
+  // sys_hash(5) result matches k_hash's formula.
+  EXPECT_EQ(t.last_result(), (5ull & 1048575) * 40503 % 65521);
+}
+
+TEST(Scheduler, LoopingThreadKeepsServing) {
+  World w = make_world();
+  auto tid = w.sched->spawn({{cve::kSysAccount, {0, 0, 0, 0, 0}}}, true);
+  ASSERT_TRUE(tid.is_ok());
+  w.sched->run(500);
+  EXPECT_GT(w.sched->thread(*tid).syscalls_completed(), 10u);
+  EXPECT_EQ(w.sched->thread(*tid).state(), ThreadState::kReady);
+  auto jiffies = w.k->read_global("jiffies");
+  EXPECT_EQ(*jiffies, w.sched->thread(*tid).syscalls_completed());
+}
+
+TEST(Scheduler, RoundRobinInterleavesThreads) {
+  World w = make_world();
+  auto t1 = w.sched->spawn({{cve::kSysBusy, {300, 0, 0, 0, 0}}}, true);
+  auto t2 = w.sched->spawn({{cve::kSysBusy, {300, 0, 0, 0, 0}}}, true);
+  ASSERT_TRUE(t1.is_ok() && t2.is_ok());
+  w.sched->run(2000, 32);
+  EXPECT_GT(w.sched->thread(*t1).syscalls_completed(), 0u);
+  EXPECT_GT(w.sched->thread(*t2).syscalls_completed(), 0u);
+}
+
+TEST(Scheduler, MidSyscallSuspension) {
+  World w = make_world();
+  // A long busy loop with a tiny quantum must get suspended mid-call.
+  auto tid = w.sched->spawn({{cve::kSysBusy, {1000, 0, 0, 0, 0}}}, true);
+  ASSERT_TRUE(tid.is_ok());
+  w.sched->run(1, 16);
+  const Thread& t = w.sched->thread(*tid);
+  EXPECT_TRUE(t.mid_syscall());
+  // Saved rip must be inside kernel text.
+  u64 rip = t.saved_ctx().rip;
+  EXPECT_GE(rip, w.k->layout().text_base);
+  EXPECT_LT(rip, w.k->layout().text_base + w.k->image().text.size());
+}
+
+TEST(Scheduler, AnyThreadInRange) {
+  World w = make_world();
+  auto tid = w.sched->spawn({{cve::kSysBusy, {1000, 0, 0, 0, 0}}}, true);
+  ASSERT_TRUE(tid.is_ok());
+  w.sched->run(1, 16);
+  u64 rip = w.sched->thread(*tid).saved_ctx().rip;
+  EXPECT_TRUE(w.sched->any_thread_in_range(rip, rip + 1));
+  EXPECT_FALSE(w.sched->any_thread_in_range(0x1, 0x2));
+}
+
+TEST(Scheduler, OopsRecorded) {
+  World w = make_world("fn sys_crash(a) { bug(33); return 0; }");
+  ASSERT_TRUE(w.k->register_syscall(50, "sys_crash").is_ok());
+  auto tid = w.sched->spawn({{50, {0, 0, 0, 0, 0}}}, false);
+  ASSERT_TRUE(tid.is_ok());
+  w.sched->run(100);
+  EXPECT_EQ(w.sched->thread(*tid).state(), ThreadState::kOops);
+  ASSERT_EQ(w.k->oops_log().size(), 1u);
+  EXPECT_EQ(w.k->oops_log()[0].code, 33u);
+  EXPECT_EQ(w.sched->stats().oopses, 1u);
+}
+
+TEST(Scheduler, BadSyscallNumberOopses) {
+  World w = make_world();
+  auto tid = w.sched->spawn({{777, {0, 0, 0, 0, 0}}}, false);
+  ASSERT_TRUE(tid.is_ok());
+  w.sched->run(10);
+  EXPECT_EQ(w.sched->thread(*tid).state(), ThreadState::kOops);
+}
+
+TEST(Scheduler, EmptyProgramRejected) {
+  World w = make_world();
+  EXPECT_FALSE(w.sched->spawn({}, false).is_ok());
+}
+
+TEST(Scheduler, CheckpointableBytesScalesWithThreads) {
+  World w = make_world();
+  size_t none = w.sched->checkpointable_bytes();
+  EXPECT_EQ(none, 0u);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        w.sched->spawn({{cve::kSysAccount, {0, 0, 0, 0, 0}}}, true).is_ok());
+  }
+  EXPECT_GE(w.sched->checkpointable_bytes(),
+            4 * w.k->layout().stack_size);
+}
+
+TEST(Scheduler, RestartInFlightSyscalls) {
+  World w = make_world();
+  auto tid = w.sched->spawn({{cve::kSysBusy, {1000, 0, 0, 0, 0}}}, true);
+  ASSERT_TRUE(tid.is_ok());
+  w.sched->run(1, 16);
+  ASSERT_TRUE(w.sched->thread(*tid).mid_syscall());
+  w.sched->restart_in_flight_syscalls();
+  EXPECT_FALSE(w.sched->thread(*tid).mid_syscall());
+  // The thread still makes progress afterwards.
+  w.sched->run(2000, 64);
+  EXPECT_GT(w.sched->thread(*tid).syscalls_completed(), 0u);
+}
+
+// ---- Kernel modules --------------------------------------------------------
+
+class TickCounter final : public KernelModule {
+ public:
+  std::string name() const override { return "tick_counter"; }
+  void on_tick(machine::Machine&, Kernel&) override { ++ticks; }
+  int ticks = 0;
+};
+
+TEST(KernelModules, TickHookRunsPerQuantum) {
+  World w = make_world();
+  auto mod = std::make_shared<TickCounter>();
+  w.k->insmod(mod);
+  ASSERT_TRUE(
+      w.sched->spawn({{cve::kSysAccount, {0, 0, 0, 0, 0}}}, true).is_ok());
+  w.sched->run(25);
+  EXPECT_EQ(mod->ticks, 25);
+}
+
+TEST(KernelModules, RmmodRemoves) {
+  World w = make_world();
+  auto mod = std::make_shared<TickCounter>();
+  w.k->insmod(mod);
+  EXPECT_TRUE(w.k->rmmod("tick_counter").is_ok());
+  EXPECT_EQ(w.k->rmmod("tick_counter").code(), Errc::kNotFound);
+  ASSERT_TRUE(
+      w.sched->spawn({{cve::kSysAccount, {0, 0, 0, 0, 0}}}, true).is_ok());
+  w.sched->run(10);
+  EXPECT_EQ(mod->ticks, 0);
+}
+
+TEST(KernelModules, ModulesCanPatchKernelText) {
+  // Kernel-privileged code may rewrite kernel text — the capability both
+  // kpatch and rootkits rely on.
+  World w = make_world();
+  u64 entry = *w.k->syscall_entry(cve::kSysHash);
+  Bytes patch = {0x90};
+  EXPECT_TRUE(w.m->mem()
+                  .write(entry, patch, machine::AccessMode::normal())
+                  .is_ok());
+}
+
+}  // namespace
+}  // namespace kshot::kernel

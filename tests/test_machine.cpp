@@ -1,0 +1,326 @@
+// Machine substrate tests: page-attribute enforcement per access mode,
+// SMRAM/EPC isolation, the interpreter, SMI state save/restore, and the
+// virtual clock.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "machine/machine.hpp"
+
+namespace kshot::machine {
+namespace {
+
+constexpr PhysAddr kSmramBase = 0xA0000;
+constexpr size_t kSmramSize = 0x20000;
+
+Machine make_machine() { return Machine(8 << 20, kSmramBase, kSmramSize); }
+
+// ---- PhysMem access control ---------------------------------------------
+
+TEST(PhysMem, NormalReadWrite) {
+  Machine m = make_machine();
+  Bytes data = {1, 2, 3, 4};
+  ASSERT_TRUE(m.mem().write(0x1000, data, AccessMode::normal()).is_ok());
+  auto r = m.mem().read_bytes(0x1000, 4, AccessMode::normal());
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(*r, data);
+}
+
+TEST(PhysMem, OutOfRangeRejected) {
+  Machine m = make_machine();
+  Bytes data(16, 0);
+  EXPECT_EQ(m.mem().write((8 << 20) - 8, data, AccessMode::normal()).code(),
+            Errc::kOutOfRange);
+  EXPECT_FALSE(m.mem().read_u64(~0ull - 4, AccessMode::normal()).is_ok());
+}
+
+TEST(PhysMem, SmramBlockedFromNormalMode) {
+  Machine m = make_machine();
+  Bytes data = {0xAA};
+  EXPECT_EQ(m.mem().write(kSmramBase + 0x100, data, AccessMode::normal())
+                .code(),
+            Errc::kPermissionDenied);
+  EXPECT_FALSE(
+      m.mem().read_bytes(kSmramBase, 8, AccessMode::normal()).is_ok());
+  // SMM can use it freely.
+  EXPECT_TRUE(m.mem().write(kSmramBase + 0x100, data, AccessMode::smm())
+                  .is_ok());
+}
+
+TEST(PhysMem, WriteOnlyPageSemantics) {
+  Machine m = make_machine();
+  m.mem().set_attrs(0x2000, kPageSize, {false, true, false, 0});
+  Bytes data = {7};
+  EXPECT_TRUE(m.mem().write(0x2000, data, AccessMode::normal()).is_ok());
+  EXPECT_EQ(m.mem().read_bytes(0x2000, 1, AccessMode::normal())
+                .status()
+                .code(),
+            Errc::kPermissionDenied);
+  // SMM bypasses attributes.
+  auto r = m.mem().read_bytes(0x2000, 1, AccessMode::smm());
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ((*r)[0], 7);
+}
+
+TEST(PhysMem, ExecOnlyPageSemantics) {
+  Machine m = make_machine();
+  m.mem().set_attrs(0x3000, kPageSize, {false, false, true, 0});
+  u8 buf[4];
+  EXPECT_FALSE(
+      m.mem().read(0x3000, MutByteSpan(buf, 4), AccessMode::normal()).is_ok());
+  EXPECT_TRUE(m.mem()
+                  .fetch(0x3000, 4, MutByteSpan(buf, 4), AccessMode::normal())
+                  .is_ok());
+  Bytes data = {1};
+  EXPECT_FALSE(m.mem().write(0x3000, data, AccessMode::normal()).is_ok());
+}
+
+TEST(PhysMem, EpcBlockedFromNormalAndSmm) {
+  Machine m = make_machine();
+  PageAttr epc{false, false, false, 3};
+  m.mem().set_attrs(0x5000, kPageSize, epc);
+  EXPECT_FALSE(m.mem().read_bytes(0x5000, 8, AccessMode::normal()).is_ok());
+  EXPECT_FALSE(m.mem().read_bytes(0x5000, 8, AccessMode::smm()).is_ok());
+  // The owning enclave can touch it; another enclave cannot.
+  EXPECT_TRUE(m.mem().read_bytes(0x5000, 8, AccessMode::enclave(3)).is_ok());
+  EXPECT_FALSE(m.mem().read_bytes(0x5000, 8, AccessMode::enclave(4)).is_ok());
+}
+
+TEST(PhysMem, EnclaveBlockedFromSmram) {
+  Machine m = make_machine();
+  EXPECT_FALSE(
+      m.mem().read_bytes(kSmramBase, 8, AccessMode::enclave(1)).is_ok());
+}
+
+TEST(PhysMem, AttrsSpanPages) {
+  Machine m = make_machine();
+  m.mem().set_attrs(0x6000, 3 * kPageSize, {true, false, false, 0});
+  EXPECT_FALSE(m.mem().attrs_at(0x6000).write);
+  EXPECT_FALSE(m.mem().attrs_at(0x6000 + 2 * kPageSize).write);
+  EXPECT_TRUE(m.mem().attrs_at(0x6000 + 3 * kPageSize).write);
+}
+
+// ---- Interpreter -----------------------------------------------------------
+
+/// Assembles code at `base`, points rip at it and runs to a terminal state.
+StepResult run_code(Machine& m, const Bytes& code, u64 base = 0x1000,
+                    u64 max = 10000) {
+  EXPECT_TRUE(m.mem().write(base, code, AccessMode::smm()).is_ok());
+  m.cpu().rip = base;
+  m.cpu().sp() = 0x100000;
+  return m.run(max);
+}
+
+TEST(Interp, ArithmeticChain) {
+  Machine m = make_machine();
+  isa::Assembler a;
+  a.movi(1, 10);
+  a.movi(2, 3);
+  a.mov(0, 1);
+  a.alu(isa::Op::kMul, 0, 2);   // 30
+  a.alui(isa::Op::kAddi, 0, 12); // 42
+  a.hlt();
+  auto res = run_code(m, *a.finish());
+  EXPECT_EQ(res.kind, StepKind::kHalt);
+  EXPECT_EQ(m.cpu().regs[0], 42u);
+}
+
+TEST(Interp, DivideByZeroOops) {
+  Machine m = make_machine();
+  isa::Assembler a;
+  a.movi(1, 5);
+  a.movi(2, 0);
+  a.alu(isa::Op::kDiv, 1, 2);
+  a.hlt();
+  auto res = run_code(m, *a.finish());
+  EXPECT_EQ(res.kind, StepKind::kOops);
+}
+
+TEST(Interp, SignedComparisons) {
+  Machine m = make_machine();
+  isa::Assembler a;
+  auto less = a.new_label();
+  a.movi(1, -5);
+  a.movi(2, 3);
+  a.cmp(1, 2);
+  a.jl(less);          // -5 < 3 signed: taken
+  a.movi(0, 0);
+  a.hlt();
+  a.bind(less);
+  a.movi(0, 1);
+  a.hlt();
+  auto res = run_code(m, *a.finish());
+  EXPECT_EQ(res.kind, StepKind::kHalt);
+  EXPECT_EQ(m.cpu().regs[0], 1u);
+}
+
+TEST(Interp, CallAndReturn) {
+  Machine m = make_machine();
+  isa::Assembler a;
+  auto fn = a.new_label();
+  a.branch(isa::Op::kCall, fn);
+  a.hlt();
+  a.bind(fn);
+  a.movi(0, 123);
+  a.ret();
+  auto res = run_code(m, *a.finish());
+  EXPECT_EQ(res.kind, StepKind::kHalt);
+  EXPECT_EQ(m.cpu().regs[0], 123u);
+}
+
+TEST(Interp, ReturnSentinelReported) {
+  Machine m = make_machine();
+  isa::Assembler a;
+  a.movi(0, 9);
+  a.ret();
+  Bytes code = *a.finish();
+  ASSERT_TRUE(m.mem().write(0x1000, code, AccessMode::smm()).is_ok());
+  m.cpu().rip = 0x1000;
+  m.cpu().sp() = 0x100000 - 8;
+  ASSERT_TRUE(m.mem()
+                  .write_u64(m.cpu().sp(), kReturnSentinel,
+                             AccessMode::normal())
+                  .is_ok());
+  auto res = m.run(100);
+  EXPECT_EQ(res.kind, StepKind::kRetTop);
+  EXPECT_EQ(m.cpu().regs[0], 9u);
+}
+
+TEST(Interp, PushPopLoadStore) {
+  Machine m = make_machine();
+  isa::Assembler a;
+  a.movi(3, 77);
+  a.push(3);
+  a.pop(4);
+  a.storeg(4, 0x8000);
+  a.loadg(5, 0x8000);
+  a.movi(6, 0x9000);
+  a.storer(5, 6, 16);
+  a.loadr(0, 6, 16);
+  a.hlt();
+  auto res = run_code(m, *a.finish());
+  EXPECT_EQ(res.kind, StepKind::kHalt);
+  EXPECT_EQ(m.cpu().regs[0], 77u);
+}
+
+TEST(Interp, TrapCarriesCode) {
+  Machine m = make_machine();
+  isa::Assembler a;
+  a.trap(42);
+  auto res = run_code(m, *a.finish());
+  EXPECT_EQ(res.kind, StepKind::kOops);
+  EXPECT_EQ(res.info, 42u);
+}
+
+TEST(Interp, FetchFromNonExecFaults) {
+  Machine m = make_machine();
+  isa::Assembler a;
+  a.hlt();
+  Bytes code = *a.finish();
+  ASSERT_TRUE(m.mem().write(0x4000, code, AccessMode::smm()).is_ok());
+  m.mem().set_attrs(0x4000, kPageSize, {true, true, false, 0});
+  m.cpu().rip = 0x4000;
+  auto res = m.step();
+  EXPECT_EQ(res.kind, StepKind::kMemFault);
+}
+
+TEST(Interp, WhileLoopViaBranches) {
+  // sum 1..10 == 55
+  Machine m = make_machine();
+  isa::Assembler a;
+  auto top = a.new_label(), done = a.new_label();
+  a.movi(1, 0);   // i
+  a.movi(0, 0);   // acc
+  a.bind(top);
+  a.cmpi(1, 10);
+  a.jge(done);
+  a.alui(isa::Op::kAddi, 1, 1);
+  a.alu(isa::Op::kAdd, 0, 1);
+  a.jmp(top);
+  a.bind(done);
+  a.hlt();
+  auto res = run_code(m, *a.finish());
+  EXPECT_EQ(res.kind, StepKind::kHalt);
+  EXPECT_EQ(m.cpu().regs[0], 55u);
+}
+
+// ---- SMM ----------------------------------------------------------------------
+
+TEST(Smm, StateSavedAndRestoredAcrossSmi) {
+  Machine m = make_machine();
+  bool ran = false;
+  ASSERT_TRUE(m.set_smm_handler([&](Machine& mm) {
+                 ran = true;
+                 // Handler trashes live registers; RSM must restore them.
+                 mm.cpu().regs[3] = 0xDEAD;
+                 mm.cpu().rip = 0x666;
+               })
+                  .is_ok());
+  m.cpu().regs[3] = 0x1234;
+  m.cpu().rip = 0x1000;
+  m.cpu().sp() = 0x2000;
+  m.trigger_smi();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(m.cpu().regs[3], 0x1234u);
+  EXPECT_EQ(m.cpu().rip, 0x1000u);
+  EXPECT_EQ(m.cpu().sp(), 0x2000u);
+  EXPECT_EQ(m.mode(), CpuMode::kProtected);
+}
+
+TEST(Smm, HandlerRunsInSmmMode) {
+  Machine m = make_machine();
+  CpuMode observed = CpuMode::kProtected;
+  ASSERT_TRUE(
+      m.set_smm_handler([&](Machine& mm) { observed = mm.mode(); }).is_ok());
+  m.trigger_smi();
+  EXPECT_EQ(observed, CpuMode::kSmm);
+}
+
+TEST(Smm, LockPreventsHandlerReplacement) {
+  Machine m = make_machine();
+  ASSERT_TRUE(m.set_smm_handler([](Machine&) {}).is_ok());
+  m.lock_smram();
+  auto st = m.set_smm_handler([](Machine&) {});
+  EXPECT_EQ(st.code(), Errc::kPermissionDenied);
+}
+
+TEST(Smm, CyclesChargedForSwitch) {
+  Machine m = make_machine();
+  ASSERT_TRUE(m.set_smm_handler([](Machine&) {}).is_ok());
+  u64 before = m.cycles();
+  m.trigger_smi();
+  u64 delta = m.cycles() - before;
+  EXPECT_EQ(delta, m.cost_model().smi_entry_cycles + m.cost_model().rsm_cycles);
+  EXPECT_EQ(m.smm_cycles(), delta);
+  EXPECT_EQ(m.smi_count(), 1u);
+}
+
+TEST(Smm, SaveStateSerializesAllRegisters) {
+  Machine m = make_machine();
+  for (int i = 0; i < isa::kNumRegs; ++i) {
+    m.cpu().regs[i] = 0x1000u + static_cast<u64>(i);
+  }
+  m.cpu().rip = 0xABCD;
+  m.cpu().zf = true;
+  m.save_state_to_smram();
+  // Wipe and restore.
+  for (auto& r : m.cpu().regs) r = 0;
+  m.cpu().rip = 0;
+  m.cpu().zf = false;
+  m.restore_state_from_smram();
+  for (int i = 0; i < isa::kNumRegs; ++i) {
+    EXPECT_EQ(m.cpu().regs[i], 0x1000u + static_cast<u64>(i));
+  }
+  EXPECT_EQ(m.cpu().rip, 0xABCDu);
+  EXPECT_TRUE(m.cpu().zf);
+}
+
+TEST(CostModel, UsConversion) {
+  CostModel c;
+  EXPECT_DOUBLE_EQ(c.to_us(3000), 1.0);
+  EXPECT_NEAR(c.to_us(c.smi_entry_cycles), 12.9, 0.01);
+  EXPECT_NEAR(c.to_us(c.rsm_cycles), 21.7, 0.01);
+  EXPECT_NEAR(c.to_us(c.keygen_cycles), 5.2, 0.01);
+}
+
+}  // namespace
+}  // namespace kshot::machine

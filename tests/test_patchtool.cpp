@@ -1,0 +1,422 @@
+// Patch toolchain tests: call graphs, the inlining worklist, semantic binary
+// diffing (relocation-shift immunity), patch-set construction (relocs, var
+// edits, Type classification), and the Fig. 3 package wire format.
+#include <gtest/gtest.h>
+
+#include "kcc/compiler.hpp"
+#include "kcc/parser.hpp"
+#include "patchtool/bindiff.hpp"
+#include "patchtool/callgraph.hpp"
+#include "patchtool/package.hpp"
+
+namespace kshot::patchtool {
+namespace {
+
+kcc::CompileOptions opts() {
+  kcc::CompileOptions o;
+  o.text_base = 0x100000;
+  o.data_base = 0x400000;
+  return o;
+}
+
+kcc::KernelImage compile(const std::string& src) {
+  auto img = kcc::compile_source(src, opts());
+  EXPECT_TRUE(img.is_ok()) << img.status().to_string();
+  return *img;
+}
+
+kcc::Module parse_mod(const std::string& src) {
+  auto m = kcc::parse(src);
+  EXPECT_TRUE(m.is_ok()) << m.status().to_string();
+  return std::move(*m);
+}
+
+// ---- Call graphs ----------------------------------------------------------
+
+TEST(CallGraph, SourceEdges) {
+  auto m = parse_mod(R"(
+fn a(x) { return b(x) + c(x); }
+fn b(x) { return c(x); }
+fn c(x) { return x; }
+)");
+  CallGraph g = source_call_graph(m);
+  EXPECT_EQ(g["a"], (std::set<std::string>{"b", "c"}));
+  EXPECT_EQ(g["b"], (std::set<std::string>{"c"}));
+  EXPECT_TRUE(g["c"].empty());
+}
+
+TEST(CallGraph, BinaryEdgesMatchSourceWithoutInlining) {
+  std::string src = R"(
+fn a(x) { return b(x) + c(x); }
+fn b(x) { return c(x); }
+fn c(x) { return x; }
+)";
+  auto img = compile(src);
+  CallGraph bg = binary_call_graph(img);
+  EXPECT_EQ(bg["a"], (std::set<std::string>{"b", "c"}));
+  EXPECT_EQ(bg["b"], (std::set<std::string>{"c"}));
+}
+
+TEST(CallGraph, InliningCreatesSourceBinaryDivergence) {
+  std::string src = R"(
+inline fn h(x) { return x * 2; }
+fn a(x) { return h(x); }
+fn b(x) { return h(x) + 1; }
+)";
+  auto m = parse_mod(src);
+  auto img = compile(src);
+  // Source graph sees calls to h; binary graph has no h at all.
+  EXPECT_TRUE(source_call_graph(m)["a"].count("h"));
+  EXPECT_FALSE(binary_call_graph(img).count("h"));
+  EXPECT_EQ(inlined_functions(m, img), std::set<std::string>{"h"});
+}
+
+TEST(CallGraph, WorklistImplicatesCallersOfInlined) {
+  std::string src = R"(
+inline fn h(x) { return x * 2; }
+fn a(x) { return h(x); }
+fn b(x) { return h(x) + 1; }
+fn c(x) { return x; }
+)";
+  auto m = parse_mod(src);
+  auto img = compile(src);
+  auto implicated = implicated_functions(m, img, {"h"});
+  EXPECT_EQ(implicated, (std::set<std::string>{"a", "b"}));
+}
+
+TEST(CallGraph, WorklistHandlesTransitiveInlining) {
+  std::string src = R"(
+inline fn inner(x) { return x + 1; }
+inline fn outer(x) { return inner(x) * 2; }
+fn user(x) { return outer(x); }
+fn direct(x) { return inner(x); }
+)";
+  auto m = parse_mod(src);
+  auto img = compile(src);
+  // Changing `inner` implicates both binary functions.
+  auto implicated = implicated_functions(m, img, {"inner"});
+  EXPECT_EQ(implicated, (std::set<std::string>{"user", "direct"}));
+}
+
+TEST(CallGraph, DirectChangeImplicatesOnlyItself) {
+  std::string src = R"(
+fn a(x) { return b(x); }
+fn b(x) { return x; }
+)";
+  auto m = parse_mod(src);
+  auto img = compile(src);
+  EXPECT_EQ(implicated_functions(m, img, {"b"}),
+            std::set<std::string>{"b"});
+}
+
+TEST(CallGraph, SourceChangedFunctions) {
+  auto pre = parse_mod("fn a(x) { return 1; } fn b(x) { return 2; }");
+  auto post = parse_mod("fn a(x) { return 1; } fn b(x) { return 3; }");
+  EXPECT_EQ(source_changed_functions(pre, post),
+            std::set<std::string>{"b"});
+}
+
+TEST(CallGraph, AddedAndRemovedFunctionsCountAsChanged) {
+  auto pre = parse_mod("fn a(x) { return 1; } fn gone(x) { return 0; }");
+  auto post = parse_mod("fn a(x) { return 1; } fn fresh(x) { return 0; }");
+  EXPECT_EQ(source_changed_functions(pre, post),
+            (std::set<std::string>{"gone", "fresh"}));
+}
+
+// ---- Semantic binary diff ----------------------------------------------------
+
+TEST(BinDiff, IdenticalImagesShowNoChanges) {
+  std::string src = "fn a(x) { return x + 1; } fn b(x) { return a(x); }";
+  auto diff = diff_images(compile(src), compile(src));
+  ASSERT_TRUE(diff.is_ok());
+  EXPECT_TRUE(diff->changed_functions.empty());
+  EXPECT_TRUE(diff->added_functions.empty());
+  EXPECT_TRUE(diff->layout_compatible);
+}
+
+TEST(BinDiff, RelocationShiftDoesNotCountAsChange) {
+  // Growing `a` moves `b` and changes b's call displacement to `c`; the
+  // semantic diff must still see b (and c) as unchanged.
+  std::string pre = R"(
+fn a(x) { return x; }
+fn b(x) { return c(x) + 1; }
+fn c(x) { return x * 3; }
+)";
+  std::string post = R"(
+fn a(x) { pad(64); return x; }
+fn b(x) { return c(x) + 1; }
+fn c(x) { return x * 3; }
+)";
+  auto diff = diff_images(compile(pre), compile(post));
+  ASSERT_TRUE(diff.is_ok());
+  EXPECT_EQ(diff->changed_functions, std::vector<std::string>{"a"});
+}
+
+TEST(BinDiff, GlobalRenumberingIsLayoutIncompatible) {
+  // Deleting the first global shifts the second — shared data moved.
+  std::string pre = "global g1 = 1; global g2 = 2; fn f() { return g2; }";
+  std::string post = "global g2 = 2; fn f() { return g2; }";
+  auto diff = diff_images(compile(pre), compile(post));
+  ASSERT_TRUE(diff.is_ok());
+  EXPECT_FALSE(diff->layout_compatible);
+}
+
+TEST(BinDiff, AppendedGlobalIsCompatible) {
+  std::string pre = "global g1 = 1; fn f() { return g1; }";
+  std::string post =
+      "global g1 = 1; global g2 = 9; fn f() { g2 = g1; return g1; }";
+  auto diff = diff_images(compile(pre), compile(post));
+  ASSERT_TRUE(diff.is_ok());
+  EXPECT_TRUE(diff->layout_compatible);
+  ASSERT_EQ(diff->added_globals.size(), 1u);
+  EXPECT_EQ(diff->added_globals[0].name, "g2");
+}
+
+TEST(BinDiff, ModifiedGlobalInitDetected) {
+  std::string pre = "global lim = 100; fn f() { return lim; }";
+  std::string post = "global lim = 50; fn f() { return lim; }";
+  auto diff = diff_images(compile(pre), compile(post));
+  ASSERT_TRUE(diff.is_ok());
+  ASSERT_EQ(diff->modified_globals.size(), 1u);
+  EXPECT_EQ(diff->modified_globals[0].init, 50);
+}
+
+// ---- build_patchset -----------------------------------------------------------
+
+TEST(BuildPatch, SimpleFunctionChange) {
+  std::string pre = "fn f(a) { return a + 1; } fn g(a) { return f(a); }";
+  std::string post = "fn f(a) { return a + 2; } fn g(a) { return f(a); }";
+  auto set = build_patchset(compile(pre), compile(post), {"CVE-TEST", {"f"}});
+  ASSERT_TRUE(set.is_ok()) << set.status().to_string();
+  ASSERT_EQ(set->patches.size(), 1u);
+  const FunctionPatch& p = set->patches[0];
+  EXPECT_EQ(p.name, "f");
+  EXPECT_EQ(p.type, PatchType::kType1);
+  EXPECT_EQ(p.taddr, compile(pre).find_symbol("f")->addr);
+  EXPECT_EQ(p.ftrace_off, 5);
+  EXPECT_FALSE(p.code.empty());
+  EXPECT_TRUE(p.relocs.empty());  // f calls nothing external
+}
+
+TEST(BuildPatch, ExternalCallGetsReloc) {
+  std::string pre = R"(
+fn helper(a) { return a * 2; }
+fn f(a) { return helper(a) + 1; }
+)";
+  std::string post = R"(
+fn helper(a) { return a * 2; }
+fn f(a) { return helper(a) + 2; }
+)";
+  auto pre_img = compile(pre);
+  auto set = build_patchset(pre_img, compile(post), {"CVE-TEST", {"f"}});
+  ASSERT_TRUE(set.is_ok()) << set.status().to_string();
+  ASSERT_EQ(set->patches.size(), 1u);
+  ASSERT_EQ(set->patches[0].relocs.size(), 1u);
+  const RelocEntry& r = set->patches[0].relocs[0];
+  EXPECT_EQ(r.patch_index, -1);
+  EXPECT_EQ(r.target, pre_img.find_symbol("helper")->addr);
+}
+
+TEST(BuildPatch, IntraSetCallUsesPatchIndex) {
+  std::string pre = R"(
+fn callee(a) { return a; }
+fn caller(a) { return callee(a) + 1; }
+)";
+  std::string post = R"(
+fn callee(a) { return a + 5; }
+fn caller(a) { return callee(a) + 2; }
+)";
+  auto set = build_patchset(compile(pre), compile(post),
+                            {"CVE-TEST", {"callee", "caller"}});
+  ASSERT_TRUE(set.is_ok());
+  ASSERT_EQ(set->patches.size(), 2u);
+  // caller's call to callee must reference the patched copy.
+  const FunctionPatch* caller = nullptr;
+  for (const auto& p : set->patches) {
+    if (p.name == "caller") caller = &p;
+  }
+  ASSERT_NE(caller, nullptr);
+  ASSERT_EQ(caller->relocs.size(), 1u);
+  EXPECT_GE(caller->relocs[0].patch_index, 0);
+  EXPECT_EQ(set->patches[static_cast<size_t>(caller->relocs[0].patch_index)]
+                .name,
+            "callee");
+}
+
+TEST(BuildPatch, AddedFunctionHasNoTrampolineTarget) {
+  std::string pre = "fn f(a) { return a; }";
+  std::string post = R"(
+fn new_helper(a) { return a * 7; }
+fn f(a) { return new_helper(a); }
+)";
+  auto set = build_patchset(compile(pre), compile(post), {"CVE-TEST", {"f"}});
+  ASSERT_TRUE(set.is_ok()) << set.status().to_string();
+  ASSERT_EQ(set->patches.size(), 2u);
+  const FunctionPatch* added = nullptr;
+  for (const auto& p : set->patches) {
+    if (p.name == "new_helper") added = &p;
+  }
+  ASSERT_NE(added, nullptr);
+  EXPECT_EQ(added->taddr, 0u);
+}
+
+TEST(BuildPatch, Type2ClassificationFromSourceChanged) {
+  std::string pre = R"(
+inline fn h(x) { return x; }
+fn user(a) { return h(a); }
+)";
+  std::string post = R"(
+inline fn h(x) { return x + 1; }
+fn user(a) { return h(a); }
+)";
+  // Only `h` changed at source level; `user` changed in the binary.
+  auto set = build_patchset(compile(pre), compile(post), {"CVE-TEST", {"h"}});
+  ASSERT_TRUE(set.is_ok());
+  ASSERT_EQ(set->patches.size(), 1u);
+  EXPECT_EQ(set->patches[0].name, "user");
+  EXPECT_EQ(set->patches[0].type, PatchType::kType2);
+}
+
+TEST(BuildPatch, Type3ClassificationAndVarEdits) {
+  std::string pre = "global lim = 100; fn f(a) { return lim + a; }";
+  std::string post =
+      "global lim = 50; global extra = 7; fn f(a) { extra = a; return lim + a; }";
+  auto set = build_patchset(compile(pre), compile(post), {"CVE-TEST", {"f"}});
+  ASSERT_TRUE(set.is_ok()) << set.status().to_string();
+  ASSERT_EQ(set->patches.size(), 1u);
+  EXPECT_EQ(set->patches[0].type, PatchType::kType3);
+  ASSERT_EQ(set->patches[0].var_edits.size(), 2u);
+  // One init for `extra`, one set for `lim`.
+  int inits = 0, sets = 0;
+  for (const auto& v : set->patches[0].var_edits) {
+    if (v.kind == VarEdit::Kind::kInit) ++inits;
+    if (v.kind == VarEdit::Kind::kSet) ++sets;
+  }
+  EXPECT_EQ(inits, 1);
+  EXPECT_EQ(sets, 1);
+}
+
+TEST(BuildPatch, LayoutIncompatibleRejected) {
+  std::string pre = "global a = 1; global b = 2; fn f() { return b; }";
+  std::string post = "global b = 2; fn f() { return b; }";
+  auto set = build_patchset(compile(pre), compile(post), {"CVE-TEST", {"f"}});
+  ASSERT_FALSE(set.is_ok());
+  EXPECT_EQ(set.status().code(), Errc::kUnsupported);
+}
+
+// ---- Package wire format ---------------------------------------------------------
+
+PatchSet sample_set() {
+  PatchSet set;
+  set.id = "CVE-0000-0001";
+  set.kernel_version = "sim-4.4";
+  FunctionPatch p;
+  p.sequence = 0;
+  p.name = "target_fn";
+  p.type = PatchType::kType1;
+  p.taddr = 0x100040;
+  p.paddr = 0x1900000;
+  p.ftrace_off = 5;
+  p.code = {0x0F, 0x1F, 0x44, 0x00, 0x00, 0x11, 0x00, 42, 0, 0, 0, 0xC3};
+  p.relocs.push_back({7, -1, 0x100200});
+  p.var_edits.push_back({0x400010, 99, VarEdit::Kind::kSet});
+  set.patches.push_back(std::move(p));
+  return set;
+}
+
+TEST(Package, RoundTrip) {
+  PatchSet set = sample_set();
+  Bytes wire = serialize_patchset(set, PatchOp::kPatch);
+  auto parsed = parse_patchset(wire);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->id, set.id);
+  EXPECT_EQ(parsed->kernel_version, set.kernel_version);
+  ASSERT_EQ(parsed->patches.size(), 1u);
+  const FunctionPatch& p = parsed->patches[0];
+  EXPECT_EQ(p.name, "target_fn");
+  EXPECT_EQ(p.op, PatchOp::kPatch);
+  EXPECT_EQ(p.taddr, 0x100040u);
+  EXPECT_EQ(p.paddr, 0x1900000u);
+  EXPECT_EQ(p.ftrace_off, 5);
+  EXPECT_EQ(p.code, set.patches[0].code);
+  EXPECT_EQ(p.relocs, set.patches[0].relocs);
+  EXPECT_EQ(p.var_edits, set.patches[0].var_edits);
+}
+
+TEST(Package, OpOverride) {
+  Bytes wire = serialize_patchset(sample_set(), PatchOp::kRollback);
+  auto op = peek_op(wire);
+  ASSERT_TRUE(op.is_ok());
+  EXPECT_EQ(*op, PatchOp::kRollback);
+  auto parsed = parse_patchset(wire);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->patches[0].op, PatchOp::kRollback);
+}
+
+TEST(Package, FnHeaderIs42Bytes) {
+  // The paper-visible constant.
+  EXPECT_EQ(kFnHeaderBytes, 42u);
+  // Header bytes = 2+1+1+8+8+4+2+2+2+4+8.
+  EXPECT_EQ(2 + 1 + 1 + 8 + 8 + 4 + 2 + 2 + 2 + 4 + 8,
+            static_cast<int>(kFnHeaderBytes));
+}
+
+TEST(Package, BadMagicRejected) {
+  Bytes wire = serialize_patchset(sample_set(), PatchOp::kPatch);
+  wire[0] ^= 0xFF;
+  auto parsed = parse_patchset(wire);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_EQ(parsed.status().code(), Errc::kIntegrityFailure);
+}
+
+TEST(Package, TruncationRejected) {
+  Bytes wire = serialize_patchset(sample_set(), PatchOp::kPatch);
+  for (size_t keep : {4ul, 12ul, 44ul, wire.size() - 1}) {
+    Bytes cut(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_FALSE(parse_patchset(cut).is_ok()) << "kept " << keep;
+  }
+}
+
+class PackageCorruption : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PackageCorruption, AnyFlippedByteIsDetected) {
+  Bytes wire = serialize_patchset(sample_set(), PatchOp::kPatch);
+  size_t pos = GetParam() % wire.size();
+  // Skip the leading magic/count plumbing fields whose corruption is
+  // reported differently; everything from the digest onwards must be caught
+  // by digest verification.
+  wire[12 + pos % (wire.size() - 12)] ^= 0x01;
+  EXPECT_FALSE(parse_patchset(wire).is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, PackageCorruption,
+                         ::testing::Values(0, 1, 5, 13, 21, 34, 47, 55, 63,
+                                           71, 89, 97, 101, 113));
+
+TEST(Package, TrailingGarbageRejected) {
+  Bytes wire = serialize_patchset(sample_set(), PatchOp::kPatch);
+  wire.push_back(0);
+  EXPECT_FALSE(parse_patchset(wire).is_ok());
+}
+
+TEST(Package, MultiFunctionRoundTrip) {
+  PatchSet set = sample_set();
+  FunctionPatch q;
+  q.sequence = 1;
+  q.name = "second_fn";
+  q.type = PatchType::kType2;
+  q.taddr = 0;  // added function
+  q.code = Bytes(1000, 0x90);
+  q.relocs.push_back({1, 0, 0});
+  set.patches.push_back(q);
+  Bytes wire = serialize_patchset(set, PatchOp::kPatch);
+  auto parsed = parse_patchset(wire);
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed->patches.size(), 2u);
+  EXPECT_EQ(parsed->patches[1].name, "second_fn");
+  EXPECT_EQ(parsed->patches[1].code.size(), 1000u);
+  EXPECT_EQ(parsed->patches[1].relocs[0].patch_index, 0);
+}
+
+}  // namespace
+}  // namespace kshot::patchtool

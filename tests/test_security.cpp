@@ -1,0 +1,336 @@
+// Security experiments (threat model §III, protections §V-D, comparison
+// §VI-D): rootkit patch reversion, hijacked in-kernel patching, MITM,
+// replay, mem_X corruption, kexec hijack, and DoS detection.
+#include <gtest/gtest.h>
+
+#include "attacks/network_attacks.hpp"
+#include "attacks/rootkits.hpp"
+#include "baselines/kpatch_sim.hpp"
+#include "baselines/kup_sim.hpp"
+#include "testbed/testbed.hpp"
+
+namespace kshot::attacks {
+namespace {
+
+using testbed::Testbed;
+using testbed::TestbedOptions;
+
+std::unique_ptr<Testbed> boot(const char* id = "CVE-2014-0196",
+                              TestbedOptions opts = {}) {
+  auto tb = Testbed::boot(cve::find_case(id), opts);
+  EXPECT_TRUE(tb.is_ok()) << tb.status().to_string();
+  return std::move(*tb);
+}
+
+// ---- Malicious patch reversion -----------------------------------------------
+
+TEST(Reversion, RootkitUndoesKpatch) {
+  // kpatch runs in the kernel's trust domain; a resident rootkit silently
+  // reverts its trampoline and the kernel is vulnerable again — kpatch has
+  // no way to even notice.
+  auto t = boot();
+  const auto& c = t->cve_case();
+  auto rootkit = std::make_shared<ReversionRootkit>(t->pre_image());
+  t->kernel().insmod(rootkit);
+
+  baselines::KpatchSim kpatch(t->kernel(), t->scheduler());
+  auto set = t->server().build_patchset(c.id, t->kernel().os_info());
+  ASSERT_TRUE(set.is_ok());
+  auto rep = kpatch.apply(*set);
+  ASSERT_TRUE(rep.is_ok());
+  ASSERT_TRUE(rep->success);
+
+  // Patch works right now...
+  auto exploit = t->run_exploit();
+  ASSERT_TRUE(exploit.is_ok());
+  EXPECT_FALSE(exploit->oops);
+
+  // ...but one scheduler tick later the rootkit has reverted it.
+  t->scheduler().run(1);
+  EXPECT_GE(rootkit->reversions(), 1u);
+  exploit = t->run_exploit();
+  ASSERT_TRUE(exploit.is_ok());
+  EXPECT_TRUE(exploit->oops) << "rootkit failed to revert kpatch";
+}
+
+TEST(Reversion, KshotIntrospectionRepairs) {
+  // The same rootkit against KShot: the trampoline is reverted, but SMM
+  // introspection detects and repairs it (§V-D), and the rootkit cannot
+  // interfere with the repair.
+  auto t = boot();
+  const auto& c = t->cve_case();
+  auto rootkit = std::make_shared<ReversionRootkit>(t->pre_image());
+  t->kernel().insmod(rootkit);
+
+  ASSERT_TRUE(t->kshot().live_patch(c.id).is_ok());
+  t->scheduler().run(1);
+  ASSERT_GE(rootkit->reversions(), 1u);
+  auto exploit = t->run_exploit();
+  ASSERT_TRUE(exploit.is_ok());
+  EXPECT_TRUE(exploit->oops) << "expected the reversion to land first";
+
+  auto rep = t->kshot().introspect();
+  ASSERT_TRUE(rep.is_ok());
+  EXPECT_GE(rep->trampolines_reverted, 1u);
+  exploit = t->run_exploit();
+  ASSERT_TRUE(exploit.is_ok());
+  EXPECT_FALSE(exploit->oops) << "introspection did not repair the patch";
+}
+
+// ---- Hijacked in-kernel patching path ----------------------------------------
+
+TEST(Hijack, CorruptedKpatchDeploysBrokenCode) {
+  auto t = boot();
+  const auto& c = t->cve_case();
+  baselines::KpatchSim kpatch(t->kernel(), t->scheduler());
+  u64 corruptions = 0;
+  kpatch.set_pre_write_hook(make_patch_corruptor(&corruptions));
+
+  auto set = t->server().build_patchset(c.id, t->kernel().os_info());
+  ASSERT_TRUE(set.is_ok());
+  auto rep = kpatch.apply(*set);
+  ASSERT_TRUE(rep.is_ok());
+  // kpatch believes it succeeded — it cannot detect the tampering.
+  EXPECT_TRUE(rep->success);
+  EXPECT_GE(corruptions, 1u);
+
+  // The "patched" kernel now oopses on benign input.
+  auto benign = t->run_benign();
+  ASSERT_TRUE(benign.is_ok());
+  EXPECT_TRUE(benign->oops) << "corrupted patch should break the function";
+}
+
+TEST(Hijack, KshotRejectsTamperedStaging) {
+  // The equivalent attack against KShot: corrupt the encrypted package in
+  // mem_W between staging and SMI. The SMM handler's authenticated
+  // decryption refuses it and the kernel keeps running the original code.
+  auto t = boot();
+  const auto& c = t->cve_case();
+  const auto& lay = t->kernel().layout();
+
+  // Run the normal pipeline but corrupt mem_W just before the apply SMI by
+  // hooking a kernel module that stomps staged bytes every tick.
+  class Stomper final : public kernel::KernelModule {
+   public:
+    explicit Stomper(kernel::MemoryLayout lay) : lay_(lay) {}
+    std::string name() const override { return "memw_stomper"; }
+    void on_tick(machine::Machine& m, kernel::Kernel&) override {
+      Bytes junk(64, 0xFF);
+      m.mem().write(lay_.mem_w_base() + 16, junk,
+                    machine::AccessMode::normal());
+    }
+    kernel::MemoryLayout lay_;
+  };
+
+  // Manually drive the pipeline so the stomp lands between stage and SMI.
+  auto& enclave = t->kshot().enclave();
+  auto req = enclave.begin_fetch(c.id, netsim::PatchRequest::Op::kFetchPatch);
+  ASSERT_TRUE(req.is_ok());
+  auto resp = t->server().handle_request(*req);
+  ASSERT_TRUE(resp.is_ok());
+  ASSERT_TRUE(enclave.finish_fetch(*resp).is_ok());
+
+  core::Mailbox mbox(t->machine().mem(), lay.mem_rw_base(),
+                     machine::AccessMode::normal());
+  ASSERT_TRUE(mbox.write_command(core::SmmCommand::kBeginSession).is_ok());
+  t->machine().trigger_smi();
+  auto smm_pub = mbox.read_smm_pub();
+  ASSERT_TRUE(smm_pub.is_ok());
+  ASSERT_TRUE(enclave.preprocess().is_ok());
+  auto sealed = enclave.seal_for_smm(*smm_pub);
+  ASSERT_TRUE(sealed.is_ok());
+
+  crypto::X25519Key pub;
+  std::copy(sealed->begin(), sealed->begin() + 32, pub.begin());
+  Bytes package(sealed->begin() + 32, sealed->end());
+  ASSERT_TRUE(t->machine()
+                  .mem()
+                  .write(lay.mem_w_base(), package,
+                         machine::AccessMode::normal())
+                  .is_ok());
+  ASSERT_TRUE(mbox.write_enclave_pub(pub).is_ok());
+  ASSERT_TRUE(mbox.write_staged_size(package.size()).is_ok());
+
+  // The attack: kernel-privileged corruption of the staged ciphertext.
+  Stomper(lay).on_tick(t->machine(), t->kernel());
+
+  ASSERT_TRUE(mbox.write_command(core::SmmCommand::kApplyPatch).is_ok());
+  t->machine().trigger_smi();
+  EXPECT_EQ(*mbox.read_status(), core::SmmStatus::kMacFailure);
+
+  // Nothing was applied; the kernel still runs the (original) code and
+  // benign traffic is unaffected.
+  EXPECT_EQ(t->kshot().handler().patches_applied(), 0u);
+  auto benign = t->run_benign();
+  ASSERT_TRUE(benign.is_ok());
+  EXPECT_FALSE(benign->oops);
+}
+
+// ---- MITM on the server channel ----------------------------------------------
+
+TEST(Mitm, TamperedResponseDetectedInEnclave) {
+  auto t = boot();
+  u64 tampers = 0;
+  t->channel().set_tamperer(make_bitflip_mitm(512, &tampers));
+  auto report = t->kshot().live_patch(t->cve_case().id);
+  EXPECT_FALSE(report.is_ok());
+  EXPECT_GE(tampers, 1u);
+  // Original code untouched.
+  auto exploit = t->run_exploit();
+  ASSERT_TRUE(exploit.is_ok());
+  EXPECT_TRUE(exploit->oops);
+}
+
+TEST(Mitm, CleanChannelAfterAttackRecovers) {
+  auto t = boot();
+  u64 tampers = 0;
+  t->channel().set_tamperer(make_bitflip_mitm(512, &tampers));
+  EXPECT_FALSE(t->kshot().live_patch(t->cve_case().id).is_ok());
+  t->channel().clear_tamperer();
+  auto report = t->kshot().live_patch(t->cve_case().id);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(report->success);
+}
+
+// ---- Replay -------------------------------------------------------------------
+
+TEST(Replay, StaleCiphertextRejected) {
+  // Capture the encrypted package of a successful patch, roll back, then
+  // replay the old ciphertext: the per-patch DH session key is gone, so the
+  // replay cannot authenticate (§V-C).
+  auto t = boot();
+  const auto& c = t->cve_case();
+  ReplayAttacker attacker(t->kernel().layout());
+
+  ASSERT_TRUE(t->kshot().live_patch(c.id).is_ok());
+  ASSERT_TRUE(attacker.capture(t->machine()).is_ok());
+  ASSERT_TRUE(t->kshot().rollback().is_ok());
+
+  auto st = attacker.replay(t->machine());
+  ASSERT_TRUE(st.is_ok());
+  EXPECT_NE(*st, core::SmmStatus::kOk);
+  // Kernel remains in the rolled-back (vulnerable) state — the attacker
+  // could not force the stale patch in, and equally could not forge one.
+  auto exploit = t->run_exploit();
+  ASSERT_TRUE(exploit.is_ok());
+  EXPECT_TRUE(exploit->oops);
+}
+
+TEST(Replay, ReplayIntoFreshSessionStillRejected) {
+  // Even if the attacker provokes a new SMM session first, the old
+  // ciphertext was sealed under a different key pair.
+  auto t = boot();
+  const auto& c = t->cve_case();
+  ReplayAttacker attacker(t->kernel().layout());
+  ASSERT_TRUE(t->kshot().live_patch(c.id).is_ok());
+  ASSERT_TRUE(attacker.capture(t->machine()).is_ok());
+  ASSERT_TRUE(t->kshot().rollback().is_ok());
+
+  core::Mailbox mbox(t->machine().mem(),
+                     t->kernel().layout().mem_rw_base(),
+                     machine::AccessMode::normal());
+  ASSERT_TRUE(mbox.write_command(core::SmmCommand::kBeginSession).is_ok());
+  t->machine().trigger_smi();
+
+  auto st = attacker.replay(t->machine());
+  ASSERT_TRUE(st.is_ok());
+  EXPECT_EQ(*st, core::SmmStatus::kMacFailure);
+}
+
+// ---- mem_X corruption -----------------------------------------------------------
+
+TEST(MemXCorruption, IntrospectionRepairsBodyAndAttributes) {
+  auto t = boot();
+  const auto& c = t->cve_case();
+  ASSERT_TRUE(t->kshot().live_patch(c.id).is_ok());
+
+  auto rootkit =
+      std::make_shared<MemXCorruptorRootkit>(t->kernel().layout());
+  t->kernel().insmod(rootkit);
+  t->scheduler().run(1);
+  ASSERT_GE(rootkit->corruptions(), 1u);
+  ASSERT_TRUE(t->kernel().rmmod("memx_corruptor").is_ok());
+
+  auto rep = t->kshot().introspect();
+  ASSERT_TRUE(rep.is_ok());
+  EXPECT_GE(rep->memx_tampered, 1u);
+  EXPECT_GE(rep->attrs_restored, 1u);
+
+  // The patched function body was repaired from the SMRAM copy: the patch
+  // still works.
+  auto exploit = t->run_exploit();
+  ASSERT_TRUE(exploit.is_ok());
+  EXPECT_FALSE(exploit->oops);
+  auto benign = t->run_benign();
+  ASSERT_TRUE(benign.is_ok());
+  EXPECT_FALSE(benign->oops);
+}
+
+// ---- kexec hijack vs KUP ---------------------------------------------------------
+
+TEST(KexecHijack, KupBootsAttackerImage) {
+  // CVE-2015-7837 analogue: KUP trusts kexec; a hijacked kexec path swaps
+  // in a backdoored kernel and KUP cannot tell.
+  auto t = boot();
+  const auto& c = t->cve_case();
+  baselines::KupSim kup(t->kernel(), t->scheduler());
+
+  // The "malicious image" is just the vulnerable kernel again (a downgrade
+  // attack), rebuilt byte-for-byte.
+  auto malicious = t->server().build_pre_image(c.id, t->compile_options());
+  ASSERT_TRUE(malicious.is_ok());
+  u64 hijacks = 0;
+  kup.set_kexec_hook(make_kexec_hijacker(*malicious, &hijacks));
+
+  auto post = t->server().build_post_image(c.id, t->compile_options());
+  ASSERT_TRUE(post.is_ok());
+  auto rep = kup.apply(c.id, *post);
+  ASSERT_TRUE(rep.is_ok());
+  EXPECT_TRUE(rep->success);  // KUP thinks the update landed
+  EXPECT_EQ(hijacks, 1u);
+
+  // But the machine still runs the vulnerable kernel.
+  auto exploit = t->run_exploit();
+  ASSERT_TRUE(exploit.is_ok());
+  EXPECT_TRUE(exploit->oops);
+}
+
+// ---- DoS detection -----------------------------------------------------------------
+
+TEST(Dos, BlockedHelperAppDetected) {
+  // The helper app is prevented from staging anything (e.g. killed by the
+  // attacker). The remote server's verification handshake with the SMM
+  // handler flags it.
+  auto t = boot();
+  auto rep = t->kshot().dos_check();
+  ASSERT_TRUE(rep.is_ok());
+  EXPECT_TRUE(rep->dos_suspected);
+  EXPECT_TRUE(rep->smm_alive);  // SMM itself is fine — only staging failed
+}
+
+TEST(Dos, HealthySystemNotFlagged) {
+  auto t = boot();
+  ASSERT_TRUE(t->kshot().live_patch(t->cve_case().id).is_ok());
+  auto rep = t->kshot().dos_check();
+  ASSERT_TRUE(rep.is_ok());
+  EXPECT_FALSE(rep->dos_suspected);
+}
+
+// ---- SMRAM lock ----------------------------------------------------------------
+
+TEST(SmramLock, KernelCannotReplaceHandler) {
+  auto t = boot();
+  // After install(), SMRAM is locked: even kernel-privileged code cannot
+  // register a different handler.
+  auto st = t->machine().set_smm_handler([](machine::Machine&) {});
+  EXPECT_EQ(st.code(), Errc::kPermissionDenied);
+  // And it cannot read or write SMRAM either.
+  const auto base = t->kernel().layout().smram_base;
+  EXPECT_FALSE(t->machine()
+                   .mem()
+                   .read_bytes(base, 64, machine::AccessMode::normal())
+                   .is_ok());
+}
+
+}  // namespace
+}  // namespace kshot::attacks

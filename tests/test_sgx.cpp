@@ -1,0 +1,176 @@
+// SGX simulation tests: EPC isolation from kernel and SMM, ECALL gating,
+// measurement, attestation reports, and enclave teardown scrubbing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sgx/sgx.hpp"
+
+namespace kshot::sgx {
+namespace {
+
+constexpr PhysAddr kEpcBase = 0x40'0000;
+constexpr size_t kEpcSize = 1 << 20;
+
+class EchoEnclave final : public Enclave {
+ public:
+  EchoEnclave() : Enclave("echo", to_bytes(std::string("echo-v1"))) {}
+
+  Result<Bytes> handle_ecall(int fn, ByteSpan input) override {
+    switch (fn) {
+      case 1:  // echo
+        return Bytes(input.begin(), input.end());
+      case 2:  // store into EPC
+        KSHOT_RETURN_IF_ERROR(epc_write(0, input));
+        return Bytes{};
+      case 3:  // load from EPC
+        return epc_read(0, input.empty() ? 8 : input[0]);
+      case 4: {  // report over input
+        Report r = create_report(input);
+        Bytes out(sizeof(Report), 0);
+        std::memcpy(out.data(), &r, sizeof(Report));
+        return out;
+      }
+      default:
+        return Status{Errc::kInvalidArgument, "bad fn"};
+    }
+  }
+};
+
+struct World {
+  machine::Machine m{8 << 20, 0xA0000, 0x20000};
+  SgxRuntime rt{m, kEpcBase, kEpcSize, 0x5EED};
+};
+
+TEST(Sgx, EcallBeforeLoadFails) {
+  EchoEnclave e;
+  auto r = e.ecall(1, {});
+  EXPECT_EQ(r.status().code(), Errc::kFailedPrecondition);
+}
+
+TEST(Sgx, EcallDispatch) {
+  World w;
+  EchoEnclave e;
+  ASSERT_TRUE(w.rt.load_enclave(e, 64 << 10).is_ok());
+  Bytes msg = {1, 2, 3};
+  auto r = e.ecall(1, msg);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(*r, msg);
+  EXPECT_FALSE(e.ecall(99, {}).is_ok());
+}
+
+TEST(Sgx, EpcHiddenFromKernelAndSmm) {
+  World w;
+  EchoEnclave e;
+  ASSERT_TRUE(w.rt.load_enclave(e, 64 << 10).is_ok());
+  Bytes secret = to_bytes(std::string("patch plaintext"));
+  ASSERT_TRUE(e.ecall(2, secret).is_ok());
+
+  // Kernel-privileged scan of the EPC range is denied.
+  for (PhysAddr a = kEpcBase; a < kEpcBase + (64 << 10);
+       a += machine::kPageSize) {
+    EXPECT_FALSE(
+        w.m.mem().read_bytes(a, 16, machine::AccessMode::normal()).is_ok());
+    EXPECT_FALSE(
+        w.m.mem().read_bytes(a, 16, machine::AccessMode::smm()).is_ok());
+    EXPECT_FALSE(w.m.mem()
+                     .write(a, secret, machine::AccessMode::normal())
+                     .is_ok());
+  }
+  // The enclave itself reads it back fine.
+  Bytes len = {static_cast<u8>(secret.size())};
+  auto back = e.ecall(3, len);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, secret);
+}
+
+TEST(Sgx, TwoEnclavesAreMutuallyIsolated) {
+  World w;
+  EchoEnclave a, b;
+  ASSERT_TRUE(w.rt.load_enclave(a, 64 << 10).is_ok());
+  ASSERT_TRUE(w.rt.load_enclave(b, 64 << 10).is_ok());
+  EXPECT_NE(a.id(), b.id());
+  Bytes sa = {9, 9, 9};
+  ASSERT_TRUE(a.ecall(2, sa).is_ok());
+  Bytes sb = {1, 1, 1};
+  ASSERT_TRUE(b.ecall(2, sb).is_ok());
+  Bytes n = {3};
+  EXPECT_EQ(*a.ecall(3, n), sa);
+  EXPECT_EQ(*b.ecall(3, n), sb);
+}
+
+TEST(Sgx, EpcExhaustion) {
+  World w;
+  EchoEnclave big;
+  EXPECT_EQ(w.rt.load_enclave(big, kEpcSize * 2).code(),
+            Errc::kResourceExhausted);
+}
+
+TEST(Sgx, EpcSliceBoundsChecked) {
+  World w;
+  EchoEnclave e;
+  ASSERT_TRUE(w.rt.load_enclave(e, 4096).is_ok());
+  Bytes big(8192, 1);
+  auto r = e.ecall(2, big);
+  EXPECT_EQ(r.status().code(), Errc::kOutOfRange);
+}
+
+TEST(Sgx, MeasurementIsCodeIdentity) {
+  EchoEnclave e1, e2;
+  EXPECT_EQ(e1.mrenclave(), e2.mrenclave());
+  EXPECT_EQ(e1.mrenclave(), crypto::sha256(to_bytes(std::string("echo-v1"))));
+}
+
+TEST(Sgx, ReportVerifies) {
+  World w;
+  EchoEnclave e;
+  ASSERT_TRUE(w.rt.load_enclave(e, 64 << 10).is_ok());
+  Bytes data = to_bytes(std::string("dh-public-key"));
+  auto out = e.ecall(4, data);
+  ASSERT_TRUE(out.is_ok());
+  Report r;
+  std::memcpy(&r, out->data(), sizeof(Report));
+  EXPECT_TRUE(w.rt.verify_report(r));
+
+  // Any forgery breaks the MAC.
+  Report forged = r;
+  forged.report_data[0] ^= 1;
+  EXPECT_FALSE(w.rt.verify_report(forged));
+  forged = r;
+  forged.mrenclave[5] ^= 1;
+  EXPECT_FALSE(w.rt.verify_report(forged));
+}
+
+TEST(Sgx, ReportsFromOtherRuntimeRejected) {
+  World w1;
+  machine::Machine m2(8 << 20, 0xA0000, 0x20000);
+  SgxRuntime rt2(m2, kEpcBase, kEpcSize, 0xD1FFE7);  // different fuses
+  EchoEnclave e;
+  ASSERT_TRUE(w1.rt.load_enclave(e, 64 << 10).is_ok());
+  Bytes data = {1};
+  auto out = e.ecall(4, data);
+  Report r;
+  std::memcpy(&r, out->data(), sizeof(Report));
+  // A different machine has different fuses.
+  EXPECT_FALSE(rt2.verify_report(r));
+}
+
+TEST(Sgx, DestroyScrubsAndReleases) {
+  World w;
+  EchoEnclave e;
+  ASSERT_TRUE(w.rt.load_enclave(e, 64 << 10).is_ok());
+  PhysAddr slice = kEpcBase;  // first allocation starts at the base
+  Bytes secret(32, 0xEE);
+  ASSERT_TRUE(e.ecall(2, secret).is_ok());
+  ASSERT_TRUE(w.rt.destroy_enclave(e).is_ok());
+
+  // Pages are ordinary memory again — and hold zeros, not the secret.
+  auto r = w.m.mem().read_bytes(slice, 32, machine::AccessMode::normal());
+  ASSERT_TRUE(r.is_ok());
+  // destroy_enclave scrubbed the slice to zeros.
+  for (u8 b : *r) EXPECT_EQ(b, 0);
+  EXPECT_FALSE(e.ecall(1, {}).is_ok());
+}
+
+}  // namespace
+}  // namespace kshot::sgx

@@ -1,0 +1,75 @@
+// End-to-end smoke test: boot a vulnerable kernel, confirm the exploit
+// fires, live-patch with KShot, confirm the exploit is dead and benign
+// behaviour is preserved.
+#include <gtest/gtest.h>
+
+#include "testbed/testbed.hpp"
+
+namespace kshot {
+namespace {
+
+TEST(Smoke, ExploitFiresOnVulnerableKernel) {
+  const auto& c = cve::find_case("CVE-2017-17806");
+  auto tb = testbed::Testbed::boot(c);
+  ASSERT_TRUE(tb.is_ok()) << tb.status().to_string();
+
+  auto exploit = (*tb)->run_exploit();
+  ASSERT_TRUE(exploit.is_ok()) << exploit.status().to_string();
+  EXPECT_TRUE(exploit->oops);
+  EXPECT_EQ(exploit->trap_code, c.trap_code);
+
+  auto benign = (*tb)->run_benign();
+  ASSERT_TRUE(benign.is_ok()) << benign.status().to_string();
+  EXPECT_FALSE(benign->oops);
+}
+
+TEST(Smoke, LivePatchNeutralizesExploit) {
+  const auto& c = cve::find_case("CVE-2017-17806");
+  auto tb = testbed::Testbed::boot(c);
+  ASSERT_TRUE(tb.is_ok()) << tb.status().to_string();
+  testbed::Testbed& t = **tb;
+
+  auto benign_before = t.run_benign();
+  ASSERT_TRUE(benign_before.is_ok());
+
+  auto report = t.kshot().live_patch(c.id);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(report->success)
+      << "smm status " << static_cast<u64>(report->smm_status);
+  EXPECT_GT(report->stats.functions, 0u);
+  EXPECT_GT(report->downtime_cycles, 0u);
+
+  auto exploit = t.run_exploit();
+  ASSERT_TRUE(exploit.is_ok()) << exploit.status().to_string();
+  EXPECT_FALSE(exploit->oops) << "exploit still fires after patch";
+  EXPECT_EQ(exploit->value, cve::kEinval);
+
+  auto benign_after = t.run_benign();
+  ASSERT_TRUE(benign_after.is_ok());
+  EXPECT_FALSE(benign_after->oops);
+  EXPECT_EQ(benign_after->value, benign_before->value)
+      << "patch changed benign behaviour";
+}
+
+TEST(Smoke, RollbackRestoresVulnerableCode) {
+  const auto& c = cve::find_case("CVE-2014-0196");
+  auto tb = testbed::Testbed::boot(c);
+  ASSERT_TRUE(tb.is_ok()) << tb.status().to_string();
+  testbed::Testbed& t = **tb;
+
+  ASSERT_TRUE(t.kshot().live_patch(c.id).is_ok());
+  auto patched = t.run_exploit();
+  ASSERT_TRUE(patched.is_ok());
+  EXPECT_FALSE(patched->oops);
+
+  auto rb = t.kshot().rollback();
+  ASSERT_TRUE(rb.is_ok()) << rb.status().to_string();
+  EXPECT_TRUE(rb->success);
+
+  auto exploit = t.run_exploit();
+  ASSERT_TRUE(exploit.is_ok());
+  EXPECT_TRUE(exploit->oops) << "rollback did not restore original code";
+}
+
+}  // namespace
+}  // namespace kshot

@@ -1,0 +1,207 @@
+// kshot-sim — command-line driver for the KShot simulation.
+//
+//   kshot-sim list                         table of all CVE benchmark cases
+//   kshot-sim patch <CVE-ID> [flags]       run the live-patch scenario
+//       --rootkit      load the reversion rootkit first
+//       --watchdog     arm the periodic-SMI introspection watchdog
+//       --guard        arm the kernel-text guard
+//       --kpatch       use the kpatch baseline instead of KShot
+//   kshot-sim disasm <CVE-ID> <function>   disassemble a kernel function
+//   kshot-sim package <CVE-ID>             show the built patch set / wire
+//   kshot-sim exploit <CVE-ID>             just demonstrate the exploit
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "attacks/rootkits.hpp"
+#include "baselines/kpatch_sim.hpp"
+#include "common/hex.hpp"
+#include "isa/disasm.hpp"
+#include "patchtool/package.hpp"
+#include "testbed/testbed.hpp"
+
+using namespace kshot;
+
+namespace {
+
+int cmd_list() {
+  std::printf("%-16s %-9s %4s %-5s %s\n", "CVE", "kernel", "LoC", "types",
+              "affected functions");
+  for (const auto& c : cve::all_cases()) {
+    std::string fns;
+    for (size_t i = 0; i < c.functions.size(); ++i) {
+      if (i) fns += ", ";
+      fns += c.functions[i];
+    }
+    std::printf("%-16s %-9s %4d %-5s %s\n", c.id.c_str(), c.kernel.c_str(),
+                c.patch_loc, c.types.c_str(), fns.c_str());
+  }
+  return 0;
+}
+
+int cmd_exploit(const std::string& id) {
+  const auto& c = cve::find_case(id);
+  auto tb = testbed::Testbed::boot(c, {});
+  if (!tb.is_ok()) {
+    std::fprintf(stderr, "boot failed: %s\n", tb.status().to_string().c_str());
+    return 1;
+  }
+  auto e = (*tb)->run_exploit();
+  if (!e.is_ok()) {
+    std::fprintf(stderr, "%s\n", e.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("syscall(%d, 0x%llx) -> %s\n", c.syscall_nr,
+              static_cast<unsigned long long>(c.exploit_args[0]),
+              e->oops ? "KERNEL OOPS" : "no oops");
+  return 0;
+}
+
+int cmd_patch(const std::string& id, bool rootkit, bool watchdog, bool guard,
+              bool use_kpatch) {
+  const auto& c = cve::find_case(id);
+  testbed::TestbedOptions opts;
+  opts.workload_threads = 2;
+  if (watchdog) opts.watchdog_interval_cycles = 50'000;
+  auto tb = testbed::Testbed::boot(c, opts);
+  if (!tb.is_ok()) {
+    std::fprintf(stderr, "boot failed: %s\n", tb.status().to_string().c_str());
+    return 1;
+  }
+  testbed::Testbed& t = **tb;
+  if (guard && !t.kshot().arm_kernel_guard().is_ok()) {
+    std::fprintf(stderr, "guard arming failed\n");
+    return 1;
+  }
+  if (rootkit) {
+    t.kernel().insmod(
+        std::make_shared<attacks::ReversionRootkit>(t.pre_image()));
+    std::printf("[attack] reversion rootkit resident\n");
+  }
+
+  auto pre = t.run_exploit();
+  std::printf("exploit before: %s\n",
+              pre.is_ok() && pre->oops ? "fires" : "no effect");
+
+  if (use_kpatch) {
+    baselines::KpatchSim kpatch(t.kernel(), t.scheduler());
+    auto set = t.server().build_patchset(c.id, t.kernel().os_info());
+    if (!set.is_ok()) {
+      std::fprintf(stderr, "%s\n", set.status().to_string().c_str());
+      return 1;
+    }
+    auto rep = kpatch.apply(*set);
+    std::printf("kpatch: %s\n", rep.is_ok() && rep->success
+                                    ? "applied"
+                                    : rep->detail.c_str());
+  } else {
+    auto rep = t.kshot().live_patch(c.id);
+    if (!rep.is_ok() || !rep->success) {
+      std::fprintf(stderr, "live patch failed\n");
+      return 1;
+    }
+    std::printf(
+        "kshot: %u fn / %u bytes; SGX %.1fus; OS paused %.1fus (modeled)\n",
+        rep->stats.functions, rep->stats.code_bytes, rep->sgx.total_us(),
+        rep->smm.modeled_total_us);
+  }
+
+  t.scheduler().run(1000, 64);  // let attackers/watchdog act
+  // Operator verification sweep (the remote server's final check): without
+  // it, checking at an arbitrary instant races the rootkit's last tick.
+  if (!use_kpatch) t.kshot().introspect();
+
+  auto post = t.run_exploit();
+  std::printf("exploit after (post attack window): %s\n",
+              post.is_ok() && post->oops ? "STILL FIRES" : "dead");
+  return post.is_ok() && !post->oops ? 0 : 1;
+}
+
+int cmd_disasm(const std::string& id, const std::string& fn) {
+  const auto& c = cve::find_case(id);
+  auto tb = testbed::Testbed::boot(c, {.install_kshot = false});
+  if (!tb.is_ok()) return 1;
+  const auto& img = (*tb)->kernel().image();
+  const kcc::Symbol* sym = img.find_symbol(fn);
+  if (sym == nullptr) {
+    std::fprintf(stderr, "no such function; available:\n");
+    for (const auto& s : img.symbols) {
+      std::fprintf(stderr, "  %s\n", s.name.c_str());
+    }
+    return 1;
+  }
+  auto body = img.function_bytes(fn);
+  std::printf("%s @ 0x%llx (%u bytes%s)\n%s", fn.c_str(),
+              static_cast<unsigned long long>(sym->addr), sym->size,
+              sym->traced ? ", traced" : "",
+              isa::disassemble(*body, sym->addr).c_str());
+  return 0;
+}
+
+int cmd_package(const std::string& id) {
+  const auto& c = cve::find_case(id);
+  auto tb = testbed::Testbed::boot(c, {.install_kshot = false});
+  if (!tb.is_ok()) return 1;
+  auto set = (*tb)->server().build_patchset(id, (*tb)->kernel().os_info());
+  if (!set.is_ok()) {
+    std::fprintf(stderr, "%s\n", set.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("patch set %s (kernel %s): %zu function(s)\n",
+              set->id.c_str(), set->kernel_version.c_str(),
+              set->patches.size());
+  for (const auto& p : set->patches) {
+    std::printf(
+        "  [%u] %-36s type %d  taddr=0x%llx  %zuB code, %zu relocs, %zu var "
+        "edits%s\n",
+        p.sequence, p.name.c_str(), static_cast<int>(p.type),
+        static_cast<unsigned long long>(p.taddr), p.code.size(),
+        p.relocs.size(), p.var_edits.size(),
+        p.ftrace_off ? "  (ftrace pad)" : "");
+  }
+  Bytes wire = patchtool::serialize_patchset(*set, patchtool::PatchOp::kPatch);
+  std::printf("wire package: %zu bytes; first 64:\n%s", wire.size(),
+              hexdump(ByteSpan(wire).subspan(
+                          0, std::min<size_t>(64, wire.size())))
+                  .c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: kshot-sim list\n"
+               "       kshot-sim exploit <CVE-ID>\n"
+               "       kshot-sim patch <CVE-ID> [--rootkit] [--watchdog] "
+               "[--guard] [--kpatch]\n"
+               "       kshot-sim disasm <CVE-ID> <function>\n"
+               "       kshot-sim package <CVE-ID>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    usage();
+    return 2;
+  }
+  const std::string& cmd = args[0];
+  auto has_flag = [&](const char* f) {
+    for (const auto& a : args) {
+      if (a == f) return true;
+    }
+    return false;
+  };
+
+  if (cmd == "list") return cmd_list();
+  if (cmd == "exploit" && args.size() >= 2) return cmd_exploit(args[1]);
+  if (cmd == "patch" && args.size() >= 2) {
+    return cmd_patch(args[1], has_flag("--rootkit"), has_flag("--watchdog"),
+                     has_flag("--guard"), has_flag("--kpatch"));
+  }
+  if (cmd == "disasm" && args.size() >= 3) return cmd_disasm(args[1], args[2]);
+  if (cmd == "package" && args.size() >= 2) return cmd_package(args[1]);
+  usage();
+  return 2;
+}
