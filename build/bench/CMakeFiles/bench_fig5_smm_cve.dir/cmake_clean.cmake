@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_smm_cve.dir/bench_fig5_smm_cve.cpp.o"
+  "CMakeFiles/bench_fig5_smm_cve.dir/bench_fig5_smm_cve.cpp.o.d"
+  "bench_fig5_smm_cve"
+  "bench_fig5_smm_cve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_smm_cve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cves.dir/bench_table1_cves.cpp.o"
+  "CMakeFiles/bench_table1_cves.dir/bench_table1_cves.cpp.o.d"
+  "bench_table1_cves"
+  "bench_table1_cves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_sgx_prep.dir/bench_table2_sgx_prep.cpp.o"
+  "CMakeFiles/bench_table2_sgx_prep.dir/bench_table2_sgx_prep.cpp.o.d"
+  "bench_table2_sgx_prep"
+  "bench_table2_sgx_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sgx_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_smm_patch.dir/bench_table3_smm_patch.cpp.o"
+  "CMakeFiles/bench_table3_smm_patch.dir/bench_table3_smm_patch.cpp.o.d"
+  "bench_table3_smm_patch"
+  "bench_table3_smm_patch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_smm_patch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compromised_kernel.dir/compromised_kernel.cpp.o"
+  "CMakeFiles/compromised_kernel.dir/compromised_kernel.cpp.o.d"
+  "compromised_kernel"
+  "compromised_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compromised_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

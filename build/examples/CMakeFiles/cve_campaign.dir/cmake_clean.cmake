@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cve_campaign.dir/cve_campaign.cpp.o"
+  "CMakeFiles/cve_campaign.dir/cve_campaign.cpp.o.d"
+  "cve_campaign"
+  "cve_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cve_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

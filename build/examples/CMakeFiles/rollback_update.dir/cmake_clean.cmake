@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollback_update.dir/rollback_update.cpp.o"
+  "CMakeFiles/rollback_update.dir/rollback_update.cpp.o.d"
+  "rollback_update"
+  "rollback_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollback_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("isa")
+subdirs("machine")
+subdirs("kcc")
+subdirs("kernel")
+subdirs("sgx")
+subdirs("patchtool")
+subdirs("netsim")
+subdirs("core")
+subdirs("baselines")
+subdirs("attacks")
+subdirs("cve")
+subdirs("testbed")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshot_attacks.dir/network_attacks.cpp.o"
+  "CMakeFiles/kshot_attacks.dir/network_attacks.cpp.o.d"
+  "CMakeFiles/kshot_attacks.dir/rootkits.cpp.o"
+  "CMakeFiles/kshot_attacks.dir/rootkits.cpp.o.d"
+  "libkshot_attacks.a"
+  "libkshot_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshot_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

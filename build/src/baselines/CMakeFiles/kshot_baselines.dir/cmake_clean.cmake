@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshot_baselines.dir/karma_sim.cpp.o"
+  "CMakeFiles/kshot_baselines.dir/karma_sim.cpp.o.d"
+  "CMakeFiles/kshot_baselines.dir/kpatch_sim.cpp.o"
+  "CMakeFiles/kshot_baselines.dir/kpatch_sim.cpp.o.d"
+  "CMakeFiles/kshot_baselines.dir/kup_sim.cpp.o"
+  "CMakeFiles/kshot_baselines.dir/kup_sim.cpp.o.d"
+  "libkshot_baselines.a"
+  "libkshot_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshot_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshot_common.dir/byte_io.cpp.o"
+  "CMakeFiles/kshot_common.dir/byte_io.cpp.o.d"
+  "CMakeFiles/kshot_common.dir/hex.cpp.o"
+  "CMakeFiles/kshot_common.dir/hex.cpp.o.d"
+  "CMakeFiles/kshot_common.dir/log.cpp.o"
+  "CMakeFiles/kshot_common.dir/log.cpp.o.d"
+  "CMakeFiles/kshot_common.dir/status.cpp.o"
+  "CMakeFiles/kshot_common.dir/status.cpp.o.d"
+  "libkshot_common.a"
+  "libkshot_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshot_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshot_core.dir/kshot.cpp.o"
+  "CMakeFiles/kshot_core.dir/kshot.cpp.o.d"
+  "CMakeFiles/kshot_core.dir/kshot_enclave.cpp.o"
+  "CMakeFiles/kshot_core.dir/kshot_enclave.cpp.o.d"
+  "CMakeFiles/kshot_core.dir/mailbox.cpp.o"
+  "CMakeFiles/kshot_core.dir/mailbox.cpp.o.d"
+  "CMakeFiles/kshot_core.dir/smm_handler.cpp.o"
+  "CMakeFiles/kshot_core.dir/smm_handler.cpp.o.d"
+  "libkshot_core.a"
+  "libkshot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

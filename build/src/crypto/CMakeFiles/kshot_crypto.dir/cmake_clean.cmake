@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshot_crypto.dir/aead.cpp.o"
+  "CMakeFiles/kshot_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/kshot_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/kshot_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/kshot_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/kshot_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/kshot_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/kshot_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/kshot_crypto.dir/simple_hash.cpp.o"
+  "CMakeFiles/kshot_crypto.dir/simple_hash.cpp.o.d"
+  "CMakeFiles/kshot_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/kshot_crypto.dir/x25519.cpp.o.d"
+  "libkshot_crypto.a"
+  "libkshot_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshot_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

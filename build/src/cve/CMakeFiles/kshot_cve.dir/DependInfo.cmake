@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cve/suite.cpp" "src/cve/CMakeFiles/kshot_cve.dir/suite.cpp.o" "gcc" "src/cve/CMakeFiles/kshot_cve.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kshot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kcc/CMakeFiles/kshot_kcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/kshot_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/kshot_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

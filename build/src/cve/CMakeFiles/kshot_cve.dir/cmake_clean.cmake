@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshot_cve.dir/suite.cpp.o"
+  "CMakeFiles/kshot_cve.dir/suite.cpp.o.d"
+  "libkshot_cve.a"
+  "libkshot_cve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshot_cve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

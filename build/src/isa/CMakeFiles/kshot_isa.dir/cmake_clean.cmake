@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshot_isa.dir/assembler.cpp.o"
+  "CMakeFiles/kshot_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/kshot_isa.dir/disasm.cpp.o"
+  "CMakeFiles/kshot_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/kshot_isa.dir/isa.cpp.o"
+  "CMakeFiles/kshot_isa.dir/isa.cpp.o.d"
+  "CMakeFiles/kshot_isa.dir/reloc.cpp.o"
+  "CMakeFiles/kshot_isa.dir/reloc.cpp.o.d"
+  "libkshot_isa.a"
+  "libkshot_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshot_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkshot_isa.a"
+)

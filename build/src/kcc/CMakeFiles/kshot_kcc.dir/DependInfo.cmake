@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kcc/ast.cpp" "src/kcc/CMakeFiles/kshot_kcc.dir/ast.cpp.o" "gcc" "src/kcc/CMakeFiles/kshot_kcc.dir/ast.cpp.o.d"
+  "/root/repo/src/kcc/codegen.cpp" "src/kcc/CMakeFiles/kshot_kcc.dir/codegen.cpp.o" "gcc" "src/kcc/CMakeFiles/kshot_kcc.dir/codegen.cpp.o.d"
+  "/root/repo/src/kcc/compiler.cpp" "src/kcc/CMakeFiles/kshot_kcc.dir/compiler.cpp.o" "gcc" "src/kcc/CMakeFiles/kshot_kcc.dir/compiler.cpp.o.d"
+  "/root/repo/src/kcc/constfold.cpp" "src/kcc/CMakeFiles/kshot_kcc.dir/constfold.cpp.o" "gcc" "src/kcc/CMakeFiles/kshot_kcc.dir/constfold.cpp.o.d"
+  "/root/repo/src/kcc/eval.cpp" "src/kcc/CMakeFiles/kshot_kcc.dir/eval.cpp.o" "gcc" "src/kcc/CMakeFiles/kshot_kcc.dir/eval.cpp.o.d"
+  "/root/repo/src/kcc/image.cpp" "src/kcc/CMakeFiles/kshot_kcc.dir/image.cpp.o" "gcc" "src/kcc/CMakeFiles/kshot_kcc.dir/image.cpp.o.d"
+  "/root/repo/src/kcc/inline_pass.cpp" "src/kcc/CMakeFiles/kshot_kcc.dir/inline_pass.cpp.o" "gcc" "src/kcc/CMakeFiles/kshot_kcc.dir/inline_pass.cpp.o.d"
+  "/root/repo/src/kcc/lexer.cpp" "src/kcc/CMakeFiles/kshot_kcc.dir/lexer.cpp.o" "gcc" "src/kcc/CMakeFiles/kshot_kcc.dir/lexer.cpp.o.d"
+  "/root/repo/src/kcc/parser.cpp" "src/kcc/CMakeFiles/kshot_kcc.dir/parser.cpp.o" "gcc" "src/kcc/CMakeFiles/kshot_kcc.dir/parser.cpp.o.d"
+  "/root/repo/src/kcc/printer.cpp" "src/kcc/CMakeFiles/kshot_kcc.dir/printer.cpp.o" "gcc" "src/kcc/CMakeFiles/kshot_kcc.dir/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kshot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/kshot_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/kshot_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshot_kcc.dir/ast.cpp.o"
+  "CMakeFiles/kshot_kcc.dir/ast.cpp.o.d"
+  "CMakeFiles/kshot_kcc.dir/codegen.cpp.o"
+  "CMakeFiles/kshot_kcc.dir/codegen.cpp.o.d"
+  "CMakeFiles/kshot_kcc.dir/compiler.cpp.o"
+  "CMakeFiles/kshot_kcc.dir/compiler.cpp.o.d"
+  "CMakeFiles/kshot_kcc.dir/constfold.cpp.o"
+  "CMakeFiles/kshot_kcc.dir/constfold.cpp.o.d"
+  "CMakeFiles/kshot_kcc.dir/eval.cpp.o"
+  "CMakeFiles/kshot_kcc.dir/eval.cpp.o.d"
+  "CMakeFiles/kshot_kcc.dir/image.cpp.o"
+  "CMakeFiles/kshot_kcc.dir/image.cpp.o.d"
+  "CMakeFiles/kshot_kcc.dir/inline_pass.cpp.o"
+  "CMakeFiles/kshot_kcc.dir/inline_pass.cpp.o.d"
+  "CMakeFiles/kshot_kcc.dir/lexer.cpp.o"
+  "CMakeFiles/kshot_kcc.dir/lexer.cpp.o.d"
+  "CMakeFiles/kshot_kcc.dir/parser.cpp.o"
+  "CMakeFiles/kshot_kcc.dir/parser.cpp.o.d"
+  "CMakeFiles/kshot_kcc.dir/printer.cpp.o"
+  "CMakeFiles/kshot_kcc.dir/printer.cpp.o.d"
+  "libkshot_kcc.a"
+  "libkshot_kcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshot_kcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kshot_kcc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshot_kernel.dir/ftrace.cpp.o"
+  "CMakeFiles/kshot_kernel.dir/ftrace.cpp.o.d"
+  "CMakeFiles/kshot_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/kshot_kernel.dir/kernel.cpp.o.d"
+  "CMakeFiles/kshot_kernel.dir/scheduler.cpp.o"
+  "CMakeFiles/kshot_kernel.dir/scheduler.cpp.o.d"
+  "libkshot_kernel.a"
+  "libkshot_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshot_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshot_machine.dir/machine.cpp.o"
+  "CMakeFiles/kshot_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/kshot_machine.dir/phys_mem.cpp.o"
+  "CMakeFiles/kshot_machine.dir/phys_mem.cpp.o.d"
+  "libkshot_machine.a"
+  "libkshot_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshot_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/channel.cpp" "src/netsim/CMakeFiles/kshot_netsim.dir/channel.cpp.o" "gcc" "src/netsim/CMakeFiles/kshot_netsim.dir/channel.cpp.o.d"
+  "/root/repo/src/netsim/patch_server.cpp" "src/netsim/CMakeFiles/kshot_netsim.dir/patch_server.cpp.o" "gcc" "src/netsim/CMakeFiles/kshot_netsim.dir/patch_server.cpp.o.d"
+  "/root/repo/src/netsim/protocol.cpp" "src/netsim/CMakeFiles/kshot_netsim.dir/protocol.cpp.o" "gcc" "src/netsim/CMakeFiles/kshot_netsim.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kshot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/kshot_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/kcc/CMakeFiles/kshot_kcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/patchtool/CMakeFiles/kshot_patchtool.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/kshot_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/kshot_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/kshot_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/kshot_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

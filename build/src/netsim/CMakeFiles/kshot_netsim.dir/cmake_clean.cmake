@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshot_netsim.dir/channel.cpp.o"
+  "CMakeFiles/kshot_netsim.dir/channel.cpp.o.d"
+  "CMakeFiles/kshot_netsim.dir/patch_server.cpp.o"
+  "CMakeFiles/kshot_netsim.dir/patch_server.cpp.o.d"
+  "CMakeFiles/kshot_netsim.dir/protocol.cpp.o"
+  "CMakeFiles/kshot_netsim.dir/protocol.cpp.o.d"
+  "libkshot_netsim.a"
+  "libkshot_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshot_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshot_patchtool.dir/bindiff.cpp.o"
+  "CMakeFiles/kshot_patchtool.dir/bindiff.cpp.o.d"
+  "CMakeFiles/kshot_patchtool.dir/callgraph.cpp.o"
+  "CMakeFiles/kshot_patchtool.dir/callgraph.cpp.o.d"
+  "CMakeFiles/kshot_patchtool.dir/consistency.cpp.o"
+  "CMakeFiles/kshot_patchtool.dir/consistency.cpp.o.d"
+  "CMakeFiles/kshot_patchtool.dir/matcher.cpp.o"
+  "CMakeFiles/kshot_patchtool.dir/matcher.cpp.o.d"
+  "CMakeFiles/kshot_patchtool.dir/package.cpp.o"
+  "CMakeFiles/kshot_patchtool.dir/package.cpp.o.d"
+  "libkshot_patchtool.a"
+  "libkshot_patchtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshot_patchtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

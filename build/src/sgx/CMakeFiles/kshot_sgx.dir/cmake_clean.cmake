@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshot_sgx.dir/sgx.cpp.o"
+  "CMakeFiles/kshot_sgx.dir/sgx.cpp.o.d"
+  "libkshot_sgx.a"
+  "libkshot_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshot_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

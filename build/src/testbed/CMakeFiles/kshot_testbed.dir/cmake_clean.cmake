@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshot_testbed.dir/testbed.cpp.o"
+  "CMakeFiles/kshot_testbed.dir/testbed.cpp.o.d"
+  "libkshot_testbed.a"
+  "libkshot_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshot_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

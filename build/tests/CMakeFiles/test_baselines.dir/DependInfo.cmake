@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/test_baselines.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/test_baselines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kshot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/kshot_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/kshot_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/kshot_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/kcc/CMakeFiles/kshot_kcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/kshot_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/kshot_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/patchtool/CMakeFiles/kshot_patchtool.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/kshot_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kshot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/kshot_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/kshot_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/cve/CMakeFiles/kshot_cve.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/kshot_testbed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

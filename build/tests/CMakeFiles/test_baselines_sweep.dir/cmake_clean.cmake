@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines_sweep.dir/test_baselines_sweep.cpp.o"
+  "CMakeFiles/test_baselines_sweep.dir/test_baselines_sweep.cpp.o.d"
+  "test_baselines_sweep"
+  "test_baselines_sweep.pdb"
+  "test_baselines_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

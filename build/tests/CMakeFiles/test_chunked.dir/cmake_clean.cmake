@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunked.dir/test_chunked.cpp.o"
+  "CMakeFiles/test_chunked.dir/test_chunked.cpp.o.d"
+  "test_chunked"
+  "test_chunked.pdb"
+  "test_chunked[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

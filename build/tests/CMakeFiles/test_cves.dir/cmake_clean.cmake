@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cves.dir/test_cves.cpp.o"
+  "CMakeFiles/test_cves.dir/test_cves.cpp.o.d"
+  "test_cves"
+  "test_cves.pdb"
+  "test_cves[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

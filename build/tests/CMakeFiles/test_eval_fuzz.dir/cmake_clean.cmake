@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval_fuzz.dir/test_eval_fuzz.cpp.o"
+  "CMakeFiles/test_eval_fuzz.dir/test_eval_fuzz.cpp.o.d"
+  "test_eval_fuzz"
+  "test_eval_fuzz.pdb"
+  "test_eval_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

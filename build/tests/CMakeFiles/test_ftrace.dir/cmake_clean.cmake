@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftrace.dir/test_ftrace.cpp.o"
+  "CMakeFiles/test_ftrace.dir/test_ftrace.cpp.o.d"
+  "test_ftrace"
+  "test_ftrace.pdb"
+  "test_ftrace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ftrace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_guard.dir/test_kernel_guard.cpp.o"
+  "CMakeFiles/test_kernel_guard.dir/test_kernel_guard.cpp.o.d"
+  "test_kernel_guard"
+  "test_kernel_guard.pdb"
+  "test_kernel_guard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

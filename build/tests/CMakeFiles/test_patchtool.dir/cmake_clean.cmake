@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_patchtool.dir/test_patchtool.cpp.o"
+  "CMakeFiles/test_patchtool.dir/test_patchtool.cpp.o.d"
+  "test_patchtool"
+  "test_patchtool.pdb"
+  "test_patchtool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_patchtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshot-sim.dir/kshot_sim.cpp.o"
+  "CMakeFiles/kshot-sim.dir/kshot_sim.cpp.o.d"
+  "kshot-sim"
+  "kshot-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshot-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
