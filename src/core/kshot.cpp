@@ -24,7 +24,8 @@ Kshot::Kshot(kernel::Kernel& kernel, sgx::SgxRuntime& sgx,
       sgx_(sgx),
       server_(server),
       channel_(channel),
-      entropy_seed_(entropy_seed) {}
+      entropy_seed_(entropy_seed),
+      retry_rng_(entropy_seed ^ 0xB0FF) {}
 
 Status Kshot::install(u64 watchdog_interval_cycles) {
   if (installed_) return {Errc::kFailedPrecondition, "already installed"};
@@ -67,11 +68,118 @@ Result<SmmStatus> Kshot::trigger_and_status(SmmCommand cmd) {
   auto& m = kernel_.machine();
   Mailbox mbox(m.mem(), kernel_.layout().mem_rw_base(),
                machine::AccessMode::normal());
+  u64 seq = ++cmd_seq_;
+  KSHOT_RETURN_IF_ERROR(mbox.write_cmd_seq(seq));
   KSHOT_RETURN_IF_ERROR(mbox.write_command(cmd));
   m.trigger_smi();
+  // The handler echoes the sequence number on entry. A stale echo means the
+  // SMI never ran — whatever sits in the status word is from an *earlier*
+  // command, and trusting it would let a rootkit that gates SMIs spoof
+  // success forever. (A rootkit can forge the echo, but that only fools the
+  // untrusted side into proceeding — every later integrity check still
+  // happens inside SMM, so forgery buys it nothing.)
+  auto echo = mbox.read_cmd_seq_echo();
+  if (!echo) return echo.status();
+  if (*echo != seq) {
+    return Status{Errc::kAborted, "SMI suppressed: mailbox status is stale"};
+  }
   auto st = mbox.read_status();
   if (!st) return st.status();
   return *st;
+}
+
+Result<double> Kshot::fetch_once(const std::string& patch_id) {
+  auto request = enclave_->begin_fetch(patch_id,
+                                       netsim::PatchRequest::Op::kFetchPatch);
+  if (!request) return request.status();
+  Bytes req_wire = channel_.transfer(std::move(*request));
+  double link_us = channel_.last_latency_us();
+  auto response = server_.handle_request(req_wire);
+  if (!response) return response.status();
+  Bytes resp_wire = channel_.transfer(std::move(*response));
+  link_us += channel_.last_latency_us();
+  auto fetch_stats = enclave_->finish_fetch(resp_wire);
+  if (!fetch_stats) return fetch_stats.status();
+  return link_us;
+}
+
+Status Kshot::fetch_with_retry(const std::string& patch_id,
+                               PatchReport& report) {
+  auto t0 = Clock::now();
+  Backoff backoff(retry_, retry_rng_);
+  Status last = Status::ok();
+  double link_us = 0;
+  for (u32 attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    ++report.resilience.fetch_attempts;
+    auto res = fetch_once(patch_id);
+    if (res) {
+      link_us = *res;
+      last = Status::ok();
+      break;
+    }
+    last = res.status();
+    if (!RetryPolicy::retryable(last.code())) break;
+    if (attempt == retry_.max_attempts) {
+      report.resilience.retries_exhausted = true;
+      break;
+    }
+    charge_backoff(backoff.next_us(), report);
+  }
+  report.sgx.fetch_us = us_since(t0) + link_us;
+  return last;
+}
+
+void Kshot::charge_backoff(double us, PatchReport& report) {
+  auto& m = kernel_.machine();
+  // Backoff is OS run time, never SMM downtime: charge plain cycles.
+  m.charge_cycles(static_cast<u64>(us * m.cost_model().ghz * 1000.0));
+  report.resilience.backoff_us += us;
+}
+
+void Kshot::abort_session(PatchReport& report) {
+  // Best-effort: if the SMI itself is suppressed there is nothing to clean
+  // up on the SMM side anyway.
+  auto st = trigger_and_status(SmmCommand::kAbortSession);
+  (void)st;
+  ++report.resilience.session_aborts;
+}
+
+Status Kshot::apply_with_retry(
+    const std::function<Result<SmmStatus>()>& attempt_once,
+    PatchReport& report) {
+  Backoff backoff(retry_, retry_rng_);
+  for (u32 attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    ++report.resilience.apply_attempts;
+    auto res = attempt_once();
+    if (res && *res == SmmStatus::kOk) {
+      report.smm_status = SmmStatus::kOk;
+      report.success = true;
+      return Status::ok();
+    }
+
+    // Discard the failed attempt's session + partial stream so the next
+    // attempt (or the next live_patch call) stages against a fresh epoch.
+    abort_session(report);
+
+    Status transport_err = Status::ok();
+    bool retryable;
+    if (res) {
+      report.smm_status = *res;
+      retryable = RetryPolicy::retryable(*res);
+    } else {
+      transport_err = res.status();
+      retryable = RetryPolicy::retryable(transport_err.code());
+    }
+    if (!retryable || attempt == retry_.max_attempts) {
+      report.resilience.retries_exhausted =
+          retryable && attempt == retry_.max_attempts;
+      report.success = false;
+      return transport_err;  // ok() for an SmmStatus failure: report carries it
+    }
+    charge_backoff(backoff.next_us(), report);
+  }
+  report.success = false;
+  return Status::ok();
 }
 
 Result<PatchReport> Kshot::live_patch(const std::string& patch_id) {
@@ -85,59 +193,64 @@ Result<PatchReport> Kshot::live_patch(const std::string& patch_id) {
   PatchReport report;
   report.id = patch_id;
   u64 smm_cycles_before = m.smm_cycles();
+  u64 smis_before = m.smi_count();
 
   // ---- Fetch (SGX <-> remote server over the untrusted channel) ----------
+  // Each attempt is a whole fresh round trip: requests carry a fresh nonce,
+  // so a retried fetch can never be satisfied by a replayed response.
+  KSHOT_RETURN_IF_ERROR(fetch_with_retry(patch_id, report));
+
+  // ---- Preprocess once: deterministic, and it consumes mem_X budget ------
   auto t0 = Clock::now();
-  auto request = enclave_->begin_fetch(patch_id,
-                                       netsim::PatchRequest::Op::kFetchPatch);
-  if (!request) return request.status();
-  Bytes req_wire = channel_.transfer(std::move(*request));
-  double link_us = channel_.last_latency_us();
-  auto response = server_.handle_request(req_wire);
-  if (!response) return response.status();
-  Bytes resp_wire = channel_.transfer(std::move(*response));
-  link_us += channel_.last_latency_us();
-  auto fetch_stats = enclave_->finish_fetch(resp_wire);
-  if (!fetch_stats) return fetch_stats.status();
-  report.sgx.fetch_us = us_since(t0) + link_us;
-
-  // ---- SMI #1: fresh SMM session key --------------------------------------
-  auto begin = trigger_and_status(SmmCommand::kBeginSession);
-  if (!begin) return begin.status();
-  auto smm_pub = mbox.read_smm_pub();
-  if (!smm_pub) return smm_pub.status();
-
-  // ---- Preprocess + seal inside the enclave --------------------------------
-  t0 = Clock::now();
   auto prep_stats = enclave_->preprocess();
   if (!prep_stats) return prep_stats.status();
-  auto sealed = enclave_->seal_for_smm(*smm_pub);
-  if (!sealed) return sealed.status();
   report.sgx.preprocess_us = us_since(t0);
   report.stats = *prep_stats;
 
-  // ---- Passing: untrusted app writes mem_W + mailbox ----------------------
-  t0 = Clock::now();
-  if (sealed->size() < 32) {
-    return Status{Errc::kInternal, "malformed seal output"};
-  }
-  crypto::X25519Key enclave_pub;
-  std::memcpy(enclave_pub.data(), sealed->data(), 32);
-  ByteSpan package(sealed->data() + 32, sealed->size() - 32);
-  if (package.size() > lay.mem_w_size) {
-    return Status{Errc::kResourceExhausted, "package exceeds mem_W"};
-  }
-  KSHOT_RETURN_IF_ERROR(m.mem().write(lay.mem_w_base(), package,
-                                      machine::AccessMode::normal()));
-  KSHOT_RETURN_IF_ERROR(mbox.write_enclave_pub(enclave_pub));
-  KSHOT_RETURN_IF_ERROR(mbox.write_staged_size(package.size()));
-  report.sgx.passing_us = us_since(t0);
+  // ---- Seal + stage + apply: one transaction per attempt ------------------
+  // Session keys are single-use, so every attempt begins a fresh session
+  // and re-seals against the fresh SMM public key; a failed attempt is
+  // aborted (epoch bump) before the next one stages.
+  auto attempt_once = [&]() -> Result<SmmStatus> {
+    // SMI #1: fresh SMM session key.
+    auto begin = trigger_and_status(SmmCommand::kBeginSession);
+    if (!begin) return begin.status();
+    auto smm_pub = mbox.read_smm_pub();
+    if (!smm_pub) return smm_pub.status();
 
-  // ---- SMI #2: decrypt, verify, apply --------------------------------------
-  auto status = trigger_and_status(SmmCommand::kApplyPatch);
-  if (!status) return status.status();
-  report.smm_status = *status;
-  report.success = *status == SmmStatus::kOk;
+    auto t1 = Clock::now();
+    auto sealed = enclave_->seal_for_smm(*smm_pub);
+    if (!sealed) return sealed.status();
+    if (sealed->size() < 32) {
+      return Status{Errc::kInternal, "malformed seal output"};
+    }
+    report.sgx.preprocess_us += us_since(t1);
+
+    // Passing: the untrusted app writes mem_W + mailbox. This is the leg a
+    // resident rootkit can garble (modeled by the stage tamperer).
+    t1 = Clock::now();
+    Bytes blob = std::move(*sealed);
+    if (stage_tamperer_) stage_tamperer_(blob);
+    if (blob.size() < 32) {
+      return Status{Errc::kIntegrityFailure, "staged blob mangled"};
+    }
+    crypto::X25519Key enclave_pub;
+    std::memcpy(enclave_pub.data(), blob.data(), 32);
+    ByteSpan package(blob.data() + 32, blob.size() - 32);
+    if (package.size() > lay.mem_w_size) {
+      return Status{Errc::kResourceExhausted, "package exceeds mem_W"};
+    }
+    ++staging_attempts_;
+    KSHOT_RETURN_IF_ERROR(m.mem().write(lay.mem_w_base(), package,
+                                        machine::AccessMode::normal()));
+    KSHOT_RETURN_IF_ERROR(mbox.write_enclave_pub(enclave_pub));
+    KSHOT_RETURN_IF_ERROR(mbox.write_staged_size(package.size()));
+    report.sgx.passing_us += us_since(t1);
+
+    // SMI #2: decrypt, verify, apply.
+    return trigger_and_status(SmmCommand::kApplyPatch);
+  };
+  KSHOT_RETURN_IF_ERROR(apply_with_retry(attempt_once, report));
 
   const SmmPatchTimings& t = handler_->last_timings();
   const auto& cost = m.cost_model();
@@ -145,8 +258,8 @@ Result<PatchReport> Kshot::live_patch(const std::string& patch_id) {
   report.smm.decrypt_us = t.decrypt_ns / 1000.0;
   report.smm.verify_us = t.verify_ns / 1000.0;
   report.smm.apply_us = t.apply_ns / 1000.0;
-  report.smm.switch_us =
-      2 * cost.to_us(cost.smi_entry_cycles + cost.rsm_cycles);
+  report.smm.switch_us = static_cast<double>(m.smi_count() - smis_before) *
+                         cost.to_us(cost.smi_entry_cycles + cost.rsm_cycles);
   report.smm.total_us = report.smm.keygen_us + report.smm.decrypt_us +
                         report.smm.verify_us + report.smm.apply_us +
                         report.smm.switch_us;
@@ -170,73 +283,71 @@ Result<PatchReport> Kshot::live_patch_chunked(const std::string& patch_id,
   PatchReport report;
   report.id = patch_id;
   u64 smm_cycles_before = m.smm_cycles();
+  u64 smis_before = m.smi_count();
 
   // Fetch + preprocess exactly as in the single-shot path.
+  KSHOT_RETURN_IF_ERROR(fetch_with_retry(patch_id, report));
+
   auto t0 = Clock::now();
-  auto request = enclave_->begin_fetch(patch_id,
-                                       netsim::PatchRequest::Op::kFetchPatch);
-  if (!request) return request.status();
-  Bytes req_wire = channel_.transfer(std::move(*request));
-  double link_us = channel_.last_latency_us();
-  auto response = server_.handle_request(req_wire);
-  if (!response) return response.status();
-  Bytes resp_wire = channel_.transfer(std::move(*response));
-  link_us += channel_.last_latency_us();
-  auto fetch_stats = enclave_->finish_fetch(resp_wire);
-  if (!fetch_stats) return fetch_stats.status();
-  report.sgx.fetch_us = us_since(t0) + link_us;
-
-  auto begin = trigger_and_status(SmmCommand::kBeginSession);
-  if (!begin) return begin.status();
-  auto smm_pub = mbox.read_smm_pub();
-  if (!smm_pub) return smm_pub.status();
-
-  t0 = Clock::now();
   auto prep_stats = enclave_->preprocess();
   if (!prep_stats) return prep_stats.status();
-  report.stats = *prep_stats;
-  auto setup = enclave_->begin_seal_chunked(*smm_pub, chunk_bytes);
-  if (!setup) return setup.status();
-  if (setup->size() != 36) {
-    return Status{Errc::kInternal, "malformed chunk setup"};
-  }
-  crypto::X25519Key enclave_pub;
-  std::memcpy(enclave_pub.data(), setup->data(), 32);
-  u32 chunks = load_u32(setup->data() + 32);
   report.sgx.preprocess_us = us_since(t0);
-  KSHOT_RETURN_IF_ERROR(mbox.write_enclave_pub(enclave_pub));
+  report.stats = *prep_stats;
 
-  // Stream the chunks, one SMI each.
-  for (u32 i = 0; i < chunks; ++i) {
-    t0 = Clock::now();
-    auto chunk = enclave_->get_chunk(i);
-    if (!chunk) return chunk.status();
-    if (chunk->size() > lay.mem_w_size) {
-      return Status{Errc::kResourceExhausted, "chunk exceeds mem_W"};
-    }
-    KSHOT_RETURN_IF_ERROR(m.mem().write(lay.mem_w_base(), *chunk,
-                                        machine::AccessMode::normal()));
-    KSHOT_RETURN_IF_ERROR(mbox.write_staged_size(chunk->size()));
-    report.sgx.passing_us += us_since(t0);
+  // One attempt = fresh session, fresh chunked sealing (new stream key,
+  // per-chunk nonces), the whole chunk train. Any mid-stream failure voids
+  // the partial SMRAM accumulation via kAbortSession; nothing of a failed
+  // stream can leak into a later one.
+  auto attempt_once = [&]() -> Result<SmmStatus> {
+    auto begin = trigger_and_status(SmmCommand::kBeginSession);
+    if (!begin) return begin.status();
+    auto smm_pub = mbox.read_smm_pub();
+    if (!smm_pub) return smm_pub.status();
 
-    auto status = trigger_and_status(SmmCommand::kStageChunk);
-    if (!status) return status.status();
-    report.smm_status = *status;
-    bool last = i + 1 == chunks;
-    if ((last && *status != SmmStatus::kOk) ||
-        (!last && *status != SmmStatus::kChunkAccepted)) {
-      report.success = false;
-      return report;
+    auto t1 = Clock::now();
+    auto setup = enclave_->begin_seal_chunked(*smm_pub, chunk_bytes);
+    if (!setup) return setup.status();
+    if (setup->size() != 36) {
+      return Status{Errc::kInternal, "malformed chunk setup"};
     }
-  }
-  report.success = report.smm_status == SmmStatus::kOk;
+    crypto::X25519Key enclave_pub;
+    std::memcpy(enclave_pub.data(), setup->data(), 32);
+    u32 chunks = load_u32(setup->data() + 32);
+    report.sgx.preprocess_us += us_since(t1);
+    KSHOT_RETURN_IF_ERROR(mbox.write_enclave_pub(enclave_pub));
+
+    // Stream the chunks, one SMI each.
+    for (u32 i = 0; i < chunks; ++i) {
+      t1 = Clock::now();
+      auto chunk = enclave_->get_chunk(i);
+      if (!chunk) return chunk.status();
+      Bytes blob = std::move(*chunk);
+      if (stage_tamperer_) stage_tamperer_(blob);
+      if (blob.size() > lay.mem_w_size) {
+        return Status{Errc::kResourceExhausted, "chunk exceeds mem_W"};
+      }
+      ++staging_attempts_;
+      KSHOT_RETURN_IF_ERROR(m.mem().write(lay.mem_w_base(), blob,
+                                          machine::AccessMode::normal()));
+      KSHOT_RETURN_IF_ERROR(mbox.write_staged_size(blob.size()));
+      report.sgx.passing_us += us_since(t1);
+
+      auto status = trigger_and_status(SmmCommand::kStageChunk);
+      if (!status) return status.status();
+      bool last = i + 1 == chunks;
+      if (last) return *status;  // kOk applies; anything else is the failure
+      if (*status != SmmStatus::kChunkAccepted) return *status;
+    }
+    return Status{Errc::kInternal, "package sealed to zero chunks"};
+  };
+  KSHOT_RETURN_IF_ERROR(apply_with_retry(attempt_once, report));
 
   const SmmPatchTimings& t = handler_->last_timings();
   const auto& cost = m.cost_model();
   report.smm.keygen_us = t.keygen_ns / 1000.0;
   report.smm.verify_us = t.verify_ns / 1000.0;
   report.smm.apply_us = t.apply_ns / 1000.0;
-  report.smm.switch_us = (1 + chunks) *
+  report.smm.switch_us = static_cast<double>(m.smi_count() - smis_before) *
                          cost.to_us(cost.smi_entry_cycles + cost.rsm_cycles);
   report.downtime_cycles = m.smm_cycles() - smm_cycles_before;
   report.smm.modeled_total_us = cost.to_us(report.downtime_cycles);
@@ -290,14 +401,25 @@ Result<DosCheckReport> Kshot::dos_check() {
   Mailbox mbox(m.mem(), kernel_.layout().mem_rw_base(),
                machine::AccessMode::normal());
   DosCheckReport rep;
+  // Poke SMM by hand rather than through trigger_and_status: a suppressed
+  // SMI must surface as !smm_alive in the report, not as an error.
   auto hb_before = mbox.read_heartbeat();
-  auto status = trigger_and_status(SmmCommand::kIntrospect);
-  if (!status) return status.status();
+  u64 seq = ++cmd_seq_;
+  (void)mbox.write_cmd_seq(seq);
+  (void)mbox.write_command(SmmCommand::kIntrospect);
+  m.trigger_smi();
   auto hb_after = mbox.read_heartbeat();
+  auto echo = mbox.read_cmd_seq_echo();
   rep.smm_alive = hb_before.is_ok() && hb_after.is_ok() &&
-                  *hb_after > *hb_before;
-  rep.staging_observed = handler_->patches_applied() > 0;
-  rep.dos_suspected = !rep.smm_alive || !rep.staging_observed;
+                  *hb_after > *hb_before && echo.is_ok() && *echo == seq;
+  // Suspicion requires contradiction, not mere absence of activity: the
+  // helper side claims it staged (staging_attempts_) but the SMM side —
+  // unforgeable ground truth, SMRAM-resident — never saw a staging command.
+  // A fresh install that has not patched anything is NOT a DoS.
+  rep.staging_attempted = staging_attempts_ > 0;
+  rep.staging_observed = handler_->stagings_seen() > 0;
+  rep.dos_suspected =
+      !rep.smm_alive || (rep.staging_attempted && !rep.staging_observed);
   return rep;
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "core/kshot_enclave.hpp"
+#include "core/retry.hpp"
 #include "core/smm_handler.hpp"
 #include "kernel/scheduler.hpp"
 #include "netsim/channel.hpp"
@@ -42,6 +43,16 @@ struct SmmPhaseTimings {
   double modeled_total_us = 0;  // virtual-clock downtime incl. switches
 };
 
+/// Attempt/retry/abort accounting for one live_patch run (fault-injection
+/// campaigns assert on these to see the pipeline actually retried).
+struct ResilienceStats {
+  u32 fetch_attempts = 0;   // round trips to the patch server
+  u32 apply_attempts = 0;   // seal -> stage -> apply transactions
+  u32 session_aborts = 0;   // kAbortSession commands issued to clean up
+  double backoff_us = 0;    // modeled backoff, accrued on the OS clock
+  bool retries_exhausted = false;  // failed with the budget spent
+};
+
 struct PatchReport {
   std::string id;
   bool success = false;
@@ -49,13 +60,15 @@ struct PatchReport {
   PackageStats stats;
   SgxPhaseTimings sgx;
   SmmPhaseTimings smm;
+  ResilienceStats resilience;
   /// Virtual cycles the OS was paused (both SMIs), from the machine clock.
   u64 downtime_cycles = 0;
 };
 
 struct DosCheckReport {
-  bool smm_alive = false;       // heartbeat advanced when poked
-  bool staging_observed = false;  // SMM saw a staged package this session
+  bool smm_alive = false;         // heartbeat advanced when poked
+  bool staging_attempted = false;  // helper app tried to stage a package
+  bool staging_observed = false;   // SMM-side: a staging command arrived
   bool dos_suspected = false;
 };
 
@@ -99,8 +112,25 @@ class Kshot {
   Status arm_kernel_guard();
 
   /// DoS detection handshake (§V-D): the remote server verifies with the
-  /// SMM handler that patch staging actually happened.
+  /// SMM handler that patch staging actually happened. Suspicion requires
+  /// *contradiction* — the helper app tried to stage but SMM never saw a
+  /// staging command, or SMM stopped answering at all. A freshly installed
+  /// deployment that has not patched anything yet is not a DoS.
   Result<DosCheckReport> dos_check();
+
+  /// Retry policy for the fetch and sealed-passing phases. Defaults to a
+  /// modest exponential-backoff budget; RetryPolicy::none() restores the
+  /// original fail-fast behaviour.
+  void set_retry_policy(const RetryPolicy& p) { retry_ = p; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Tamper hook over the *staging* leg (helper app -> mem_W): models a
+  /// rootkit garbling sealed blobs/chunks after they leave the enclave.
+  /// FaultInjector::as_tamperer() plugs in here.
+  void set_stage_tamperer(netsim::Channel::Tamperer t) {
+    stage_tamperer_ = std::move(t);
+  }
+  void clear_stage_tamperer() { stage_tamperer_ = nullptr; }
 
   [[nodiscard]] SmmPatchHandler& handler() { return *handler_; }
   [[nodiscard]] KshotEnclave& enclave() { return *enclave_; }
@@ -113,7 +143,31 @@ class Kshot {
   [[nodiscard]] size_t tcb_bytes() const;
 
  private:
+  /// Writes the command + a fresh sequence number, raises the SMI, and
+  /// cross-checks the handler's echo: a stale echo proves the SMI was
+  /// suppressed and the status word is leftover garbage (satellite of the
+  /// §V-D DoS handshake), reported as kAborted rather than trusted.
   Result<SmmStatus> trigger_and_status(SmmCommand cmd);
+
+  /// One fetch round trip (request out, response back, finish_fetch).
+  /// Returns the modeled link time; errors are the attempt's failure.
+  Result<double> fetch_once(const std::string& patch_id);
+  /// Fetch with the retry policy applied; fills report.sgx.fetch_us and the
+  /// resilience counters.
+  Status fetch_with_retry(const std::string& patch_id, PatchReport& report);
+
+  /// Runs `attempt_once` under the retry policy, issuing kAbortSession
+  /// between failed attempts so each retry stages against a clean epoch.
+  /// Ok when the report carries the outcome (success or a final SmmStatus
+  /// failure); an error Status only for unrecoverable transport failures.
+  Status apply_with_retry(
+      const std::function<Result<SmmStatus>()>& attempt_once,
+      PatchReport& report);
+
+  /// Pause between retries: modeled time on the *running-OS* clock.
+  void charge_backoff(double us, PatchReport& report);
+  /// Best-effort transactional cleanup between attempts.
+  void abort_session(PatchReport& report);
 
   kernel::Kernel& kernel_;
   sgx::SgxRuntime& sgx_;
@@ -124,6 +178,12 @@ class Kshot {
   std::unique_ptr<SmmPatchHandler> handler_;
   std::unique_ptr<KshotEnclave> enclave_;
   bool installed_ = false;
+
+  RetryPolicy retry_;
+  Rng retry_rng_;  // jitter source, seeded from entropy_seed_
+  netsim::Channel::Tamperer stage_tamperer_;
+  u64 cmd_seq_ = 0;           // helper-side SMI command sequence
+  u64 staging_attempts_ = 0;  // helper-side: sealed packages we tried to pass
 };
 
 }  // namespace kshot::core

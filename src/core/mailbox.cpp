@@ -10,7 +10,7 @@ Status Mailbox::write_command(SmmCommand cmd) {
 Result<SmmCommand> Mailbox::read_command() const {
   auto v = mem_.read_u64(base_ + MailboxLayout::kCommand, mode_);
   if (!v) return v.status();
-  if (*v > static_cast<u64>(SmmCommand::kStageChunk)) {
+  if (*v > static_cast<u64>(SmmCommand::kAbortSession)) {
     return SmmCommand::kIdle;
   }
   return static_cast<SmmCommand>(*v);
@@ -82,6 +82,30 @@ Status Mailbox::write_session_id(u64 id) {
 
 Result<u64> Mailbox::read_session_id() const {
   return mem_.read_u64(base_ + MailboxLayout::kSessionId, mode_);
+}
+
+Status Mailbox::write_cmd_seq(u64 seq) {
+  return mem_.write_u64(base_ + MailboxLayout::kCmdSeq, seq, mode_);
+}
+
+Result<u64> Mailbox::read_cmd_seq() const {
+  return mem_.read_u64(base_ + MailboxLayout::kCmdSeq, mode_);
+}
+
+Status Mailbox::write_cmd_seq_echo(u64 seq) {
+  return mem_.write_u64(base_ + MailboxLayout::kCmdSeqEcho, seq, mode_);
+}
+
+Result<u64> Mailbox::read_cmd_seq_echo() const {
+  return mem_.read_u64(base_ + MailboxLayout::kCmdSeqEcho, mode_);
+}
+
+Status Mailbox::write_session_epoch(u64 epoch) {
+  return mem_.write_u64(base_ + MailboxLayout::kSessionEpoch, epoch, mode_);
+}
+
+Result<u64> Mailbox::read_session_epoch() const {
+  return mem_.read_u64(base_ + MailboxLayout::kSessionEpoch, mode_);
 }
 
 }  // namespace kshot::core

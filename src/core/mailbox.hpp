@@ -21,6 +21,10 @@ enum class SmmCommand : u64 {
   kIntrospect = 4,    // verify installed patches + reserved-region attrs
   kStageChunk = 5,    // streaming mode: accept one sealed chunk from mem_W;
                       // the final chunk triggers verify + apply
+  kAbortSession = 6,  // transactional reset: discard session keys and any
+                      // partial chunk stream, bump the session epoch. Always
+                      // succeeds (aborting nothing is a no-op), so a failed
+                      // or interrupted staging can be restaged idempotently.
 };
 
 /// SMM status codes (mirrored into PatchReport).
@@ -46,6 +50,14 @@ struct MailboxLayout {
   static constexpr u64 kStatus = 0x50;         // u64 SmmStatus
   static constexpr u64 kHeartbeat = 0x58;      // u64: incremented per SMI
   static constexpr u64 kSessionId = 0x60;      // u64: bumped per session
+  static constexpr u64 kCmdSeq = 0x68;         // u64: written by the helper
+                                               // app before each commanded SMI
+  static constexpr u64 kCmdSeqEcho = 0x70;     // u64: echoed by the handler;
+                                               // a non-matching echo proves
+                                               // the SMI never ran and the
+                                               // status word is stale
+  static constexpr u64 kSessionEpoch = 0x78;   // u64: bumped on every session
+                                               // begin/abort (transaction id)
 };
 
 /// Typed accessor over the mailbox for a given access mode.
@@ -68,6 +80,12 @@ class Mailbox {
   Result<u64> read_heartbeat() const;
   Status write_session_id(u64 id);
   Result<u64> read_session_id() const;
+  Status write_cmd_seq(u64 seq);
+  Result<u64> read_cmd_seq() const;
+  Status write_cmd_seq_echo(u64 seq);
+  Result<u64> read_cmd_seq_echo() const;
+  Status write_session_epoch(u64 epoch);
+  Result<u64> read_session_epoch() const;
 
  private:
   machine::PhysMem& mem_;

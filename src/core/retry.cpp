@@ -1,0 +1,46 @@
+#include "core/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kshot::core {
+
+bool RetryPolicy::retryable(Errc c) {
+  switch (c) {
+    case Errc::kIntegrityFailure:   // MAC/hash mismatch: tampered in flight
+    case Errc::kOutOfRange:         // truncated wire
+    case Errc::kInvalidArgument:    // undecodable wire
+    case Errc::kPermissionDenied:   // attestation bytes garbled in flight
+    case Errc::kAborted:            // SMI suppressed / round rejected
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool RetryPolicy::retryable(SmmStatus s) {
+  switch (s) {
+    case SmmStatus::kMacFailure:       // staged ciphertext tampered/garbled
+    case SmmStatus::kNothingStaged:    // staging lost before the SMI
+    case SmmStatus::kNoSession:        // session burned by a previous fault
+    case SmmStatus::kChunkOutOfOrder:  // stream disrupted; restage from zero
+      return true;
+    default:
+      return false;
+  }
+}
+
+double Backoff::next_us() {
+  double base = policy_.base_backoff_us *
+                std::pow(policy_.multiplier, static_cast<double>(step_));
+  base = std::min(base, policy_.max_backoff_us);
+  ++step_;
+  // Jitter in [-j, +j] * base, drawn from the seeded RNG so runs reproduce.
+  double u = static_cast<double>(rng_.next() >> 11) * 0x1.0p-53;  // [0, 1)
+  double pause = base * (1.0 + policy_.jitter * (2.0 * u - 1.0));
+  pause = std::max(pause, 0.0);
+  total_us_ += pause;
+  return pause;
+}
+
+}  // namespace kshot::core

@@ -1,0 +1,65 @@
+// Retry policy for the untrusted legs of the live-patch pipeline.
+//
+// The fetch phase (enclave <-> remote server over the lossy channel) and the
+// sealed-passing phase (helper app -> mem_W -> SMM) are both safe to repeat:
+// integrity comes from the crypto envelope, not the transport, and session
+// keys are single-use, so a retransmission is always a *fresh* round — a
+// stale or replayed blob can never authenticate. RetryPolicy bounds the
+// attempts and spaces them with exponential backoff + jitter; the backoff is
+// charged to the machine's *virtual* clock (the OS keeps running — backoff
+// is never SMM downtime).
+#pragma once
+
+#include "common/rng.hpp"
+#include "core/mailbox.hpp"
+
+namespace kshot::core {
+
+struct RetryPolicy {
+  u32 max_attempts = 4;           // total tries per phase (1 = no retry)
+  double base_backoff_us = 200.0;  // pause before the first retry
+  double multiplier = 2.0;         // exponential growth per retry
+  double max_backoff_us = 50'000.0;
+  double jitter = 0.25;  // +/- fraction of the deterministic backoff
+
+  [[nodiscard]] bool enabled() const { return max_attempts > 1; }
+
+  static RetryPolicy none() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+
+  /// Transport-shaped errors: a garbled/lost/stale message produces one of
+  /// these, and a fresh round trip can succeed. Deterministic rejections
+  /// (unknown patch, exhausted resources, bad arguments caught up front) are
+  /// not retried.
+  static bool retryable(Errc c);
+
+  /// SMM statuses a retransmission (with a fresh session) can clear:
+  /// tampered/lost staging, a burned session, a disrupted chunk stream.
+  /// kDigestFailure is excluded — the MAC already passed, so the corruption
+  /// happened *inside* the trusted path and repeating it cannot help.
+  static bool retryable(SmmStatus s);
+};
+
+/// Exponential backoff schedule with seeded jitter. One instance per
+/// pipeline run; next_us() advances the schedule.
+class Backoff {
+ public:
+  Backoff(const RetryPolicy& policy, Rng& rng) : policy_(policy), rng_(rng) {}
+
+  /// Modeled microseconds to pause before the next retry.
+  double next_us();
+
+  [[nodiscard]] double total_us() const { return total_us_; }
+  [[nodiscard]] u32 steps() const { return step_; }
+
+ private:
+  const RetryPolicy& policy_;
+  Rng& rng_;
+  u32 step_ = 0;
+  double total_us_ = 0;
+};
+
+}  // namespace kshot::core

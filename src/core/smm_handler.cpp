@@ -34,6 +34,13 @@ SmmPatchHandler::SmmPatchHandler(kernel::MemoryLayout layout, u64 entropy_seed)
 void SmmPatchHandler::on_smi(machine::Machine& m) {
   Mailbox mbox(m.mem(), layout_.mem_rw_base(), machine::AccessMode::smm());
   mbox.bump_heartbeat();
+  // Echo the helper app's command sequence number: after trigger_smi()
+  // returns, a stale echo proves this handler never ran (an SMI suppressed
+  // by a rootkit) and that the status word is left over from an earlier
+  // command. A rootkit can forge the echo, but forging only ever makes the
+  // *untrusted* side believe stale news — the SMM-side counters used by the
+  // DoS handshake cannot be forged.
+  if (auto seq = mbox.read_cmd_seq()) mbox.write_cmd_seq_echo(*seq);
 
   auto cmd = mbox.read_command();
   if (!cmd) return;
@@ -59,8 +66,26 @@ void SmmPatchHandler::on_smi(machine::Machine& m) {
       introspect(m);
       mbox.write_status(SmmStatus::kOk);
       break;
+    case SmmCommand::kAbortSession:
+      abort_session(mbox);
+      mbox.write_status(SmmStatus::kOk);
+      break;
   }
   mbox.write_command(SmmCommand::kIdle);
+}
+
+void SmmPatchHandler::reset_stream() {
+  stream_key_.reset();
+  stream_buffer_.clear();
+  stream_expected_ = 0;
+  stream_total_ = 0;
+}
+
+void SmmPatchHandler::abort_session(Mailbox& mbox) {
+  session_keys_.reset();
+  reset_stream();
+  ++aborts_;
+  mbox.write_session_epoch(++session_epoch_);
 }
 
 void SmmPatchHandler::begin_session(machine::Machine& m, Mailbox& mbox) {
@@ -69,10 +94,15 @@ void SmmPatchHandler::begin_session(machine::Machine& m, Mailbox& mbox) {
   timings_.keygen_ns = ns_since(t0);
   m.charge_cycles(m.cost_model().keygen_cycles);
 
+  // A new session implicitly supersedes any partial chunk stream: the old
+  // stream's key is gone, so it could never complete anyway.
+  reset_stream();
+
   ++sessions_;
   ++session_id_;
   mbox.write_smm_pub(session_keys_->public_key);
   mbox.write_session_id(session_id_);
+  mbox.write_session_epoch(++session_epoch_);
 }
 
 bool SmmPatchHandler::bounds_ok(const patchtool::FunctionPatch& p) const {
@@ -93,6 +123,7 @@ SmmStatus SmmPatchHandler::apply_patch(machine::Machine& m, Mailbox& mbox) {
   const auto mode = machine::AccessMode::smm();
   const auto& cost = m.cost_model();
 
+  ++stagings_seen_;
   if (!session_keys_.has_value()) return SmmStatus::kNoSession;
   auto staged = mbox.read_staged_size();
   if (!staged || *staged == 0) return SmmStatus::kNothingStaged;
@@ -181,13 +212,9 @@ SmmStatus SmmPatchHandler::stage_chunk(machine::Machine& m, Mailbox& mbox) {
   constexpr u32 kMaxChunks = 4096;
   constexpr size_t kMaxStreamBytes = 256ull << 20;
 
-  auto abort_stream = [&]() {
-    stream_key_.reset();
-    stream_buffer_.clear();
-    stream_expected_ = 0;
-    stream_total_ = 0;
-  };
+  auto abort_stream = [&]() { reset_stream(); };
 
+  ++stagings_seen_;
   // First chunk: consume the session key and derive the stream key.
   if (!stream_key_.has_value()) {
     if (!session_keys_.has_value()) return SmmStatus::kNoSession;
@@ -270,28 +297,49 @@ SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
                                         const patchtool::PatchSet& set) {
   const auto mode = machine::AccessMode::smm();
 
-  // Validate everything before touching memory: the whole set applies or
-  // nothing does.
+  // Validate everything — bounds, preprocessing, variable-edit targets —
+  // before touching memory: the whole set applies or nothing does. Nothing
+  // below this block may fail for a reason validation could have caught.
   for (const auto& p : set.patches) {
     if (!bounds_ok(p)) return SmmStatus::kBadPackage;
     if (!p.relocs.empty()) return SmmStatus::kBadPackage;  // not preprocessed
-  }
-
-  // 1. Global/shared variable edits (paper: before redirection).
-  for (const auto& p : set.patches) {
     for (const auto& v : p.var_edits) {
       if (v.addr < layout_.data_base ||
           v.addr + 8 > layout_.data_base + layout_.data_max) {
         return SmmStatus::kBadPackage;
       }
-      m.mem().write_u64(v.addr, v.value, mode);
     }
   }
 
-  // 2. Place the patched bodies in mem_X.
+  // 1. Global/shared variable edits (paper: before redirection), remembering
+  //    the overwritten values so a late failure can unwind them.
+  std::vector<std::pair<u64, u64>> var_undo;
+  auto unwind_vars = [&]() {
+    for (auto it = var_undo.rbegin(); it != var_undo.rend(); ++it) {
+      m.mem().write_u64(it->first, it->second, mode);
+    }
+  };
+  for (const auto& p : set.patches) {
+    for (const auto& v : p.var_edits) {
+      auto old = m.mem().read_u64(v.addr, mode);
+      Status st = old ? m.mem().write_u64(v.addr, v.value, mode)
+                      : old.status();
+      if (!st.is_ok()) {
+        unwind_vars();
+        return SmmStatus::kBadPackage;
+      }
+      var_undo.emplace_back(v.addr, *old);
+    }
+  }
+
+  // 2. Place the patched bodies in mem_X. mem_X is KShot-owned (never
+  //    kernel state), but a failed write still aborts the transaction.
   std::vector<InstalledPatch> batch;
   for (const auto& p : set.patches) {
-    m.mem().write(p.paddr, p.code, mode);
+    if (!m.mem().write(p.paddr, p.code, mode).is_ok()) {
+      unwind_vars();
+      return SmmStatus::kBadPackage;
+    }
     InstalledPatch inst;
     inst.name = p.name;
     inst.taddr = p.taddr;
@@ -305,23 +353,34 @@ SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
 
   // 3. Install trampolines, preserving the 5-byte kernel-tracing pad: the
   //    jmp lands *after* it, and targets the patched body past its own pad.
-  last_apply_indices_.clear();
-  for (auto& inst : batch) {
-    if (inst.taddr == 0) {
-      // Newly added helper function: lives only in mem_X, no trampoline.
-      last_apply_indices_.push_back(installed_.size());
-      installed_.push_back(inst);
-      continue;
-    }
+  //    On any failure, restore the entries already rewritten plus the
+  //    variable edits — the kernel ends byte-identical to its pre-SMI state.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto& inst = batch[i];
+    if (inst.taddr == 0) continue;  // new mem_X-only helper: no trampoline
     u64 jmp_addr = inst.taddr + inst.ftrace_off;
     u64 target = inst.paddr + inst.ftrace_off;
     m.mem().read(jmp_addr,
                  MutByteSpan(inst.original_entry.data(), 5), mode);
     inst.trampoline = make_jmp(jmp_addr, target);
     Status st = write_trampoline(m, inst);
-    if (!st.is_ok()) return SmmStatus::kBadPackage;
+    if (!st.is_ok()) {
+      for (size_t j = 0; j < i; ++j) {
+        const auto& done = batch[j];
+        if (done.taddr == 0) continue;
+        m.mem().write(done.taddr + done.ftrace_off,
+                      ByteSpan(done.original_entry.data(), 5), mode);
+      }
+      unwind_vars();
+      return SmmStatus::kBadPackage;
+    }
+  }
+
+  // Commit: everything is in memory; record the batch as the rollback unit.
+  last_apply_indices_.clear();
+  for (auto& inst : batch) {
     last_apply_indices_.push_back(installed_.size());
-    installed_.push_back(inst);
+    installed_.push_back(std::move(inst));
   }
   ++applied_;
   KSHOT_LOG(kInfo, "smm") << "applied " << set.id << ": "

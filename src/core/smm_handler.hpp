@@ -106,6 +106,13 @@ class SmmPatchHandler {
   [[nodiscard]] u64 sessions_started() const { return sessions_; }
   [[nodiscard]] u64 patches_applied() const { return applied_; }
   [[nodiscard]] u64 rollbacks() const { return rollbacks_; }
+  /// Apply/stage-chunk commands the handler has seen, successful or not —
+  /// SMM-side proof that the helper app's staging reached SMM at all (the
+  /// DoS-detection handshake's ground truth).
+  [[nodiscard]] u64 stagings_seen() const { return stagings_seen_; }
+  [[nodiscard]] u64 sessions_aborted() const { return aborts_; }
+  /// Transaction id: bumped on every session begin and abort.
+  [[nodiscard]] u64 session_epoch() const { return session_epoch_; }
 
  private:
   void begin_session(machine::Machine& m, Mailbox& mbox);
@@ -113,6 +120,12 @@ class SmmPatchHandler {
   SmmStatus stage_chunk(machine::Machine& m, Mailbox& mbox);
   SmmStatus rollback(machine::Machine& m);
   void introspect(machine::Machine& m);
+
+  /// Discards the chunk-stream accumulation state.
+  void reset_stream();
+  /// Transactional reset: session keys + stream state gone, epoch bumped.
+  /// Idempotent — aborting with nothing active is still a clean abort.
+  void abort_session(Mailbox& mbox);
 
   /// Shared tail of apply_patch / stage_chunk: verify the plaintext package
   /// and apply it, charging costs and recording timings.
@@ -156,6 +169,9 @@ class SmmPatchHandler {
   u64 sessions_ = 0;
   u64 applied_ = 0;
   u64 rollbacks_ = 0;
+  u64 stagings_seen_ = 0;
+  u64 aborts_ = 0;
+  u64 session_epoch_ = 0;
 };
 
 }  // namespace kshot::core

@@ -42,6 +42,10 @@ void Machine::restore_state_from_smram() {
 }
 
 void Machine::trigger_smi() {
+  if (smi_blocked_) {
+    ++suppressed_smis_;
+    return;
+  }
   assert(!in_smi_ && "nested SMI not modeled");
   in_smi_ = true;
   ++smi_count_;

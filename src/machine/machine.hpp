@@ -109,6 +109,17 @@ class Machine {
   /// cycles and accounts the SMM residency as downtime.
   void trigger_smi();
 
+  // Attack modeling ---------------------------------------------------------
+  /// Models a rootkit gating SMI delivery (the DoS the paper's §VI-C
+  /// handshake detects): while blocked, trigger_smi() silently does nothing —
+  /// no handler run, no heartbeat, no status update. Untrusted code cannot
+  /// observe the suppression directly; only the staleness of SMM-written
+  /// mailbox fields reveals it.
+  void set_smi_blocked(bool blocked) { smi_blocked_ = blocked; }
+  [[nodiscard]] bool smi_blocked() const { return smi_blocked_; }
+  /// SMIs swallowed while blocked (harness-side ground truth).
+  [[nodiscard]] u64 suppressed_smis() const { return suppressed_smis_; }
+
   // Virtual time ------------------------------------------------------------
   [[nodiscard]] u64 cycles() const { return cycles_; }
   void charge_cycles(u64 c) { cycles_ += c; }
@@ -141,6 +152,8 @@ class Machine {
   std::function<void(Machine&)> smm_handler_;
   bool smram_locked_ = false;
   bool in_smi_ = false;
+  bool smi_blocked_ = false;
+  u64 suppressed_smis_ = 0;
   u64 periodic_smi_interval_ = 0;
   u64 next_periodic_smi_ = 0;
 

@@ -24,19 +24,28 @@ class Channel {
 
   Channel() = default;
   explicit Channel(LinkModel model) : model_(model) {}
+  virtual ~Channel() = default;
 
   void set_tamperer(Tamperer t) { tamperer_ = std::move(t); }
   void clear_tamperer() { tamperer_ = nullptr; }
 
   /// Moves a message across the link: applies the tamper hook and accrues
-  /// modeled latency.
-  Bytes transfer(Bytes message);
+  /// modeled latency. Virtual so lossy-link models (see faults.hpp) can
+  /// garble, drop, or delay messages before they reach the other end.
+  virtual Bytes transfer(Bytes message);
 
   /// Modeled latency of the last transfer, in microseconds.
   [[nodiscard]] double last_latency_us() const { return last_latency_us_; }
   [[nodiscard]] double total_latency_us() const { return total_latency_us_; }
   [[nodiscard]] u64 messages() const { return messages_; }
   [[nodiscard]] u64 bytes_moved() const { return bytes_moved_; }
+
+ protected:
+  /// Extra modeled latency accrued by subclasses (fault delays, timeouts).
+  void add_latency(double us) {
+    last_latency_us_ += us;
+    total_latency_us_ += us;
+  }
 
  private:
   LinkModel model_;

@@ -1,0 +1,139 @@
+#include "netsim/faults.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace kshot::netsim {
+
+const char* fault_type_name(FaultType t) {
+  switch (t) {
+    case FaultType::kNone:
+      return "none";
+    case FaultType::kDrop:
+      return "drop";
+    case FaultType::kCorrupt:
+      return "corrupt";
+    case FaultType::kTruncate:
+      return "truncate";
+    case FaultType::kDuplicate:
+      return "duplicate";
+    case FaultType::kReorder:
+      return "reorder";
+    case FaultType::kDelay:
+      return "delay";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::uniform(FaultType t, double rate) {
+  FaultPlan plan;
+  switch (t) {
+    case FaultType::kNone:
+      break;
+    case FaultType::kDrop:
+      plan.rates.drop = rate;
+      break;
+    case FaultType::kCorrupt:
+      plan.rates.corrupt = rate;
+      break;
+    case FaultType::kTruncate:
+      plan.rates.truncate = rate;
+      break;
+    case FaultType::kDuplicate:
+      plan.rates.duplicate = rate;
+      break;
+    case FaultType::kReorder:
+      plan.rates.reorder = rate;
+      break;
+    case FaultType::kDelay:
+      plan.rates.delay = rate;
+      break;
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, u64 seed, LinkModel model)
+    : Channel(model), plan_(std::move(plan)), rng_(seed) {}
+
+void FaultInjector::reset(FaultPlan plan, u64 seed) {
+  plan_ = std::move(plan);
+  rng_.reseed(seed);
+  stats_ = {};
+  held_.clear();
+  last_delivered_.clear();
+  index_ = 0;
+}
+
+FaultType FaultInjector::pick_fault(u64 index) {
+  for (const auto& s : plan_.script) {
+    if (s.message_index == index) return s.type;
+  }
+  // One draw against the cumulative rates: at most one fault per message.
+  double u = static_cast<double>(rng_.next() >> 11) * 0x1.0p-53;
+  const FaultRates& r = plan_.rates;
+  if ((u -= r.drop) < 0) return FaultType::kDrop;
+  if ((u -= r.corrupt) < 0) return FaultType::kCorrupt;
+  if ((u -= r.truncate) < 0) return FaultType::kTruncate;
+  if ((u -= r.duplicate) < 0) return FaultType::kDuplicate;
+  if ((u -= r.reorder) < 0) return FaultType::kReorder;
+  if ((u -= r.delay) < 0) return FaultType::kDelay;
+  return FaultType::kNone;
+}
+
+Bytes FaultInjector::transfer(Bytes message) {
+  FaultType fault = pick_fault(index_++);
+  double extra_us = 0;
+
+  switch (fault) {
+    case FaultType::kNone:
+      break;
+    case FaultType::kDrop:
+      ++stats_.drops;
+      message.clear();
+      extra_us = plan_.drop_timeout_us;
+      break;
+    case FaultType::kCorrupt: {
+      ++stats_.corruptions;
+      if (!message.empty()) {
+        u64 flips = 1 + rng_.next_below(std::max<u32>(1, plan_.max_corrupt_bytes));
+        for (u64 i = 0; i < flips; ++i) {
+          message[rng_.next_below(message.size())] ^=
+              static_cast<u8>(1 + rng_.next_below(255));
+        }
+      }
+      break;
+    }
+    case FaultType::kTruncate:
+      ++stats_.truncations;
+      if (!message.empty()) message.resize(rng_.next_below(message.size()));
+      break;
+    case FaultType::kDuplicate:
+      // A stale duplicate of the previous delivery arrives in this slot
+      // (empty if nothing was delivered yet — indistinguishable from a drop).
+      ++stats_.duplicates;
+      message = last_delivered_;
+      break;
+    case FaultType::kReorder:
+      // Swap with the one-slot holding buffer: the current message stays in
+      // flight and whatever was held (nothing, on the first reorder) arrives
+      // in its place. A later reorder releases it, stale.
+      ++stats_.reorders;
+      std::swap(held_, message);
+      break;
+    case FaultType::kDelay:
+      ++stats_.delays;
+      extra_us = plan_.extra_delay_us;
+      break;
+  }
+
+  Bytes delivered = Channel::transfer(std::move(message));
+  if (extra_us > 0) add_latency(extra_us);
+  last_delivered_ = delivered;
+  return delivered;
+}
+
+Channel::Tamperer FaultInjector::as_tamperer() {
+  return [this](Bytes& b) { b = transfer(std::move(b)); };
+}
+
+}  // namespace kshot::netsim

@@ -1,0 +1,117 @@
+// Deterministic fault injection for the untrusted channel (threat model
+// §III/§IV: every byte between the enclave and the outside world is relayed
+// by a possibly hostile kernel and crosses an unreliable network).
+//
+// A FaultInjector is a Channel whose link loses, garbles, truncates,
+// duplicates, reorders, or delays messages according to a seeded FaultPlan —
+// per-message probabilities, scripted per-message faults, or both. The same
+// seed always reproduces the same fault sequence, so any failing campaign
+// run can be replayed exactly.
+//
+// Nothing here is trusted to preserve integrity (that is the crypto
+// envelope's job); the injector exists so the resilience layer above it —
+// RetryPolicy in src/core/retry.hpp and the transactional SMM sessions — can
+// be exercised and regression-tested under hostile conditions.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netsim/channel.hpp"
+
+namespace kshot::netsim {
+
+enum class FaultType : u8 {
+  kNone = 0,
+  kDrop,       // message never arrives (delivered as empty bytes)
+  kCorrupt,    // 1..max_corrupt_bytes random bytes XOR-flipped
+  kTruncate,   // delivered as a strict prefix of random length
+  kDuplicate,  // a stale copy of the previous delivery arrives instead
+  kReorder,    // swapped with the injector's one-slot holding buffer
+  kDelay,      // delivered intact but with extra modeled latency
+};
+
+const char* fault_type_name(FaultType t);
+
+/// Independent per-message fault probabilities in [0, 1]. At most one fault
+/// fires per message (a single uniform draw against the cumulative rates),
+/// so the sum should stay <= 1.
+struct FaultRates {
+  double drop = 0;
+  double corrupt = 0;
+  double truncate = 0;
+  double duplicate = 0;
+  double reorder = 0;
+  double delay = 0;
+
+  [[nodiscard]] double total() const {
+    return drop + corrupt + truncate + duplicate + reorder + delay;
+  }
+};
+
+/// A fault pinned to one message index (0-based, in transfer order).
+/// Scripted faults take precedence over the probabilistic rates.
+struct ScriptedFault {
+  u64 message_index = 0;
+  FaultType type = FaultType::kNone;
+};
+
+struct FaultPlan {
+  FaultRates rates;
+  std::vector<ScriptedFault> script;
+  u32 max_corrupt_bytes = 4;      // kCorrupt flips 1..this many bytes
+  double extra_delay_us = 500.0;  // latency added by kDelay
+  double drop_timeout_us = 0.0;   // extra latency charged for a kDrop
+
+  /// Every message faces `rate` probability of exactly fault `t`.
+  static FaultPlan uniform(FaultType t, double rate);
+};
+
+struct FaultStats {
+  u64 drops = 0;
+  u64 corruptions = 0;
+  u64 truncations = 0;
+  u64 duplicates = 0;
+  u64 reorders = 0;
+  u64 delays = 0;
+
+  [[nodiscard]] u64 total() const {
+    return drops + corruptions + truncations + duplicates + reorders + delays;
+  }
+};
+
+class FaultInjector final : public Channel {
+ public:
+  explicit FaultInjector(FaultPlan plan, u64 seed, LinkModel model = {});
+
+  /// Applies at most one fault, then moves the (possibly mutated) message
+  /// across the underlying link (tamper hook + modeled latency as usual).
+  Bytes transfer(Bytes message) override;
+
+  /// Replaces the plan and reseeds: message index, reorder buffer, and
+  /// duplicate memory reset so the run is reproducible from scratch.
+  void reset(FaultPlan plan, u64 seed);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const FaultStats& fault_stats() const { return stats_; }
+  /// Messages seen so far (== the index the next message will get).
+  [[nodiscard]] u64 message_index() const { return index_; }
+
+  /// Adapts this injector into a Channel::Tamperer so the same fault model
+  /// can disturb byte streams that are not network messages — e.g. the
+  /// sealed blobs the untrusted helper app writes into mem_W. Latency
+  /// modeled on those "messages" is meaningless and ignored by callers.
+  Tamperer as_tamperer();
+
+ private:
+  FaultType pick_fault(u64 index);
+
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+  Bytes held_;            // one-slot reorder buffer (kReorder swaps with it)
+  Bytes last_delivered_;  // source for kDuplicate's stale copy
+  u64 index_ = 0;
+};
+
+}  // namespace kshot::netsim

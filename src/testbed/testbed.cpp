@@ -22,7 +22,14 @@ Result<std::unique_ptr<Testbed>> Testbed::boot(const cve::CveCase& c,
       lay.mem_bytes, lay.smram_base, lay.smram_size, opts.seed);
   tb->sgx_ = std::make_unique<sgx::SgxRuntime>(
       *tb->machine_, lay.epc_base, lay.epc_size, opts.seed ^ 0xA77E57);
-  tb->channel_ = std::make_unique<netsim::Channel>();
+  if (opts.fault_plan) {
+    auto inj = std::make_unique<netsim::FaultInjector>(*opts.fault_plan,
+                                                       opts.fault_seed);
+    tb->fault_injector_ = inj.get();
+    tb->channel_ = std::move(inj);
+  } else {
+    tb->channel_ = std::make_unique<netsim::Channel>();
+  }
   tb->server_ = std::make_unique<netsim::PatchServer>(tb->sgx_.get(),
                                                       opts.seed ^ 0x5E17E5);
 
@@ -60,6 +67,7 @@ Result<std::unique_ptr<Testbed>> Testbed::boot(const cve::CveCase& c,
   tb->kshot_ = std::make_unique<core::Kshot>(
       *tb->kernel_, *tb->sgx_, *tb->server_, *tb->channel_,
       opts.seed ^ 0xC0FFEE);
+  if (opts.retry_policy) tb->kshot_->set_retry_policy(*opts.retry_policy);
   if (opts.install_kshot) {
     KSHOT_RETURN_IF_ERROR(
         tb->kshot_->install(opts.watchdog_interval_cycles));

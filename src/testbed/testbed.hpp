@@ -5,10 +5,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "core/kshot.hpp"
 #include "cve/suite.hpp"
 #include "kernel/scheduler.hpp"
+#include "netsim/faults.hpp"
 #include "netsim/patch_server.hpp"
 
 namespace kshot::testbed {
@@ -29,6 +31,12 @@ struct TestbedOptions {
   int workload_threads = 0;
   /// Nonzero arms the firmware periodic-SMI introspection watchdog.
   u64 watchdog_interval_cycles = 0;
+  /// When set, the enclave<->server channel is a FaultInjector built from
+  /// this plan (seeded with `fault_seed`) instead of a clean Channel.
+  std::optional<netsim::FaultPlan> fault_plan;
+  u64 fault_seed = 0xFA017;
+  /// Retry policy installed on the booted Kshot (default: Kshot's default).
+  std::optional<core::RetryPolicy> retry_policy;
 };
 
 class Testbed {
@@ -43,6 +51,8 @@ class Testbed {
   kernel::Scheduler& scheduler() { return *sched_; }
   sgx::SgxRuntime& sgx() { return *sgx_; }
   netsim::Channel& channel() { return *channel_; }
+  /// Non-null iff the testbed was booted with a fault plan.
+  netsim::FaultInjector* fault_injector() { return fault_injector_; }
   netsim::PatchServer& server() { return *server_; }
   core::Kshot& kshot() { return *kshot_; }
   const cve::CveCase& cve_case() const { return case_; }
@@ -69,6 +79,7 @@ class Testbed {
   std::unique_ptr<kernel::Scheduler> sched_;
   std::unique_ptr<sgx::SgxRuntime> sgx_;
   std::unique_ptr<netsim::Channel> channel_;
+  netsim::FaultInjector* fault_injector_ = nullptr;  // view into channel_
   std::unique_ptr<netsim::PatchServer> server_;
   std::unique_ptr<core::Kshot> kshot_;
   kcc::KernelImage pre_image_;

@@ -299,15 +299,45 @@ TEST(Orchestrator, DosCheckHealthyAfterPatch) {
   EXPECT_FALSE(rep->dos_suspected);
 }
 
-TEST(Orchestrator, DosCheckDetectsBlockedStaging) {
-  // Patch preparation never ran (DoS on the helper app): the server-side
-  // verification must notice that no patch was staged.
+TEST(Orchestrator, DosCheckFreshInstallIsNotSuspicious) {
+  // A deployment that never attempted a patch has nothing contradictory to
+  // report: absence of staging is only a DoS once staging was *attempted*.
   auto t = boot();
   auto rep = t->kshot().dos_check();
   ASSERT_TRUE(rep.is_ok());
   EXPECT_TRUE(rep->smm_alive);
+  EXPECT_FALSE(rep->staging_attempted);
+  EXPECT_FALSE(rep->staging_observed);
+  EXPECT_FALSE(rep->dos_suspected);
+}
+
+TEST(Orchestrator, DosCheckDetectsBlockedStaging) {
+  // A rootkit gates SMI delivery just as the helper app stages the sealed
+  // package: the helper tried, SMM never saw a staging command, and the
+  // stale-echo check stops the pipeline from trusting the old status word.
+  auto t = boot();
+  t->kshot().set_stage_tamperer(
+      [&](Bytes&) { t->machine().set_smi_blocked(true); });
+  auto r = t->kshot().live_patch(t->cve_case().id);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Errc::kAborted);
+  t->kshot().clear_stage_tamperer();
+
+  // While SMIs stay gated, SMM is simply unreachable.
+  auto rep = t->kshot().dos_check();
+  ASSERT_TRUE(rep.is_ok());
+  EXPECT_FALSE(rep->smm_alive);
+  EXPECT_TRUE(rep->staging_attempted);
   EXPECT_FALSE(rep->staging_observed);
   EXPECT_TRUE(rep->dos_suspected);
+
+  // Even after the rootkit re-enables SMIs to hide, the attempted-vs-
+  // observed contradiction persists: SMM-side counters are ground truth.
+  t->machine().set_smi_blocked(false);
+  auto rep2 = t->kshot().dos_check();
+  ASSERT_TRUE(rep2.is_ok());
+  EXPECT_TRUE(rep2->smm_alive);
+  EXPECT_TRUE(rep2->dos_suspected);
 }
 
 TEST(Orchestrator, ReportTimingsPopulated) {

@@ -1,0 +1,345 @@
+// Fault-injection campaign: drives the end-to-end pipeline across a grid of
+// fault type x rate x seed while asserting the transactional invariant —
+// every run either fully applies the patch or leaves the kernel
+// byte-identical to its pre-patch snapshot. Also pins down determinism (the
+// same seed reproduces the same fault sequence and outcome) and the MITM
+// behaviour of the chunked path with retries disabled.
+#include <gtest/gtest.h>
+
+#include "testbed/testbed.hpp"
+
+namespace kshot::core {
+namespace {
+
+using netsim::FaultPlan;
+using netsim::FaultType;
+using testbed::Testbed;
+using testbed::TestbedOptions;
+
+constexpr FaultType kAllFaultTypes[] = {
+    FaultType::kDrop,      FaultType::kCorrupt, FaultType::kTruncate,
+    FaultType::kDuplicate, FaultType::kReorder, FaultType::kDelay,
+};
+
+struct KernelSnapshot {
+  Bytes text;
+  Bytes data;
+};
+
+// Reads through SMM mode so page attributes (mem_X is normally unreadable)
+// cannot hide a partial write from the comparison.
+KernelSnapshot snapshot_kernel(Testbed& t) {
+  const auto& lay = t.kernel().layout();
+  KernelSnapshot s;
+  s.text.resize(t.kernel().image().text.size());
+  EXPECT_TRUE(t.machine()
+                  .mem()
+                  .read(lay.text_base, MutByteSpan(s.text.data(),
+                                                   s.text.size()),
+                        machine::AccessMode::smm())
+                  .is_ok());
+  s.data.resize(lay.data_max);
+  EXPECT_TRUE(t.machine()
+                  .mem()
+                  .read(lay.data_base, MutByteSpan(s.data.data(),
+                                                   s.data.size()),
+                        machine::AccessMode::smm())
+                  .is_ok());
+  return s;
+}
+
+bool kernel_identical(Testbed& t, const KernelSnapshot& snap) {
+  KernelSnapshot now = snapshot_kernel(t);
+  return now.text == snap.text && now.data == snap.data;
+}
+
+// ---- The campaign grid -------------------------------------------------------
+
+TEST(FaultCampaign, EveryRunAppliesOrLeavesKernelUntouched) {
+  // >= 200 seeded runs: 6 fault types x 3 rates x 12 seeds = 216. One boot
+  // per fault type; the injector is reseeded per run, and successful runs
+  // are rolled back over a clean link so every run starts from the same
+  // pre-patch kernel (CVE-2014-0196 is a type-1 patch — no variable edits —
+  // so rollback restores the kernel byte-identically).
+  const auto& c = cve::find_case("CVE-2014-0196");
+  constexpr double kRates[] = {0.1, 0.3, 0.5};
+  constexpr int kSeedsPerCell = 12;
+
+  int runs = 0;
+  int successes = 0;
+  int retried_runs = 0;
+  for (FaultType type : kAllFaultTypes) {
+    TestbedOptions opts;
+    opts.fault_plan = FaultPlan{};  // replaced per run via reset()
+    auto tb = Testbed::boot(c, opts);
+    ASSERT_TRUE(tb.is_ok()) << tb.status().to_string();
+    Testbed& t = **tb;
+    auto* inj = t.fault_injector();
+    ASSERT_NE(inj, nullptr);
+
+    KernelSnapshot snap = snapshot_kernel(t);
+    for (double rate : kRates) {
+      for (int s = 0; s < kSeedsPerCell; ++s) {
+        u64 seed = 0xCA119A16 + 1000003ull * static_cast<u64>(runs);
+        inj->reset(FaultPlan::uniform(type, rate), seed);
+        auto rep = t.kshot().live_patch(c.id);
+        ++runs;
+
+        SCOPED_TRACE(std::string(netsim::fault_type_name(type)) + " rate " +
+                     std::to_string(rate) + " seed " + std::to_string(seed));
+        if (rep.is_ok() && rep->success) {
+          ++successes;
+          EXPECT_TRUE(t.kshot().is_patched(c.entry_function));
+          EXPECT_GE(rep->resilience.fetch_attempts, 1u);
+          EXPECT_GE(rep->resilience.apply_attempts, 1u);
+          if (rep->resilience.fetch_attempts +
+                  rep->resilience.apply_attempts > 2) {
+            ++retried_runs;
+            EXPECT_GT(rep->resilience.backoff_us, 0.0);
+          }
+          // Undo over a clean link; the next run starts pristine.
+          inj->reset(FaultPlan{}, seed);
+          ASSERT_TRUE(t.kshot().rollback()->success);
+        } else {
+          EXPECT_FALSE(t.kshot().is_patched(c.entry_function));
+        }
+        // The invariant: fully applied (and rolled back above) or untouched.
+        EXPECT_TRUE(kernel_identical(t, snap));
+      }
+    }
+  }
+  EXPECT_GE(runs, 200);
+  EXPECT_GT(successes, 0);
+  // Retries must actually be happening (delay-only cells never need them,
+  // but drop/corrupt cells at 30-50% certainly do).
+  EXPECT_GT(retried_runs, 0);
+}
+
+TEST(FaultCampaign, SameSeedReproducesSameOutcome) {
+  const auto& c = cve::find_case("CVE-2014-0196");
+  struct Outcome {
+    bool ok = false;
+    bool success = false;
+    u32 fetch_attempts = 0;
+    u32 apply_attempts = 0;
+    u64 faults = 0;
+    u64 messages = 0;
+  };
+  auto run = [&](u64 fault_seed) {
+    TestbedOptions opts;
+    FaultPlan plan;
+    plan.rates.drop = 0.2;
+    plan.rates.corrupt = 0.15;
+    opts.fault_plan = plan;
+    opts.fault_seed = fault_seed;
+    auto tb = Testbed::boot(c, opts);
+    EXPECT_TRUE(tb.is_ok());
+    Testbed& t = **tb;
+    auto rep = t.kshot().live_patch(c.id);
+    Outcome o;
+    o.ok = rep.is_ok();
+    if (rep.is_ok()) {
+      o.success = rep->success;
+      o.fetch_attempts = rep->resilience.fetch_attempts;
+      o.apply_attempts = rep->resilience.apply_attempts;
+    }
+    o.faults = t.fault_injector()->fault_stats().total();
+    o.messages = t.fault_injector()->message_index();
+    return o;
+  };
+  Outcome a = run(42);
+  Outcome b = run(42);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.fetch_attempts, b.fetch_attempts);
+  EXPECT_EQ(a.apply_attempts, b.apply_attempts);
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+TEST(FaultCampaign, InjectorSameSeedSameByteSequence) {
+  FaultPlan plan;
+  plan.rates.drop = 0.1;
+  plan.rates.corrupt = 0.1;
+  plan.rates.truncate = 0.1;
+  plan.rates.duplicate = 0.1;
+  plan.rates.reorder = 0.1;
+  plan.rates.delay = 0.1;
+  netsim::FaultInjector a(plan, 7);
+  netsim::FaultInjector b(plan, 7);
+  Rng payload(99);
+  for (int i = 0; i < 300; ++i) {
+    Bytes m = payload.next_bytes(1 + payload.next_below(64));
+    EXPECT_EQ(a.transfer(Bytes(m)), b.transfer(Bytes(m)));
+  }
+  EXPECT_GT(a.fault_stats().total(), 0u);
+  EXPECT_EQ(a.fault_stats().total(), b.fault_stats().total());
+}
+
+TEST(FaultCampaign, ScriptedDropForcesExactlyOneFetchRetry) {
+  // Message 0 is the fetch request; dropping it costs one round trip and
+  // nothing else. The counters in the report must show exactly that.
+  const auto& c = cve::find_case("CVE-2014-0196");
+  TestbedOptions opts;
+  FaultPlan plan;
+  plan.script = {{0, FaultType::kDrop}};
+  opts.fault_plan = plan;
+  auto tb = Testbed::boot(c, opts);
+  ASSERT_TRUE(tb.is_ok());
+  Testbed& t = **tb;
+
+  auto rep = t.kshot().live_patch(c.id);
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+  EXPECT_TRUE(rep->success);
+  EXPECT_EQ(rep->resilience.fetch_attempts, 2u);
+  EXPECT_EQ(rep->resilience.apply_attempts, 1u);
+  EXPECT_EQ(rep->resilience.session_aborts, 0u);
+  EXPECT_GT(rep->resilience.backoff_us, 0.0);
+  EXPECT_FALSE(rep->resilience.retries_exhausted);
+  EXPECT_EQ(t.fault_injector()->fault_stats().drops, 1u);
+}
+
+// ---- Chunked path under staging faults ---------------------------------------
+
+TEST(FaultCampaign, ChunkedStreamSurvivesStagingFaults) {
+  // The sealed chunks cross the reserved region via the untrusted helper
+  // app, not the network channel; a FaultInjector plugged in as the stage
+  // tamperer garbles them there. Failed streams must abort + restage.
+  const auto& c = cve::find_case("CVE-2016-7914");  // ~15KB, ~9 chunks
+  const FaultType types[] = {FaultType::kCorrupt, FaultType::kDrop,
+                             FaultType::kDuplicate};
+  int successes = 0;
+  bool any_restage = false;
+  for (FaultType type : types) {
+    for (u64 s = 0; s < 4; ++s) {
+      auto tb = Testbed::boot(c, {});
+      ASSERT_TRUE(tb.is_ok());
+      Testbed& t = **tb;
+      netsim::FaultInjector staging(FaultPlan::uniform(type, 0.1),
+                                    0xF417 + s);
+      t.kshot().set_stage_tamperer(staging.as_tamperer());
+
+      KernelSnapshot snap = snapshot_kernel(t);
+      auto rep = t.kshot().live_patch_chunked(c.id, 2048);
+      SCOPED_TRACE(std::string(netsim::fault_type_name(type)) + " seed " +
+                   std::to_string(0xF417 + s));
+      if (rep.is_ok() && rep->success) {
+        ++successes;
+        EXPECT_TRUE(t.kshot().is_patched(c.entry_function));
+        if (rep->resilience.apply_attempts > 1) {
+          any_restage = true;
+          EXPECT_GT(rep->resilience.session_aborts, 0u);
+        }
+      } else {
+        EXPECT_EQ(t.kshot().handler().patches_applied(), 0u);
+        EXPECT_TRUE(kernel_identical(t, snap));
+      }
+    }
+  }
+  EXPECT_GT(successes, 0);
+  EXPECT_TRUE(any_restage);  // at least one run recovered via abort+restage
+}
+
+// ---- MITM on individual chunks, fail-closed without retries ------------------
+
+TEST(FaultMitm, CorruptedChunkFailsClosedWithoutRetry) {
+  const auto& c = cve::find_case("CVE-2016-7914");
+  TestbedOptions opts;
+  opts.retry_policy = RetryPolicy::none();
+  auto tb = Testbed::boot(c, opts);
+  ASSERT_TRUE(tb.is_ok());
+  Testbed& t = **tb;
+
+  FaultPlan plan;
+  plan.script = {{2, FaultType::kCorrupt}};  // garble the third chunk only
+  netsim::FaultInjector mitm(plan, 0x317F);
+  t.kshot().set_stage_tamperer(mitm.as_tamperer());
+
+  KernelSnapshot snap = snapshot_kernel(t);
+  auto rep = t.kshot().live_patch_chunked(c.id, 2048);
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+  EXPECT_FALSE(rep->success);
+  EXPECT_EQ(rep->smm_status, SmmStatus::kMacFailure);
+  EXPECT_EQ(rep->resilience.apply_attempts, 1u);
+  EXPECT_EQ(rep->resilience.session_aborts, 1u);
+  EXPECT_EQ(t.kshot().handler().patches_applied(), 0u);
+  EXPECT_TRUE(kernel_identical(t, snap));
+}
+
+TEST(FaultMitm, ReplayedStaleChunkRejectedWithoutRetry) {
+  // A stale duplicate of the previous chunk arrives in place of the next
+  // one: the per-chunk nonce ordering rejects it and nothing applies.
+  const auto& c = cve::find_case("CVE-2016-7914");
+  TestbedOptions opts;
+  opts.retry_policy = RetryPolicy::none();
+  auto tb = Testbed::boot(c, opts);
+  ASSERT_TRUE(tb.is_ok());
+  Testbed& t = **tb;
+
+  FaultPlan plan;
+  plan.script = {{2, FaultType::kDuplicate}};
+  netsim::FaultInjector mitm(plan, 0x317F);
+  t.kshot().set_stage_tamperer(mitm.as_tamperer());
+
+  KernelSnapshot snap = snapshot_kernel(t);
+  auto rep = t.kshot().live_patch_chunked(c.id, 2048);
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+  EXPECT_FALSE(rep->success);
+  EXPECT_EQ(rep->smm_status, SmmStatus::kChunkOutOfOrder);
+  EXPECT_EQ(t.kshot().handler().patches_applied(), 0u);
+  EXPECT_TRUE(kernel_identical(t, snap));
+}
+
+TEST(FaultMitm, RetryRecoversFromSingleChunkCorruption) {
+  // Same attack as CorruptedChunkFailsClosedWithoutRetry, but with the
+  // default retry budget: the second attempt streams clean and applies.
+  const auto& c = cve::find_case("CVE-2016-7914");
+  auto tb = Testbed::boot(c, {});
+  ASSERT_TRUE(tb.is_ok());
+  Testbed& t = **tb;
+
+  FaultPlan plan;
+  plan.script = {{1, FaultType::kCorrupt}};
+  netsim::FaultInjector mitm(plan, 0x317F);
+  t.kshot().set_stage_tamperer(mitm.as_tamperer());
+
+  auto rep = t.kshot().live_patch_chunked(c.id, 2048);
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+  EXPECT_TRUE(rep->success);
+  EXPECT_EQ(rep->resilience.apply_attempts, 2u);
+  EXPECT_EQ(rep->resilience.session_aborts, 1u);
+  EXPECT_GT(rep->resilience.backoff_us, 0.0);
+  EXPECT_TRUE(t.kshot().is_patched(c.entry_function));
+
+  auto exploit = t.run_exploit();
+  ASSERT_TRUE(exploit.is_ok());
+  EXPECT_FALSE(exploit->oops);
+}
+
+// ---- Single-shot path under staging faults -----------------------------------
+
+TEST(FaultMitm, TamperedSealedBlobRetriesWithFreshSession) {
+  // Corrupting the whole-package sealed blob burns the session (single-use
+  // keys); the retry must begin a new session rather than replay the old.
+  const auto& c = cve::find_case("CVE-2014-0196");
+  auto tb = Testbed::boot(c, {});
+  ASSERT_TRUE(tb.is_ok());
+  Testbed& t = **tb;
+
+  FaultPlan plan;
+  plan.script = {{0, FaultType::kCorrupt}};  // first staged blob
+  netsim::FaultInjector mitm(plan, 0x90B);
+  t.kshot().set_stage_tamperer(mitm.as_tamperer());
+
+  u64 sessions_before = t.kshot().handler().sessions_started();
+  auto rep = t.kshot().live_patch(c.id);
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+  EXPECT_TRUE(rep->success);
+  EXPECT_EQ(rep->resilience.apply_attempts, 2u);
+  EXPECT_EQ(rep->resilience.session_aborts, 1u);
+  EXPECT_EQ(t.kshot().handler().sessions_started() - sessions_before, 2u);
+  EXPECT_GT(t.kshot().handler().sessions_aborted(), 0u);
+}
+
+}  // namespace
+}  // namespace kshot::core

@@ -298,14 +298,37 @@ TEST(KexecHijack, KupBootsAttackerImage) {
 // ---- DoS detection -----------------------------------------------------------------
 
 TEST(Dos, BlockedHelperAppDetected) {
-  // The helper app is prevented from staging anything (e.g. killed by the
-  // attacker). The remote server's verification handshake with the SMM
-  // handler flags it.
+  // The helper app stages but the attacker suppresses the staging SMI, then
+  // re-enables SMIs to cover its tracks. The remote server's verification
+  // handshake with the SMM handler still flags the run: the helper claims
+  // it staged, the (unforgeable) SMM-side counter says nothing arrived.
   auto t = boot();
+  t->kshot().set_stage_tamperer(
+      [&](Bytes&) { t->machine().set_smi_blocked(true); });
+  auto r = t->kshot().live_patch(t->cve_case().id);
+  ASSERT_FALSE(r.is_ok());
+  t->kshot().clear_stage_tamperer();
+  t->machine().set_smi_blocked(false);
+
   auto rep = t->kshot().dos_check();
   ASSERT_TRUE(rep.is_ok());
   EXPECT_TRUE(rep->dos_suspected);
-  EXPECT_TRUE(rep->smm_alive);  // SMM itself is fine — only staging failed
+  EXPECT_TRUE(rep->smm_alive);  // SMM itself is fine — only staging was lost
+  EXPECT_TRUE(rep->staging_attempted);
+  EXPECT_FALSE(rep->staging_observed);
+}
+
+TEST(Dos, SuppressedSmiYieldsStaleEchoNotFakeSuccess) {
+  // Without the sequence-number echo, a gated SMI would leave the previous
+  // command's kOk in the status word and the helper would report success.
+  // With it, the pipeline sees kAborted instead.
+  auto t = boot();
+  t->machine().set_smi_blocked(true);
+  auto r = t->kshot().live_patch(t->cve_case().id);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Errc::kAborted);
+  EXPECT_GT(t->machine().suppressed_smis(), 0u);
+  EXPECT_EQ(t->kshot().handler().patches_applied(), 0u);
 }
 
 TEST(Dos, HealthySystemNotFlagged) {
