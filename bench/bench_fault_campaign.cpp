@@ -71,9 +71,7 @@ int main() {
       Snapshot snap = snapshot(t);
 
       int successes = 0;
-      u64 attempts = 0;
-      u64 aborts = 0;
-      double backoff_us = 0;
+      std::vector<double> attempts, aborts, backoff_us;
       bool invariant_held = true;
       for (int r = 0; r < kRunsPerCell; ++r) {
         u64 seed = 0xBE7C4 + 1000003ull * run_counter++;
@@ -81,10 +79,10 @@ int main() {
                                   seed);
         auto rep = t.kshot().live_patch(id);
         if (rep.is_ok()) {
-          attempts += rep->resilience.fetch_attempts +
-                      rep->resilience.apply_attempts;
-          aborts += rep->resilience.session_aborts;
-          backoff_us += rep->resilience.backoff_us;
+          attempts.push_back(rep->resilience.fetch_attempts +
+                             rep->resilience.apply_attempts);
+          aborts.push_back(rep->resilience.session_aborts);
+          backoff_us.push_back(rep->resilience.backoff_us);
         }
         if (rep.is_ok() && rep->success) {
           ++successes;
@@ -97,9 +95,9 @@ int main() {
       std::printf("%9s %5.2f | %4d %6d%% | %8.1f %9.1f %11.1f | %9s\n",
                   netsim::fault_type_name(type), rate, kRunsPerCell,
                   100 * successes / kRunsPerCell,
-                  static_cast<double>(attempts) / kRunsPerCell,
-                  static_cast<double>(aborts) / kRunsPerCell,
-                  backoff_us / kRunsPerCell,
+                  bench::stats_of(std::move(attempts)).mean,
+                  bench::stats_of(std::move(aborts)).mean,
+                  bench::stats_of(std::move(backoff_us)).mean,
                   invariant_held ? "held" : "VIOLATED");
       if (!invariant_held) return 1;
     }

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -17,43 +18,58 @@ namespace kshot::bench {
 
 struct Stats {
   double mean = 0;
+  double stddev = 0;  // population standard deviation
   double min = 0;
   double max = 0;
+  double p50 = 0;  // nearest-rank percentiles
+  double p95 = 0;
+  double p99 = 0;
   int n = 0;
 };
 
-/// Runs `fn` n times, returning stats over per-iteration wall time in us.
-inline Stats time_us(int n, const std::function<void()>& fn) {
-  Stats s;
-  s.n = n;
-  s.min = 1e300;
-  for (int i = 0; i < n; ++i) {
-    auto t0 = std::chrono::steady_clock::now();
-    fn();
-    double us = std::chrono::duration<double, std::micro>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
-    s.mean += us;
-    s.min = std::min(s.min, us);
-    s.max = std::max(s.max, us);
-  }
-  s.mean /= n;
-  return s;
+/// Nearest-rank percentile of a *sorted* sample vector.
+inline double percentile_sorted(const std::vector<double>& sorted,
+                                double pct) {
+  if (sorted.empty()) return 0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[std::min(rank, sorted.size()) - 1];
 }
 
-/// Aggregates externally collected samples.
-inline Stats stats_of(const std::vector<double>& xs) {
+/// Aggregates externally collected samples: mean, stddev, min/max, and
+/// p50/p95/p99.
+inline Stats stats_of(std::vector<double> xs) {
   Stats s;
   s.n = static_cast<int>(xs.size());
   if (xs.empty()) return s;
-  s.min = 1e300;
-  for (double x : xs) {
-    s.mean += x;
-    s.min = std::min(s.min, x);
-    s.max = std::max(s.max, x);
-  }
-  s.mean /= static_cast<double>(xs.size());
+  double sum = 0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  s.p50 = percentile_sorted(xs, 50);
+  s.p95 = percentile_sorted(xs, 95);
+  s.p99 = percentile_sorted(xs, 99);
   return s;
+}
+
+/// Runs `fn` n times, returning stats over per-iteration wall time in us.
+inline Stats time_us(int n, const std::function<void()>& fn) {
+  std::vector<double> us;
+  us.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    us.push_back(std::chrono::duration<double, std::micro>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
+  }
+  return stats_of(std::move(us));
 }
 
 inline std::string human_bytes(size_t n) {

@@ -17,6 +17,16 @@ double us_since(Clock::time_point t0) {
 }
 }  // namespace
 
+const char* patch_phase_name(PatchPhase p) {
+  switch (p) {
+    case PatchPhase::kFetching: return "FETCHING";
+    case PatchPhase::kStaged: return "STAGED";
+    case PatchPhase::kApplied: return "APPLIED";
+    case PatchPhase::kFailed: return "FAILED";
+  }
+  return "?";
+}
+
 Kshot::Kshot(kernel::Kernel& kernel, sgx::SgxRuntime& sgx,
              netsim::PatchServer& server, netsim::Channel& channel,
              u64 entropy_seed)
@@ -198,12 +208,19 @@ Result<PatchReport> Kshot::live_patch(const std::string& patch_id) {
   // ---- Fetch (SGX <-> remote server over the untrusted channel) ----------
   // Each attempt is a whole fresh round trip: requests carry a fresh nonce,
   // so a retried fetch can never be satisfied by a replayed response.
-  KSHOT_RETURN_IF_ERROR(fetch_with_retry(patch_id, report));
+  notify_phase(PatchPhase::kFetching);
+  if (Status st = fetch_with_retry(patch_id, report); !st.is_ok()) {
+    notify_phase(PatchPhase::kFailed);
+    return st;
+  }
 
   // ---- Preprocess once: deterministic, and it consumes mem_X budget ------
   auto t0 = Clock::now();
   auto prep_stats = enclave_->preprocess();
-  if (!prep_stats) return prep_stats.status();
+  if (!prep_stats) {
+    notify_phase(PatchPhase::kFailed);
+    return prep_stats.status();
+  }
   report.sgx.preprocess_us = us_since(t0);
   report.stats = *prep_stats;
 
@@ -246,11 +263,16 @@ Result<PatchReport> Kshot::live_patch(const std::string& patch_id) {
     KSHOT_RETURN_IF_ERROR(mbox.write_enclave_pub(enclave_pub));
     KSHOT_RETURN_IF_ERROR(mbox.write_staged_size(package.size()));
     report.sgx.passing_us += us_since(t1);
+    notify_phase(PatchPhase::kStaged);
 
     // SMI #2: decrypt, verify, apply.
     return trigger_and_status(SmmCommand::kApplyPatch);
   };
-  KSHOT_RETURN_IF_ERROR(apply_with_retry(attempt_once, report));
+  if (Status st = apply_with_retry(attempt_once, report); !st.is_ok()) {
+    notify_phase(PatchPhase::kFailed);
+    return st;
+  }
+  notify_phase(report.success ? PatchPhase::kApplied : PatchPhase::kFailed);
 
   const SmmPatchTimings& t = handler_->last_timings();
   const auto& cost = m.cost_model();
@@ -286,11 +308,18 @@ Result<PatchReport> Kshot::live_patch_chunked(const std::string& patch_id,
   u64 smis_before = m.smi_count();
 
   // Fetch + preprocess exactly as in the single-shot path.
-  KSHOT_RETURN_IF_ERROR(fetch_with_retry(patch_id, report));
+  notify_phase(PatchPhase::kFetching);
+  if (Status st = fetch_with_retry(patch_id, report); !st.is_ok()) {
+    notify_phase(PatchPhase::kFailed);
+    return st;
+  }
 
   auto t0 = Clock::now();
   auto prep_stats = enclave_->preprocess();
-  if (!prep_stats) return prep_stats.status();
+  if (!prep_stats) {
+    notify_phase(PatchPhase::kFailed);
+    return prep_stats.status();
+  }
   report.sgx.preprocess_us = us_since(t0);
   report.stats = *prep_stats;
 
@@ -332,15 +361,20 @@ Result<PatchReport> Kshot::live_patch_chunked(const std::string& patch_id,
       KSHOT_RETURN_IF_ERROR(mbox.write_staged_size(blob.size()));
       report.sgx.passing_us += us_since(t1);
 
+      bool last = i + 1 == chunks;
+      if (last) notify_phase(PatchPhase::kStaged);  // whole train is in
       auto status = trigger_and_status(SmmCommand::kStageChunk);
       if (!status) return status.status();
-      bool last = i + 1 == chunks;
       if (last) return *status;  // kOk applies; anything else is the failure
       if (*status != SmmStatus::kChunkAccepted) return *status;
     }
     return Status{Errc::kInternal, "package sealed to zero chunks"};
   };
-  KSHOT_RETURN_IF_ERROR(apply_with_retry(attempt_once, report));
+  if (Status st = apply_with_retry(attempt_once, report); !st.is_ok()) {
+    notify_phase(PatchPhase::kFailed);
+    return st;
+  }
+  notify_phase(report.success ? PatchPhase::kApplied : PatchPhase::kFailed);
 
   const SmmPatchTimings& t = handler_->last_timings();
   const auto& cost = m.cost_model();

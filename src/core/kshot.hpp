@@ -65,6 +65,18 @@ struct PatchReport {
   u64 downtime_cycles = 0;
 };
 
+/// Coarse pipeline phases of one live_patch run, reported through the phase
+/// observer so orchestration layers (src/fleet/) can mirror the per-target
+/// state machine off the real transitions instead of guessing.
+enum class PatchPhase : u8 {
+  kFetching = 0,  // first server round trip is about to start
+  kStaged,        // full sealed package staged in mem_W, pre-apply SMI
+  kApplied,       // transaction committed, trampolines live
+  kFailed,        // pipeline finished without applying
+};
+
+const char* patch_phase_name(PatchPhase p);
+
 struct DosCheckReport {
   bool smm_alive = false;         // heartbeat advanced when poked
   bool staging_attempted = false;  // helper app tried to stage a package
@@ -124,6 +136,13 @@ class Kshot {
   void set_retry_policy(const RetryPolicy& p) { retry_ = p; }
   [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
 
+  /// Observer invoked at each phase transition of live_patch /
+  /// live_patch_chunked (never from rollback or introspection). Runs on the
+  /// calling thread; keep it cheap and non-reentrant.
+  using PhaseObserver = std::function<void(PatchPhase)>;
+  void set_phase_observer(PhaseObserver o) { phase_observer_ = std::move(o); }
+  void clear_phase_observer() { phase_observer_ = nullptr; }
+
   /// Tamper hook over the *staging* leg (helper app -> mem_W): models a
   /// rootkit garbling sealed blobs/chunks after they leave the enclave.
   /// FaultInjector::as_tamperer() plugs in here.
@@ -164,6 +183,10 @@ class Kshot {
       const std::function<Result<SmmStatus>()>& attempt_once,
       PatchReport& report);
 
+  void notify_phase(PatchPhase p) {
+    if (phase_observer_) phase_observer_(p);
+  }
+
   /// Pause between retries: modeled time on the *running-OS* clock.
   void charge_backoff(double us, PatchReport& report);
   /// Best-effort transactional cleanup between attempts.
@@ -182,6 +205,7 @@ class Kshot {
   RetryPolicy retry_;
   Rng retry_rng_;  // jitter source, seeded from entropy_seed_
   netsim::Channel::Tamperer stage_tamperer_;
+  PhaseObserver phase_observer_;
   u64 cmd_seq_ = 0;           // helper-side SMI command sequence
   u64 staging_attempts_ = 0;  // helper-side: sealed packages we tried to pass
 };

@@ -2,6 +2,22 @@
 
 namespace kshot::core {
 
+const char* smm_status_name(SmmStatus s) {
+  switch (s) {
+    case SmmStatus::kOk: return "ok";
+    case SmmStatus::kNothingStaged: return "nothing staged";
+    case SmmStatus::kMacFailure: return "MAC failure";
+    case SmmStatus::kDigestFailure: return "digest failure";
+    case SmmStatus::kBadPackage: return "bad package";
+    case SmmStatus::kNoSession: return "no session";
+    case SmmStatus::kNothingToRollback: return "nothing to roll back";
+    case SmmStatus::kBadCommand: return "bad command";
+    case SmmStatus::kChunkAccepted: return "chunk accepted";
+    case SmmStatus::kChunkOutOfOrder: return "chunk out of order";
+  }
+  return "?";
+}
+
 Status Mailbox::write_command(SmmCommand cmd) {
   return mem_.write_u64(base_ + MailboxLayout::kCommand,
                         static_cast<u64>(cmd), mode_);

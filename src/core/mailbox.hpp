@@ -41,6 +41,9 @@ enum class SmmStatus : u64 {
   kChunkOutOfOrder = 9, // streaming: unexpected index; session aborted
 };
 
+/// Human-readable name of an SMM status code (diagnostics and reports).
+const char* smm_status_name(SmmStatus s);
+
 /// Field offsets within mem_RW.
 struct MailboxLayout {
   static constexpr u64 kCommand = 0x00;        // u64 SmmCommand

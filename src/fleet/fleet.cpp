@@ -1,0 +1,360 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace kshot::fleet {
+
+namespace {
+
+/// Runs fn(0..n-1) on up to `jobs` worker threads. Work items are claimed
+/// from an atomic counter; every item writes only its own slots, so no
+/// further synchronization is needed. jobs==1 degenerates to a plain loop.
+void parallel_for(u32 n, u32 jobs, const std::function<void(u32)>& fn) {
+  jobs = std::max<u32>(1, std::min(jobs, n));
+  if (jobs <= 1) {
+    for (u32 i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<u32> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (u32 w = 0; w < jobs; ++w) {
+    pool.emplace_back([&] {
+      for (u32 i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace
+
+const char* target_state_name(TargetState s) {
+  switch (s) {
+    case TargetState::kPending: return "PENDING";
+    case TargetState::kFetching: return "FETCHING";
+    case TargetState::kStaged: return "STAGED";
+    case TargetState::kApplied: return "APPLIED";
+    case TargetState::kFailed: return "FAILED";
+    case TargetState::kRolledBack: return "ROLLED_BACK";
+  }
+  return "?";
+}
+
+LatencyPercentiles percentiles_of(std::vector<double> samples) {
+  LatencyPercentiles p;
+  if (samples.empty()) return p;
+  std::sort(samples.begin(), samples.end());
+  auto nearest_rank = [&](double pct) {
+    size_t n = samples.size();
+    size_t rank = static_cast<size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(n)));
+    if (rank == 0) rank = 1;
+    return samples[std::min(rank, n) - 1];
+  };
+  p.p50 = nearest_rank(50);
+  p.p95 = nearest_rank(95);
+  p.p99 = nearest_rank(99);
+  return p;
+}
+
+double modeled_makespan_us(const FleetReport& report, u32 jobs) {
+  jobs = std::max<u32>(1, jobs);
+  double total = 0;
+  u32 waves = report.waves_run;
+  for (u32 w = 0; w < waves; ++w) {
+    std::vector<double> workers(jobs, 0.0);
+    for (const TargetResult& r : report.results) {
+      if (r.wave != w || r.state == TargetState::kPending) continue;
+      auto slot = std::min_element(workers.begin(), workers.end());
+      *slot += r.e2e_us;
+    }
+    total += *std::max_element(workers.begin(), workers.end());
+  }
+  return total;
+}
+
+FleetController::FleetController(FleetOptions opts)
+    : opts_(std::move(opts)) {
+  if (opts_.jobs == 0) opts_.jobs = 1;
+  for (const auto& c : cve::all_cases()) {
+    if (c.id == opts_.cve_id) {
+      case_ = c;
+      break;
+    }
+  }
+}
+
+FleetController::~FleetController() = default;
+
+u64 FleetController::target_seed(u32 i) const {
+  return opts_.base_seed + 0x9E3779B97F4A7C15ull * (i + 1);
+}
+
+testbed::Testbed* FleetController::target(u32 i) {
+  return i < targets_.size() ? targets_[i].get() : nullptr;
+}
+
+Status FleetController::boot_fleet() {
+  if (booted_) return Status::ok();
+  if (case_.id != opts_.cve_id) {
+    return Status{Errc::kNotFound, "unknown CVE id: " + opts_.cve_id};
+  }
+  server_ = std::make_unique<netsim::PatchServer>(
+      nullptr, opts_.base_seed ^ 0xF1EE7);
+  targets_.resize(opts_.targets);
+  std::vector<Status> boot_status(opts_.targets, Status::ok());
+
+  parallel_for(opts_.targets, opts_.jobs, [&](u32 i) {
+    testbed::TestbedOptions topts;
+    topts.seed = target_seed(i);
+    topts.shared_server = server_.get();
+    topts.workload_threads = opts_.workload_threads;
+    auto it = opts_.target_fault_plans.find(i);
+    if (it != opts_.target_fault_plans.end()) {
+      topts.fault_plan = it->second;
+    } else if (opts_.fault_plan) {
+      topts.fault_plan = opts_.fault_plan;
+    }
+    topts.fault_seed = topts.seed ^ 0xFA017;
+    topts.retry_policy = opts_.retry_policy;
+    auto tb = testbed::Testbed::boot(case_, std::move(topts));
+    if (!tb) {
+      boot_status[i] = tb.status();
+      return;
+    }
+    targets_[i] = std::move(*tb);
+  });
+
+  for (const Status& st : boot_status) {
+    if (!st.is_ok()) return st;
+  }
+  booted_ = true;
+  return Status::ok();
+}
+
+bool FleetController::health_check(testbed::Testbed& t,
+                                   TargetResult& out) const {
+  for (u32 probe = 0; probe < opts_.rollout.health_probes; ++probe) {
+    auto benign = t.run_benign();
+    if (!benign.is_ok() || benign->oops) {
+      out.detail = "health probe: benign syscall "
+                   + std::string(benign.is_ok() ? "oopsed" : "stuck");
+      return false;
+    }
+    auto exploit = t.run_exploit();
+    if (!exploit.is_ok() || exploit->oops) {
+      out.detail = "health probe: exploit still fires";
+      return false;
+    }
+  }
+  return true;
+}
+
+void FleetController::rollback_target(u32 index, TargetResult& out,
+                                      const char* why) {
+  testbed::Testbed& t = *targets_[index];
+  auto rb = t.kshot().rollback();
+  if (rb.is_ok() && rb->success) {
+    out.state = TargetState::kRolledBack;
+    out.detail = why;
+  } else {
+    out.detail = std::string(why) + "; rollback FAILED";
+  }
+}
+
+void FleetController::patch_one(u32 index, u32 wave, TargetResult& out) {
+  testbed::Testbed& t = *targets_[index];
+  out.index = index;
+  out.seed = target_seed(index);
+  out.wave = wave;
+
+  // Mirror the pipeline's real transitions into the per-target state.
+  t.kshot().set_phase_observer([&out](core::PatchPhase p) {
+    switch (p) {
+      case core::PatchPhase::kFetching:
+        out.state = TargetState::kFetching;
+        break;
+      case core::PatchPhase::kStaged:
+        out.state = TargetState::kStaged;
+        break;
+      case core::PatchPhase::kApplied:
+        out.state = TargetState::kApplied;
+        break;
+      case core::PatchPhase::kFailed:
+        out.state = TargetState::kFailed;
+        break;
+    }
+  });
+  double link_before = t.channel().total_latency_us();
+  auto rep = t.kshot().live_patch(case_.id);
+  t.kshot().clear_phase_observer();
+  double link_us = t.channel().total_latency_us() - link_before;
+
+  if (!rep.is_ok()) {
+    // Unrecoverable transport failure (e.g. fetch retries exhausted): the
+    // per-attempt counters died with the report; the status says why.
+    out.state = TargetState::kFailed;
+    out.detail = rep.status().to_string();
+    return;
+  }
+  out.resilience = rep->resilience;
+  if (!rep->success) {
+    out.state = TargetState::kFailed;
+    out.detail = std::string("smm: ") +
+                 core::smm_status_name(rep->smm_status);
+    return;
+  }
+  out.state = TargetState::kApplied;
+  out.downtime_us = rep->smm.modeled_total_us;
+  out.e2e_us = link_us + rep->resilience.backoff_us +
+               rep->smm.modeled_total_us;
+
+  out.healthy = health_check(t, out);
+  if (!out.healthy) rollback_target(index, out, "health check failed");
+}
+
+Result<FleetReport> FleetController::run_campaign() {
+  KSHOT_RETURN_IF_ERROR(boot_fleet());
+
+  FleetReport report;
+  report.cve_id = opts_.cve_id;
+  report.targets = opts_.targets;
+  report.jobs = opts_.jobs;
+  report.results.resize(opts_.targets);
+  for (u32 i = 0; i < opts_.targets; ++i) {
+    report.results[i].index = i;
+    report.results[i].seed = target_seed(i);
+  }
+
+  const RolloutPlan& plan = opts_.rollout;
+  u32 done = 0;
+  u32 wave_idx = 0;
+  while (done < opts_.targets) {
+    u32 wave_size = wave_idx == 0 ? std::max<u32>(1, plan.canary)
+                                  : std::max<u32>(1, plan.wave);
+    wave_size = std::min(wave_size, opts_.targets - done);
+
+    parallel_for(wave_size, opts_.jobs, [&](u32 k) {
+      patch_one(done + k, wave_idx, report.results[done + k]);
+    });
+    ++report.waves_run;
+
+    u32 failures = 0;
+    for (u32 k = 0; k < wave_size; ++k) {
+      TargetState s = report.results[done + k].state;
+      if (s == TargetState::kFailed || s == TargetState::kRolledBack) {
+        ++failures;
+      }
+    }
+    double failure_rate =
+        static_cast<double>(failures) / static_cast<double>(wave_size);
+    if (failures > 0 && failure_rate >= plan.abort_failure_rate) {
+      if (plan.rollback_failed_wave) {
+        for (u32 k = 0; k < wave_size; ++k) {
+          TargetResult& r = report.results[done + k];
+          if (r.state == TargetState::kApplied) {
+            rollback_target(done + k, r, "wave aborted");
+          }
+        }
+      }
+      report.aborted = true;
+      report.abort_wave = wave_idx;
+      KSHOT_LOG(kWarn, "fleet")
+          << "rollout aborted at wave " << wave_idx << " ("
+          << failures << "/" << wave_size << " failures)";
+      done += wave_size;
+      break;  // everything after this wave stays PENDING
+    }
+    done += wave_size;
+    ++wave_idx;
+  }
+
+  // ---- Aggregate, strictly in target-index order ---------------------------
+  std::vector<double> downtime;
+  std::vector<double> e2e;
+  for (const TargetResult& r : report.results) {
+    switch (r.state) {
+      case TargetState::kApplied:
+        ++report.applied;
+        downtime.push_back(r.downtime_us);
+        e2e.push_back(r.e2e_us);
+        break;
+      case TargetState::kFailed:
+        ++report.failed;
+        break;
+      case TargetState::kRolledBack:
+        ++report.rolled_back;
+        break;
+      default:
+        ++report.pending;
+        break;
+    }
+    report.total_fetch_attempts += r.resilience.fetch_attempts;
+    report.total_apply_attempts += r.resilience.apply_attempts;
+    if (r.resilience.fetch_attempts > 1) {
+      report.total_retries += r.resilience.fetch_attempts - 1;
+    }
+    if (r.resilience.apply_attempts > 1) {
+      report.total_retries += r.resilience.apply_attempts - 1;
+    }
+    report.total_session_aborts += r.resilience.session_aborts;
+  }
+  report.downtime_us = percentiles_of(std::move(downtime));
+  report.e2e_us = percentiles_of(std::move(e2e));
+  report.cache = server_->cache_stats();
+  report.cache_hit_rate = report.cache.patchset_hit_rate();
+  return report;
+}
+
+std::string FleetReport::to_string() const {
+  std::string out;
+  char line[256];
+  auto append = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof(line), fmt, args...);
+    out += line;
+  };
+  append("fleet campaign %s: %u targets, jobs=%u, %u wave(s)\n",
+         cve_id.c_str(), targets, jobs, waves_run);
+  append("  applied %u  failed %u  rolled_back %u  pending %u%s\n", applied,
+         failed, rolled_back, pending,
+         aborted ? "  [ABORTED]" : "");
+  if (aborted) append("  aborted at wave %u\n", abort_wave);
+  append("  attempts: fetch %llu  apply %llu  retries %llu  aborts %llu\n",
+         static_cast<unsigned long long>(total_fetch_attempts),
+         static_cast<unsigned long long>(total_apply_attempts),
+         static_cast<unsigned long long>(total_retries),
+         static_cast<unsigned long long>(total_session_aborts));
+  append("  patchset cache: %llu miss / %llu hit (%.1f%%)  image cache: "
+         "%llu miss / %llu hit\n",
+         static_cast<unsigned long long>(cache.patchset_misses),
+         static_cast<unsigned long long>(cache.patchset_hits),
+         100.0 * cache_hit_rate,
+         static_cast<unsigned long long>(cache.image_misses),
+         static_cast<unsigned long long>(cache.image_hits));
+  append("  smm downtime us: p50 %.3f  p95 %.3f  p99 %.3f\n",
+         downtime_us.p50, downtime_us.p95, downtime_us.p99);
+  append("  e2e latency us:  p50 %.3f  p95 %.3f  p99 %.3f\n", e2e_us.p50,
+         e2e_us.p95, e2e_us.p99);
+  for (const TargetResult& r : results) {
+    append("  [%3u] wave %u seed %016llx %-11s %s  fetch %u apply %u  "
+           "downtime %.3f  e2e %.3f%s%s\n",
+           r.index, r.wave, static_cast<unsigned long long>(r.seed),
+           target_state_name(r.state),
+           r.state == TargetState::kApplied
+               ? (r.healthy ? "healthy  " : "UNHEALTHY")
+               : "-        ",
+           r.resilience.fetch_attempts, r.resilience.apply_attempts,
+           r.downtime_us, r.e2e_us, r.detail.empty() ? "" : "  # ",
+           r.detail.c_str());
+  }
+  return out;
+}
+
+}  // namespace kshot::fleet

@@ -1,0 +1,176 @@
+// Fleet orchestration: concurrent live-patch campaigns across N simulated
+// targets sharing one PatchServer.
+//
+// The paper patches one machine; this layer turns the reproduction into a
+// distribution system. A FleetController boots N independent Testbeds (one
+// deployment per target, each deterministically seeded) against a single
+// thread-safe PatchServer whose build cache compiles each patch set once
+// per fleet, then drives a staged rollout through a bounded worker pool:
+//
+//   canary wave (k targets) -> health check -> full waves -> ... -> report
+//
+// Each target walks the state machine
+//
+//   PENDING -> FETCHING -> STAGED -> APPLIED | FAILED | ROLLED_BACK
+//
+// mirrored off the core pipeline's real phase transitions (Kshot's phase
+// observer). A wave whose failure fraction reaches RolloutPlan::
+// abort_failure_rate aborts the rollout: the wave's applied targets are
+// rolled back and every remaining target stays PENDING — by the pipeline's
+// transactional invariant, every non-applied kernel is byte-identical to
+// its pre-patch snapshot.
+//
+// Determinism: all numbers in a FleetReport are modeled (virtual-clock
+// downtime, modeled link latency, modeled backoff) or counters, and are
+// aggregated in target-index order, so the same seeds produce a
+// byte-identical report at any --jobs level.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "testbed/testbed.hpp"
+
+namespace kshot::fleet {
+
+enum class TargetState : u8 {
+  kPending = 0,   // not attempted (or rollout aborted before its wave)
+  kFetching,      // talking to the patch server
+  kStaged,        // sealed package staged in mem_W
+  kApplied,       // patch live and health-checked
+  kFailed,        // pipeline failed; kernel untouched (transactional)
+  kRolledBack,    // applied, then undone (health failure or wave abort)
+};
+
+const char* target_state_name(TargetState s);
+
+/// Staged-rollout policy.
+struct RolloutPlan {
+  u32 canary = 1;  // size of the first (canary) wave
+  u32 wave = 4;    // size of every later wave
+  /// Abort the rollout when a wave's failure fraction (FAILED +
+  /// health-rollbacks) reaches this; 1.01 disables aborting.
+  double abort_failure_rate = 0.5;
+  /// On abort, roll the wave's applied targets back too.
+  bool rollback_failed_wave = true;
+  /// Post-patch health probe rounds per applied target (each round: one
+  /// benign syscall must complete cleanly, one exploit must stay dead).
+  u32 health_probes = 1;
+};
+
+struct FleetOptions {
+  std::string cve_id = "CVE-2014-0196";
+  u32 targets = 4;
+  u32 jobs = 1;  // worker threads (bounded concurrency), >= 1
+  u64 base_seed = 0x5EED;
+  RolloutPlan rollout;
+  /// Channel fault plan applied to every target (clean when unset).
+  std::optional<netsim::FaultPlan> fault_plan;
+  /// Per-target overrides (e.g. make exactly one wave hostile).
+  std::map<u32, netsim::FaultPlan> target_fault_plans;
+  std::optional<core::RetryPolicy> retry_policy;
+  int workload_threads = 0;  // background workload per target
+};
+
+struct TargetResult {
+  u32 index = 0;
+  u64 seed = 0;
+  TargetState state = TargetState::kPending;
+  u32 wave = 0;          // wave the target was scheduled in
+  bool healthy = false;  // post-patch probes passed
+  core::ResilienceStats resilience;
+  double downtime_us = 0;  // modeled SMM downtime (virtual clock)
+  double e2e_us = 0;       // modeled end-to-end latency: link + backoff +
+                           // downtime
+  std::string detail;      // failure reason when not applied
+};
+
+struct LatencyPercentiles {
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// Aggregated outcome of one fleet campaign.
+struct FleetReport {
+  std::string cve_id;
+  u32 targets = 0;
+  u32 jobs = 0;
+  u32 waves_run = 0;
+
+  u32 applied = 0;
+  u32 failed = 0;
+  u32 rolled_back = 0;
+  u32 pending = 0;  // never attempted (rollout aborted first)
+
+  bool aborted = false;
+  u32 abort_wave = 0;  // wave index that tripped the abort (when aborted)
+
+  u64 total_fetch_attempts = 0;
+  u64 total_apply_attempts = 0;
+  u64 total_retries = 0;  // attempts beyond the first, both phases
+  u64 total_session_aborts = 0;
+
+  netsim::BuildCacheStats cache;
+  double cache_hit_rate = 0;  // patch-set cache
+
+  /// Over applied targets, in sorted-sample order.
+  LatencyPercentiles downtime_us;
+  LatencyPercentiles e2e_us;
+
+  std::vector<TargetResult> results;  // index order, one per target
+
+  /// Deterministic formatted summary (the determinism tests compare this
+  /// byte-for-byte across runs and --jobs levels).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Boots and drives a fleet. Targets stay alive after the campaign so tests
+/// and tools can inspect (or snapshot-compare) their kernels.
+class FleetController {
+ public:
+  explicit FleetController(FleetOptions opts);
+  ~FleetController();
+
+  FleetController(const FleetController&) = delete;
+  FleetController& operator=(const FleetController&) = delete;
+
+  /// Boots the shared server and one testbed per target (parallel, bounded
+  /// by jobs). Idempotent; run_campaign() calls it if needed.
+  Status boot_fleet();
+
+  /// Executes the staged rollout and returns the aggregated report.
+  Result<FleetReport> run_campaign();
+
+  [[nodiscard]] u32 size() const { return static_cast<u32>(targets_.size()); }
+  /// Valid after boot_fleet(); nullptr for an out-of-range index.
+  testbed::Testbed* target(u32 i);
+  netsim::PatchServer& server() { return *server_; }
+  [[nodiscard]] u64 target_seed(u32 i) const;
+
+ private:
+  void patch_one(u32 index, u32 wave, TargetResult& out);
+  bool health_check(testbed::Testbed& t, TargetResult& out) const;
+  void rollback_target(u32 index, TargetResult& out, const char* why);
+
+  FleetOptions opts_;
+  cve::CveCase case_;
+  std::unique_ptr<netsim::PatchServer> server_;
+  std::vector<std::unique_ptr<testbed::Testbed>> targets_;
+  bool booted_ = false;
+};
+
+/// p50/p95/p99 of `samples` (nearest-rank on the sorted vector; zeros when
+/// empty). Exposed for the fleet report and its tests.
+LatencyPercentiles percentiles_of(std::vector<double> samples);
+
+/// Modeled campaign makespan for a worker pool of width `jobs`: each wave's
+/// attempted targets are placed (in index order, greedy least-loaded) onto
+/// `jobs` virtual workers, with a barrier between waves; the result is the
+/// sum of per-wave spans in modeled microseconds. A pure function of the
+/// report, so concurrency scaling can be quantified deterministically even
+/// on a single physical core (where wall-clock speedup is unmeasurable).
+double modeled_makespan_us(const FleetReport& report, u32 jobs);
+
+}  // namespace kshot::fleet

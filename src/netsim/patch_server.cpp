@@ -1,7 +1,9 @@
 #include "netsim/patch_server.hpp"
 
+#include <cstdio>
 #include <cstring>
 
+#include "common/hex.hpp"
 #include "common/log.hpp"
 #include "kcc/parser.hpp"
 #include "patchtool/callgraph.hpp"
@@ -9,16 +11,64 @@
 
 namespace kshot::netsim {
 
+namespace {
+
+// Every field of CompileOptions goes into the cache key: two targets whose
+// builds differ in any way must never share an image or patch set.
+std::string options_key(const kcc::CompileOptions& o) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%llx:%llx:%d%d%d:",
+                static_cast<unsigned long long>(o.text_base),
+                static_cast<unsigned long long>(o.data_base),
+                o.enable_inlining ? 1 : 0, o.enable_ftrace ? 1 : 0,
+                o.enable_constfold ? 1 : 0);
+  return std::string(buf) + o.version;
+}
+
+}  // namespace
+
 PatchServer::PatchServer(const sgx::SgxRuntime* attestation_verifier,
                          u64 key_seed)
-    : verifier_(attestation_verifier), rng_(key_seed) {}
+    : rng_(key_seed) {
+  if (attestation_verifier != nullptr) {
+    verifiers_.push_back(attestation_verifier);
+  }
+}
+
+void PatchServer::add_verifier(const sgx::SgxRuntime* verifier) {
+  if (verifier == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto* v : verifiers_) {
+    if (v == verifier) return;
+  }
+  verifiers_.push_back(verifier);
+}
 
 void PatchServer::add_patch(PatchSource src) {
-  patches_[src.id] = std::move(src);
+  std::lock_guard<std::mutex> lock(mu_);
+  patches_.emplace(src.id, std::move(src));  // first registration wins
 }
 
 bool PatchServer::has_patch(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return patches_.count(id) > 0;
+}
+
+u64 PatchServer::rejected_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+BuildCacheStats PatchServer::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_stats_;
+}
+
+Result<PatchSource> PatchServer::find_source(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = patches_.find(id);
+  if (it == patches_.end()) return Status{Errc::kNotFound, "unknown patch"};
+  return it->second;
 }
 
 kcc::CompileOptions PatchServer::options_for(const kernel::OsInfo& os,
@@ -32,101 +82,160 @@ kcc::CompileOptions PatchServer::options_for(const kernel::OsInfo& os,
   return opts;
 }
 
+Result<kcc::KernelImage> PatchServer::image_for(
+    const std::string& id, bool post, const kcc::CompileOptions& o) const {
+  auto src = find_source(id);
+  if (!src) return src.status();
+
+  std::string key =
+      id + (post ? ":post:" : ":pre:") + options_key(o);
+  std::promise<Result<kcc::KernelImage>> promise;
+  std::shared_future<Result<kcc::KernelImage>> fut;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = image_cache_.find(key);
+    if (it != image_cache_.end()) {
+      ++cache_stats_.image_hits;
+      fut = it->second;
+    } else {
+      ++cache_stats_.image_misses;
+      builder = true;
+      fut = promise.get_future().share();
+      image_cache_.emplace(key, fut);
+    }
+  }
+  if (builder) {
+    promise.set_value(kcc::compile_source(
+        post ? src->post_source : src->pre_source, o));
+  }
+  return fut.get();
+}
+
 Result<kcc::KernelImage> PatchServer::build_pre_image(
     const std::string& id, const kcc::CompileOptions& o) const {
-  auto it = patches_.find(id);
-  if (it == patches_.end()) return Status{Errc::kNotFound, "unknown patch"};
-  return kcc::compile_source(it->second.pre_source, o);
+  return image_for(id, /*post=*/false, o);
 }
 
 Result<kcc::KernelImage> PatchServer::build_post_image(
     const std::string& id, const kcc::CompileOptions& o) const {
-  auto it = patches_.find(id);
-  if (it == patches_.end()) return Status{Errc::kNotFound, "unknown patch"};
-  return kcc::compile_source(it->second.post_source, o);
+  return image_for(id, /*post=*/true, o);
 }
 
 Result<patchtool::PatchSet> PatchServer::build_patchset(
     const std::string& id, const kernel::OsInfo& os) const {
-  auto it = patches_.find(id);
-  if (it == patches_.end()) return Status{Errc::kNotFound, "unknown patch"};
-  const PatchSource& src = it->second;
+  auto src = find_source(id);
+  if (!src) return src.status();
 
-  std::string cache_key =
-      id + ":" +
-      std::string(reinterpret_cast<const char*>(os.measurement.data()),
-                  os.measurement.size());
-  auto cached = build_cache_.find(cache_key);
-  if (cached != build_cache_.end()) return cached->second;
-
-  kcc::CompileOptions opts = options_for(os, src.kernel_version);
-  auto pre = kcc::compile_source(src.pre_source, opts);
-  if (!pre) return pre.status();
-  auto post = kcc::compile_source(src.post_source, opts);
-  if (!post) return post.status();
-
-  // Compatibility: the rebuilt pre image must be the binary the target runs.
-  if (!crypto::digest_equal(pre->measurement(), os.measurement)) {
-    return Status{Errc::kFailedPrecondition,
-                  "target kernel does not match server rebuild (version/"
-                  "config drift)"};
+  kcc::CompileOptions opts = options_for(os, src->kernel_version);
+  std::string key = id + ":" + src->kernel_version + ":" + options_key(opts) +
+                    ":" +
+                    to_hex(ByteSpan(os.measurement.data(),
+                                    os.measurement.size()));
+  std::promise<Result<patchtool::PatchSet>> promise;
+  std::shared_future<Result<patchtool::PatchSet>> fut;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = patchset_cache_.find(key);
+    if (it != patchset_cache_.end()) {
+      ++cache_stats_.patchset_hits;
+      fut = it->second;
+    } else {
+      ++cache_stats_.patchset_misses;
+      builder = true;
+      fut = promise.get_future().share();
+      patchset_cache_.emplace(key, fut);
+    }
   }
+  if (!builder) return fut.get();
 
-  auto pre_mod = kcc::parse(src.pre_source);
-  if (!pre_mod) return pre_mod.status();
-  auto post_mod = kcc::parse(src.post_source);
-  if (!post_mod) return post_mod.status();
+  auto build = [&]() -> Result<patchtool::PatchSet> {
+    auto pre = image_for(id, /*post=*/false, opts);
+    if (!pre) return pre.status();
+    auto post = image_for(id, /*post=*/true, opts);
+    if (!post) return post.status();
 
-  patchtool::BuildPatchOptions bopts;
-  bopts.id = id;
-  auto changed =
-      patchtool::source_changed_functions(*pre_mod, *post_mod);
-  bopts.source_changed.assign(changed.begin(), changed.end());
+    // Compatibility: the rebuilt pre image must be the binary the target
+    // runs.
+    if (!crypto::digest_equal(pre->measurement(), os.measurement)) {
+      return Status{Errc::kFailedPrecondition,
+                    "target kernel does not match server rebuild (version/"
+                    "config drift)"};
+    }
 
-  auto set = patchtool::build_patchset(*pre, *post, bopts);
-  if (set.is_ok()) build_cache_[cache_key] = *set;
-  return set;
+    auto pre_mod = kcc::parse(src->pre_source);
+    if (!pre_mod) return pre_mod.status();
+    auto post_mod = kcc::parse(src->post_source);
+    if (!post_mod) return post_mod.status();
+
+    patchtool::BuildPatchOptions bopts;
+    bopts.id = id;
+    auto changed = patchtool::source_changed_functions(*pre_mod, *post_mod);
+    bopts.source_changed.assign(changed.begin(), changed.end());
+
+    return patchtool::build_patchset(*pre, *post, bopts);
+  };
+  promise.set_value(build());
+  return fut.get();
 }
 
 Result<Bytes> PatchServer::handle_request(ByteSpan request_wire) {
-  auto req_r = PatchRequest::deserialize(request_wire);
-  if (!req_r) {
+  auto reject = [this](Status why) -> Result<Bytes> {
+    std::lock_guard<std::mutex> lock(mu_);
     ++rejected_;
-    return req_r.status();
-  }
+    return why;
+  };
+
+  auto req_r = PatchRequest::deserialize(request_wire);
+  if (!req_r) return reject(req_r.status());
   const PatchRequest& req = *req_r;
 
-  // 1. Attestation: the report must verify and must bind the DH key.
-  if (verifier_ == nullptr || !verifier_->verify_report(req.attestation)) {
-    ++rejected_;
-    return Status{Errc::kPermissionDenied, "enclave attestation failed"};
+  // 1. Attestation: the report must verify against one of the provisioned
+  //    platforms and must bind the DH key.
+  std::vector<const sgx::SgxRuntime*> verifiers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    verifiers = verifiers_;
+  }
+  bool attested = false;
+  for (const auto* v : verifiers) {
+    if (v != nullptr && v->verify_report(req.attestation)) {
+      attested = true;
+      break;
+    }
+  }
+  if (!attested) {
+    return reject({Errc::kPermissionDenied, "enclave attestation failed"});
   }
   if (std::memcmp(req.attestation.report_data.data(), req.client_pub.data(),
                   req.client_pub.size()) != 0) {
-    ++rejected_;
-    return Status{Errc::kPermissionDenied,
-                  "attestation does not bind the session key"};
+    return reject({Errc::kPermissionDenied,
+                   "attestation does not bind the session key"});
   }
 
-  // 2. Build the patch set.
+  // 2. Build the patch set (single-flight cached across the fleet).
   auto set = build_patchset(req.patch_id, req.os);
-  if (!set) {
-    ++rejected_;
-    return set.status();
-  }
+  if (!set) return reject(set.status());
   patchtool::PatchOp op = req.op == PatchRequest::Op::kFetchRollback
                               ? patchtool::PatchOp::kRollback
                               : patchtool::PatchOp::kPatch;
   Bytes package = patchtool::serialize_patchset(*set, op);
 
-  // 3. Seal under the DH session key.
-  crypto::DhKeyPair server_keys = crypto::dh_generate(rng_);
+  // 3. Seal under the DH session key. The RNG is shared mutable state, so
+  //    the draw happens under the lock; which request gets which ephemeral
+  //    key is scheduling-dependent, but every key works for every client.
+  crypto::DhKeyPair server_keys;
+  crypto::Nonce96 nonce{};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    server_keys = crypto::dh_generate(rng_);
+    rng_.fill(MutByteSpan(nonce.data(), nonce.size()));
+  }
   crypto::X25519Key shared =
       crypto::dh_shared(server_keys.private_key, req.client_pub);
   crypto::Key256 session = crypto::derive_key(
       ByteSpan(shared.data(), shared.size()), "server-enclave");
-  crypto::Nonce96 nonce{};
-  rng_.fill(MutByteSpan(nonce.data(), nonce.size()));
 
   PatchResponse resp;
   resp.server_pub = server_keys.public_key;

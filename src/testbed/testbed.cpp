@@ -30,8 +30,14 @@ Result<std::unique_ptr<Testbed>> Testbed::boot(const cve::CveCase& c,
   } else {
     tb->channel_ = std::make_unique<netsim::Channel>();
   }
-  tb->server_ = std::make_unique<netsim::PatchServer>(tb->sgx_.get(),
-                                                      opts.seed ^ 0x5E17E5);
+  if (opts.shared_server != nullptr) {
+    tb->server_ = opts.shared_server;
+    tb->server_->add_verifier(tb->sgx_.get());
+  } else {
+    tb->owned_server_ = std::make_unique<netsim::PatchServer>(
+        tb->sgx_.get(), opts.seed ^ 0x5E17E5);
+    tb->server_ = tb->owned_server_.get();
+  }
 
   tb->server_->add_patch(
       {c.id, c.kernel, c.pre_source, c.post_source});

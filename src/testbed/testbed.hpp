@@ -37,6 +37,12 @@ struct TestbedOptions {
   u64 fault_seed = 0xFA017;
   /// Retry policy installed on the booted Kshot (default: Kshot's default).
   std::optional<core::RetryPolicy> retry_policy;
+  /// When non-null, this testbed joins an existing fleet-wide patch server
+  /// instead of booting its own: the target's SGX platform is registered as
+  /// an accepted verifier, the CVE's patch sources are announced (idempotent
+  /// across the fleet), and the pre-image build goes through the server's
+  /// shared cache. The server must outlive the testbed.
+  netsim::PatchServer* shared_server = nullptr;
 };
 
 class Testbed {
@@ -53,6 +59,8 @@ class Testbed {
   netsim::Channel& channel() { return *channel_; }
   /// Non-null iff the testbed was booted with a fault plan.
   netsim::FaultInjector* fault_injector() { return fault_injector_; }
+  /// The patch server this deployment talks to (owned, or the fleet-shared
+  /// one from TestbedOptions::shared_server).
   netsim::PatchServer& server() { return *server_; }
   core::Kshot& kshot() { return *kshot_; }
   const cve::CveCase& cve_case() const { return case_; }
@@ -80,7 +88,8 @@ class Testbed {
   std::unique_ptr<sgx::SgxRuntime> sgx_;
   std::unique_ptr<netsim::Channel> channel_;
   netsim::FaultInjector* fault_injector_ = nullptr;  // view into channel_
-  std::unique_ptr<netsim::PatchServer> server_;
+  std::unique_ptr<netsim::PatchServer> owned_server_;
+  netsim::PatchServer* server_ = nullptr;  // owned_server_ or the shared one
   std::unique_ptr<core::Kshot> kshot_;
   kcc::KernelImage pre_image_;
 };

@@ -1,0 +1,311 @@
+// Fleet orchestration: determinism of concurrent rollouts, the shared
+// server's single-flight build cache, canary-wave abort semantics (with the
+// byte-identical invariant on every target the rollout never touched), and
+// isolation of two Testbeds patched from two threads.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "fleet/fleet.hpp"
+
+namespace kshot::fleet {
+namespace {
+
+using netsim::FaultPlan;
+using netsim::FaultType;
+
+struct KernelSnapshot {
+  Bytes text;
+  Bytes data;
+};
+
+// Reads through SMM mode so page attributes (mem_X is normally unreadable)
+// cannot hide a partial write from the comparison.
+KernelSnapshot snapshot_kernel(testbed::Testbed& t) {
+  const auto& lay = t.kernel().layout();
+  KernelSnapshot s;
+  s.text.resize(t.kernel().image().text.size());
+  EXPECT_TRUE(t.machine()
+                  .mem()
+                  .read(lay.text_base,
+                        MutByteSpan(s.text.data(), s.text.size()),
+                        machine::AccessMode::smm())
+                  .is_ok());
+  s.data.resize(lay.data_max);
+  EXPECT_TRUE(t.machine()
+                  .mem()
+                  .read(lay.data_base,
+                        MutByteSpan(s.data.data(), s.data.size()),
+                        machine::AccessMode::smm())
+                  .is_ok());
+  return s;
+}
+
+FaultPlan drop_everything() {
+  FaultPlan plan;
+  plan.rates.drop = 1.0;  // no message ever crosses the link
+  return plan;
+}
+
+// ---- Determinism -------------------------------------------------------------
+
+TEST(Fleet, SameSeedsSameJobsByteIdenticalReport) {
+  auto run = [] {
+    FleetOptions o;
+    o.targets = 4;
+    o.jobs = 2;
+    o.base_seed = 0xD17E;
+    FaultPlan mild;
+    mild.rates.drop = 0.15;
+    mild.rates.corrupt = 0.10;
+    o.fault_plan = mild;
+    FleetController fc(o);
+    auto rep = fc.run_campaign();
+    EXPECT_TRUE(rep.is_ok()) << rep.status().to_string();
+    return rep->to_string();
+  };
+  std::string a = run();
+  std::string b = run();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Fleet, ReportIndependentOfJobsLevel) {
+  // The worker-pool width changes scheduling, never outcomes: every number
+  // in the report is a counter or modeled (virtual-clock) time.
+  auto run = [](u32 jobs) {
+    FleetOptions o;
+    o.targets = 6;
+    o.jobs = jobs;
+    o.base_seed = 0xBEEF;
+    o.rollout.canary = 2;
+    o.rollout.wave = 4;
+    FleetController fc(o);
+    auto rep = fc.run_campaign();
+    EXPECT_TRUE(rep.is_ok()) << rep.status().to_string();
+    std::string s = rep->to_string();
+    // The report embeds its jobs level; normalize it away for comparison.
+    size_t pos = s.find("jobs=");
+    EXPECT_NE(pos, std::string::npos);
+    s.erase(pos, s.find(',', pos) - pos);
+    return s;
+  };
+  std::string serial = run(1);
+  std::string parallel = run(4);
+  EXPECT_EQ(serial, parallel);
+}
+
+// ---- Shared-server build cache -----------------------------------------------
+
+TEST(Fleet, PatchsetCompiledOncePerFleet) {
+  constexpr u32 kTargets = 6;
+  FleetOptions o;
+  o.targets = kTargets;
+  o.jobs = 3;
+  o.rollout.canary = kTargets;  // one wave; every target fetches once
+  FleetController fc(o);
+  auto rep = fc.run_campaign();
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+
+  EXPECT_EQ(rep->applied, kTargets);
+  for (const auto& r : rep->results) {
+    EXPECT_EQ(r.state, TargetState::kApplied);
+    EXPECT_TRUE(r.healthy);
+  }
+  // N identical targets, N fetches: 1 miss (the build) + N-1 hits.
+  EXPECT_EQ(rep->cache.patchset_misses, 1u);
+  EXPECT_EQ(rep->cache.patchset_hits, kTargets - 1);
+  EXPECT_DOUBLE_EQ(rep->cache_hit_rate,
+                   static_cast<double>(kTargets - 1) / kTargets);
+  // Boot-time pre-image compiles share the image cache the same way; the
+  // patch-set build reuses the cached pre image and compiles only the post
+  // side (pre miss at boot + post miss at build).
+  EXPECT_EQ(rep->cache.image_misses, 2u);
+  EXPECT_GE(rep->cache.image_hits, kTargets);
+  // Applied targets have measured modeled latencies.
+  EXPECT_GT(rep->downtime_us.p50, 0.0);
+  EXPECT_GE(rep->e2e_us.p50, rep->downtime_us.p50);
+}
+
+// ---- Canary / wave abort -----------------------------------------------------
+
+TEST(Fleet, FaultyWaveAbortsRolloutAndSparesTheRest) {
+  // Waves: [0,1] canary (clean), [2,3,4] all hostile (every message
+  // dropped), [5,6,7] never reached. The rollout must stop at wave 1 and
+  // every non-applied target must be byte-identical to its pre-patch self.
+  FleetOptions o;
+  o.targets = 8;
+  o.jobs = 2;
+  o.rollout.canary = 2;
+  o.rollout.wave = 3;
+  o.rollout.abort_failure_rate = 0.5;
+  for (u32 i : {2u, 3u, 4u}) o.target_fault_plans[i] = drop_everything();
+  FleetController fc(o);
+  ASSERT_TRUE(fc.boot_fleet().is_ok());
+
+  std::vector<KernelSnapshot> snaps;
+  for (u32 i = 0; i < fc.size(); ++i) {
+    snaps.push_back(snapshot_kernel(*fc.target(i)));
+  }
+
+  auto rep = fc.run_campaign();
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+
+  EXPECT_TRUE(rep->aborted);
+  EXPECT_EQ(rep->abort_wave, 1u);
+  EXPECT_EQ(rep->waves_run, 2u);
+  EXPECT_EQ(rep->applied, 2u);
+  EXPECT_EQ(rep->failed, 3u);
+  EXPECT_EQ(rep->pending, 3u);
+
+  EXPECT_EQ(rep->results[0].state, TargetState::kApplied);
+  EXPECT_EQ(rep->results[1].state, TargetState::kApplied);
+  for (u32 i : {2u, 3u, 4u}) {
+    EXPECT_EQ(rep->results[i].state, TargetState::kFailed) << i;
+  }
+  for (u32 i : {5u, 6u, 7u}) {
+    EXPECT_EQ(rep->results[i].state, TargetState::kPending) << i;
+  }
+  // The transactional invariant, fleet-wide: failed and never-attempted
+  // targets are byte-identical to their pre-patch snapshots.
+  for (u32 i : {2u, 3u, 4u, 5u, 6u, 7u}) {
+    KernelSnapshot now = snapshot_kernel(*fc.target(i));
+    EXPECT_EQ(now.text, snaps[i].text) << "target " << i;
+    EXPECT_EQ(now.data, snaps[i].data) << "target " << i;
+    EXPECT_FALSE(fc.target(i)->kshot().is_patched(
+        fc.target(i)->cve_case().entry_function))
+        << i;
+  }
+}
+
+TEST(Fleet, AbortRollsBackAppliedTargetsOfTheFailedWave) {
+  // Wave 1 = targets [1..4]: three hostile, one clean. The clean one
+  // applies, the wave fails 3/4 >= 0.5, and the abort must roll the applied
+  // one back — its kernel text returns to the pre-patch bytes.
+  FleetOptions o;
+  o.targets = 5;
+  o.jobs = 2;
+  o.rollout.canary = 1;
+  o.rollout.wave = 4;
+  o.rollout.abort_failure_rate = 0.5;
+  for (u32 i : {1u, 2u, 4u}) o.target_fault_plans[i] = drop_everything();
+  FleetController fc(o);
+  ASSERT_TRUE(fc.boot_fleet().is_ok());
+  std::vector<KernelSnapshot> snaps;
+  for (u32 i = 0; i < fc.size(); ++i) {
+    snaps.push_back(snapshot_kernel(*fc.target(i)));
+  }
+
+  auto rep = fc.run_campaign();
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+
+  EXPECT_TRUE(rep->aborted);
+  EXPECT_EQ(rep->abort_wave, 1u);
+  EXPECT_EQ(rep->applied, 1u);      // the canary
+  EXPECT_EQ(rep->failed, 3u);
+  EXPECT_EQ(rep->rolled_back, 1u);  // target 3, undone by the abort
+  EXPECT_EQ(rep->results[3].state, TargetState::kRolledBack);
+
+  // Rolled back == trampolines gone, text byte-identical to pre-patch.
+  // (Kernel *data* may legitimately differ: its health probes ran syscalls.)
+  KernelSnapshot now = snapshot_kernel(*fc.target(3));
+  EXPECT_EQ(now.text, snaps[3].text);
+  EXPECT_FALSE(
+      fc.target(3)->kshot().is_patched(fc.target(3)->cve_case().entry_function));
+}
+
+// ---- State machine surface ---------------------------------------------------
+
+TEST(Fleet, StateNamesAndPhaseObserverTransitions) {
+  EXPECT_STREQ(target_state_name(TargetState::kPending), "PENDING");
+  EXPECT_STREQ(target_state_name(TargetState::kRolledBack), "ROLLED_BACK");
+
+  // Drive one testbed by hand and record the raw pipeline transitions.
+  const auto& c = cve::find_case("CVE-2014-0196");
+  auto tb = testbed::Testbed::boot(c, {});
+  ASSERT_TRUE(tb.is_ok());
+  std::vector<core::PatchPhase> phases;
+  (*tb)->kshot().set_phase_observer(
+      [&phases](core::PatchPhase p) { phases.push_back(p); });
+  auto rep = (*tb)->kshot().live_patch(c.id);
+  ASSERT_TRUE(rep.is_ok());
+  ASSERT_TRUE(rep->success);
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0], core::PatchPhase::kFetching);
+  EXPECT_EQ(phases[1], core::PatchPhase::kStaged);
+  EXPECT_EQ(phases[2], core::PatchPhase::kApplied);
+}
+
+// ---- Percentiles helper ------------------------------------------------------
+
+TEST(Fleet, PercentilesNearestRank) {
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) xs.push_back(i);  // 1..100, reversed
+  LatencyPercentiles p = percentiles_of(std::move(xs));
+  EXPECT_DOUBLE_EQ(p.p50, 50);
+  EXPECT_DOUBLE_EQ(p.p95, 95);
+  EXPECT_DOUBLE_EQ(p.p99, 99);
+  LatencyPercentiles empty = percentiles_of({});
+  EXPECT_DOUBLE_EQ(empty.p50, 0);
+}
+
+TEST(Fleet, ModeledMakespanScalesWithWorkerPool) {
+  // One wave of 8 near-identical targets: a pool of width j divides the
+  // modeled campaign time by ~j. The makespan is a pure function of the
+  // report, so this holds on any host regardless of physical core count.
+  FleetOptions o;
+  o.targets = 8;
+  o.jobs = 2;
+  o.rollout.canary = 8;  // single wave
+  FleetController fc(o);
+  auto rep = fc.run_campaign();
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+  ASSERT_EQ(rep->applied, 8u);
+
+  double serial = modeled_makespan_us(*rep, 1);
+  double sum = 0;
+  for (const auto& r : rep->results) sum += r.e2e_us;
+  EXPECT_DOUBLE_EQ(serial, sum);  // width 1 == plain sum
+
+  double quad = modeled_makespan_us(*rep, 4);
+  EXPECT_GE(serial / quad, 2.0);
+  EXPECT_LE(modeled_makespan_us(*rep, 8), quad);
+  // More workers than targets changes nothing.
+  EXPECT_DOUBLE_EQ(modeled_makespan_us(*rep, 64),
+                   modeled_makespan_us(*rep, 8));
+}
+
+// ---- Two-thread testbed isolation --------------------------------------------
+
+TEST(Fleet, TwoTestbedsPatchConcurrentlyWithoutInterference) {
+  // Two fully independent deployments (own machines, kernels, servers)
+  // driven from two threads must produce exactly the reports they produce
+  // when run back-to-back on one thread.
+  const auto& c = cve::find_case("CVE-2014-0196");
+  auto run_one = [&](u64 seed) {
+    testbed::TestbedOptions opts;
+    opts.seed = seed;
+    auto tb = testbed::Testbed::boot(c, opts);
+    EXPECT_TRUE(tb.is_ok());
+    auto rep = (*tb)->kshot().live_patch(c.id);
+    EXPECT_TRUE(rep.is_ok() && rep->success);
+    auto exploit = (*tb)->run_exploit();
+    EXPECT_TRUE(exploit.is_ok() && !exploit->oops);
+    return rep->downtime_cycles;
+  };
+
+  u64 serial_a = run_one(0xA11CE);
+  u64 serial_b = run_one(0xB0B);
+
+  u64 threaded_a = 0, threaded_b = 0;
+  std::thread ta([&] { threaded_a = run_one(0xA11CE); });
+  std::thread tb([&] { threaded_b = run_one(0xB0B); });
+  ta.join();
+  tb.join();
+
+  EXPECT_EQ(threaded_a, serial_a);
+  EXPECT_EQ(threaded_b, serial_b);
+  EXPECT_GT(serial_a, 0u);
+}
+
+}  // namespace
+}  // namespace kshot::fleet

@@ -6,10 +6,20 @@
 //       --watchdog     arm the periodic-SMI introspection watchdog
 //       --guard        arm the kernel-text guard
 //       --kpatch       use the kpatch baseline instead of KShot
+//   kshot-sim fleet <CVE-ID> [flags]       staged rollout across N targets
+//       --targets N    fleet size (default 8)
+//       --canary K     canary wave size (default 1)
+//       --wave W       size of later waves (default 4)
+//       --abort-rate R abort threshold on a wave's failure fraction
+//       --drop R / --corrupt R   channel fault rates on every target
 //   kshot-sim disasm <CVE-ID> <function>   disassemble a kernel function
 //   kshot-sim package <CVE-ID>             show the built patch set / wire
-//   kshot-sim exploit <CVE-ID>             just demonstrate the exploit
+//
+// Shared flags (all modes):
+//   --seed S   deterministic seed (testbed RNG / fleet base seed)
+//   --jobs J   parallelism: fleet worker pool; workload threads for `patch`
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -17,6 +27,7 @@
 #include "attacks/rootkits.hpp"
 #include "baselines/kpatch_sim.hpp"
 #include "common/hex.hpp"
+#include "fleet/fleet.hpp"
 #include "isa/disasm.hpp"
 #include "patchtool/package.hpp"
 #include "testbed/testbed.hpp"
@@ -24,6 +35,12 @@
 using namespace kshot;
 
 namespace {
+
+/// Flags shared by every mode; value flags are consumed as `--name value`.
+struct CommonFlags {
+  u64 seed = 0x5EED;
+  u32 jobs = 1;
+};
 
 int cmd_list() {
   std::printf("%-16s %-9s %4s %-5s %s\n", "CVE", "kernel", "LoC", "types",
@@ -40,9 +57,9 @@ int cmd_list() {
   return 0;
 }
 
-int cmd_exploit(const std::string& id) {
+int cmd_exploit(const std::string& id, const CommonFlags& common) {
   const auto& c = cve::find_case(id);
-  auto tb = testbed::Testbed::boot(c, {});
+  auto tb = testbed::Testbed::boot(c, {.seed = common.seed});
   if (!tb.is_ok()) {
     std::fprintf(stderr, "boot failed: %s\n", tb.status().to_string().c_str());
     return 1;
@@ -58,11 +75,12 @@ int cmd_exploit(const std::string& id) {
   return 0;
 }
 
-int cmd_patch(const std::string& id, bool rootkit, bool watchdog, bool guard,
-              bool use_kpatch) {
+int cmd_patch(const std::string& id, const CommonFlags& common, bool rootkit,
+              bool watchdog, bool guard, bool use_kpatch) {
   const auto& c = cve::find_case(id);
   testbed::TestbedOptions opts;
-  opts.workload_threads = 2;
+  opts.seed = common.seed;
+  opts.workload_threads = static_cast<int>(std::max<u32>(2, common.jobs));
   if (watchdog) opts.watchdog_interval_cycles = 50'000;
   auto tb = testbed::Testbed::boot(c, opts);
   if (!tb.is_ok()) {
@@ -169,13 +187,19 @@ int cmd_package(const std::string& id) {
 }
 
 void usage() {
-  std::fprintf(stderr,
-               "usage: kshot-sim list\n"
-               "       kshot-sim exploit <CVE-ID>\n"
-               "       kshot-sim patch <CVE-ID> [--rootkit] [--watchdog] "
-               "[--guard] [--kpatch]\n"
-               "       kshot-sim disasm <CVE-ID> <function>\n"
-               "       kshot-sim package <CVE-ID>\n");
+  std::fprintf(
+      stderr,
+      "usage: kshot-sim list\n"
+      "       kshot-sim exploit <CVE-ID>\n"
+      "       kshot-sim patch <CVE-ID> [--rootkit] [--watchdog] [--guard]\n"
+      "                 [--kpatch]\n"
+      "       kshot-sim fleet <CVE-ID> [--targets N] [--canary K] [--wave W]\n"
+      "                 [--abort-rate R] [--drop R] [--corrupt R]\n"
+      "       kshot-sim disasm <CVE-ID> <function>\n"
+      "       kshot-sim package <CVE-ID>\n"
+      "shared flags: --seed S (deterministic seed, default 0x5EED)\n"
+      "              --jobs J (fleet worker pool; workload threads for "
+      "patch)\n");
 }
 
 }  // namespace
@@ -193,12 +217,59 @@ int main(int argc, char** argv) {
     }
     return false;
   };
+  // `--name value` flags; returns fallback when absent or malformed.
+  auto value_flag = [&](const char* f, double fallback) {
+    for (size_t i = 1; i + 1 < args.size(); ++i) {
+      if (args[i] == f) return std::strtod(args[i + 1].c_str(), nullptr);
+    }
+    return fallback;
+  };
+
+  CommonFlags common;
+  common.seed = static_cast<u64>(
+      value_flag("--seed", static_cast<double>(common.seed)));
+  common.jobs = static_cast<u32>(
+      std::max(1.0, value_flag("--jobs", common.jobs)));
 
   if (cmd == "list") return cmd_list();
-  if (cmd == "exploit" && args.size() >= 2) return cmd_exploit(args[1]);
+  if (cmd == "exploit" && args.size() >= 2) {
+    return cmd_exploit(args[1], common);
+  }
   if (cmd == "patch" && args.size() >= 2) {
-    return cmd_patch(args[1], has_flag("--rootkit"), has_flag("--watchdog"),
-                     has_flag("--guard"), has_flag("--kpatch"));
+    return cmd_patch(args[1], common, has_flag("--rootkit"),
+                     has_flag("--watchdog"), has_flag("--guard"),
+                     has_flag("--kpatch"));
+  }
+  if (cmd == "fleet" && args.size() >= 2) {
+    fleet::FleetOptions o;
+    o.cve_id = args[1];
+    o.base_seed = common.seed;
+    o.jobs = common.jobs;
+    o.targets = static_cast<u32>(std::max(1.0, value_flag("--targets", 8)));
+    o.rollout.canary =
+        static_cast<u32>(std::max(1.0, value_flag("--canary", 1)));
+    o.rollout.wave = static_cast<u32>(std::max(1.0, value_flag("--wave", 4)));
+    o.rollout.abort_failure_rate = value_flag("--abort-rate", 0.5);
+    double drop = value_flag("--drop", 0);
+    double corrupt = value_flag("--corrupt", 0);
+    if (drop > 0 || corrupt > 0) {
+      netsim::FaultPlan fp;
+      fp.rates.drop = drop;
+      fp.rates.corrupt = corrupt;
+      o.fault_plan = fp;
+    }
+    fleet::FleetController fc(o);
+    auto rep = fc.run_campaign();
+    if (!rep.is_ok()) {
+      std::fprintf(stderr, "fleet campaign failed: %s\n",
+                   rep.status().to_string().c_str());
+      return 1;
+    }
+    std::fputs(rep->to_string().c_str(), stdout);
+    std::printf("modeled makespan at --jobs %u: %.1f us (serial %.1f us)\n",
+                o.jobs, fleet::modeled_makespan_us(*rep, o.jobs),
+                fleet::modeled_makespan_us(*rep, 1));
+    return rep->aborted || rep->applied != rep->targets ? 1 : 0;
   }
   if (cmd == "disasm" && args.size() >= 3) return cmd_disasm(args[1], args[2]);
   if (cmd == "package" && args.size() >= 2) return cmd_package(args[1]);
