@@ -37,6 +37,39 @@ Kshot::Kshot(kernel::Kernel& kernel, sgx::SgxRuntime& sgx,
       entropy_seed_(entropy_seed),
       retry_rng_(entropy_seed ^ 0xB0FF) {}
 
+obs::MetricsRegistry& Kshot::metrics() {
+  if (!metrics_) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  return *metrics_;
+}
+
+void Kshot::set_trace(obs::TraceRecorder* trace, u32 target) {
+  trace_ = trace;
+  trace_target_ = target;
+  if (handler_) handler_->set_trace(trace_, trace_target_);
+  if (enclave_) {
+    auto* m = &kernel_.machine();
+    enclave_->set_trace(trace_, [m] { return m->cycles(); }, trace_target_);
+  }
+}
+
+void Kshot::emit_span(const char* name, u64 c0, double wall_us,
+                      std::vector<obs::TraceArg> args) {
+  if (trace_) {
+    trace_->complete("kshot", name, trace_target_, c0,
+                     kernel_.machine().cycles(), wall_us, std::move(args));
+  }
+}
+
+void Kshot::emit_instant(const char* name, std::vector<obs::TraceArg> args) {
+  if (trace_) {
+    trace_->instant("kshot", name, trace_target_, kernel_.machine().cycles(),
+                    std::move(args));
+  }
+}
+
 Status Kshot::install(u64 watchdog_interval_cycles) {
   if (installed_) return {Errc::kFailedPrecondition, "already installed"};
   auto& m = kernel_.machine();
@@ -45,7 +78,8 @@ Status Kshot::install(u64 watchdog_interval_cycles) {
   // Firmware step: SMM handler into SMRAM, optional watchdog timer, then
   // lock (D_LCK). After this, nothing — including a fully compromised
   // kernel — can replace either.
-  handler_ = std::make_unique<SmmPatchHandler>(lay, entropy_seed_ ^ 0x5A5A);
+  handler_ = std::make_unique<SmmPatchHandler>(lay, entropy_seed_ ^ 0x5A5A,
+                                               &metrics());
   SmmPatchHandler* h = handler_.get();
   KSHOT_RETURN_IF_ERROR(
       m.set_smm_handler([h](machine::Machine& mm) { h->on_smi(mm); }));
@@ -71,6 +105,9 @@ Status Kshot::install(u64 watchdog_interval_cycles) {
   KSHOT_RETURN_IF_ERROR(enclave_->initialize(geom));
 
   installed_ = true;
+  // Re-apply any trace routing configured before install so the freshly
+  // built handler/enclave emit too.
+  if (trace_) set_trace(trace_, trace_target_);
   return Status::ok();
 }
 
@@ -81,6 +118,9 @@ Result<SmmStatus> Kshot::trigger_and_status(SmmCommand cmd) {
   u64 seq = ++cmd_seq_;
   KSHOT_RETURN_IF_ERROR(mbox.write_cmd_seq(seq));
   KSHOT_RETURN_IF_ERROR(mbox.write_command(cmd));
+  emit_instant("smi_raised",
+               {{"cmd", std::to_string(static_cast<int>(cmd))},
+                {"seq", std::to_string(seq)}});
   m.trigger_smi();
   // The handler echoes the sequence number on entry. A stale echo means the
   // SMI never ran — whatever sits in the status word is from an *earlier*
@@ -116,11 +156,13 @@ Result<double> Kshot::fetch_once(const std::string& patch_id) {
 Status Kshot::fetch_with_retry(const std::string& patch_id,
                                PatchReport& report) {
   auto t0 = Clock::now();
+  u64 c0 = kernel_.machine().cycles();
   Backoff backoff(retry_, retry_rng_);
   Status last = Status::ok();
   double link_us = 0;
   for (u32 attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
     ++report.resilience.fetch_attempts;
+    metrics().counter("kshot.fetch_attempts").inc();
     auto res = fetch_once(patch_id);
     if (res) {
       link_us = *res;
@@ -128,6 +170,8 @@ Status Kshot::fetch_with_retry(const std::string& patch_id,
       break;
     }
     last = res.status();
+    emit_instant("fetch_retry", {{"attempt", std::to_string(attempt)}});
+    metrics().counter("kshot.fetch_retries").inc();
     if (!RetryPolicy::retryable(last.code())) break;
     if (attempt == retry_.max_attempts) {
       report.resilience.retries_exhausted = true;
@@ -136,14 +180,23 @@ Status Kshot::fetch_with_retry(const std::string& patch_id,
     charge_backoff(backoff.next_us(), report);
   }
   report.sgx.fetch_us = us_since(t0) + link_us;
+  emit_span("fetch", c0, report.sgx.fetch_us,
+            {{"id", patch_id},
+             {"attempts",
+              std::to_string(report.resilience.fetch_attempts)}});
+  metrics().histogram("kshot.fetch_us").observe(report.sgx.fetch_us);
   return last;
 }
 
 void Kshot::charge_backoff(double us, PatchReport& report) {
   auto& m = kernel_.machine();
+  u64 c0 = m.cycles();
   // Backoff is OS run time, never SMM downtime: charge plain cycles.
   m.charge_cycles(static_cast<u64>(us * m.cost_model().ghz * 1000.0));
   report.resilience.backoff_us += us;
+  // wall_us 0: a backoff takes no real time, only modeled (virtual) time.
+  emit_span("backoff", c0, 0.0);
+  metrics().counter("kshot.backoffs").inc();
 }
 
 void Kshot::abort_session(PatchReport& report) {
@@ -152,6 +205,7 @@ void Kshot::abort_session(PatchReport& report) {
   auto st = trigger_and_status(SmmCommand::kAbortSession);
   (void)st;
   ++report.resilience.session_aborts;
+  metrics().counter("kshot.session_aborts").inc();
 }
 
 Status Kshot::apply_with_retry(
@@ -160,6 +214,7 @@ Status Kshot::apply_with_retry(
   Backoff backoff(retry_, retry_rng_);
   for (u32 attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
     ++report.resilience.apply_attempts;
+    metrics().counter("kshot.apply_attempts").inc();
     auto res = attempt_once();
     if (res && *res == SmmStatus::kOk) {
       report.smm_status = SmmStatus::kOk;
@@ -204,6 +259,9 @@ Result<PatchReport> Kshot::live_patch(const std::string& patch_id) {
   report.id = patch_id;
   u64 smm_cycles_before = m.smm_cycles();
   u64 smis_before = m.smi_count();
+  u64 run_c0 = m.cycles();
+  auto run_t0 = Clock::now();
+  metrics().counter("kshot.live_patches").inc();
 
   // ---- Fetch (SGX <-> remote server over the untrusted channel) ----------
   // Each attempt is a whole fresh round trip: requests carry a fresh nonce,
@@ -246,6 +304,7 @@ Result<PatchReport> Kshot::live_patch(const std::string& patch_id) {
     // Passing: the untrusted app writes mem_W + mailbox. This is the leg a
     // resident rootkit can garble (modeled by the stage tamperer).
     t1 = Clock::now();
+    u64 stage_c0 = m.cycles();
     Bytes blob = std::move(*sealed);
     if (stage_tamperer_) stage_tamperer_(blob);
     if (blob.size() < 32) {
@@ -263,6 +322,8 @@ Result<PatchReport> Kshot::live_patch(const std::string& patch_id) {
     KSHOT_RETURN_IF_ERROR(mbox.write_enclave_pub(enclave_pub));
     KSHOT_RETURN_IF_ERROR(mbox.write_staged_size(package.size()));
     report.sgx.passing_us += us_since(t1);
+    emit_span("stage", stage_c0, us_since(t1),
+              {{"bytes", std::to_string(package.size())}});
     notify_phase(PatchPhase::kStaged);
 
     // SMI #2: decrypt, verify, apply.
@@ -287,6 +348,12 @@ Result<PatchReport> Kshot::live_patch(const std::string& patch_id) {
                         report.smm.switch_us;
   report.downtime_cycles = m.smm_cycles() - smm_cycles_before;
   report.smm.modeled_total_us = cost.to_us(report.downtime_cycles);
+  emit_span("live_patch", run_c0, us_since(run_t0),
+            {{"id", patch_id}, {"success", report.success ? "1" : "0"}});
+  metrics().counter(report.success ? "kshot.patch_success"
+                                   : "kshot.patch_failure").inc();
+  metrics().histogram("kshot.downtime_us").observe(
+      report.smm.modeled_total_us);
   return report;
 }
 
@@ -306,6 +373,9 @@ Result<PatchReport> Kshot::live_patch_chunked(const std::string& patch_id,
   report.id = patch_id;
   u64 smm_cycles_before = m.smm_cycles();
   u64 smis_before = m.smi_count();
+  u64 run_c0 = m.cycles();
+  auto run_t0 = Clock::now();
+  metrics().counter("kshot.live_patches").inc();
 
   // Fetch + preprocess exactly as in the single-shot path.
   notify_phase(PatchPhase::kFetching);
@@ -385,6 +455,12 @@ Result<PatchReport> Kshot::live_patch_chunked(const std::string& patch_id,
                          cost.to_us(cost.smi_entry_cycles + cost.rsm_cycles);
   report.downtime_cycles = m.smm_cycles() - smm_cycles_before;
   report.smm.modeled_total_us = cost.to_us(report.downtime_cycles);
+  emit_span("live_patch_chunked", run_c0, us_since(run_t0),
+            {{"id", patch_id}, {"success", report.success ? "1" : "0"}});
+  metrics().counter(report.success ? "kshot.patch_success"
+                                   : "kshot.patch_failure").inc();
+  metrics().histogram("kshot.downtime_us").observe(
+      report.smm.modeled_total_us);
   return report;
 }
 

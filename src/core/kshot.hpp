@@ -18,6 +18,8 @@
 #include "kernel/scheduler.hpp"
 #include "netsim/channel.hpp"
 #include "netsim/patch_server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace kshot::core {
 
@@ -151,6 +153,19 @@ class Kshot {
   }
   void clear_stage_tamperer() { stage_tamperer_ = nullptr; }
 
+  /// Backs this pipeline's counters/histograms with an external registry
+  /// (fleet aggregation). Must be called before install(); the handler and
+  /// enclave resolve their counters against it at construction.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  /// The registry in effect (external or internally owned).
+  [[nodiscard]] obs::MetricsRegistry& metrics();
+
+  /// Routes span/instant emission from every layer of this pipeline —
+  /// Kshot itself, the enclave, and the SMM handler — into `trace` (null
+  /// disables), tagging events with fleet target index `target`. May be
+  /// called before or after install().
+  void set_trace(obs::TraceRecorder* trace, u32 target = 0);
+
   [[nodiscard]] SmmPatchHandler& handler() { return *handler_; }
   [[nodiscard]] KshotEnclave& enclave() { return *enclave_; }
 
@@ -192,6 +207,11 @@ class Kshot {
   /// Best-effort transactional cleanup between attempts.
   void abort_session(PatchReport& report);
 
+  /// Emits one "kshot" span closing at the machine's current cycle.
+  void emit_span(const char* name, u64 c0, double wall_us,
+                 std::vector<obs::TraceArg> args = {});
+  void emit_instant(const char* name, std::vector<obs::TraceArg> args = {});
+
   kernel::Kernel& kernel_;
   sgx::SgxRuntime& sgx_;
   netsim::PatchServer& server_;
@@ -201,6 +221,11 @@ class Kshot {
   std::unique_ptr<SmmPatchHandler> handler_;
   std::unique_ptr<KshotEnclave> enclave_;
   bool installed_ = false;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  u32 trace_target_ = 0;
 
   RetryPolicy retry_;
   Rng retry_rng_;  // jitter source, seeded from entropy_seed_

@@ -1,5 +1,6 @@
 #include "core/kshot_enclave.hpp"
 
+#include <chrono>
 #include <cstring>
 
 #include "common/byte_io.hpp"
@@ -117,6 +118,30 @@ Result<Bytes> KshotEnclave::get_chunk(u32 index) {
 // ---- ECALL dispatch --------------------------------------------------------
 
 Result<Bytes> KshotEnclave::handle_ecall(int fn, ByteSpan input) {
+  if (!trace_) return dispatch_ecall(fn, input);
+  const char* name = "ecall";
+  switch (fn) {
+    case kEcallInitialize: name = "initialize"; break;
+    case kEcallBeginFetch: name = "begin_fetch"; break;
+    case kEcallFinishFetch: name = "finish_fetch"; break;
+    case kEcallPreprocess: name = "preprocess"; break;
+    case kEcallSeal: name = "seal"; break;
+    case kEcallBeginSealChunked: name = "begin_seal_chunked"; break;
+    case kEcallGetChunk: name = "get_chunk"; break;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  u64 c0 = vclock_ ? vclock_() : 0;
+  auto result = dispatch_ecall(fn, input);
+  double wall_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  trace_->complete("enclave", name, trace_target_, c0,
+                   vclock_ ? vclock_() : c0, wall_us,
+                   {{"ok", result.is_ok() ? "1" : "0"}});
+  return result;
+}
+
+Result<Bytes> KshotEnclave::dispatch_ecall(int fn, ByteSpan input) {
   switch (fn) {
     case kEcallInitialize: {
       auto g = ReservedGeometry::deserialize(input);

@@ -13,9 +13,12 @@
 //                          for the app to place in mem_W / mem_RW
 #pragma once
 
+#include <functional>
+
 #include "core/mailbox.hpp"
 #include "kernel/kernel.hpp"
 #include "netsim/protocol.hpp"
+#include "obs/trace.hpp"
 #include "patchtool/package.hpp"
 #include "sgx/sgx.hpp"
 
@@ -79,10 +82,22 @@ class KshotEnclave final : public sgx::Enclave {
   /// Resets the mem_X layout cursor (fresh reserved region).
   void reset_mem_x_cursor() { mem_x_cursor_ = 0; }
 
+  /// Emits one "enclave" span per ecall into `trace` (null disables).
+  /// `vclock` supplies the machine's modeled cycle counter — the enclave has
+  /// no machine reference of its own — so enclave spans share the same
+  /// virtual timeline as the SMM handler's.
+  void set_trace(obs::TraceRecorder* trace, std::function<u64()> vclock,
+                 u32 target = 0) {
+    trace_ = trace;
+    vclock_ = std::move(vclock);
+    trace_target_ = target;
+  }
+
  protected:
   Result<Bytes> handle_ecall(int fn, ByteSpan input) override;
 
  private:
+  Result<Bytes> dispatch_ecall(int fn, ByteSpan input);
   Result<Bytes> do_begin_fetch(ByteSpan input);
   Result<Bytes> do_finish_fetch(ByteSpan input);
   Result<Bytes> do_preprocess();
@@ -112,6 +127,11 @@ class KshotEnclave final : public sgx::Enclave {
   crypto::Key256 chunk_key_{};
   u32 chunk_plain_bytes_ = 0;
   u32 chunk_count_ = 0;
+
+  // Observability.
+  obs::TraceRecorder* trace_ = nullptr;
+  std::function<u64()> vclock_;
+  u32 trace_target_ = 0;
 };
 
 }  // namespace kshot::core

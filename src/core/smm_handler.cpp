@@ -28,10 +28,43 @@ std::array<u8, 5> make_jmp(u64 jmp_addr, u64 target) {
 
 }  // namespace
 
-SmmPatchHandler::SmmPatchHandler(kernel::MemoryLayout layout, u64 entropy_seed)
-    : layout_(layout), rng_(entropy_seed) {}
+SmmPatchHandler::SmmPatchHandler(kernel::MemoryLayout layout, u64 entropy_seed,
+                                 obs::MetricsRegistry* metrics)
+    : layout_(layout), rng_(entropy_seed), metrics_(metrics) {
+  if (!metrics_) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  c_sessions_ = &metrics_->counter("smm.sessions");
+  c_applied_ = &metrics_->counter("smm.applied");
+  c_rollbacks_ = &metrics_->counter("smm.rollbacks");
+  c_stagings_ = &metrics_->counter("smm.stagings_seen");
+  c_aborts_ = &metrics_->counter("smm.aborts");
+}
+
+double SmmPatchHandler::phase_span(machine::Machine& m, const char* name,
+                                   u64 c0, Clock::time_point t0) {
+  double ns = ns_since(t0);
+  if (trace_) {
+    trace_->complete("smm", name, trace_target_, c0, m.cycles(), ns / 1000.0);
+  }
+  return ns;
+}
+
+void SmmPatchHandler::emit_instant(machine::Machine& m, const char* name,
+                                   std::vector<obs::TraceArg> args) {
+  if (trace_) {
+    trace_->instant("smm", name, trace_target_, m.cycles(), std::move(args));
+  }
+}
 
 void SmmPatchHandler::on_smi(machine::Machine& m) {
+  // The machine charged smi_entry_cycles before dispatching here and will
+  // charge rsm_cycles on return, so the full residency span is known now.
+  const auto& cost = m.cost_model();
+  const u64 smi_begin = m.cycles() - cost.smi_entry_cycles;
+  const auto smi_t0 = Clock::now();
+
   Mailbox mbox(m.mem(), layout_.mem_rw_base(), machine::AccessMode::smm());
   mbox.bump_heartbeat();
   // Echo the helper app's command sequence number: after trigger_smi()
@@ -43,35 +76,52 @@ void SmmPatchHandler::on_smi(machine::Machine& m) {
   if (auto seq = mbox.read_cmd_seq()) mbox.write_cmd_seq_echo(*seq);
 
   auto cmd = mbox.read_command();
-  if (!cmd) return;
-  switch (*cmd) {
-    case SmmCommand::kIdle:
-      // Watchdog SMI: nothing requested, so guard the installed patches.
-      if (introspect_on_idle_) introspect(m);
-      return;
-    case SmmCommand::kBeginSession:
-      begin_session(m, mbox);
-      mbox.write_status(SmmStatus::kOk);
-      break;
-    case SmmCommand::kApplyPatch:
-      mbox.write_status(apply_patch(m, mbox));
-      break;
-    case SmmCommand::kStageChunk:
-      mbox.write_status(stage_chunk(m, mbox));
-      break;
-    case SmmCommand::kRollback:
-      mbox.write_status(rollback(m));
-      break;
-    case SmmCommand::kIntrospect:
-      introspect(m);
-      mbox.write_status(SmmStatus::kOk);
-      break;
-    case SmmCommand::kAbortSession:
-      abort_session(mbox);
-      mbox.write_status(SmmStatus::kOk);
-      break;
+  const char* cmd_name = "none";
+  if (cmd) {
+    switch (*cmd) {
+      case SmmCommand::kIdle:
+        // Watchdog SMI: nothing requested, so guard the installed patches.
+        cmd_name = "idle";
+        if (introspect_on_idle_) introspect(m);
+        break;
+      case SmmCommand::kBeginSession:
+        cmd_name = "begin_session";
+        begin_session(m, mbox);
+        mbox.write_status(SmmStatus::kOk);
+        break;
+      case SmmCommand::kApplyPatch:
+        cmd_name = "apply_patch";
+        mbox.write_status(apply_patch(m, mbox));
+        break;
+      case SmmCommand::kStageChunk:
+        cmd_name = "stage_chunk";
+        mbox.write_status(stage_chunk(m, mbox));
+        break;
+      case SmmCommand::kRollback:
+        cmd_name = "rollback";
+        mbox.write_status(rollback(m));
+        break;
+      case SmmCommand::kIntrospect:
+        cmd_name = "introspect";
+        introspect(m);
+        mbox.write_status(SmmStatus::kOk);
+        break;
+      case SmmCommand::kAbortSession:
+        cmd_name = "abort_session";
+        abort_session(mbox);
+        mbox.write_status(SmmStatus::kOk);
+        break;
+    }
+    if (*cmd != SmmCommand::kIdle) mbox.write_command(SmmCommand::kIdle);
   }
-  mbox.write_command(SmmCommand::kIdle);
+
+  if (trace_) {
+    // The span closes at the cycle RSM will complete, so the sum of "smi"
+    // spans equals the machine's total SMM residency exactly.
+    trace_->complete("smm", "smi", trace_target_, smi_begin,
+                     m.cycles() + cost.rsm_cycles, ns_since(smi_t0) / 1000.0,
+                     {{"cmd", cmd_name}});
+  }
 }
 
 void SmmPatchHandler::reset_stream() {
@@ -84,21 +134,22 @@ void SmmPatchHandler::reset_stream() {
 void SmmPatchHandler::abort_session(Mailbox& mbox) {
   session_keys_.reset();
   reset_stream();
-  ++aborts_;
+  c_aborts_->inc();
   mbox.write_session_epoch(++session_epoch_);
 }
 
 void SmmPatchHandler::begin_session(machine::Machine& m, Mailbox& mbox) {
   auto t0 = Clock::now();
+  u64 c0 = m.cycles();
   session_keys_ = crypto::dh_generate(rng_);
-  timings_.keygen_ns = ns_since(t0);
   m.charge_cycles(m.cost_model().keygen_cycles);
+  timings_.keygen_ns = phase_span(m, "keygen", c0, t0);
 
   // A new session implicitly supersedes any partial chunk stream: the old
   // stream's key is gone, so it could never complete anyway.
   reset_stream();
 
-  ++sessions_;
+  c_sessions_->inc();
   ++session_id_;
   mbox.write_smm_pub(session_keys_->public_key);
   mbox.write_session_id(session_id_);
@@ -106,15 +157,22 @@ void SmmPatchHandler::begin_session(machine::Machine& m, Mailbox& mbox) {
 }
 
 bool SmmPatchHandler::bounds_ok(const patchtool::FunctionPatch& p) const {
+  // All comparisons are in `offset/size <= remaining` form: the natural
+  // `base + size > end` wraps for an attacker-chosen base near UINT64_MAX
+  // and sails past the end check.
   u64 memx_base = layout_.mem_x_base();
-  u64 memx_end = memx_base + layout_.mem_x_size;
-  if (p.paddr < memx_base || p.paddr + p.code.size() > memx_end) return false;
+  u64 memx_size = layout_.mem_x_size;
+  if (p.paddr < memx_base) return false;
+  u64 memx_off = p.paddr - memx_base;
+  if (memx_off > memx_size || p.code.size() > memx_size - memx_off) {
+    return false;
+  }
   if (p.taddr != 0) {
-    u64 text_end = layout_.text_base + layout_.text_max;
-    if (p.taddr < layout_.text_base ||
-        p.taddr + p.ftrace_off + 5 > text_end) {
-      return false;
-    }
+    if (p.taddr < layout_.text_base) return false;
+    u64 text_off = p.taddr - layout_.text_base;
+    if (text_off > layout_.text_max) return false;
+    u64 entry_span = static_cast<u64>(p.ftrace_off) + 5;  // u16 + 5: no wrap
+    if (entry_span > layout_.text_max - text_off) return false;
   }
   return true;
 }
@@ -123,7 +181,7 @@ SmmStatus SmmPatchHandler::apply_patch(machine::Machine& m, Mailbox& mbox) {
   const auto mode = machine::AccessMode::smm();
   const auto& cost = m.cost_model();
 
-  ++stagings_seen_;
+  c_stagings_->inc();
   if (!session_keys_.has_value()) return SmmStatus::kNoSession;
   auto staged = mbox.read_staged_size();
   if (!staged || *staged == 0) return SmmStatus::kNothingStaged;
@@ -131,6 +189,7 @@ SmmStatus SmmPatchHandler::apply_patch(machine::Machine& m, Mailbox& mbox) {
 
   // ---- Data fetching + decryption (Table III "Data Decryption") ----------
   auto t0 = Clock::now();
+  u64 c0 = m.cycles();
   auto sealed_wire = m.mem().read_bytes(layout_.mem_w_base(), *staged, mode);
   if (!sealed_wire) return SmmStatus::kBadPackage;
   auto enclave_pub = mbox.read_enclave_pub();
@@ -148,11 +207,12 @@ SmmStatus SmmPatchHandler::apply_patch(machine::Machine& m, Mailbox& mbox) {
     return SmmStatus::kMacFailure;
   }
   auto package = crypto::open(key, *box);
-  timings_.decrypt_ns = ns_since(t0);
   m.charge_cycles(cost.bytes_cost(cost.decrypt_cycles_per_byte, *staged));
+  timings_.decrypt_ns = phase_span(m, "decrypt", c0, t0);
   if (!package) {
     // MAC failure: tampered mem_W or a replayed blob from an old session.
     session_keys_.reset();
+    emit_instant(m, "mac_failure");
     return SmmStatus::kMacFailure;
   }
 
@@ -171,33 +231,47 @@ SmmStatus SmmPatchHandler::verify_and_apply(machine::Machine& m,
   // ---- Patch verification (Table III "Patch Verification": SHA-2 digest
   //      over the package plus per-function CRCs, done by the parser) ------
   auto t0 = Clock::now();
+  u64 c0 = m.cycles();
   auto set = patchtool::parse_patchset(package);
-  timings_.verify_ns = ns_since(t0);
   m.charge_cycles(cost.verify_fixed_cycles +
                   cost.bytes_cost(cost.verify_cycles_per_byte,
                                   package.size()));
+  timings_.verify_ns = phase_span(m, "verify", c0, t0);
   if (!set) {
-    return set.status().code() == Errc::kIntegrityFailure
-               ? SmmStatus::kDigestFailure
-               : SmmStatus::kBadPackage;
+    bool digest = set.status().code() == Errc::kIntegrityFailure;
+    emit_instant(m, digest ? "digest_failure" : "bad_package");
+    return digest ? SmmStatus::kDigestFailure : SmmStatus::kBadPackage;
   }
 
   timings_.package_bytes = package.size();
   timings_.code_bytes = set->total_code_bytes();
   timings_.functions = static_cast<u32>(set->patches.size());
 
+  // A package is either all-apply or all-rollback. The old first-entry
+  // sniff silently dropped the apply entries of a mixed package while
+  // reporting kOk — reject the mix outright instead.
+  bool any_rollback = false;
+  bool any_apply = false;
+  for (const auto& p : set->patches) {
+    (p.op == patchtool::PatchOp::kRollback ? any_rollback : any_apply) = true;
+  }
+  if (any_rollback && any_apply) {
+    emit_instant(m, "mixed_op_package");
+    return SmmStatus::kBadPackage;
+  }
+
   // ---- Patch application (Table III "Patch Application") ------------------
   t0 = Clock::now();
+  c0 = m.cycles();
   SmmStatus st;
-  if (!set->patches.empty() &&
-      set->patches[0].op == patchtool::PatchOp::kRollback) {
+  if (any_rollback) {
     st = rollback_parsed(m, *set);
   } else {
     st = apply_parsed(m, *set);
   }
-  timings_.apply_ns = ns_since(t0);
   m.charge_cycles(cost.bytes_cost(cost.apply_cycles_per_byte,
                                   set->total_code_bytes()));
+  timings_.apply_ns = phase_span(m, "apply", c0, t0);
   timings_.modeled_cycles =
       cost.keygen_cycles +
       cost.bytes_cost(cost.decrypt_cycles_per_byte, staged_bytes) +
@@ -214,7 +288,7 @@ SmmStatus SmmPatchHandler::stage_chunk(machine::Machine& m, Mailbox& mbox) {
 
   auto abort_stream = [&]() { reset_stream(); };
 
-  ++stagings_seen_;
+  c_stagings_->inc();
   // First chunk: consume the session key and derive the stream key.
   if (!stream_key_.has_value()) {
     if (!session_keys_.has_value()) return SmmStatus::kNoSession;
@@ -355,22 +429,33 @@ SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
   //    jmp lands *after* it, and targets the patched body past its own pad.
   //    On any failure, restore the entries already rewritten plus the
   //    variable edits — the kernel ends byte-identical to its pre-SMI state.
+  auto unwind_trampolines = [&](size_t upto) {
+    for (size_t j = 0; j < upto; ++j) {
+      const auto& done = batch[j];
+      if (done.taddr == 0) continue;
+      m.mem().write(done.taddr + done.ftrace_off,
+                    ByteSpan(done.original_entry.data(), 5), mode);
+    }
+  };
   for (size_t i = 0; i < batch.size(); ++i) {
     auto& inst = batch[i];
     if (inst.taddr == 0) continue;  // new mem_X-only helper: no trampoline
     u64 jmp_addr = inst.taddr + inst.ftrace_off;
     u64 target = inst.paddr + inst.ftrace_off;
-    m.mem().read(jmp_addr,
-                 MutByteSpan(inst.original_entry.data(), 5), mode);
+    // The captured entry bytes are what rollback and introspection later
+    // write back into kernel text; committing a patch whose capture failed
+    // would make rollback write five zero bytes over live instructions.
+    Status rd = m.mem().read(jmp_addr,
+                             MutByteSpan(inst.original_entry.data(), 5), mode);
+    if (!rd.is_ok()) {
+      unwind_trampolines(i);
+      unwind_vars();
+      return SmmStatus::kBadPackage;
+    }
     inst.trampoline = make_jmp(jmp_addr, target);
     Status st = write_trampoline(m, inst);
     if (!st.is_ok()) {
-      for (size_t j = 0; j < i; ++j) {
-        const auto& done = batch[j];
-        if (done.taddr == 0) continue;
-        m.mem().write(done.taddr + done.ftrace_off,
-                      ByteSpan(done.original_entry.data(), 5), mode);
-      }
+      unwind_trampolines(i);
       unwind_vars();
       return SmmStatus::kBadPackage;
     }
@@ -382,7 +467,9 @@ SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
     last_apply_indices_.push_back(installed_.size());
     installed_.push_back(std::move(inst));
   }
-  ++applied_;
+  c_applied_->inc();
+  metrics_->histogram("smm.code_bytes").observe(
+      static_cast<double>(set.total_code_bytes()));
   KSHOT_LOG(kInfo, "smm") << "applied " << set.id << ": "
                           << set.patches.size() << " function(s)";
   return SmmStatus::kOk;
@@ -402,6 +489,8 @@ SmmStatus SmmPatchHandler::rollback_parsed(machine::Machine& m,
 }
 
 SmmStatus SmmPatchHandler::rollback(machine::Machine& m) {
+  auto t0 = Clock::now();
+  u64 c0 = m.cycles();
   if (last_apply_indices_.empty()) return SmmStatus::kNothingToRollback;
   // Restore original entries in reverse order.
   for (auto it = last_apply_indices_.rbegin();
@@ -419,7 +508,8 @@ SmmStatus SmmPatchHandler::rollback(machine::Machine& m) {
     installed_.erase(installed_.begin() + static_cast<std::ptrdiff_t>(*it));
   }
   last_apply_indices_.clear();
-  ++rollbacks_;
+  c_rollbacks_->inc();
+  phase_span(m, "rollback", c0, t0);
   KSHOT_LOG(kInfo, "smm") << "rolled back last patch";
   return SmmStatus::kOk;
 }
@@ -437,6 +527,8 @@ Status SmmPatchHandler::arm_kernel_guard(machine::Machine& m,
 
 void SmmPatchHandler::introspect(machine::Machine& m) {
   const auto mode = machine::AccessMode::smm();
+  auto t0 = Clock::now();
+  u64 c0 = m.cycles();
   IntrospectionReport rep;
   rep.patches_checked = static_cast<u32>(installed_.size());
 
@@ -512,7 +604,13 @@ void SmmPatchHandler::introspect(machine::Machine& m) {
   }
 
   last_introspection_ = rep;
+  phase_span(m, "introspect", c0, t0);
   if (!rep.clean()) {
+    emit_instant(m, "tampering_repaired",
+                 {{"trampolines", std::to_string(rep.trampolines_reverted)},
+                  {"bodies", std::to_string(rep.memx_tampered)},
+                  {"pages", std::to_string(rep.attrs_restored)},
+                  {"text_bytes", std::to_string(rep.text_bytes_restored)}});
     KSHOT_LOG(kWarn, "smm") << "introspection repaired tampering: "
                             << rep.trampolines_reverted << " trampolines, "
                             << rep.memx_tampered << " bodies, "

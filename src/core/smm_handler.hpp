@@ -15,6 +15,7 @@
 #pragma once
 
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -22,12 +23,16 @@
 #include "crypto/aead.hpp"
 #include "kernel/layout.hpp"
 #include "machine/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "patchtool/package.hpp"
 
 namespace kshot::core {
 
 /// Wall-clock nanoseconds of each SMM phase during the last kApplyPatch,
-/// plus the modeled virtual-time charges (Table III columns).
+/// plus the modeled virtual-time charges (Table III columns). Since the obs
+/// layer landed this struct is derived from the phase spans the handler
+/// emits — each *_ns field is the wall duration of the matching "smm" span.
 struct SmmPatchTimings {
   double keygen_ns = 0;       // measured in the last kBeginSession
   double decrypt_ns = 0;      // mem_W read + DH shared secret + ChaCha20/MAC
@@ -73,10 +78,20 @@ struct MutableWindow {
 
 class SmmPatchHandler {
  public:
-  explicit SmmPatchHandler(kernel::MemoryLayout layout, u64 entropy_seed);
+  /// `metrics` backs the handler's counters; pass null to let the handler
+  /// own a private registry (standalone/test use).
+  explicit SmmPatchHandler(kernel::MemoryLayout layout, u64 entropy_seed,
+                           obs::MetricsRegistry* metrics = nullptr);
 
   /// The entry point registered with Machine::set_smm_handler.
   void on_smi(machine::Machine& m);
+
+  /// Directs span/instant emission into `trace` (null disables), tagging
+  /// events with fleet target index `target`.
+  void set_trace(obs::TraceRecorder* trace, u32 target = 0) {
+    trace_ = trace;
+    trace_target_ = target;
+  }
 
   /// Firmware configuration: run an introspection sweep on SMIs that carry
   /// no command (the periodic watchdog SMIs).
@@ -103,14 +118,16 @@ class SmmPatchHandler {
   [[nodiscard]] const IntrospectionReport& last_introspection() const {
     return last_introspection_;
   }
-  [[nodiscard]] u64 sessions_started() const { return sessions_; }
-  [[nodiscard]] u64 patches_applied() const { return applied_; }
-  [[nodiscard]] u64 rollbacks() const { return rollbacks_; }
+  // Counters are backed by the obs registry ("smm.*" namespace); these
+  // accessors remain the SMM-side ground truth the DoS handshake reads.
+  [[nodiscard]] u64 sessions_started() const { return c_sessions_->value(); }
+  [[nodiscard]] u64 patches_applied() const { return c_applied_->value(); }
+  [[nodiscard]] u64 rollbacks() const { return c_rollbacks_->value(); }
   /// Apply/stage-chunk commands the handler has seen, successful or not —
   /// SMM-side proof that the helper app's staging reached SMM at all (the
   /// DoS-detection handshake's ground truth).
-  [[nodiscard]] u64 stagings_seen() const { return stagings_seen_; }
-  [[nodiscard]] u64 sessions_aborted() const { return aborts_; }
+  [[nodiscard]] u64 stagings_seen() const { return c_stagings_->value(); }
+  [[nodiscard]] u64 sessions_aborted() const { return c_aborts_->value(); }
   /// Transaction id: bumped on every session begin and abort.
   [[nodiscard]] u64 session_epoch() const { return session_epoch_; }
 
@@ -136,6 +153,14 @@ class SmmPatchHandler {
                          const patchtool::PatchSet& set);
   SmmStatus rollback_parsed(machine::Machine& m,
                             const patchtool::PatchSet& set);
+
+  /// Emits one "smm" span [c0, m.cycles()] named `name` and returns its
+  /// wall-clock duration in ns — the value the SmmPatchTimings fields are
+  /// derived from.
+  double phase_span(machine::Machine& m, const char* name, u64 c0,
+                    std::chrono::steady_clock::time_point t0);
+  void emit_instant(machine::Machine& m, const char* name,
+                    std::vector<obs::TraceArg> args = {});
 
   Status write_trampoline(machine::Machine& m, const InstalledPatch& p);
   [[nodiscard]] bool bounds_ok(const patchtool::FunctionPatch& p) const;
@@ -166,12 +191,19 @@ class SmmPatchHandler {
 
   SmmPatchTimings timings_;
   IntrospectionReport last_introspection_;
-  u64 sessions_ = 0;
-  u64 applied_ = 0;
-  u64 rollbacks_ = 0;
-  u64 stagings_seen_ = 0;
-  u64 aborts_ = 0;
   u64 session_epoch_ = 0;
+
+  // Observability. The registry hands out stable references, so the hot
+  // counters are resolved once at construction.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* c_sessions_ = nullptr;
+  obs::Counter* c_applied_ = nullptr;
+  obs::Counter* c_rollbacks_ = nullptr;
+  obs::Counter* c_stagings_ = nullptr;
+  obs::Counter* c_aborts_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  u32 trace_target_ = 0;
 };
 
 }  // namespace kshot::core

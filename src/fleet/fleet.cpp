@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <iterator>
 #include <thread>
 
 #include "common/log.hpp"
@@ -107,7 +108,14 @@ Status FleetController::boot_fleet() {
     return Status{Errc::kNotFound, "unknown CVE id: " + opts_.cve_id};
   }
   server_ = std::make_unique<netsim::PatchServer>(
-      nullptr, opts_.base_seed ^ 0xF1EE7);
+      nullptr, opts_.base_seed ^ 0xF1EE7, &metrics_);
+  if (opts_.capture_trace) {
+    server_->set_trace(&shared_trace_);
+    target_traces_.resize(opts_.targets);
+    for (u32 i = 0; i < opts_.targets; ++i) {
+      target_traces_[i] = std::make_unique<obs::TraceRecorder>();
+    }
+  }
   targets_.resize(opts_.targets);
   std::vector<Status> boot_status(opts_.targets, Status::ok());
 
@@ -116,6 +124,11 @@ Status FleetController::boot_fleet() {
     topts.seed = target_seed(i);
     topts.shared_server = server_.get();
     topts.workload_threads = opts_.workload_threads;
+    topts.metrics = &metrics_;
+    if (opts_.capture_trace) {
+      topts.trace = target_traces_[i].get();
+      topts.trace_target = i;
+    }
     auto it = opts_.target_fault_plans.find(i);
     if (it != opts_.target_fault_plans.end()) {
       topts.fault_plan = it->second;
@@ -175,8 +188,11 @@ void FleetController::patch_one(u32 index, u32 wave, TargetResult& out) {
   out.seed = target_seed(index);
   out.wave = wave;
 
-  // Mirror the pipeline's real transitions into the per-target state.
-  t.kshot().set_phase_observer([&out](core::PatchPhase p) {
+  // Mirror the pipeline's real transitions into the per-target state, and
+  // record each one as a per-target fleet event on the virtual clock.
+  obs::TraceRecorder* tr =
+      index < target_traces_.size() ? target_traces_[index].get() : nullptr;
+  t.kshot().set_phase_observer([&out, &t, tr, index](core::PatchPhase p) {
     switch (p) {
       case core::PatchPhase::kFetching:
         out.state = TargetState::kFetching;
@@ -190,6 +206,10 @@ void FleetController::patch_one(u32 index, u32 wave, TargetResult& out) {
       case core::PatchPhase::kFailed:
         out.state = TargetState::kFailed;
         break;
+    }
+    if (tr) {
+      tr->instant("fleet", target_state_name(out.state), index,
+                  t.machine().cycles());
     }
   });
   double link_before = t.channel().total_latency_us();
@@ -241,6 +261,11 @@ Result<FleetReport> FleetController::run_campaign() {
                                   : std::max<u32>(1, plan.wave);
     wave_size = std::min(wave_size, opts_.targets - done);
 
+    if (opts_.capture_trace) {
+      shared_trace_.instant("fleet", "wave_start", obs::kSharedTarget, 0,
+                            {{"wave", std::to_string(wave_idx)},
+                             {"size", std::to_string(wave_size)}});
+    }
     parallel_for(wave_size, opts_.jobs, [&](u32 k) {
       patch_one(done + k, wave_idx, report.results[done + k]);
     });
@@ -310,6 +335,26 @@ Result<FleetReport> FleetController::run_campaign() {
   report.e2e_us = percentiles_of(std::move(e2e));
   report.cache = server_->cache_stats();
   report.cache_hit_rate = report.cache.patchset_hit_rate();
+  report.metrics = metrics_.snapshot();
+
+  if (opts_.capture_trace) {
+    // Per-target recorders are written serially (one worker at a time per
+    // target), so their event order is already deterministic; only the
+    // shared recorder's racy append order needs canonicalizing. Wall time
+    // is excluded so the export is byte-identical across --jobs levels.
+    std::vector<obs::TraceEvent> events;
+    for (const auto& rec : target_traces_) {
+      auto ev = rec->snapshot();
+      events.insert(events.end(), std::make_move_iterator(ev.begin()),
+                    std::make_move_iterator(ev.end()));
+    }
+    auto shared = obs::canonicalize(shared_trace_.snapshot());
+    events.insert(events.end(), std::make_move_iterator(shared.begin()),
+                  std::make_move_iterator(shared.end()));
+    obs::ChromeTraceOptions copts;
+    copts.include_wall = false;
+    report.trace_json = obs::to_chrome_trace(events, copts);
+  }
   return report;
 }
 

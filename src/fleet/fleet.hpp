@@ -30,6 +30,8 @@
 #include <memory>
 #include <optional>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "testbed/testbed.hpp"
 
 namespace kshot::fleet {
@@ -71,6 +73,10 @@ struct FleetOptions {
   std::map<u32, netsim::FaultPlan> target_fault_plans;
   std::optional<core::RetryPolicy> retry_policy;
   int workload_threads = 0;  // background workload per target
+  /// Record per-target pipeline traces and fleet-level events; the campaign
+  /// report then carries a deterministic Chrome-trace JSON (virtual
+  /// timestamps only, byte-identical across --jobs levels).
+  bool capture_trace = false;
 };
 
 struct TargetResult {
@@ -121,6 +127,14 @@ struct FleetReport {
 
   std::vector<TargetResult> results;  // index order, one per target
 
+  /// Chrome-trace JSON of the whole campaign (empty unless
+  /// FleetOptions::capture_trace): per-target recorders concatenated in
+  /// index order, then the canonicalized shared-recorder events (server,
+  /// wave markers). Virtual timestamps only — byte-identical across --jobs.
+  std::string trace_json;
+  /// Fleet-wide metrics (every target's pipeline + the shared server).
+  obs::MetricsSnapshot metrics;
+
   /// Deterministic formatted summary (the determinism tests compare this
   /// byte-for-byte across runs and --jobs levels).
   [[nodiscard]] std::string to_string() const;
@@ -156,6 +170,15 @@ class FleetController {
 
   FleetOptions opts_;
   cve::CveCase case_;
+  // Observability state must outlive server_/targets_, which hold pointers
+  // into it — keep these declared first.
+  obs::MetricsRegistry metrics_;
+  /// One recorder per target: each is written serially by whichever worker
+  /// drives that target, so per-target event order is deterministic.
+  std::vector<std::unique_ptr<obs::TraceRecorder>> target_traces_;
+  /// Shared recorder for events with no owning target (patch server, wave
+  /// markers); canonicalized before export.
+  obs::TraceRecorder shared_trace_;
   std::unique_ptr<netsim::PatchServer> server_;
   std::vector<std::unique_ptr<testbed::Testbed>> targets_;
   bool booted_ = false;

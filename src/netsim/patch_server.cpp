@@ -1,5 +1,6 @@
 #include "netsim/patch_server.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -28,11 +29,20 @@ std::string options_key(const kcc::CompileOptions& o) {
 }  // namespace
 
 PatchServer::PatchServer(const sgx::SgxRuntime* attestation_verifier,
-                         u64 key_seed)
-    : rng_(key_seed) {
+                         u64 key_seed, obs::MetricsRegistry* metrics)
+    : rng_(key_seed), metrics_(metrics) {
   if (attestation_verifier != nullptr) {
     verifiers_.push_back(attestation_verifier);
   }
+  if (!metrics_) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  c_patchset_hits_ = &metrics_->counter("server.patchset_hits");
+  c_patchset_misses_ = &metrics_->counter("server.patchset_misses");
+  c_image_hits_ = &metrics_->counter("server.image_hits");
+  c_image_misses_ = &metrics_->counter("server.image_misses");
+  c_rejected_ = &metrics_->counter("server.rejected");
 }
 
 void PatchServer::add_verifier(const sgx::SgxRuntime* verifier) {
@@ -54,14 +64,15 @@ bool PatchServer::has_patch(const std::string& id) const {
   return patches_.count(id) > 0;
 }
 
-u64 PatchServer::rejected_requests() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return rejected_;
-}
+u64 PatchServer::rejected_requests() const { return c_rejected_->value(); }
 
 BuildCacheStats PatchServer::cache_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cache_stats_;
+  BuildCacheStats s;
+  s.patchset_hits = c_patchset_hits_->value();
+  s.patchset_misses = c_patchset_misses_->value();
+  s.image_hits = c_image_hits_->value();
+  s.image_misses = c_image_misses_->value();
+  return s;
 }
 
 Result<PatchSource> PatchServer::find_source(const std::string& id) const {
@@ -96,18 +107,30 @@ Result<kcc::KernelImage> PatchServer::image_for(
     std::lock_guard<std::mutex> lock(mu_);
     auto it = image_cache_.find(key);
     if (it != image_cache_.end()) {
-      ++cache_stats_.image_hits;
+      c_image_hits_->inc();
       fut = it->second;
     } else {
-      ++cache_stats_.image_misses;
+      c_image_misses_->inc();
       builder = true;
       fut = promise.get_future().share();
       image_cache_.emplace(key, fut);
     }
   }
+  if (trace_) {
+    trace_->instant("netsim", builder ? "image_cache_miss" : "image_cache_hit",
+                    obs::kSharedTarget, 0, {{"key", key}});
+  }
   if (builder) {
+    auto t0 = std::chrono::steady_clock::now();
     promise.set_value(kcc::compile_source(
         post ? src->post_source : src->pre_source, o));
+    if (trace_) {
+      double wall_us = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      trace_->complete("netsim", "compile", obs::kSharedTarget, 0, 0, wall_us,
+                       {{"key", key}});
+    }
   }
   return fut.get();
 }
@@ -139,14 +162,19 @@ Result<patchtool::PatchSet> PatchServer::build_patchset(
     std::lock_guard<std::mutex> lock(mu_);
     auto it = patchset_cache_.find(key);
     if (it != patchset_cache_.end()) {
-      ++cache_stats_.patchset_hits;
+      c_patchset_hits_->inc();
       fut = it->second;
     } else {
-      ++cache_stats_.patchset_misses;
+      c_patchset_misses_->inc();
       builder = true;
       fut = promise.get_future().share();
       patchset_cache_.emplace(key, fut);
     }
+  }
+  if (trace_) {
+    trace_->instant("netsim",
+                    builder ? "patchset_cache_miss" : "patchset_cache_hit",
+                    obs::kSharedTarget, 0, {{"key", key}});
   }
   if (!builder) return fut.get();
 
@@ -182,10 +210,15 @@ Result<patchtool::PatchSet> PatchServer::build_patchset(
 
 Result<Bytes> PatchServer::handle_request(ByteSpan request_wire) {
   auto reject = [this](Status why) -> Result<Bytes> {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++rejected_;
+    c_rejected_->inc();
+    if (trace_) {
+      trace_->instant("netsim", "request_rejected", obs::kSharedTarget, 0,
+                      {{"why", std::string(why.message())}});
+    }
     return why;
   };
+  metrics_->counter("server.requests").inc();
+  auto req_t0 = std::chrono::steady_clock::now();
 
   auto req_r = PatchRequest::deserialize(request_wire);
   if (!req_r) return reject(req_r.status());
@@ -244,6 +277,15 @@ Result<Bytes> PatchServer::handle_request(ByteSpan request_wire) {
   KSHOT_LOG(kInfo, "server") << "served " << req.patch_id << " ("
                              << package.size() << " bytes, "
                              << set->patches.size() << " functions)";
+  if (trace_) {
+    double wall_us = std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - req_t0)
+                         .count();
+    trace_->complete("netsim", "handle_request", obs::kSharedTarget, 0, 0,
+                     wall_us, {{"id", req.patch_id}});
+  }
+  metrics_->histogram("server.package_bytes").observe(
+      static_cast<double>(package.size()));
   return resp.serialize();
 }
 

@@ -20,12 +20,15 @@
 
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
 
 #include "kcc/compiler.hpp"
 #include "netsim/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "patchtool/bindiff.hpp"
 
 namespace kshot::netsim {
@@ -60,7 +63,17 @@ class PatchServer {
   /// `attestation_verifier` models the provisioned SGX attestation
   /// infrastructure; `key_seed` seeds the server's ephemeral DH keys. Pass
   /// nullptr when every platform registers via add_verifier() instead.
-  PatchServer(const sgx::SgxRuntime* attestation_verifier, u64 key_seed);
+  /// `metrics` backs the request/cache counters; null means a private
+  /// registry.
+  PatchServer(const sgx::SgxRuntime* attestation_verifier, u64 key_seed,
+              obs::MetricsRegistry* metrics = nullptr);
+
+  /// Emits request/compile spans and cache hit/miss instants into `trace`
+  /// under the shared (non-per-target) pid. The server lives outside any
+  /// simulated machine, so its events carry virtual timestamp 0 and order
+  /// deterministically only after obs::canonicalize(). Set before the fleet
+  /// starts; the recorder itself is thread-safe.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
   /// Registers an additional platform whose attestation reports this server
   /// accepts (the attestation service knows each provisioned platform key).
@@ -120,8 +133,17 @@ class PatchServer {
       patchset_cache_;
   mutable std::map<std::string, std::shared_future<Result<kcc::KernelImage>>>
       image_cache_;
-  mutable BuildCacheStats cache_stats_;
-  u64 rejected_ = 0;
+
+  // Observability. Counters live in the registry ("server.*" namespace);
+  // BuildCacheStats/rejected_requests() are derived views over them.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* c_patchset_hits_ = nullptr;
+  obs::Counter* c_patchset_misses_ = nullptr;
+  obs::Counter* c_image_hits_ = nullptr;
+  obs::Counter* c_image_misses_ = nullptr;
+  obs::Counter* c_rejected_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace kshot::netsim

@@ -1,0 +1,155 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace kshot::obs {
+
+namespace {
+
+size_t bucket_for(double v) {
+  if (v < 1.0) return 0;
+  int e = static_cast<int>(std::floor(std::log2(v))) + 1;
+  return std::min<size_t>(static_cast<size_t>(e), Histogram::kBuckets - 1);
+}
+
+void append_num(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+  if (v < 0) v = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (s_.count == 0) {
+    s_.min = s_.max = v;
+  } else {
+    s_.min = std::min(s_.min, v);
+    s_.max = std::max(s_.max, v);
+  }
+  ++s_.count;
+  s_.sum += v;
+  ++s_.buckets[bucket_for(v)];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return s_;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  std::map<std::string, u64> c;
+  for (const auto& [name, v] : counters) c[name] += v;
+  for (const auto& [name, v] : other.counters) c[name] += v;
+  counters.assign(c.begin(), c.end());
+
+  std::map<std::string, Histogram::Snapshot> h;
+  for (const auto& [name, s] : histograms) h[name] = s;
+  for (const auto& [name, s] : other.histograms) {
+    auto& dst = h[name];
+    if (dst.count == 0) {
+      dst = s;
+    } else if (s.count != 0) {
+      dst.min = std::min(dst.min, s.min);
+      dst.max = std::max(dst.max, s.max);
+      dst.count += s.count;
+      dst.sum += s.sum;
+      for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+        dst.buckets[i] += s.buckets[i];
+      }
+    }
+  }
+  histograms.assign(h.begin(), h.end());
+}
+
+std::string MetricsSnapshot::to_string() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  }
+  for (const auto& [name, s] : histograms) {
+    out += name;
+    out += " count=";
+    out += std::to_string(s.count);
+    out += " sum=";
+    append_num(out, s.sum);
+    out += " mean=";
+    append_num(out, s.mean());
+    out += " min=";
+    append_num(out, s.min);
+    out += " max=";
+    append_num(out, s.max);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, s] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":{\"count\":";
+    out += std::to_string(s.count);
+    out += ",\"sum\":";
+    append_num(out, s.sum);
+    out += ",\"mean\":";
+    append_num(out, s.mean());
+    out += ",\"min\":";
+    append_num(out, s.min);
+    out += ",\"max\":";
+    append_num(out, s.max);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
+  return snap;
+}
+
+}  // namespace kshot::obs

@@ -1,0 +1,81 @@
+// Named counters and histograms for the patching pipeline.
+//
+// Replaces the scattered per-object counters (sessions_, aborts_,
+// stagings_seen_, BuildCacheStats, ...) with one thread-safe registry that
+// every layer increments and that can be snapshotted, merged across fleet
+// targets, and dumped as text or JSON from kshot-sim --metrics.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kshot::obs {
+
+/// Monotonic counter. Increments are lock-free; the registry hands out
+/// stable references, so holders may cache the pointer.
+class Counter {
+ public:
+  void inc(u64 delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] u64 value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<u64> value_{0};
+};
+
+/// Log2-bucketed histogram over non-negative doubles (microseconds, bytes).
+/// Bucket i counts samples in [2^(i-1), 2^i); bucket 0 counts [0, 1).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  void observe(double v);
+
+  struct Snapshot {
+    u64 count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    u64 buckets[kBuckets] = {};
+    [[nodiscard]] double mean() const { return count ? sum / count : 0; }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  Snapshot s_;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, u64>> counters;  // name-sorted
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+
+  /// Sums another snapshot into this one by metric name (fleet aggregation).
+  void merge(const MetricsSnapshot& other);
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Thread-safe registry. counter()/histogram() create on first use and
+/// return references that stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace kshot::obs

@@ -1,0 +1,198 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace kshot::obs {
+
+namespace {
+
+/// Stable small tids per component so exported traces group rows nicely.
+int component_tid(const std::string& component) {
+  if (component == "kshot") return 1;
+  if (component == "enclave") return 2;
+  if (component == "smm") return 3;
+  if (component == "netsim") return 4;
+  if (component == "fleet") return 5;
+  return 9;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_fixed(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+std::string args_key(const TraceEvent& e) {
+  std::string k;
+  for (const auto& a : e.args) {
+    k += a.key;
+    k += '=';
+    k += a.value;
+    k += ';';
+  }
+  return k;
+}
+
+}  // namespace
+
+void TraceRecorder::complete(std::string component, std::string name,
+                             u32 target, u64 virt_begin_cycles,
+                             u64 virt_end_cycles, double wall_us,
+                             std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.kind = EventKind::kComplete;
+  e.component = std::move(component);
+  e.name = std::move(name);
+  e.target = target;
+  e.virt_begin_cycles = virt_begin_cycles;
+  e.virt_end_cycles = std::max(virt_end_cycles, virt_begin_cycles);
+  e.wall_us = wall_us;
+  e.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  e.seq = next_seq_++;
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::instant(std::string component, std::string name,
+                            u32 target, u64 virt_cycles,
+                            std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.kind = EventKind::kInstant;
+  e.component = std::move(component);
+  e.name = std::move(name);
+  e.target = target;
+  e.virt_begin_cycles = virt_cycles;
+  e.virt_end_cycles = virt_cycles;
+  e.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  e.seq = next_seq_++;
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  next_seq_ = 0;
+}
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events,
+                            const ChromeTraceOptions& opts) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+
+  // Thread-name metadata so chrome://tracing labels each component lane.
+  std::map<std::pair<u32, int>, std::string> lanes;
+  for (const auto& e : events) {
+    lanes.emplace(std::make_pair(e.target, component_tid(e.component)),
+                  e.component);
+  }
+  for (const auto& [lane, component] : lanes) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+    out += std::to_string(lane.first);
+    out += ",\"tid\":";
+    out += std::to_string(lane.second);
+    out += ",\"args\":{\"name\":";
+    append_json_string(out, component);
+    out += "}}";
+  }
+
+  for (const auto& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, e.name);
+    out += ",\"cat\":";
+    append_json_string(out, e.component);
+    out += ",\"ph\":";
+    out += e.kind == EventKind::kComplete ? "\"X\"" : "\"i\"";
+    out += ",\"pid\":";
+    out += std::to_string(e.target);
+    out += ",\"tid\":";
+    out += std::to_string(component_tid(e.component));
+    out += ",\"ts\":";
+    append_fixed(out, static_cast<double>(e.virt_begin_cycles) *
+                          opts.us_per_cycle);
+    if (e.kind == EventKind::kComplete) {
+      out += ",\"dur\":";
+      append_fixed(out, static_cast<double>(e.virt_cycles()) *
+                            opts.us_per_cycle);
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    bool has_args = !e.args.empty() ||
+                    (opts.include_wall && e.kind == EventKind::kComplete);
+    if (has_args) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& a : e.args) {
+        if (!first_arg) out += ',';
+        first_arg = false;
+        append_json_string(out, a.key);
+        out += ':';
+        append_json_string(out, a.value);
+      }
+      if (opts.include_wall && e.kind == EventKind::kComplete) {
+        if (!first_arg) out += ',';
+        out += "\"wall_us\":\"";
+        append_fixed(out, e.wall_us);
+        out += '"';
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<TraceEvent> canonicalize(std::vector<TraceEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.target != b.target) return a.target < b.target;
+                     if (a.component != b.component) {
+                       return a.component < b.component;
+                     }
+                     if (a.name != b.name) return a.name < b.name;
+                     std::string ka = args_key(a), kb = args_key(b);
+                     if (ka != kb) return ka < kb;
+                     return a.virt_begin_cycles < b.virt_begin_cycles;
+                   });
+  return events;
+}
+
+}  // namespace kshot::obs

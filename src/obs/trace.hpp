@@ -1,0 +1,102 @@
+// Structured tracing for the patching pipeline (the observability layer the
+// paper's Table III / Fig. 4 timing claims are verified against).
+//
+// Every pipeline layer — Kshot (fetch/retry/stage/SMI), the preprocessing
+// enclave (ecalls), the SMM handler (keygen/decrypt/verify/apply/introspect/
+// rollback), the patch server (cache hit/miss, compile) and the fleet
+// controller (waves, per-target state transitions) — emits spans and instant
+// events into a TraceRecorder. Each event carries two clocks:
+//
+//   * virtual time: the machine's modeled cycle counter. Deterministic for a
+//     fixed seed, byte-identical across --jobs levels, and the clock all
+//     determinism tests and exports are keyed on.
+//   * wall time: real measured duration of the span (diagnostic only; the
+//     deterministic exporters omit it).
+//
+// The SmmPatchTimings / SgxPhaseTimings structs of earlier revisions are now
+// derived from these spans rather than measured separately.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kshot::obs {
+
+/// Synthetic "process id" used for events that belong to no fleet target
+/// (the shared patch server, fleet-level rollout events).
+inline constexpr u32 kSharedTarget = 1'000'000;
+
+enum class EventKind : u8 {
+  kComplete = 0,  // a span with a begin and an end
+  kInstant = 1,   // a point event
+};
+
+struct TraceArg {
+  std::string key;
+  std::string value;
+};
+
+struct TraceEvent {
+  EventKind kind = EventKind::kInstant;
+  std::string component;  // "kshot", "enclave", "smm", "netsim", "fleet"
+  std::string name;       // "decrypt", "fetch", "cache_hit", ...
+  u32 target = 0;         // fleet target index; kSharedTarget for global
+  u64 seq = 0;            // recorder-assigned append order
+  u64 virt_begin_cycles = 0;
+  u64 virt_end_cycles = 0;  // == virt_begin_cycles for instants
+  double wall_us = 0;       // measured wall duration (0 for instants)
+  std::vector<TraceArg> args;
+
+  [[nodiscard]] u64 virt_cycles() const {
+    return virt_end_cycles - virt_begin_cycles;
+  }
+};
+
+/// Thread-safe append-only event sink. One recorder per fleet target keeps
+/// per-target traces deterministic; a shared recorder (patch server, fleet
+/// controller) must be canonicalize()d before deterministic export.
+class TraceRecorder {
+ public:
+  void complete(std::string component, std::string name, u32 target,
+                u64 virt_begin_cycles, u64 virt_end_cycles, double wall_us,
+                std::vector<TraceArg> args = {});
+  void instant(std::string component, std::string name, u32 target,
+               u64 virt_cycles, std::vector<TraceArg> args = {});
+
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  [[nodiscard]] size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  u64 next_seq_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+struct ChromeTraceOptions {
+  /// Conversion from modeled cycles to exported microseconds (set this to
+  /// 1 / (CostModel::ghz * 1000)).
+  double us_per_cycle = 1.0 / 3000.0;
+  /// Include measured wall durations as event args. Wall time is real time:
+  /// turning this on makes the output run-dependent, so the deterministic
+  /// fleet export keeps it off.
+  bool include_wall = true;
+};
+
+/// Renders events in Chrome trace-event JSON ("traceEvents" array form, as
+/// accepted by chrome://tracing and Perfetto). Events are emitted in the
+/// order given; pid = target, tid = component.
+std::string to_chrome_trace(const std::vector<TraceEvent>& events,
+                            const ChromeTraceOptions& opts = {});
+
+/// Deterministic order for events recorded by concurrently-written shared
+/// recorders: stable-sorts by (target, component, name, args, virtual
+/// begin), discarding the racy append order. Events whose content is
+/// identical are interchangeable, so the result is byte-stable across
+/// thread interleavings as long as the event *multiset* is.
+std::vector<TraceEvent> canonicalize(std::vector<TraceEvent> events);
+
+}  // namespace kshot::obs

@@ -21,14 +21,14 @@ Result<std::string> get_string8(ByteReader& r) {
   return std::string(bytes->begin(), bytes->end());
 }
 
-Bytes serialize_entries(const PatchSet& set, PatchOp op) {
+Bytes serialize_entries(const PatchSet& set, const PatchOp* override_op) {
   ByteWriter w;
   put_string8(w, set.id);
   put_string8(w, set.kernel_version);
   for (const auto& p : set.patches) {
     // 42-byte header (see file comment).
     w.put_u16(p.sequence);
-    w.put_u8(static_cast<u8>(op));
+    w.put_u8(static_cast<u8>(override_op ? *override_op : p.op));
     w.put_u8(static_cast<u8>(p.type));
     w.put_u64(p.taddr);
     w.put_u64(p.paddr);
@@ -61,8 +61,9 @@ crypto::Digest256 package_digest(ByteSpan wire_after_digest) {
   return crypto::sha256(wire_after_digest);
 }
 
-Bytes serialize_patchset(const PatchSet& set, PatchOp op) {
-  Bytes entries = serialize_entries(set, op);
+namespace {
+
+Bytes wrap_entries(const PatchSet& set, Bytes entries) {
   crypto::Digest256 digest = package_digest(entries);
 
   ByteWriter w;
@@ -73,6 +74,16 @@ Bytes serialize_patchset(const PatchSet& set, PatchOp op) {
   w.put_bytes(ByteSpan(digest.data(), digest.size()));
   w.put_bytes(entries);
   return w.take();
+}
+
+}  // namespace
+
+Bytes serialize_patchset(const PatchSet& set, PatchOp op) {
+  return wrap_entries(set, serialize_entries(set, &op));
+}
+
+Bytes serialize_patchset_raw(const PatchSet& set) {
+  return wrap_entries(set, serialize_entries(set, nullptr));
 }
 
 Result<PatchOp> peek_op(ByteSpan wire) {

@@ -35,6 +35,12 @@ inline constexpr size_t kFnHeaderBytes = 42;
 /// set is shipped with kPatch and replayed with kRollback).
 Bytes serialize_patchset(const PatchSet& set, PatchOp op);
 
+/// Serializes a patch set preserving each entry's own op field. The normal
+/// pipeline never mixes ops within one package; this exists so tests and
+/// adversarial harnesses can craft such packages and assert they are
+/// rejected at the SMM boundary.
+Bytes serialize_patchset_raw(const PatchSet& set);
+
 /// Parses and fully verifies a package (magic, version, set digest, per-
 /// function CRCs). Returns kIntegrityFailure on any mismatch.
 Result<PatchSet> parse_patchset(ByteSpan wire);

@@ -35,8 +35,9 @@ Result<std::unique_ptr<Testbed>> Testbed::boot(const cve::CveCase& c,
     tb->server_->add_verifier(tb->sgx_.get());
   } else {
     tb->owned_server_ = std::make_unique<netsim::PatchServer>(
-        tb->sgx_.get(), opts.seed ^ 0x5E17E5);
+        tb->sgx_.get(), opts.seed ^ 0x5E17E5, opts.metrics);
     tb->server_ = tb->owned_server_.get();
+    if (opts.trace) tb->owned_server_->set_trace(opts.trace);
   }
 
   tb->server_->add_patch(
@@ -73,6 +74,8 @@ Result<std::unique_ptr<Testbed>> Testbed::boot(const cve::CveCase& c,
   tb->kshot_ = std::make_unique<core::Kshot>(
       *tb->kernel_, *tb->sgx_, *tb->server_, *tb->channel_,
       opts.seed ^ 0xC0FFEE);
+  if (opts.metrics) tb->kshot_->set_metrics(opts.metrics);
+  if (opts.trace) tb->kshot_->set_trace(opts.trace, opts.trace_target);
   if (opts.retry_policy) tb->kshot_->set_retry_policy(*opts.retry_policy);
   if (opts.install_kshot) {
     KSHOT_RETURN_IF_ERROR(

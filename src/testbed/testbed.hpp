@@ -43,6 +43,13 @@ struct TestbedOptions {
   /// across the fleet), and the pre-image build goes through the server's
   /// shared cache. The server must outlive the testbed.
   netsim::PatchServer* shared_server = nullptr;
+  /// When non-null, the booted Kshot pipeline (handler, enclave, fetch/retry
+  /// path) emits spans into this recorder, tagged with `trace_target`.
+  obs::TraceRecorder* trace = nullptr;
+  u32 trace_target = 0;
+  /// When non-null, pipeline counters/histograms land in this registry
+  /// instead of a per-pipeline private one (fleet aggregation).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Testbed {

@@ -7,6 +7,11 @@
 #include "attacks/rootkits.hpp"
 #include "baselines/kpatch_sim.hpp"
 #include "baselines/kup_sim.hpp"
+#include "core/mailbox.hpp"
+#include "core/smm_handler.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/x25519.hpp"
+#include "patchtool/package.hpp"
 #include "testbed/testbed.hpp"
 
 namespace kshot::attacks {
@@ -337,6 +342,189 @@ TEST(Dos, HealthySystemNotFlagged) {
   auto rep = t->kshot().dos_check();
   ASSERT_TRUE(rep.is_ok());
   EXPECT_FALSE(rep->dos_suspected);
+}
+
+// ---- Malicious package injection (SMM apply-path hardening) ------------------
+
+// A bare machine + SMM handler with an attacker in place of the enclave: the
+// attacker knows the handshake, so it can seal arbitrary packages under a
+// valid session key. Everything past the MAC must hold up on content checks
+// alone.
+struct SmmRig {
+  explicit SmmRig(kernel::MemoryLayout layout)
+      : lay(layout),
+        m(lay.mem_bytes, lay.smram_base, lay.smram_size, 0x7E57),
+        handler(lay, 0x7E57) {
+    EXPECT_TRUE(m.set_smm_handler([this](machine::Machine& mm) {
+                   handler.on_smi(mm);
+                 }).is_ok());
+  }
+
+  /// Runs the full staging handshake for `package_wire` and returns the SMM
+  /// status word after the apply SMI.
+  core::SmmStatus deliver(const Bytes& package_wire) {
+    const auto mode = machine::AccessMode::normal();
+    core::Mailbox mbox(m.mem(), lay.mem_rw_base(), mode);
+    EXPECT_TRUE(mbox.write_command(core::SmmCommand::kBeginSession).is_ok());
+    m.trigger_smi();
+    auto smm_pub = mbox.read_smm_pub();
+    EXPECT_TRUE(smm_pub.is_ok());
+
+    Rng rng(0xBAD5EED);
+    auto keys = crypto::dh_generate(rng);
+    auto shared = crypto::dh_shared(keys.private_key, *smm_pub);
+    auto key =
+        crypto::derive_key(ByteSpan(shared.data(), shared.size()), "sgx-smm");
+    crypto::Nonce96 nonce{};
+    rng.fill(MutByteSpan(nonce.data(), nonce.size()));
+    Bytes sealed = crypto::seal(key, nonce, package_wire).serialize();
+
+    EXPECT_TRUE(m.mem().write(lay.mem_w_base(), sealed, mode).is_ok());
+    EXPECT_TRUE(mbox.write_enclave_pub(keys.public_key).is_ok());
+    EXPECT_TRUE(mbox.write_staged_size(sealed.size()).is_ok());
+    EXPECT_TRUE(mbox.write_command(core::SmmCommand::kApplyPatch).is_ok());
+    m.trigger_smi();
+    auto st = mbox.read_status();
+    EXPECT_TRUE(st.is_ok());
+    return st.is_ok() ? *st : core::SmmStatus::kOk;
+  }
+
+  kernel::MemoryLayout lay;
+  machine::Machine m;
+  core::SmmPatchHandler handler;
+};
+
+patchtool::FunctionPatch make_entry(const char* name, u64 taddr, u64 paddr,
+                                    size_t code_bytes = 32) {
+  patchtool::FunctionPatch p;
+  p.name = name;
+  p.taddr = taddr;
+  p.paddr = paddr;
+  p.code = Bytes(code_bytes, 0x90);
+  return p;
+}
+
+TEST(MaliciousPackage, WrappingTaddrRejected) {
+  // taddr near UINT64_MAX: the pre-fix bounds check computed
+  // `taddr + ftrace_off + 5`, which wraps to a tiny value and passes the
+  // upper-bound comparison — and the trampoline address `taddr + ftrace_off`
+  // wraps to a *valid low physical address*, so the 5-byte jmp would land in
+  // memory the package never named (here: address 5). The overflow-safe
+  // check must reject the entry before anything is written.
+  SmmRig rig({});
+  patchtool::PatchSet set;
+  set.id = "EVIL";
+  set.kernel_version = "sim-4.4";
+  auto evil = make_entry("evil", ~0ull - 4, rig.lay.mem_x_base());
+  evil.ftrace_off = 10;  // wraps: jmp_addr = taddr + 10 == 5
+  evil.var_edits.push_back(
+      {rig.lay.data_base, 0xDEAD, patchtool::VarEdit::Kind::kSet});
+  set.patches.push_back(std::move(evil));
+
+  const auto mode = machine::AccessMode::normal();
+  ASSERT_TRUE(
+      rig.m.mem().write_u64(rig.lay.data_base, 0x1111, mode).is_ok());
+  Bytes low_mem{0x01, 0x02, 0x03, 0x04, 0x05};
+  ASSERT_TRUE(rig.m.mem().write(5, low_mem, mode).is_ok());
+
+  auto st = rig.deliver(
+      patchtool::serialize_patchset(set, patchtool::PatchOp::kPatch));
+  EXPECT_EQ(st, core::SmmStatus::kBadPackage);
+  EXPECT_EQ(rig.handler.patches_applied(), 0u);
+  // Validation rejects before any write: neither the var edit nor the
+  // wrapped trampoline landed.
+  EXPECT_EQ(*rig.m.mem().read_u64(rig.lay.data_base, mode), 0x1111u);
+  auto low = rig.m.mem().read_bytes(5, low_mem.size(), mode);
+  ASSERT_TRUE(low.is_ok());
+  EXPECT_EQ(*low, low_mem);
+}
+
+TEST(MaliciousPackage, WrappingPaddrRejected) {
+  // Same wrap on the mem_X side: `paddr + code.size()` overflowing past zero
+  // used to sail under the region end.
+  SmmRig rig({});
+  patchtool::PatchSet set;
+  set.id = "EVIL";
+  set.kernel_version = "sim-4.4";
+  set.patches.push_back(
+      make_entry("evil", rig.lay.text_base, ~0ull - 8, /*code_bytes=*/64));
+
+  auto st = rig.deliver(
+      patchtool::serialize_patchset(set, patchtool::PatchOp::kPatch));
+  EXPECT_EQ(st, core::SmmStatus::kBadPackage);
+  EXPECT_EQ(rig.handler.patches_applied(), 0u);
+}
+
+TEST(MaliciousPackage, FailedEntryCaptureAbortsAtomically) {
+  // A layout whose text window extends past physical memory: an in-window
+  // taddr can still make the trampoline-entry capture read fail. The read's
+  // Status used to be dropped — a commit would then record five zero bytes
+  // as the "original" entry, and a later rollback would write them over
+  // live kernel text. The fix aborts the whole transaction: earlier
+  // trampolines and variable edits must be unwound.
+  kernel::MemoryLayout lay;
+  lay.text_max = lay.mem_bytes;  // window reaches past the 64 MB of RAM
+  SmmRig rig(lay);
+  const auto mode = machine::AccessMode::normal();
+
+  // Known kernel-text and data bytes to verify the unwind against.
+  Bytes entry_bytes{0xAA, 0xBB, 0xCC, 0xDD, 0xEE};
+  ASSERT_TRUE(rig.m.mem().write(lay.text_base, entry_bytes, mode).is_ok());
+  ASSERT_TRUE(rig.m.mem().write_u64(lay.data_base, 0x2222, mode).is_ok());
+
+  patchtool::PatchSet set;
+  set.id = "EVIL";
+  set.kernel_version = "sim-4.4";
+  auto good = make_entry("good", lay.text_base, lay.mem_x_base());
+  good.var_edits.push_back(
+      {lay.data_base, 0xDEAD, patchtool::VarEdit::Kind::kSet});
+  set.patches.push_back(std::move(good));
+  // In-window (bounds_ok passes) but beyond physical memory: the entry
+  // capture read fails after entry 0 was fully installed.
+  set.patches.push_back(
+      make_entry("trap", lay.mem_bytes, lay.mem_x_base() + 0x1000));
+
+  auto st = rig.deliver(
+      patchtool::serialize_patchset(set, patchtool::PatchOp::kPatch));
+  EXPECT_EQ(st, core::SmmStatus::kBadPackage);
+  EXPECT_EQ(rig.handler.patches_applied(), 0u);
+  // Entry 0's trampoline and var edit were unwound: kernel state is
+  // byte-identical to its pre-SMI snapshot.
+  auto text = rig.m.mem().read_bytes(lay.text_base, entry_bytes.size(), mode);
+  ASSERT_TRUE(text.is_ok());
+  EXPECT_EQ(*text, entry_bytes);
+  EXPECT_EQ(*rig.m.mem().read_u64(lay.data_base, mode), 0x2222u);
+}
+
+TEST(MaliciousPackage, MixedOpPackageRejected) {
+  // The op dispatch used to sniff entry 0 only: a package whose first entry
+  // says rollback routed everything to the rollback path, silently dropping
+  // the apply entries while reporting success. Mixed packages must be
+  // rejected outright.
+  SmmRig rig({});
+  const auto mode = machine::AccessMode::normal();
+  Bytes entry_bytes{0x11, 0x22, 0x33, 0x44, 0x55};
+  ASSERT_TRUE(
+      rig.m.mem().write(rig.lay.text_base, entry_bytes, mode).is_ok());
+
+  patchtool::PatchSet set;
+  set.id = "EVIL";
+  set.kernel_version = "sim-4.4";
+  auto first = make_entry("decoy", rig.lay.text_base, rig.lay.mem_x_base());
+  first.op = patchtool::PatchOp::kRollback;
+  set.patches.push_back(std::move(first));
+  auto second = make_entry("payload", rig.lay.text_base + 0x100,
+                           rig.lay.mem_x_base() + 0x1000);
+  second.op = patchtool::PatchOp::kPatch;
+  set.patches.push_back(std::move(second));
+
+  auto st = rig.deliver(patchtool::serialize_patchset_raw(set));
+  EXPECT_EQ(st, core::SmmStatus::kBadPackage);
+  EXPECT_EQ(rig.handler.patches_applied(), 0u);
+  auto text =
+      rig.m.mem().read_bytes(rig.lay.text_base, entry_bytes.size(), mode);
+  ASSERT_TRUE(text.is_ok());
+  EXPECT_EQ(*text, entry_bytes);
 }
 
 // ---- SMRAM lock ----------------------------------------------------------------

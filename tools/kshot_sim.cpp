@@ -15,9 +15,15 @@
 //   kshot-sim disasm <CVE-ID> <function>   disassemble a kernel function
 //   kshot-sim package <CVE-ID>             show the built patch set / wire
 //
+//   kshot-sim single [CVE-ID]              `patch` with a default case
+//
 // Shared flags (all modes):
-//   --seed S   deterministic seed (testbed RNG / fleet base seed)
-//   --jobs J   parallelism: fleet worker pool; workload threads for `patch`
+//   --seed S         deterministic seed (testbed RNG / fleet base seed)
+//   --jobs J         parallelism: fleet worker pool; workload threads for
+//                    `patch`
+//   --trace-out F    write a Chrome-trace JSON (chrome://tracing, Perfetto)
+//                    of the run's pipeline spans to F
+//   --metrics        dump the pipeline metrics snapshot to stdout
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +35,8 @@
 #include "common/hex.hpp"
 #include "fleet/fleet.hpp"
 #include "isa/disasm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "patchtool/package.hpp"
 #include "testbed/testbed.hpp"
 
@@ -40,7 +48,20 @@ namespace {
 struct CommonFlags {
   u64 seed = 0x5EED;
   u32 jobs = 1;
+  std::string trace_out;  // --trace-out FILE: Chrome-trace JSON destination
+  bool metrics = false;   // --metrics: dump the metrics snapshot on exit
 };
+
+int write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return 0;
+}
 
 int cmd_list() {
   std::printf("%-16s %-9s %4s %-5s %s\n", "CVE", "kernel", "LoC", "types",
@@ -78,10 +99,14 @@ int cmd_exploit(const std::string& id, const CommonFlags& common) {
 int cmd_patch(const std::string& id, const CommonFlags& common, bool rootkit,
               bool watchdog, bool guard, bool use_kpatch) {
   const auto& c = cve::find_case(id);
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
   testbed::TestbedOptions opts;
   opts.seed = common.seed;
   opts.workload_threads = static_cast<int>(std::max<u32>(2, common.jobs));
   if (watchdog) opts.watchdog_interval_cycles = 50'000;
+  if (!common.trace_out.empty()) opts.trace = &trace;
+  opts.metrics = &metrics;
   auto tb = testbed::Testbed::boot(c, opts);
   if (!tb.is_ok()) {
     std::fprintf(stderr, "boot failed: %s\n", tb.status().to_string().c_str());
@@ -133,6 +158,18 @@ int cmd_patch(const std::string& id, const CommonFlags& common, bool rootkit,
   auto post = t.run_exploit();
   std::printf("exploit after (post attack window): %s\n",
               post.is_ok() && post->oops ? "STILL FIRES" : "dead");
+
+  if (!common.trace_out.empty()) {
+    if (write_file(common.trace_out,
+                   obs::to_chrome_trace(trace.snapshot())) != 0) {
+      return 1;
+    }
+    std::printf("trace: %zu events -> %s\n", trace.size(),
+                common.trace_out.c_str());
+  }
+  if (common.metrics) {
+    std::fputs(metrics.snapshot().to_string().c_str(), stdout);
+  }
   return post.is_ok() && !post->oops ? 0 : 1;
 }
 
@@ -193,13 +230,17 @@ void usage() {
       "       kshot-sim exploit <CVE-ID>\n"
       "       kshot-sim patch <CVE-ID> [--rootkit] [--watchdog] [--guard]\n"
       "                 [--kpatch]\n"
+      "       kshot-sim single [CVE-ID]       patch one target (defaults to\n"
+      "                 CVE-2014-0196); same flags as patch\n"
       "       kshot-sim fleet <CVE-ID> [--targets N] [--canary K] [--wave W]\n"
       "                 [--abort-rate R] [--drop R] [--corrupt R]\n"
       "       kshot-sim disasm <CVE-ID> <function>\n"
       "       kshot-sim package <CVE-ID>\n"
       "shared flags: --seed S (deterministic seed, default 0x5EED)\n"
       "              --jobs J (fleet worker pool; workload threads for "
-      "patch)\n");
+      "patch)\n"
+      "              --trace-out FILE (write a Chrome-trace JSON of the run)\n"
+      "              --metrics (dump the metrics snapshot to stdout)\n");
 }
 
 }  // namespace
@@ -224,12 +265,20 @@ int main(int argc, char** argv) {
     }
     return fallback;
   };
+  auto string_flag = [&](const char* f, std::string fallback) {
+    for (size_t i = 1; i + 1 < args.size(); ++i) {
+      if (args[i] == f) return args[i + 1];
+    }
+    return fallback;
+  };
 
   CommonFlags common;
   common.seed = static_cast<u64>(
       value_flag("--seed", static_cast<double>(common.seed)));
   common.jobs = static_cast<u32>(
       std::max(1.0, value_flag("--jobs", common.jobs)));
+  common.trace_out = string_flag("--trace-out", "");
+  common.metrics = has_flag("--metrics");
 
   if (cmd == "list") return cmd_list();
   if (cmd == "exploit" && args.size() >= 2) {
@@ -239,6 +288,14 @@ int main(int argc, char** argv) {
     return cmd_patch(args[1], common, has_flag("--rootkit"),
                      has_flag("--watchdog"), has_flag("--guard"),
                      has_flag("--kpatch"));
+  }
+  if (cmd == "single") {
+    // `single` is `patch` with a default case: one target, end to end.
+    std::string id = args.size() >= 2 && args[1].rfind("--", 0) != 0
+                         ? args[1]
+                         : "CVE-2014-0196";
+    return cmd_patch(id, common, has_flag("--rootkit"), has_flag("--watchdog"),
+                     has_flag("--guard"), has_flag("--kpatch"));
   }
   if (cmd == "fleet" && args.size() >= 2) {
     fleet::FleetOptions o;
@@ -258,6 +315,7 @@ int main(int argc, char** argv) {
       fp.rates.corrupt = corrupt;
       o.fault_plan = fp;
     }
+    o.capture_trace = !common.trace_out.empty();
     fleet::FleetController fc(o);
     auto rep = fc.run_campaign();
     if (!rep.is_ok()) {
@@ -269,6 +327,13 @@ int main(int argc, char** argv) {
     std::printf("modeled makespan at --jobs %u: %.1f us (serial %.1f us)\n",
                 o.jobs, fleet::modeled_makespan_us(*rep, o.jobs),
                 fleet::modeled_makespan_us(*rep, 1));
+    if (!common.trace_out.empty()) {
+      if (write_file(common.trace_out, rep->trace_json) != 0) return 1;
+      std::printf("trace -> %s\n", common.trace_out.c_str());
+    }
+    if (common.metrics) {
+      std::fputs(rep->metrics.to_string().c_str(), stdout);
+    }
     return rep->aborted || rep->applied != rep->targets ? 1 : 0;
   }
   if (cmd == "disasm" && args.size() >= 3) return cmd_disasm(args[1], args[2]);
