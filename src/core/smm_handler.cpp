@@ -162,6 +162,19 @@ bool SmmPatchHandler::bounds_ok(const patchtool::FunctionPatch& p) const {
   // and sails past the end check.
   u64 memx_base = layout_.mem_x_base();
   u64 memx_size = layout_.mem_x_size;
+  if (legacy_wrapping_bounds_) {
+    // The pre-fix arithmetic, kept verbatim for the fuzz-harness self-test.
+    if (p.paddr < memx_base ||
+        p.paddr + p.code.size() > memx_base + memx_size) {
+      return false;
+    }
+    if (p.taddr != 0 &&
+        (p.taddr < layout_.text_base ||
+         p.taddr + p.ftrace_off + 5 > layout_.text_base + layout_.text_max)) {
+      return false;
+    }
+    return true;
+  }
   if (p.paddr < memx_base) return false;
   u64 memx_off = p.paddr - memx_base;
   if (memx_off > memx_size || p.code.size() > memx_size - memx_off) {
@@ -378,8 +391,10 @@ SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
     if (!bounds_ok(p)) return SmmStatus::kBadPackage;
     if (!p.relocs.empty()) return SmmStatus::kBadPackage;  // not preprocessed
     for (const auto& v : p.var_edits) {
+      // Overflow-safe, like bounds_ok: `v.addr + 8` wraps for addresses near
+      // UINT64_MAX and would slip past a `> end` comparison.
       if (v.addr < layout_.data_base ||
-          v.addr + 8 > layout_.data_base + layout_.data_max) {
+          v.addr - layout_.data_base > layout_.data_max - 8) {
         return SmmStatus::kBadPackage;
       }
     }

@@ -97,6 +97,14 @@ class SmmPatchHandler {
   /// no command (the periodic watchdog SMIs).
   void set_introspect_on_idle(bool v) { introspect_on_idle_ = v; }
 
+  /// Fuzz-harness self-test seam: swaps bounds_ok back to the pre-fix
+  /// `base + len > end` arithmetic that wraps for attacker-chosen addresses
+  /// near UINT64_MAX. The harness (kshot-sim fuzz --selftest) enables this
+  /// to prove its oracles catch that bug class; nothing else may call it.
+  void enable_legacy_wrapping_bounds_for_selftest() {
+    legacy_wrapping_bounds_ = true;
+  }
+
   /// Arms the kernel-text guard (the paper's §IV-A "kernel introspection
   /// module for kernel protection"): snapshots the pristine kernel text
   /// into SMRAM state; every introspection sweep thereafter detects and
@@ -183,6 +191,7 @@ class SmmPatchHandler {
   std::vector<size_t> last_apply_indices_;
 
   bool introspect_on_idle_ = false;
+  bool legacy_wrapping_bounds_ = false;  // self-test seam, see above
 
   // Kernel-text guard state (SMRAM-resident).
   bool guard_armed_ = false;

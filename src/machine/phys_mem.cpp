@@ -73,13 +73,17 @@ Status PhysMem::check(PhysAddr addr, size_t len, AccessMode mode, bool writing,
 
 Status PhysMem::read(PhysAddr addr, MutByteSpan out, AccessMode mode) const {
   KSHOT_RETURN_IF_ERROR(check(addr, out.size(), mode, false, false));
-  std::memcpy(out.data(), mem_.data() + addr, out.size());
+  // Empty spans may carry a null data(); memcpy's pointer args must be
+  // non-null even for size 0.
+  if (!out.empty()) std::memcpy(out.data(), mem_.data() + addr, out.size());
   return Status::ok();
 }
 
 Status PhysMem::write(PhysAddr addr, ByteSpan data, AccessMode mode) {
   KSHOT_RETURN_IF_ERROR(check(addr, data.size(), mode, true, false));
-  std::memcpy(mem_.data() + addr, data.data(), data.size());
+  if (!data.empty()) {
+    std::memcpy(mem_.data() + addr, data.data(), data.size());
+  }
   return Status::ok();
 }
 

@@ -9,8 +9,10 @@ namespace kshot::netsim {
 namespace {
 
 void put_string16(ByteWriter& w, const std::string& s) {
+  // Truncate the payload to match the capped length header: writing the
+  // full string under a capped header desynchronizes every field after it.
   w.put_u16(static_cast<u16>(std::min<size_t>(s.size(), 65535)));
-  w.put_bytes(to_bytes(s));
+  w.put_bytes(to_bytes(s.substr(0, 65535)));
 }
 
 Result<std::string> get_string16(ByteReader& r) {
@@ -51,6 +53,9 @@ Result<kernel::OsInfo> deserialize_os_info(ByteSpan wire) {
   auto digest = r.get_bytes(info.measurement.size());
   if (!digest) return digest.status();
   std::copy(digest->begin(), digest->end(), info.measurement.begin());
+  if (!r.exhausted()) {
+    return Status{Errc::kInvalidArgument, "trailing bytes after OsInfo"};
+  }
   return info;
 }
 
@@ -104,6 +109,11 @@ Result<PatchRequest> PatchRequest::deserialize(ByteSpan wire) {
   std::copy(rd->begin(), rd->end(), req.attestation.report_data.begin());
   std::copy(mac->begin(), mac->end(), req.attestation.mac.begin());
   std::copy(pub->begin(), pub->end(), req.client_pub.begin());
+  if (!r.exhausted()) {
+    // Fuzz-found: appended garbage used to parse as a valid request, so two
+    // distinct wires named the same session — reject anything non-canonical.
+    return Status{Errc::kInvalidArgument, "trailing bytes after request"};
+  }
   return req;
 }
 
@@ -126,6 +136,9 @@ Result<PatchResponse> PatchResponse::deserialize(ByteSpan wire) {
   auto body = r.get_bytes(*len);
   if (!body) return body.status();
   resp.sealed_package = std::move(*body);
+  if (!r.exhausted()) {
+    return Status{Errc::kInvalidArgument, "trailing bytes after response"};
+  }
   return resp;
 }
 

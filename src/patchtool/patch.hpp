@@ -58,6 +58,8 @@ struct FunctionPatch {
   [[nodiscard]] size_t payload_bytes() const {
     return code.size() + relocs.size() * 16 + var_edits.size() * 17;
   }
+
+  friend bool operator==(const FunctionPatch&, const FunctionPatch&) = default;
 };
 
 /// A complete patch produced for one CVE / one kernel update.
@@ -71,6 +73,8 @@ struct PatchSet {
     for (const auto& p : patches) n += p.code.size();
     return n;
   }
+
+  friend bool operator==(const PatchSet&, const PatchSet&) = default;
 };
 
 }  // namespace kshot::patchtool

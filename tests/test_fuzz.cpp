@@ -1,0 +1,206 @@
+// The fuzzing harness's own contract (DESIGN.md §9): runs are deterministic,
+// every invariant oracle passes on the current tree, the checked-in
+// regression corpus replays clean, and the harness provably catches the
+// pre-PR-3 wrapping-bounds bug when it is deliberately re-introduced —
+// with a shrunk, replayable repro.
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzz.hpp"
+#include "patchtool/package.hpp"
+
+namespace kshot::fuzz {
+namespace {
+
+TEST(FuzzDeterminism, SameSeedSameReportBytes) {
+  FuzzOptions opts;
+  opts.seed = 1;
+  opts.iters = 300;
+  // Two independently constructed surfaces: catches hidden global state as
+  // well as RNG misuse.
+  auto s1 = make_package_surface();
+  auto s2 = make_package_surface();
+  EXPECT_EQ(run_fuzz(*s1, opts).to_string(), run_fuzz(*s2, opts).to_string());
+}
+
+TEST(FuzzDeterminism, DifferentSeedsDifferentCases) {
+  auto s = make_package_surface();
+  Rng r1(1), r2(1), r3(2);
+  Bytes a = s->generate(r1);
+  Bytes b = s->generate(r2);
+  Bytes c = s->generate(r3);
+  EXPECT_EQ(a, b) << "generation is not a pure function of the RNG";
+  EXPECT_NE(a, c) << "the seed is not reaching generation";
+}
+
+TEST(FuzzOracles, PackageSurfacePassesOnCurrentTree) {
+  FuzzOptions opts;
+  opts.seed = 1;
+  opts.iters = 400;
+  auto s = make_package_surface();
+  auto rep = run_fuzz(*s, opts);
+  EXPECT_EQ(rep.cases, opts.iters);
+  EXPECT_TRUE(rep.failures.empty()) << rep.to_string();
+  // The generator must exercise both accept and reject paths.
+  EXPECT_GT(rep.accepted, 0u);
+  EXPECT_GT(rep.rejected, 0u);
+}
+
+TEST(FuzzOracles, NetsimSurfacePassesOnCurrentTree) {
+  FuzzOptions opts;
+  opts.seed = 1;
+  opts.iters = 150;
+  auto s = make_netsim_surface();
+  auto rep = run_fuzz(*s, opts);
+  EXPECT_TRUE(rep.failures.empty()) << rep.to_string();
+  EXPECT_GT(rep.accepted, 0u);
+  EXPECT_GT(rep.rejected, 0u);
+}
+
+TEST(FuzzOracles, KccSurfacePassesOnCurrentTree) {
+  FuzzOptions opts;
+  opts.seed = 1;
+  opts.iters = 60;
+  auto s = make_kcc_surface();
+  auto rep = run_fuzz(*s, opts);
+  EXPECT_TRUE(rep.failures.empty()) << rep.to_string();
+  EXPECT_GT(rep.accepted, 0u);
+}
+
+// Acceptance gate for the harness: re-introduce the pre-fix wrapping bounds
+// check in the SMM handler and prove the oracles catch it, shrinking at
+// least one repro to <= 64 attacker-controlled entry bytes (wire size minus
+// the fixed 44-byte envelope).
+TEST(FuzzSelftest, CatchesReintroducedWrappingBoundsBug) {
+  FuzzOptions opts;
+  opts.seed = 1;
+  opts.iters = 500;
+  auto s = make_package_surface({.legacy_wrapping_bounds = true});
+  auto rep = run_fuzz(*s, opts);
+  ASSERT_FALSE(rep.failures.empty())
+      << "oracles missed the legacy wrapping-bounds bug";
+  size_t best_entry_bytes = SIZE_MAX;
+  for (const auto& f : rep.failures) {
+    ASSERT_GE(f.input.size(), 44u);
+    ASSERT_LE(f.input.size(), f.original_size);
+    best_entry_bytes = std::min(best_entry_bytes, f.input.size() - 44);
+    // Every shrunk repro must still trip the same oracle when replayed.
+    auto v = s->execute(f.input);
+    ASSERT_TRUE(v.failure.has_value());
+    EXPECT_EQ(v.failure->first, f.oracle);
+  }
+  EXPECT_LE(best_entry_bytes, 64u) << rep.to_string();
+}
+
+TEST(FuzzShrinker, ShrinksWhilePreservingTheOracle) {
+  auto s = make_package_surface({.legacy_wrapping_bounds = true});
+  // The PR 3 wrapping-taddr regression wire, padded with an extra valid
+  // entry's worth of junk fields via a second entry — shrinking must keep
+  // the tripped oracle while strictly reducing size.
+  Bytes wire;
+  for (const auto& [name, bytes] : seed_package_cases()) {
+    if (name == "wrapping-taddr") wire = bytes;
+  }
+  ASSERT_FALSE(wire.empty());
+  auto v = s->execute(wire);
+  ASSERT_TRUE(v.failure.has_value()) << "legacy target accepted the repro";
+  FuzzOptions opts;
+  opts.seed = 1;
+  Bytes shrunk = shrink_case(*s, wire, v.failure->first, opts);
+  EXPECT_LE(shrunk.size(), wire.size());
+  auto v2 = s->execute(shrunk);
+  ASSERT_TRUE(v2.failure.has_value());
+  EXPECT_EQ(v2.failure->first, v.failure->first);
+}
+
+TEST(FuzzCorpus, HexFileRoundTrip) {
+  Bytes b;
+  for (int i = 0; i < 100; ++i) b.push_back(static_cast<u8>(i * 7));
+  std::string text = encode_hex_file(b, "two\nline comment");
+  auto back = decode_hex_file(text);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(*back, b);
+  EXPECT_FALSE(decode_hex_file("abc").is_ok());   // odd digit count
+  EXPECT_FALSE(decode_hex_file("zz").is_ok());    // non-hex
+  auto empty = decode_hex_file("# only comments\n");
+  ASSERT_TRUE(empty.is_ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(FuzzCorpus, CheckedInCorpusMatchesCanonicalSeeds) {
+  auto entries = load_corpus(KSHOT_CORPUS_DIR);
+  ASSERT_TRUE(entries.is_ok()) << entries.status().to_string();
+  auto find = [&](const std::string& surface, const std::string& file) {
+    for (const auto& e : *entries) {
+      if (e.surface == surface && e.file == file) return &e;
+    }
+    return static_cast<const CorpusEntry*>(nullptr);
+  };
+  for (const auto& [name, bytes] : seed_package_cases()) {
+    const auto* e = find("package", name + ".hex");
+    ASSERT_NE(e, nullptr) << "missing corpus file package/" << name
+                          << ".hex — run kshot-sim fuzz --write-corpus";
+    EXPECT_EQ(e->input, bytes) << "stale corpus file package/" << name;
+  }
+  for (const auto& [name, bytes] : seed_netsim_cases()) {
+    const auto* e = find("netsim", name + ".hex");
+    ASSERT_NE(e, nullptr) << "missing corpus file netsim/" << name;
+    EXPECT_EQ(e->input, bytes) << "stale corpus file netsim/" << name;
+  }
+  for (const auto& [name, src] : seed_kcc_cases()) {
+    const auto* e = find("kcc", name + ".ksrc");
+    ASSERT_NE(e, nullptr) << "missing corpus file kcc/" << name;
+    EXPECT_EQ(e->input, to_bytes(src)) << "stale corpus file kcc/" << name;
+  }
+}
+
+TEST(FuzzCorpus, ReplaysCleanOnCurrentTree) {
+  auto entries = load_corpus(KSHOT_CORPUS_DIR);
+  ASSERT_TRUE(entries.is_ok()) << entries.status().to_string();
+  ASSERT_GE(entries->size(), 20u);
+  FuzzOptions opts;
+  opts.seed = 1;
+  auto reports = replay_corpus(*entries, opts);
+  ASSERT_EQ(reports.size(), 3u);  // kcc, netsim, package
+  for (const auto& r : reports) {
+    EXPECT_TRUE(r.failures.empty()) << r.to_string();
+  }
+  // The valid package seeds must actually apply, not just parse.
+  for (const auto& r : reports) {
+    if (r.surface == "package") EXPECT_EQ(r.accepted, 2u) << r.to_string();
+  }
+}
+
+TEST(FuzzCorpus, SeedWiresAreWellFormed) {
+  // The "valid-*" seeds parse; the malformed ones fail with a clean Status
+  // (never an unchecked crash path).
+  for (const auto& [name, bytes] : seed_package_cases()) {
+    auto parsed = patchtool::parse_patchset(bytes);
+    if (name.rfind("valid", 0) == 0 || name == "mixed-op" ||
+        name == "rollback-on-fresh" || name.rfind("wrapping", 0) == 0) {
+      EXPECT_TRUE(parsed.is_ok()) << name << ": " << parsed.status().to_string();
+    } else {
+      EXPECT_FALSE(parsed.is_ok()) << name << " should not parse";
+    }
+  }
+}
+
+TEST(FuzzSurfaces, FactoryResolvesNames) {
+  EXPECT_NE(make_surface("package"), nullptr);
+  EXPECT_NE(make_surface("netsim"), nullptr);
+  EXPECT_NE(make_surface("kcc"), nullptr);
+  EXPECT_EQ(make_surface("bogus"), nullptr);
+}
+
+TEST(FuzzSurfaces, TimeBudgetStopsEarly) {
+  FuzzOptions opts;
+  opts.seed = 1;
+  opts.iters = 1'000'000;     // would run for minutes
+  opts.time_budget_s = 0.05;  // but the budget stops it almost immediately
+  auto s = make_package_surface();
+  auto rep = run_fuzz(*s, opts);
+  EXPECT_TRUE(rep.budget_exhausted);
+  EXPECT_LT(rep.cases, opts.iters);
+}
+
+}  // namespace
+}  // namespace kshot::fuzz

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "cve/suite.hpp"
+#include "fuzz/fuzz.hpp"
 #include "netsim/patch_server.hpp"
 #include "testbed/testbed.hpp"
 
@@ -187,6 +188,93 @@ TEST(Server, PrePostImagesShareLayout) {
       EXPECT_EQ(pg->addr, g.addr) << g.name;
     }
   }
+}
+
+// ---- Fuzz-found decoder regressions -----------------------------------------
+//
+// Found by `kshot-sim fuzz --surface netsim`: all three deserializers used
+// to accept frames with trailing bytes, so two distinct wires named the
+// same message. Each is now rejected with an exhaustion check.
+
+TEST(ProtocolRegression, OsInfoTrailingBytesRejected) {
+  kernel::OsInfo info;
+  info.version = "sim-4.4";
+  info.text_base = 0x100000;
+  info.data_base = 0x400000;
+  Bytes wire = serialize_os_info(info);
+  ASSERT_TRUE(deserialize_os_info(wire).is_ok());
+  wire.push_back(0);
+  auto r = deserialize_os_info(wire);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Errc::kInvalidArgument);
+}
+
+TEST(ProtocolRegression, RequestTrailingBytesRejected) {
+  PatchRequest req;
+  req.op = PatchRequest::Op::kFetchPatch;
+  req.patch_id = "CVE-2014-0196";
+  Bytes wire = req.serialize();
+  ASSERT_TRUE(PatchRequest::deserialize(wire).is_ok());
+  wire.push_back(0xEE);
+  EXPECT_FALSE(PatchRequest::deserialize(wire).is_ok());
+}
+
+TEST(ProtocolRegression, ResponseTrailingBytesRejected) {
+  PatchResponse resp;
+  resp.sealed_package = {1, 2, 3};
+  Bytes wire = resp.serialize();
+  ASSERT_TRUE(PatchResponse::deserialize(wire).is_ok());
+  wire.push_back(0);
+  EXPECT_FALSE(PatchResponse::deserialize(wire).is_ok());
+}
+
+// ---- Corpus frames through the real handshake -------------------------------
+//
+// Replays the checked-in netsim regression corpus (tests/corpus/netsim/*)
+// against a live booted deployment — the same path `ctest`'s fuzz corpus
+// replay takes, but asserted frame by frame here so a decoder regression
+// names the offending file.
+
+TEST(ProtocolRegression, CorpusFramesAgainstLiveHandshake) {
+  auto entries = fuzz::load_corpus(KSHOT_CORPUS_DIR);
+  ASSERT_TRUE(entries.is_ok()) << entries.status().to_string();
+  auto surface = fuzz::make_netsim_surface();
+  size_t replayed = 0;
+  for (const auto& e : *entries) {
+    if (e.surface != "netsim") continue;
+    auto v = surface->execute(e.input);
+    EXPECT_FALSE(v.failure.has_value())
+        << e.file << ": oracle " << v.failure->first << ": "
+        << v.failure->second;
+    ++replayed;
+  }
+  // The seed corpus ships at least: bad-op, empty/truncated frames, the
+  // trailing-garbage regression, flip scripts, and truncations.
+  EXPECT_GE(replayed, 9u);
+}
+
+TEST(ProtocolRegression, TamperedSealedPackageFailsFinishFetch) {
+  // End-to-end handshake with a one-byte flip inside the sealed package
+  // region of the response: the enclave must refuse it (AEAD MAC).
+  const auto& c = cve::find_case("CVE-2014-0196");
+  auto tb = testbed::Testbed::boot(c, {});
+  ASSERT_TRUE(tb.is_ok());
+  testbed::Testbed& t = **tb;
+  auto req = t.kshot().enclave().begin_fetch(c.id,
+                                             PatchRequest::Op::kFetchPatch);
+  ASSERT_TRUE(req.is_ok());
+  auto resp = t.server().handle_request(*req);
+  ASSERT_TRUE(resp.is_ok());
+  Bytes mutated = *resp;
+  mutated[mutated.size() / 2] ^= 0x40;  // inside the sealed package
+  EXPECT_FALSE(t.kshot().enclave().finish_fetch(mutated).is_ok());
+  // And the unmodified response still verifies on a fresh session.
+  auto req2 = t.kshot().enclave().begin_fetch(c.id,
+                                              PatchRequest::Op::kFetchPatch);
+  ASSERT_TRUE(req2.is_ok());
+  auto resp2 = t.server().handle_request(*req2);
+  ASSERT_TRUE(resp2.is_ok());
+  EXPECT_TRUE(t.kshot().enclave().finish_fetch(*resp2).is_ok());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // edits, Type classification), and the Fig. 3 package wire format.
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
 #include "kcc/compiler.hpp"
 #include "kcc/parser.hpp"
 #include "patchtool/bindiff.hpp"
@@ -416,6 +417,75 @@ TEST(Package, MultiFunctionRoundTrip) {
   EXPECT_EQ(parsed->patches[1].name, "second_fn");
   EXPECT_EQ(parsed->patches[1].code.size(), 1000u);
   EXPECT_EQ(parsed->patches[1].relocs[0].patch_index, 0);
+}
+
+// ---- Serializer properties over random sets --------------------------------
+
+PatchSet random_set(Rng& rng) {
+  PatchSet set;
+  set.id = "CVE-" + std::to_string(2000 + rng.next_below(30)) + "-" +
+           std::to_string(rng.next_below(10000));
+  set.kernel_version = rng.next_below(2) ? "sim-4.4" : "";
+  size_t nfns = 1 + rng.next_below(4);
+  for (size_t i = 0; i < nfns; ++i) {
+    FunctionPatch p;
+    p.sequence = static_cast<u16>(i);
+    p.op = rng.next_below(2) ? PatchOp::kPatch : PatchOp::kRollback;
+    p.type = static_cast<PatchType>(1 + rng.next_below(3));
+    if (rng.next_below(8)) p.name = "fn_" + std::to_string(rng.next_below(100));
+    p.taddr = rng.next_below(2) ? rng.next() : 0;
+    p.paddr = rng.next();
+    p.ftrace_off = static_cast<u16>(rng.next_below(3) ? 5 : rng.next_below(64));
+    p.code = rng.next_bytes(rng.next_below(300));
+    size_t nrel = rng.next_below(3);
+    for (size_t r = 0; r < nrel; ++r) {
+      p.relocs.push_back({static_cast<u32>(rng.next_below(1 << 20)),
+                          rng.next_below(2) ? static_cast<i32>(
+                                                  rng.next_below(nfns))
+                                            : -1,
+                          rng.next()});
+    }
+    size_t nvar = rng.next_below(3);
+    for (size_t v = 0; v < nvar; ++v) {
+      p.var_edits.push_back({rng.next(), rng.next(),
+                             rng.next_below(2) ? VarEdit::Kind::kInit
+                                               : VarEdit::Kind::kSet});
+    }
+    set.patches.push_back(std::move(p));
+  }
+  return set;
+}
+
+TEST(PackageProperty, ParseOfSerializeIsIdentity) {
+  Rng rng(0xC0FFEE);
+  for (int round = 0; round < 25; ++round) {
+    PatchSet set = random_set(rng);
+    Bytes wire = serialize_patchset_raw(set);
+    auto parsed = parse_patchset(wire);
+    ASSERT_TRUE(parsed.is_ok())
+        << "round " << round << ": " << parsed.status().to_string();
+    EXPECT_EQ(*parsed, set) << "round " << round;
+    // Serialization is canonical: re-serializing the parse is byte-stable.
+    EXPECT_EQ(serialize_patchset_raw(*parsed), wire) << "round " << round;
+  }
+}
+
+TEST(PackageProperty, EveryTruncationRejectedWithStatus) {
+  Rng rng(0xDECADE);
+  for (int round = 0; round < 5; ++round) {
+    PatchSet set = random_set(rng);
+    Bytes wire = serialize_patchset_raw(set);
+    for (size_t keep = 0; keep < wire.size(); ++keep) {
+      Bytes cut(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(keep));
+      auto parsed = parse_patchset(cut);
+      ASSERT_FALSE(parsed.is_ok())
+          << "round " << round << ": prefix of " << keep << "/" << wire.size()
+          << " bytes parsed";
+      EXPECT_NE(parsed.status().code(), Errc::kOk);
+      EXPECT_FALSE(parsed.status().message().empty())
+          << "silent rejection at keep=" << keep;
+    }
+  }
 }
 
 }  // namespace

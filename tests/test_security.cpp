@@ -527,6 +527,141 @@ TEST(MaliciousPackage, MixedOpPackageRejected) {
   EXPECT_EQ(*text, entry_bytes);
 }
 
+/// Every kernel-owned byte: [0, SMRAM) and (SMRAM, reserved region). SMRAM
+/// holds handler scratch and the reserved region holds the staged package +
+/// mem_X bodies, which legitimately change during a session; everything
+/// else must be transactional.
+Bytes kernel_state(SmmRig& rig) {
+  const auto mode = machine::AccessMode::smm();
+  auto low = rig.m.mem().read_bytes(0, rig.lay.smram_base, mode);
+  auto high = rig.m.mem().read_bytes(
+      rig.lay.smram_base + rig.lay.smram_size,
+      rig.lay.reserved_base - (rig.lay.smram_base + rig.lay.smram_size),
+      mode);
+  EXPECT_TRUE(low.is_ok() && high.is_ok());
+  Bytes out = std::move(*low);
+  out.insert(out.end(), high->begin(), high->end());
+  return out;
+}
+
+TEST(MaliciousPackage, VarEditUnwindRestoresOldestValueFirstWritten) {
+  // Two entries edit the SAME variable before a later entry fails. The undo
+  // log then holds two records for one address: (addr, 0x1111) from entry 0
+  // and (addr, 0xAAAA) from entry 1. Unwinding in forward order would
+  // restore 0x1111 and then clobber it with the intermediate 0xAAAA;
+  // only reverse-order unwind ends at the pre-session value.
+  kernel::MemoryLayout lay;
+  lay.text_max = lay.mem_bytes;  // lets an in-window taddr fail its capture
+  SmmRig rig(lay);
+  const auto mode = machine::AccessMode::normal();
+  const u64 var = lay.data_base + 0x20;
+  ASSERT_TRUE(rig.m.mem().write_u64(var, 0x1111, mode).is_ok());
+  Bytes pre = kernel_state(rig);
+
+  patchtool::PatchSet set;
+  set.id = "EVIL";
+  set.kernel_version = "sim-4.4";
+  auto first = make_entry("first", lay.text_base, lay.mem_x_base());
+  first.var_edits.push_back({var, 0xAAAA, patchtool::VarEdit::Kind::kSet});
+  set.patches.push_back(std::move(first));
+  auto second =
+      make_entry("second", lay.text_base + 0x100, lay.mem_x_base() + 0x1000);
+  second.var_edits.push_back({var, 0xBBBB, patchtool::VarEdit::Kind::kSet});
+  set.patches.push_back(std::move(second));
+  // In-window but past physical memory: trampoline capture fails after both
+  // var edits and both mem_X bodies landed.
+  set.patches.push_back(
+      make_entry("trap", lay.mem_bytes, lay.mem_x_base() + 0x2000));
+
+  auto st = rig.deliver(
+      patchtool::serialize_patchset(set, patchtool::PatchOp::kPatch));
+  EXPECT_EQ(st, core::SmmStatus::kBadPackage);
+  EXPECT_EQ(rig.handler.patches_applied(), 0u);
+  EXPECT_EQ(*rig.m.mem().read_u64(var, mode), 0x1111u);
+  EXPECT_EQ(kernel_state(rig), pre)
+      << "failed apply left kernel-owned bytes modified";
+}
+
+TEST(MaliciousPackage, RollbackAfterPartialTrampolineFailure) {
+  // An apply that fails between trampoline installations must leave nothing
+  // for a follow-up rollback to act on: the partial trampolines were
+  // unwound, so rollback reports kNothingToRollback and writes nothing.
+  kernel::MemoryLayout lay;
+  lay.text_max = lay.mem_bytes;
+  SmmRig rig(lay);
+  const auto mode = machine::AccessMode::normal();
+  Bytes entry_bytes{0xAA, 0xBB, 0xCC, 0xDD, 0xEE};
+  ASSERT_TRUE(rig.m.mem().write(lay.text_base, entry_bytes, mode).is_ok());
+  Bytes pre = kernel_state(rig);
+
+  patchtool::PatchSet set;
+  set.id = "EVIL";
+  set.kernel_version = "sim-4.4";
+  set.patches.push_back(make_entry("good", lay.text_base, lay.mem_x_base()));
+  set.patches.push_back(
+      make_entry("trap", lay.mem_bytes, lay.mem_x_base() + 0x1000));
+  auto st = rig.deliver(
+      patchtool::serialize_patchset(set, patchtool::PatchOp::kPatch));
+  EXPECT_EQ(st, core::SmmStatus::kBadPackage);
+
+  core::Mailbox mbox(rig.m.mem(), lay.mem_rw_base(),
+                     machine::AccessMode::normal());
+  ASSERT_TRUE(mbox.write_command(core::SmmCommand::kRollback).is_ok());
+  rig.m.trigger_smi();
+  auto rb = mbox.read_status();
+  ASSERT_TRUE(rb.is_ok());
+  EXPECT_EQ(*rb, core::SmmStatus::kNothingToRollback);
+  EXPECT_EQ(kernel_state(rig), pre)
+      << "rollback after a failed apply modified kernel-owned bytes";
+}
+
+TEST(MaliciousPackage, FailedApplyDoesNotDisturbPriorRollbackUnit) {
+  // A successful apply followed by a partially-failing apply: the failure
+  // must not corrupt the rollback bookkeeping of the committed batch, and
+  // rolling back must restore the original pre-ANY-apply kernel text.
+  kernel::MemoryLayout lay;
+  lay.text_max = lay.mem_bytes;
+  SmmRig rig(lay);
+  const auto mode = machine::AccessMode::normal();
+  Bytes entry_bytes{0x10, 0x20, 0x30, 0x40, 0x50};
+  ASSERT_TRUE(rig.m.mem().write(lay.text_base, entry_bytes, mode).is_ok());
+  Bytes pre = kernel_state(rig);
+
+  patchtool::PatchSet good;
+  good.id = "GOOD";
+  good.kernel_version = "sim-4.4";
+  good.patches.push_back(make_entry("fn", lay.text_base, lay.mem_x_base()));
+  ASSERT_EQ(rig.deliver(patchtool::serialize_patchset(
+                good, patchtool::PatchOp::kPatch)),
+            core::SmmStatus::kOk);
+  ASSERT_EQ(rig.handler.patches_applied(), 1u);
+
+  patchtool::PatchSet bad;
+  bad.id = "EVIL";
+  bad.kernel_version = "sim-4.4";
+  bad.patches.push_back(
+      make_entry("fn2", lay.text_base + 0x200, lay.mem_x_base() + 0x1000));
+  bad.patches.push_back(
+      make_entry("trap", lay.mem_bytes, lay.mem_x_base() + 0x2000));
+  EXPECT_EQ(rig.deliver(patchtool::serialize_patchset(
+                bad, patchtool::PatchOp::kPatch)),
+            core::SmmStatus::kBadPackage);
+  EXPECT_EQ(rig.handler.patches_applied(), 1u);
+
+  core::Mailbox mbox(rig.m.mem(), lay.mem_rw_base(),
+                     machine::AccessMode::normal());
+  ASSERT_TRUE(mbox.write_command(core::SmmCommand::kRollback).is_ok());
+  rig.m.trigger_smi();
+  auto rb = mbox.read_status();
+  ASSERT_TRUE(rb.is_ok());
+  EXPECT_EQ(*rb, core::SmmStatus::kOk);
+  auto text = rig.m.mem().read_bytes(lay.text_base, entry_bytes.size(), mode);
+  ASSERT_TRUE(text.is_ok());
+  EXPECT_EQ(*text, entry_bytes);
+  EXPECT_EQ(kernel_state(rig), pre)
+      << "rollback did not restore the pre-apply snapshot";
+}
+
 // ---- SMRAM lock ----------------------------------------------------------------
 
 TEST(SmramLock, KernelCannotReplaceHandler) {

@@ -17,6 +17,17 @@
 //
 //   kshot-sim single [CVE-ID]              `patch` with a default case
 //
+//   kshot-sim fuzz [flags]                 invariant-oracle fuzzing (DESIGN.md §9)
+//       --surface S    package | netsim | kcc | all (default package)
+//       --iters N      generated cases per surface (default 200)
+//       --time-budget T  wall-clock cap in seconds (0 = off; breaks
+//                      run-to-run case-count determinism)
+//       --corpus DIR   replay a regression corpus instead of generating
+//       --write-corpus DIR   write the canonical seed corpus and exit
+//       --replay FILE  re-execute one corpus file (needs --surface)
+//       --selftest     prove the package oracles catch the pre-fix
+//                      wrapping-bounds bug (expects a failure)
+//
 // Shared flags (all modes):
 //   --seed S         deterministic seed (testbed RNG / fleet base seed)
 //   --jobs J         parallelism: fleet worker pool; workload threads for
@@ -27,6 +38,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -34,6 +47,7 @@
 #include "baselines/kpatch_sim.hpp"
 #include "common/hex.hpp"
 #include "fleet/fleet.hpp"
+#include "fuzz/fuzz.hpp"
 #include "isa/disasm.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -223,6 +237,116 @@ int cmd_package(const std::string& id) {
   return 0;
 }
 
+struct FuzzCliOptions {
+  std::string surface = "package";
+  fuzz::FuzzOptions fuzz;
+  std::string corpus_dir;
+  std::string write_corpus_dir;
+  std::string replay_file;
+  bool selftest = false;
+};
+
+int print_reports(const std::vector<fuzz::FuzzReport>& reports) {
+  bool failed = false;
+  for (const auto& r : reports) {
+    std::fputs(r.to_string().c_str(), stdout);
+    failed = failed || !r.failures.empty();
+  }
+  return failed ? 1 : 0;
+}
+
+int cmd_fuzz(const FuzzCliOptions& o) {
+  if (!o.write_corpus_dir.empty()) {
+    auto st = fuzz::write_seed_corpus(o.write_corpus_dir);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "%s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("seed corpus written to %s\n", o.write_corpus_dir.c_str());
+    return 0;
+  }
+  if (!o.replay_file.empty()) {
+    std::ifstream in(o.replay_file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", o.replay_file.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Bytes input;
+    if (o.surface == "kcc" &&
+        o.replay_file.find(".hex") == std::string::npos) {
+      input = to_bytes(buf.str());
+    } else {
+      auto decoded = fuzz::decode_hex_file(buf.str());
+      if (!decoded.is_ok()) {
+        std::fprintf(stderr, "%s\n", decoded.status().to_string().c_str());
+        return 1;
+      }
+      input = std::move(*decoded);
+    }
+    auto surface = fuzz::make_surface(o.surface);
+    if (!surface) {
+      std::fprintf(stderr, "--replay needs --surface package|netsim|kcc\n");
+      return 2;
+    }
+    std::printf("%s\n", surface->describe(input).c_str());
+    auto v = surface->execute(input);
+    if (v.failure) {
+      std::printf("FAILURE oracle=%s\n  detail: %s\n", v.failure->first.c_str(),
+                  v.failure->second.c_str());
+      return 1;
+    }
+    std::printf("verdict: %s\n",
+                v.kind == fuzz::Surface::Verdict::Kind::kAccepted ? "accepted"
+                : v.kind == fuzz::Surface::Verdict::Kind::kRejected
+                    ? "rejected"
+                    : "skipped");
+    return 0;
+  }
+  if (!o.corpus_dir.empty()) {
+    auto entries = fuzz::load_corpus(o.corpus_dir);
+    if (!entries.is_ok()) {
+      std::fprintf(stderr, "%s\n", entries.status().to_string().c_str());
+      return 1;
+    }
+    return print_reports(fuzz::replay_corpus(*entries, o.fuzz));
+  }
+  if (o.selftest) {
+    // Re-introduce the pre-fix wrapping bounds check in the SMM target and
+    // prove the oracles catch it with a small shrunk repro.
+    auto surface =
+        fuzz::make_package_surface({.legacy_wrapping_bounds = true});
+    auto rep = fuzz::run_fuzz(*surface, o.fuzz);
+    std::fputs(rep.to_string().c_str(), stdout);
+    if (rep.failures.empty()) {
+      std::fprintf(stderr,
+                   "selftest FAILED: oracles missed the reintroduced "
+                   "wrapping-bounds bug\n");
+      return 1;
+    }
+    std::printf("selftest ok: bug caught; shrunk repro:\n%s\n",
+                surface->describe(rep.failures[0].input).c_str());
+    return 0;
+  }
+  std::vector<std::string> surfaces;
+  if (o.surface == "all") {
+    surfaces = {"package", "netsim", "kcc"};
+  } else {
+    surfaces = {o.surface};
+  }
+  std::vector<fuzz::FuzzReport> reports;
+  for (const auto& name : surfaces) {
+    auto surface = fuzz::make_surface(name);
+    if (!surface) {
+      std::fprintf(stderr, "unknown surface: %s\n", name.c_str());
+      return 2;
+    }
+    reports.push_back(fuzz::run_fuzz(*surface, o.fuzz));
+  }
+  return print_reports(reports);
+}
+
 void usage() {
   std::fprintf(
       stderr,
@@ -236,6 +360,9 @@ void usage() {
       "                 [--abort-rate R] [--drop R] [--corrupt R]\n"
       "       kshot-sim disasm <CVE-ID> <function>\n"
       "       kshot-sim package <CVE-ID>\n"
+      "       kshot-sim fuzz [--surface package|netsim|kcc|all] [--iters N]\n"
+      "                 [--time-budget T] [--corpus DIR] [--write-corpus DIR]\n"
+      "                 [--replay FILE] [--selftest]\n"
       "shared flags: --seed S (deterministic seed, default 0x5EED)\n"
       "              --jobs J (fleet worker pool; workload threads for "
       "patch)\n"
@@ -252,6 +379,56 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string& cmd = args[0];
+
+  // Strict flag validation: every command declares its boolean and
+  // value-taking flags; anything else that starts with "--" is an error
+  // (exit 2), not silently ignored. Value flags consume the next argument.
+  static const std::vector<std::string> kCommonBool = {"--metrics"};
+  static const std::vector<std::string> kCommonValue = {"--seed", "--jobs",
+                                                        "--trace-out"};
+  auto allowed_bool = kCommonBool;
+  auto allowed_value = kCommonValue;
+  if (cmd == "patch" || cmd == "single") {
+    for (const char* f : {"--rootkit", "--watchdog", "--guard", "--kpatch"}) {
+      allowed_bool.push_back(f);
+    }
+  } else if (cmd == "fleet") {
+    for (const char* f : {"--targets", "--canary", "--wave", "--abort-rate",
+                          "--drop", "--corrupt"}) {
+      allowed_value.push_back(f);
+    }
+  } else if (cmd == "fuzz") {
+    allowed_bool.push_back("--selftest");
+    for (const char* f : {"--surface", "--iters", "--time-budget", "--corpus",
+                          "--write-corpus", "--replay"}) {
+      allowed_value.push_back(f);
+    }
+  }
+  auto contains = [](const std::vector<std::string>& v, const std::string& s) {
+    for (const auto& e : v) {
+      if (e == s) return true;
+    }
+    return false;
+  };
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i].rfind("--", 0) != 0) continue;  // positional
+    if (contains(allowed_bool, args[i])) continue;
+    if (contains(allowed_value, args[i])) {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "%s: flag %s needs a value\n", cmd.c_str(),
+                     args[i].c_str());
+        usage();
+        return 2;
+      }
+      ++i;  // skip the consumed value
+      continue;
+    }
+    std::fprintf(stderr, "%s: unknown flag %s\n", cmd.c_str(),
+                 args[i].c_str());
+    usage();
+    return 2;
+  }
+
   auto has_flag = [&](const char* f) {
     for (const auto& a : args) {
       if (a == f) return true;
@@ -338,6 +515,19 @@ int main(int argc, char** argv) {
   }
   if (cmd == "disasm" && args.size() >= 3) return cmd_disasm(args[1], args[2]);
   if (cmd == "package" && args.size() >= 2) return cmd_package(args[1]);
+  if (cmd == "fuzz") {
+    FuzzCliOptions o;
+    o.surface = string_flag("--surface", o.surface);
+    o.fuzz.seed = common.seed;
+    o.fuzz.iters = static_cast<u32>(
+        std::max(1.0, value_flag("--iters", o.fuzz.iters)));
+    o.fuzz.time_budget_s = value_flag("--time-budget", 0);
+    o.corpus_dir = string_flag("--corpus", "");
+    o.write_corpus_dir = string_flag("--write-corpus", "");
+    o.replay_file = string_flag("--replay", "");
+    o.selftest = has_flag("--selftest");
+    return cmd_fuzz(o);
+  }
   usage();
   return 2;
 }
