@@ -12,51 +12,17 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/types.hpp"
 
 namespace kshot::bench {
 
-struct Stats {
-  double mean = 0;
-  double stddev = 0;  // population standard deviation
-  double min = 0;
-  double max = 0;
-  double p50 = 0;  // nearest-rank percentiles
-  double p95 = 0;
-  double p99 = 0;
-  int n = 0;
-};
-
-/// Nearest-rank percentile of a *sorted* sample vector.
-inline double percentile_sorted(const std::vector<double>& sorted,
-                                double pct) {
-  if (sorted.empty()) return 0;
-  size_t rank = static_cast<size_t>(
-      std::ceil(pct / 100.0 * static_cast<double>(sorted.size())));
-  if (rank == 0) rank = 1;
-  return sorted[std::min(rank, sorted.size()) - 1];
-}
-
-/// Aggregates externally collected samples: mean, stddev, min/max, and
-/// p50/p95/p99.
-inline Stats stats_of(std::vector<double> xs) {
-  Stats s;
-  s.n = static_cast<int>(xs.size());
-  if (xs.empty()) return s;
-  double sum = 0;
-  for (double x : xs) sum += x;
-  s.mean = sum / static_cast<double>(xs.size());
-  double var = 0;
-  for (double x : xs) var += (x - s.mean) * (x - s.mean);
-  s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
-  std::sort(xs.begin(), xs.end());
-  s.min = xs.front();
-  s.max = xs.back();
-  s.p50 = percentile_sorted(xs, 50);
-  s.p95 = percentile_sorted(xs, 95);
-  s.p99 = percentile_sorted(xs, 99);
-  return s;
-}
+// The percentile/stddev math lives in common/stats.hpp so every bench and
+// the fleet report share one nearest-rank implementation; these aliases
+// keep the existing bench binaries source-compatible.
+using Stats = kshot::SampleStats;
+using kshot::percentile_sorted;
+using kshot::stats_of;
 
 /// Runs `fn` n times, returning stats over per-iteration wall time in us.
 inline Stats time_us(int n, const std::function<void()>& fn) {

@@ -1,0 +1,79 @@
+// Deterministic bench-regression harness behind `kshot-sim bench`.
+//
+// Two canonical JSON documents are produced per run:
+//
+//   BENCH_table3.json  patch-size sweep (the Table III scenario): modeled
+//                      SMM downtime by payload size, single + batched.
+//   BENCH_table4.json  batched-session matrix (the Table IV batched
+//                      variants): K-CVE sequential vs one batched SMM
+//                      session, plus a batched fleet campaign row.
+//
+// Everything in those documents is *modeled* (virtual-clock cycles, modeled
+// microseconds, counters): for a fixed seed the bytes are identical at any
+// --jobs level, so the files can be checked in as goldens and diffed by CI.
+// Wall-clock timings are real and therefore noisy; they are emitted into
+// separate *_wall.json sidecars that are never golden-compared or gated.
+//
+// gate_compare() is the regression gate: every numeric leaf of the current
+// document must stay within `tolerance` (relative) of the checked-in
+// baseline, and no baseline key may disappear. BenchOptions::cost_scale
+// exists so tests can inflate the emitted modeled numbers and prove the
+// gate actually trips.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace kshot::benchkit {
+
+struct BenchOptions {
+  u64 seed = 0x5EED;
+  u32 jobs = 1;       // row-level worker pool (never changes the bytes)
+  bool quick = false;  // CI profile: smaller sweep + fleet
+  /// Multiplier applied to every modeled number at emission time. 1.0 in
+  /// real runs; tests raise it to demonstrate the gate failing.
+  double cost_scale = 1.0;
+};
+
+struct BenchResults {
+  std::string table3_json;       // canonical, golden-comparable
+  std::string table4_json;       // canonical, golden-comparable
+  std::string table3_wall_json;  // wall-clock sidecar, never gated
+  std::string table4_wall_json;  // wall-clock sidecar, never gated
+};
+
+/// Runs the full harness. Boots one testbed per scenario row; rows are
+/// distributed over `jobs` workers and merged in row order.
+Result<BenchResults> run_bench(const BenchOptions& opts);
+
+/// Flattens a canonical bench JSON document into "path.to[2].leaf" -> value
+/// for every numeric leaf (booleans and strings are skipped).
+Result<std::map<std::string, double>> flatten_json(const std::string& json);
+
+struct GateFinding {
+  std::string key;
+  double baseline = 0;
+  double current = 0;
+};
+
+struct GateReport {
+  std::vector<GateFinding> regressions;   // current > baseline * (1 + tol)
+  std::vector<std::string> missing_keys;  // in baseline, absent in current
+  [[nodiscard]] bool ok() const {
+    return regressions.empty() && missing_keys.empty();
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Compares every numeric leaf of `current` against `baseline`. Only cost
+/// *increases* beyond the relative tolerance are regressions; improvements
+/// pass (the baseline is refreshed by re-generating the goldens).
+Result<GateReport> gate_compare(const std::string& baseline_json,
+                                const std::string& current_json,
+                                double tolerance);
+
+}  // namespace kshot::benchkit

@@ -1,0 +1,38 @@
+// Bounded worker-pool fan-out shared by fleet rollouts, patchtool bindiff,
+// and the bench harness. Callers must make fn(i) write only index-i slots
+// (or take their own locks) — results are then merged in index order, which
+// keeps outputs deterministic regardless of scheduling.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kshot {
+
+/// Runs fn(0..n-1) on up to `jobs` worker threads. Work items are claimed
+/// from an atomic counter; every item writes only its own slots, so no
+/// further synchronization is needed. jobs==1 degenerates to a plain loop.
+inline void parallel_for(u32 n, u32 jobs,
+                         const std::function<void(u32)>& fn) {
+  jobs = std::max<u32>(1, std::min(jobs, n));
+  if (jobs <= 1) {
+    for (u32 i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<u32> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (u32 w = 0; w < jobs; ++w) {
+    pool.emplace_back([&] {
+      for (u32 i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace kshot

@@ -1,0 +1,59 @@
+// Shared sample-statistics helpers: nearest-rank percentiles and the
+// mean/stddev/min/max aggregate used by the bench binaries and the fleet
+// report. Consolidated here so every consumer computes percentiles with the
+// exact same formula (nearest-rank, 1-based), keeping report numbers
+// byte-stable across subsystems.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace kshot {
+
+/// Nearest-rank percentile of a *sorted* sample vector. rank =
+/// ceil(pct/100 * n), clamped to [1, n]; returns sorted[rank-1]. Empty
+/// input returns 0. With a single sample every percentile is that sample.
+inline double percentile_sorted(const std::vector<double>& sorted,
+                                double pct) {
+  if (sorted.empty()) return 0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+struct SampleStats {
+  double mean = 0;
+  double stddev = 0;  // population standard deviation
+  double min = 0;
+  double max = 0;
+  double p50 = 0;  // nearest-rank percentiles
+  double p95 = 0;
+  double p99 = 0;
+  int n = 0;
+};
+
+/// Aggregates externally collected samples: mean, population stddev,
+/// min/max, and p50/p95/p99 via percentile_sorted.
+inline SampleStats stats_of(std::vector<double> xs) {
+  SampleStats s;
+  s.n = static_cast<int>(xs.size());
+  if (xs.empty()) return s;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  s.p50 = percentile_sorted(xs, 50);
+  s.p95 = percentile_sorted(xs, 95);
+  s.p99 = percentile_sorted(xs, 99);
+  return s;
+}
+
+}  // namespace kshot

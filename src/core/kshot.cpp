@@ -103,6 +103,7 @@ Status Kshot::install(u64 watchdog_interval_cycles) {
   geom.mem_x_size = lay.mem_x_size;
   geom.mem_w_size = lay.mem_w_size;
   KSHOT_RETURN_IF_ERROR(enclave_->initialize(geom));
+  enclave_->set_metrics(&metrics());
 
   installed_ = true;
   // Re-apply any trace routing configured before install so the freshly
@@ -350,6 +351,131 @@ Result<PatchReport> Kshot::live_patch(const std::string& patch_id) {
   report.smm.modeled_total_us = cost.to_us(report.downtime_cycles);
   emit_span("live_patch", run_c0, us_since(run_t0),
             {{"id", patch_id}, {"success", report.success ? "1" : "0"}});
+  metrics().counter(report.success ? "kshot.patch_success"
+                                   : "kshot.patch_failure").inc();
+  metrics().histogram("kshot.downtime_us").observe(
+      report.smm.modeled_total_us);
+  return report;
+}
+
+Result<PatchReport> Kshot::live_patch_batch(
+    const std::vector<std::string>& patch_ids) {
+  if (!installed_) {
+    return Status{Errc::kFailedPrecondition, "install() first"};
+  }
+  if (patch_ids.empty()) {
+    return Status{Errc::kInvalidArgument, "empty batch"};
+  }
+  auto& m = kernel_.machine();
+  const auto& lay = kernel_.layout();
+  Mailbox mbox(m.mem(), lay.mem_rw_base(), machine::AccessMode::normal());
+
+  PatchReport report;
+  report.id = "BATCH(";
+  for (size_t i = 0; i < patch_ids.size(); ++i) {
+    if (i != 0) report.id += ",";
+    report.id += patch_ids[i];
+  }
+  report.id += ")";
+  u64 smm_cycles_before = m.smm_cycles();
+  u64 smis_before = m.smi_count();
+  u64 run_c0 = m.cycles();
+  auto run_t0 = Clock::now();
+  metrics().counter("kshot.live_patches").inc();
+
+  // ---- Fetch + preprocess each package, accumulating in the enclave ------
+  // fetch_with_retry writes per-call fetch_us; sum them across the batch.
+  KSHOT_RETURN_IF_ERROR(enclave_->batch_reset());
+  notify_phase(PatchPhase::kFetching);
+  double fetch_us_total = 0;
+  for (const std::string& id : patch_ids) {
+    if (Status st = fetch_with_retry(id, report); !st.is_ok()) {
+      notify_phase(PatchPhase::kFailed);
+      return st;
+    }
+    fetch_us_total += report.sgx.fetch_us;
+    auto t0 = Clock::now();
+    auto prep_stats = enclave_->preprocess();
+    if (!prep_stats) {
+      notify_phase(PatchPhase::kFailed);
+      return prep_stats.status();
+    }
+    report.sgx.preprocess_us += us_since(t0);
+    report.stats.functions += prep_stats->functions;
+    report.stats.code_bytes += prep_stats->code_bytes;
+    report.stats.package_bytes += prep_stats->package_bytes;
+    if (Status st = enclave_->batch_add(); !st.is_ok()) {
+      notify_phase(PatchPhase::kFailed);
+      return st;
+    }
+  }
+  report.sgx.fetch_us = fetch_us_total;
+
+  // ---- One seal + stage + apply transaction for the whole batch ----------
+  // Exactly two SMIs per attempt (begin_session + apply_batch) no matter
+  // how many packages ride along; the enclave re-seals the accumulated
+  // envelope against each attempt's fresh SMM session key.
+  auto attempt_once = [&]() -> Result<SmmStatus> {
+    auto begin = trigger_and_status(SmmCommand::kBeginSession);
+    if (!begin) return begin.status();
+    auto smm_pub = mbox.read_smm_pub();
+    if (!smm_pub) return smm_pub.status();
+
+    auto t1 = Clock::now();
+    auto sealed = enclave_->seal_batch_for_smm(*smm_pub);
+    if (!sealed) return sealed.status();
+    if (sealed->size() < 32) {
+      return Status{Errc::kInternal, "malformed seal output"};
+    }
+    report.sgx.preprocess_us += us_since(t1);
+
+    t1 = Clock::now();
+    u64 stage_c0 = m.cycles();
+    Bytes blob = std::move(*sealed);
+    if (stage_tamperer_) stage_tamperer_(blob);
+    if (blob.size() < 32) {
+      return Status{Errc::kIntegrityFailure, "staged blob mangled"};
+    }
+    crypto::X25519Key enclave_pub;
+    std::memcpy(enclave_pub.data(), blob.data(), 32);
+    ByteSpan package(blob.data() + 32, blob.size() - 32);
+    if (package.size() > lay.mem_w_size) {
+      return Status{Errc::kResourceExhausted, "package exceeds mem_W"};
+    }
+    ++staging_attempts_;
+    KSHOT_RETURN_IF_ERROR(m.mem().write(lay.mem_w_base(), package,
+                                        machine::AccessMode::normal()));
+    KSHOT_RETURN_IF_ERROR(mbox.write_enclave_pub(enclave_pub));
+    KSHOT_RETURN_IF_ERROR(mbox.write_staged_size(package.size()));
+    report.sgx.passing_us += us_since(t1);
+    emit_span("stage", stage_c0, us_since(t1),
+              {{"bytes", std::to_string(package.size())},
+               {"batch", std::to_string(patch_ids.size())}});
+    notify_phase(PatchPhase::kStaged);
+
+    return trigger_and_status(SmmCommand::kApplyBatch);
+  };
+  if (Status st = apply_with_retry(attempt_once, report); !st.is_ok()) {
+    notify_phase(PatchPhase::kFailed);
+    return st;
+  }
+  notify_phase(report.success ? PatchPhase::kApplied : PatchPhase::kFailed);
+
+  const SmmPatchTimings& t = handler_->last_timings();
+  const auto& cost = m.cost_model();
+  report.smm.keygen_us = t.keygen_ns / 1000.0;
+  report.smm.decrypt_us = t.decrypt_ns / 1000.0;
+  report.smm.verify_us = t.verify_ns / 1000.0;
+  report.smm.apply_us = t.apply_ns / 1000.0;
+  report.smm.switch_us = static_cast<double>(m.smi_count() - smis_before) *
+                         cost.to_us(cost.smi_entry_cycles + cost.rsm_cycles);
+  report.smm.total_us = report.smm.keygen_us + report.smm.decrypt_us +
+                        report.smm.verify_us + report.smm.apply_us +
+                        report.smm.switch_us;
+  report.downtime_cycles = m.smm_cycles() - smm_cycles_before;
+  report.smm.modeled_total_us = cost.to_us(report.downtime_cycles);
+  emit_span("live_patch_batch", run_c0, us_since(run_t0),
+            {{"id", report.id}, {"success", report.success ? "1" : "0"}});
   metrics().counter(report.success ? "kshot.patch_success"
                                    : "kshot.patch_failure").inc();
   metrics().histogram("kshot.downtime_us").observe(

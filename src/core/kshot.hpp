@@ -104,6 +104,15 @@ class Kshot {
   /// OS keeps running except during the two SMIs.
   Result<PatchReport> live_patch(const std::string& patch_id);
 
+  /// Batched end-to-end patching: fetches and preprocesses each id in
+  /// order, accumulates the processed packages in the enclave, then runs
+  /// ONE seal->stage->apply session whose single kApplyBatch SMI installs
+  /// every package (all-or-nothing; one rollback unit per package, popped
+  /// in reverse by successive rollback() calls). Pays one SMI round trip
+  /// and one SMM keygen for the whole batch instead of one per patch.
+  Result<PatchReport> live_patch_batch(
+      const std::vector<std::string>& patch_ids);
+
   /// Streaming variant for packages larger than mem_W: the sealed package
   /// crosses the reserved region in `chunk_bytes`-sized pieces, one SMI per
   /// chunk, with per-chunk authenticated ordering. Downtime is spread over

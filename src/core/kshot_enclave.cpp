@@ -5,6 +5,7 @@
 
 #include "common/byte_io.hpp"
 #include "common/log.hpp"
+#include "crypto/simple_hash.hpp"
 #include "isa/reloc.hpp"
 
 namespace kshot::core {
@@ -115,6 +116,31 @@ Result<Bytes> KshotEnclave::get_chunk(u32 index) {
   return ecall(kEcallGetChunk, w.bytes());
 }
 
+Status KshotEnclave::batch_reset() {
+  auto r = ecall(kEcallBatchReset, {});
+  return r.is_ok() ? Status::ok() : r.status();
+}
+
+Status KshotEnclave::batch_add() {
+  auto r = ecall(kEcallBatchAdd, {});
+  return r.is_ok() ? Status::ok() : r.status();
+}
+
+Result<Bytes> KshotEnclave::seal_batch_for_smm(
+    const crypto::X25519Key& smm_pub) {
+  return ecall(kEcallSealBatch, ByteSpan(smm_pub.data(), smm_pub.size()));
+}
+
+void KshotEnclave::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    c_prep_hits_ = nullptr;
+    c_prep_misses_ = nullptr;
+    return;
+  }
+  c_prep_hits_ = &metrics->counter("enclave.prep_hits");
+  c_prep_misses_ = &metrics->counter("enclave.prep_misses");
+}
+
 // ---- ECALL dispatch --------------------------------------------------------
 
 Result<Bytes> KshotEnclave::handle_ecall(int fn, ByteSpan input) {
@@ -128,6 +154,9 @@ Result<Bytes> KshotEnclave::handle_ecall(int fn, ByteSpan input) {
     case kEcallSeal: name = "seal"; break;
     case kEcallBeginSealChunked: name = "begin_seal_chunked"; break;
     case kEcallGetChunk: name = "get_chunk"; break;
+    case kEcallBatchReset: name = "batch_reset"; break;
+    case kEcallBatchAdd: name = "batch_add"; break;
+    case kEcallSealBatch: name = "seal_batch"; break;
   }
   auto t0 = std::chrono::steady_clock::now();
   u64 c0 = vclock_ ? vclock_() : 0;
@@ -162,6 +191,13 @@ Result<Bytes> KshotEnclave::dispatch_ecall(int fn, ByteSpan input) {
       return do_begin_seal_chunked(input);
     case kEcallGetChunk:
       return do_get_chunk(input);
+    case kEcallBatchReset:
+      batch_pkgs_.clear();
+      return Bytes{};
+    case kEcallBatchAdd:
+      return do_batch_add();
+    case kEcallSealBatch:
+      return do_seal_batch(input);
     default:
       return Status{Errc::kInvalidArgument, "unknown ecall"};
   }
@@ -254,8 +290,14 @@ Result<Bytes> KshotEnclave::do_preprocess() {
   }
 
   // 2. Branch replacement: rewrite every external rel32 for the new home.
-  //    Intra-patch-set references resolve to the callee's mem_X body.
+  //    Intra-patch-set references resolve to the callee's mem_X body. The
+  //    rewrite is memoized content-addressed: the key covers the original
+  //    code, its layout address, and every resolved target, so the cached
+  //    body is valid exactly when the transformation inputs repeat (e.g. a
+  //    re-preprocess of the same package at the same mem_X layout).
   for (auto& p : set.patches) {
+    std::vector<u64> targets;
+    targets.reserve(p.relocs.size());
     for (const auto& rel : p.relocs) {
       u64 target;
       if (rel.patch_index >= 0) {
@@ -270,7 +312,28 @@ Result<Bytes> KshotEnclave::do_preprocess() {
       if (rel.offset + 4 > p.code.size()) {
         return Status{Errc::kIntegrityFailure, "reloc outside code"};
       }
-      isa::retarget_rel32(MutByteSpan(p.code), rel.offset, p.paddr, target);
+      targets.push_back(target);
+    }
+
+    ByteWriter keybuf;
+    keybuf.put_bytes(p.code);
+    keybuf.put_u64(p.paddr);
+    for (size_t k = 0; k < p.relocs.size(); ++k) {
+      keybuf.put_u32(p.relocs[k].offset);
+      keybuf.put_u64(targets[k]);
+    }
+    u64 key = crypto::fnv1a(keybuf.bytes());
+    auto hit = prep_cache_.find(key);
+    if (hit != prep_cache_.end()) {
+      p.code = hit->second;
+      if (c_prep_hits_) c_prep_hits_->inc();
+    } else {
+      for (size_t k = 0; k < p.relocs.size(); ++k) {
+        isa::retarget_rel32(MutByteSpan(p.code), p.relocs[k].offset, p.paddr,
+                            targets[k]);
+      }
+      prep_cache_.emplace(key, p.code);
+      if (c_prep_misses_) c_prep_misses_->inc();
     }
     p.relocs.clear();  // fixups are baked into the code now
   }
@@ -286,19 +349,13 @@ Result<Bytes> KshotEnclave::do_preprocess() {
   return stats.serialize();
 }
 
-Result<Bytes> KshotEnclave::do_seal(ByteSpan input) {
-  if (processed_size_ == 0) {
-    return Status{Errc::kFailedPrecondition, "nothing preprocessed"};
-  }
-  if (processed_size_ + 64 > geom_.mem_w_size) {
-    return Status{Errc::kResourceExhausted,
-                  "package exceeds mem_W; use chunked staging"};
-  }
-  if (input.size() != 32) {
+Result<Bytes> KshotEnclave::seal_blob_for(ByteSpan smm_pub_bytes,
+                                          const Bytes& plain) {
+  if (smm_pub_bytes.size() != 32) {
     return Status{Errc::kInvalidArgument, "expected 32-byte SMM public key"};
   }
   crypto::X25519Key smm_pub;
-  std::memcpy(smm_pub.data(), input.data(), 32);
+  std::memcpy(smm_pub.data(), smm_pub_bytes.data(), 32);
 
   // Fresh enclave-side key for the SGX<->SMM session too.
   crypto::DhKeyPair smm_session = crypto::dh_generate(rng_);
@@ -309,15 +366,51 @@ Result<Bytes> KshotEnclave::do_seal(ByteSpan input) {
   crypto::Nonce96 nonce{};
   rng_.fill(MutByteSpan(nonce.data(), nonce.size()));
 
-  auto processed = load_package(kProcessedRegion);
-  if (!processed) return processed.status();
-  Bytes sealed = crypto::seal(key, nonce, *processed).serialize();
+  Bytes sealed = crypto::seal(key, nonce, plain).serialize();
 
   ByteWriter out;
   out.put_bytes(ByteSpan(smm_session.public_key.data(),
                          smm_session.public_key.size()));
   out.put_bytes(sealed);
   return out.take();
+}
+
+Result<Bytes> KshotEnclave::do_seal(ByteSpan input) {
+  if (processed_size_ == 0) {
+    return Status{Errc::kFailedPrecondition, "nothing preprocessed"};
+  }
+  if (processed_size_ + 64 > geom_.mem_w_size) {
+    return Status{Errc::kResourceExhausted,
+                  "package exceeds mem_W; use chunked staging"};
+  }
+  auto processed = load_package(kProcessedRegion);
+  if (!processed) return processed.status();
+  return seal_blob_for(input, *processed);
+}
+
+Result<Bytes> KshotEnclave::do_batch_add() {
+  if (processed_size_ == 0) {
+    return Status{Errc::kFailedPrecondition, "nothing preprocessed"};
+  }
+  if (batch_pkgs_.size() >= patchtool::kMaxBatchPackages) {
+    return Status{Errc::kResourceExhausted, "batch accumulator full"};
+  }
+  auto processed = load_package(kProcessedRegion);
+  if (!processed) return processed.status();
+  batch_pkgs_.push_back(std::move(*processed));
+  return Bytes{};
+}
+
+Result<Bytes> KshotEnclave::do_seal_batch(ByteSpan input) {
+  if (batch_pkgs_.empty()) {
+    return Status{Errc::kFailedPrecondition, "empty batch"};
+  }
+  Bytes envelope = patchtool::serialize_batch(batch_pkgs_);
+  if (envelope.size() + 64 > geom_.mem_w_size) {
+    return Status{Errc::kResourceExhausted,
+                  "batch envelope exceeds mem_W"};
+  }
+  return seal_blob_for(input, envelope);
 }
 
 Result<Bytes> KshotEnclave::do_begin_seal_chunked(ByteSpan input) {

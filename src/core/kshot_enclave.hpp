@@ -14,6 +14,9 @@
 #pragma once
 
 #include <functional>
+#include <map>
+
+#include "obs/metrics.hpp"
 
 #include "core/mailbox.hpp"
 #include "kernel/kernel.hpp"
@@ -33,6 +36,10 @@ enum EnclaveCall : int {
   kEcallSeal = 5,
   kEcallBeginSealChunked = 6,  // set up streaming; returns chunk count
   kEcallGetChunk = 7,          // one sealed chunk by index
+  kEcallBatchReset = 8,        // drop any accumulated batch packages
+  kEcallBatchAdd = 9,          // append the current processed package to the
+                               // EPC-resident batch accumulator
+  kEcallSealBatch = 10,        // seal the accumulated batch envelope for SMM
 };
 
 /// Geometry of the reserved region, passed to the enclave at initialization.
@@ -77,10 +84,27 @@ class KshotEnclave final : public sgx::Enclave {
   /// One sealed chunk (SealedBox wire) by index.
   Result<Bytes> get_chunk(u32 index);
 
+  /// Batched staging: accumulate several preprocessed packages, then seal
+  /// them as one batch envelope (patchtool::serialize_batch) so the SMM
+  /// side installs all of them under a single kApplyBatch SMI. batch_add()
+  /// snapshots the current processed package; seal_batch_for_smm() does not
+  /// clear the accumulator (retry-safe — a failed staging can re-seal).
+  Status batch_reset();
+  Status batch_add();
+  /// Returns enclave_pub(32) || sealed batch envelope wire.
+  Result<Bytes> seal_batch_for_smm(const crypto::X25519Key& smm_pub);
+  [[nodiscard]] u32 batch_count() const {
+    return static_cast<u32>(batch_pkgs_.size());
+  }
+
   /// mem_X bytes consumed so far by preprocessing layout.
   [[nodiscard]] u64 mem_x_cursor() const { return mem_x_cursor_; }
   /// Resets the mem_X layout cursor (fresh reserved region).
   void reset_mem_x_cursor() { mem_x_cursor_ = 0; }
+
+  /// Mirrors the preprocessing-cache counters into `metrics` as
+  /// "enclave.prep_hits"/"enclave.prep_misses". Null disables mirroring.
+  void set_metrics(obs::MetricsRegistry* metrics);
 
   /// Emits one "enclave" span per ecall into `trace` (null disables).
   /// `vclock` supplies the machine's modeled cycle counter — the enclave has
@@ -104,6 +128,11 @@ class KshotEnclave final : public sgx::Enclave {
   Result<Bytes> do_seal(ByteSpan input);
   Result<Bytes> do_begin_seal_chunked(ByteSpan input);
   Result<Bytes> do_get_chunk(ByteSpan input);
+  Result<Bytes> do_batch_add();
+  Result<Bytes> do_seal_batch(ByteSpan input);
+  /// Shared seal leg: fresh DH against `smm_pub`, "sgx-smm" key, random
+  /// nonce; returns enclave_pub(32) || sealed wire.
+  Result<Bytes> seal_blob_for(ByteSpan smm_pub_bytes, const Bytes& plain);
 
   // EPC-backed package storage.
   Status store_package(u64 region, ByteSpan data);
@@ -121,6 +150,16 @@ class KshotEnclave final : public sgx::Enclave {
   u64 mem_x_cursor_ = 0;
   u64 raw_size_ = 0;
   u64 processed_size_ = 0;
+
+  // Batch accumulator (conceptually EPC-resident, like server_session_).
+  std::vector<Bytes> batch_pkgs_;
+
+  // Content-addressed cache of reloc-retargeted function bodies: keyed over
+  // (original code, layout address, resolved targets), so a repeated
+  // preprocessing of the same package at the same mem_X layout is a hit.
+  std::map<u64, Bytes> prep_cache_;
+  obs::Counter* c_prep_hits_ = nullptr;
+  obs::Counter* c_prep_misses_ = nullptr;
 
   // Streaming-seal state.
   bool chunking_ = false;

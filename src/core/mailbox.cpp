@@ -26,7 +26,7 @@ Status Mailbox::write_command(SmmCommand cmd) {
 Result<SmmCommand> Mailbox::read_command() const {
   auto v = mem_.read_u64(base_ + MailboxLayout::kCommand, mode_);
   if (!v) return v.status();
-  if (*v > static_cast<u64>(SmmCommand::kAbortSession)) {
+  if (*v > static_cast<u64>(SmmCommand::kApplyBatch)) {
     return SmmCommand::kIdle;
   }
   return static_cast<SmmCommand>(*v);

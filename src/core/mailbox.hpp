@@ -25,6 +25,9 @@ enum class SmmCommand : u64 {
                       // partial chunk stream, bump the session epoch. Always
                       // succeeds (aborting nothing is a no-op), so a failed
                       // or interrupted staging can be restaged idempotently.
+  kApplyBatch = 7,    // decrypt the staged blob as a batch envelope carrying
+                      // N packages; verify and apply all of them under this
+                      // one SMI, all-or-nothing, one rollback unit each
 };
 
 /// SMM status codes (mirrored into PatchReport).

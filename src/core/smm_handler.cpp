@@ -40,6 +40,7 @@ SmmPatchHandler::SmmPatchHandler(kernel::MemoryLayout layout, u64 entropy_seed,
   c_rollbacks_ = &metrics_->counter("smm.rollbacks");
   c_stagings_ = &metrics_->counter("smm.stagings_seen");
   c_aborts_ = &metrics_->counter("smm.aborts");
+  c_batch_applies_ = &metrics_->counter("smm.batch_applies");
 }
 
 double SmmPatchHandler::phase_span(machine::Machine& m, const char* name,
@@ -92,6 +93,10 @@ void SmmPatchHandler::on_smi(machine::Machine& m) {
       case SmmCommand::kApplyPatch:
         cmd_name = "apply_patch";
         mbox.write_status(apply_patch(m, mbox));
+        break;
+      case SmmCommand::kApplyBatch:
+        cmd_name = "apply_batch";
+        mbox.write_status(apply_batch(m, mbox));
         break;
       case SmmCommand::kStageChunk:
         cmd_name = "stage_chunk";
@@ -190,7 +195,8 @@ bool SmmPatchHandler::bounds_ok(const patchtool::FunctionPatch& p) const {
   return true;
 }
 
-SmmStatus SmmPatchHandler::apply_patch(machine::Machine& m, Mailbox& mbox) {
+SmmStatus SmmPatchHandler::decrypt_staged(machine::Machine& m, Mailbox& mbox,
+                                          Bytes& out, size_t& out_staged) {
   const auto mode = machine::AccessMode::smm();
   const auto& cost = m.cost_model();
 
@@ -233,7 +239,123 @@ SmmStatus SmmPatchHandler::apply_patch(machine::Machine& m, Mailbox& mbox) {
   // cannot succeed (paper §V-C).
   session_keys_.reset();
 
-  return verify_and_apply(m, *package, *staged);
+  out = std::move(*package);
+  out_staged = *staged;
+  return SmmStatus::kOk;
+}
+
+SmmStatus SmmPatchHandler::apply_patch(machine::Machine& m, Mailbox& mbox) {
+  Bytes package;
+  size_t staged = 0;
+  SmmStatus st = decrypt_staged(m, mbox, package, staged);
+  if (st != SmmStatus::kOk) return st;
+  return verify_and_apply(m, package, staged);
+}
+
+SmmStatus SmmPatchHandler::apply_batch(machine::Machine& m, Mailbox& mbox) {
+  const auto& cost = m.cost_model();
+
+  Bytes envelope;
+  size_t staged = 0;
+  SmmStatus st = decrypt_staged(m, mbox, envelope, staged);
+  if (st != SmmStatus::kOk) return st;
+
+  auto pkgs = patchtool::parse_batch(envelope);
+  if (!pkgs) {
+    emit_instant(m, "bad_batch_envelope");
+    return SmmStatus::kBadPackage;
+  }
+
+  // ---- Verification: every inner package is digest/CRC-checked and parsed
+  //      before anything is applied, charged per package (Table III "Patch
+  //      Verification" scales with bytes, so the batch pays the fixed
+  //      verify cost N times but keygen/SMI entry only once). -------------
+  auto t0 = Clock::now();
+  u64 c0 = m.cycles();
+  std::vector<patchtool::PatchSet> sets;
+  sets.reserve(pkgs->size());
+  u64 verify_cycles = 0;
+  SmmStatus verdict = SmmStatus::kOk;
+  const char* fail_instant = nullptr;
+  for (const Bytes& pkg : *pkgs) {
+    u64 c = cost.verify_fixed_cycles +
+            cost.bytes_cost(cost.verify_cycles_per_byte, pkg.size());
+    m.charge_cycles(c);
+    verify_cycles += c;
+    auto set = patchtool::parse_patchset(pkg);
+    if (!set) {
+      bool digest = set.status().code() == Errc::kIntegrityFailure;
+      verdict = digest ? SmmStatus::kDigestFailure : SmmStatus::kBadPackage;
+      fail_instant = digest ? "digest_failure" : "bad_package";
+      break;
+    }
+    // A batch is an apply-only construct: rollback is a per-unit command on
+    // the mailbox, never an inner package.
+    for (const auto& p : set->patches) {
+      if (p.op == patchtool::PatchOp::kRollback) {
+        verdict = SmmStatus::kBadPackage;
+        fail_instant = "rollback_in_batch";
+        break;
+      }
+    }
+    if (verdict != SmmStatus::kOk) break;
+    sets.push_back(std::move(*set));
+  }
+  timings_.verify_ns = phase_span(m, "verify", c0, t0);
+  if (verdict != SmmStatus::kOk) {
+    if (fail_instant) emit_instant(m, fail_instant);
+    return verdict;
+  }
+
+  // ---- Cross-batch validation: if any set would fail validation, reject
+  //      the whole batch before a single byte of memory changes. ----------
+  for (const auto& set : sets) {
+    SmmStatus v = validate_set(set);
+    if (v != SmmStatus::kOk) {
+      emit_instant(m, "batch_validation_failed");
+      return v;
+    }
+  }
+
+  // ---- Application: one rollback unit per package; a mid-batch write
+  //      failure unwinds the units already applied, in reverse. -----------
+  t0 = Clock::now();
+  c0 = m.cycles();
+  size_t applied_units = 0;
+  size_t total_code = 0;
+  u32 total_functions = 0;
+  for (const auto& set : sets) {
+    SmmStatus s = apply_parsed(m, set);
+    if (s != SmmStatus::kOk) {
+      while (applied_units > 0) {
+        restore_top_unit(m);
+        --applied_units;
+      }
+      emit_instant(m, "batch_unwound");
+      phase_span(m, "apply", c0, t0);
+      return s;
+    }
+    ++applied_units;
+    total_code += set.total_code_bytes();
+    total_functions += static_cast<u32>(set.patches.size());
+  }
+  m.charge_cycles(cost.bytes_cost(cost.apply_cycles_per_byte, total_code));
+  timings_.apply_ns = phase_span(m, "apply", c0, t0);
+
+  timings_.package_bytes = envelope.size();
+  timings_.code_bytes = total_code;
+  timings_.functions = total_functions;
+  timings_.modeled_cycles =
+      cost.keygen_cycles +
+      cost.bytes_cost(cost.decrypt_cycles_per_byte, staged) + verify_cycles +
+      cost.bytes_cost(cost.apply_cycles_per_byte, total_code);
+
+  c_batch_applies_->inc();
+  metrics_->histogram("smm.batch_size").observe(
+      static_cast<double>(sets.size()));
+  KSHOT_LOG(kInfo, "smm") << "applied batch of " << sets.size()
+                          << " package(s), " << total_code << " code bytes";
+  return SmmStatus::kOk;
 }
 
 SmmStatus SmmPatchHandler::verify_and_apply(machine::Machine& m,
@@ -380,13 +502,12 @@ SmmStatus SmmPatchHandler::stage_chunk(machine::Machine& m, Mailbox& mbox) {
   return verify_and_apply(m, package, staged_total);
 }
 
-SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
-                                        const patchtool::PatchSet& set) {
-  const auto mode = machine::AccessMode::smm();
-
+SmmStatus SmmPatchHandler::validate_set(
+    const patchtool::PatchSet& set) const {
   // Validate everything — bounds, preprocessing, variable-edit targets —
   // before touching memory: the whole set applies or nothing does. Nothing
-  // below this block may fail for a reason validation could have caught.
+  // in apply_parsed past this check may fail for a reason validation could
+  // have caught.
   for (const auto& p : set.patches) {
     if (!bounds_ok(p)) return SmmStatus::kBadPackage;
     if (!p.relocs.empty()) return SmmStatus::kBadPackage;  // not preprocessed
@@ -399,6 +520,15 @@ SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
       }
     }
   }
+  return SmmStatus::kOk;
+}
+
+SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
+                                        const patchtool::PatchSet& set) {
+  const auto mode = machine::AccessMode::smm();
+
+  SmmStatus valid = validate_set(set);
+  if (valid != SmmStatus::kOk) return valid;
 
   // 1. Global/shared variable edits (paper: before redirection), remembering
   //    the overwritten values so a late failure can unwind them.
@@ -476,12 +606,16 @@ SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
     }
   }
 
-  // Commit: everything is in memory; record the batch as the rollback unit.
-  last_apply_indices_.clear();
+  // Commit: everything is in memory; push this set as one rollback unit.
+  // An empty set installs nothing and must not leave a phantom unit for a
+  // later kRollback to pop.
+  std::vector<size_t> unit;
+  unit.reserve(batch.size());
   for (auto& inst : batch) {
-    last_apply_indices_.push_back(installed_.size());
+    unit.push_back(installed_.size());
     installed_.push_back(std::move(inst));
   }
+  if (!unit.empty()) rollback_units_.push_back(std::move(unit));
   c_applied_->inc();
   metrics_->histogram("smm.code_bytes").observe(
       static_cast<double>(set.total_code_bytes()));
@@ -503,13 +637,11 @@ SmmStatus SmmPatchHandler::rollback_parsed(machine::Machine& m,
   return rollback(m);
 }
 
-SmmStatus SmmPatchHandler::rollback(machine::Machine& m) {
-  auto t0 = Clock::now();
-  u64 c0 = m.cycles();
-  if (last_apply_indices_.empty()) return SmmStatus::kNothingToRollback;
+void SmmPatchHandler::restore_top_unit(machine::Machine& m) {
+  std::vector<size_t> unit = std::move(rollback_units_.back());
+  rollback_units_.pop_back();
   // Restore original entries in reverse order.
-  for (auto it = last_apply_indices_.rbegin();
-       it != last_apply_indices_.rend(); ++it) {
+  for (auto it = unit.rbegin(); it != unit.rend(); ++it) {
     const InstalledPatch& p = installed_[*it];
     if (p.taddr != 0) {
       m.mem().write(p.taddr + p.ftrace_off,
@@ -518,14 +650,19 @@ SmmStatus SmmPatchHandler::rollback(machine::Machine& m) {
     }
   }
   // Drop the rolled-back records (highest indices first).
-  for (auto it = last_apply_indices_.rbegin();
-       it != last_apply_indices_.rend(); ++it) {
+  for (auto it = unit.rbegin(); it != unit.rend(); ++it) {
     installed_.erase(installed_.begin() + static_cast<std::ptrdiff_t>(*it));
   }
-  last_apply_indices_.clear();
+}
+
+SmmStatus SmmPatchHandler::rollback(machine::Machine& m) {
+  auto t0 = Clock::now();
+  u64 c0 = m.cycles();
+  if (rollback_units_.empty()) return SmmStatus::kNothingToRollback;
+  restore_top_unit(m);
   c_rollbacks_->inc();
   phase_span(m, "rollback", c0, t0);
-  KSHOT_LOG(kInfo, "smm") << "rolled back last patch";
+  KSHOT_LOG(kInfo, "smm") << "rolled back last patch unit";
   return SmmStatus::kOk;
 }
 

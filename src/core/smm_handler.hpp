@@ -9,7 +9,11 @@
 //   kApplyPatch    read mem_W -> authenticated decrypt -> package digest +
 //                  per-function CRC verify -> global variable edits ->
 //                  copy bodies into mem_X -> install 5-byte jmp trampolines
-//   kRollback      restore the last patch's original entry bytes
+//   kApplyBatch    same decrypt leg, but the plaintext is a batch envelope
+//                  of N packages; verify all, validate all, then apply all
+//                  under this one SMI (all-or-nothing, one rollback unit
+//                  per package)
+//   kRollback      restore the newest rollback unit's original entry bytes
 //   kIntrospect    re-check trampolines, mem_X hash and reserved-region page
 //                  attributes; repair anything a rootkit reverted
 #pragma once
@@ -142,9 +146,17 @@ class SmmPatchHandler {
  private:
   void begin_session(machine::Machine& m, Mailbox& mbox);
   SmmStatus apply_patch(machine::Machine& m, Mailbox& mbox);
+  SmmStatus apply_batch(machine::Machine& m, Mailbox& mbox);
   SmmStatus stage_chunk(machine::Machine& m, Mailbox& mbox);
   SmmStatus rollback(machine::Machine& m);
   void introspect(machine::Machine& m);
+
+  /// Shared decrypt leg of kApplyPatch/kApplyBatch: session check, staged
+  /// mem_W read, DH + "sgx-smm" key derivation, authenticated open, decrypt
+  /// charge, and single-use session-key reset. Returns kOk with the
+  /// plaintext in `out`, or the status to report.
+  SmmStatus decrypt_staged(machine::Machine& m, Mailbox& mbox, Bytes& out,
+                           size_t& out_staged);
 
   /// Discards the chunk-stream accumulation state.
   void reset_stream();
@@ -161,6 +173,15 @@ class SmmPatchHandler {
                          const patchtool::PatchSet& set);
   SmmStatus rollback_parsed(machine::Machine& m,
                             const patchtool::PatchSet& set);
+  /// Pre-apply validation of one set: bounds, preprocessing, var-edit
+  /// targets. apply_parsed re-runs it; apply_batch runs it over every set
+  /// before applying any, making the whole batch all-or-nothing for
+  /// validation failures.
+  [[nodiscard]] SmmStatus validate_set(const patchtool::PatchSet& set) const;
+  /// Pops the newest rollback unit and restores its entries (reverse
+  /// order), erasing the matching installed_ records. No counters/spans —
+  /// callers (rollback, mid-batch unwind) account for themselves.
+  void restore_top_unit(machine::Machine& m);
 
   /// Emits one "smm" span [c0, m.cycles()] named `name` and returns its
   /// wall-clock duration in ns — the value the SmmPatchTimings fields are
@@ -187,8 +208,14 @@ class SmmPatchHandler {
   u32 stream_total_ = 0;
 
   std::vector<InstalledPatch> installed_;
-  /// Patches from the most recent apply (the unit of rollback).
-  std::vector<size_t> last_apply_indices_;
+  /// Stack of rollback units: each successful apply (every package of a
+  /// batch individually) pushes the installed_ indices it created, and each
+  /// kRollback pops one unit — so repeated rollbacks peel a batch off
+  /// package by package, in reverse apply order. Unit k's indices are all
+  /// higher than unit k-1's (installed_ grows monotonically and erasure
+  /// only ever happens from the top), so popping never shifts the indices
+  /// of units below.
+  std::vector<std::vector<size_t>> rollback_units_;
 
   bool introspect_on_idle_ = false;
   bool legacy_wrapping_bounds_ = false;  // self-test seam, see above
@@ -211,6 +238,7 @@ class SmmPatchHandler {
   obs::Counter* c_rollbacks_ = nullptr;
   obs::Counter* c_stagings_ = nullptr;
   obs::Counter* c_aborts_ = nullptr;
+  obs::Counter* c_batch_applies_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
   u32 trace_target_ = 0;
 };

@@ -391,6 +391,32 @@ Result<BatchCase> combine_cases(const std::vector<std::string>& ids) {
   return batch;
 }
 
+Result<std::vector<CveCase>> batch_part_cases(
+    const std::vector<std::string>& ids) {
+  auto batch = combine_cases(ids);  // reuse its validation
+  if (!batch) return batch.status();
+
+  const std::string base = base_kernel_source();
+  std::vector<CveCase> parts;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    CveCase part = batch->parts[i];
+    // Merged kernel with exactly CVE i fixed: base + every case's pre tail,
+    // except case i contributes its post tail. Appending in `ids` order
+    // keeps the layout identical to the merged pre image for all shared
+    // code, so per-part patch sets apply cleanly to one booted kernel.
+    std::string pre = base, post = base;
+    for (size_t j = 0; j < ids.size(); ++j) {
+      const CveCase& c = batch->parts[j];
+      pre += c.pre_source.substr(base.size());
+      post += (j == i ? c.post_source : c.pre_source).substr(base.size());
+    }
+    part.pre_source = std::move(pre);
+    part.post_source = std::move(post);
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
 std::vector<std::string> figure_case_ids() {
   return {"CVE-2014-0196", "CVE-2014-3687",  "CVE-2014-4608",
           "CVE-2015-8964", "CVE-2016-5195", "CVE-2017-17806"};

@@ -72,6 +72,15 @@ struct BatchCase {
 /// case's id is "BATCH(<id>,...)".
 Result<BatchCase> combine_cases(const std::vector<std::string>& ids);
 
+/// Per-CVE cases rebased onto the merged kernel of combine_cases(ids): part
+/// i keeps its own id/metadata but its pre_source is the fully merged
+/// all-vulnerable kernel and its post_source fixes only CVE i (every other
+/// CVE stays vulnerable). A patch server fed these sources builds per-CVE
+/// patch sets whose pre images all measure identically to the merged
+/// kernel, so the N sets can be batched into one SMM session.
+Result<std::vector<CveCase>> batch_part_cases(
+    const std::vector<std::string>& ids);
+
 /// Syscall numbers provided by the base kernel.
 inline constexpr int kSysAccount = 1;  // bumps jiffies
 inline constexpr int kSysBusy = 2;     // CPU-bound loop, arg = iterations

@@ -9,32 +9,10 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "common/parallel.hpp"
+#include "common/stats.hpp"
 
 namespace kshot::fleet {
-
-namespace {
-
-/// Runs fn(0..n-1) on up to `jobs` worker threads. Work items are claimed
-/// from an atomic counter; every item writes only its own slots, so no
-/// further synchronization is needed. jobs==1 degenerates to a plain loop.
-void parallel_for(u32 n, u32 jobs, const std::function<void(u32)>& fn) {
-  jobs = std::max<u32>(1, std::min(jobs, n));
-  if (jobs <= 1) {
-    for (u32 i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::atomic<u32> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(jobs);
-  for (u32 w = 0; w < jobs; ++w) {
-    pool.emplace_back([&] {
-      for (u32 i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
-    });
-  }
-  for (auto& th : pool) th.join();
-}
-
-}  // namespace
 
 const char* target_state_name(TargetState s) {
   switch (s) {
@@ -52,16 +30,9 @@ LatencyPercentiles percentiles_of(std::vector<double> samples) {
   LatencyPercentiles p;
   if (samples.empty()) return p;
   std::sort(samples.begin(), samples.end());
-  auto nearest_rank = [&](double pct) {
-    size_t n = samples.size();
-    size_t rank = static_cast<size_t>(
-        std::ceil(pct / 100.0 * static_cast<double>(n)));
-    if (rank == 0) rank = 1;
-    return samples[std::min(rank, n) - 1];
-  };
-  p.p50 = nearest_rank(50);
-  p.p95 = nearest_rank(95);
-  p.p99 = nearest_rank(99);
+  p.p50 = percentile_sorted(samples, 50);
+  p.p95 = percentile_sorted(samples, 95);
+  p.p99 = percentile_sorted(samples, 99);
   return p;
 }
 
@@ -104,11 +75,26 @@ testbed::Testbed* FleetController::target(u32 i) {
 
 Status FleetController::boot_fleet() {
   if (booted_) return Status::ok();
-  if (case_.id != opts_.cve_id) {
+  if (!opts_.batch_cve_ids.empty()) {
+    auto batch = cve::combine_cases(opts_.batch_cve_ids);
+    if (!batch) return batch.status();
+    auto parts = cve::batch_part_cases(opts_.batch_cve_ids);
+    if (!parts) return parts.status();
+    case_ = batch->merged;
+    opts_.cve_id = case_.id;
+    batch_parts_ = std::move(*parts);
+  } else if (case_.id != opts_.cve_id) {
     return Status{Errc::kNotFound, "unknown CVE id: " + opts_.cve_id};
   }
   server_ = std::make_unique<netsim::PatchServer>(
       nullptr, opts_.base_seed ^ 0xF1EE7, &metrics_);
+  server_->set_prep_jobs(opts_.prep_jobs);
+  // Batched mode: announce each per-CVE source alongside the merged case
+  // (which Testbed::boot registers); the parts share the merged kernel, so
+  // their pre images all land on the same server-side build-cache entries.
+  for (const cve::CveCase& p : batch_parts_) {
+    server_->add_patch({p.id, p.kernel, p.pre_source, p.post_source});
+  }
   if (opts_.capture_trace) {
     server_->set_trace(&shared_trace_);
     target_traces_.resize(opts_.targets);
@@ -142,6 +128,16 @@ Status FleetController::boot_fleet() {
       boot_status[i] = tb.status();
       return;
     }
+    // Batched mode: each part's exploit syscall must be reachable for the
+    // per-part health probes (the merged case only wires parts[0]'s).
+    for (const cve::CveCase& p : batch_parts_) {
+      Status st = (*tb)->kernel().register_syscall(p.syscall_nr,
+                                                   p.entry_function);
+      if (!st.is_ok()) {
+        boot_status[i] = st;
+        return;
+      }
+    }
     targets_[i] = std::move(*tb);
   });
 
@@ -154,17 +150,26 @@ Status FleetController::boot_fleet() {
 
 bool FleetController::health_check(testbed::Testbed& t,
                                    TargetResult& out) const {
+  // In batched mode every part's fix must hold; otherwise just the case's.
+  std::vector<const cve::CveCase*> probes;
+  if (batch_parts_.empty()) {
+    probes.push_back(&case_);
+  } else {
+    for (const cve::CveCase& p : batch_parts_) probes.push_back(&p);
+  }
   for (u32 probe = 0; probe < opts_.rollout.health_probes; ++probe) {
-    auto benign = t.run_benign();
-    if (!benign.is_ok() || benign->oops) {
-      out.detail = "health probe: benign syscall "
-                   + std::string(benign.is_ok() ? "oopsed" : "stuck");
-      return false;
-    }
-    auto exploit = t.run_exploit();
-    if (!exploit.is_ok() || exploit->oops) {
-      out.detail = "health probe: exploit still fires";
-      return false;
+    for (const cve::CveCase* c : probes) {
+      auto benign = t.run_syscall(c->syscall_nr, c->benign_args);
+      if (!benign.is_ok() || benign->oops) {
+        out.detail = "health probe [" + c->id + "]: benign syscall " +
+                     std::string(benign.is_ok() ? "oopsed" : "stuck");
+        return false;
+      }
+      auto exploit = t.run_syscall(c->syscall_nr, c->exploit_args);
+      if (!exploit.is_ok() || exploit->oops) {
+        out.detail = "health probe [" + c->id + "]: exploit still fires";
+        return false;
+      }
     }
   }
   return true;
@@ -213,7 +218,9 @@ void FleetController::patch_one(u32 index, u32 wave, TargetResult& out) {
     }
   });
   double link_before = t.channel().total_latency_us();
-  auto rep = t.kshot().live_patch(case_.id);
+  auto rep = batch_parts_.empty()
+                 ? t.kshot().live_patch(case_.id)
+                 : t.kshot().live_patch_batch(opts_.batch_cve_ids);
   t.kshot().clear_phase_observer();
   double link_us = t.channel().total_latency_us() - link_before;
 
@@ -323,8 +330,12 @@ Result<FleetReport> FleetController::run_campaign() {
     }
     report.total_fetch_attempts += r.resilience.fetch_attempts;
     report.total_apply_attempts += r.resilience.apply_attempts;
-    if (r.resilience.fetch_attempts > 1) {
-      report.total_retries += r.resilience.fetch_attempts - 1;
+    // Batched mode fetches once per part, so only attempts beyond one per
+    // package count as retries.
+    u64 base_fetches =
+        batch_parts_.empty() ? 1 : static_cast<u64>(batch_parts_.size());
+    if (r.resilience.fetch_attempts > base_fetches) {
+      report.total_retries += r.resilience.fetch_attempts - base_fetches;
     }
     if (r.resilience.apply_attempts > 1) {
       report.total_retries += r.resilience.apply_attempts - 1;

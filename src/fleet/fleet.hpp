@@ -63,8 +63,18 @@ struct RolloutPlan {
 
 struct FleetOptions {
   std::string cve_id = "CVE-2014-0196";
+  /// Non-empty switches the campaign to batched mode: every target boots
+  /// the merged kernel of combine_cases(batch_cve_ids), the server learns
+  /// one per-CVE patch source each (batch_part_cases), and each rollout
+  /// step installs all the packages in ONE batched SMM session
+  /// (Kshot::live_patch_batch). cve_id is ignored; the report carries the
+  /// merged "BATCH(...)" id. Health checks probe every part's exploit.
+  std::vector<std::string> batch_cve_ids;
   u32 targets = 4;
   u32 jobs = 1;  // worker threads (bounded concurrency), >= 1
+  /// Worker threads for the shared server's patch preparation (bindiff +
+  /// matcher fan-out into the content-addressed prep cache).
+  u32 prep_jobs = 1;
   u64 base_seed = 0x5EED;
   RolloutPlan rollout;
   /// Channel fault plan applied to every target (clean when unset).
@@ -170,6 +180,8 @@ class FleetController {
 
   FleetOptions opts_;
   cve::CveCase case_;
+  /// Batched mode only: per-CVE cases rebased onto the merged kernel.
+  std::vector<cve::CveCase> batch_parts_;
   // Observability state must outlive server_/targets_, which hold pointers
   // into it — keep these declared first.
   obs::MetricsRegistry metrics_;

@@ -177,6 +177,38 @@ std::vector<std::pair<std::string, Bytes>> seed_package_cases() {
     w[12] ^= 0xFF;  // first digest byte
     out.emplace_back("bad-digest", std::move(w));
   }
+  {
+    // Batched session: two packages in one envelope under one SMI; both
+    // apply as separate rollback units, peeled by two kRollback commands.
+    PatchSet second = base_set();
+    second.id = "SEED2";
+    second.patches[0].taddr = 0x100080;
+    second.patches[0].paddr = 0x171800;
+    out.emplace_back("batch-valid-pair",
+                     patchtool::serialize_batch(
+                         {patchtool::serialize_patchset_raw(base_set()),
+                          patchtool::serialize_patchset_raw(second)}));
+  }
+  {
+    // Mid-batch digest failure: the envelope parses but the second inner
+    // package fails verification — nothing may apply.
+    Bytes bad = patchtool::serialize_patchset_raw(base_set());
+    bad[12] ^= 0xFF;
+    out.emplace_back("batch-bad-inner-digest",
+                     patchtool::serialize_batch(
+                         {patchtool::serialize_patchset_raw(base_set()),
+                          std::move(bad)}));
+  }
+  {
+    // A batch is an apply-only construct: an inner rollback package must
+    // reject the whole batch.
+    PatchSet rb = base_set();
+    rb.patches[0].op = PatchOp::kRollback;
+    out.emplace_back("batch-rollback-inner",
+                     patchtool::serialize_batch(
+                         {patchtool::serialize_patchset_raw(base_set()),
+                          patchtool::serialize_patchset_raw(rb)}));
+  }
   return out;
 }
 

@@ -107,11 +107,15 @@ bool reference_entry_valid(const kernel::MemoryLayout& lay,
   return true;
 }
 
-/// What the handler is expected to do with one delivered wire.
+/// What the handler is expected to do with one delivered wire. A plain
+/// package wire yields one set; a batch envelope yields one set per inner
+/// package (the handler installs them under a single SMI as one rollback
+/// unit each).
 struct Prediction {
   SmmStatus status = SmmStatus::kBadPackage;
-  bool applies = false;  // memory changes per the model below
-  std::optional<PatchSet> set;
+  bool applies = false;   // memory changes per the model below
+  bool is_batch = false;  // delivered via kApplyBatch instead of kApplyPatch
+  std::vector<PatchSet> sets;
 };
 
 Prediction predict(const kernel::MemoryLayout& lay, ByteSpan wire,
@@ -119,6 +123,46 @@ Prediction predict(const kernel::MemoryLayout& lay, ByteSpan wire,
   Prediction pred;
   if (sealed_size > lay.mem_w_size) {
     pred.status = SmmStatus::kBadPackage;  // staged-size check, pre-MAC
+    return pred;
+  }
+  if (patchtool::is_batch_wire(wire)) {
+    // Mirrors apply_batch exactly: envelope parse, then per-package verify
+    // in order (digest beats bad-package per package; any inner rollback op
+    // rejects the batch), then cross-batch validation before any applies.
+    pred.is_batch = true;
+    auto pkgs = patchtool::parse_batch(wire);
+    if (!pkgs) {
+      pred.status = SmmStatus::kBadPackage;
+      return pred;
+    }
+    std::vector<PatchSet> sets;
+    for (const Bytes& pkg : *pkgs) {
+      auto set = patchtool::parse_patchset(pkg);
+      if (!set) {
+        pred.status = set.status().code() == Errc::kIntegrityFailure
+                          ? SmmStatus::kDigestFailure
+                          : SmmStatus::kBadPackage;
+        return pred;
+      }
+      for (const auto& p : set->patches) {
+        if (p.op == PatchOp::kRollback) {
+          pred.status = SmmStatus::kBadPackage;  // apply-only construct
+          return pred;
+        }
+      }
+      sets.push_back(std::move(*set));
+    }
+    for (const auto& s : sets) {
+      for (const auto& p : s.patches) {
+        if (!reference_entry_valid(lay, p)) {
+          pred.status = SmmStatus::kBadPackage;
+          return pred;
+        }
+      }
+    }
+    pred.status = SmmStatus::kOk;
+    pred.applies = true;
+    pred.sets = std::move(sets);
     return pred;
   }
   auto set = patchtool::parse_patchset(wire);
@@ -150,13 +194,22 @@ Prediction predict(const kernel::MemoryLayout& lay, ByteSpan wire,
   }
   pred.status = SmmStatus::kOk;
   pred.applies = true;
-  pred.set = std::move(*set);
+  pred.sets.push_back(std::move(*set));
   return pred;
 }
 
 /// Applies the modeled legitimate writes of a successful apply to `image`,
 /// in the handler's documented order (var edits, then bodies, then
 /// trampolines), so overlapping writes resolve identically.
+void model_trampolines(const PatchSet& set, Bytes& image) {
+  for (const auto& p : set.patches) {
+    if (p.taddr == 0) continue;
+    u64 jmp = p.taddr + p.ftrace_off;
+    auto t = model_jmp(jmp, p.paddr + p.ftrace_off);
+    std::memcpy(&image[jmp], t.data(), t.size());
+  }
+}
+
 void model_apply(const PatchSet& set, Bytes& image, bool with_trampolines) {
   for (const auto& p : set.patches) {
     for (const auto& v : p.var_edits) store_u64(&image[v.addr], v.value);
@@ -165,13 +218,7 @@ void model_apply(const PatchSet& set, Bytes& image, bool with_trampolines) {
     if (!p.code.empty()) std::memcpy(&image[p.paddr], p.code.data(),
                                      p.code.size());
   }
-  if (!with_trampolines) return;
-  for (const auto& p : set.patches) {
-    if (p.taddr == 0) continue;
-    u64 jmp = p.taddr + p.ftrace_off;
-    auto t = model_jmp(jmp, p.paddr + p.ftrace_off);
-    std::memcpy(&image[jmp], t.data(), t.size());
-  }
+  if (with_trampolines) model_trampolines(set, image);
 }
 
 class PackageSurface final : public Surface {
@@ -314,6 +361,26 @@ void mutate_wire(Bytes& wire, Rng& rng) {
 }
 
 Bytes PackageSurface::generate(Rng& rng) {
+  if (rng.next_below(4) == 0) {
+    // Batch envelope: 1-3 inner packages installed under one modeled SMI.
+    // Inner packages get the same structural attacks and wire mutations as
+    // bare packages (a mutated inner digest exercises the mid-batch reject
+    // path; an inner rollback op exercises the apply-only rule), and the
+    // envelope itself is occasionally mutated too.
+    size_t n = 1 + rng.next_below(3);
+    std::vector<Bytes> pkgs;
+    pkgs.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      PatchSet set = random_set(lay_, rng);
+      if (rng.next_below(4) == 0) apply_structural_attack(lay_, set, rng);
+      Bytes w = patchtool::serialize_patchset_raw(set);
+      if (rng.next_below(8) == 0) mutate_wire(w, rng);
+      pkgs.push_back(std::move(w));
+    }
+    Bytes wire = patchtool::serialize_batch(pkgs);
+    if (rng.next_below(8) == 0) mutate_wire(wire, rng);
+    return wire;
+  }
   PatchSet set = random_set(lay_, rng);
   if (rng.next_below(3) == 0) apply_structural_attack(lay_, set, rng);
   Bytes wire = patchtool::serialize_patchset_raw(set);
@@ -387,7 +454,8 @@ Surface::Verdict PackageSurface::execute(ByteSpan encoded) {
 
   Prediction pred = predict(lay_, encoded, sealed.size());
 
-  mbox.write_command(SmmCommand::kApplyPatch);
+  mbox.write_command(pred.is_batch ? SmmCommand::kApplyBatch
+                                   : SmmCommand::kApplyPatch);
   m.trigger_smi();
 
   // Oracle: no Status swallowed — the status word must be readable and a
@@ -440,42 +508,75 @@ Surface::Verdict PackageSurface::execute(ByteSpan encoded) {
   };
 
   bool applied = pred.applies && observed == SmmStatus::kOk;
+  size_t total_entries = 0;
+  for (const auto& s : pred.sets) total_entries += s.patches.size();
   {
+    // Sets apply in batch order; var edits (data), bodies (mem_X) and
+    // trampolines (text) live in disjoint regions, so modeling them
+    // category-by-category preserves every cross-set last-writer outcome.
     Bytes expected = snapshot;
-    if (applied) model_apply(*pred.set, expected, /*with_trampolines=*/true);
+    if (applied) {
+      for (const auto& s : pred.sets) {
+        model_apply(s, expected, /*with_trampolines=*/true);
+      }
+    }
     compare_memory(expected, applied ? "apply-memory-model"
                                      : "reject-memory-identical");
   }
-  if (applied &&
-      handler.installed().size() != pred.set->patches.size()) {
+  if (applied && handler.installed().size() != total_entries) {
     fail("installed-count",
          "installed() size " + std::to_string(handler.installed().size()) +
-             " != package entries " +
-             std::to_string(pred.set->patches.size()));
+             " != package entries " + std::to_string(total_entries));
   }
 
   // Oracle: rollback restores the pre-patch snapshot (trampolines revert to
   // the captured entry bytes; var edits and mem_X bodies legitimately stay).
-  bool rolled_back = false;
+  // Each non-empty applied set is one rollback unit, popped in reverse
+  // batch order; after the stack drains, one more kRollback must report
+  // kNothingToRollback.
+  u64 rollbacks_done = 0;
   if (applied) {
+    std::vector<size_t> units;
+    for (size_t i = 0; i < pred.sets.size(); ++i) {
+      if (!pred.sets[i].patches.empty()) units.push_back(i);
+    }
+    size_t remaining = total_entries;
+    for (auto it = units.rbegin(); it != units.rend(); ++it) {
+      mbox.write_command(SmmCommand::kRollback);
+      m.trigger_smi();
+      auto rb = mbox.read_status();
+      if (!rb || *rb != SmmStatus::kOk) {
+        fail("rollback-status",
+             std::string("unit ") + std::to_string(*it) + ": expected ok got " +
+                 (rb ? core::smm_status_name(*rb) : "<unreadable>"));
+        break;
+      }
+      ++rollbacks_done;
+      remaining -= pred.sets[*it].patches.size();
+      // Popping unit *it restores the entry bytes captured just before that
+      // set applied — i.e. the earlier sets' trampolines stay live, even at
+      // overlapping jmp addresses.
+      Bytes expected = snapshot;
+      for (const auto& s : pred.sets) {
+        model_apply(s, expected, /*with_trampolines=*/false);
+      }
+      for (size_t j = 0; j < *it; ++j) {
+        model_trampolines(pred.sets[j], expected);
+      }
+      compare_memory(expected, "rollback-memory");
+      if (handler.installed().size() != remaining) {
+        fail("rollback-residue",
+             "installed() size " + std::to_string(handler.installed().size()) +
+                 " != remaining entries " + std::to_string(remaining));
+      }
+    }
     mbox.write_command(SmmCommand::kRollback);
     m.trigger_smi();
     auto rb = mbox.read_status();
-    SmmStatus want_rb = pred.set->patches.empty()
-                            ? SmmStatus::kNothingToRollback
-                            : SmmStatus::kOk;
-    rolled_back = want_rb == SmmStatus::kOk;
-    if (!rb || *rb != want_rb) {
-      fail("rollback-status",
-           std::string("expected ") + core::smm_status_name(want_rb) +
-               " got " +
+    if (!rb || *rb != SmmStatus::kNothingToRollback) {
+      fail("rollback-exhausted",
+           std::string("expected nothing-to-rollback got ") +
                (rb ? core::smm_status_name(*rb) : "<unreadable>"));
-    }
-    Bytes expected = snapshot;
-    model_apply(*pred.set, expected, /*with_trampolines=*/false);
-    compare_memory(expected, "rollback-memory");
-    if (!handler.installed().empty()) {
-      fail("rollback-residue", "installed() not empty after rollback");
     }
   }
 
@@ -504,9 +605,13 @@ Surface::Verdict PackageSurface::execute(ByteSpan encoded) {
   };
   expect_counter("smm.sessions", handler.sessions_started(), 1);
   expect_counter("smm.stagings_seen", handler.stagings_seen(), 1);
-  expect_counter("smm.applied", handler.patches_applied(), applied ? 1 : 0);
-  expect_counter("smm.rollbacks", handler.rollbacks(), rolled_back ? 1 : 0);
+  expect_counter("smm.applied", handler.patches_applied(),
+                 applied ? pred.sets.size() : 0);
+  expect_counter("smm.rollbacks", handler.rollbacks(), rollbacks_done);
   expect_counter("smm.aborts", handler.sessions_aborted(), 0);
+  expect_counter("smm.batch_applies",
+                 metrics.counter("smm.batch_applies").value(),
+                 pred.is_batch && applied ? 1 : 0);
   for (const auto& [cname, cval] : metrics.snapshot().counters) {
     u64 accessor = cname == "smm.sessions"        ? handler.sessions_started()
                    : cname == "smm.applied"       ? handler.patches_applied()
@@ -529,6 +634,53 @@ Surface::Verdict PackageSurface::execute(ByteSpan encoded) {
 
 std::vector<Bytes> PackageSurface::shrink_candidates(ByteSpan encoded,
                                                      Rng& rng) {
+  if (patchtool::is_batch_wire(encoded)) {
+    auto pkgs = patchtool::parse_batch(encoded);
+    if (!pkgs) {
+      // Malformed envelope: structural reduction can't preserve the oracle,
+      // shrink raw bytes.
+      return Surface::shrink_candidates(encoded, rng);
+    }
+    std::vector<Bytes> out;
+    auto emit = [&](Bytes w) {
+      if (w.size() < encoded.size()) out.push_back(std::move(w));
+    };
+    // A one-package batch often reproduces as a bare package wire.
+    if (pkgs->size() == 1) emit((*pkgs)[0]);
+    // Drop one inner package at a time.
+    if (pkgs->size() > 1) {
+      for (size_t i = 0; i < pkgs->size(); ++i) {
+        std::vector<Bytes> rest;
+        for (size_t j = 0; j < pkgs->size(); ++j) {
+          if (j != i) rest.push_back((*pkgs)[j]);
+        }
+        emit(patchtool::serialize_batch(rest));
+      }
+    }
+    // Structurally reduce one inner package, keeping the envelope.
+    for (size_t i = 0; i < pkgs->size(); ++i) {
+      auto set = patchtool::parse_patchset((*pkgs)[i]);
+      if (!set) continue;
+      for (size_t k = 0; k < set->patches.size(); ++k) {
+        PatchSet s = *set;
+        s.patches.erase(s.patches.begin() + static_cast<std::ptrdiff_t>(k));
+        std::vector<Bytes> repl = *pkgs;
+        repl[i] = patchtool::serialize_patchset_raw(s);
+        emit(patchtool::serialize_batch(repl));
+      }
+      {
+        PatchSet s = *set;
+        for (auto& p : s.patches) {
+          p.code.clear();
+          p.var_edits.clear();
+        }
+        std::vector<Bytes> repl = *pkgs;
+        repl[i] = patchtool::serialize_patchset_raw(s);
+        emit(patchtool::serialize_batch(repl));
+      }
+    }
+    return out;
+  }
   auto set = patchtool::parse_patchset(encoded);
   if (!set) {
     // Digest-invalid wire: structural reduction would change the oracle
@@ -586,6 +738,17 @@ std::vector<Bytes> PackageSurface::shrink_candidates(ByteSpan encoded,
 
 std::string PackageSurface::describe(ByteSpan encoded) const {
   std::ostringstream os;
+  if (patchtool::is_batch_wire(encoded)) {
+    os << "batch wire: " << encoded.size() << " total bytes";
+    auto pkgs = patchtool::parse_batch(encoded);
+    if (pkgs) {
+      os << ", " << pkgs->size() << " inner package(s)";
+    } else {
+      os << ", malformed envelope";
+    }
+    os << "\n  hex: " << to_hex(encoded);
+    return os.str();
+  }
   os << "package wire: " << encoded.size() << " total bytes";
   if (encoded.size() >= 44) {
     // The 44-byte set envelope (magic/version/count/entries_size/digest) is

@@ -2,102 +2,63 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
 
+#include "common/parallel.hpp"
 #include "isa/isa.hpp"
 #include "isa/reloc.hpp"
 
 namespace kshot::patchtool {
 
-namespace {
-
-/// Normalized view of one instruction for semantic comparison.
-struct NormInstr {
-  isa::Op op;
-  u8 a = 0, b = 0;
-  i64 imm = 0;             // raw immediate for non-branch, non-global ops
-  std::string sym;         // callee/global symbol for external references
-  i64 internal_target = 0; // function-relative target for internal branches
-  bool is_internal_branch = false;
-
-  friend bool operator==(const NormInstr&, const NormInstr&) = default;
-};
-
-Result<std::vector<NormInstr>> normalize(const kcc::KernelImage& img,
-                                         const kcc::Symbol& sym) {
-  auto body_r = img.function_bytes(sym.name);
-  if (!body_r) return body_r.status();
-  const Bytes& body = *body_r;
-
-  std::vector<NormInstr> out;
-  size_t off = 0;
-  while (off < body.size()) {
-    auto d = isa::decode(ByteSpan(body).subspan(off));
-    if (!d) return d.status();
-    NormInstr n;
-    n.op = d->instr.op;
-    n.a = d->instr.a;
-    n.b = d->instr.b;
-    n.imm = d->instr.imm;
-
-    if (isa::is_rel32_branch(d->instr.op)) {
-      i64 target_off = static_cast<i64>(off + d->len) + d->instr.imm;
-      if (target_off >= 0 && target_off <= static_cast<i64>(body.size())) {
-        n.is_internal_branch = true;
-        n.internal_target = target_off;
-        n.imm = 0;
-      } else {
-        u64 abs = sym.addr + static_cast<u64>(target_off);
-        const kcc::Symbol* callee = img.symbol_at(abs);
-        n.sym = callee ? callee->name : "<unknown>";
-        n.imm = 0;
-      }
-    } else if (d->instr.op == isa::Op::kLoadG ||
-               d->instr.op == isa::Op::kStoreG) {
-      u64 abs = static_cast<u64>(d->instr.imm);
-      for (const auto& g : img.globals) {
-        if (g.addr == abs) {
-          n.sym = g.name;
-          n.imm = 0;
-          break;
-        }
-      }
-    }
-    out.push_back(std::move(n));
-    off += d->len;
-  }
-  return out;
-}
-
-}  // namespace
-
 Result<bool> functions_equal(const kcc::KernelImage& pre,
                              const kcc::KernelImage& post,
-                             const std::string& name) {
+                             const std::string& name,
+                             const DiffOptions& dopts) {
   const kcc::Symbol* a = pre.find_symbol(name);
   const kcc::Symbol* b = post.find_symbol(name);
   if (a == nullptr || b == nullptr) {
     return Status{Errc::kNotFound, "function missing from an image: " + name};
   }
-  auto na = normalize(pre, *a);
+  auto na = normalize_function(pre, *a, dopts.cache);
   if (!na) return na.status();
-  auto nb = normalize(post, *b);
+  auto nb = normalize_function(post, *b, dopts.cache);
   if (!nb) return nb.status();
   return *na == *nb;
 }
 
 Result<DiffResult> diff_images(const kcc::KernelImage& pre,
-                               const kcc::KernelImage& post) {
+                               const kcc::KernelImage& post,
+                               const DiffOptions& dopts) {
   DiffResult out;
 
-  for (const auto& s : post.symbols) {
+  // Per-function comparisons are independent: fan out, then merge the
+  // per-index slots in image order so the result (including which error
+  // wins) is identical for any jobs value.
+  const u32 n = static_cast<u32>(post.symbols.size());
+  enum class Verdict : u8 { kUnchanged, kChanged, kAdded };
+  std::vector<Verdict> verdicts(n, Verdict::kUnchanged);
+  std::vector<std::optional<Status>> errors(n);
+  parallel_for(n, dopts.jobs, [&](u32 i) {
+    const auto& s = post.symbols[i];
     if (!pre.find_symbol(s.name)) {
-      out.added_functions.push_back(s.name);
-      continue;
+      verdicts[i] = Verdict::kAdded;
+      return;
     }
-    auto eq = functions_equal(pre, post, s.name);
-    if (!eq) return eq.status();
-    if (!*eq) out.changed_functions.push_back(s.name);
+    auto eq = functions_equal(pre, post, s.name, dopts);
+    if (!eq) {
+      errors[i] = eq.status();
+      return;
+    }
+    if (!*eq) verdicts[i] = Verdict::kChanged;
+  });
+  for (u32 i = 0; i < n; ++i) {
+    if (errors[i]) return *errors[i];  // lowest-index error wins
+    if (verdicts[i] == Verdict::kAdded) {
+      out.added_functions.push_back(post.symbols[i].name);
+    } else if (verdicts[i] == Verdict::kChanged) {
+      out.changed_functions.push_back(post.symbols[i].name);
+    }
   }
   for (const auto& s : pre.symbols) {
     if (!post.find_symbol(s.name)) out.removed_functions.push_back(s.name);
@@ -124,7 +85,8 @@ Result<DiffResult> diff_images(const kcc::KernelImage& pre,
 Result<PatchSet> build_patchset(const kcc::KernelImage& pre,
                                 const kcc::KernelImage& post,
                                 const BuildPatchOptions& opts) {
-  auto diff_r = diff_images(pre, post);
+  DiffOptions dopts{opts.jobs, opts.prep_cache};
+  auto diff_r = diff_images(pre, post, dopts);
   if (!diff_r) return diff_r.status();
   DiffResult& diff = *diff_r;
 

@@ -7,6 +7,7 @@
 
 #include "kcc/image.hpp"
 #include "patchtool/patch.hpp"
+#include "patchtool/prep_cache.hpp"
 
 namespace kshot::patchtool {
 
@@ -21,14 +22,25 @@ struct DiffResult {
   bool layout_compatible = true;
 };
 
+/// Knobs for the diff hot path: per-function comparisons fan out over a
+/// bounded worker pool (results are merged in image order, so the output is
+/// identical for any jobs value) and normalizations go through an optional
+/// content-addressed PrepCache.
+struct DiffOptions {
+  u32 jobs = 1;
+  PrepCache* cache = nullptr;
+};
+
 /// Structural diff of two images built with the same options.
 Result<DiffResult> diff_images(const kcc::KernelImage& pre,
-                               const kcc::KernelImage& post);
+                               const kcc::KernelImage& post,
+                               const DiffOptions& dopts = {});
 
 /// Semantic equality of one function across the two images.
 Result<bool> functions_equal(const kcc::KernelImage& pre,
                              const kcc::KernelImage& post,
-                             const std::string& name);
+                             const std::string& name,
+                             const DiffOptions& dopts = {});
 
 struct BuildPatchOptions {
   std::string id;  // e.g. the CVE number
@@ -36,6 +48,9 @@ struct BuildPatchOptions {
   /// classification; a binary-changed function that was not source-changed
   /// was implicated by inlining).
   std::vector<std::string> source_changed;
+  /// Worker-pool width and prep cache threaded through to diff_images.
+  u32 jobs = 1;
+  PrepCache* prep_cache = nullptr;
 };
 
 /// Produces a deployable PatchSet from the image diff: extracts post-patch

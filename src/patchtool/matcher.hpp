@@ -27,8 +27,10 @@ struct MatchResult {
 
 /// Aligns the functions of `post` with those of `pre` using signatures and
 /// call-graph out-degree. Designed for images built from related sources
-/// (the pre/post pair of a patch).
+/// (the pre/post pair of a patch). `jobs` parallelizes the per-function
+/// signature computation; matching itself stays sequential, so the result
+/// is identical for any jobs value.
 MatchResult match_functions(const kcc::KernelImage& pre,
-                            const kcc::KernelImage& post);
+                            const kcc::KernelImage& post, u32 jobs = 1);
 
 }  // namespace kshot::patchtool

@@ -220,4 +220,48 @@ Result<PatchSet> parse_patchset(ByteSpan wire) {
   return set;
 }
 
+Bytes serialize_batch(const std::vector<Bytes>& packages) {
+  ByteWriter w;
+  w.put_u32(kBatchMagic);
+  w.put_u32(static_cast<u32>(packages.size()));
+  for (const Bytes& pkg : packages) {
+    w.put_u32(static_cast<u32>(pkg.size()));
+    w.put_bytes(pkg);
+  }
+  return w.take();
+}
+
+Result<std::vector<Bytes>> parse_batch(ByteSpan wire) {
+  ByteReader r(wire);
+  auto magic = r.get_u32();
+  if (!magic || *magic != kBatchMagic) {
+    return Status{Errc::kIntegrityFailure, "bad batch magic"};
+  }
+  auto count = r.get_u32();
+  if (!count || *count == 0 || *count > kMaxBatchPackages) {
+    return Status{Errc::kIntegrityFailure, "bad batch count"};
+  }
+  std::vector<Bytes> out;
+  out.reserve(*count);
+  for (u32 i = 0; i < *count; ++i) {
+    auto len = r.get_u32();
+    if (!len || *len == 0 || *len > r.remaining()) {
+      return Status{Errc::kIntegrityFailure, "truncated batch entry"};
+    }
+    auto pkg = r.get_bytes(*len);
+    if (!pkg) return Status{Errc::kIntegrityFailure, "truncated batch entry"};
+    out.push_back(std::move(*pkg));
+  }
+  if (!r.exhausted()) {
+    return Status{Errc::kIntegrityFailure, "trailing bytes in batch"};
+  }
+  return out;
+}
+
+bool is_batch_wire(ByteSpan wire) {
+  ByteReader r(wire);
+  auto magic = r.get_u32();
+  return magic && *magic == kBatchMagic;
+}
+
 }  // namespace kshot::patchtool

@@ -52,4 +52,28 @@ crypto::Digest256 package_digest(ByteSpan wire_after_digest);
 /// handler dispatches on this before verifying).
 Result<PatchOp> peek_op(ByteSpan wire);
 
+// ---- Batch envelope -------------------------------------------------------
+// A batched SMM session stages N ordinary packages inside one sealed blob:
+//
+//   u32 kBatchMagic ("KSHB") || u32 count || (u32 len || package bytes) * N
+//
+// Each inner package keeps its own digest/CRC protection; the envelope adds
+// no crypto of its own because the whole blob is already sealed under the
+// session key. The SMM handler applies the envelope all-or-nothing with one
+// rollback unit per inner package.
+
+inline constexpr u32 kBatchMagic = 0x4248534B;  // "KSHB"
+inline constexpr u32 kMaxBatchPackages = 64;
+
+/// Wraps already-serialized packages into a batch envelope.
+Bytes serialize_batch(const std::vector<Bytes>& packages);
+
+/// Splits a batch envelope back into its inner package wires. Structural
+/// validation only (magic, count bounds, length framing); each inner wire
+/// still needs parse_patchset.
+Result<std::vector<Bytes>> parse_batch(ByteSpan wire);
+
+/// True if `wire` starts with the batch envelope magic.
+bool is_batch_wire(ByteSpan wire);
+
 }  // namespace kshot::patchtool

@@ -1,0 +1,142 @@
+#include "patchtool/prep_cache.hpp"
+
+#include "crypto/simple_hash.hpp"
+
+namespace kshot::patchtool {
+
+namespace {
+
+/// Re-resolves an entry's witnesses against the querying image. All must
+/// match for the cached normalization to be valid in this context.
+bool witnesses_hold(const PrepCache::Entry& e, const kcc::KernelImage& img,
+                    u64 sym_addr) {
+  for (const auto& w : e.sym_witnesses) {
+    u64 abs = sym_addr + static_cast<u64>(w.target_off);
+    const kcc::Symbol* callee = img.symbol_at(abs);
+    const std::string& name = callee ? callee->name : "<unknown>";
+    if (name != w.name) return false;
+  }
+  for (const auto& w : e.global_witnesses) {
+    std::string name;
+    for (const auto& g : img.globals) {
+      if (g.addr == w.addr) {
+        name = g.name;
+        break;
+      }
+    }
+    if (name != w.name) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::shared_ptr<const PrepCache::Entry> PrepCache::probe(
+    u64 body_hash, const kcc::KernelImage& img, u64 sym_addr) {
+  std::vector<std::shared_ptr<const Entry>> candidates;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(body_hash);
+    if (it != map_.end()) candidates = it->second;
+  }
+  for (const auto& e : candidates) {
+    if (witnesses_hold(*e, img, sym_addr)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++hits_;
+      if (c_hits_) c_hits_->inc();
+      return e;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  if (c_misses_) c_misses_->inc();
+  return nullptr;
+}
+
+void PrepCache::insert(u64 body_hash, std::shared_ptr<const Entry> entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_[body_hash].push_back(std::move(entry));
+}
+
+void PrepCache::set_counters(obs::Counter* hits, obs::Counter* misses) {
+  std::lock_guard<std::mutex> lock(mu_);
+  c_hits_ = hits;
+  c_misses_ = misses;
+}
+
+u64 PrepCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+u64 PrepCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+Result<std::vector<NormInstr>> normalize_function(const kcc::KernelImage& img,
+                                                  const kcc::Symbol& sym,
+                                                  PrepCache* cache) {
+  auto body_r = img.function_bytes(sym.name);
+  if (!body_r) return body_r.status();
+  const Bytes& body = *body_r;
+
+  u64 body_hash = 0;
+  if (cache) {
+    body_hash = crypto::fnv1a(ByteSpan(body));
+    if (auto hit = cache->probe(body_hash, img, sym.addr)) return hit->norm;
+  }
+
+  auto entry = std::make_shared<PrepCache::Entry>();
+  std::vector<NormInstr> out;
+  size_t off = 0;
+  while (off < body.size()) {
+    auto d = isa::decode(ByteSpan(body).subspan(off));
+    if (!d) return d.status();
+    NormInstr n;
+    n.op = d->instr.op;
+    n.a = d->instr.a;
+    n.b = d->instr.b;
+    n.imm = d->instr.imm;
+
+    if (isa::is_rel32_branch(d->instr.op)) {
+      i64 target_off = static_cast<i64>(off + d->len) + d->instr.imm;
+      if (target_off >= 0 && target_off <= static_cast<i64>(body.size())) {
+        n.is_internal_branch = true;
+        n.internal_target = target_off;
+        n.imm = 0;
+      } else {
+        u64 abs = sym.addr + static_cast<u64>(target_off);
+        const kcc::Symbol* callee = img.symbol_at(abs);
+        n.sym = callee ? callee->name : "<unknown>";
+        n.imm = 0;
+        entry->sym_witnesses.push_back({target_off, n.sym});
+      }
+    } else if (d->instr.op == isa::Op::kLoadG ||
+               d->instr.op == isa::Op::kStoreG) {
+      u64 abs = static_cast<u64>(d->instr.imm);
+      std::string gname;
+      for (const auto& g : img.globals) {
+        if (g.addr == abs) {
+          gname = g.name;
+          break;
+        }
+      }
+      if (!gname.empty()) {
+        n.sym = gname;
+        n.imm = 0;
+      }
+      entry->global_witnesses.push_back({abs, gname});
+    }
+    out.push_back(std::move(n));
+    off += d->len;
+  }
+
+  if (cache) {
+    entry->norm = out;
+    cache->insert(body_hash, std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace kshot::patchtool

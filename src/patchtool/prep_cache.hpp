@@ -1,0 +1,90 @@
+// Content-addressed cache for the expensive half of bindiff: decoding and
+// normalizing a function body. The cache key is a hash of the raw body
+// bytes; because normalization also folds in *context* (which symbol an
+// external rel32 lands on, which global an absolute load touches), each
+// entry carries resolution witnesses that are re-checked against the
+// querying image. Two kernels sharing a function body but resolving its
+// relocations differently therefore miss, as required — the witnesses are
+// the "reloc context" half of the key.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "kcc/image.hpp"
+#include "obs/metrics.hpp"
+
+namespace kshot::patchtool {
+
+/// Normalized view of one instruction for semantic comparison.
+struct NormInstr {
+  isa::Op op;
+  u8 a = 0, b = 0;
+  i64 imm = 0;             // raw immediate for non-branch, non-global ops
+  std::string sym;         // callee/global symbol for external references
+  i64 internal_target = 0; // function-relative target for internal branches
+  bool is_internal_branch = false;
+
+  friend bool operator==(const NormInstr&, const NormInstr&) = default;
+};
+
+/// Thread-safe memoization of normalize_function. Probes verify the stored
+/// resolution witnesses against the querying image before a hit is
+/// declared; verification runs outside the lock, so concurrent probes for
+/// distinct bodies never serialize on each other's decode work.
+class PrepCache {
+ public:
+  struct SymWitness {
+    i64 target_off = 0;  // body-relative: abs target = sym.addr + target_off
+    std::string name;    // resolved callee, or "<unknown>"
+    friend bool operator==(const SymWitness&, const SymWitness&) = default;
+  };
+  struct GlobalWitness {
+    u64 addr = 0;      // absolute global address referenced by the body
+    std::string name;  // empty if the image had no global at that address
+    friend bool operator==(const GlobalWitness&,
+                           const GlobalWitness&) = default;
+  };
+  struct Entry {
+    std::vector<NormInstr> norm;
+    std::vector<SymWitness> sym_witnesses;
+    std::vector<GlobalWitness> global_witnesses;
+  };
+
+  /// Finds a cached entry whose witnesses all re-resolve identically in
+  /// `img` at base address `sym_addr`. Returns nullptr on miss (counts the
+  /// miss; the caller computes and insert()s).
+  std::shared_ptr<const Entry> probe(u64 body_hash,
+                                     const kcc::KernelImage& img,
+                                     u64 sym_addr);
+
+  void insert(u64 body_hash, std::shared_ptr<const Entry> entry);
+
+  /// Mirrors hit/miss counts into an obs registry (e.g. "server.prep_hits"
+  /// / "server.prep_misses"). May be null.
+  void set_counters(obs::Counter* hits, obs::Counter* misses);
+
+  [[nodiscard]] u64 hits() const;
+  [[nodiscard]] u64 misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<u64, std::vector<std::shared_ptr<const Entry>>> map_;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+  obs::Counter* c_hits_ = nullptr;
+  obs::Counter* c_misses_ = nullptr;
+};
+
+/// Decodes and normalizes one function body for semantic comparison.
+/// With a cache, identical bodies with identical resolution contexts are
+/// returned from the cache without re-decoding.
+Result<std::vector<NormInstr>> normalize_function(const kcc::KernelImage& img,
+                                                  const kcc::Symbol& sym,
+                                                  PrepCache* cache = nullptr);
+
+}  // namespace kshot::patchtool

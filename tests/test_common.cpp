@@ -5,7 +5,9 @@
 #include "common/byte_io.hpp"
 #include "common/hex.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "common/status.hpp"
+#include "fleet/fleet.hpp"
 
 namespace kshot {
 namespace {
@@ -174,6 +176,63 @@ TEST(Rng, FillCoversBuffer) {
     }
   }
   EXPECT_FALSE(all_same);
+}
+
+// ---- Sample statistics (shared by bench tables and the fleet report) ---------
+
+TEST(Stats, NearestRankPercentilesOnKnownVector) {
+  // 1..100 sorted: nearest-rank pct p lands exactly on sample p.
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  EXPECT_EQ(percentile_sorted(xs, 50), 50.0);
+  EXPECT_EQ(percentile_sorted(xs, 95), 95.0);
+  EXPECT_EQ(percentile_sorted(xs, 99), 99.0);
+  EXPECT_EQ(percentile_sorted(xs, 100), 100.0);
+  // Small sample: rank = ceil(0.5 * 3) = 2 -> second element.
+  EXPECT_EQ(percentile_sorted({10, 20, 30}, 50), 20.0);
+  EXPECT_EQ(percentile_sorted({10, 20, 30}, 95), 30.0);
+}
+
+TEST(Stats, SingleSampleIsEveryPercentile) {
+  std::vector<double> one{42.5};
+  EXPECT_EQ(percentile_sorted(one, 1), 42.5);
+  EXPECT_EQ(percentile_sorted(one, 50), 42.5);
+  EXPECT_EQ(percentile_sorted(one, 99), 42.5);
+  auto s = stats_of(one);
+  EXPECT_EQ(s.n, 1);
+  EXPECT_EQ(s.mean, 42.5);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 42.5);
+  EXPECT_EQ(s.max, 42.5);
+  EXPECT_EQ(s.p50, 42.5);
+  EXPECT_EQ(s.p95, 42.5);
+  EXPECT_EQ(s.p99, 42.5);
+}
+
+TEST(Stats, EmptySampleIsAllZero) {
+  EXPECT_EQ(percentile_sorted({}, 50), 0.0);
+  auto s = stats_of({});
+  EXPECT_EQ(s.n, 0);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(Stats, MeanAndPopulationStddev) {
+  // 2,4,4,4,5,5,7,9: mean 5, population stddev exactly 2.
+  auto s = stats_of({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+}
+
+TEST(Stats, FleetPercentilesAgreeWithSharedHelper) {
+  std::vector<double> xs{3, 1, 4, 1, 5, 9, 2, 6, 5, 3};
+  auto lat = fleet::percentiles_of(xs);
+  std::sort(xs.begin(), xs.end());
+  EXPECT_EQ(lat.p50, percentile_sorted(xs, 50));
+  EXPECT_EQ(lat.p95, percentile_sorted(xs, 95));
+  EXPECT_EQ(lat.p99, percentile_sorted(xs, 99));
 }
 
 }  // namespace

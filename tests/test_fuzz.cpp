@@ -164,9 +164,10 @@ TEST(FuzzCorpus, ReplaysCleanOnCurrentTree) {
   for (const auto& r : reports) {
     EXPECT_TRUE(r.failures.empty()) << r.to_string();
   }
-  // The valid package seeds must actually apply, not just parse.
+  // The valid package seeds must actually apply, not just parse: the two
+  // bare packages plus the batched pair.
   for (const auto& r : reports) {
-    if (r.surface == "package") EXPECT_EQ(r.accepted, 2u) << r.to_string();
+    if (r.surface == "package") EXPECT_EQ(r.accepted, 3u) << r.to_string();
   }
 }
 
@@ -174,6 +175,15 @@ TEST(FuzzCorpus, SeedWiresAreWellFormed) {
   // The "valid-*" seeds parse; the malformed ones fail with a clean Status
   // (never an unchecked crash path).
   for (const auto& [name, bytes] : seed_package_cases()) {
+    if (name.rfind("batch", 0) == 0) {
+      // Batch seeds are envelopes, not bare packages: the envelope must
+      // split cleanly and every inner wire must be a package-sized blob.
+      EXPECT_TRUE(patchtool::is_batch_wire(bytes)) << name;
+      auto pkgs = patchtool::parse_batch(bytes);
+      EXPECT_TRUE(pkgs.is_ok()) << name << ": " << pkgs.status().to_string();
+      if (pkgs.is_ok()) EXPECT_EQ(pkgs->size(), 2u) << name;
+      continue;
+    }
     auto parsed = patchtool::parse_patchset(bytes);
     if (name.rfind("valid", 0) == 0 || name == "mixed-op" ||
         name == "rollback-on-fresh" || name.rfind("wrapping", 0) == 0) {

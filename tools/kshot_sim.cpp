@@ -38,6 +38,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -45,6 +46,7 @@
 
 #include "attacks/rootkits.hpp"
 #include "baselines/kpatch_sim.hpp"
+#include "benchkit/benchkit.hpp"
 #include "common/hex.hpp"
 #include "fleet/fleet.hpp"
 #include "fuzz/fuzz.hpp"
@@ -237,6 +239,142 @@ int cmd_package(const std::string& id) {
   return 0;
 }
 
+std::vector<std::string> split_ids(const std::string& csv) {
+  std::vector<std::string> ids;
+  std::string cur;
+  for (char ch : csv) {
+    if (ch == ',') {
+      if (!cur.empty()) ids.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) ids.push_back(cur);
+  return ids;
+}
+
+/// `single --batch A,B,C`: one merged deployment, one batched SMM session
+/// installing every package, then a per-CVE exploit sweep.
+int cmd_single_batch(const std::string& csv, const CommonFlags& common) {
+  std::vector<std::string> ids = split_ids(csv);
+  auto batch = cve::combine_cases(ids);
+  if (!batch.is_ok()) {
+    std::fprintf(stderr, "%s\n", batch.status().to_string().c_str());
+    return 1;
+  }
+  auto parts = cve::batch_part_cases(ids);
+  if (!parts.is_ok()) {
+    std::fprintf(stderr, "%s\n", parts.status().to_string().c_str());
+    return 1;
+  }
+  auto tb = testbed::Testbed::boot(batch->merged, {.seed = common.seed});
+  if (!tb.is_ok()) {
+    std::fprintf(stderr, "boot failed: %s\n", tb.status().to_string().c_str());
+    return 1;
+  }
+  testbed::Testbed& t = **tb;
+  for (const auto& p : *parts) {
+    t.server().add_patch({p.id, p.kernel, p.pre_source, p.post_source});
+    if (!t.kernel().register_syscall(p.syscall_nr, p.entry_function).is_ok()) {
+      std::fprintf(stderr, "cannot wire %s's syscall\n", p.id.c_str());
+      return 1;
+    }
+  }
+
+  auto rep = t.kshot().live_patch_batch(ids);
+  if (!rep.is_ok() || !rep->success) {
+    std::fprintf(stderr, "batched live patch failed: %s\n",
+                 rep.is_ok() ? core::smm_status_name(rep->smm_status)
+                             : rep.status().to_string().c_str());
+    return 1;
+  }
+  std::printf(
+      "kshot batch of %zu: %u fn / %u bytes in ONE session; SGX %.1fus; OS "
+      "paused %.1fus (modeled)\n",
+      ids.size(), rep->stats.functions, rep->stats.code_bytes,
+      rep->sgx.total_us(), rep->smm.modeled_total_us);
+
+  bool all_dead = true;
+  for (const auto& p : *parts) {
+    auto e = t.run_syscall(p.syscall_nr, p.exploit_args);
+    bool dead = e.is_ok() && !e->oops;
+    all_dead = all_dead && dead;
+    std::printf("  %-16s exploit: %s\n", p.id.c_str(),
+                dead ? "dead" : "STILL FIRES");
+  }
+  return all_dead ? 0 : 1;
+}
+
+/// `bench`: deterministic modeled-cost harness + optional regression gate.
+int cmd_bench(const CommonFlags& common, bool quick,
+              const std::string& out_dir, const std::string& gate_dir,
+              double gate_tol, double cost_scale) {
+  benchkit::BenchOptions bo;
+  bo.seed = common.seed;
+  bo.jobs = common.jobs;
+  bo.quick = quick;
+  bo.cost_scale = cost_scale;
+  auto res = benchkit::run_bench(bo);
+  if (!res.is_ok()) {
+    std::fprintf(stderr, "bench failed: %s\n",
+                 res.status().to_string().c_str());
+    return 1;
+  }
+
+  std::string dir = out_dir.empty() ? "." : out_dir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  struct Doc {
+    const char* file;
+    const std::string* body;
+    bool gated;
+  };
+  const Doc docs[] = {
+      {"BENCH_table3.json", &res->table3_json, true},
+      {"BENCH_table4.json", &res->table4_json, true},
+      {"BENCH_table3_wall.json", &res->table3_wall_json, false},
+      {"BENCH_table4_wall.json", &res->table4_wall_json, false},
+  };
+  for (const Doc& d : docs) {
+    std::string path = dir + "/" + d.file;
+    if (write_file(path, *d.body) != 0) return 1;
+    std::printf("bench: wrote %s (%zu bytes)%s\n", path.c_str(),
+                d.body->size(), d.gated ? "" : "  [wall sidecar, not gated]");
+  }
+
+  if (gate_dir.empty()) return 0;
+  bool gate_ok = true;
+  for (const Doc& d : docs) {
+    if (!d.gated) continue;
+    std::string base_path = gate_dir + "/" + d.file;
+    std::ifstream in(base_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "bench gate: cannot read baseline %s\n",
+                   base_path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto gate = benchkit::gate_compare(buf.str(), *d.body, gate_tol);
+    if (!gate.is_ok()) {
+      std::fprintf(stderr, "bench gate: %s\n",
+                   gate.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s: %s", d.file, gate->to_string().c_str());
+    gate_ok = gate_ok && gate->ok();
+  }
+  if (!gate_ok) {
+    std::fprintf(stderr,
+                 "bench gate FAILED: modeled costs regressed beyond %.1f%% "
+                 "tolerance\n",
+                 100.0 * gate_tol);
+    return 1;
+  }
+  return 0;
+}
+
 struct FuzzCliOptions {
   std::string surface = "package";
   fuzz::FuzzOptions fuzz;
@@ -356,8 +494,16 @@ void usage() {
       "                 [--kpatch]\n"
       "       kshot-sim single [CVE-ID]       patch one target (defaults to\n"
       "                 CVE-2014-0196); same flags as patch\n"
+      "       kshot-sim single --batch A,B,C  apply several CVEs' packages\n"
+      "                 in ONE batched SMM session on a merged kernel\n"
       "       kshot-sim fleet <CVE-ID> [--targets N] [--canary K] [--wave W]\n"
       "                 [--abort-rate R] [--drop R] [--corrupt R]\n"
+      "                 [--batch A,B,C] (batched sessions per target)\n"
+      "                 [--prep-jobs N] (server-side parallel patch prep)\n"
+      "       kshot-sim bench [--quick] [--out-dir DIR] [--gate BASELINE_DIR]\n"
+      "                 [--gate-tol F] [--cost-scale X]   deterministic\n"
+      "                 modeled-cost bench; writes BENCH_table3/4.json (+\n"
+      "                 *_wall.json sidecars); --gate fails on regressions\n"
       "       kshot-sim disasm <CVE-ID> <function>\n"
       "       kshot-sim package <CVE-ID>\n"
       "       kshot-sim fuzz [--surface package|netsim|kcc|all] [--iters N]\n"
@@ -392,9 +538,16 @@ int main(int argc, char** argv) {
     for (const char* f : {"--rootkit", "--watchdog", "--guard", "--kpatch"}) {
       allowed_bool.push_back(f);
     }
+    if (cmd == "single") allowed_value.push_back("--batch");
   } else if (cmd == "fleet") {
     for (const char* f : {"--targets", "--canary", "--wave", "--abort-rate",
-                          "--drop", "--corrupt"}) {
+                          "--drop", "--corrupt", "--batch", "--prep-jobs"}) {
+      allowed_value.push_back(f);
+    }
+  } else if (cmd == "bench") {
+    allowed_bool.push_back("--quick");
+    for (const char* f : {"--out-dir", "--gate", "--gate-tol",
+                          "--cost-scale"}) {
       allowed_value.push_back(f);
     }
   } else if (cmd == "fuzz") {
@@ -467,6 +620,8 @@ int main(int argc, char** argv) {
                      has_flag("--kpatch"));
   }
   if (cmd == "single") {
+    std::string batch_csv = string_flag("--batch", "");
+    if (!batch_csv.empty()) return cmd_single_batch(batch_csv, common);
     // `single` is `patch` with a default case: one target, end to end.
     std::string id = args.size() >= 2 && args[1].rfind("--", 0) != 0
                          ? args[1]
@@ -474,9 +629,25 @@ int main(int argc, char** argv) {
     return cmd_patch(id, common, has_flag("--rootkit"), has_flag("--watchdog"),
                      has_flag("--guard"), has_flag("--kpatch"));
   }
-  if (cmd == "fleet" && args.size() >= 2) {
+  if (cmd == "bench") {
+    return cmd_bench(common, has_flag("--quick"), string_flag("--out-dir", ""),
+                     string_flag("--gate", ""), value_flag("--gate-tol", 0.02),
+                     value_flag("--cost-scale", 1.0));
+  }
+  if (cmd == "fleet" &&
+      (args.size() >= 2 || !string_flag("--batch", "").empty())) {
     fleet::FleetOptions o;
-    o.cve_id = args[1];
+    std::string batch_csv = string_flag("--batch", "");
+    if (!batch_csv.empty()) {
+      o.batch_cve_ids = split_ids(batch_csv);
+    } else if (args[1].rfind("--", 0) != 0) {
+      o.cve_id = args[1];
+    } else {
+      usage();
+      return 2;
+    }
+    o.prep_jobs =
+        static_cast<u32>(std::max(1.0, value_flag("--prep-jobs", 1)));
     o.base_seed = common.seed;
     o.jobs = common.jobs;
     o.targets = static_cast<u32>(std::max(1.0, value_flag("--targets", 8)));
