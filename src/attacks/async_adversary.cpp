@@ -1,0 +1,354 @@
+#include "attacks/async_adversary.hpp"
+
+#include <cstdio>
+
+#include "common/byte_io.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "core/mailbox.hpp"
+
+namespace kshot::attacks {
+
+const char* adversary_variant_name(AdversaryVariant v) {
+  switch (v) {
+    case AdversaryVariant::kMailboxCmdFlip: return "cmd-flip";
+    case AdversaryVariant::kMailboxSeqFlip: return "seq-flip";
+    case AdversaryVariant::kStagedSizeFlip: return "size-flip";
+    case AdversaryVariant::kMemWRewrite: return "memw-rewrite";
+    case AdversaryVariant::kReplayEnvelope: return "replay";
+    case AdversaryVariant::kSmiSuppress: return "smi-suppress";
+    case AdversaryVariant::kSmiDuplicate: return "smi-duplicate";
+    case AdversaryVariant::kMidSmiMemWFlip: return "midsmi-flip";
+    case AdversaryVariant::kVariantCount: break;
+  }
+  return "unknown";
+}
+
+const char* adversary_trigger_name(AdversaryTrigger t) {
+  switch (t) {
+    case AdversaryTrigger::kOnFetching: return "fetching";
+    case AdversaryTrigger::kOnStaged: return "staged";
+    case AdversaryTrigger::kPreSmi: return "pre-smi";
+    case AdversaryTrigger::kOnOutcome: return "outcome";
+    case AdversaryTrigger::kTriggerCount: break;
+  }
+  return "unknown";
+}
+
+std::string AdversaryAction::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s@%s#%u arg=%u value=0x%08x",
+                adversary_variant_name(variant),
+                adversary_trigger_name(trigger), occurrence(), arg(), value);
+  return buf;
+}
+
+AdversarySchedule AdversarySchedule::generate(u64 seed) {
+  Rng rng(seed);
+  AdversarySchedule s;
+  const size_t n = 1 + rng.next_below(3);
+  while (s.actions.size() < n && s.actions.size() < kMaxActions) {
+    const auto v = static_cast<AdversaryVariant>(
+        rng.next_below(static_cast<u64>(AdversaryVariant::kVariantCount)));
+    AdversaryAction a{};
+    a.variant = v;
+    const u16 occ = static_cast<u16>(rng.next_below(3) << 8);
+    switch (v) {
+      case AdversaryVariant::kMailboxCmdFlip:
+        a.trigger = AdversaryTrigger::kPreSmi;
+        a.param = occ;
+        // Mix of in-range commands (idle, begin-session, rollback, ...) and
+        // out-of-range command words.
+        a.value = static_cast<u32>(rng.next_below(12));
+        break;
+      case AdversaryVariant::kMailboxSeqFlip:
+        a.trigger = AdversaryTrigger::kPreSmi;
+        a.param = occ;
+        a.value = static_cast<u32>(rng.next());
+        break;
+      case AdversaryVariant::kStagedSizeFlip: {
+        a.trigger = (rng.next() & 1) ? AdversaryTrigger::kOnStaged
+                                     : AdversaryTrigger::kPreSmi;
+        a.param = occ;
+        static constexpr u32 kSizes[] = {0, 1, 64, 0x00FF'FFFF, 0x7FFF'FFFF};
+        a.value = kSizes[rng.next_below(5)];
+        break;
+      }
+      case AdversaryVariant::kMemWRewrite:
+        a.trigger = (rng.next() & 1) ? AdversaryTrigger::kOnStaged
+                                     : AdversaryTrigger::kPreSmi;
+        a.param = static_cast<u16>(occ | rng.next_below(256));
+        a.value = static_cast<u32>(rng.next());
+        break;
+      case AdversaryVariant::kReplayEnvelope: {
+        // Capture/replay pair: grab the first staged wire (optionally
+        // spoiling the live copy so the pipeline rejects it and restages),
+        // then write the stale capture over the next staging.
+        AdversaryAction cap{};
+        cap.variant = v;
+        cap.trigger = AdversaryTrigger::kOnStaged;
+        cap.param = static_cast<u16>(rng.next() & 1);  // occurrence 0; spoil?
+        s.actions.push_back(cap);
+        a.trigger = AdversaryTrigger::kOnStaged;
+        a.param = 1u << 8;  // occurrence 1: whatever got staged next
+        break;
+      }
+      case AdversaryVariant::kSmiSuppress:
+        a.trigger = (rng.next() & 1) ? AdversaryTrigger::kOnStaged
+                                     : AdversaryTrigger::kOnFetching;
+        a.param = static_cast<u16>(occ | rng.next_below(4));
+        break;
+      case AdversaryVariant::kSmiDuplicate:
+        a.trigger = (rng.next() & 1) ? AdversaryTrigger::kOnStaged
+                                     : AdversaryTrigger::kOnOutcome;
+        a.param = occ;
+        break;
+      case AdversaryVariant::kMidSmiMemWFlip:
+        a.trigger = AdversaryTrigger::kOnStaged;  // ignored: fetch-keyed
+        a.param = static_cast<u16>(occ | rng.next_below(256));
+        a.value = static_cast<u32>(rng.next());
+        break;
+      case AdversaryVariant::kVariantCount:
+        continue;
+    }
+    s.actions.push_back(a);
+  }
+  return s;
+}
+
+Bytes AdversarySchedule::encode() const {
+  ByteWriter w;
+  w.put_u8(static_cast<u8>(actions.size()));
+  for (const auto& a : actions) {
+    w.put_u8(static_cast<u8>(a.variant));
+    w.put_u8(static_cast<u8>(a.trigger));
+    w.put_u16(a.param);
+    w.put_u32(a.value);
+  }
+  return w.take();
+}
+
+Result<AdversarySchedule> AdversarySchedule::decode(ByteSpan wire) {
+  ByteReader r(wire);
+  auto count = r.get_u8();
+  if (!count) return count.status();
+  if (*count > kMaxActions) {
+    return Status{Errc::kInvalidArgument,
+                  "schedule action count out of range"};
+  }
+  AdversarySchedule s;
+  for (u8 i = 0; i < *count; ++i) {
+    auto v = r.get_u8();
+    auto t = r.get_u8();
+    auto param = r.get_u16();
+    auto value = r.get_u32();
+    if (!v || !t || !param || !value) {
+      return Status{Errc::kInvalidArgument, "truncated schedule action"};
+    }
+    if (*v >= static_cast<u8>(AdversaryVariant::kVariantCount)) {
+      return Status{Errc::kInvalidArgument, "schedule variant out of range"};
+    }
+    if (*t >= static_cast<u8>(AdversaryTrigger::kTriggerCount)) {
+      return Status{Errc::kInvalidArgument, "schedule trigger out of range"};
+    }
+    AdversaryAction a{};
+    a.variant = static_cast<AdversaryVariant>(*v);
+    a.trigger = static_cast<AdversaryTrigger>(*t);
+    a.param = *param;
+    a.value = *value;
+    s.actions.push_back(a);
+  }
+  if (!r.exhausted()) {
+    return Status{Errc::kInvalidArgument, "trailing bytes after schedule"};
+  }
+  return s;
+}
+
+std::string AdversarySchedule::to_string() const {
+  std::string out = "schedule[" + std::to_string(actions.size()) + "]";
+  for (const auto& a : actions) out += " {" + a.to_string() + "}";
+  return out;
+}
+
+AsyncAdversary::AsyncAdversary(machine::Machine& m, core::Kshot& kshot,
+                               kernel::MemoryLayout layout,
+                               AdversarySchedule schedule)
+    : machine_(m),
+      kshot_(kshot),
+      layout_(layout),
+      schedule_(std::move(schedule)),
+      done_(schedule_.actions.size(), false) {}
+
+AsyncAdversary::~AsyncAdversary() {
+  if (attached_) detach();
+}
+
+void AsyncAdversary::attach() {
+  if (attached_) return;
+  attached_ = true;
+  // Requires kshot.install() to have run (the handler owns the mid-SMI
+  // hook). All three hooks model kernel-privileged interposition points an
+  // async attacker genuinely has: phase timing, the write→SMI gap, and a
+  // second core racing the handler's fetch.
+  kshot_.set_async_interposer(
+      [this](core::PatchPhase p) { on_phase(p); });
+  machine_.set_pre_smi_hook([this](machine::Machine&) { on_pre_smi(); });
+  kshot_.handler().set_concurrent_writer(
+      [this](machine::Machine&) { on_mid_smi_fetch(); });
+}
+
+void AsyncAdversary::detach() {
+  if (!attached_) return;
+  kshot_.clear_async_interposer();
+  machine_.set_pre_smi_hook(nullptr);
+  kshot_.handler().set_concurrent_writer(nullptr);
+  attached_ = false;
+}
+
+void AsyncAdversary::on_phase(core::PatchPhase p) {
+  AdversaryTrigger t;
+  switch (p) {
+    case core::PatchPhase::kFetching:
+      t = AdversaryTrigger::kOnFetching;
+      break;
+    case core::PatchPhase::kStaged:
+      t = AdversaryTrigger::kOnStaged;
+      break;
+    case core::PatchPhase::kApplied:
+    case core::PatchPhase::kFailed:
+      t = AdversaryTrigger::kOnOutcome;
+      break;
+    default:
+      return;
+  }
+  u64& c = trigger_counts_[static_cast<size_t>(t)];
+  fire_due(t, c++);
+}
+
+void AsyncAdversary::on_pre_smi() {
+  in_pre_smi_ = true;
+  u64& c = trigger_counts_[static_cast<size_t>(AdversaryTrigger::kPreSmi)];
+  fire_due(AdversaryTrigger::kPreSmi, c++);
+  in_pre_smi_ = false;
+}
+
+void AsyncAdversary::on_mid_smi_fetch() {
+  const u64 occ = mid_smi_fetches_++;
+  for (size_t i = 0; i < schedule_.actions.size(); ++i) {
+    const auto& a = schedule_.actions[i];
+    if (done_[i] || a.variant != AdversaryVariant::kMidSmiMemWFlip) continue;
+    if (a.occurrence() != occ) continue;
+    execute(i);
+  }
+}
+
+void AsyncAdversary::fire_due(AdversaryTrigger t, u64 occurrence) {
+  for (size_t i = 0; i < schedule_.actions.size(); ++i) {
+    const auto& a = schedule_.actions[i];
+    if (done_[i] || a.variant == AdversaryVariant::kMidSmiMemWFlip) continue;
+    if (a.trigger != t || a.occurrence() != occurrence) continue;
+    execute(i);
+  }
+}
+
+void AsyncAdversary::execute(size_t action_index) {
+  const AdversaryAction& a = schedule_.actions[action_index];
+  done_[action_index] = true;
+  switch (a.variant) {
+    case AdversaryVariant::kMailboxCmdFlip: do_mailbox_cmd_flip(a); break;
+    case AdversaryVariant::kMailboxSeqFlip: do_mailbox_seq_flip(a); break;
+    case AdversaryVariant::kStagedSizeFlip: do_staged_size_flip(a); break;
+    case AdversaryVariant::kMemWRewrite: do_mem_w_rewrite(a); break;
+    case AdversaryVariant::kMidSmiMemWFlip: do_mem_w_rewrite(a); break;
+    case AdversaryVariant::kReplayEnvelope: do_replay_envelope(a); break;
+    case AdversaryVariant::kSmiSuppress: do_smi_suppress(a); break;
+    case AdversaryVariant::kSmiDuplicate: do_smi_duplicate(a); break;
+    case AdversaryVariant::kVariantCount: return;
+  }
+  ++actions_fired_;
+  fired_.push_back(a.to_string());
+  KSHOT_LOG(kDebug, "attack") << "async adversary fired " << a.to_string();
+}
+
+void AsyncAdversary::do_mailbox_cmd_flip(const AdversaryAction& a) {
+  core::Mailbox mbox(machine_.mem(), layout_.mem_rw_base(),
+                     machine::AccessMode::normal());
+  (void)mbox.write_command(static_cast<core::SmmCommand>(a.value));
+}
+
+void AsyncAdversary::do_mailbox_seq_flip(const AdversaryAction& a) {
+  core::Mailbox mbox(machine_.mem(), layout_.mem_rw_base(),
+                     machine::AccessMode::normal());
+  (void)mbox.write_cmd_seq(a.value);
+}
+
+void AsyncAdversary::do_staged_size_flip(const AdversaryAction& a) {
+  core::Mailbox mbox(machine_.mem(), layout_.mem_rw_base(),
+                     machine::AccessMode::normal());
+  (void)mbox.write_staged_size(a.value);
+}
+
+void AsyncAdversary::do_mem_w_rewrite(const AdversaryAction& a) {
+  // mem_W is write-only from normal mode, so the rewrite is blind: the
+  // attacker cannot read-modify-write, only clobber bytes at a chosen
+  // offset and hope the damage lands somewhere exploitable.
+  u8 buf[4];
+  store_u32(buf, a.value);
+  (void)machine_.mem().write(layout_.mem_w_base() + a.arg(),
+                             ByteSpan(buf, sizeof(buf)),
+                             machine::AccessMode::normal());
+}
+
+void AsyncAdversary::do_replay_envelope(const AdversaryAction& a) {
+  core::Mailbox mbox(machine_.mem(), layout_.mem_rw_base(),
+                     machine::AccessMode::normal());
+  if (captured_wire_.empty()) {
+    auto size = mbox.read_staged_size();
+    if (!size || *size == 0 || *size > layout_.mem_w_size) return;
+    auto wire = read_mem_w(0, *size);
+    if (!wire) return;
+    captured_wire_ = std::move(*wire);
+    captured_size_ = *size;
+    if (a.arg() & 1) {
+      // Spoil the live staging so this attempt fails and the pipeline
+      // restages, giving the stale capture a later session to replay into.
+      u8 spoiled = static_cast<u8>(captured_wire_[0] ^ 0xA5);
+      (void)machine_.mem().write(layout_.mem_w_base(),
+                                 ByteSpan(&spoiled, 1),
+                                 machine::AccessMode::normal());
+    }
+    return;
+  }
+  (void)machine_.mem().write(layout_.mem_w_base(), captured_wire_,
+                             machine::AccessMode::normal());
+  (void)mbox.write_staged_size(captured_size_);
+}
+
+void AsyncAdversary::do_smi_suppress(const AdversaryAction& a) {
+  machine_.add_smi_suppress_budget(1 + (a.arg() & 3));
+}
+
+void AsyncAdversary::do_smi_duplicate(const AdversaryAction& a) {
+  (void)a;
+  // An unsolicited SMI re-runs whatever command word is resident in the
+  // mailbox. From inside the pre-SMI window the machine would deliver it
+  // immediately before the real one anyway, so skip there.
+  if (in_pre_smi_) return;
+  machine_.trigger_smi();
+}
+
+Result<Bytes> AsyncAdversary::read_mem_w(u64 offset, size_t n) {
+  // Page-table attack (same idiom as MemXCorruptorRootkit): temporarily
+  // open the write-only staging region for reads, copy the wire out, then
+  // restore the attributes so nothing else notices.
+  const auto normal = machine::AccessMode::normal();
+  machine_.mem().set_attrs(layout_.mem_w_base(), layout_.mem_w_size,
+                           machine::PageAttr{true, true, false, 0});
+  auto bytes =
+      machine_.mem().read_bytes(layout_.mem_w_base() + offset, n, normal);
+  machine_.mem().set_attrs(layout_.mem_w_base(), layout_.mem_w_size,
+                           machine::PageAttr{false, true, false, 0});
+  return bytes;
+}
+
+}  // namespace kshot::attacks

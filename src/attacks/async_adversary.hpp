@@ -1,0 +1,156 @@
+// Asynchronous OS-level adversary for the stage→apply handoff (threat
+// model §III, sharpened): a kernel-privileged attacker that races the
+// helper app *between* its mailbox/mem_W writes and the SMI, rather than
+// persistently garbling traffic like the rootkits in rootkits.hpp. Every
+// interposition is driven by a small deterministic schedule, so a campaign
+// over seeds explores the TOCTOU surface reproducibly and a failing
+// schedule shrinks to a replayable wire (src/fuzz attacker_schedule
+// surface).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/kshot.hpp"
+#include "kernel/layout.hpp"
+#include "machine/machine.hpp"
+
+namespace kshot::attacks {
+
+/// What one scheduled action does when its trigger fires.
+enum class AdversaryVariant : u8 {
+  kMailboxCmdFlip = 0,  // overwrite the mailbox command word with `value`
+  kMailboxSeqFlip,      // overwrite kCmdSeq with `value` (breaks the echo)
+  kStagedSizeFlip,      // overwrite kStagedSize with `value`
+  kMemWRewrite,         // blind 4-byte write of `value` into staged mem_W
+  kReplayEnvelope,      // first fire: capture the staged wire (page-table
+                        // read of write-only mem_W); later fire: write the
+                        // stale capture back over whatever is staged
+  kSmiSuppress,         // swallow the next 1 + (param & 3) SMIs
+  kSmiDuplicate,        // raise one extra, unsolicited SMI
+  kMidSmiMemWFlip,      // rewrite mem_W *inside* the SMI, between the
+                        // handler's single fetch and its use (another-core /
+                        // DMA race; only the pre-hardening double fetch
+                        // could ever observe it)
+  kVariantCount,
+};
+
+/// When an action fires. Phase triggers piggyback on the pipeline's phase
+/// notifications; kPreSmi rides the machine's pre-SMI hook — the instant
+/// after the helper wrote command + seq but before SMI delivery, which is
+/// the only window where command/seq flips survive (phase hooks run before
+/// trigger_and_status rewrites those fields).
+enum class AdversaryTrigger : u8 {
+  kOnFetching = 0,  // PatchPhase::kFetching
+  kOnStaged,        // PatchPhase::kStaged (package fully staged in mem_W)
+  kPreSmi,          // trigger_smi() entry, pre-suppression, pre-handler
+  kOnOutcome,       // PatchPhase::kApplied or kFailed
+  kTriggerCount,
+};
+
+const char* adversary_variant_name(AdversaryVariant v);
+const char* adversary_trigger_name(AdversaryTrigger t);
+
+/// One scheduled interposition. `param >> 8` selects which occurrence of
+/// the trigger fires it (0 = first); `param & 0xFF` is variant-specific
+/// (mem_W offset for rewrites, suppression extra budget, replay spoil
+/// flag). `value` is the 32-bit payload written by the flip variants.
+/// kMidSmiMemWFlip ignores `trigger`: it is keyed by the handler's
+/// staged-fetch occurrence count instead of a pipeline phase.
+struct AdversaryAction {
+  AdversaryVariant variant = AdversaryVariant::kMailboxCmdFlip;
+  AdversaryTrigger trigger = AdversaryTrigger::kPreSmi;
+  u16 param = 0;
+  u32 value = 0;
+
+  [[nodiscard]] u16 occurrence() const { return param >> 8; }
+  [[nodiscard]] u8 arg() const { return static_cast<u8>(param & 0xFF); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A deterministic attack schedule plus its wire form (the fuzz input of
+/// the attacker_schedule surface):
+///   u8  count                 (<= kMaxActions)
+///   per action, 8 bytes: u8 variant, u8 trigger, u16 param LE, u32 value LE
+/// Decode demands exact size and in-range variant/trigger bytes, so a
+/// shrunk corpus entry replays byte-for-byte.
+struct AdversarySchedule {
+  static constexpr size_t kMaxActions = 16;
+
+  std::vector<AdversaryAction> actions;
+
+  /// Deterministic schedule from a seed: 1–3 actions with
+  /// variant-appropriate triggers/payloads; kReplayEnvelope is emitted as a
+  /// capture(+spoil)/replay pair so the stale wire actually exists.
+  static AdversarySchedule generate(u64 seed);
+
+  [[nodiscard]] Bytes encode() const;
+  static Result<AdversarySchedule> decode(ByteSpan wire);
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Drives one schedule against a live Kshot pipeline. attach() claims the
+/// pipeline's async-interposer slot, the machine's pre-SMI hook, and the
+/// handler's concurrent-writer hook; detach() releases all three. Each
+/// action fires at most once per attach; fired() records what actually ran
+/// (campaign diagnostics — the ground truth an oracle compares against
+/// DetectionReport).
+class AsyncAdversary {
+ public:
+  AsyncAdversary(machine::Machine& m, core::Kshot& kshot,
+                 kernel::MemoryLayout layout, AdversarySchedule schedule);
+  ~AsyncAdversary();
+
+  AsyncAdversary(const AsyncAdversary&) = delete;
+  AsyncAdversary& operator=(const AsyncAdversary&) = delete;
+
+  void attach();
+  void detach();
+
+  [[nodiscard]] u64 actions_fired() const { return actions_fired_; }
+  [[nodiscard]] const std::vector<std::string>& fired() const {
+    return fired_;
+  }
+  [[nodiscard]] const AdversarySchedule& schedule() const { return schedule_; }
+
+ private:
+  void on_phase(core::PatchPhase p);
+  void on_pre_smi();
+  void on_mid_smi_fetch();
+  void fire_due(AdversaryTrigger t, u64 occurrence);
+  void execute(size_t action_index);
+
+  // Variant bodies.
+  void do_mailbox_cmd_flip(const AdversaryAction& a);
+  void do_mailbox_seq_flip(const AdversaryAction& a);
+  void do_staged_size_flip(const AdversaryAction& a);
+  void do_mem_w_rewrite(const AdversaryAction& a);
+  void do_replay_envelope(const AdversaryAction& a);
+  void do_smi_suppress(const AdversaryAction& a);
+  void do_smi_duplicate(const AdversaryAction& a);
+
+  /// Page-table read of write-only mem_W (rootkit idiom: open the attrs,
+  /// read in normal mode, restore write-only).
+  [[nodiscard]] Result<Bytes> read_mem_w(u64 offset, size_t n);
+
+  machine::Machine& machine_;
+  core::Kshot& kshot_;
+  kernel::MemoryLayout layout_;
+  AdversarySchedule schedule_;
+
+  bool attached_ = false;
+  bool in_pre_smi_ = false;
+  std::vector<bool> done_;
+  u64 trigger_counts_[static_cast<size_t>(AdversaryTrigger::kTriggerCount)] =
+      {};
+  u64 mid_smi_fetches_ = 0;
+
+  // Replay state shared by a capture/replay action pair.
+  Bytes captured_wire_;
+  u64 captured_size_ = 0;
+
+  u64 actions_fired_ = 0;
+  std::vector<std::string> fired_;
+};
+
+}  // namespace kshot::attacks

@@ -129,6 +129,7 @@ struct T3Row {
   // Modeled (golden-compared).
   u64 code_bytes = 0, package_bytes = 0, functions = 0;
   u64 downtime_cycles = 0, smis = 0;
+  u64 detection_cycles = 0;  // TOCTOU-hardening share of the downtime
   double modeled_total_us = 0;
   // Wall (sidecar only).
   double decrypt_us = 0, verify_us = 0, apply_us = 0, total_us = 0;
@@ -165,6 +166,7 @@ T3Row run_t3_row(size_t size, u64 seed) {
   row.downtime_cycles = rep->downtime_cycles;
   row.modeled_total_us = rep->smm.modeled_total_us;
   row.smis = t.machine().smi_count();
+  row.detection_cycles = t.kshot().handler().detection_overhead_cycles();
   row.decrypt_us = rep->smm.decrypt_us;
   row.verify_us = rep->smm.verify_us;
   row.apply_us = rep->smm.apply_us;
@@ -251,6 +253,51 @@ T4BatchRow run_t4_batch_row(u32 k, u64 seed) {
   return row;
 }
 
+struct T4AdversaryRow {
+  Status st = Status::ok();
+  u64 targets = 0, quarantined = 0, recovered = 0;
+  u64 total_detections = 0;
+  /// Modeled escalating backoff charged to quarantine recovery rounds
+  /// across the fleet (microseconds).
+  double recovery_cost_us = 0;
+};
+
+/// Small fleet campaign under a deterministic per-target async adversary;
+/// quantifies what quarantine recovery costs the rollout. Wave aborts are
+/// disabled so the row is a pure function of the schedules, and the fleet's
+/// internal jobs width is a fixed constant (the report is byte-identical
+/// across it anyway).
+T4AdversaryRow run_t4_adversary_row(bool quick, u64 seed) {
+  T4AdversaryRow row;
+  fleet::FleetOptions fo;
+  fo.targets = quick ? 4 : 8;
+  fo.jobs = 2;
+  fo.base_seed = seed;
+  fo.adversary_seed = seed ^ 0xAD5E12;
+  fo.rollout.abort_failure_rate = 1.01;
+  fo.rollout.max_quarantine_rate = 1.01;
+  // In-run retries off: every detection surfaces to the fleet layer, so the
+  // row prices the quarantine state machine itself, not the retry budget.
+  fo.retry_policy = core::RetryPolicy::none();
+  fleet::FleetController fc(fo);
+  auto rep = fc.run_campaign();
+  if (!rep) {
+    row.st = rep.status();
+    return row;
+  }
+  row.targets = rep->targets;
+  row.quarantined = rep->quarantined;
+  row.recovered = rep->recovered;
+  row.total_detections = rep->total_detections;
+  for (const auto& r : rep->results) {
+    for (u32 round = 0; round < r.quarantine_rounds; ++round) {
+      row.recovery_cost_us +=
+          fleet::RolloutPlan::kQuarantineBackoffUs * (1u << round);
+    }
+  }
+  return row;
+}
+
 struct T4FleetRow {
   Status st = Status::ok();
   u64 targets = 0, applied = 0, waves = 0;
@@ -329,6 +376,7 @@ Result<BenchResults> run_bench(const BenchOptions& opts) {
       j.field("downtime_cycles", scaled(r.downtime_cycles, cs));
       j.field("modeled_total_us", r.modeled_total_us * cs);
       j.field("smi_count", r.smis);
+      j.field("detection_overhead", scaled(r.detection_cycles, cs));
       j.close_row();
     }
     j.close_arr();
@@ -360,18 +408,22 @@ Result<BenchResults> run_bench(const BenchOptions& opts) {
   std::vector<u32> ks = batch_ks(opts.quick);
   std::vector<T4BatchRow> t4(ks.size());
   T4FleetRow fleet_row;
-  // One thunk per row (the fleet row is index ks.size()).
-  parallel_for(static_cast<u32>(ks.size()) + 1, opts.jobs, [&](u32 i) {
+  T4AdversaryRow adv_row;
+  // One thunk per row (the fleet rows are indices ks.size(), ks.size()+1).
+  parallel_for(static_cast<u32>(ks.size()) + 2, opts.jobs, [&](u32 i) {
     if (i < ks.size()) {
       t4[i] = run_t4_batch_row(ks[i], opts.seed + 104729 * (i + 1));
-    } else {
+    } else if (i == ks.size()) {
       fleet_row = run_t4_fleet_row(opts.quick, opts.seed);
+    } else {
+      adv_row = run_t4_adversary_row(opts.quick, opts.seed);
     }
   });
   for (const T4BatchRow& r : t4) {
     if (!r.st.is_ok()) return r.st;
   }
   if (!fleet_row.st.is_ok()) return fleet_row.st;
+  if (!adv_row.st.is_ok()) return adv_row.st;
 
   {
     Json j;
@@ -404,6 +456,14 @@ Result<BenchResults> run_bench(const BenchOptions& opts) {
     j.field("makespan_w1_us", fleet_row.makespan_w1_us * cs);
     j.field("makespan_w4_us", fleet_row.makespan_w4_us * cs);
     j.field("prep_cache_hit", fleet_row.prep_hits > 0);
+    j.close_row();
+    j.open_row();
+    j.field("name", std::string("fleet-adversary"));
+    j.field("targets", adv_row.targets);
+    j.field("quarantined", adv_row.quarantined);
+    j.field("recovered", adv_row.recovered);
+    j.field("total_detections", adv_row.total_detections);
+    j.field("quarantine_recovery_cost", adv_row.recovery_cost_us * cs);
     j.close_row();
     j.close_arr();
     j.close_obj();

@@ -37,6 +37,14 @@ Kshot::Kshot(kernel::Kernel& kernel, sgx::SgxRuntime& sgx,
       entropy_seed_(entropy_seed),
       retry_rng_(entropy_seed ^ 0xB0FF) {}
 
+DetectionReport Kshot::take_detections() {
+  DetectionReport out;
+  if (handler_) out = handler_->take_detections();
+  out.merge(std::move(helper_detections_));
+  helper_detections_ = {};
+  return out;
+}
+
 obs::MetricsRegistry& Kshot::metrics() {
   if (!metrics_) {
     owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
@@ -132,7 +140,28 @@ Result<SmmStatus> Kshot::trigger_and_status(SmmCommand cmd) {
   auto echo = mbox.read_cmd_seq_echo();
   if (!echo) return echo.status();
   if (*echo != seq) {
+    helper_detections_.add(
+        DetectionClass::kSmiSuppression, SmmStatus::kOk,
+        handler_ ? handler_->session_epoch() : 0,
+        "commanded SMI never ran (stale cmd_seq echo)");
+    metrics().counter("kshot.smi_suppressions").inc();
+    emit_instant("smi_suppressed", {{"seq", std::to_string(seq)}});
     return Status{Errc::kAborted, "SMI suppressed: mailbox status is stale"};
+  }
+  // The status word must answer the command we issued: the handler records
+  // the command it actually executed next to the status, so a command word
+  // flipped between our write and SMI delivery (to kIdle, kBeginSession, or
+  // anything else whose status could read as success) is caught here.
+  auto status_cmd = mbox.read_status_cmd();
+  if (!status_cmd) return status_cmd.status();
+  if (*status_cmd != static_cast<u64>(cmd)) {
+    helper_detections_.add(
+        DetectionClass::kMailboxFlip, SmmStatus::kBadCommand,
+        handler_ ? handler_->session_epoch() : 0,
+        "handler executed a different command than issued");
+    metrics().counter("kshot.command_flips").inc();
+    emit_instant("command_flipped", {{"seq", std::to_string(seq)}});
+    return Status{Errc::kAborted, "command word tampered in flight"};
   }
   auto st = mbox.read_status();
   if (!st) return st.status();
@@ -349,6 +378,7 @@ Result<PatchReport> Kshot::live_patch(const std::string& patch_id) {
                         report.smm.switch_us;
   report.downtime_cycles = m.smm_cycles() - smm_cycles_before;
   report.smm.modeled_total_us = cost.to_us(report.downtime_cycles);
+  report.detections = take_detections();
   emit_span("live_patch", run_c0, us_since(run_t0),
             {{"id", patch_id}, {"success", report.success ? "1" : "0"}});
   metrics().counter(report.success ? "kshot.patch_success"
@@ -474,6 +504,7 @@ Result<PatchReport> Kshot::live_patch_batch(
                         report.smm.switch_us;
   report.downtime_cycles = m.smm_cycles() - smm_cycles_before;
   report.smm.modeled_total_us = cost.to_us(report.downtime_cycles);
+  report.detections = take_detections();
   emit_span("live_patch_batch", run_c0, us_since(run_t0),
             {{"id", report.id}, {"success", report.success ? "1" : "0"}});
   metrics().counter(report.success ? "kshot.patch_success"
@@ -581,6 +612,7 @@ Result<PatchReport> Kshot::live_patch_chunked(const std::string& patch_id,
                          cost.to_us(cost.smi_entry_cycles + cost.rsm_cycles);
   report.downtime_cycles = m.smm_cycles() - smm_cycles_before;
   report.smm.modeled_total_us = cost.to_us(report.downtime_cycles);
+  report.detections = take_detections();
   emit_span("live_patch_chunked", run_c0, us_since(run_t0),
             {{"id", patch_id}, {"success", report.success ? "1" : "0"}});
   metrics().counter(report.success ? "kshot.patch_success"

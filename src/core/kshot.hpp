@@ -63,6 +63,9 @@ struct PatchReport {
   SgxPhaseTimings sgx;
   SmmPhaseTimings smm;
   ResilienceStats resilience;
+  /// Everything the pipeline detected and classified during this run —
+  /// handler-side (inside SMIs) plus helper-side (SMI suppression).
+  DetectionReport detections;
   /// Virtual cycles the OS was paused (both SMIs), from the machine clock.
   u64 downtime_cycles = 0;
 };
@@ -154,6 +157,22 @@ class Kshot {
   void set_phase_observer(PhaseObserver o) { phase_observer_ = std::move(o); }
   void clear_phase_observer() { phase_observer_ = nullptr; }
 
+  /// Second phase hook, reserved for the async-adversary testbed: runs
+  /// after the regular observer at every transition, so an attacker can
+  /// interpose on the stage→apply window without stealing the fleet's
+  /// observer slot. Same threading rules as the observer.
+  void set_async_interposer(PhaseObserver i) {
+    async_interposer_ = std::move(i);
+  }
+  void clear_async_interposer() { async_interposer_ = nullptr; }
+
+  /// Harvests (and clears) all detections accumulated since the last take:
+  /// handler-side (recorded inside SMIs) plus helper-side (stale-echo SMI
+  /// suppression). The live_patch variants call this into
+  /// PatchReport::detections; when a run fails with a transport error and
+  /// no report, callers (fleet quarantine) take the evidence from here.
+  [[nodiscard]] DetectionReport take_detections();
+
   /// Tamper hook over the *staging* leg (helper app -> mem_W): models a
   /// rootkit garbling sealed blobs/chunks after they leave the enclave.
   /// FaultInjector::as_tamperer() plugs in here.
@@ -209,6 +228,7 @@ class Kshot {
 
   void notify_phase(PatchPhase p) {
     if (phase_observer_) phase_observer_(p);
+    if (async_interposer_) async_interposer_(p);
   }
 
   /// Pause between retries: modeled time on the *running-OS* clock.
@@ -240,6 +260,8 @@ class Kshot {
   Rng retry_rng_;  // jitter source, seeded from entropy_seed_
   netsim::Channel::Tamperer stage_tamperer_;
   PhaseObserver phase_observer_;
+  PhaseObserver async_interposer_;
+  DetectionReport helper_detections_;
   u64 cmd_seq_ = 0;           // helper-side SMI command sequence
   u64 staging_attempts_ = 0;  // helper-side: sealed packages we tried to pass
 };

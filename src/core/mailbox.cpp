@@ -124,4 +124,49 @@ Result<u64> Mailbox::read_session_epoch() const {
   return mem_.read_u64(base_ + MailboxLayout::kSessionEpoch, mode_);
 }
 
+Status Mailbox::write_status_cmd(u64 raw_cmd) {
+  return mem_.write_u64(base_ + MailboxLayout::kStatusCmd, raw_cmd, mode_);
+}
+
+Result<u64> Mailbox::read_status_cmd() const {
+  return mem_.read_u64(base_ + MailboxLayout::kStatusCmd, mode_);
+}
+
+Result<MailboxSnapshot> Mailbox::snapshot() const {
+  MailboxSnapshot s;
+  auto raw = mem_.read_u64(base_ + MailboxLayout::kCommand, mode_);
+  if (!raw) return raw.status();
+  s.raw_command = *raw;
+  s.command = s.command_in_range() ? static_cast<SmmCommand>(s.raw_command)
+                                   : SmmCommand::kIdle;
+  auto epub = read_enclave_pub();
+  if (!epub) return epub.status();
+  s.enclave_pub = *epub;
+  auto spub = read_smm_pub();
+  if (!spub) return spub.status();
+  s.smm_pub = *spub;
+  auto sz = read_staged_size();
+  if (!sz) return sz.status();
+  s.staged_size = *sz;
+  auto st = read_status();
+  if (!st) return st.status();
+  s.status = *st;
+  auto hb = read_heartbeat();
+  if (!hb) return hb.status();
+  s.heartbeat = *hb;
+  auto sid = read_session_id();
+  if (!sid) return sid.status();
+  s.session_id = *sid;
+  auto seq = read_cmd_seq();
+  if (!seq) return seq.status();
+  s.cmd_seq = *seq;
+  auto echo = read_cmd_seq_echo();
+  if (!echo) return echo.status();
+  s.cmd_seq_echo = *echo;
+  auto epoch = read_session_epoch();
+  if (!epoch) return epoch.status();
+  s.session_epoch = *epoch;
+  return s;
+}
+
 }  // namespace kshot::core

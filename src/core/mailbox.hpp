@@ -64,6 +64,37 @@ struct MailboxLayout {
                                                // status word is stale
   static constexpr u64 kSessionEpoch = 0x78;   // u64: bumped on every session
                                                // begin/abort (transaction id)
+  static constexpr u64 kStatusCmd = 0x80;      // u64: the command word the
+                                               // handler actually executed
+                                               // when it wrote kStatus; a
+                                               // mismatch with the command
+                                               // the helper issued proves the
+                                               // command word was flipped
+                                               // between write and SMI
+};
+
+/// One coherent copy of every mailbox field, read in a single pass at SMI
+/// entry. The handler works exclusively off this snapshot so a concurrent
+/// writer (another core, a DMA engine) cannot change a field between its
+/// validation and its use — the double-fetch seam the async adversary
+/// targets. `raw_command` keeps the unclamped value so an out-of-range
+/// command is *detected* rather than silently treated as kIdle.
+struct MailboxSnapshot {
+  u64 raw_command = 0;
+  SmmCommand command = SmmCommand::kIdle;
+  crypto::X25519Key enclave_pub{};
+  crypto::X25519Key smm_pub{};
+  u64 staged_size = 0;
+  SmmStatus status = SmmStatus::kOk;
+  u64 heartbeat = 0;
+  u64 session_id = 0;
+  u64 cmd_seq = 0;
+  u64 cmd_seq_echo = 0;
+  u64 session_epoch = 0;
+
+  [[nodiscard]] bool command_in_range() const {
+    return raw_command <= static_cast<u64>(SmmCommand::kApplyBatch);
+  }
 };
 
 /// Typed accessor over the mailbox for a given access mode.
@@ -92,6 +123,11 @@ class Mailbox {
   Result<u64> read_cmd_seq_echo() const;
   Status write_session_epoch(u64 epoch);
   Result<u64> read_session_epoch() const;
+  Status write_status_cmd(u64 raw_cmd);
+  Result<u64> read_status_cmd() const;
+
+  /// Single-fetch read of every field (see MailboxSnapshot).
+  Result<MailboxSnapshot> snapshot() const;
 
  private:
   machine::PhysMem& mem_;

@@ -41,6 +41,33 @@ SmmPatchHandler::SmmPatchHandler(kernel::MemoryLayout layout, u64 entropy_seed,
   c_stagings_ = &metrics_->counter("smm.stagings_seen");
   c_aborts_ = &metrics_->counter("smm.aborts");
   c_batch_applies_ = &metrics_->counter("smm.batch_applies");
+  c_detections_ = &metrics_->counter("smm.detections");
+  c_introspect_repairs_ = &metrics_->counter("smm.introspect_repairs");
+}
+
+void SmmPatchHandler::record_detection(machine::Machine& m, DetectionClass cls,
+                                       SmmStatus status, std::string detail) {
+  c_detections_->inc();
+  emit_instant(m, "detection",
+               {{"class", detection_class_name(cls)}, {"detail", detail}});
+  detections_.add(cls, status, session_epoch_, std::move(detail));
+}
+
+bool SmmPatchHandler::seen_recent_wire(const crypto::Digest256& h) const {
+  for (const auto& w : recent_wires_) {
+    if (crypto::digest_equal(w, h)) return true;
+  }
+  return false;
+}
+
+void SmmPatchHandler::remember_wire(const crypto::Digest256& h) {
+  if (recent_wires_.size() < kRecentWires) {
+    recent_wires_.push_back(h);
+    recent_wires_next_ = recent_wires_.size() % kRecentWires;
+    return;
+  }
+  recent_wires_[recent_wires_next_] = h;
+  recent_wires_next_ = (recent_wires_next_ + 1) % kRecentWires;
 }
 
 double SmmPatchHandler::phase_span(machine::Machine& m, const char* name,
@@ -68,56 +95,99 @@ void SmmPatchHandler::on_smi(machine::Machine& m) {
 
   Mailbox mbox(m.mem(), layout_.mem_rw_base(), machine::AccessMode::smm());
   mbox.bump_heartbeat();
+
+  // Single-fetch snapshot of every mailbox field: all dispatch decisions and
+  // every field use below work off this one coherent copy, so a concurrent
+  // writer cannot change a field between its validation and its use. The
+  // snapshot and the freshness/classification checks it feeds are charged
+  // against downtime — hardening is not free.
+  const auto& costm = m.cost_model();
+  m.charge_cycles(costm.snapshot_cycles + costm.detect_fixed_cycles);
+  detection_overhead_cycles_ += costm.snapshot_cycles + costm.detect_fixed_cycles;
+  auto snap_r = mbox.snapshot();
+
   // Echo the helper app's command sequence number: after trigger_smi()
   // returns, a stale echo proves this handler never ran (an SMI suppressed
   // by a rootkit) and that the status word is left over from an earlier
   // command. A rootkit can forge the echo, but forging only ever makes the
   // *untrusted* side believe stale news — the SMM-side counters used by the
   // DoS handshake cannot be forged.
-  if (auto seq = mbox.read_cmd_seq()) mbox.write_cmd_seq_echo(*seq);
+  if (snap_r) mbox.write_cmd_seq_echo(snap_r->cmd_seq);
 
-  auto cmd = mbox.read_command();
   const char* cmd_name = "none";
-  if (cmd) {
-    switch (*cmd) {
-      case SmmCommand::kIdle:
-        // Watchdog SMI: nothing requested, so guard the installed patches.
-        cmd_name = "idle";
-        if (introspect_on_idle_) introspect(m);
-        break;
-      case SmmCommand::kBeginSession:
-        cmd_name = "begin_session";
-        begin_session(m, mbox);
-        mbox.write_status(SmmStatus::kOk);
-        break;
-      case SmmCommand::kApplyPatch:
-        cmd_name = "apply_patch";
-        mbox.write_status(apply_patch(m, mbox));
-        break;
-      case SmmCommand::kApplyBatch:
-        cmd_name = "apply_batch";
-        mbox.write_status(apply_batch(m, mbox));
-        break;
-      case SmmCommand::kStageChunk:
-        cmd_name = "stage_chunk";
-        mbox.write_status(stage_chunk(m, mbox));
-        break;
-      case SmmCommand::kRollback:
-        cmd_name = "rollback";
-        mbox.write_status(rollback(m));
-        break;
-      case SmmCommand::kIntrospect:
-        cmd_name = "introspect";
-        introspect(m);
-        mbox.write_status(SmmStatus::kOk);
-        break;
-      case SmmCommand::kAbortSession:
-        cmd_name = "abort_session";
-        abort_session(mbox);
-        mbox.write_status(SmmStatus::kOk);
-        break;
+  if (snap_r) {
+    const MailboxSnapshot& snap = *snap_r;
+    // The helper never advances cmd_seq without writing a command, so a
+    // fresh sequence number alongside an idle command word means the
+    // command was flipped to kIdle after the helper wrote it — without this
+    // check the helper would read the *previous* command's leftover kOk.
+    const bool fresh_command = snap.cmd_seq != last_cmd_seq_;
+    last_cmd_seq_ = snap.cmd_seq;
+    if (!snap.command_in_range()) {
+      // Pre-hardening this was silently clamped to kIdle; an out-of-range
+      // command word is mailbox tampering and must say so.
+      cmd_name = "bad_command";
+      record_detection(m, DetectionClass::kMailboxFlip, SmmStatus::kBadCommand,
+                       "command word out of range");
+      mbox.write_status(SmmStatus::kBadCommand);
+      mbox.write_command(SmmCommand::kIdle);
+    } else {
+      switch (snap.command) {
+        case SmmCommand::kIdle:
+          if (fresh_command) {
+            cmd_name = "flipped_idle";
+            record_detection(m, DetectionClass::kMailboxFlip,
+                             SmmStatus::kBadCommand,
+                             "command sequence advanced with an idle "
+                             "command word");
+            mbox.write_status(SmmStatus::kBadCommand);
+            break;
+          }
+          // Watchdog SMI: nothing requested, so guard the installed patches.
+          cmd_name = "idle";
+          if (introspect_on_idle_) introspect(m);
+          break;
+        case SmmCommand::kBeginSession:
+          cmd_name = "begin_session";
+          begin_session(m, mbox);
+          mbox.write_status(SmmStatus::kOk);
+          break;
+        case SmmCommand::kApplyPatch:
+          cmd_name = "apply_patch";
+          mbox.write_status(apply_patch(m, mbox, snap));
+          break;
+        case SmmCommand::kApplyBatch:
+          cmd_name = "apply_batch";
+          mbox.write_status(apply_batch(m, mbox, snap));
+          break;
+        case SmmCommand::kStageChunk:
+          cmd_name = "stage_chunk";
+          mbox.write_status(stage_chunk(m, mbox, snap));
+          break;
+        case SmmCommand::kRollback:
+          cmd_name = "rollback";
+          mbox.write_status(rollback(m));
+          break;
+        case SmmCommand::kIntrospect:
+          cmd_name = "introspect";
+          introspect(m);
+          mbox.write_status(SmmStatus::kOk);
+          break;
+        case SmmCommand::kAbortSession:
+          cmd_name = "abort_session";
+          abort_session(mbox);
+          mbox.write_status(SmmStatus::kOk);
+          break;
+      }
+      if (snap.command != SmmCommand::kIdle) {
+        mbox.write_command(SmmCommand::kIdle);
+      }
     }
-    if (*cmd != SmmCommand::kIdle) mbox.write_command(SmmCommand::kIdle);
+    // Bind the status word to the command it answers: the helper checks
+    // this against the command it issued, so flipping the command word
+    // mid-handoff (e.g. to kBeginSession, whose status is also kOk) can no
+    // longer make a stale or wrong-command status pass for success.
+    mbox.write_status_cmd(snap.raw_command);
   }
 
   if (trace_) {
@@ -196,26 +266,71 @@ bool SmmPatchHandler::bounds_ok(const patchtool::FunctionPatch& p) const {
 }
 
 SmmStatus SmmPatchHandler::decrypt_staged(machine::Machine& m, Mailbox& mbox,
+                                          const MailboxSnapshot& snap,
                                           Bytes& out, size_t& out_staged) {
   const auto mode = machine::AccessMode::smm();
   const auto& cost = m.cost_model();
 
   c_stagings_->inc();
   if (!session_keys_.has_value()) return SmmStatus::kNoSession;
-  auto staged = mbox.read_staged_size();
-  if (!staged || *staged == 0) return SmmStatus::kNothingStaged;
-  if (*staged > layout_.mem_w_size) return SmmStatus::kBadPackage;
+  u64 staged = snap.staged_size;
+  if (staged == 0) {
+    // A live session with nothing staged: the helper never issues this
+    // command without staging first, so a zero size here is a flipped field.
+    record_detection(m, DetectionClass::kStagedSizeFlip,
+                     SmmStatus::kNothingStaged,
+                     "staged size is zero under a live session");
+    return SmmStatus::kNothingStaged;
+  }
+  if (staged > layout_.mem_w_size) {
+    record_detection(m, DetectionClass::kStagedSizeFlip, SmmStatus::kBadPackage,
+                     "staged size exceeds mem_W");
+    return SmmStatus::kBadPackage;
+  }
 
   // ---- Data fetching + decryption (Table III "Data Decryption") ----------
+  // The staged bytes are fetched exactly once into SMRAM and their hash is
+  // pinned; everything downstream (freshness classification, decrypt)
+  // operates on this copy. A concurrent writer racing the SMI can no longer
+  // swap bytes between validation and use.
   auto t0 = Clock::now();
   u64 c0 = m.cycles();
-  auto sealed_wire = m.mem().read_bytes(layout_.mem_w_base(), *staged, mode);
+  auto sealed_wire = m.mem().read_bytes(layout_.mem_w_base(), staged, mode);
   if (!sealed_wire) return SmmStatus::kBadPackage;
-  auto enclave_pub = mbox.read_enclave_pub();
-  if (!enclave_pub) return SmmStatus::kBadPackage;
+  crypto::Digest256 pin = crypto::sha256(*sealed_wire);
+  m.charge_cycles(cost.bytes_cost(cost.pin_hash_cycles_per_byte, staged));
+  detection_overhead_cycles_ +=
+      cost.bytes_cost(cost.pin_hash_cycles_per_byte, staged);
+
+  // The mid-SMI race window: a second core / DMA engine writing while this
+  // core is in SMM.
+  if (concurrent_writer_) concurrent_writer_(m);
+
+  if (legacy_double_fetch_) {
+    // Self-test seam: the pre-hardening double fetch, re-reading size and
+    // bytes from attacker-writable memory after validation.
+    auto staged2 = mbox.read_staged_size();
+    if (staged2 && *staged2 != 0 && *staged2 <= layout_.mem_w_size) {
+      staged = *staged2;
+      auto again = m.mem().read_bytes(layout_.mem_w_base(), staged, mode);
+      if (again) sealed_wire = std::move(again);
+    }
+  } else if (!crypto::digest_equal(crypto::sha256(*sealed_wire), pin)) {
+    // Defense-in-depth: the SMRAM copy cannot change, so this never fires
+    // unless the single-fetch invariant itself regresses.
+    record_detection(m, DetectionClass::kMemWRewrite, SmmStatus::kMacFailure,
+                     "staged-bytes pin mismatch");
+    session_keys_.reset();
+    return SmmStatus::kMacFailure;
+  }
+
+  // Freshness: a wire this handler has staged before can only reappear via
+  // an attacker replaying a stale sealed envelope.
+  bool replayed = seen_recent_wire(pin);
+  remember_wire(pin);
 
   crypto::X25519Key shared =
-      crypto::dh_shared(session_keys_->private_key, *enclave_pub);
+      crypto::dh_shared(session_keys_->private_key, snap.enclave_pub);
   crypto::Key256 key = crypto::derive_key(
       ByteSpan(shared.data(), shared.size()), "sgx-smm");
   auto box = crypto::SealedBox::deserialize(*sealed_wire);
@@ -223,15 +338,24 @@ SmmStatus SmmPatchHandler::decrypt_staged(machine::Machine& m, Mailbox& mbox,
     // Undecodable staging is indistinguishable from tampering; burn the
     // session either way.
     session_keys_.reset();
+    record_detection(m, replayed ? DetectionClass::kReplay
+                                 : DetectionClass::kMemWRewrite,
+                     SmmStatus::kMacFailure,
+                     "staged bytes do not decode as a sealed envelope");
     return SmmStatus::kMacFailure;
   }
   auto package = crypto::open(key, *box);
-  m.charge_cycles(cost.bytes_cost(cost.decrypt_cycles_per_byte, *staged));
+  m.charge_cycles(cost.bytes_cost(cost.decrypt_cycles_per_byte, staged));
   timings_.decrypt_ns = phase_span(m, "decrypt", c0, t0);
   if (!package) {
     // MAC failure: tampered mem_W or a replayed blob from an old session.
     session_keys_.reset();
     emit_instant(m, "mac_failure");
+    record_detection(m, replayed ? DetectionClass::kReplay
+                                 : DetectionClass::kMemWRewrite,
+                     SmmStatus::kMacFailure,
+                     replayed ? "replayed sealed envelope rejected"
+                              : "staged bytes failed authentication");
     return SmmStatus::kMacFailure;
   }
 
@@ -240,24 +364,26 @@ SmmStatus SmmPatchHandler::decrypt_staged(machine::Machine& m, Mailbox& mbox,
   session_keys_.reset();
 
   out = std::move(*package);
-  out_staged = *staged;
+  out_staged = staged;
   return SmmStatus::kOk;
 }
 
-SmmStatus SmmPatchHandler::apply_patch(machine::Machine& m, Mailbox& mbox) {
+SmmStatus SmmPatchHandler::apply_patch(machine::Machine& m, Mailbox& mbox,
+                                       const MailboxSnapshot& snap) {
   Bytes package;
   size_t staged = 0;
-  SmmStatus st = decrypt_staged(m, mbox, package, staged);
+  SmmStatus st = decrypt_staged(m, mbox, snap, package, staged);
   if (st != SmmStatus::kOk) return st;
   return verify_and_apply(m, package, staged);
 }
 
-SmmStatus SmmPatchHandler::apply_batch(machine::Machine& m, Mailbox& mbox) {
+SmmStatus SmmPatchHandler::apply_batch(machine::Machine& m, Mailbox& mbox,
+                                       const MailboxSnapshot& snap) {
   const auto& cost = m.cost_model();
 
   Bytes envelope;
   size_t staged = 0;
-  SmmStatus st = decrypt_staged(m, mbox, envelope, staged);
+  SmmStatus st = decrypt_staged(m, mbox, snap, envelope, staged);
   if (st != SmmStatus::kOk) return st;
 
   auto pkgs = patchtool::parse_batch(envelope);
@@ -416,8 +542,10 @@ SmmStatus SmmPatchHandler::verify_and_apply(machine::Machine& m,
   return st;
 }
 
-SmmStatus SmmPatchHandler::stage_chunk(machine::Machine& m, Mailbox& mbox) {
+SmmStatus SmmPatchHandler::stage_chunk(machine::Machine& m, Mailbox& mbox,
+                                       const MailboxSnapshot& snap) {
   const auto mode = machine::AccessMode::smm();
+  const auto& cost = m.cost_model();
   constexpr u32 kMaxChunks = 4096;
   constexpr size_t kMaxStreamBytes = 256ull << 20;
 
@@ -427,10 +555,8 @@ SmmStatus SmmPatchHandler::stage_chunk(machine::Machine& m, Mailbox& mbox) {
   // First chunk: consume the session key and derive the stream key.
   if (!stream_key_.has_value()) {
     if (!session_keys_.has_value()) return SmmStatus::kNoSession;
-    auto enclave_pub = mbox.read_enclave_pub();
-    if (!enclave_pub) return SmmStatus::kBadPackage;
     crypto::X25519Key shared =
-        crypto::dh_shared(session_keys_->private_key, *enclave_pub);
+        crypto::dh_shared(session_keys_->private_key, snap.enclave_pub);
     stream_key_ = crypto::derive_key(ByteSpan(shared.data(), shared.size()),
                                      "sgx-smm-stream");
     session_keys_.reset();
@@ -439,22 +565,50 @@ SmmStatus SmmPatchHandler::stage_chunk(machine::Machine& m, Mailbox& mbox) {
     stream_buffer_.clear();
   }
 
-  auto staged = mbox.read_staged_size();
-  if (!staged || *staged == 0) {
+  u64 staged = snap.staged_size;
+  if (staged == 0) {
+    record_detection(m, DetectionClass::kStagedSizeFlip,
+                     SmmStatus::kNothingStaged,
+                     "chunk staged size is zero under a live stream");
     abort_stream();
     return SmmStatus::kNothingStaged;
   }
-  if (*staged > layout_.mem_w_size) {
+  if (staged > layout_.mem_w_size) {
+    record_detection(m, DetectionClass::kStagedSizeFlip, SmmStatus::kBadPackage,
+                     "chunk staged size exceeds mem_W");
     abort_stream();
     return SmmStatus::kBadPackage;
   }
-  auto sealed_wire = m.mem().read_bytes(layout_.mem_w_base(), *staged, mode);
+  // Single fetch of the chunk into SMRAM, hash-pinned — same TOCTOU
+  // discipline as decrypt_staged.
+  auto sealed_wire = m.mem().read_bytes(layout_.mem_w_base(), staged, mode);
   if (!sealed_wire) {
     abort_stream();
     return SmmStatus::kBadPackage;
   }
+  crypto::Digest256 pin = crypto::sha256(*sealed_wire);
+  m.charge_cycles(cost.bytes_cost(cost.pin_hash_cycles_per_byte, staged));
+  detection_overhead_cycles_ +=
+      cost.bytes_cost(cost.pin_hash_cycles_per_byte, staged);
+  if (concurrent_writer_) concurrent_writer_(m);
+  if (legacy_double_fetch_) {
+    auto staged2 = mbox.read_staged_size();
+    if (staged2 && *staged2 != 0 && *staged2 <= layout_.mem_w_size) {
+      staged = *staged2;
+      auto again = m.mem().read_bytes(layout_.mem_w_base(), staged, mode);
+      if (again) sealed_wire = std::move(again);
+    }
+  } else if (!crypto::digest_equal(crypto::sha256(*sealed_wire), pin)) {
+    record_detection(m, DetectionClass::kMemWRewrite, SmmStatus::kMacFailure,
+                     "chunk pin mismatch");
+    abort_stream();
+    return SmmStatus::kMacFailure;
+  }
+
   auto box = crypto::SealedBox::deserialize(*sealed_wire);
   if (!box) {
+    record_detection(m, DetectionClass::kMemWRewrite, SmmStatus::kMacFailure,
+                     "chunk does not decode as a sealed envelope");
     abort_stream();
     return SmmStatus::kMacFailure;
   }
@@ -464,13 +618,16 @@ SmmStatus SmmPatchHandler::stage_chunk(machine::Machine& m, Mailbox& mbox) {
   store_u32(want_nonce.data(), stream_expected_);
   want_nonce[11] = 0x5C;
   if (box->nonce != want_nonce) {
+    record_detection(m, DetectionClass::kChunkReorder,
+                     SmmStatus::kChunkOutOfOrder, "chunk nonce out of order");
     abort_stream();
     return SmmStatus::kChunkOutOfOrder;
   }
   auto plain = crypto::open(*stream_key_, *box);
-  m.charge_cycles(m.cost_model().bytes_cost(
-      m.cost_model().decrypt_cycles_per_byte, *staged));
+  m.charge_cycles(cost.bytes_cost(cost.decrypt_cycles_per_byte, staged));
   if (!plain) {
+    record_detection(m, DetectionClass::kMemWRewrite, SmmStatus::kMacFailure,
+                     "chunk failed authentication");
     abort_stream();
     return SmmStatus::kMacFailure;
   }
@@ -480,6 +637,9 @@ SmmStatus SmmPatchHandler::stage_chunk(machine::Machine& m, Mailbox& mbox) {
   auto total = r.get_u32();
   if (!index || !total || *index != stream_expected_ || *total == 0 ||
       *total > kMaxChunks || (stream_total_ != 0 && *total != stream_total_)) {
+    record_detection(m, DetectionClass::kChunkReorder,
+                     SmmStatus::kChunkOutOfOrder,
+                     "chunk header index/total inconsistent");
     abort_stream();
     return SmmStatus::kChunkOutOfOrder;
   }
@@ -758,6 +918,20 @@ void SmmPatchHandler::introspect(machine::Machine& m) {
   last_introspection_ = rep;
   phase_span(m, "introspect", c0, t0);
   if (!rep.clean()) {
+    // Repairs are a first-class detection, not just a warn log: the count
+    // lands in the metric and the run's DetectionReport so callers (fleet
+    // quarantine, campaign oracles) can see the tampering happened.
+    u64 repairs = static_cast<u64>(rep.trampolines_reverted) +
+                  rep.memx_tampered + rep.attrs_restored +
+                  rep.text_bytes_restored;
+    c_introspect_repairs_->inc(repairs);
+    record_detection(
+        m, DetectionClass::kIntrospectionRepair, SmmStatus::kOk,
+        "repaired " + std::to_string(rep.trampolines_reverted) +
+            " trampoline(s), " + std::to_string(rep.memx_tampered) +
+            " body(ies), " + std::to_string(rep.attrs_restored) +
+            " page(s), " + std::to_string(rep.text_bytes_restored) +
+            " text byte(s)");
     emit_instant(m, "tampering_repaired",
                  {{"trampolines", std::to_string(rep.trampolines_reverted)},
                   {"bodies", std::to_string(rep.memx_tampered)},

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/detection.hpp"
 #include "core/mailbox.hpp"
 #include "crypto/aead.hpp"
 #include "kernel/layout.hpp"
@@ -109,6 +110,26 @@ class SmmPatchHandler {
     legacy_wrapping_bounds_ = true;
   }
 
+  /// Fuzz-harness self-test seam: re-opens the pre-hardening double fetch —
+  /// after validating the mailbox snapshot and pinning the staged bytes,
+  /// the handler re-reads staged_size and mem_W from attacker-writable
+  /// memory and uses *those* (the classic TOCTOU window). The
+  /// attacker_schedule surface enables this to prove its prevented-or-
+  /// detected oracle catches the bug class; nothing else may call it.
+  void enable_legacy_double_fetch_for_selftest() {
+    legacy_double_fetch_ = true;
+  }
+
+  /// Models a concurrent writer racing the SMI (another core or a DMA
+  /// engine scribbling while this core is in SMM): invoked once per staged-
+  /// bytes fetch, between the single fetch into SMRAM and its use. Under
+  /// the hardened handler anything it writes is invisible (the SMRAM copy
+  /// is authoritative); under the legacy seam it lands in the re-read.
+  using ConcurrentWriter = std::function<void(machine::Machine&)>;
+  void set_concurrent_writer(ConcurrentWriter w) {
+    concurrent_writer_ = std::move(w);
+  }
+
   /// Arms the kernel-text guard (the paper's §IV-A "kernel introspection
   /// module for kernel protection"): snapshots the pristine kernel text
   /// into SMRAM state; every introspection sweep thereafter detects and
@@ -140,23 +161,63 @@ class SmmPatchHandler {
   /// DoS-detection handshake's ground truth).
   [[nodiscard]] u64 stagings_seen() const { return c_stagings_->value(); }
   [[nodiscard]] u64 sessions_aborted() const { return c_aborts_->value(); }
+  /// Tamper detections recorded since construction ("smm.detections").
+  [[nodiscard]] u64 detections_seen() const { return c_detections_->value(); }
+  /// Introspection repairs performed ("smm.introspect_repairs").
+  [[nodiscard]] u64 introspect_repairs() const {
+    return c_introspect_repairs_->value();
+  }
   /// Transaction id: bumped on every session begin and abort.
   [[nodiscard]] u64 session_epoch() const { return session_epoch_; }
 
+  /// Total modeled cycles charged to TOCTOU hardening (mailbox snapshot +
+  /// freshness checks per SMI, staged-bytes hash pinning per fetch) since
+  /// construction. This is the honest price of detection: it is already
+  /// inside every downtime number, and benchkit reports it separately as
+  /// `detection_overhead` so the gate notices if it grows.
+  [[nodiscard]] u64 detection_overhead_cycles() const {
+    return detection_overhead_cycles_;
+  }
+
+  /// Hands over (and clears) the detections accumulated since the last
+  /// take; Kshot harvests these into PatchReport::detections per run.
+  [[nodiscard]] DetectionReport take_detections() {
+    DetectionReport out = std::move(detections_);
+    detections_.clear();
+    return out;
+  }
+  [[nodiscard]] const DetectionReport& detections() const {
+    return detections_;
+  }
+
  private:
   void begin_session(machine::Machine& m, Mailbox& mbox);
-  SmmStatus apply_patch(machine::Machine& m, Mailbox& mbox);
-  SmmStatus apply_batch(machine::Machine& m, Mailbox& mbox);
-  SmmStatus stage_chunk(machine::Machine& m, Mailbox& mbox);
+  SmmStatus apply_patch(machine::Machine& m, Mailbox& mbox,
+                        const MailboxSnapshot& snap);
+  SmmStatus apply_batch(machine::Machine& m, Mailbox& mbox,
+                        const MailboxSnapshot& snap);
+  SmmStatus stage_chunk(machine::Machine& m, Mailbox& mbox,
+                        const MailboxSnapshot& snap);
   SmmStatus rollback(machine::Machine& m);
   void introspect(machine::Machine& m);
 
-  /// Shared decrypt leg of kApplyPatch/kApplyBatch: session check, staged
-  /// mem_W read, DH + "sgx-smm" key derivation, authenticated open, decrypt
-  /// charge, and single-use session-key reset. Returns kOk with the
-  /// plaintext in `out`, or the status to report.
-  SmmStatus decrypt_staged(machine::Machine& m, Mailbox& mbox, Bytes& out,
+  /// Shared decrypt leg of kApplyPatch/kApplyBatch: session check, single
+  /// staged mem_W fetch into SMRAM with a pinned hash, DH + "sgx-smm" key
+  /// derivation, authenticated open, decrypt charge, and single-use
+  /// session-key reset. All mailbox fields come from `snap` — nothing is
+  /// re-read from attacker-writable memory (unless the legacy double-fetch
+  /// seam is enabled). Returns kOk with the plaintext in `out`, or the
+  /// status to report.
+  SmmStatus decrypt_staged(machine::Machine& m, Mailbox& mbox,
+                           const MailboxSnapshot& snap, Bytes& out,
                            size_t& out_staged);
+
+  /// Records one classified tamper detection (counter, report, trace).
+  void record_detection(machine::Machine& m, DetectionClass cls,
+                        SmmStatus status, std::string detail);
+  /// Replay ring: sealed-wire hashes recently staged at this handler.
+  [[nodiscard]] bool seen_recent_wire(const crypto::Digest256& h) const;
+  void remember_wire(const crypto::Digest256& h);
 
   /// Discards the chunk-stream accumulation state.
   void reset_stream();
@@ -219,6 +280,17 @@ class SmmPatchHandler {
 
   bool introspect_on_idle_ = false;
   bool legacy_wrapping_bounds_ = false;  // self-test seam, see above
+  bool legacy_double_fetch_ = false;     // self-test seam, see above
+  ConcurrentWriter concurrent_writer_;
+  u64 detection_overhead_cycles_ = 0;  // hardening cycles, see accessor
+
+  // Detection state (SMRAM-resident). The replay ring holds hashes of the
+  // last kRecentWires sealed wires staged here, so a MAC failure over a
+  // previously-seen wire classifies as kReplay instead of kMemWRewrite.
+  static constexpr size_t kRecentWires = 8;
+  std::vector<crypto::Digest256> recent_wires_;
+  size_t recent_wires_next_ = 0;
+  DetectionReport detections_;
 
   // Kernel-text guard state (SMRAM-resident).
   bool guard_armed_ = false;
@@ -228,6 +300,7 @@ class SmmPatchHandler {
   SmmPatchTimings timings_;
   IntrospectionReport last_introspection_;
   u64 session_epoch_ = 0;
+  u64 last_cmd_seq_ = 0;  // SMRAM copy: detects seq-advance-with-idle flips
 
   // Observability. The registry hands out stable references, so the hot
   // counters are resolved once at construction.
@@ -239,6 +312,8 @@ class SmmPatchHandler {
   obs::Counter* c_stagings_ = nullptr;
   obs::Counter* c_aborts_ = nullptr;
   obs::Counter* c_batch_applies_ = nullptr;
+  obs::Counter* c_detections_ = nullptr;
+  obs::Counter* c_introspect_repairs_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
   u32 trace_target_ = 0;
 };

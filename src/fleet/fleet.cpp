@@ -8,6 +8,7 @@
 #include <iterator>
 #include <thread>
 
+#include "attacks/async_adversary.hpp"
 #include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
@@ -22,6 +23,7 @@ const char* target_state_name(TargetState s) {
     case TargetState::kApplied: return "APPLIED";
     case TargetState::kFailed: return "FAILED";
     case TargetState::kRolledBack: return "ROLLED_BACK";
+    case TargetState::kQuarantined: return "QUARANTINED";
   }
   return "?";
 }
@@ -193,58 +195,127 @@ void FleetController::patch_one(u32 index, u32 wave, TargetResult& out) {
   out.seed = target_seed(index);
   out.wave = wave;
 
-  // Mirror the pipeline's real transitions into the per-target state, and
-  // record each one as a per-target fleet event on the virtual clock.
   obs::TraceRecorder* tr =
       index < target_traces_.size() ? target_traces_[index].get() : nullptr;
-  t.kshot().set_phase_observer([&out, &t, tr, index](core::PatchPhase p) {
-    switch (p) {
-      case core::PatchPhase::kFetching:
-        out.state = TargetState::kFetching;
-        break;
-      case core::PatchPhase::kStaged:
-        out.state = TargetState::kStaged;
-        break;
-      case core::PatchPhase::kApplied:
-        out.state = TargetState::kApplied;
-        break;
-      case core::PatchPhase::kFailed:
-        out.state = TargetState::kFailed;
-        break;
-    }
-    if (tr) {
-      tr->instant("fleet", target_state_name(out.state), index,
-                  t.machine().cycles());
-    }
-  });
-  double link_before = t.channel().total_latency_us();
-  auto rep = batch_parts_.empty()
-                 ? t.kshot().live_patch(case_.id)
-                 : t.kshot().live_patch_batch(opts_.batch_cve_ids);
-  t.kshot().clear_phase_observer();
-  double link_us = t.channel().total_latency_us() - link_before;
 
-  if (!rep.is_ok()) {
-    // Unrecoverable transport failure (e.g. fetch retries exhausted): the
-    // per-attempt counters died with the report; the status says why.
-    out.state = TargetState::kFailed;
-    out.detail = rep.status().to_string();
-    return;
+  // Hostile fleet: each target gets its own deterministic attack schedule,
+  // derived from the campaign-wide adversary seed and the target seed.
+  std::unique_ptr<attacks::AsyncAdversary> adversary;
+  if (opts_.adversary_seed) {
+    adversary = std::make_unique<attacks::AsyncAdversary>(
+        t.machine(), t.kshot(), t.layout(),
+        attacks::AdversarySchedule::generate(*opts_.adversary_seed ^
+                                             target_seed(index)));
+    adversary->attach();
   }
-  out.resilience = rep->resilience;
-  if (!rep->success) {
-    out.state = TargetState::kFailed;
-    out.detail = std::string("smm: ") +
-                 core::smm_status_name(rep->smm_status);
-    return;
-  }
-  out.state = TargetState::kApplied;
-  out.downtime_us = rep->smm.modeled_total_us;
-  out.e2e_us = link_us + rep->resilience.backoff_us +
-               rep->smm.modeled_total_us;
 
-  out.healthy = health_check(t, out);
-  if (!out.healthy) rollback_target(index, out, "health check failed");
+  auto note_detections = [&out](const core::DetectionReport& d) {
+    for (const auto& ev : d.events) {
+      ++out.detection_events;
+      if (!out.detections.empty()) out.detections += ",";
+      out.detections += core::detection_class_name(ev.cls);
+    }
+  };
+
+  // One full pipeline run: mirror the real phase transitions into the
+  // per-target state, accumulate resilience/latency, health-check on
+  // success. Returns true only with proof of health (applied + probed).
+  auto attempt = [&]() -> bool {
+    t.kshot().set_phase_observer([&out, &t, tr, index](core::PatchPhase p) {
+      switch (p) {
+        case core::PatchPhase::kFetching:
+          out.state = TargetState::kFetching;
+          break;
+        case core::PatchPhase::kStaged:
+          out.state = TargetState::kStaged;
+          break;
+        case core::PatchPhase::kApplied:
+          out.state = TargetState::kApplied;
+          break;
+        case core::PatchPhase::kFailed:
+          out.state = TargetState::kFailed;
+          break;
+      }
+      if (tr) {
+        tr->instant("fleet", target_state_name(out.state), index,
+                    t.machine().cycles());
+      }
+    });
+    double link_before = t.channel().total_latency_us();
+    auto rep = batch_parts_.empty()
+                   ? t.kshot().live_patch(case_.id)
+                   : t.kshot().live_patch_batch(opts_.batch_cve_ids);
+    t.kshot().clear_phase_observer();
+    double link_us = t.channel().total_latency_us() - link_before;
+
+    if (!rep.is_ok()) {
+      // Unrecoverable transport failure (e.g. fetch retries exhausted):
+      // the per-attempt counters died with the report; the status says
+      // why. Detections survive in the pipeline — harvest them so the
+      // quarantine machine still sees the evidence.
+      out.state = TargetState::kFailed;
+      out.detail = rep.status().to_string();
+      note_detections(t.kshot().take_detections());
+      return false;
+    }
+    out.resilience.fetch_attempts += rep->resilience.fetch_attempts;
+    out.resilience.apply_attempts += rep->resilience.apply_attempts;
+    out.resilience.session_aborts += rep->resilience.session_aborts;
+    out.resilience.backoff_us += rep->resilience.backoff_us;
+    out.resilience.retries_exhausted = rep->resilience.retries_exhausted;
+    note_detections(rep->detections);
+    // Failed rounds still burned real (modeled) time — charge them so the
+    // quarantine recovery cost is honest, not just the winning round.
+    out.downtime_us += rep->smm.modeled_total_us;
+    out.e2e_us += link_us + rep->resilience.backoff_us +
+                  rep->smm.modeled_total_us;
+    if (!rep->success) {
+      out.state = TargetState::kFailed;
+      out.detail = std::string("smm: ") +
+                   core::smm_status_name(rep->smm_status);
+      return false;
+    }
+    out.state = TargetState::kApplied;
+
+    out.healthy = health_check(t, out);
+    if (!out.healthy) {
+      rollback_target(index, out, "health check failed");
+      return false;
+    }
+    return true;
+  };
+
+  bool ok = attempt();
+
+  // Quarantine state machine: detections without proof of health fence the
+  // target; each recovery round charges escalating modeled backoff and
+  // retries against a freshly fetched envelope (the attack schedule's
+  // actions fire once, so a transient attacker loses the race eventually;
+  // a persistent one keeps the target fenced).
+  if (!ok && out.detection_events > 0) {
+    const u32 limit = opts_.rollout.quarantine_retry_limit;
+    for (u32 round = 0; round < limit && !ok; ++round) {
+      ++out.quarantine_rounds;
+      double backoff =
+          RolloutPlan::kQuarantineBackoffUs * static_cast<double>(1u << round);
+      out.resilience.backoff_us += backoff;
+      out.e2e_us += backoff;
+      if (tr) {
+        tr->instant("fleet", "quarantine_retry", index, t.machine().cycles());
+      }
+      ok = attempt();
+    }
+    if (ok) {
+      out.recovered = true;
+    } else {
+      out.state = TargetState::kQuarantined;
+      out.detail = out.detail.empty()
+                       ? "detections without proof of health"
+                       : out.detail + "; quarantined";
+    }
+  }
+
+  if (adversary) adversary->detach();
 }
 
 Result<FleetReport> FleetController::run_campaign() {
@@ -263,9 +334,10 @@ Result<FleetReport> FleetController::run_campaign() {
   const RolloutPlan& plan = opts_.rollout;
   u32 done = 0;
   u32 wave_idx = 0;
+  // Current full-wave width; quarantines halve it (degraded mode).
+  u32 wave_cap = std::max<u32>(1, plan.wave);
   while (done < opts_.targets) {
-    u32 wave_size = wave_idx == 0 ? std::max<u32>(1, plan.canary)
-                                  : std::max<u32>(1, plan.wave);
+    u32 wave_size = wave_idx == 0 ? std::max<u32>(1, plan.canary) : wave_cap;
     wave_size = std::min(wave_size, opts_.targets - done);
 
     if (opts_.capture_trace) {
@@ -279,11 +351,45 @@ Result<FleetReport> FleetController::run_campaign() {
     ++report.waves_run;
 
     u32 failures = 0;
+    u32 wave_quarantined = 0;
     for (u32 k = 0; k < wave_size; ++k) {
       TargetState s = report.results[done + k].state;
       if (s == TargetState::kFailed || s == TargetState::kRolledBack) {
         ++failures;
       }
+      if (s == TargetState::kQuarantined) ++wave_quarantined;
+    }
+    // Quarantines are judged against their own bound: too many fenced
+    // targets in one wave means an adversary owns a fleet-wide layer, and
+    // pushing more waves at it only widens the blast radius.
+    double quarantine_rate = static_cast<double>(wave_quarantined) /
+                             static_cast<double>(wave_size);
+    if (wave_quarantined > 0 && quarantine_rate >= plan.max_quarantine_rate) {
+      if (plan.rollback_failed_wave) {
+        for (u32 k = 0; k < wave_size; ++k) {
+          TargetResult& r = report.results[done + k];
+          if (r.state == TargetState::kApplied) {
+            rollback_target(done + k, r, "wave aborted (quarantine)");
+          }
+        }
+      }
+      report.aborted = true;
+      report.abort_wave = wave_idx;
+      KSHOT_LOG(kWarn, "fleet")
+          << "rollout aborted at wave " << wave_idx << " ("
+          << wave_quarantined << "/" << wave_size << " quarantined)";
+      done += wave_size;
+      break;  // everything after this wave stays PENDING
+    }
+    if (wave_quarantined > 0 && plan.degrade_on_quarantine) {
+      wave_cap = std::max<u32>(1, wave_cap / 2);
+      if (!report.degraded) {
+        report.degraded = true;
+        report.degraded_from_wave = wave_idx + 1;
+      }
+      KSHOT_LOG(kInfo, "fleet")
+          << "degraded mode: wave width now " << wave_cap << " after "
+          << wave_quarantined << " quarantine(s) in wave " << wave_idx;
     }
     double failure_rate =
         static_cast<double>(failures) / static_cast<double>(wave_size);
@@ -324,10 +430,15 @@ Result<FleetReport> FleetController::run_campaign() {
       case TargetState::kRolledBack:
         ++report.rolled_back;
         break;
+      case TargetState::kQuarantined:
+        ++report.quarantined;
+        break;
       default:
         ++report.pending;
         break;
     }
+    if (r.recovered) ++report.recovered;
+    report.total_detections += r.detection_events;
     report.total_fetch_attempts += r.resilience.fetch_attempts;
     report.total_apply_attempts += r.resilience.apply_attempts;
     // Batched mode fetches once per part, so only attempts beyond one per
@@ -378,10 +489,18 @@ std::string FleetReport::to_string() const {
   };
   append("fleet campaign %s: %u targets, jobs=%u, %u wave(s)\n",
          cve_id.c_str(), targets, jobs, waves_run);
-  append("  applied %u  failed %u  rolled_back %u  pending %u%s\n", applied,
-         failed, rolled_back, pending,
+  append("  applied %u  failed %u  rolled_back %u  quarantined %u  "
+         "pending %u%s\n",
+         applied, failed, rolled_back, quarantined, pending,
          aborted ? "  [ABORTED]" : "");
   if (aborted) append("  aborted at wave %u\n", abort_wave);
+  if (quarantined > 0 || recovered > 0 || total_detections > 0) {
+    append("  quarantine: %u fenced  %u recovered  %llu detection(s)%s\n",
+           quarantined, recovered,
+           static_cast<unsigned long long>(total_detections),
+           degraded ? "  [DEGRADED]" : "");
+  }
+  if (degraded) append("  degraded from wave %u\n", degraded_from_wave);
   append("  attempts: fetch %llu  apply %llu  retries %llu  aborts %llu\n",
          static_cast<unsigned long long>(total_fetch_attempts),
          static_cast<unsigned long long>(total_apply_attempts),
@@ -409,6 +528,11 @@ std::string FleetReport::to_string() const {
            r.resilience.fetch_attempts, r.resilience.apply_attempts,
            r.downtime_us, r.e2e_us, r.detail.empty() ? "" : "  # ",
            r.detail.c_str());
+    if (r.detection_events > 0) {
+      append("        detections[%u]: %s  (recovery rounds %u%s)\n",
+             r.detection_events, r.detections.c_str(), r.quarantine_rounds,
+             r.recovered ? ", recovered" : "");
+    }
   }
   return out;
 }

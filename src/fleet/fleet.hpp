@@ -12,9 +12,14 @@
 // Each target walks the state machine
 //
 //   PENDING -> FETCHING -> STAGED -> APPLIED | FAILED | ROLLED_BACK
+//                                  | QUARANTINED (detections, recovery
+//                                    rounds exhausted)
 //
 // mirrored off the core pipeline's real phase transitions (Kshot's phase
-// observer). A wave whose failure fraction reaches RolloutPlan::
+// observer). A target whose run reports classified detections without
+// proof of health enters quarantine recovery: escalating modeled backoff,
+// session abort, and a fresh fetch per round; exhausting the rounds fences
+// the target as QUARANTINED and (in degraded mode) halves later waves. A wave whose failure fraction reaches RolloutPlan::
 // abort_failure_rate aborts the rollout: the wave's applied targets are
 // rolled back and every remaining target stays PENDING — by the pipeline's
 // transactional invariant, every non-applied kernel is byte-identical to
@@ -43,6 +48,10 @@ enum class TargetState : u8 {
   kApplied,       // patch live and health-checked
   kFailed,        // pipeline failed; kernel untouched (transactional)
   kRolledBack,    // applied, then undone (health failure or wave abort)
+  kQuarantined,   // tampering detected and recovery attempts exhausted:
+                  // the target is fenced off from further rollout traffic
+                  // (kernel untouched — every detection path is
+                  // transactional)
 };
 
 const char* target_state_name(TargetState s);
@@ -59,6 +68,23 @@ struct RolloutPlan {
   /// Post-patch health probe rounds per applied target (each round: one
   /// benign syscall must complete cleanly, one exploit must stay dead).
   u32 health_probes = 1;
+
+  // Quarantine policy (async-adversary hardening) -------------------------
+  /// Recovery rounds granted to a target that reported detections without
+  /// proof of health: each round aborts the session, charges escalating
+  /// modeled backoff, and re-runs the pipeline against a freshly fetched
+  /// envelope. A target still unhealthy afterwards is QUARANTINED.
+  u32 quarantine_retry_limit = 2;
+  /// Modeled backoff before recovery round r is kQuarantineBackoffUs << r.
+  static constexpr double kQuarantineBackoffUs = 500.0;
+  /// Abort the rollout when a wave's quarantine fraction reaches this
+  /// (quarantines are bounded-blast-radius events, judged separately from
+  /// plain failures); 1.01 disables aborting.
+  double max_quarantine_rate = 0.5;
+  /// Degraded mode: any quarantine in a wave halves every later wave
+  /// (floor 1), trading rollout speed for blast radius while an active
+  /// adversary is loose in the fleet.
+  bool degrade_on_quarantine = true;
 };
 
 struct FleetOptions {
@@ -82,6 +108,11 @@ struct FleetOptions {
   /// Per-target overrides (e.g. make exactly one wave hostile).
   std::map<u32, netsim::FaultPlan> target_fault_plans;
   std::optional<core::RetryPolicy> retry_policy;
+  /// When set, every target's rollout runs under an AsyncAdversary driving
+  /// the schedule generate(adversary_seed ^ target_seed(i)) — a different,
+  /// deterministic attack per target. Detections feed the quarantine state
+  /// machine instead of counting as plain failures.
+  std::optional<u64> adversary_seed;
   int workload_threads = 0;  // background workload per target
   /// Record per-target pipeline traces and fleet-level events; the campaign
   /// report then carries a deterministic Chrome-trace JSON (virtual
@@ -99,7 +130,11 @@ struct TargetResult {
   double downtime_us = 0;  // modeled SMM downtime (virtual clock)
   double e2e_us = 0;       // modeled end-to-end latency: link + backoff +
                            // downtime
-  std::string detail;      // failure reason when not applied
+  u32 detection_events = 0;   // classified detections across all rounds
+  u32 quarantine_rounds = 0;  // recovery rounds consumed
+  bool recovered = false;     // applied+healthy only after recovery rounds
+  std::string detections;     // comma-joined detection classes, in order
+  std::string detail;         // failure reason when not applied
 };
 
 struct LatencyPercentiles {
@@ -118,10 +153,16 @@ struct FleetReport {
   u32 applied = 0;
   u32 failed = 0;
   u32 rolled_back = 0;
-  u32 pending = 0;  // never attempted (rollout aborted first)
+  u32 quarantined = 0;
+  u32 recovered = 0;  // applied after at least one quarantine-recovery round
+  u32 pending = 0;    // never attempted (rollout aborted first)
 
   bool aborted = false;
   u32 abort_wave = 0;  // wave index that tripped the abort (when aborted)
+  /// Degraded mode engaged: a quarantine shrank every later wave.
+  bool degraded = false;
+  u32 degraded_from_wave = 0;  // first wave run at reduced size
+  u64 total_detections = 0;    // classified detection events, fleet-wide
 
   u64 total_fetch_attempts = 0;
   u64 total_apply_attempts = 0;

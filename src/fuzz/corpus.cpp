@@ -289,7 +289,7 @@ std::vector<std::pair<std::string, std::string>> seed_kcc_cases() {
 
 Status write_seed_corpus(const std::string& dir) {
   std::error_code ec;
-  for (const char* sub : {"package", "netsim", "kcc"}) {
+  for (const char* sub : {"package", "netsim", "kcc", "attacker_schedule"}) {
     fs::create_directories(fs::path(dir) / sub, ec);
     if (ec) {
       return Status{Errc::kInternal, "cannot create corpus dir: " + dir};
@@ -309,6 +309,11 @@ Status write_seed_corpus(const std::string& dir) {
   for (const auto& [name, bytes] : seed_netsim_cases()) {
     auto st = write(fs::path(dir) / "netsim" / (name + ".hex"),
                     encode_hex_file(bytes, "netsim seed: " + name));
+    if (!st.is_ok()) return st;
+  }
+  for (const auto& [name, bytes] : seed_attacker_cases()) {
+    auto st = write(fs::path(dir) / "attacker_schedule" / (name + ".hex"),
+                    encode_hex_file(bytes, "attacker-schedule seed: " + name));
     if (!st.is_ok()) return st;
   }
   for (const auto& [name, src] : seed_kcc_cases()) {

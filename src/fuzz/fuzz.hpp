@@ -113,7 +113,24 @@ std::unique_ptr<Surface> make_package_surface(PackageSurfaceOptions o = {});
 /// decoders plus the live attested fetch handshake against it.
 std::unique_ptr<Surface> make_netsim_surface(u64 boot_seed = 0x5EED);
 std::unique_ptr<Surface> make_kcc_surface();
-/// Factory by surface name ("package", "netsim", "kcc"); null for unknown.
+
+struct AttackerSurfaceOptions {
+  /// Self-test seam: runs the SMM target with the pre-hardening double
+  /// fetch (SmmPatchHandler::enable_legacy_double_fetch_for_selftest) so
+  /// the harness can prove its prevented-or-detected oracle catches that
+  /// TOCTOU class. Test-only.
+  bool legacy_double_fetch = false;
+};
+
+/// Fuzzes async-adversary schedule wires (attacks/async_adversary.hpp)
+/// against a full live_patch run. Oracle: every schedule is prevented
+/// (memory byte-identical to the no-attack run) or detected (classified
+/// DetectionReport) — never silent corruption or silent failure.
+std::unique_ptr<Surface> make_attacker_schedule_surface(
+    AttackerSurfaceOptions o = {});
+
+/// Factory by surface name ("package", "netsim", "kcc",
+/// "attacker_schedule"); null for unknown.
 std::unique_ptr<Surface> make_surface(const std::string& name);
 
 /// Runs `opts.iters` generated cases, shrinking any failure.
@@ -154,6 +171,7 @@ std::vector<FuzzReport> replay_corpus(const std::vector<CorpusEntry>& entries,
 /// assert the checked-in corpus matches the generator.
 std::vector<std::pair<std::string, Bytes>> seed_package_cases();
 std::vector<std::pair<std::string, Bytes>> seed_netsim_cases();
+std::vector<std::pair<std::string, Bytes>> seed_attacker_cases();
 std::vector<std::pair<std::string, std::string>> seed_kcc_cases();
 
 // ---- Hex helpers (corpus file format) ---------------------------------------

@@ -30,6 +30,13 @@ struct CostModel {
   u64 verify_fixed_cycles = 8'700;
   double apply_cycles_per_byte = 1.35;
 
+  // TOCTOU hardening charged against downtime: one mailbox snapshot per
+  // SMI, pinning the staged bytes' hash into SMRAM, and the freshness /
+  // classification checks that turn tampering into a DetectionReport.
+  u64 snapshot_cycles = 900;
+  double pin_hash_cycles_per_byte = 0.50;
+  u64 detect_fixed_cycles = 1'200;
+
   [[nodiscard]] double to_us(u64 cycles) const {
     return static_cast<double>(cycles) / (ghz * 1000.0);
   }

@@ -42,7 +42,17 @@ void Machine::restore_state_from_smram() {
 }
 
 void Machine::trigger_smi() {
+  if (pre_smi_hook_ && !in_pre_smi_hook_ && !in_smi_) {
+    in_pre_smi_hook_ = true;
+    pre_smi_hook_(*this);
+    in_pre_smi_hook_ = false;
+  }
   if (smi_blocked_) {
+    ++suppressed_smis_;
+    return;
+  }
+  if (smi_suppress_budget_ > 0) {
+    --smi_suppress_budget_;
     ++suppressed_smis_;
     return;
   }

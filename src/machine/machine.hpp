@@ -117,6 +117,18 @@ class Machine {
   /// mailbox fields reveals it.
   void set_smi_blocked(bool blocked) { smi_blocked_ = blocked; }
   [[nodiscard]] bool smi_blocked() const { return smi_blocked_; }
+  /// Invoked at every trigger_smi() entry, before suppression checks and
+  /// handler dispatch — the instant between the helper app's mailbox writes
+  /// and SMI delivery, where an asynchronous adversary can race. Not
+  /// re-entered for SMIs the hook itself raises. Pass nullptr to clear.
+  void set_pre_smi_hook(std::function<void(Machine&)> hook) {
+    pre_smi_hook_ = std::move(hook);
+  }
+  /// Models a transient SMI-gating attack: the next `n` trigger_smi() calls
+  /// are swallowed, then delivery recovers on its own (unlike the sticky
+  /// set_smi_blocked). Budgets add to any remaining budget.
+  void add_smi_suppress_budget(u64 n) { smi_suppress_budget_ += n; }
+  [[nodiscard]] u64 smi_suppress_budget() const { return smi_suppress_budget_; }
   /// SMIs swallowed while blocked (harness-side ground truth).
   [[nodiscard]] u64 suppressed_smis() const { return suppressed_smis_; }
 
@@ -150,9 +162,12 @@ class Machine {
   Rng rng_;
 
   std::function<void(Machine&)> smm_handler_;
+  std::function<void(Machine&)> pre_smi_hook_;
   bool smram_locked_ = false;
   bool in_smi_ = false;
+  bool in_pre_smi_hook_ = false;
   bool smi_blocked_ = false;
+  u64 smi_suppress_budget_ = 0;
   u64 suppressed_smis_ = 0;
   u64 periodic_smi_interval_ = 0;
   u64 next_periodic_smi_ = 0;

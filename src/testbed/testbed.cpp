@@ -17,6 +17,7 @@ Result<std::unique_ptr<Testbed>> Testbed::boot(const cve::CveCase& c,
                                                TestbedOptions opts) {
   auto tb = std::unique_ptr<Testbed>(new Testbed(c));
   const kernel::MemoryLayout& lay = opts.layout;
+  tb->layout_ = lay;
 
   tb->machine_ = std::make_unique<machine::Machine>(
       lay.mem_bytes, lay.smram_base, lay.smram_size, opts.seed);

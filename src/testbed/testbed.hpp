@@ -70,6 +70,9 @@ class Testbed {
   /// one from TestbedOptions::shared_server).
   netsim::PatchServer& server() { return *server_; }
   core::Kshot& kshot() { return *kshot_; }
+  /// The memory layout this deployment was booted with (adversaries need
+  /// the reserved-region addresses to aim their interpositions).
+  [[nodiscard]] const kernel::MemoryLayout& layout() const { return layout_; }
   const cve::CveCase& cve_case() const { return case_; }
   const kcc::KernelImage& pre_image() const { return pre_image_; }
 
@@ -89,6 +92,7 @@ class Testbed {
   Testbed(cve::CveCase c) : case_(std::move(c)) {}
 
   cve::CveCase case_;
+  kernel::MemoryLayout layout_{};
   std::unique_ptr<machine::Machine> machine_;
   std::unique_ptr<kernel::Kernel> kernel_;
   std::unique_ptr<kernel::Scheduler> sched_;

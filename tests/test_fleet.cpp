@@ -213,6 +213,151 @@ TEST(Fleet, AbortRollsBackAppliedTargetsOfTheFailedWave) {
       fc.target(3)->kshot().is_patched(fc.target(3)->cve_case().entry_function));
 }
 
+// ---- Adversarial fleet: quarantine state machine -----------------------------
+
+// Hostile-campaign fixture: every target fights its own deterministic
+// AsyncAdversary schedule (generate(adversary_seed ^ target_seed)). In-run
+// retries are off so every detection surfaces to the fleet layer — the
+// quarantine machine, not the pipeline's retry budget, is under test.
+// adversary_seed 4 was picked because its per-target schedules include one
+// persistent attacker (recovery rounds exhausted -> fenced) alongside
+// transient ones (one-shot races that lose on the recovery re-fetch).
+FleetOptions hostile_options() {
+  FleetOptions o;
+  o.targets = 6;
+  o.jobs = 2;
+  o.base_seed = 0xF1EE7;
+  o.rollout.canary = 2;
+  o.rollout.wave = 2;
+  o.rollout.abort_failure_rate = 1.01;   // judge quarantines, not failures
+  o.rollout.max_quarantine_rate = 1.01;  // no abort: run the fleet to the end
+  o.retry_policy = core::RetryPolicy::none();
+  o.adversary_seed = 4;
+  return o;
+}
+
+TEST(FleetQuarantine, FencesPersistentAttackerRecoversTransients) {
+  FleetController fc(hostile_options());
+  ASSERT_TRUE(fc.boot_fleet().is_ok());
+  std::vector<KernelSnapshot> snaps;
+  for (u32 i = 0; i < fc.size(); ++i) {
+    snaps.push_back(snapshot_kernel(*fc.target(i)));
+  }
+
+  auto rep = fc.run_campaign();
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+
+  EXPECT_EQ(rep->quarantined, 1u);
+  EXPECT_EQ(rep->recovered, 4u);
+  EXPECT_EQ(rep->applied, 5u);
+  EXPECT_EQ(rep->failed, 0u);
+  EXPECT_EQ(rep->pending, 0u);
+  EXPECT_GT(rep->total_detections, 0u);
+
+  u32 clean_applies = 0;
+  for (const auto& r : rep->results) {
+    if (r.state == TargetState::kQuarantined) {
+      // Fenced == the full recovery budget was spent, every round kept
+      // reporting classified detections, and the target never proved
+      // health. The kernel itself must be untouched: every detection path
+      // is transactional.
+      EXPECT_EQ(r.quarantine_rounds, hostile_options().rollout.quarantine_retry_limit);
+      EXPECT_GT(r.detection_events, 0u);
+      EXPECT_FALSE(r.detections.empty());
+      EXPECT_FALSE(r.healthy);
+      EXPECT_FALSE(r.recovered);
+      KernelSnapshot now = snapshot_kernel(*fc.target(r.index));
+      EXPECT_EQ(now.text, snaps[r.index].text) << "target " << r.index;
+      EXPECT_EQ(now.data, snaps[r.index].data) << "target " << r.index;
+      EXPECT_FALSE(fc.target(r.index)->kshot().is_patched(
+          fc.target(r.index)->cve_case().entry_function));
+    } else if (r.recovered) {
+      // Recovered == detections happened, at least one escalating-backoff
+      // round re-fetched, and the target ended applied with proof of
+      // health.
+      EXPECT_EQ(r.state, TargetState::kApplied);
+      EXPECT_TRUE(r.healthy);
+      EXPECT_GE(r.quarantine_rounds, 1u);
+      EXPECT_GT(r.detection_events, 0u);
+      EXPECT_GT(r.resilience.backoff_us, 0.0);
+    } else {
+      // At least one target's schedule never connected; it applies clean.
+      EXPECT_EQ(r.state, TargetState::kApplied);
+      EXPECT_EQ(r.quarantine_rounds, 0u);
+      ++clean_applies;
+    }
+  }
+  EXPECT_GE(clean_applies, 1u);
+}
+
+TEST(FleetQuarantine, DegradedModeHalvesWavesAfterQuarantine) {
+  FleetController fc(hostile_options());
+  auto rep = fc.run_campaign();
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+
+  // The canary wave fences a target, so every later wave runs at half
+  // width (2 -> 1): 2 canaries + 4 singleton waves = 5 waves total.
+  EXPECT_TRUE(rep->degraded);
+  EXPECT_EQ(rep->degraded_from_wave, 1u);
+  EXPECT_EQ(rep->waves_run, 5u);
+  std::map<u32, u32> wave_sizes;
+  for (const auto& r : rep->results) ++wave_sizes[r.wave];
+  EXPECT_EQ(wave_sizes[0], 2u);
+  for (u32 w = 1; w < rep->waves_run; ++w) {
+    EXPECT_EQ(wave_sizes[w], 1u) << "wave " << w;
+  }
+}
+
+TEST(FleetQuarantine, QuarantineRateAbortsRolloutAndSparesTheRest) {
+  FleetOptions o = hostile_options();
+  o.rollout.max_quarantine_rate = 0.5;  // 1 fenced of 2 canaries trips it
+  FleetController fc(o);
+  ASSERT_TRUE(fc.boot_fleet().is_ok());
+  std::vector<KernelSnapshot> snaps;
+  for (u32 i = 0; i < fc.size(); ++i) {
+    snaps.push_back(snapshot_kernel(*fc.target(i)));
+  }
+
+  auto rep = fc.run_campaign();
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+
+  EXPECT_TRUE(rep->aborted);
+  EXPECT_EQ(rep->abort_wave, 0u);
+  EXPECT_EQ(rep->waves_run, 1u);
+  EXPECT_EQ(rep->quarantined, 1u);
+  EXPECT_EQ(rep->rolled_back, 1u);  // the canary that applied is undone
+  EXPECT_EQ(rep->pending, 4u);
+  // Blast radius: after the abort no target in the fleet runs new code.
+  for (u32 i = 0; i < fc.size(); ++i) {
+    KernelSnapshot now = snapshot_kernel(*fc.target(i));
+    EXPECT_EQ(now.text, snaps[i].text) << "target " << i;
+    EXPECT_FALSE(
+        fc.target(i)->kshot().is_patched(fc.target(i)->cve_case().entry_function))
+        << i;
+  }
+}
+
+TEST(FleetQuarantine, AdversarialReportByteIdenticalAcrossJobs) {
+  // Same contract as Fleet.ReportIndependentOfJobsLevel, but under active
+  // attack: detections, quarantine rounds, recovery backoff, and degraded
+  // wave scheduling are all modeled or counted, never wall-clock.
+  auto run = [](u32 jobs) {
+    FleetOptions o = hostile_options();
+    o.jobs = jobs;
+    FleetController fc(o);
+    auto rep = fc.run_campaign();
+    EXPECT_TRUE(rep.is_ok()) << rep.status().to_string();
+    std::string s = rep->to_string();
+    size_t pos = s.find("jobs=");
+    EXPECT_NE(pos, std::string::npos);
+    s.erase(pos, s.find(',', pos) - pos);
+    return s;
+  };
+  std::string serial = run(1);
+  std::string parallel = run(4);
+  EXPECT_EQ(serial, parallel);
+}
+
 // ---- State machine surface ---------------------------------------------------
 
 TEST(Fleet, StateNamesAndPhaseObserverTransitions) {

@@ -151,6 +151,12 @@ TEST(FuzzCorpus, CheckedInCorpusMatchesCanonicalSeeds) {
     ASSERT_NE(e, nullptr) << "missing corpus file kcc/" << name;
     EXPECT_EQ(e->input, to_bytes(src)) << "stale corpus file kcc/" << name;
   }
+  for (const auto& [name, bytes] : seed_attacker_cases()) {
+    const auto* e = find("attacker_schedule", name + ".hex");
+    ASSERT_NE(e, nullptr) << "missing corpus file attacker_schedule/" << name;
+    EXPECT_EQ(e->input, bytes)
+        << "stale corpus file attacker_schedule/" << name;
+  }
 }
 
 TEST(FuzzCorpus, ReplaysCleanOnCurrentTree) {
@@ -160,7 +166,8 @@ TEST(FuzzCorpus, ReplaysCleanOnCurrentTree) {
   FuzzOptions opts;
   opts.seed = 1;
   auto reports = replay_corpus(*entries, opts);
-  ASSERT_EQ(reports.size(), 3u);  // kcc, netsim, package
+  // attacker_schedule, kcc, netsim, package
+  ASSERT_EQ(reports.size(), 4u);
   for (const auto& r : reports) {
     EXPECT_TRUE(r.failures.empty()) << r.to_string();
   }
@@ -198,6 +205,7 @@ TEST(FuzzSurfaces, FactoryResolvesNames) {
   EXPECT_NE(make_surface("package"), nullptr);
   EXPECT_NE(make_surface("netsim"), nullptr);
   EXPECT_NE(make_surface("kcc"), nullptr);
+  EXPECT_NE(make_surface("attacker_schedule"), nullptr);
   EXPECT_EQ(make_surface("bogus"), nullptr);
 }
 

@@ -18,15 +18,23 @@
 //   kshot-sim single [CVE-ID]              `patch` with a default case
 //
 //   kshot-sim fuzz [flags]                 invariant-oracle fuzzing (DESIGN.md §9)
-//       --surface S    package | netsim | kcc | all (default package)
+//       --surface S    package | netsim | kcc | attacker_schedule | all
+//                      (default package)
 //       --iters N      generated cases per surface (default 200)
 //       --time-budget T  wall-clock cap in seconds (0 = off; breaks
 //                      run-to-run case-count determinism)
 //       --corpus DIR   replay a regression corpus instead of generating
 //       --write-corpus DIR   write the canonical seed corpus and exit
 //       --replay FILE  re-execute one corpus file (needs --surface)
-//       --selftest     prove the package oracles catch the pre-fix
-//                      wrapping-bounds bug (expects a failure)
+//       --selftest     re-open the fixed seams (wrapping bounds, TOCTOU
+//                      double fetch) and prove the oracles catch both
+//
+//   kshot-sim attack [flags]               seeded async-adversary campaign
+//       --schedule-seed S  base seed for the schedule generator
+//       --variants N       schedule variants to run (default 200)
+//       every variant must be prevented (memory byte-identical to the
+//       no-attack run) or detected (classified DetectionReport); any
+//       silent corruption / silent failure exits nonzero
 //
 // Shared flags (all modes):
 //   --seed S         deterministic seed (testbed RNG / fleet base seed)
@@ -40,10 +48,13 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "attacks/async_adversary.hpp"
 #include "attacks/rootkits.hpp"
 #include "baselines/kpatch_sim.hpp"
 #include "benchkit/benchkit.hpp"
@@ -425,7 +436,9 @@ int cmd_fuzz(const FuzzCliOptions& o) {
     }
     auto surface = fuzz::make_surface(o.surface);
     if (!surface) {
-      std::fprintf(stderr, "--replay needs --surface package|netsim|kcc\n");
+      std::fprintf(stderr,
+                   "--replay needs --surface "
+                   "package|netsim|kcc|attacker_schedule\n");
       return 2;
     }
     std::printf("%s\n", surface->describe(input).c_str());
@@ -451,25 +464,38 @@ int cmd_fuzz(const FuzzCliOptions& o) {
     return print_reports(fuzz::replay_corpus(*entries, o.fuzz));
   }
   if (o.selftest) {
-    // Re-introduce the pre-fix wrapping bounds check in the SMM target and
-    // prove the oracles catch it with a small shrunk repro.
-    auto surface =
-        fuzz::make_package_surface({.legacy_wrapping_bounds = true});
-    auto rep = fuzz::run_fuzz(*surface, o.fuzz);
-    std::fputs(rep.to_string().c_str(), stdout);
-    if (rep.failures.empty()) {
-      std::fprintf(stderr,
-                   "selftest FAILED: oracles missed the reintroduced "
-                   "wrapping-bounds bug\n");
-      return 1;
+    // Re-introduce each fixed bug class in the SMM target and prove the
+    // oracles catch it with a small shrunk repro: the pre-fix wrapping
+    // bounds check (package surface) and the pre-hardening TOCTOU double
+    // fetch (attacker_schedule surface).
+    struct Seam {
+      const char* what;
+      std::unique_ptr<fuzz::Surface> surface;
+    };
+    std::vector<Seam> seams;
+    seams.push_back({"wrapping-bounds bug",
+                     fuzz::make_package_surface(
+                         {.legacy_wrapping_bounds = true})});
+    seams.push_back({"double-fetch TOCTOU bug",
+                     fuzz::make_attacker_schedule_surface(
+                         {.legacy_double_fetch = true})});
+    for (auto& s : seams) {
+      auto rep = fuzz::run_fuzz(*s.surface, o.fuzz);
+      std::fputs(rep.to_string().c_str(), stdout);
+      if (rep.failures.empty()) {
+        std::fprintf(stderr,
+                     "selftest FAILED: oracles missed the reintroduced %s\n",
+                     s.what);
+        return 1;
+      }
+      std::printf("selftest ok: %s caught; shrunk repro:\n%s\n", s.what,
+                  s.surface->describe(rep.failures[0].input).c_str());
     }
-    std::printf("selftest ok: bug caught; shrunk repro:\n%s\n",
-                surface->describe(rep.failures[0].input).c_str());
     return 0;
   }
   std::vector<std::string> surfaces;
   if (o.surface == "all") {
-    surfaces = {"package", "netsim", "kcc"};
+    surfaces = {"package", "netsim", "kcc", "attacker_schedule"};
   } else {
     surfaces = {o.surface};
   }
@@ -483,6 +509,84 @@ int cmd_fuzz(const FuzzCliOptions& o) {
     reports.push_back(fuzz::run_fuzz(*surface, o.fuzz));
   }
   return print_reports(reports);
+}
+
+/// Seeded async-adversary campaign: `variants` generated schedules, each
+/// judged by the attacker_schedule surface's prevented-or-detected oracle.
+/// Workers partition variants statically (worker w takes indices w, w+jobs,
+/// ...), results land in index-i slots, and the summary is aggregated in
+/// index order — so the output is byte-identical at any --jobs level.
+int cmd_attack(u64 schedule_seed, u32 variants, u32 jobs) {
+  std::vector<Bytes> wires(variants);
+  std::map<std::string, u32> by_variant;  // sorted -> deterministic print
+  for (u32 i = 0; i < variants; ++i) {
+    auto sched = attacks::AdversarySchedule::generate(
+        schedule_seed ^ (0x9E3779B97F4A7C15ull * (i + 1)));
+    for (const auto& a : sched.actions) {
+      ++by_variant[attacks::adversary_variant_name(a.variant)];
+    }
+    wires[i] = sched.encode();
+  }
+
+  std::vector<fuzz::Surface::Verdict> verdicts(variants);
+  jobs = std::max<u32>(1, std::min(jobs, variants));
+  auto worker = [&](u32 w) {
+    // One surface (with its own cached no-attack baseline) per worker;
+    // every execute() boots a fresh deployment, so cases are independent.
+    auto surface = fuzz::make_attacker_schedule_surface();
+    for (u32 i = w; i < variants; i += jobs) {
+      verdicts[i] = surface->execute(wires[i]);
+    }
+  };
+  if (jobs == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (u32 w = 0; w < jobs; ++w) pool.emplace_back(worker, w);
+    for (auto& th : pool) th.join();
+  }
+
+  u32 prevented = 0;
+  u32 detected = 0;
+  u32 skipped = 0;
+  u32 oracle_failures = 0;
+  std::printf("adversary campaign: %u variant(s), schedule seed 0x%llx\n",
+              variants, static_cast<unsigned long long>(schedule_seed));
+  for (u32 i = 0; i < variants; ++i) {
+    const auto& v = verdicts[i];
+    switch (v.kind) {
+      case fuzz::Surface::Verdict::Kind::kAccepted: ++prevented; break;
+      case fuzz::Surface::Verdict::Kind::kRejected: ++detected; break;
+      case fuzz::Surface::Verdict::Kind::kSkipped: ++skipped; break;
+    }
+    if (v.failure) {
+      ++oracle_failures;
+      std::printf("FAILURE variant %u oracle=%s\n  %s\n  schedule: %s\n", i,
+                  v.failure->first.c_str(), v.failure->second.c_str(),
+                  attacks::AdversarySchedule::decode(wires[i])
+                      .value_or(attacks::AdversarySchedule{})
+                      .to_string()
+                      .c_str());
+    }
+  }
+  std::printf("  prevented (patch applied, memory clean): %u\n", prevented);
+  std::printf("  detected  (blocked, kernel untouched):   %u\n", detected);
+  if (skipped > 0) std::printf("  skipped: %u\n", skipped);
+  std::printf("  action mix:");
+  for (const auto& [name, count] : by_variant) {
+    std::printf(" %s=%u", name.c_str(), count);
+  }
+  std::printf("\n");
+  if (oracle_failures > 0) {
+    std::fprintf(stderr,
+                 "attack campaign FAILED: %u silent-corruption/"
+                 "silent-failure case(s)\n",
+                 oracle_failures);
+    return 1;
+  }
+  std::printf("attack campaign ok: every variant prevented or detected\n");
+  return 0;
 }
 
 void usage() {
@@ -506,9 +610,13 @@ void usage() {
       "                 *_wall.json sidecars); --gate fails on regressions\n"
       "       kshot-sim disasm <CVE-ID> <function>\n"
       "       kshot-sim package <CVE-ID>\n"
-      "       kshot-sim fuzz [--surface package|netsim|kcc|all] [--iters N]\n"
-      "                 [--time-budget T] [--corpus DIR] [--write-corpus DIR]\n"
-      "                 [--replay FILE] [--selftest]\n"
+      "       kshot-sim fuzz [--surface package|netsim|kcc|attacker_schedule"
+      "|all]\n"
+      "                 [--iters N] [--time-budget T] [--corpus DIR]\n"
+      "                 [--write-corpus DIR] [--replay FILE] [--selftest]\n"
+      "       kshot-sim attack [--schedule-seed S] [--variants N]\n"
+      "                 seeded async-adversary campaign; nonzero exit on any\n"
+      "                 silent corruption (deterministic across --jobs)\n"
       "shared flags: --seed S (deterministic seed, default 0x5EED)\n"
       "              --jobs J (fleet worker pool; workload threads for "
       "patch)\n"
@@ -554,6 +662,10 @@ int main(int argc, char** argv) {
     allowed_bool.push_back("--selftest");
     for (const char* f : {"--surface", "--iters", "--time-budget", "--corpus",
                           "--write-corpus", "--replay"}) {
+      allowed_value.push_back(f);
+    }
+  } else if (cmd == "attack") {
+    for (const char* f : {"--schedule-seed", "--variants"}) {
       allowed_value.push_back(f);
     }
   }
@@ -698,6 +810,13 @@ int main(int argc, char** argv) {
     o.replay_file = string_flag("--replay", "");
     o.selftest = has_flag("--selftest");
     return cmd_fuzz(o);
+  }
+  if (cmd == "attack") {
+    u64 schedule_seed = static_cast<u64>(
+        value_flag("--schedule-seed", static_cast<double>(common.seed)));
+    u32 variants =
+        static_cast<u32>(std::max(1.0, value_flag("--variants", 200)));
+    return cmd_attack(schedule_seed, variants, common.jobs);
   }
   usage();
   return 2;
