@@ -1,0 +1,142 @@
+#include "common/sketch.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/byte_io.hpp"
+
+namespace kshot {
+
+namespace {
+
+// gamma = (1 + alpha) / (1 - alpha) for alpha = kRelativeError.
+constexpr double kGamma = (1.0 + QuantileSketch::kRelativeError) /
+                          (1.0 - QuantileSketch::kRelativeError);
+const double kLnGamma = std::log(kGamma);
+// Raw log index of kMinTrackable; bucket 1 starts one past it so every
+// tracked value maps to [1, kBuckets).
+const i64 kIndexOffset =
+    static_cast<i64>(std::ceil(std::log(QuantileSketch::kMinTrackable) /
+                               kLnGamma)) -
+    1;
+constexpr u32 kSketchMagic = 0x314B5351;  // "QSK1"
+
+}  // namespace
+
+QuantileSketch::QuantileSketch() = default;
+
+size_t QuantileSketch::bucket_index(double value) const {
+  if (!(value > kMinTrackable)) return 0;  // underflow (and NaN) bucket
+  i64 raw = static_cast<i64>(std::ceil(std::log(value) / kLnGamma));
+  i64 idx = raw - kIndexOffset;
+  if (idx < 1) return 1;
+  if (idx >= static_cast<i64>(kBuckets)) return kBuckets - 1;  // saturate
+  return static_cast<size_t>(idx);
+}
+
+double QuantileSketch::bucket_value(size_t index) const {
+  if (index == 0) return kMinTrackable;
+  // Bucket covers (gamma^(raw-1), gamma^raw]; the harmonic representative
+  // 2*gamma^raw/(gamma+1) is within kRelativeError of every member.
+  double raw = static_cast<double>(static_cast<i64>(index) + kIndexOffset);
+  return 2.0 * std::exp(raw * kLnGamma) / (kGamma + 1.0);
+}
+
+void QuantileSketch::insert(double value) {
+  ++buckets_[bucket_index(value)];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Same pinned nearest-rank convention as common::percentile_sorted.
+  double exact_rank = q * static_cast<double>(count_);
+  u64 rank = static_cast<u64>(std::ceil(exact_rank - 1e-9));
+  rank = std::clamp<u64>(rank, 1, count_);
+  u64 seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Clamp into the exact observed range: the extreme buckets only know
+      // their bound, but min_/max_ are exact and tighter.
+      return std::clamp(bucket_value(i), min_, max_);
+    }
+  }
+  return max_;  // unreachable: bucket counts sum to count_
+}
+
+Bytes QuantileSketch::encode() const {
+  ByteWriter w;
+  w.put_u32(kSketchMagic);
+  w.put_u64(count_);
+  w.put_u64(std::bit_cast<u64>(min_));
+  w.put_u64(std::bit_cast<u64>(max_));
+  u32 pairs = 0;
+  for (size_t i = 0; i < kBuckets; ++i) pairs += buckets_[i] != 0;
+  w.put_u32(pairs);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    w.put_u32(static_cast<u32>(i));
+    w.put_u64(buckets_[i]);
+  }
+  return w.take();
+}
+
+Result<QuantileSketch> QuantileSketch::decode(ByteSpan wire) {
+  ByteReader r(wire);
+  auto magic = r.get_u32();
+  if (!magic || *magic != kSketchMagic) {
+    return Status{Errc::kInvalidArgument, "sketch: bad magic"};
+  }
+  QuantileSketch s;
+  auto count = r.get_u64();
+  auto min_bits = r.get_u64();
+  auto max_bits = r.get_u64();
+  auto pairs = r.get_u32();
+  if (!count || !min_bits || !max_bits || !pairs) {
+    return Status{Errc::kInvalidArgument, "sketch: truncated header"};
+  }
+  s.count_ = *count;
+  s.min_ = std::bit_cast<double>(*min_bits);
+  s.max_ = std::bit_cast<double>(*max_bits);
+  u64 total = 0;
+  for (u32 p = 0; p < *pairs; ++p) {
+    auto idx = r.get_u32();
+    auto cnt = r.get_u64();
+    if (!idx || !cnt || *idx >= kBuckets || *cnt == 0) {
+      return Status{Errc::kInvalidArgument, "sketch: bad bucket pair"};
+    }
+    if (s.buckets_[*idx] != 0) {
+      return Status{Errc::kInvalidArgument, "sketch: duplicate bucket"};
+    }
+    s.buckets_[*idx] = *cnt;
+    total += *cnt;
+  }
+  if (!r.exhausted() || total != s.count_) {
+    return Status{Errc::kInvalidArgument, "sketch: count mismatch"};
+  }
+  return s;
+}
+
+}  // namespace kshot

@@ -1,0 +1,93 @@
+// Deterministic streaming percentile sketch for planet-scale aggregation.
+//
+// The fleet report used to hoard every latency sample in a vector and sort
+// it (common/stats.hpp) — fine for hundreds of targets, hopeless for a
+// million. QuantileSketch keeps a fixed array of logarithmic buckets
+// (DDSketch-style: bucket i covers (gamma^(i-1), gamma^i]), so memory is
+// constant and every quantile estimate carries a *guaranteed* relative
+// error bound of kRelativeError.
+//
+// Why log buckets and not a t-digest / P² estimator: those sketches adapt
+// their centroids to the insertion order, so merging shard A then B gives
+// different bytes than B then A. Our backbone invariant is byte-identical
+// reports across --jobs and shard counts, which requires the sketch state
+// to be a pure function of the sample *multiset*. Fixed log buckets give
+// exactly that: insert is a counter increment at an order-independent
+// index, and merge is bucket-wise u64 addition — commutative, associative,
+// and exact — so any partition of the samples folds to identical bytes.
+// (There is deliberately no floating-point sum inside the sketch: double
+// addition is not associative, and a running sum would leak the shard
+// partition into the state.)
+//
+// Accuracy contract (tested in test_common.cpp):
+//   * quantile(q) is within kRelativeError (1%) of the exact nearest-rank
+//     quantile (same pinned rank convention as common::percentile_sorted)
+//     for any value in [kMinTrackable, kMaxTrackable];
+//   * values below kMinTrackable collapse into an underflow bucket
+//     represented as kMinTrackable (absolute error <= kMinTrackable);
+//     values above kMaxTrackable saturate at the top bucket.
+#pragma once
+
+#include <cstddef>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace kshot {
+
+class QuantileSketch {
+ public:
+  /// Guaranteed relative error of quantile(): alpha = (gamma-1)/(gamma+1).
+  static constexpr double kRelativeError = 0.01;
+  /// Smallest / largest accurately-representable value (microseconds in the
+  /// fleet reports; the sketch itself is unit-agnostic).
+  static constexpr double kMinTrackable = 1e-3;
+  static constexpr double kMaxTrackable = 1e12;
+
+  QuantileSketch();
+
+  /// O(1): increments one bucket counter. Negative values clamp to the
+  /// underflow bucket (latencies are non-negative; be forgiving, not UB).
+  void insert(double value);
+
+  /// Exact bucket-wise fold: merge(a, b) == merge(b, a), and folding any
+  /// partition of a sample multiset yields byte-identical state.
+  void merge(const QuantileSketch& other);
+
+  /// Nearest-rank quantile estimate for q in [0, 1]: the representative
+  /// value of the bucket holding the rank-ceil(q*count) smallest sample.
+  /// Empty sketch returns 0.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  [[nodiscard]] u64 count() const { return count_; }
+  /// Exact min/max of the inserted samples (doubles compare exactly, so
+  /// these are partition-independent too). 0 when empty.
+  [[nodiscard]] double min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0; }
+
+  /// Canonical byte encoding (magic, count, min/max bit patterns, then
+  /// (index, count) pairs for the non-empty buckets in index order). Two
+  /// sketches over the same sample multiset encode byte-identically; the
+  /// determinism tests compare these bytes across shard/job partitions.
+  [[nodiscard]] Bytes encode() const;
+  static Result<QuantileSketch> decode(ByteSpan wire);
+
+ private:
+  // gamma = (1 + alpha) / (1 - alpha); index(v) = ceil(log_gamma(v)).
+  // With alpha = 1% the bucket count covering [1e-3, 1e12] is ~1727.
+  static constexpr size_t kBuckets = 1792;
+  /// Bucket 0 is the underflow bucket (v <= kMinTrackable); buckets
+  /// 1..kBuckets-1 are log buckets, the last doubling as saturation.
+  [[nodiscard]] size_t bucket_index(double value) const;
+  [[nodiscard]] double bucket_value(size_t index) const;
+
+  u64 count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  u64 buckets_[kBuckets] = {};
+};
+
+}  // namespace kshot

@@ -12,14 +12,22 @@
 
 namespace kshot {
 
-/// Nearest-rank percentile of a *sorted* sample vector. rank =
-/// ceil(pct/100 * n), clamped to [1, n]; returns sorted[rank-1]. Empty
-/// input returns 0. With a single sample every percentile is that sample.
+/// Nearest-rank percentile of a *sorted* sample vector.
+///
+/// Pinned convention: rank is the smallest integer >= pct*n/100, clamped to
+/// [1, n]; returns sorted[rank-1]. When pct*n/100 lands *exactly* on an
+/// integer k the rank is k (p50 of 10 samples is the 5th, p95 of 20 the
+/// 19th, p99 of 100 the 99th). The naive ceil(pct/100.0 * n) breaks that:
+/// pct/100.0 is already rounded, so the product straddles the integer
+/// unpredictably (ceil(0.47 * 100) == 48). We compute pct*n first (exact in
+/// double for every realistic pct/n) and subtract an epsilon far below half
+/// a rank before ceiling, so FP noise can never push an exact boundary up a
+/// rank. Empty input returns 0; with one sample every percentile is it.
 inline double percentile_sorted(const std::vector<double>& sorted,
                                 double pct) {
   if (sorted.empty()) return 0;
-  size_t rank = static_cast<size_t>(
-      std::ceil(pct / 100.0 * static_cast<double>(sorted.size())));
+  double exact_rank = pct * static_cast<double>(sorted.size()) / 100.0;
+  size_t rank = static_cast<size_t>(std::ceil(exact_rank - 1e-9));
   if (rank == 0) rank = 1;
   return sorted[std::min(rank, sorted.size()) - 1];
 }
@@ -36,8 +44,10 @@ struct SampleStats {
 };
 
 /// Aggregates externally collected samples: mean, population stddev,
-/// min/max, and p50/p95/p99 via percentile_sorted.
-inline SampleStats stats_of(std::vector<double> xs) {
+/// min/max, and p50/p95/p99 via percentile_sorted. This is the exact
+/// (sample-hoarding) summary; for unbounded streams use common/sketch.hpp,
+/// whose quantiles agree with this within its documented error bound.
+inline SampleStats summarize(std::vector<double> xs) {
   SampleStats s;
   s.n = static_cast<int>(xs.size());
   if (xs.empty()) return s;
@@ -54,6 +64,11 @@ inline SampleStats stats_of(std::vector<double> xs) {
   s.p95 = percentile_sorted(xs, 95);
   s.p99 = percentile_sorted(xs, 99);
   return s;
+}
+
+/// Historical name for summarize(); existing bench code uses it.
+inline SampleStats stats_of(std::vector<double> xs) {
+  return summarize(std::move(xs));
 }
 
 }  // namespace kshot

@@ -1,0 +1,516 @@
+#include "fleetscale/fleetscale.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/hex.hpp"
+#include "common/parallel.hpp"
+#include "crypto/sha256.hpp"
+#include "cve/suite.hpp"
+#include "fleet/fleet.hpp"
+#include "patchtool/package.hpp"
+#include "testbed/testbed.hpp"
+
+namespace kshot::fleetscale {
+
+namespace {
+
+constexpr u64 kGolden = 0x9E3779B97F4A7C15ull;
+
+u64 splitmix64(u64 x) {
+  x += kGolden;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// The per-target hash every modeled quantity derives from. A pure function
+/// of (base_seed, global index) — shard and wave assignment can never leak
+/// into it, which is what makes the report shard-count independent. The
+/// kGolden * (i + 1) pre-mix mirrors fleet::FleetController::target_seed so
+/// a sampled testbed and its modeled cousin draw from the same seed family.
+u64 target_hash(u64 base_seed, u64 index) {
+  return splitmix64(base_seed + kGolden * (index + 1));
+}
+
+/// Uniform draw in [0, 1) from a hash (top 53 bits).
+double unit_from(u64 h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+/// Balanced contiguous shard ranges: shard s owns [lo(s), lo(s+1)).
+/// Overflow-safe for any u64 target count.
+u64 shard_lo(u64 targets, u32 shards, u32 s) {
+  return s * (targets / shards) +
+         std::min<u64>(s, targets % shards);
+}
+
+u64 us_to_cycles(double us) {
+  return us <= 0 ? 0 : static_cast<u64>(us * 3000.0);  // 3 GHz virtual clock
+}
+
+/// Wave-local per-shard accumulator. Sketch inserts land here first and are
+/// merged into the campaign sketches only once the wave survives its abort
+/// checks — a rolled-back wave must not pollute the percentiles.
+struct ShardWave {
+  u64 applied = 0;
+  u64 failed = 0;
+  QuantileSketch down;
+  QuantileSketch e2e;
+  std::vector<u64> pulls;  // per-relay pull tally for this shard's slice
+};
+
+}  // namespace
+
+const char* scale_state_name(ScaleTargetState s) {
+  switch (s) {
+    case ScaleTargetState::kPending:
+      return "PENDING";
+    case ScaleTargetState::kApplied:
+      return "APPLIED";
+    case ScaleTargetState::kFailed:
+      return "FAILED";
+    case ScaleTargetState::kRolledBack:
+      return "ROLLED_BACK";
+  }
+  return "?";
+}
+
+FleetCoordinator::FleetCoordinator(FleetScaleOptions opts)
+    : opts_(std::move(opts)) {}
+
+FleetCoordinator::~FleetCoordinator() = default;
+
+Status FleetCoordinator::validate(const FleetScaleOptions& opts) {
+  auto bad = [](const char* msg) {
+    return Status{Errc::kInvalidArgument, msg};
+  };
+  if (opts.targets == 0) return bad("fleetscale: targets must be >= 1");
+  if (opts.shards == 0) return bad("fleetscale: shards must be >= 1");
+  if (opts.relays == 0) return bad("fleetscale: relays must be >= 1");
+  if (opts.relay_fanout == 0) {
+    return bad("fleetscale: relay fanout must be >= 1");
+  }
+  if (opts.jobs == 0) return bad("fleetscale: jobs must be >= 1");
+  if (static_cast<u64>(opts.sample) > opts.targets) {
+    return bad("fleetscale: sample exceeds target count");
+  }
+  if (opts.sample == 0 && !opts.calibration_override_us) {
+    return bad(
+        "fleetscale: sampling disabled (sample=0) without a calibration "
+        "override — the model would have no ground truth");
+  }
+  if (opts.plan.canary == 0) return bad("fleetscale: canary must be >= 1");
+  if (opts.plan.growth < 1.0) {
+    return bad("fleetscale: wave growth must be >= 1.0");
+  }
+  if (opts.cost.relay_workers == 0) {
+    return bad("fleetscale: relay workers must be >= 1");
+  }
+  return Status::ok();
+}
+
+Result<FleetScaleReport> FleetCoordinator::run() {
+  Status v = validate(opts_);
+  if (!v.is_ok()) return v;
+  bool known = false;
+  for (const auto& c : cve::all_cases()) known = known || c.id == opts_.cve_id;
+  if (!known) {
+    return Status{Errc::kNotFound,
+                  "fleetscale: unknown CVE case " + opts_.cve_id};
+  }
+
+  const u64 targets = opts_.targets;
+  const u32 shards = opts_.shards;
+  const u32 relays = opts_.relays;
+  const ScaleRolloutPlan& plan = opts_.plan;
+  const ScaleCostModel& cost = opts_.cost;
+
+  FleetScaleReport rep;
+  rep.cve_id = opts_.cve_id;
+  rep.targets = targets;
+  rep.relays = relays;
+  rep.relay_fanout = opts_.relay_fanout;
+  rep.sample_per_wave = opts_.sample;
+
+  states_.assign(targets, ScaleTargetState::kPending);
+
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder trace;
+
+  // Reference envelope: one real testbed + the real PatchServer build the
+  // sealed wire the relay tier distributes. Content addressing starts here —
+  // everything downstream is keyed by this digest.
+  auto ref = testbed::Testbed::boot(cve::find_case(opts_.cve_id));
+  if (!ref.is_ok()) return ref.status();
+  auto set = (*ref)->server().build_patchset(opts_.cve_id,
+                                             (*ref)->kernel().os_info());
+  if (!set.is_ok()) return set.status();
+  Bytes envelope = patchtool::serialize_patchset_raw(*set);
+  rep.envelope_bytes = envelope.size();
+  auto d = crypto::sha256(ByteSpan(envelope));
+  const std::string digest = to_hex(ByteSpan(d.data(), d.size()));
+  auto env_shared = std::make_shared<const Bytes>(std::move(envelope));
+
+  RelayTier tier(relays, opts_.relay_fanout,
+                 [env_shared](const std::string&)
+                     -> Result<std::shared_ptr<const Bytes>> {
+                   return env_shared;
+                 });
+
+  // Campaign-lifetime per-shard sketches; merged in shard order at the end.
+  std::vector<QuantileSketch> shard_down(shards), shard_e2e(shards);
+  // Relay cache-warm model for span pricing (the real caches agree, but the
+  // span math must come from the model so it cannot depend on serve order).
+  std::vector<char> relay_warm(relays, 0);
+  bool origin_warm = false;
+
+  double base = 0;
+  bool calibrated = false;
+  if (opts_.calibration_override_us) {
+    base = *opts_.calibration_override_us;
+    calibrated = true;
+    rep.calibrated_downtime_us = base;
+  }
+
+  double virt_clock_us = 0;  // trace placement only
+  u64 done = 0;
+  u64 prev_size = 0;
+  u32 wave_idx = 0;
+  char buf[192];
+
+  while (done < targets && !rep.aborted) {
+    u64 wave_size =
+        wave_idx == 0
+            ? std::min<u64>(std::max<u64>(1, plan.canary), targets)
+            : std::min<u64>(
+                  std::max<u64>(prev_size + 1,
+                                static_cast<u64>(std::llround(
+                                    static_cast<double>(prev_size) *
+                                    plan.growth))),
+                  targets - done);
+
+    ScaleWave wv;
+    wv.index = wave_idx;
+    wv.first = done;
+    wv.size = wave_size;
+
+    // ---- Ground truth: K real seeded testbeds through src/fleet ----------
+    double sample_span_us = 0;
+    if (opts_.sample > 0) {
+      u32 k = static_cast<u32>(std::min<u64>(opts_.sample, wave_size));
+      fleet::FleetOptions fo;
+      fo.cve_id = opts_.cve_id;
+      fo.targets = k;
+      fo.jobs = 1;  // K is tiny; serial keeps the sample fully deterministic
+      fo.base_seed = splitmix64(opts_.base_seed ^ (kGolden * (wave_idx + 1)));
+      fo.rollout.canary = k;  // one wave: the sample is not itself staged
+      fo.rollout.wave = k;
+      fo.rollout.abort_failure_rate = 1.01;
+      fo.rollout.max_quarantine_rate = 1.01;
+      fleet::FleetController fc(std::move(fo));
+      auto sample = fc.run_campaign();
+      if (!sample.is_ok()) return sample.status();
+      double sum = 0;
+      u32 applied = 0;
+      for (const auto& r : sample->results) {
+        if (r.state == fleet::TargetState::kApplied && r.healthy) {
+          sum += r.downtime_us;
+          ++applied;
+        }
+        sample_span_us = std::max(sample_span_us, r.e2e_us);
+      }
+      wv.sampled = k;
+      wv.sampled_applied = applied;
+      wv.sample_mean_downtime_us = applied ? sum / applied : 0;
+      rep.sampled_runs += k;
+      rep.sampled_applied += applied;
+
+      if (!calibrated) {
+        if (applied == 0) {
+          rep.aborted = true;
+          rep.abort_wave = wave_idx;
+          rep.abort_reason =
+              "calibration failed: no sampled testbed applied healthily";
+        } else {
+          base = wv.sample_mean_downtime_us;
+          calibrated = true;
+          rep.calibrated_downtime_us = base;
+        }
+      } else if (applied == 0) {
+        wv.diverged = true;
+        rep.aborted = true;
+        rep.abort_wave = wave_idx;
+        rep.abort_reason = "ground truth: no sampled testbed applied";
+      } else {
+        double dev = std::abs(wv.sample_mean_downtime_us - base) / base;
+        if (dev > plan.divergence_tolerance) {
+          wv.diverged = true;
+          rep.aborted = true;
+          rep.abort_wave = wave_idx;
+          std::snprintf(buf, sizeof(buf),
+                        "model divergence: wave %u sampled mean %.3f us vs "
+                        "calibrated %.3f us (dev %.2f > tol %.2f)",
+                        wave_idx, wv.sample_mean_downtime_us, base, dev,
+                        plan.divergence_tolerance);
+          rep.abort_reason = buf;
+        }
+      }
+      if (!rep.aborted && k > 0) {
+        double fail_frac = static_cast<double>(k - applied) / k;
+        if (fail_frac >= plan.abort_failure_rate && applied < k) {
+          wv.diverged = true;
+          rep.aborted = true;
+          rep.abort_wave = wave_idx;
+          std::snprintf(buf, sizeof(buf),
+                        "ground truth: sampled failure rate %.2f >= %.2f",
+                        fail_frac, plan.abort_failure_rate);
+          rep.abort_reason = buf;
+        }
+      }
+    }
+
+    if (rep.aborted) {
+      // Divergence aborts strike before the modeled population commits:
+      // the wave's targets stay PENDING; only the sample's span is priced.
+      wv.span_us = sample_span_us;
+      rep.modeled_makespan_us += wv.span_us;
+      if (opts_.capture_trace) {
+        trace.instant("fleetscale", "divergence_abort", obs::kSharedTarget,
+                      us_to_cycles(virt_clock_us),
+                      {{"wave", std::to_string(wave_idx)},
+                       {"reason", rep.abort_reason}});
+      }
+      rep.waves.push_back(wv);
+      break;
+    }
+
+    // ---- Modeled transitions: sharded, wave-local accumulators -----------
+    std::vector<ShardWave> sw(shards);
+    for (auto& s : sw) s.pulls.assign(relays, 0);
+    parallel_for(shards, opts_.jobs, [&](u32 s) {
+      u64 lo = std::max(shard_lo(targets, shards, s), done);
+      u64 hi = std::min(shard_lo(targets, shards, s + 1), done + wave_size);
+      ShardWave& acc = sw[s];
+      for (u64 idx = lo; idx < hi; ++idx) {
+        u64 h = target_hash(opts_.base_seed, idx);
+        ++acc.pulls[idx % relays];  // the fetch precedes the apply attempt
+        u64 h2 = splitmix64(h ^ 0xFA11C0DEull);
+        if (opts_.fail_permille != 0 && h2 % 1000 < opts_.fail_permille) {
+          states_[idx] = ScaleTargetState::kFailed;
+          ++acc.failed;
+          continue;
+        }
+        double jitter =
+            1.0 - cost.jitter_frac + 2.0 * cost.jitter_frac * unit_from(h);
+        double downtime = base * jitter;
+        states_[idx] = ScaleTargetState::kApplied;
+        ++acc.applied;
+        acc.down.insert(downtime);
+        acc.e2e.insert(downtime + cost.relay_hit_service_us);
+      }
+    });
+
+    // Fold in shard order (each term is shard-partition independent).
+    std::vector<u64> pulls(relays, 0);
+    for (u32 s = 0; s < shards; ++s) {
+      wv.applied += sw[s].applied;
+      wv.failed += sw[s].failed;
+      for (u32 r = 0; r < relays; ++r) pulls[r] += sw[s].pulls[r];
+    }
+
+    // ---- Modeled wave abort (failure rate) -------------------------------
+    double fail_frac =
+        wave_size ? static_cast<double>(wv.failed) / wave_size : 0;
+    bool modeled_abort = wv.failed > 0 && fail_frac >= plan.abort_failure_rate;
+    if (modeled_abort && plan.rollback_failed_wave) {
+      for (u64 idx = done; idx < done + wave_size; ++idx) {
+        if (states_[idx] == ScaleTargetState::kApplied) {
+          states_[idx] = ScaleTargetState::kRolledBack;
+        }
+      }
+      wv.rolled_back = wv.applied;
+      wv.applied = 0;
+      // Wave-local sketches are dropped: rolled-back downtimes must not
+      // survive in the campaign percentiles.
+    } else {
+      for (u32 s = 0; s < shards; ++s) {
+        shard_down[s].merge(sw[s].down);
+        shard_e2e[s].merge(sw[s].e2e);
+      }
+    }
+
+    // ---- Drive the relay tier (real caches, real counters) ---------------
+    for (u32 r = 0; r < relays; ++r) {
+      if (pulls[r] == 0) continue;
+      Status st = tier.relay(r).serve_population(digest, pulls[r]);
+      if (!st.is_ok()) return st;
+    }
+
+    // ---- Span pricing from the warm/cold model ---------------------------
+    double fill_us = 0;
+    for (u32 r = 0; r < relays; ++r) {
+      if (pulls[r] == 0 || relay_warm[r]) continue;
+      u32 n = r;
+      u32 hops = 0;
+      bool from_origin = false;
+      while (true) {
+        ++hops;  // n is cold: one parent-hop fill
+        if (n == 0) {
+          from_origin = !origin_warm;
+          break;
+        }
+        n = (n - 1) / tier.fanout();
+        if (relay_warm[n]) break;
+      }
+      double path = hops * cost.relay_hop_fill_us +
+                    (from_origin ? cost.origin_build_us : 0);
+      fill_us = std::max(fill_us, path);
+    }
+    for (u32 r = 0; r < relays; ++r) {
+      if (pulls[r] == 0) continue;
+      u32 n = r;
+      while (!relay_warm[n]) {
+        relay_warm[n] = 1;
+        origin_warm = origin_warm || n == 0;
+        if (n == 0) break;
+        n = (n - 1) / tier.fanout();
+      }
+    }
+    double service_us = 0;
+    for (u32 r = 0; r < relays; ++r) {
+      service_us = std::max(
+          service_us, static_cast<double>(pulls[r]) *
+                          cost.relay_hit_service_us / cost.relay_workers);
+    }
+    double apply_us = base * (1.0 + cost.jitter_frac);
+    wv.span_us = fill_us + service_us + std::max(apply_us, sample_span_us);
+
+    if (opts_.capture_trace) {
+      trace.instant("fleetscale", "wave_start", obs::kSharedTarget,
+                    us_to_cycles(virt_clock_us),
+                    {{"wave", std::to_string(wave_idx)},
+                     {"size", std::to_string(wave_size)}});
+      for (u32 s = 0; s < shards; ++s) {
+        u64 processed = sw[s].applied + sw[s].failed;
+        if (processed == 0) continue;
+        trace.complete("fleetscale", "wave-" + std::to_string(wave_idx), s,
+                       us_to_cycles(virt_clock_us),
+                       us_to_cycles(virt_clock_us + wv.span_us), 0,
+                       {{"shard", std::to_string(s)},
+                        {"targets", std::to_string(processed)}});
+      }
+    }
+    virt_clock_us += wv.span_us;
+
+    rep.applied += wv.applied;
+    rep.failed += wv.failed;
+    rep.rolled_back += wv.rolled_back;
+    rep.modeled_makespan_us += wv.span_us;
+    rep.waves.push_back(wv);
+    done += wave_size;
+    prev_size = wave_size;
+    ++wave_idx;
+
+    if (modeled_abort) {
+      rep.aborted = true;
+      rep.abort_wave = wv.index;
+      std::snprintf(buf, sizeof(buf),
+                    "modeled failure rate %.2f >= %.2f (wave rolled back)",
+                    fail_frac, plan.abort_failure_rate);
+      rep.abort_reason = buf;
+      if (opts_.capture_trace) {
+        trace.instant("fleetscale", "failure_abort", obs::kSharedTarget,
+                      us_to_cycles(virt_clock_us),
+                      {{"wave", std::to_string(wv.index)},
+                       {"reason", rep.abort_reason}});
+      }
+    }
+  }
+
+  rep.pending = targets - rep.applied - rep.failed - rep.rolled_back;
+
+  for (u32 s = 0; s < shards; ++s) {
+    rep.downtime_sketch.merge(shard_down[s]);
+    rep.e2e_sketch.merge(shard_e2e[s]);
+  }
+  rep.downtime_us = {rep.downtime_sketch.p50(), rep.downtime_sketch.p95(),
+                     rep.downtime_sketch.p99()};
+  rep.e2e_us = {rep.e2e_sketch.p50(), rep.e2e_sketch.p95(),
+                rep.e2e_sketch.p99()};
+
+  rep.relay = tier.total_stats();
+  rep.origin_fetches = tier.origin_fetches();
+
+  metrics.counter("fleetscale.targets.applied").inc(rep.applied);
+  metrics.counter("fleetscale.targets.failed").inc(rep.failed);
+  metrics.counter("fleetscale.targets.rolled_back").inc(rep.rolled_back);
+  metrics.counter("fleetscale.targets.pending").inc(rep.pending);
+  metrics.counter("fleetscale.waves").inc(rep.waves.size());
+  metrics.counter("fleetscale.sampled.runs").inc(rep.sampled_runs);
+  metrics.counter("fleetscale.sampled.applied").inc(rep.sampled_applied);
+  metrics.counter("fleetscale.relay.hits").inc(rep.relay.hits);
+  metrics.counter("fleetscale.relay.misses").inc(rep.relay.misses);
+  metrics.counter("fleetscale.relay.corruption_evictions")
+      .inc(rep.relay.corruption_evictions);
+  metrics.counter("fleetscale.origin_fetches").inc(rep.origin_fetches);
+  rep.metrics = metrics.snapshot();
+
+  if (opts_.capture_trace) {
+    obs::ChromeTraceOptions copts;
+    copts.include_wall = false;
+    // All events are coordinator-emitted (single thread), but canonicalize
+    // anyway so the export contract matches the fleet layer's.
+    rep.trace_json = obs::to_chrome_trace(obs::canonicalize(trace.snapshot()),
+                                          copts);
+  }
+  return rep;
+}
+
+std::string FleetScaleReport::to_string() const {
+  std::string out;
+  char line[256];
+  auto append = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof(line), fmt, args...);
+    out += line;
+  };
+  auto ull = [](u64 v) { return static_cast<unsigned long long>(v); };
+  // Deliberately no jobs / shard count anywhere below: the determinism
+  // tests cmp this output byte-for-byte across both.
+  append("fleetscale campaign %s: %llu targets, %u relays (fanout %u), "
+         "sample %u/wave, %zu wave(s)\n",
+         cve_id.c_str(), ull(targets), relays, relay_fanout, sample_per_wave,
+         waves.size());
+  append("  applied %llu  failed %llu  rolled_back %llu  pending %llu%s\n",
+         ull(applied), ull(failed), ull(rolled_back), ull(pending),
+         aborted ? "  [ABORTED]" : "");
+  if (aborted) {
+    append("  aborted at wave %u: %s\n", abort_wave, abort_reason.c_str());
+  }
+  append("  ground truth: %llu sampled run(s), %llu applied, calibrated "
+         "downtime %.3f us\n",
+         ull(sampled_runs), ull(sampled_applied), calibrated_downtime_us);
+  append("  downtime us (sketch, +/-1%%): p50 %.3f  p95 %.3f  p99 %.3f\n",
+         downtime_us.p50, downtime_us.p95, downtime_us.p99);
+  append("  e2e latency us (sketch, +/-1%%): p50 %.3f  p95 %.3f  p99 %.3f\n",
+         e2e_us.p50, e2e_us.p95, e2e_us.p99);
+  append("  relay tier: %llu pulls  %llu hits  %llu misses (hit rate %.4f)  "
+         "evictions %llu  rejects %llu\n",
+         ull(relay.pulls()), ull(relay.hits), ull(relay.misses),
+         relay.hit_rate(), ull(relay.corruption_evictions),
+         ull(relay.parent_digest_rejects));
+  append("  origin fetches %llu  envelope %llu bytes  parent bytes %llu\n",
+         ull(origin_fetches), ull(envelope_bytes),
+         ull(relay.bytes_from_parent));
+  append("  modeled makespan %.3f us\n", modeled_makespan_us);
+  for (const ScaleWave& w : waves) {
+    append("  wave %2u: [%llu, %llu)  applied %llu  failed %llu  "
+           "rolled_back %llu  sampled %u/%u  mean %.3f  span %.3f us%s\n",
+           w.index, ull(w.first), ull(w.first + w.size), ull(w.applied),
+           ull(w.failed), ull(w.rolled_back), w.sampled_applied, w.sampled,
+           w.sample_mean_downtime_us, w.span_us,
+           w.diverged ? "  [DIVERGED]" : "");
+  }
+  return out;
+}
+
+}  // namespace kshot::fleetscale

@@ -1,0 +1,207 @@
+// Planet-scale fleet rollout: sharded controllers over a modeled target
+// population, ground-truthed by sampled real testbeds.
+//
+// src/fleet boots one full Testbed (machine + kernel + SGX + SMM + channel)
+// per target — honest, but it tops out at hundreds of targets. This layer
+// is the higher tier the Xen livepatch design anticipates ("higher-level
+// tools managing multiple patches on production machines"), built to
+// simulate millions:
+//
+//   FleetCoordinator
+//     ├── ShardController × R   lightweight per-target state machines
+//     │                         (PENDING→APPLIED|FAILED|ROLLED_BACK as one
+//     │                         byte of state + modeled-cost transitions —
+//     │                         no Machine, no testbed, no per-sample
+//     │                         vectors)
+//     ├── RelayTier × M         content-addressed envelope distribution
+//     │                         (relay.hpp); the lone PatchServer serves
+//     │                         the relay tree, not a million targets
+//     └── sampled ground truth  K *real* seeded testbeds per wave, driven
+//                               through src/fleet (the sampled-testbed
+//                               executor); any divergence between sampled
+//                               reality and the modeled population aborts
+//                               the wave
+//
+// Sampling ground-truth protocol: wave 0's sample calibrates the model (the
+// population's base downtime is the sampled mean, measured on real
+// virtual-clock testbeds); every later wave's sample re-measures it, and a
+// relative deviation beyond ScaleRolloutPlan::divergence_tolerance — or a
+// sampled failure fraction at/above abort_failure_rate — aborts the
+// campaign before the wave's modeled population is committed.
+//
+// Determinism: every modeled per-target quantity is a pure function of
+// (base_seed, global target index, calibrated base), wave boundaries are
+// shard-independent, sketches merge by exact bucket addition, and relay
+// counters are order-independent — so the FleetScaleReport is
+// byte-identical across --jobs and across shard counts. Shards and jobs are
+// execution topology, not semantics, and deliberately do not appear in the
+// report.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sketch.hpp"
+#include "fleetscale/relay.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace kshot::fleetscale {
+
+enum class ScaleTargetState : u8 {
+  kPending = 0,  // not attempted (or rollout aborted before its wave)
+  kApplied,      // modeled rollout succeeded
+  kFailed,       // modeled failure draw; kernel untouched (transactional)
+  kRolledBack,   // applied, then undone by a wave abort
+};
+
+const char* scale_state_name(ScaleTargetState s);
+
+/// Staged-rollout policy for the modeled population.
+struct ScaleRolloutPlan {
+  /// Wave 0 (canary) size; each later wave is the previous size * growth.
+  u64 canary = 64;
+  double growth = 8.0;
+  /// Abort when a wave's modeled failure fraction reaches this (the wave's
+  /// applied targets are rolled back); 1.01 disables.
+  double abort_failure_rate = 0.25;
+  /// Abort when a wave's sampled mean downtime deviates from the calibrated
+  /// base by more than this relative fraction.
+  double divergence_tolerance = 0.25;
+  bool rollback_failed_wave = true;
+};
+
+/// Modeled costs of the relay/rollout machinery. All priced into the
+/// modeled makespan; none of them affect counters or state.
+struct ScaleCostModel {
+  double relay_hit_service_us = 40.0;   // one warm pull at a relay
+  double relay_hop_fill_us = 1500.0;    // one parent-hop of a cold fill
+  double origin_build_us = 12000.0;     // PatchServer build+seal on first
+                                        // origin fetch
+  u32 relay_workers = 64;               // modeled per-relay concurrency
+  double jitter_frac = 0.10;            // per-target downtime jitter (+/-)
+};
+
+struct FleetScaleOptions {
+  std::string cve_id = "CVE-2014-0196";
+  u64 targets = 1'000'000;
+  /// Execution sharding (ShardController count). Never changes the report.
+  u32 shards = 4;
+  /// Real testbeds sampled per wave for ground truth; 0 disables sampling
+  /// (then calibration_override_us must be set — test configurations only).
+  u32 sample = 2;
+  u32 relays = 8;
+  u32 relay_fanout = 4;
+  /// Worker threads driving the shards. Never changes the report.
+  u32 jobs = 1;
+  u64 base_seed = 0x5EED;
+  /// Modeled per-target failure rate, in permille (deterministic per-target
+  /// draw). 0 in production-shaped runs; tests raise it to exercise wave
+  /// aborts and rollback accounting.
+  u32 fail_permille = 0;
+  /// Test hook: forces the model's calibrated base downtime instead of the
+  /// wave-0 sampled mean — used to prove the divergence abort fires when
+  /// the model and sampled reality disagree.
+  std::optional<double> calibration_override_us;
+  ScaleRolloutPlan plan;
+  ScaleCostModel cost;
+  /// Record shard-level spans + wave/relay instants. The trace (unlike the
+  /// report) reflects execution topology: per-shard spans appear per shard.
+  bool capture_trace = false;
+};
+
+struct ScaleWave {
+  u32 index = 0;
+  u64 first = 0;  // first global target index of the wave
+  u64 size = 0;
+  u64 applied = 0;
+  u64 failed = 0;
+  u64 rolled_back = 0;
+  u32 sampled = 0;          // real testbeds run for this wave
+  u32 sampled_applied = 0;  // of those, applied + healthy
+  double sample_mean_downtime_us = 0;
+  double span_us = 0;  // modeled wave span (fills + service + applies)
+  bool diverged = false;
+};
+
+struct SketchPercentiles {
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// Aggregated outcome of one planet-scale campaign. Deliberately carries no
+/// jobs/shards fields: the determinism tests compare to_string() (and the
+/// sketch encodings) byte-for-byte across both.
+struct FleetScaleReport {
+  std::string cve_id;
+  u64 targets = 0;
+  u32 relays = 0;
+  u32 relay_fanout = 0;
+  u32 sample_per_wave = 0;
+
+  u64 applied = 0;
+  u64 failed = 0;
+  u64 rolled_back = 0;
+  u64 pending = 0;
+
+  bool aborted = false;
+  u32 abort_wave = 0;
+  std::string abort_reason;
+
+  /// Ground truth.
+  double calibrated_downtime_us = 0;
+  u64 sampled_runs = 0;
+  u64 sampled_applied = 0;
+
+  /// Streaming-sketch percentiles over the applied modeled population
+  /// (guaranteed within QuantileSketch::kRelativeError of exact).
+  SketchPercentiles downtime_us;
+  SketchPercentiles e2e_us;
+  QuantileSketch downtime_sketch;  // exposed for the agreement tests
+  QuantileSketch e2e_sketch;
+
+  RelayStats relay;
+  u64 origin_fetches = 0;
+  u64 envelope_bytes = 0;
+
+  /// Sum of wave spans: cold relay fills + per-relay service queues + the
+  /// slowest modeled apply (and the sampled real testbeds' span).
+  double modeled_makespan_us = 0;
+
+  std::vector<ScaleWave> waves;
+
+  std::string trace_json;  // empty unless capture_trace
+  obs::MetricsSnapshot metrics;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class FleetCoordinator {
+ public:
+  explicit FleetCoordinator(FleetScaleOptions opts);
+  ~FleetCoordinator();
+
+  FleetCoordinator(const FleetCoordinator&) = delete;
+  FleetCoordinator& operator=(const FleetCoordinator&) = delete;
+
+  /// Rejects impossible topologies (0 shards/relays/targets, sample >
+  /// targets, sampling disabled with no calibration override).
+  static Status validate(const FleetScaleOptions& opts);
+
+  Result<FleetScaleReport> run();
+
+  /// Valid after run(): per-target final states (one byte each — the whole
+  /// point of the subsystem is that this is the *only* per-target storage).
+  [[nodiscard]] const std::vector<ScaleTargetState>& states() const {
+    return states_;
+  }
+
+ private:
+  FleetScaleOptions opts_;
+  std::vector<ScaleTargetState> states_;
+};
+
+}  // namespace kshot::fleetscale

@@ -1,0 +1,186 @@
+#include "fleetscale/relay.hpp"
+
+#include <utility>
+
+#include "common/hex.hpp"
+#include "crypto/sha256.hpp"
+
+namespace kshot::fleetscale {
+
+namespace {
+
+std::string digest_of(const Bytes& b) {
+  auto d = crypto::sha256(ByteSpan(b));
+  return to_hex(ByteSpan(d.data(), d.size()));
+}
+
+}  // namespace
+
+void RelayStats::merge(const RelayStats& o) {
+  hits += o.hits;
+  misses += o.misses;
+  corruption_evictions += o.corruption_evictions;
+  parent_digest_rejects += o.parent_digest_rejects;
+  bytes_served += o.bytes_served;
+  bytes_from_parent += o.bytes_from_parent;
+}
+
+PatchRelay::PatchRelay(std::string name, ParentFetch parent)
+    : name_(std::move(name)), parent_(std::move(parent)) {}
+
+Result<std::shared_ptr<const Bytes>> PatchRelay::fetch(
+    const std::string& digest_hex) {
+  return fetch_verified(digest_hex, /*allow_repair=*/true);
+}
+
+Result<std::shared_ptr<const Bytes>> PatchRelay::fetch_verified(
+    const std::string& digest_hex, bool allow_repair) {
+  std::shared_future<Entry> fut;
+  bool filler = false;
+  std::promise<Entry> promise;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(digest_hex);
+    if (it == cache_.end()) {
+      fut = promise.get_future().share();
+      cache_.emplace(digest_hex, fut);
+      filler = true;
+    } else {
+      fut = it->second;
+    }
+  }
+
+  if (filler) {
+    // The single-flight fill runs outside the lock; every concurrent puller
+    // for this digest blocks on the shared future instead of the parent.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    Entry got = parent_(digest_hex);
+    if (got.is_ok()) {
+      bytes_from_parent_.fetch_add((*got)->size(),
+                                   std::memory_order_relaxed);
+      if (digest_of(**got) != digest_hex) {
+        parent_digest_rejects_.fetch_add(1, std::memory_order_relaxed);
+        got = Status{Errc::kIntegrityFailure,
+                     name_ + ": parent bytes do not hash to " + digest_hex};
+      }
+    }
+    if (!got.is_ok()) {
+      // Failed fills are not cached: drop the future so a later pull
+      // retries the parent instead of replaying the failure forever.
+      std::lock_guard<std::mutex> lock(mu_);
+      cache_.erase(digest_hex);
+    }
+    promise.set_value(got);
+    if (!got.is_ok()) return got.status();
+    bytes_served_.fetch_add((*got)->size(), std::memory_order_relaxed);
+    return *got;
+  }
+
+  Entry got = fut.get();
+  if (!got.is_ok()) return got.status();
+  // Warm serve: re-verify the cached bytes. A corrupted entry is evicted
+  // and refetched from the parent — never served.
+  if (digest_of(**got) != digest_hex) {
+    corruption_evictions_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(digest_hex);
+      // Only evict the entry we verified; a concurrent repair may already
+      // have replaced it.
+      if (it != cache_.end() && it->second.valid() &&
+          it->second.wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready &&
+          it->second.get().is_ok() && it->second.get().value() == *got) {
+        cache_.erase(it);
+      }
+    }
+    if (!allow_repair) {
+      return Status{Errc::kIntegrityFailure,
+                    name_ + ": cached entry corrupt for " + digest_hex};
+    }
+    return fetch_verified(digest_hex, /*allow_repair=*/false);
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  bytes_served_.fetch_add((*got)->size(), std::memory_order_relaxed);
+  return *got;
+}
+
+Status PatchRelay::serve_population(const std::string& digest_hex,
+                                    u64 pulls) {
+  if (pulls == 0) return Status::ok();
+  auto first = fetch(digest_hex);
+  if (!first.is_ok()) return first.status();
+  hits_.fetch_add(pulls - 1, std::memory_order_relaxed);
+  bytes_served_.fetch_add((pulls - 1) * (*first)->size(),
+                          std::memory_order_relaxed);
+  return Status::ok();
+}
+
+RelayStats PatchRelay::stats() const {
+  RelayStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.corruption_evictions =
+      corruption_evictions_.load(std::memory_order_relaxed);
+  s.parent_digest_rejects =
+      parent_digest_rejects_.load(std::memory_order_relaxed);
+  s.bytes_served = bytes_served_.load(std::memory_order_relaxed);
+  s.bytes_from_parent = bytes_from_parent_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool PatchRelay::corrupt_cached_entry(const std::string& digest_hex) {
+  std::shared_future<Entry> fut;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(digest_hex);
+    if (it == cache_.end()) return false;
+    fut = it->second;
+  }
+  Entry got = fut.get();
+  if (!got.is_ok() || (*got)->empty()) return false;
+  // The cache stores const Bytes behind a shared_ptr; simulated bit rot
+  // needs to reach through that, which is exactly what makes it "silent".
+  auto* mutable_bytes = const_cast<Bytes*>(got->get());
+  (*mutable_bytes)[0] ^= 0xFF;
+  return true;
+}
+
+RelayTier::RelayTier(u32 relays, u32 fanout, PatchRelay::ParentFetch origin)
+    : fanout_(fanout == 0 ? 1 : fanout) {
+  nodes_.reserve(relays);
+  auto counted_origin =
+      [this, origin = std::move(origin)](
+          const std::string& digest) -> Result<std::shared_ptr<const Bytes>> {
+    origin_fetches_.fetch_add(1, std::memory_order_relaxed);
+    return origin(digest);
+  };
+  for (u32 i = 0; i < relays; ++i) {
+    PatchRelay::ParentFetch parent;
+    if (i == 0) {
+      parent = counted_origin;
+    } else {
+      PatchRelay* up = nodes_[(i - 1) / fanout_].get();
+      parent = [up](const std::string& digest) { return up->fetch(digest); };
+    }
+    nodes_.push_back(std::make_unique<PatchRelay>(
+        "relay-" + std::to_string(i), std::move(parent)));
+  }
+}
+
+u32 RelayTier::depth(u32 i) const {
+  u32 d = 0;
+  while (i != 0) {
+    i = (i - 1) / fanout_;
+    ++d;
+  }
+  return d;
+}
+
+RelayStats RelayTier::total_stats() const {
+  RelayStats total;
+  for (const auto& n : nodes_) total.merge(n->stats());
+  return total;
+}
+
+}  // namespace kshot::fleetscale

@@ -1,0 +1,135 @@
+// Content-addressed patch relay tier.
+//
+// At fleet scale the lone PatchServer is the bottleneck: a million targets
+// pulling one sealed envelope means a million origin round-trips for bytes
+// that are identical by construction (the envelope is content-addressed by
+// its SHA-256). A PatchRelay caches sealed envelopes by digest and fills
+// cold entries from its parent exactly once per digest (single-flight: the
+// first puller publishes a shared future under the lock and fetches outside
+// it; concurrent pullers for the same digest block on that future and count
+// as hits). Every serve re-verifies that the cached bytes still hash to the
+// requested digest — a corrupted (bit-rotted or tampered) cache entry is
+// evicted and refetched from the parent, never served.
+//
+// RelayTier arranges M relays into a fan-out tree (heap-shaped, fanout F:
+// parent(r) = (r-1)/F, relay 0 fills from the origin). A cold digest
+// propagates down the tree with one parent fetch per relay, so the origin
+// is hit once per campaign no matter how many relays or targets exist.
+// Counters are order-independent (per relay per digest: exactly 1 miss,
+// every other pull a hit), so fleet reports built from them stay
+// byte-identical across --jobs and shard counts.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace kshot::fleetscale {
+
+/// Monotonic per-relay counters. A "hit" includes a puller that arrived
+/// while the fill was in flight and waited for it (same convention as the
+/// PatchServer build caches); the one puller that ran the parent fetch is
+/// the "miss".
+struct RelayStats {
+  u64 hits = 0;
+  u64 misses = 0;
+  /// Cached entries whose bytes no longer hashed to their digest: evicted
+  /// and refetched instead of served.
+  u64 corruption_evictions = 0;
+  /// Parent responses whose bytes did not hash to the requested digest:
+  /// rejected (kIntegrityFailure), never cached.
+  u64 parent_digest_rejects = 0;
+  u64 bytes_served = 0;       // envelope bytes handed to pullers
+  u64 bytes_from_parent = 0;  // envelope bytes pulled from the parent
+
+  [[nodiscard]] u64 pulls() const { return hits + misses; }
+  [[nodiscard]] double hit_rate() const {
+    return pulls() == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(pulls());
+  }
+  void merge(const RelayStats& o);
+};
+
+class PatchRelay {
+ public:
+  /// Fetches the envelope for a digest from the next tier up (the parent
+  /// relay or the origin PatchServer). Must be thread-safe.
+  using ParentFetch =
+      std::function<Result<std::shared_ptr<const Bytes>>(const std::string&)>;
+
+  PatchRelay(std::string name, ParentFetch parent);
+
+  /// Content-addressed pull: returns the (verified) envelope whose SHA-256
+  /// is `digest_hex`. Cold entries fill from the parent single-flight;
+  /// warm entries are integrity-checked before every serve.
+  Result<std::shared_ptr<const Bytes>> fetch(const std::string& digest_hex);
+
+  /// Bulk accounting for the modeled population: one real fetch (cold fill,
+  /// digest verify) plus `pulls - 1` further pulls counted as hits without
+  /// re-hashing per pull. pulls == 0 is a no-op.
+  Status serve_population(const std::string& digest_hex, u64 pulls);
+
+  [[nodiscard]] RelayStats stats() const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Test hook: flips a byte of the cached entry so the next fetch sees a
+  /// digest mismatch. Returns false if the digest is not cached.
+  bool corrupt_cached_entry(const std::string& digest_hex);
+
+ private:
+  using Entry = Result<std::shared_ptr<const Bytes>>;
+  /// Verifies bytes against the digest; on mismatch evicts and refetches
+  /// (at most one repair round per fetch call).
+  Result<std::shared_ptr<const Bytes>> fetch_verified(
+      const std::string& digest_hex, bool allow_repair);
+
+  std::string name_;
+  ParentFetch parent_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_future<Entry>> cache_;
+  // Counters are atomics: pull paths run lock-free after the future
+  // resolves, and tests hammer one relay from many threads.
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> misses_{0};
+  std::atomic<u64> corruption_evictions_{0};
+  std::atomic<u64> parent_digest_rejects_{0};
+  std::atomic<u64> bytes_served_{0};
+  std::atomic<u64> bytes_from_parent_{0};
+};
+
+/// The fan-out tree: relay r >= 1 fills from relay (r-1)/fanout; relay 0
+/// fills from the origin. Targets stripe across relays (target i pulls from
+/// relay i % size()).
+class RelayTier {
+ public:
+  RelayTier(u32 relays, u32 fanout, PatchRelay::ParentFetch origin);
+
+  [[nodiscard]] u32 size() const { return static_cast<u32>(nodes_.size()); }
+  [[nodiscard]] u32 fanout() const { return fanout_; }
+  PatchRelay& relay(u32 i) { return *nodes_[i]; }
+  /// Tree depth of relay i (root = 0); cold-fill latency is proportional.
+  [[nodiscard]] u32 depth(u32 i) const;
+  /// Number of times the origin fetch was actually invoked.
+  [[nodiscard]] u64 origin_fetches() const {
+    return origin_fetches_.load(std::memory_order_relaxed);
+  }
+
+  /// Sum of every relay's counters.
+  [[nodiscard]] RelayStats total_stats() const;
+
+ private:
+  u32 fanout_;
+  std::atomic<u64> origin_fetches_{0};
+  std::vector<std::unique_ptr<PatchRelay>> nodes_;
+};
+
+}  // namespace kshot::fleetscale

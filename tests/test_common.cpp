@@ -2,9 +2,13 @@
 // deterministic RNG.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/byte_io.hpp"
 #include "common/hex.hpp"
 #include "common/rng.hpp"
+#include "common/sketch.hpp"
 #include "common/stats.hpp"
 #include "common/status.hpp"
 #include "fleet/fleet.hpp"
@@ -233,6 +237,128 @@ TEST(Stats, FleetPercentilesAgreeWithSharedHelper) {
   EXPECT_EQ(lat.p50, percentile_sorted(xs, 50));
   EXPECT_EQ(lat.p95, percentile_sorted(xs, 95));
   EXPECT_EQ(lat.p99, percentile_sorted(xs, 99));
+}
+
+TEST(Stats, NearestRankIntegerBoundaryTable) {
+  // Regression: the rank must be ceil(pct * n / 100) with the product formed
+  // *before* the divide. The old pct/100.0 * n form accumulated FP error at
+  // exact integer ranks (0.47 * 100 = 47.000000000000007) and returned the
+  // 48th element for p47 of 100 samples.
+  std::vector<double> xs100;
+  for (int i = 1; i <= 100; ++i) xs100.push_back(i);
+  struct Row {
+    double pct;
+    double want;
+  };
+  const Row rows100[] = {{1, 1},    {2, 2},    {25, 25},    {47, 47},
+                         {50, 50},  {75, 75},  {94, 94},    {95, 95},
+                         {99, 99},  {100, 100}, {0.5, 1},   {47.5, 48},
+                         {99.5, 100}};
+  for (const Row& r : rows100) {
+    EXPECT_EQ(percentile_sorted(xs100, r.pct), r.want) << "pct=" << r.pct;
+  }
+  // Pinned convention at other sizes: p50 of 10 samples is the 5th sample,
+  // p95 of 20 the 19th.
+  std::vector<double> xs10, xs20;
+  for (int i = 1; i <= 10; ++i) xs10.push_back(i);
+  for (int i = 1; i <= 20; ++i) xs20.push_back(i);
+  const Row rows10[] = {{10, 1}, {20, 2}, {35, 4}, {50, 5}, {95, 10}, {99, 10}};
+  for (const Row& r : rows10) {
+    EXPECT_EQ(percentile_sorted(xs10, r.pct), r.want) << "pct=" << r.pct;
+  }
+  const Row rows20[] = {{5, 1}, {10, 2}, {50, 10}, {95, 19}, {99, 20}};
+  for (const Row& r : rows20) {
+    EXPECT_EQ(percentile_sorted(xs20, r.pct), r.want) << "pct=" << r.pct;
+  }
+}
+
+// ---- Streaming quantile sketch ------------------------------------------------
+
+namespace {
+
+// Deterministic right-skewed latency-shaped sample (no RNG needed).
+std::vector<double> sketch_fixture(size_t n) {
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double u = static_cast<double>(i % 9973) / 9973.0;
+    xs.push_back(25.0 + 4000.0 * u * u * u);
+  }
+  return xs;
+}
+
+}  // namespace
+
+TEST(Sketch, AgreesWithExactSummaryWithinDocumentedBound) {
+  const auto xs = sketch_fixture(10'000);
+  QuantileSketch sk;
+  for (double x : xs) sk.insert(x);
+  auto sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sk.count(), xs.size());
+  EXPECT_EQ(sk.min(), sorted.front());
+  EXPECT_EQ(sk.max(), sorted.back());
+  for (double pct : {10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+    double exact = percentile_sorted(sorted, pct);
+    double got = sk.quantile(pct / 100.0);
+    EXPECT_NEAR(got, exact, exact * (QuantileSketch::kRelativeError + 1e-4))
+        << "pct=" << pct;
+  }
+}
+
+TEST(Sketch, MergeOfHalvesEqualsWholeByteForByte) {
+  const auto xs = sketch_fixture(10'000);
+  QuantileSketch whole;
+  for (double x : xs) whole.insert(x);
+  QuantileSketch a, b;
+  for (size_t i = 0; i < xs.size(); ++i) (i < xs.size() / 2 ? a : b).insert(xs[i]);
+  a.merge(b);
+  EXPECT_EQ(a.encode(), whole.encode());
+  // Partition independence: any split, merged in any order, encodes the
+  // same — this is what makes shard counts invisible in fleet reports.
+  QuantileSketch parts[3];
+  for (size_t i = 0; i < xs.size(); ++i) parts[i % 3].insert(xs[i]);
+  QuantileSketch m1 = parts[2];
+  m1.merge(parts[0]);
+  m1.merge(parts[1]);
+  QuantileSketch m2 = parts[1];
+  m2.merge(parts[2]);
+  m2.merge(parts[0]);
+  EXPECT_EQ(m1.encode(), m2.encode());
+  EXPECT_EQ(m1.encode(), whole.encode());
+}
+
+TEST(Sketch, EncodeDecodeRoundTrip) {
+  const auto xs = sketch_fixture(512);
+  QuantileSketch sk;
+  for (double x : xs) sk.insert(x);
+  Bytes wire = sk.encode();
+  auto back = QuantileSketch::decode(ByteSpan(wire));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back->encode(), wire);
+  EXPECT_EQ(back->quantile(0.95), sk.quantile(0.95));
+
+  Bytes bad_magic = wire;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(QuantileSketch::decode(ByteSpan(bad_magic)).is_ok());
+  Bytes truncated(wire.begin(), wire.begin() + wire.size() / 2);
+  EXPECT_FALSE(QuantileSketch::decode(ByteSpan(truncated)).is_ok());
+  // Inflate a bucket count so the total disagrees with the header count.
+  Bytes miscount = wire;
+  miscount[wire.size() - 1] ^= 0x01;
+  EXPECT_FALSE(QuantileSketch::decode(ByteSpan(miscount)).is_ok());
+}
+
+TEST(Sketch, EmptyAndDegenerateInputs) {
+  QuantileSketch empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  QuantileSketch same;
+  for (int i = 0; i < 100; ++i) same.insert(77.0);
+  // All-equal samples: min == max == 77, and the clamp makes every quantile
+  // exact, not merely within the relative bound.
+  EXPECT_EQ(same.p50(), 77.0);
+  EXPECT_EQ(same.p99(), 77.0);
 }
 
 }  // namespace

@@ -1,0 +1,327 @@
+// Planet-scale fleet tests: content-addressed relay tier (single-flight,
+// digest verification, fan-out tree) and the sharded FleetCoordinator
+// (modeled population + sampled ground truth + byte-identical reports).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/hex.hpp"
+#include "crypto/sha256.hpp"
+#include "fleetscale/fleetscale.hpp"
+#include "fleetscale/relay.hpp"
+
+namespace kshot::fleetscale {
+namespace {
+
+Bytes payload_bytes() {
+  Bytes b;
+  for (int i = 0; i < 733; ++i) b.push_back(static_cast<u8>(i * 31 + 7));
+  return b;
+}
+
+std::string digest_hex_of(const Bytes& b) {
+  auto d = crypto::sha256(ByteSpan(b));
+  return to_hex(ByteSpan(d.data(), d.size()));
+}
+
+/// Origin stub counting real fetches; can be told to serve wrong bytes.
+struct Origin {
+  Bytes good = payload_bytes();
+  std::atomic<int> fetches{0};
+  bool serve_corrupt = false;
+
+  PatchRelay::ParentFetch fn() {
+    return [this](const std::string&) -> Result<std::shared_ptr<const Bytes>> {
+      fetches.fetch_add(1);
+      Bytes b = good;
+      if (serve_corrupt) b[0] ^= 0xFF;
+      return std::make_shared<const Bytes>(std::move(b));
+    };
+  }
+};
+
+// ---- PatchRelay ---------------------------------------------------------------
+
+TEST(PatchRelay, ColdFetchIsSingleFlight) {
+  Origin origin;
+  PatchRelay relay("r0", origin.fn());
+  const std::string digest = digest_hex_of(origin.good);
+
+  constexpr int kPullers = 16;
+  std::vector<std::thread> pool;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kPullers; ++i) {
+    pool.emplace_back([&] {
+      auto got = relay.fetch(digest);
+      if (got.is_ok() && **got == payload_bytes()) ok.fetch_add(1);
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  EXPECT_EQ(ok.load(), kPullers);
+  // Exactly one puller ran the parent fetch; everyone else waited on the
+  // shared future and counts as a hit.
+  EXPECT_EQ(origin.fetches.load(), 1);
+  RelayStats s = relay.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, static_cast<u64>(kPullers - 1));
+  EXPECT_EQ(s.pulls(), static_cast<u64>(kPullers));
+  EXPECT_EQ(s.bytes_from_parent, payload_bytes().size());
+  EXPECT_EQ(s.bytes_served, payload_bytes().size() * kPullers);
+}
+
+TEST(PatchRelay, ParentDigestMismatchRejectedAndRetriable) {
+  Origin origin;
+  origin.serve_corrupt = true;
+  PatchRelay relay("r0", origin.fn());
+  const std::string digest = digest_hex_of(origin.good);
+
+  auto bad = relay.fetch(digest);
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), Errc::kIntegrityFailure);
+  EXPECT_EQ(relay.stats().parent_digest_rejects, 1u);
+
+  // The failed fill was not cached: once the parent heals, the next pull
+  // refetches instead of replaying the failure.
+  origin.serve_corrupt = false;
+  auto good = relay.fetch(digest);
+  ASSERT_TRUE(good.is_ok());
+  EXPECT_EQ(**good, payload_bytes());
+  EXPECT_EQ(origin.fetches.load(), 2);
+}
+
+TEST(PatchRelay, CorruptedCacheEntryEvictedAndRefetchedNeverServed) {
+  Origin origin;
+  PatchRelay relay("r0", origin.fn());
+  const std::string digest = digest_hex_of(origin.good);
+
+  ASSERT_TRUE(relay.fetch(digest).is_ok());
+  ASSERT_TRUE(relay.corrupt_cached_entry(digest));
+
+  auto got = relay.fetch(digest);
+  ASSERT_TRUE(got.is_ok());
+  // The serve returned verified bytes, not the rotted cache entry.
+  EXPECT_EQ(**got, payload_bytes());
+  RelayStats s = relay.stats();
+  EXPECT_EQ(s.corruption_evictions, 1u);
+  EXPECT_EQ(origin.fetches.load(), 2);
+}
+
+TEST(PatchRelay, ServePopulationCountsBulkPullsAsHits) {
+  Origin origin;
+  PatchRelay relay("r0", origin.fn());
+  const std::string digest = digest_hex_of(origin.good);
+
+  ASSERT_TRUE(relay.serve_population(digest, 1000).is_ok());
+  RelayStats s = relay.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 999u);
+  EXPECT_EQ(s.bytes_served, payload_bytes().size() * 1000);
+  EXPECT_EQ(origin.fetches.load(), 1);
+}
+
+TEST(RelayTier, TreeFillHitsOriginExactlyOnce) {
+  Origin origin;
+  RelayTier tier(13, 3, origin.fn());
+  const std::string digest = digest_hex_of(origin.good);
+
+  for (u32 r = 0; r < tier.size(); ++r) {
+    auto got = tier.relay(r).fetch(digest);
+    ASSERT_TRUE(got.is_ok()) << "relay " << r;
+    EXPECT_EQ(**got, payload_bytes());
+  }
+  // One origin fetch for the whole tree: relay 0 filled from the origin,
+  // every other relay from its parent.
+  EXPECT_EQ(origin.fetches.load(), 1);
+  EXPECT_EQ(tier.origin_fetches(), 1u);
+  // Heap-shaped depths for fanout 3: 0 | 1 1 1 | 2 ...
+  EXPECT_EQ(tier.depth(0), 0u);
+  EXPECT_EQ(tier.depth(1), 1u);
+  EXPECT_EQ(tier.depth(3), 1u);
+  EXPECT_EQ(tier.depth(4), 2u);
+  EXPECT_EQ(tier.depth(12), 2u);
+  // Every relay missed exactly once (its own cold fill); direct pulls from
+  // children count as hits on the parent.
+  RelayStats total = tier.total_stats();
+  EXPECT_EQ(total.misses, 13u);
+}
+
+// ---- FleetCoordinator ---------------------------------------------------------
+
+FleetScaleOptions small_opts() {
+  FleetScaleOptions o;
+  o.targets = 200;
+  o.shards = 3;
+  o.sample = 2;
+  o.relays = 4;
+  o.relay_fanout = 2;
+  o.jobs = 2;
+  o.plan.canary = 16;
+  o.plan.growth = 4.0;
+  return o;
+}
+
+TEST(FleetScale, ValidateRejectsImpossibleTopologies) {
+  auto expect_invalid = [](FleetScaleOptions o) {
+    Status st = FleetCoordinator::validate(o);
+    EXPECT_FALSE(st.is_ok());
+    EXPECT_EQ(st.code(), Errc::kInvalidArgument);
+  };
+  FleetScaleOptions o = small_opts();
+  o.shards = 0;
+  expect_invalid(o);
+  o = small_opts();
+  o.relays = 0;
+  expect_invalid(o);
+  o = small_opts();
+  o.targets = 0;
+  expect_invalid(o);
+  o = small_opts();
+  o.sample = 201;  // sample > targets
+  expect_invalid(o);
+  o = small_opts();
+  o.sample = 0;  // no ground truth and no override
+  expect_invalid(o);
+  o = small_opts();
+  o.sample = 0;
+  o.calibration_override_us = 80.0;  // override restores validity
+  EXPECT_TRUE(FleetCoordinator::validate(o).is_ok());
+  o = small_opts();
+  o.relay_fanout = 0;
+  expect_invalid(o);
+  o = small_opts();
+  o.plan.growth = 0.5;
+  expect_invalid(o);
+}
+
+TEST(FleetScale, CleanCampaignAppliesEveryTarget) {
+  FleetCoordinator fc(small_opts());
+  auto rep = fc.run();
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+
+  EXPECT_FALSE(rep->aborted);
+  EXPECT_EQ(rep->applied, 200u);
+  EXPECT_EQ(rep->failed, 0u);
+  EXPECT_EQ(rep->pending, 0u);
+  EXPECT_GT(rep->calibrated_downtime_us, 0.0);
+  // Sketch covers exactly the applied population.
+  EXPECT_EQ(rep->downtime_sketch.count(), 200u);
+  EXPECT_GE(rep->downtime_us.p99, rep->downtime_us.p50);
+  // Every target pulled the envelope once, plus one parent-edge fetch per
+  // non-root relay when its cache filled; the origin was hit exactly once.
+  EXPECT_EQ(rep->relay.pulls(), 200u + (4 - 1));
+  EXPECT_EQ(rep->relay.misses, 4u);  // one cold fill per relay
+  EXPECT_EQ(rep->origin_fetches, 1u);
+  EXPECT_GT(rep->envelope_bytes, 0u);
+  EXPECT_GT(rep->modeled_makespan_us, 0.0);
+  // Ground truth ran per wave.
+  EXPECT_EQ(rep->sampled_runs, 2u * rep->waves.size());
+  EXPECT_EQ(rep->sampled_applied, rep->sampled_runs);
+
+  // Per-target state array agrees with the aggregate counters.
+  u64 applied = 0;
+  for (auto s : fc.states()) applied += s == ScaleTargetState::kApplied;
+  EXPECT_EQ(applied, rep->applied);
+}
+
+TEST(FleetScale, ReportByteIdenticalAcrossJobsAndShardCounts) {
+  auto run_with = [](u32 jobs, u32 shards) {
+    FleetScaleOptions o = small_opts();
+    o.jobs = jobs;
+    o.shards = shards;
+    FleetCoordinator fc(o);
+    auto rep = fc.run();
+    EXPECT_TRUE(rep.is_ok());
+    return *rep;
+  };
+  FleetScaleReport a = run_with(1, 1);
+  FleetScaleReport b = run_with(8, 7);
+  FleetScaleReport c = run_with(2, 64);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_EQ(a.to_string(), c.to_string());
+  // The sketches fold byte-identically no matter how the population was
+  // partitioned across shards.
+  EXPECT_EQ(a.downtime_sketch.encode(), b.downtime_sketch.encode());
+  EXPECT_EQ(a.downtime_sketch.encode(), c.downtime_sketch.encode());
+  EXPECT_EQ(a.e2e_sketch.encode(), c.e2e_sketch.encode());
+  EXPECT_EQ(a.metrics.to_json(), c.metrics.to_json());
+}
+
+TEST(FleetScale, DivergenceBetweenModelAndSampleAbortsWave) {
+  FleetScaleOptions o = small_opts();
+  // Pretend the model was calibrated to a wildly wrong base downtime: the
+  // very first sampled wave measures reality and pulls the plug.
+  o.calibration_override_us = 50'000.0;
+  o.sample = 1;
+  FleetCoordinator fc(o);
+  auto rep = fc.run();
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+
+  EXPECT_TRUE(rep->aborted);
+  EXPECT_EQ(rep->abort_wave, 0u);
+  EXPECT_NE(rep->abort_reason.find("divergence"), std::string::npos);
+  ASSERT_EQ(rep->waves.size(), 1u);
+  EXPECT_TRUE(rep->waves[0].diverged);
+  // The wave never committed: the whole population is still pending.
+  EXPECT_EQ(rep->applied, 0u);
+  EXPECT_EQ(rep->pending, rep->targets);
+}
+
+TEST(FleetScale, ModeledFailureRateRollsBackWaveAndAborts) {
+  FleetScaleOptions o = small_opts();
+  o.fail_permille = 500;  // ~half the modeled population fails
+  o.plan.abort_failure_rate = 0.25;
+  FleetCoordinator fc(o);
+  auto rep = fc.run();
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+
+  EXPECT_TRUE(rep->aborted);
+  EXPECT_EQ(rep->abort_wave, 0u);
+  EXPECT_EQ(rep->applied, 0u);
+  ASSERT_EQ(rep->waves.size(), 1u);
+  EXPECT_EQ(rep->waves[0].rolled_back + rep->waves[0].failed,
+            rep->waves[0].size);
+  // Rolled-back samples must not leak into the campaign percentiles.
+  EXPECT_EQ(rep->downtime_sketch.count(), 0u);
+  // Untouched targets stay pending.
+  EXPECT_EQ(rep->pending, rep->targets - rep->waves[0].size);
+  u64 rolled = 0;
+  for (auto s : fc.states()) rolled += s == ScaleTargetState::kRolledBack;
+  EXPECT_EQ(rolled, rep->rolled_back);
+}
+
+TEST(FleetScale, RelayCountersIdenticalAcrossJobs) {
+  auto stats_with = [](u32 jobs) {
+    FleetScaleOptions o = small_opts();
+    o.jobs = jobs;
+    FleetCoordinator fc(o);
+    auto rep = fc.run();
+    EXPECT_TRUE(rep.is_ok());
+    return rep->relay;
+  };
+  RelayStats s1 = stats_with(1);
+  RelayStats s8 = stats_with(8);
+  EXPECT_EQ(s1.hits, s8.hits);
+  EXPECT_EQ(s1.misses, s8.misses);
+  EXPECT_EQ(s1.bytes_served, s8.bytes_served);
+  EXPECT_EQ(s1.bytes_from_parent, s8.bytes_from_parent);
+}
+
+TEST(FleetScale, TraceCaptureIsDeterministic) {
+  FleetScaleOptions o = small_opts();
+  o.capture_trace = true;
+  FleetCoordinator f1(o), f2(o);
+  auto r1 = f1.run();
+  auto r2 = f2.run();
+  ASSERT_TRUE(r1.is_ok());
+  ASSERT_TRUE(r2.is_ok());
+  EXPECT_FALSE(r1->trace_json.empty());
+  EXPECT_EQ(r1->trace_json, r2->trace_json);
+  EXPECT_NE(r1->trace_json.find("wave_start"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kshot::fleetscale

@@ -60,6 +60,7 @@
 #include "benchkit/benchkit.hpp"
 #include "common/hex.hpp"
 #include "fleet/fleet.hpp"
+#include "fleetscale/fleetscale.hpp"
 #include "fuzz/fuzz.hpp"
 #include "isa/disasm.hpp"
 #include "obs/metrics.hpp"
@@ -604,6 +605,13 @@ void usage() {
       "                 [--abort-rate R] [--drop R] [--corrupt R]\n"
       "                 [--batch A,B,C] (batched sessions per target)\n"
       "                 [--prep-jobs N] (server-side parallel patch prep)\n"
+      "       kshot-sim fleet [CVE-ID] --targets 1000000 [--shards R]\n"
+      "                 [--sample K] [--relays M] [--relay-fanout F]\n"
+      "                 [--fail-permille P]   planet-scale modeled rollout:\n"
+      "                 sharded controllers + content-addressed patch relays,\n"
+      "                 K real sampled testbeds per wave as ground truth;\n"
+      "                 report is byte-identical across --jobs and --shards\n"
+      "                 (any scale flag, or --targets > 10000, selects it)\n"
       "       kshot-sim bench [--quick] [--out-dir DIR] [--gate BASELINE_DIR]\n"
       "                 [--gate-tol F] [--cost-scale X]   deterministic\n"
       "                 modeled-cost bench; writes BENCH_table3/4.json (+\n"
@@ -649,7 +657,9 @@ int main(int argc, char** argv) {
     if (cmd == "single") allowed_value.push_back("--batch");
   } else if (cmd == "fleet") {
     for (const char* f : {"--targets", "--canary", "--wave", "--abort-rate",
-                          "--drop", "--corrupt", "--batch", "--prep-jobs"}) {
+                          "--drop", "--corrupt", "--batch", "--prep-jobs",
+                          "--shards", "--sample", "--relays", "--relay-fanout",
+                          "--fail-permille"}) {
       allowed_value.push_back(f);
     }
   } else if (cmd == "bench") {
@@ -748,6 +758,69 @@ int main(int argc, char** argv) {
   }
   if (cmd == "fleet" &&
       (args.size() >= 2 || !string_flag("--batch", "").empty())) {
+    auto flag_present = [&](const char* f) {
+      for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == f) return true;
+      }
+      return false;
+    };
+    double targets_v = value_flag("--targets", 8);
+    // Planet-scale path: any sharding/relay/sampling flag — or a population
+    // too large to boot one real testbed per target — routes to the modeled
+    // fleetscale coordinator (real testbeds are still sampled per wave).
+    bool scale = flag_present("--shards") || flag_present("--sample") ||
+                 flag_present("--relays") || flag_present("--relay-fanout") ||
+                 flag_present("--fail-permille") || targets_v > 10'000;
+    if (scale) {
+      if (!string_flag("--batch", "").empty()) {
+        std::fprintf(stderr,
+                     "fleet: --batch is not supported at planet scale\n");
+        usage();
+        return 2;
+      }
+      fleetscale::FleetScaleOptions so;
+      if (args.size() >= 2 && args[1].rfind("--", 0) != 0) so.cve_id = args[1];
+      so.targets = static_cast<u64>(std::max(0.0, targets_v));
+      so.shards = static_cast<u32>(std::max(0.0, value_flag("--shards", 4)));
+      so.sample = static_cast<u32>(std::max(0.0, value_flag("--sample", 2)));
+      so.relays = static_cast<u32>(std::max(0.0, value_flag("--relays", 8)));
+      so.relay_fanout =
+          static_cast<u32>(std::max(0.0, value_flag("--relay-fanout", 4)));
+      so.fail_permille =
+          static_cast<u32>(std::max(0.0, value_flag("--fail-permille", 0)));
+      so.jobs = common.jobs;
+      so.base_seed = common.seed;
+      so.capture_trace = !common.trace_out.empty();
+      Status valid = fleetscale::FleetCoordinator::validate(so);
+      if (!valid.is_ok()) {
+        std::fprintf(stderr, "fleet: %s\n", valid.to_string().c_str());
+        usage();
+        return 2;
+      }
+      fleetscale::FleetCoordinator fc(std::move(so));
+      auto rep = fc.run();
+      if (!rep.is_ok()) {
+        std::fprintf(stderr, "fleetscale campaign failed: %s\n",
+                     rep.status().to_string().c_str());
+        return 1;
+      }
+      // stdout carries ONLY the report: CI cmp's it byte-for-byte across
+      // --jobs and --shards, so execution topology goes to stderr.
+      std::fputs(rep->to_string().c_str(), stdout);
+      std::fprintf(stderr,
+                   "fleetscale: ran with shards=%u jobs=%u (execution "
+                   "detail, never part of the report)\n",
+                   static_cast<u32>(std::max(0.0, value_flag("--shards", 4))),
+                   common.jobs);
+      if (!common.trace_out.empty()) {
+        if (write_file(common.trace_out, rep->trace_json) != 0) return 1;
+        std::fprintf(stderr, "trace -> %s\n", common.trace_out.c_str());
+      }
+      if (common.metrics) {
+        std::fputs(rep->metrics.to_string().c_str(), stdout);
+      }
+      return rep->aborted || rep->applied != rep->targets ? 1 : 0;
+    }
     fleet::FleetOptions o;
     std::string batch_csv = string_flag("--batch", "");
     if (!batch_csv.empty()) {
