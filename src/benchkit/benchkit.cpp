@@ -178,6 +178,68 @@ T3Row run_t3_row(size_t size, u64 seed) {
   return row;
 }
 
+/// Splice-vs-trampoline leg (gated table3 row): the same splice-eligible
+/// case applied twice on identical deployments — once through the default
+/// mem_X + trampoline path, once with LifecycleOptions::allow_splice so the
+/// enclave lays the body out in place. Both downtime figures are modeled
+/// (virtual cycles), so the row is golden-comparable and the in-place
+/// write's cheaper per-byte cost shows up as a deterministic reduction.
+struct T3SpliceRow {
+  Status st = Status::ok();
+  u64 code_bytes = 0;
+  u64 tramp_downtime_cycles = 0;
+  u64 splice_downtime_cycles = 0;
+  u64 spliced = 0;  // members installed in place (must be > 0)
+};
+
+T3SpliceRow run_t3_splice_row(size_t size, u64 seed) {
+  T3SpliceRow row;
+  cve::CveCase c = testbed::make_splice_sweep_case(size);
+  auto leg = [&](bool splice) -> Result<u64> {
+    testbed::TestbedOptions topts;
+    topts.layout = testbed::layout_for_patch_bytes(size);
+    topts.seed = seed;
+    auto tb = testbed::Testbed::boot(c, std::move(topts));
+    if (!tb) return tb.status();
+    core::LifecycleOptions lo;
+    lo.allow_splice = splice;
+    auto rep = (*tb)->kshot().live_patch(c.id, lo);
+    if (!rep) return rep.status();
+    if (!rep->success) {
+      return Status{Errc::kInternal,
+                    std::string("splice-leg apply failed: ") +
+                        core::smm_status_name(rep->smm_status)};
+    }
+    auto inv = (*tb)->kshot().query_applied();
+    if (!inv) return inv.status();
+    if (inv->units.size() != 1) {
+      return Status{Errc::kInternal, "splice leg: expected one applied unit"};
+    }
+    row.code_bytes = inv->units[0].code_bytes;
+    if (splice) {
+      row.spliced = inv->units[0].spliced;
+      if (row.spliced == 0) {
+        return Status{Errc::kInternal,
+                      "splice leg installed no in-place members: " + c.id};
+      }
+    }
+    return rep->downtime_cycles;
+  };
+  auto tramp = leg(false);
+  if (!tramp) {
+    row.st = tramp.status();
+    return row;
+  }
+  row.tramp_downtime_cycles = *tramp;
+  auto spliced = leg(true);
+  if (!spliced) {
+    row.st = spliced.status();
+    return row;
+  }
+  row.splice_downtime_cycles = *spliced;
+  return row;
+}
+
 // ---- Table 4: batched-session matrix -------------------------------------
 
 struct T4BatchRow {
@@ -402,12 +464,20 @@ Result<BenchResults> run_bench(const BenchOptions& opts) {
   // ---- Table 3 ------------------------------------------------------------
   std::vector<size_t> sizes = sweep_sizes(opts.quick);
   std::vector<T3Row> t3(sizes.size());
-  parallel_for(static_cast<u32>(sizes.size()), opts.jobs, [&](u32 i) {
-    t3[i] = run_t3_row(sizes[i], opts.seed + 7919 * (i + 1));
+  T3SpliceRow splice_row;
+  const size_t splice_bytes = 4096;
+  // One extra thunk for the splice-vs-trampoline leg (index sizes.size()).
+  parallel_for(static_cast<u32>(sizes.size()) + 1, opts.jobs, [&](u32 i) {
+    if (i < sizes.size()) {
+      t3[i] = run_t3_row(sizes[i], opts.seed + 7919 * (i + 1));
+    } else {
+      splice_row = run_t3_splice_row(splice_bytes, opts.seed + 104033);
+    }
   });
   for (const T3Row& r : t3) {
     if (!r.st.is_ok()) return r.st;
   }
+  if (!splice_row.st.is_ok()) return splice_row.st;
 
   {
     Json j;
@@ -426,6 +496,20 @@ Result<BenchResults> run_bench(const BenchOptions& opts) {
       j.field("detection_overhead", scaled(r.detection_cycles, cs));
       j.close_row();
     }
+    j.open_row();
+    j.field("name", "splice-" + std::to_string(splice_bytes));
+    j.field("code_bytes", splice_row.code_bytes);
+    j.field("trampoline_downtime_cycles",
+            scaled(splice_row.tramp_downtime_cycles, cs));
+    j.field("splice_downtime_cycles",
+            scaled(splice_row.splice_downtime_cycles, cs));
+    // Gated ratio (lower is better): in-place splicing must stay cheaper
+    // than the mem_X + trampoline path for the same body.
+    j.field("splice_cost_ratio",
+            static_cast<double>(splice_row.splice_downtime_cycles) /
+                static_cast<double>(splice_row.tramp_downtime_cycles));
+    j.field("spliced_members", splice_row.spliced);
+    j.close_row();
     j.close_arr();
     j.close_obj();
     res.table3_json = j.finish();

@@ -6,6 +6,7 @@
 
 #include "common/byte_io.hpp"
 #include "common/log.hpp"
+#include "crypto/simple_hash.hpp"
 
 namespace kshot::core {
 
@@ -240,13 +241,27 @@ void Kshot::abort_session(PatchReport& report) {
 
 Status Kshot::apply_with_retry(
     const std::function<Result<SmmStatus>()>& attempt_once,
-    PatchReport& report) {
+    PatchReport& report,
+    const std::function<bool()>& applied_probe) {
   Backoff backoff(retry_, retry_rng_);
   for (u32 attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
     ++report.resilience.apply_attempts;
     metrics().counter("kshot.apply_attempts").inc();
     auto res = attempt_once();
     if (res && *res == SmmStatus::kOk) {
+      report.smm_status = SmmStatus::kOk;
+      report.success = true;
+      return Status::ok();
+    }
+
+    // A transport failure leaves the attempt's outcome unknown: an
+    // interposer that garbled the echo (or swallowed the reply) may have
+    // let the apply SMI run to completion first. Ask the handler what is
+    // actually installed before deciding — re-staging an already-applied
+    // set would (correctly) be rejected for overlapping its own windows.
+    if (!res && applied_probe && applied_probe()) {
+      emit_instant("apply_confirmed_by_query",
+                   {{"attempt", std::to_string(attempt)}});
       report.smm_status = SmmStatus::kOk;
       report.success = true;
       return Status::ok();
@@ -278,6 +293,11 @@ Status Kshot::apply_with_retry(
 }
 
 Result<PatchReport> Kshot::live_patch(const std::string& patch_id) {
+  return live_patch(patch_id, LifecycleOptions{});
+}
+
+Result<PatchReport> Kshot::live_patch(const std::string& patch_id,
+                                      const LifecycleOptions& opts) {
   if (!installed_) {
     return Status{Errc::kFailedPrecondition, "install() first"};
   }
@@ -303,6 +323,25 @@ Result<PatchReport> Kshot::live_patch(const std::string& patch_id) {
   }
 
   // ---- Preprocess once: deterministic, and it consumes mem_X budget ------
+  // Lifecycle directives go to the enclave first (single-shot; the next
+  // preprocess consumes them). Splice eligibility needs the old footprints,
+  // which only the helper side has — the kernel symbol table.
+  if (!opts.empty()) {
+    std::vector<KshotEnclave::OldSizeEntry> old_sizes;
+    if (opts.allow_splice) {
+      old_sizes.reserve(kernel_.image().symbols.size());
+      for (const auto& sym : kernel_.image().symbols) {
+        old_sizes.push_back(
+            {crypto::sdbm(to_bytes(sym.name)), sym.size});
+      }
+    }
+    if (Status st = enclave_->set_lifecycle(opts.depends, opts.supersedes,
+                                            opts.allow_splice, old_sizes);
+        !st.is_ok()) {
+      notify_phase(PatchPhase::kFailed);
+      return st;
+    }
+  }
   auto t0 = Clock::now();
   auto prep_stats = enclave_->preprocess();
   if (!prep_stats) {
@@ -359,7 +398,9 @@ Result<PatchReport> Kshot::live_patch(const std::string& patch_id) {
     // SMI #2: decrypt, verify, apply.
     return trigger_and_status(SmmCommand::kApplyPatch);
   };
-  if (Status st = apply_with_retry(attempt_once, report); !st.is_ok()) {
+  auto applied_probe = [&] { return ids_applied({patch_id}); };
+  if (Status st = apply_with_retry(attempt_once, report, applied_probe);
+      !st.is_ok()) {
     notify_phase(PatchPhase::kFailed);
     return st;
   }
@@ -485,7 +526,9 @@ Result<PatchReport> Kshot::live_patch_batch(
 
     return trigger_and_status(SmmCommand::kApplyBatch);
   };
-  if (Status st = apply_with_retry(attempt_once, report); !st.is_ok()) {
+  auto applied_probe = [&] { return ids_applied(patch_ids); };
+  if (Status st = apply_with_retry(attempt_once, report, applied_probe);
+      !st.is_ok()) {
     notify_phase(PatchPhase::kFailed);
     return st;
   }
@@ -597,7 +640,9 @@ Result<PatchReport> Kshot::live_patch_chunked(const std::string& patch_id,
     }
     return Status{Errc::kInternal, "package sealed to zero chunks"};
   };
-  if (Status st = apply_with_retry(attempt_once, report); !st.is_ok()) {
+  auto applied_probe = [&] { return ids_applied({patch_id}); };
+  if (Status st = apply_with_retry(attempt_once, report, applied_probe);
+      !st.is_ok()) {
     notify_phase(PatchPhase::kFailed);
     return st;
   }
@@ -639,6 +684,147 @@ Result<PatchReport> Kshot::rollback() {
   report.smm.modeled_total_us =
       m.cost_model().to_us(report.downtime_cycles);
   return report;
+}
+
+Result<PatchReport> Kshot::revert_patch(const std::string& patch_id) {
+  if (!installed_) {
+    return Status{Errc::kFailedPrecondition, "install() first"};
+  }
+  auto& m = kernel_.machine();
+  Mailbox mbox(m.mem(), kernel_.layout().mem_rw_base(),
+               machine::AccessMode::normal());
+  KSHOT_RETURN_IF_ERROR(
+      mbox.write_revert_target(crypto::sdbm(to_bytes(patch_id))));
+  u64 before = m.smm_cycles();
+  auto status = trigger_and_status(SmmCommand::kRevertPatch);
+  if (!status) return status.status();
+
+  PatchReport report;
+  report.id = "(revert " + patch_id + ")";
+  report.smm_status = *status;
+  report.success = *status == SmmStatus::kOk;
+  report.downtime_cycles = m.smm_cycles() - before;
+  report.smm.modeled_total_us =
+      m.cost_model().to_us(report.downtime_cycles);
+  return report;
+}
+
+Result<AppliedInfo> Kshot::query_applied() {
+  if (!installed_) {
+    return Status{Errc::kFailedPrecondition, "install() first"};
+  }
+  auto& m = kernel_.machine();
+  const auto& lay = kernel_.layout();
+  Mailbox mbox(m.mem(), lay.mem_rw_base(), machine::AccessMode::normal());
+  auto status = trigger_and_status(SmmCommand::kQueryApplied);
+  if (!status) return status.status();
+  if (*status != SmmStatus::kOk) {
+    return Status{Errc::kInternal,
+                  std::string("kQueryApplied failed: ") +
+                      smm_status_name(*status)};
+  }
+  auto size = mbox.read_query_size();
+  if (!size) return size.status();
+  if (*size < 8 || MailboxLayout::kQueryBlob + *size > lay.mem_rw_size) {
+    return Status{Errc::kOutOfRange, "bad query blob size"};
+  }
+  auto blob = m.mem().read_bytes(lay.mem_rw_base() + MailboxLayout::kQueryBlob,
+                                 *size, machine::AccessMode::normal());
+  if (!blob) return blob.status();
+
+  ByteReader r(*blob);
+  auto magic = r.get_u32();
+  auto nunits = r.get_u32();
+  if (!magic || !nunits || *magic != kQueryMagic) {
+    return Status{Errc::kIntegrityFailure, "bad query blob magic"};
+  }
+  auto get_string8 = [&r]() -> Result<std::string> {
+    auto n = r.get_u8();
+    if (!n) return n.status();
+    auto b = r.get_bytes(*n);
+    if (!b) return b.status();
+    return std::string(b->begin(), b->end());
+  };
+  AppliedInfo info;
+  info.units.reserve(*nunits);
+  for (u32 i = 0; i < *nunits; ++i) {
+    AppliedInfo::Unit u;
+    auto id = get_string8();
+    if (!id) return id.status();
+    u.id = std::move(*id);
+    auto kv = get_string8();
+    if (!kv) return kv.status();
+    u.kernel_version = std::move(*kv);
+    auto seq = r.get_u64();
+    auto hash = r.get_u64();
+    auto funcs = r.get_u32();
+    auto code = r.get_u32();
+    auto spl = r.get_u8();
+    if (!seq || !hash || !funcs || !code || !spl) {
+      return Status{Errc::kOutOfRange, "truncated query blob"};
+    }
+    u.seq = *seq;
+    u.id_hash = *hash;
+    u.functions = *funcs;
+    u.code_bytes = *code;
+    u.spliced = *spl;
+    info.units.push_back(std::move(u));
+  }
+  auto used = r.get_u64();
+  auto free = r.get_u64();
+  auto next = r.get_u32();
+  if (!used || !free || !next) {
+    return Status{Errc::kOutOfRange, "truncated query blob"};
+  }
+  info.memx_used = *used;
+  info.memx_free = *free;
+  info.extents.reserve(*next);
+  for (u32 i = 0; i < *next; ++i) {
+    auto base = r.get_u64();
+    auto len = r.get_u64();
+    if (!base || !len) {
+      return Status{Errc::kOutOfRange, "truncated query blob"};
+    }
+    info.extents.emplace_back(*base, *len);
+  }
+  return info;
+}
+
+bool Kshot::ids_applied(const std::vector<std::string>& ids) {
+  auto info = query_applied();
+  if (!info) return false;
+  for (const std::string& id : ids) {
+    bool found = false;
+    for (const auto& u : info->units) {
+      if (u.id == id) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+Status Kshot::reclaim_mem_x() {
+  if (!installed_) return {Errc::kFailedPrecondition, "install() first"};
+  auto info = query_applied();
+  if (!info) return info.status();
+  const auto& lay = kernel_.layout();
+  // Free extents = mem_X minus the occupied extents (already sorted by base;
+  // clamp defensively since the blob crossed untrusted mem_RW).
+  std::vector<KshotEnclave::FreeExtent> free;
+  u64 cursor = lay.mem_x_base();
+  const u64 end = lay.mem_x_base() + lay.mem_x_size;
+  for (const auto& [base, len] : info->extents) {
+    u64 b = std::max(base, lay.mem_x_base());
+    u64 e = std::min(base + len, end);
+    if (b >= e) continue;
+    if (b > cursor) free.push_back({cursor, b - cursor});
+    cursor = std::max(cursor, e);
+  }
+  if (cursor < end) free.push_back({cursor, end - cursor});
+  return enclave_->set_mem_x_map(free);
 }
 
 Status Kshot::arm_kernel_guard() {

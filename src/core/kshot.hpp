@@ -82,6 +82,45 @@ enum class PatchPhase : u8 {
 
 const char* patch_phase_name(PatchPhase p);
 
+/// Lifecycle directives for one live_patch run (the patch-stack features).
+struct LifecycleOptions {
+  /// Set ids that must already be applied on the target (enforced in SMM:
+  /// kMissingDependency if not).
+  std::vector<std::string> depends;
+  /// Set ids this cumulative patch retires: their trampolines/splices are
+  /// removed and their mem_X slots freed atomically, under the same SMI
+  /// that installs this set. Ids not applied on the target are skipped.
+  std::vector<std::string> supersedes;
+  /// Let the enclave splice functions in place (body written over the old
+  /// function, no mem_X copy, no trampoline) whenever the new body fits the
+  /// old footprint per the kernel symbol table.
+  bool allow_splice = false;
+
+  [[nodiscard]] bool empty() const {
+    return depends.empty() && supersedes.empty() && !allow_splice;
+  }
+};
+
+/// Parsed kQueryApplied inventory ("KSHQ" blob): the applied patch stack and
+/// mem_X occupancy as SMM sees them.
+struct AppliedInfo {
+  struct Unit {
+    std::string id;
+    std::string kernel_version;
+    u64 seq = 0;      // apply order
+    u64 id_hash = 0;  // SDBM of id (the kRevertTarget key)
+    u32 functions = 0;
+    u32 code_bytes = 0;
+    u8 spliced = 0;   // members installed as in-place splices
+  };
+  std::vector<Unit> units;
+  u64 memx_used = 0;
+  u64 memx_free = 0;
+  /// Occupied mem_X extents (base, len), sorted by base — the input to
+  /// free-extent computation for slot reclamation.
+  std::vector<std::pair<u64, u64>> extents;
+};
+
 struct DosCheckReport {
   bool smm_alive = false;         // heartbeat advanced when poked
   bool staging_attempted = false;  // helper app tried to stage a package
@@ -107,6 +146,13 @@ class Kshot {
   /// OS keeps running except during the two SMIs.
   Result<PatchReport> live_patch(const std::string& patch_id);
 
+  /// live_patch with lifecycle directives: dependency declarations,
+  /// supersede lists, and splice eligibility ride to the enclave (stamped
+  /// into the wire-v2 package) and are enforced in SMM. With empty options
+  /// this is byte-for-byte the plain live_patch path.
+  Result<PatchReport> live_patch(const std::string& patch_id,
+                                 const LifecycleOptions& opts);
+
   /// Batched end-to-end patching: fetches and preprocesses each id in
   /// order, accumulates the processed packages in the enclave, then runs
   /// ONE seal->stage->apply session whose single kApplyBatch SMI installs
@@ -126,6 +172,22 @@ class Kshot {
 
   /// Rolls back the most recent patch (remote rollback instruction, §V-C).
   Result<PatchReport> rollback();
+
+  /// Out-of-order revert of the applied set `patch_id`, wherever it sits in
+  /// the stack. SMM refuses (kRevertBlocked) while another applied unit
+  /// depends on it; kNothingToRollback if it is not applied.
+  Result<PatchReport> revert_patch(const std::string& patch_id);
+
+  /// kQueryApplied SMI: the applied patch stack (ids, versions, apply order,
+  /// splice counts) and mem_X occupancy, as SMM reports them through the
+  /// mem_RW inventory blob.
+  Result<AppliedInfo> query_applied();
+
+  /// Slot reclamation: queries the applied set, computes the free extents
+  /// of mem_X (everything outside the occupied extents), and hands the map
+  /// to the enclave, whose layout allocator first-fits later packages into
+  /// the gaps that revert/supersede left behind.
+  Status reclaim_mem_x();
 
   /// SMM introspection sweep (§V-D): verifies and repairs trampolines,
   /// mem_X contents, and reserved-region page attributes.
@@ -222,9 +284,20 @@ class Kshot {
   /// between failed attempts so each retry stages against a clean epoch.
   /// Ok when the report carries the outcome (success or a final SmmStatus
   /// failure); an error Status only for unrecoverable transport failures.
+  /// A transport-level failure (no SmmStatus came back) is ambiguous — the
+  /// SMI may have run and applied before the channel broke, and blindly
+  /// re-applying would collide with the already-installed windows. When
+  /// `applied_probe` is set it is consulted (via kQueryApplied) before any
+  /// retry; a positive probe resolves the attempt as success.
   Status apply_with_retry(
       const std::function<Result<SmmStatus>()>& attempt_once,
-      PatchReport& report);
+      PatchReport& report,
+      const std::function<bool()>& applied_probe = nullptr);
+
+  /// True when every id in `ids` shows up in the handler's applied set
+  /// (one kQueryApplied SMI). Only consulted on ambiguous apply attempts —
+  /// a clean success or a definite SmmStatus failure never probes.
+  bool ids_applied(const std::vector<std::string>& ids);
 
   void notify_phase(PatchPhase p) {
     if (phase_observer_) phase_observer_(p);

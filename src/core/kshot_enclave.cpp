@@ -1,5 +1,6 @@
 #include "core/kshot_enclave.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
@@ -131,6 +132,44 @@ Result<Bytes> KshotEnclave::seal_batch_for_smm(
   return ecall(kEcallSealBatch, ByteSpan(smm_pub.data(), smm_pub.size()));
 }
 
+Status KshotEnclave::set_lifecycle(const std::vector<std::string>& depends,
+                                   const std::vector<std::string>& supersedes,
+                                   bool allow_splice,
+                                   const std::vector<OldSizeEntry>& old_sizes) {
+  if (depends.size() > 255 || supersedes.size() > 255) {
+    return {Errc::kInvalidArgument, "too many lifecycle ids"};
+  }
+  ByteWriter w;
+  auto put_string8 = [&w](const std::string& s) {
+    size_t n = std::min<size_t>(s.size(), 255);
+    w.put_u8(static_cast<u8>(n));
+    w.put_bytes(ByteSpan(reinterpret_cast<const u8*>(s.data()), n));
+  };
+  w.put_u8(static_cast<u8>(depends.size()));
+  for (const auto& d : depends) put_string8(d);
+  w.put_u8(static_cast<u8>(supersedes.size()));
+  for (const auto& s : supersedes) put_string8(s);
+  w.put_u8(allow_splice ? 1 : 0);
+  w.put_u16(static_cast<u16>(std::min<size_t>(old_sizes.size(), 65535)));
+  for (const auto& e : old_sizes) {
+    w.put_u64(e.name_hash);
+    w.put_u32(e.old_size);
+  }
+  auto r = ecall(kEcallSetLifecycle, w.bytes());
+  return r.is_ok() ? Status::ok() : r.status();
+}
+
+Status KshotEnclave::set_mem_x_map(const std::vector<FreeExtent>& free_extents) {
+  ByteWriter w;
+  w.put_u32(static_cast<u32>(free_extents.size()));
+  for (const auto& e : free_extents) {
+    w.put_u64(e.base);
+    w.put_u64(e.len);
+  }
+  auto r = ecall(kEcallSetMemXMap, w.bytes());
+  return r.is_ok() ? Status::ok() : r.status();
+}
+
 void KshotEnclave::set_metrics(obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     c_prep_hits_ = nullptr;
@@ -157,6 +196,8 @@ Result<Bytes> KshotEnclave::handle_ecall(int fn, ByteSpan input) {
     case kEcallBatchReset: name = "batch_reset"; break;
     case kEcallBatchAdd: name = "batch_add"; break;
     case kEcallSealBatch: name = "seal_batch"; break;
+    case kEcallSetLifecycle: name = "set_lifecycle"; break;
+    case kEcallSetMemXMap: name = "set_mem_x_map"; break;
   }
   auto t0 = std::chrono::steady_clock::now();
   u64 c0 = vclock_ ? vclock_() : 0;
@@ -198,6 +239,10 @@ Result<Bytes> KshotEnclave::dispatch_ecall(int fn, ByteSpan input) {
       return do_batch_add();
     case kEcallSealBatch:
       return do_seal_batch(input);
+    case kEcallSetLifecycle:
+      return do_set_lifecycle(input);
+    case kEcallSetMemXMap:
+      return do_set_mem_x_map(input);
     default:
       return Status{Errc::kInvalidArgument, "unknown ecall"};
   }
@@ -278,9 +323,61 @@ Result<Bytes> KshotEnclave::do_preprocess() {
                               ? patchtool::PatchOp::kPatch
                               : set.patches[0].op;
 
+  // 0. Consume pending lifecycle directives (single-shot): stamp the
+  //    depends/supersedes lists, and mark as in-place splices the functions
+  //    whose new body fits the old footprint. A splice is laid out at its
+  //    kernel-text address — no mem_X slot, no trampoline.
+  if (lifecycle_pending_) {
+    lifecycle_pending_ = false;
+    set.depends = std::move(pending_depends_);
+    set.supersedes = std::move(pending_supersedes_);
+    if (pending_allow_splice_) {
+      for (auto& p : set.patches) {
+        auto it = pending_old_sizes_.find(crypto::sdbm(to_bytes(p.name)));
+        if (it != pending_old_sizes_.end() && p.taddr != 0 &&
+            it->second != 0 && p.code.size() <= it->second) {
+          p.splice = true;
+          p.old_size = it->second;
+        }
+      }
+    }
+    pending_depends_.clear();
+    pending_supersedes_.clear();
+    pending_allow_splice_ = false;
+    pending_old_sizes_.clear();
+  }
+
   // 1. Lay the patched functions out in mem_X (paper §V-C: p1 at the base,
-  //    p_i at p_{i-1}.paddr + p_{i-1}.size), 16-byte aligned.
+  //    p_i at p_{i-1}.paddr + p_{i-1}.size), 16-byte aligned. With a
+  //    free-extent map installed (set_mem_x_map) the layout first-fits into
+  //    the reclaimed gaps instead of advancing the monotonic cursor.
+  //    Spliced functions take no slot: their body lands over the old
+  //    function in kernel text.
   for (auto& p : set.patches) {
+    if (p.splice) {
+      p.paddr = 0;
+      continue;
+    }
+    if (memx_map_set_) {
+      bool placed = false;
+      for (auto& e : memx_free_) {
+        u64 aligned = (e.base + 15) & ~u64{15};
+        u64 pad = aligned - e.base;
+        if (pad <= e.len && p.code.size() <= e.len - pad) {
+          p.paddr = aligned;
+          u64 consumed = pad + p.code.size();
+          e.base += consumed;
+          e.len -= consumed;
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        return Status{Errc::kResourceExhausted,
+                      "mem_X exhausted (no free extent fits)"};
+      }
+      continue;
+    }
     u64 aligned = (mem_x_cursor_ + 15) & ~u64{15};
     if (aligned + p.code.size() > geom_.mem_x_size) {
       return Status{Errc::kResourceExhausted, "mem_X exhausted"};
@@ -296,6 +393,9 @@ Result<Bytes> KshotEnclave::do_preprocess() {
   //    body is valid exactly when the transformation inputs repeat (e.g. a
   //    re-preprocess of the same package at the same mem_X layout).
   for (auto& p : set.patches) {
+    // A spliced body runs from the old function's address, so rel32 fixups
+    // are computed against taddr, not a mem_X slot.
+    const u64 reloc_base = p.splice ? p.taddr : p.paddr;
     std::vector<u64> targets;
     targets.reserve(p.relocs.size());
     for (const auto& rel : p.relocs) {
@@ -305,7 +405,9 @@ Result<Bytes> KshotEnclave::do_preprocess() {
           return Status{Errc::kIntegrityFailure, "bad intra-set reloc"};
         }
         const auto& callee = set.patches[rel.patch_index];
-        target = callee.paddr + callee.ftrace_off;
+        // A spliced callee's body lives at its kernel-text address.
+        u64 callee_base = callee.splice ? callee.taddr : callee.paddr;
+        target = callee_base + callee.ftrace_off;
       } else {
         target = rel.target;
       }
@@ -317,7 +419,7 @@ Result<Bytes> KshotEnclave::do_preprocess() {
 
     ByteWriter keybuf;
     keybuf.put_bytes(p.code);
-    keybuf.put_u64(p.paddr);
+    keybuf.put_u64(reloc_base);
     for (size_t k = 0; k < p.relocs.size(); ++k) {
       keybuf.put_u32(p.relocs[k].offset);
       keybuf.put_u64(targets[k]);
@@ -329,8 +431,8 @@ Result<Bytes> KshotEnclave::do_preprocess() {
       if (c_prep_hits_) c_prep_hits_->inc();
     } else {
       for (size_t k = 0; k < p.relocs.size(); ++k) {
-        isa::retarget_rel32(MutByteSpan(p.code), p.relocs[k].offset, p.paddr,
-                            targets[k]);
+        isa::retarget_rel32(MutByteSpan(p.code), p.relocs[k].offset,
+                            reloc_base, targets[k]);
       }
       prep_cache_.emplace(key, p.code);
       if (c_prep_misses_) c_prep_misses_->inc();
@@ -411,6 +513,82 @@ Result<Bytes> KshotEnclave::do_seal_batch(ByteSpan input) {
                   "batch envelope exceeds mem_W"};
   }
   return seal_blob_for(input, envelope);
+}
+
+Result<Bytes> KshotEnclave::do_set_lifecycle(ByteSpan input) {
+  if (!initialized_) {
+    return Status{Errc::kFailedPrecondition, "enclave not initialized"};
+  }
+  ByteReader r(input);
+  auto get_string8 = [&r]() -> Result<std::string> {
+    auto n = r.get_u8();
+    if (!n) return n.status();
+    auto b = r.get_bytes(*n);
+    if (!b) return b.status();
+    return std::string(b->begin(), b->end());
+  };
+  std::vector<std::string> depends;
+  std::vector<std::string> supersedes;
+  auto ndep = r.get_u8();
+  if (!ndep) return Status{Errc::kOutOfRange, "truncated lifecycle wire"};
+  for (u8 i = 0; i < *ndep; ++i) {
+    auto s = get_string8();
+    if (!s) return s.status();
+    depends.push_back(std::move(*s));
+  }
+  auto nsup = r.get_u8();
+  if (!nsup) return Status{Errc::kOutOfRange, "truncated lifecycle wire"};
+  for (u8 i = 0; i < *nsup; ++i) {
+    auto s = get_string8();
+    if (!s) return s.status();
+    supersedes.push_back(std::move(*s));
+  }
+  auto allow_splice = r.get_u8();
+  auto nold = r.get_u16();
+  if (!allow_splice || !nold || *allow_splice > 1) {
+    return Status{Errc::kOutOfRange, "truncated lifecycle wire"};
+  }
+  std::map<u64, u32> old_sizes;
+  for (u16 i = 0; i < *nold; ++i) {
+    auto h = r.get_u64();
+    auto sz = r.get_u32();
+    if (!h || !sz) return Status{Errc::kOutOfRange, "truncated lifecycle wire"};
+    old_sizes[*h] = *sz;
+  }
+  pending_depends_ = std::move(depends);
+  pending_supersedes_ = std::move(supersedes);
+  pending_allow_splice_ = *allow_splice != 0;
+  pending_old_sizes_ = std::move(old_sizes);
+  lifecycle_pending_ = true;
+  return Bytes{};
+}
+
+Result<Bytes> KshotEnclave::do_set_mem_x_map(ByteSpan input) {
+  if (!initialized_) {
+    return Status{Errc::kFailedPrecondition, "enclave not initialized"};
+  }
+  ByteReader r(input);
+  auto count = r.get_u32();
+  if (!count) return Status{Errc::kOutOfRange, "truncated extent map"};
+  std::vector<FreeExtent> extents;
+  extents.reserve(*count);
+  for (u32 i = 0; i < *count; ++i) {
+    auto base = r.get_u64();
+    auto len = r.get_u64();
+    if (!base || !len) {
+      return Status{Errc::kOutOfRange, "truncated extent map"};
+    }
+    // Every extent must sit inside the reserved mem_X window (overflow-safe).
+    if (*base < geom_.mem_x_base ||
+        *base - geom_.mem_x_base > geom_.mem_x_size ||
+        *len > geom_.mem_x_size - (*base - geom_.mem_x_base)) {
+      return Status{Errc::kOutOfRange, "extent outside mem_X"};
+    }
+    if (*len != 0) extents.push_back({*base, *len});
+  }
+  memx_free_ = std::move(extents);
+  memx_map_set_ = true;
+  return Bytes{};
 }
 
 Result<Bytes> KshotEnclave::do_begin_seal_chunked(ByteSpan input) {

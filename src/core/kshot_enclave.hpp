@@ -40,6 +40,13 @@ enum EnclaveCall : int {
   kEcallBatchAdd = 9,          // append the current processed package to the
                                // EPC-resident batch accumulator
   kEcallSealBatch = 10,        // seal the accumulated batch envelope for SMM
+  kEcallSetLifecycle = 11,     // single-shot lifecycle directives (depends/
+                               // supersedes lists, splice eligibility) the
+                               // next preprocess stamps into the package
+  kEcallSetMemXMap = 12,       // replace the mem_X layout cursor with a
+                               // free-extent map (slot reclamation): the
+                               // allocator first-fits into the gaps revert
+                               // and supersede left behind
 };
 
 /// Geometry of the reserved region, passed to the enclave at initialization.
@@ -102,6 +109,32 @@ class KshotEnclave final : public sgx::Enclave {
   /// Resets the mem_X layout cursor (fresh reserved region).
   void reset_mem_x_cursor() { mem_x_cursor_ = 0; }
 
+  /// One function's linked size, keyed by SDBM name hash — the splice
+  /// eligibility input (a splice body must fit the old footprint).
+  struct OldSizeEntry {
+    u64 name_hash = 0;
+    u32 old_size = 0;
+  };
+  /// Single-shot lifecycle directives: the next preprocess stamps `depends`/
+  /// `supersedes` into the package and, when `allow_splice` is set, marks
+  /// every function whose body fits its old footprint (per `old_sizes`) as
+  /// an in-place splice — laid out at its kernel-text address, no mem_X
+  /// slot. Cleared once consumed.
+  Status set_lifecycle(const std::vector<std::string>& depends,
+                       const std::vector<std::string>& supersedes,
+                       bool allow_splice,
+                       const std::vector<OldSizeEntry>& old_sizes);
+  /// A free byte extent of mem_X (absolute addresses).
+  struct FreeExtent {
+    u64 base = 0;
+    u64 len = 0;
+  };
+  /// Replaces the monotonic layout cursor with a free-extent map: subsequent
+  /// preprocesses first-fit (16-byte aligned) into the extents, so slots
+  /// freed by revert/supersede are reclaimed instead of leaking forever.
+  /// Without a map the legacy cursor keeps every historical layout stable.
+  Status set_mem_x_map(const std::vector<FreeExtent>& free_extents);
+
   /// Mirrors the preprocessing-cache counters into `metrics` as
   /// "enclave.prep_hits"/"enclave.prep_misses". Null disables mirroring.
   void set_metrics(obs::MetricsRegistry* metrics);
@@ -130,6 +163,8 @@ class KshotEnclave final : public sgx::Enclave {
   Result<Bytes> do_get_chunk(ByteSpan input);
   Result<Bytes> do_batch_add();
   Result<Bytes> do_seal_batch(ByteSpan input);
+  Result<Bytes> do_set_lifecycle(ByteSpan input);
+  Result<Bytes> do_set_mem_x_map(ByteSpan input);
   /// Shared seal leg: fresh DH against `smm_pub`, "sgx-smm" key, random
   /// nonce; returns enclave_pub(32) || sealed wire.
   Result<Bytes> seal_blob_for(ByteSpan smm_pub_bytes, const Bytes& plain);
@@ -150,6 +185,19 @@ class KshotEnclave final : public sgx::Enclave {
   u64 mem_x_cursor_ = 0;
   u64 raw_size_ = 0;
   u64 processed_size_ = 0;
+
+  // Pending lifecycle directives (single-shot, consumed by the next
+  // preprocess; conceptually EPC-resident).
+  bool lifecycle_pending_ = false;
+  std::vector<std::string> pending_depends_;
+  std::vector<std::string> pending_supersedes_;
+  bool pending_allow_splice_ = false;
+  std::map<u64, u32> pending_old_sizes_;  // name hash -> linked size
+
+  // mem_X free-extent map; empty + !memx_map_set_ means the legacy
+  // monotonic cursor is in charge.
+  bool memx_map_set_ = false;
+  std::vector<FreeExtent> memx_free_;
 
   // Batch accumulator (conceptually EPC-resident, like server_session_).
   std::vector<Bytes> batch_pkgs_;

@@ -14,6 +14,8 @@ const char* smm_status_name(SmmStatus s) {
     case SmmStatus::kBadCommand: return "bad command";
     case SmmStatus::kChunkAccepted: return "chunk accepted";
     case SmmStatus::kChunkOutOfOrder: return "chunk out of order";
+    case SmmStatus::kMissingDependency: return "missing dependency";
+    case SmmStatus::kRevertBlocked: return "revert blocked by dependent";
   }
   return "?";
 }
@@ -26,7 +28,7 @@ Status Mailbox::write_command(SmmCommand cmd) {
 Result<SmmCommand> Mailbox::read_command() const {
   auto v = mem_.read_u64(base_ + MailboxLayout::kCommand, mode_);
   if (!v) return v.status();
-  if (*v > static_cast<u64>(SmmCommand::kApplyBatch)) {
+  if (*v > static_cast<u64>(SmmCommand::kRevertPatch)) {
     return SmmCommand::kIdle;
   }
   return static_cast<SmmCommand>(*v);
@@ -132,6 +134,22 @@ Result<u64> Mailbox::read_status_cmd() const {
   return mem_.read_u64(base_ + MailboxLayout::kStatusCmd, mode_);
 }
 
+Status Mailbox::write_revert_target(u64 id_hash) {
+  return mem_.write_u64(base_ + MailboxLayout::kRevertTarget, id_hash, mode_);
+}
+
+Result<u64> Mailbox::read_revert_target() const {
+  return mem_.read_u64(base_ + MailboxLayout::kRevertTarget, mode_);
+}
+
+Status Mailbox::write_query_size(u64 n) {
+  return mem_.write_u64(base_ + MailboxLayout::kQuerySize, n, mode_);
+}
+
+Result<u64> Mailbox::read_query_size() const {
+  return mem_.read_u64(base_ + MailboxLayout::kQuerySize, mode_);
+}
+
 Result<MailboxSnapshot> Mailbox::snapshot() const {
   MailboxSnapshot s;
   auto raw = mem_.read_u64(base_ + MailboxLayout::kCommand, mode_);
@@ -166,6 +184,9 @@ Result<MailboxSnapshot> Mailbox::snapshot() const {
   auto epoch = read_session_epoch();
   if (!epoch) return epoch.status();
   s.session_epoch = *epoch;
+  auto rt = read_revert_target();
+  if (!rt) return rt.status();
+  s.revert_target = *rt;
   return s;
 }
 

@@ -28,6 +28,12 @@ enum class SmmCommand : u64 {
   kApplyBatch = 7,    // decrypt the staged blob as a batch envelope carrying
                       // N packages; verify and apply all of them under this
                       // one SMI, all-or-nothing, one rollback unit each
+  kQueryApplied = 8,  // write the applied-set inventory ("KSHQ" blob: unit
+                      // ids, versions, mem_X occupancy) into mem_RW; no
+                      // session needed — the blob carries no secrets
+  kRevertPatch = 9,   // out-of-order revert of the applied unit whose id
+                      // hash is in kRevertTarget, refused while another
+                      // applied unit depends on it (kRevertBlocked)
 };
 
 /// SMM status codes (mirrored into PatchReport).
@@ -42,10 +48,17 @@ enum class SmmStatus : u64 {
   kBadCommand = 7,
   kChunkAccepted = 8,   // streaming: chunk stored, send the next one
   kChunkOutOfOrder = 9, // streaming: unexpected index; session aborted
+  kMissingDependency = 10,  // package depends on ids that are not applied
+                            // (and not provided by the sets it supersedes)
+  kRevertBlocked = 11,  // another applied unit still depends on the revert
+                        // target; revert it (or a superseding unit) first
 };
 
 /// Human-readable name of an SMM status code (diagnostics and reports).
 const char* smm_status_name(SmmStatus s);
+
+/// Leading magic of the kQueryApplied inventory blob ("KSHQ", little-endian).
+inline constexpr u32 kQueryMagic = 0x51485348;
 
 /// Field offsets within mem_RW.
 struct MailboxLayout {
@@ -71,6 +84,14 @@ struct MailboxLayout {
                                                // the helper issued proves the
                                                // command word was flipped
                                                // between write and SMI
+  static constexpr u64 kRevertTarget = 0x88;   // u64: SDBM hash of the patch
+                                               // set id kRevertPatch removes
+  static constexpr u64 kQuerySize = 0x90;      // u64: bytes of the "KSHQ"
+                                               // blob kQueryApplied wrote at
+                                               // kQueryBlob
+  /// kQueryApplied writes its inventory blob here (mem_RW is the only
+  /// reserved region the kernel may read back).
+  static constexpr u64 kQueryBlob = 0x100;
 };
 
 /// One coherent copy of every mailbox field, read in a single pass at SMI
@@ -91,9 +112,10 @@ struct MailboxSnapshot {
   u64 cmd_seq = 0;
   u64 cmd_seq_echo = 0;
   u64 session_epoch = 0;
+  u64 revert_target = 0;
 
   [[nodiscard]] bool command_in_range() const {
-    return raw_command <= static_cast<u64>(SmmCommand::kApplyBatch);
+    return raw_command <= static_cast<u64>(SmmCommand::kRevertPatch);
   }
 };
 
@@ -125,6 +147,10 @@ class Mailbox {
   Result<u64> read_session_epoch() const;
   Status write_status_cmd(u64 raw_cmd);
   Result<u64> read_status_cmd() const;
+  Status write_revert_target(u64 id_hash);
+  Result<u64> read_revert_target() const;
+  Status write_query_size(u64 n);
+  Result<u64> read_query_size() const;
 
   /// Single-fetch read of every field (see MailboxSnapshot).
   Result<MailboxSnapshot> snapshot() const;

@@ -2,8 +2,11 @@
 
 #include <cstring>
 
+#include <algorithm>
+
 #include "common/byte_io.hpp"
 #include "common/log.hpp"
+#include "crypto/simple_hash.hpp"
 #include "crypto/x25519.hpp"
 
 namespace kshot::core {
@@ -167,6 +170,14 @@ void SmmPatchHandler::on_smi(machine::Machine& m) {
         case SmmCommand::kRollback:
           cmd_name = "rollback";
           mbox.write_status(rollback(m));
+          break;
+        case SmmCommand::kRevertPatch:
+          cmd_name = "revert_patch";
+          mbox.write_status(revert_patch(m, snap));
+          break;
+        case SmmCommand::kQueryApplied:
+          cmd_name = "query_applied";
+          mbox.write_status(query_applied(m, mbox));
           break;
         case SmmCommand::kIntrospect:
           cmd_name = "introspect";
@@ -424,6 +435,14 @@ SmmStatus SmmPatchHandler::apply_batch(machine::Machine& m, Mailbox& mbox,
         break;
       }
     }
+    // Lifecycle operations (supersede/depends/splice) are single-package:
+    // retiring units mid-batch while later members still validate against
+    // them has no sane all-or-nothing semantics, so an inner package
+    // carrying lifecycle data is rejected outright.
+    if (verdict == SmmStatus::kOk && set->has_lifecycle()) {
+      verdict = SmmStatus::kBadPackage;
+      fail_instant = "lifecycle_in_batch";
+    }
     if (verdict != SmmStatus::kOk) break;
     sets.push_back(std::move(*set));
   }
@@ -434,13 +453,17 @@ SmmStatus SmmPatchHandler::apply_batch(machine::Machine& m, Mailbox& mbox,
   }
 
   // ---- Cross-batch validation: if any set would fail validation, reject
-  //      the whole batch before a single byte of memory changes. ----------
+  //      the whole batch before a single byte of memory changes. Earlier
+  //      members' write windows feed later members' overlap checks, so two
+  //      inner packages cannot claim the same mem_X slot or entry point.
+  std::vector<ByteWindow> prior_windows;
   for (const auto& set : sets) {
-    SmmStatus v = validate_set(set);
+    SmmStatus v = validate_set(set, nullptr, &prior_windows);
     if (v != SmmStatus::kOk) {
       emit_instant(m, "batch_validation_failed");
       return v;
     }
+    for (const auto& p : set.patches) collect_windows(p, prior_windows);
   }
 
   // ---- Application: one rollback unit per package; a mid-batch write
@@ -522,6 +545,14 @@ SmmStatus SmmPatchHandler::verify_and_apply(machine::Machine& m,
   }
 
   // ---- Patch application (Table III "Patch Application") ------------------
+  // Spliced bytes skip the mem_X copy and trampoline, so they are charged at
+  // the cheaper splice rate; everything else pays the full apply rate. A set
+  // with no splice entries charges exactly what it always did.
+  size_t splice_code = 0;
+  for (const auto& p : set->patches) {
+    if (p.splice) splice_code += p.code.size();
+  }
+  size_t tramp_code = set->total_code_bytes() - splice_code;
   t0 = Clock::now();
   c0 = m.cycles();
   SmmStatus st;
@@ -530,15 +561,17 @@ SmmStatus SmmPatchHandler::verify_and_apply(machine::Machine& m,
   } else {
     st = apply_parsed(m, *set);
   }
-  m.charge_cycles(cost.bytes_cost(cost.apply_cycles_per_byte,
-                                  set->total_code_bytes()));
+  u64 apply_cycles =
+      cost.bytes_cost(cost.apply_cycles_per_byte, tramp_code) +
+      cost.bytes_cost(cost.splice_cycles_per_byte, splice_code);
+  m.charge_cycles(apply_cycles);
   timings_.apply_ns = phase_span(m, "apply", c0, t0);
   timings_.modeled_cycles =
       cost.keygen_cycles +
       cost.bytes_cost(cost.decrypt_cycles_per_byte, staged_bytes) +
       cost.verify_fixed_cycles +
       cost.bytes_cost(cost.verify_cycles_per_byte, package.size()) +
-      cost.bytes_cost(cost.apply_cycles_per_byte, set->total_code_bytes());
+      apply_cycles;
   return st;
 }
 
@@ -662,14 +695,54 @@ SmmStatus SmmPatchHandler::stage_chunk(machine::Machine& m, Mailbox& mbox,
   return verify_and_apply(m, package, staged_total);
 }
 
+void SmmPatchHandler::collect_windows(const patchtool::FunctionPatch& p,
+                                      std::vector<ByteWindow>& out) {
+  if (p.splice) {
+    if (!p.code.empty()) out.push_back({p.taddr, p.code.size()});
+    return;
+  }
+  if (!p.code.empty()) out.push_back({p.paddr, p.code.size()});
+  if (p.taddr != 0) out.push_back({p.taddr + p.ftrace_off, 5});
+}
+
+void SmmPatchHandler::collect_windows(const InstalledPatch& p,
+                                      std::vector<ByteWindow>& out) {
+  if (p.spliced) {
+    if (p.code_size != 0) out.push_back({p.taddr, p.code_size});
+    return;
+  }
+  if (p.code_size != 0) out.push_back({p.paddr, p.code_size});
+  if (p.taddr != 0) out.push_back({p.taddr + p.ftrace_off, 5});
+}
+
 SmmStatus SmmPatchHandler::validate_set(
-    const patchtool::PatchSet& set) const {
+    const patchtool::PatchSet& set,
+    const std::vector<bool>* retired_installed,
+    const std::vector<ByteWindow>* extra_windows) const {
   // Validate everything — bounds, preprocessing, variable-edit targets —
   // before touching memory: the whole set applies or nothing does. Nothing
   // in apply_parsed past this check may fail for a reason validation could
   // have caught.
+  std::vector<ByteWindow> mine;
   for (const auto& p : set.patches) {
-    if (!bounds_ok(p)) return SmmStatus::kBadPackage;
+    if (p.splice) {
+      // In-place splice: the body lands straight over the old function, so
+      // it must fit the old footprint and sit entirely inside kernel text.
+      // paddr is 0 by construction (the wire parser enforces it), so the
+      // mem_X bounds check does not apply.
+      if (p.taddr == 0 || p.paddr != 0) return SmmStatus::kBadPackage;
+      if (p.old_size == 0 || p.code.size() > p.old_size) {
+        return SmmStatus::kBadPackage;
+      }
+      if (p.taddr < layout_.text_base) return SmmStatus::kBadPackage;
+      u64 text_off = p.taddr - layout_.text_base;
+      if (text_off > layout_.text_max ||
+          p.code.size() > layout_.text_max - text_off) {
+        return SmmStatus::kBadPackage;
+      }
+    } else if (!bounds_ok(p)) {
+      return SmmStatus::kBadPackage;
+    }
     if (!p.relocs.empty()) return SmmStatus::kBadPackage;  // not preprocessed
     for (const auto& v : p.var_edits) {
       // Overflow-safe, like bounds_ok: `v.addr + 8` wraps for addresses near
@@ -679,6 +752,38 @@ SmmStatus SmmPatchHandler::validate_set(
         return SmmStatus::kBadPackage;
       }
     }
+    collect_windows(p, mine);
+  }
+
+  // Byte-precise overlap rejection. A set whose write windows intersect each
+  // other or an installed patch's body/trampoline would corrupt the earlier
+  // write and leave introspection repairing the two back and forth forever —
+  // reject it before anything touches memory. Records a supersede is about
+  // to retire (`retired_installed`) are exempt: the cumulative set legally
+  // re-patches the same entry points.
+  auto overlaps = [](const ByteWindow& a, const ByteWindow& b) {
+    return a.addr < b.addr + b.len && b.addr < a.addr + a.len;
+  };
+  for (size_t i = 0; i < mine.size(); ++i) {
+    for (size_t j = i + 1; j < mine.size(); ++j) {
+      if (overlaps(mine[i], mine[j])) return SmmStatus::kBadPackage;
+    }
+  }
+  std::vector<ByteWindow> others;
+  for (size_t k = 0; k < installed_.size(); ++k) {
+    if (retired_installed && k < retired_installed->size() &&
+        (*retired_installed)[k]) {
+      continue;
+    }
+    collect_windows(installed_[k], others);
+  }
+  if (extra_windows) {
+    others.insert(others.end(), extra_windows->begin(), extra_windows->end());
+  }
+  for (const auto& a : mine) {
+    for (const auto& b : others) {
+      if (overlaps(a, b)) return SmmStatus::kBadPackage;
+    }
   }
   return SmmStatus::kOk;
 }
@@ -687,8 +792,72 @@ SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
                                         const patchtool::PatchSet& set) {
   const auto mode = machine::AccessMode::smm();
 
-  SmmStatus valid = validate_set(set);
+  // 0. Resolve the supersede list against the applied stack. Predecessors a
+  //    cumulative patch names but that are not applied here (already
+  //    reverted, or never rolled out to this target) are skipped: the point
+  //    of a cumulative patch is that it carries their fixes regardless.
+  std::vector<size_t> superseded;
+  for (const auto& sid : set.supersedes) {
+    for (size_t u = 0; u < applied_units_.size(); ++u) {
+      if (applied_units_[u].id == sid) {
+        superseded.push_back(u);
+        break;
+      }
+    }
+  }
+  std::sort(superseded.begin(), superseded.end());
+  superseded.erase(std::unique(superseded.begin(), superseded.end()),
+                   superseded.end());
+
+  // Dependency fence: every declared dependency must be provided by some
+  // applied unit. Units being superseded still count — the new set inherits
+  // their provides, so depending on a set you supersede is legal (and the
+  // common cumulative-patch shape).
+  auto provided = [&](u64 h) {
+    for (const auto& u : applied_units_) {
+      for (u64 pv : u.provides) {
+        if (pv == h) return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& dep : set.depends) {
+    if (!provided(crypto::sdbm(to_bytes(dep)))) {
+      emit_instant(m, "missing_dependency");
+      return SmmStatus::kMissingDependency;
+    }
+  }
+
+  std::vector<bool> retired(installed_.size(), false);
+  for (size_t u : superseded) {
+    for (size_t idx : applied_units_[u].members) retired[idx] = true;
+  }
+  SmmStatus valid = validate_set(set, &retired, nullptr);
   if (valid != SmmStatus::kOk) return valid;
+
+  // Retire the superseded units' kernel-text effects up front (reverse apply
+  // order), so the cumulative set may legally re-patch the same entry
+  // points. Their installed_ records stay until commit: a failed apply
+  // re-installs them and the kernel ends byte-identical to its pre-SMI
+  // state.
+  for (auto it = superseded.rbegin(); it != superseded.rend(); ++it) {
+    const AppliedUnit& u = applied_units_[*it];
+    for (auto mi = u.members.rbegin(); mi != u.members.rend(); ++mi) {
+      restore_installed(m, installed_[*mi]);
+    }
+  }
+  auto reinstall_superseded = [&]() {
+    for (size_t u : superseded) {
+      for (size_t idx : applied_units_[u].members) {
+        const InstalledPatch& p = installed_[idx];
+        if (p.spliced) {
+          m.mem().write(p.taddr, p.code, mode);
+        } else if (p.taddr != 0) {
+          write_trampoline(m, p);
+        }
+      }
+    }
+  };
 
   // 1. Global/shared variable edits (paper: before redirection), remembering
   //    the overwritten values so a late failure can unwind them.
@@ -705,20 +874,30 @@ SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
                       : old.status();
       if (!st.is_ok()) {
         unwind_vars();
+        reinstall_superseded();
         return SmmStatus::kBadPackage;
       }
       var_undo.emplace_back(v.addr, *old);
     }
   }
 
-  // 2. Place the patched bodies in mem_X. mem_X is KShot-owned (never
-  //    kernel state), but a failed write still aborts the transaction.
+  // 2. Place the patched bodies in mem_X (splice entries have no mem_X
+  //    footprint; their body lands in step 3). mem_X is KShot-owned, but the
+  //    unwind still restores the overwritten bytes: a failed apply must
+  //    leave mem_X byte-identical too, or every aborted transaction leaks
+  //    its partial bodies into slots the allocator believes are free.
+  struct BodyUndo {
+    u64 addr;
+    Bytes prev;
+  };
+  std::vector<BodyUndo> body_undo;
+  auto unwind_bodies = [&]() {
+    for (auto it = body_undo.rbegin(); it != body_undo.rend(); ++it) {
+      m.mem().write(it->addr, it->prev, mode);
+    }
+  };
   std::vector<InstalledPatch> batch;
   for (const auto& p : set.patches) {
-    if (!m.mem().write(p.paddr, p.code, mode).is_ok()) {
-      unwind_vars();
-      return SmmStatus::kBadPackage;
-    }
     InstalledPatch inst;
     inst.name = p.name;
     inst.taddr = p.taddr;
@@ -727,23 +906,52 @@ SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
     inst.code_size = static_cast<u32>(p.code.size());
     inst.memx_hash = crypto::sha256(p.code);
     inst.code = p.code;  // SMRAM-kept authoritative copy (§V-D)
+    inst.spliced = p.splice;
+    if (!p.splice) {
+      auto prev = m.mem().read_bytes(p.paddr, p.code.size(), mode);
+      if (!prev || !m.mem().write(p.paddr, p.code, mode).is_ok()) {
+        unwind_bodies();
+        unwind_vars();
+        reinstall_superseded();
+        return SmmStatus::kBadPackage;
+      }
+      body_undo.push_back({p.paddr, std::move(*prev)});
+    }
     batch.push_back(std::move(inst));
   }
 
-  // 3. Install trampolines, preserving the 5-byte kernel-tracing pad: the
-  //    jmp lands *after* it, and targets the patched body past its own pad.
-  //    On any failure, restore the entries already rewritten plus the
-  //    variable edits — the kernel ends byte-identical to its pre-SMI state.
-  auto unwind_trampolines = [&](size_t upto) {
-    for (size_t j = 0; j < upto; ++j) {
+  // 3. Rewrite kernel text: 5-byte jmp trampolines (preserving the kernel-
+  //    tracing pad — the jmp lands *after* it and targets the patched body
+  //    past its own pad), or the spliced body written straight over the old
+  //    function. On any failure, restore the text already rewritten, the
+  //    mem_X bodies, and the variable edits — the machine ends
+  //    byte-identical to its pre-SMI state.
+  auto unwind_text = [&](size_t upto) {
+    for (size_t j = upto; j-- > 0;) {
       const auto& done = batch[j];
-      if (done.taddr == 0) continue;
-      m.mem().write(done.taddr + done.ftrace_off,
-                    ByteSpan(done.original_entry.data(), 5), mode);
+      if (done.spliced) {
+        m.mem().write(done.taddr, done.original_body, mode);
+      } else if (done.taddr != 0) {
+        m.mem().write(done.taddr + done.ftrace_off,
+                      ByteSpan(done.original_entry.data(), 5), mode);
+      }
     }
   };
   for (size_t i = 0; i < batch.size(); ++i) {
     auto& inst = batch[i];
+    if (inst.spliced) {
+      // Capture the replaced text first: it is what revert writes back.
+      auto prev = m.mem().read_bytes(inst.taddr, inst.code_size, mode);
+      if (!prev || !m.mem().write(inst.taddr, inst.code, mode).is_ok()) {
+        unwind_text(i);
+        unwind_bodies();
+        unwind_vars();
+        reinstall_superseded();
+        return SmmStatus::kBadPackage;
+      }
+      inst.original_body = std::move(*prev);
+      continue;
+    }
     if (inst.taddr == 0) continue;  // new mem_X-only helper: no trampoline
     u64 jmp_addr = inst.taddr + inst.ftrace_off;
     u64 target = inst.paddr + inst.ftrace_off;
@@ -753,34 +961,78 @@ SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
     Status rd = m.mem().read(jmp_addr,
                              MutByteSpan(inst.original_entry.data(), 5), mode);
     if (!rd.is_ok()) {
-      unwind_trampolines(i);
+      unwind_text(i);
+      unwind_bodies();
       unwind_vars();
+      reinstall_superseded();
       return SmmStatus::kBadPackage;
     }
     inst.trampoline = make_jmp(jmp_addr, target);
     Status st = write_trampoline(m, inst);
     if (!st.is_ok()) {
-      unwind_trampolines(i);
+      unwind_text(i);
+      unwind_bodies();
       unwind_vars();
+      reinstall_superseded();
       return SmmStatus::kBadPackage;
     }
   }
 
-  // Commit: everything is in memory; push this set as one rollback unit.
-  // An empty set installs nothing and must not leave a phantom unit for a
-  // later kRollback to pop.
-  std::vector<size_t> unit;
-  unit.reserve(batch.size());
+  // Commit. First erase the superseded units for real — records and units,
+  // highest first, re-basing surviving units' member indices — collecting
+  // the provides the new unit inherits. Then push this set as one applied
+  // unit. An empty, non-superseding set installs nothing and must not leave
+  // a phantom unit for a later kRollback to pop.
+  std::vector<u64> inherited;
+  for (auto it = superseded.rbegin(); it != superseded.rend(); ++it) {
+    AppliedUnit gone = std::move(applied_units_[*it]);
+    applied_units_.erase(applied_units_.begin() +
+                         static_cast<std::ptrdiff_t>(*it));
+    inherited.insert(inherited.end(), gone.provides.begin(),
+                     gone.provides.end());
+    std::sort(gone.members.begin(), gone.members.end());
+    for (auto mi = gone.members.rbegin(); mi != gone.members.rend(); ++mi) {
+      installed_.erase(installed_.begin() + static_cast<std::ptrdiff_t>(*mi));
+      for (auto& u : applied_units_) {
+        for (auto& idx : u.members) {
+          if (idx > *mi) --idx;
+        }
+      }
+    }
+  }
+  AppliedUnit unit;
+  unit.id = set.id;
+  unit.kernel_version = set.kernel_version;
+  unit.id_hash = crypto::sdbm(to_bytes(set.id));
+  unit.members.reserve(batch.size());
   for (auto& inst : batch) {
-    unit.push_back(installed_.size());
+    unit.members.push_back(installed_.size());
     installed_.push_back(std::move(inst));
   }
-  if (!unit.empty()) rollback_units_.push_back(std::move(unit));
+  unit.provides.push_back(unit.id_hash);
+  unit.provides.insert(unit.provides.end(), inherited.begin(),
+                       inherited.end());
+  std::sort(unit.provides.begin(), unit.provides.end());
+  unit.provides.erase(std::unique(unit.provides.begin(), unit.provides.end()),
+                      unit.provides.end());
+  unit.depends.reserve(set.depends.size());
+  for (const auto& dep : set.depends) {
+    unit.depends.push_back(crypto::sdbm(to_bytes(dep)));
+  }
+  if (!unit.members.empty() || !superseded.empty()) {
+    unit.seq = ++unit_seq_;
+    applied_units_.push_back(std::move(unit));
+  }
   c_applied_->inc();
   metrics_->histogram("smm.code_bytes").observe(
       static_cast<double>(set.total_code_bytes()));
   KSHOT_LOG(kInfo, "smm") << "applied " << set.id << ": "
-                          << set.patches.size() << " function(s)";
+                          << set.patches.size() << " function(s)"
+                          << (superseded.empty()
+                                  ? ""
+                                  : ", superseding " +
+                                        std::to_string(superseded.size()) +
+                                        " unit(s)");
   return SmmStatus::kOk;
 }
 
@@ -797,32 +1049,143 @@ SmmStatus SmmPatchHandler::rollback_parsed(machine::Machine& m,
   return rollback(m);
 }
 
-void SmmPatchHandler::restore_top_unit(machine::Machine& m) {
-  std::vector<size_t> unit = std::move(rollback_units_.back());
-  rollback_units_.pop_back();
-  // Restore original entries in reverse order.
-  for (auto it = unit.rbegin(); it != unit.rend(); ++it) {
-    const InstalledPatch& p = installed_[*it];
-    if (p.taddr != 0) {
-      m.mem().write(p.taddr + p.ftrace_off,
-                    ByteSpan(p.original_entry.data(), 5),
-                    machine::AccessMode::smm());
+void SmmPatchHandler::restore_installed(machine::Machine& m,
+                                        const InstalledPatch& p) {
+  const auto mode = machine::AccessMode::smm();
+  if (p.spliced) {
+    m.mem().write(p.taddr, p.original_body, mode);
+  } else if (p.taddr != 0) {
+    m.mem().write(p.taddr + p.ftrace_off,
+                  ByteSpan(p.original_entry.data(), 5), mode);
+  }
+}
+
+void SmmPatchHandler::remove_unit(machine::Machine& m, size_t unit_idx) {
+  AppliedUnit unit = std::move(applied_units_[unit_idx]);
+  applied_units_.erase(applied_units_.begin() +
+                       static_cast<std::ptrdiff_t>(unit_idx));
+  std::sort(unit.members.begin(), unit.members.end());
+  // Restore kernel text in reverse apply order, then drop the records
+  // (highest indices first), re-basing the surviving units' member indices —
+  // this is what frees the unit's mem_X slots for the enclave's allocator to
+  // reclaim (the bytes themselves are left behind; nothing points at them).
+  for (auto it = unit.members.rbegin(); it != unit.members.rend(); ++it) {
+    restore_installed(m, installed_[*it]);
+  }
+  for (auto it = unit.members.rbegin(); it != unit.members.rend(); ++it) {
+    installed_.erase(installed_.begin() + static_cast<std::ptrdiff_t>(*it));
+    for (auto& u : applied_units_) {
+      for (auto& idx : u.members) {
+        if (idx > *it) --idx;
+      }
     }
   }
-  // Drop the rolled-back records (highest indices first).
-  for (auto it = unit.rbegin(); it != unit.rend(); ++it) {
-    installed_.erase(installed_.begin() + static_cast<std::ptrdiff_t>(*it));
-  }
+}
+
+void SmmPatchHandler::restore_top_unit(machine::Machine& m) {
+  if (applied_units_.empty()) return;
+  remove_unit(m, applied_units_.size() - 1);
 }
 
 SmmStatus SmmPatchHandler::rollback(machine::Machine& m) {
   auto t0 = Clock::now();
   u64 c0 = m.cycles();
-  if (rollback_units_.empty()) return SmmStatus::kNothingToRollback;
+  if (applied_units_.empty()) return SmmStatus::kNothingToRollback;
   restore_top_unit(m);
   c_rollbacks_->inc();
   phase_span(m, "rollback", c0, t0);
   KSHOT_LOG(kInfo, "smm") << "rolled back last patch unit";
+  return SmmStatus::kOk;
+}
+
+SmmStatus SmmPatchHandler::revert_patch(machine::Machine& m,
+                                        const MailboxSnapshot& snap) {
+  auto t0 = Clock::now();
+  u64 c0 = m.cycles();
+  size_t idx = applied_units_.size();
+  for (size_t u = 0; u < applied_units_.size(); ++u) {
+    if (applied_units_[u].id_hash == snap.revert_target) {
+      idx = u;
+      break;
+    }
+  }
+  if (idx == applied_units_.size()) return SmmStatus::kNothingToRollback;
+  // Dependency fence: a unit another applied unit depends on must stay until
+  // the dependent is reverted (or superseded) first.
+  for (size_t u = 0; u < applied_units_.size(); ++u) {
+    if (u == idx) continue;
+    for (u64 dep : applied_units_[u].depends) {
+      for (u64 pv : applied_units_[idx].provides) {
+        if (dep == pv) {
+          emit_instant(m, "revert_blocked");
+          return SmmStatus::kRevertBlocked;
+        }
+      }
+    }
+  }
+  remove_unit(m, idx);
+  c_rollbacks_->inc();
+  phase_span(m, "revert", c0, t0);
+  KSHOT_LOG(kInfo, "smm") << "reverted patch unit out of order";
+  return SmmStatus::kOk;
+}
+
+SmmStatus SmmPatchHandler::query_applied(machine::Machine& m, Mailbox& mbox) {
+  const auto mode = machine::AccessMode::smm();
+  ByteWriter w;
+  w.put_u32(kQueryMagic);
+  w.put_u32(static_cast<u32>(applied_units_.size()));
+  auto put_string8 = [&w](const std::string& s) {
+    size_t n = std::min<size_t>(s.size(), 255);
+    w.put_u8(static_cast<u8>(n));
+    w.put_bytes(ByteSpan(reinterpret_cast<const u8*>(s.data()), n));
+  };
+  for (const auto& u : applied_units_) {
+    put_string8(u.id);
+    put_string8(u.kernel_version);
+    w.put_u64(u.seq);
+    w.put_u64(u.id_hash);
+    w.put_u32(static_cast<u32>(u.members.size()));
+    u32 code_bytes = 0;
+    u8 spliced = 0;
+    for (size_t idx : u.members) {
+      code_bytes += installed_[idx].code_size;
+      if (installed_[idx].spliced) ++spliced;
+    }
+    w.put_u32(code_bytes);
+    w.put_u8(spliced);
+  }
+  // mem_X occupancy: the occupied extents (sorted by base) are exactly what
+  // the enclave-side allocator needs to place the next set into the gaps.
+  std::vector<ByteWindow> extents;
+  for (const auto& p : installed_) {
+    if (!p.spliced && p.code_size != 0) {
+      extents.push_back({p.paddr, p.code_size});
+    }
+  }
+  std::sort(extents.begin(), extents.end(),
+            [](const ByteWindow& a, const ByteWindow& b) {
+              return a.addr < b.addr;
+            });
+  u64 used = memx_used();
+  w.put_u64(used);
+  w.put_u64(layout_.mem_x_size - used);
+  w.put_u32(static_cast<u32>(extents.size()));
+  for (const auto& e : extents) {
+    w.put_u64(e.addr);
+    w.put_u64(e.len);
+  }
+  Bytes blob = w.take();
+  if (MailboxLayout::kQueryBlob + blob.size() > layout_.mem_rw_size) {
+    return SmmStatus::kBadPackage;
+  }
+  if (!m.mem()
+           .write(layout_.mem_rw_base() + MailboxLayout::kQueryBlob, blob,
+                  mode)
+           .is_ok()) {
+    return SmmStatus::kBadPackage;
+  }
+  mbox.write_query_size(blob.size());
   return SmmStatus::kOk;
 }
 
@@ -845,18 +1208,39 @@ void SmmPatchHandler::introspect(machine::Machine& m) {
   rep.patches_checked = static_cast<u32>(installed_.size());
 
   for (const auto& p : installed_) {
+    if (p.spliced) {
+      // Spliced body lives in kernel text: no trampoline or mem_X footprint
+      // to check, just the body itself against the SMRAM copy's hash.
+      auto cur = m.mem().read_bytes(p.taddr, p.code_size, mode);
+      if (!cur) {
+        ++rep.unreadable;
+      } else if (!crypto::digest_equal(crypto::sha256(*cur), p.memx_hash)) {
+        ++rep.trampolines_reverted;
+        m.mem().write(p.taddr, p.code, mode);
+      }
+      continue;
+    }
     // Trampoline still present? (Malicious patch reversion, §V-D.)
     if (p.taddr != 0) {
       std::array<u8, 5> cur{};
-      m.mem().read(p.taddr + p.ftrace_off, MutByteSpan(cur.data(), 5), mode);
-      if (cur != p.trampoline) {
+      Status rd = m.mem().read(p.taddr + p.ftrace_off,
+                               MutByteSpan(cur.data(), 5), mode);
+      if (!rd.is_ok()) {
+        // A failed read leaves `cur` zeroed; comparing those zeros anyway
+        // would "detect" a mismatch and blind-write a repair jmp into a
+        // range that could not even be read. Skip the repair and surface
+        // the unreadable range as a detection instead.
+        ++rep.unreadable;
+      } else if (cur != p.trampoline) {
         ++rep.trampolines_reverted;
         write_trampoline(m, p);
       }
     }
     // mem_X body intact?
     auto body = m.mem().read_bytes(p.paddr, p.code_size, mode);
-    if (body) {
+    if (!body) {
+      ++rep.unreadable;
+    } else {
       auto h = crypto::sha256(*body);
       if (!crypto::digest_equal(h, p.memx_hash)) {
         ++rep.memx_tampered;
@@ -898,6 +1282,10 @@ void SmmPatchHandler::introspect(machine::Machine& m) {
           if (addr >= w.addr && addr < w.addr + w.len) return true;
         }
         for (const auto& p : installed_) {
+          if (p.spliced) {
+            if (addr >= p.taddr && addr < p.taddr + p.code_size) return true;
+            continue;
+          }
           if (p.taddr != 0 && addr >= p.taddr + p.ftrace_off &&
               addr < p.taddr + p.ftrace_off + 5) {
             return true;
@@ -931,12 +1319,14 @@ void SmmPatchHandler::introspect(machine::Machine& m) {
             " trampoline(s), " + std::to_string(rep.memx_tampered) +
             " body(ies), " + std::to_string(rep.attrs_restored) +
             " page(s), " + std::to_string(rep.text_bytes_restored) +
-            " text byte(s)");
+            " text byte(s); " + std::to_string(rep.unreadable) +
+            " unreadable range(s) skipped");
     emit_instant(m, "tampering_repaired",
                  {{"trampolines", std::to_string(rep.trampolines_reverted)},
                   {"bodies", std::to_string(rep.memx_tampered)},
                   {"pages", std::to_string(rep.attrs_restored)},
-                  {"text_bytes", std::to_string(rep.text_bytes_restored)}});
+                  {"text_bytes", std::to_string(rep.text_bytes_restored)},
+                  {"unreadable", std::to_string(rep.unreadable)}});
     KSHOT_LOG(kWarn, "smm") << "introspection repaired tampering: "
                             << rep.trampolines_reverted << " trampolines, "
                             << rep.memx_tampered << " bodies, "

@@ -49,7 +49,8 @@ struct SmmPatchTimings {
   u32 functions = 0;
 };
 
-/// One installed trampoline, remembered for rollback and introspection.
+/// One installed trampoline (or in-place splice), remembered for rollback
+/// and introspection.
 struct InstalledPatch {
   std::string name;
   u64 taddr = 0;
@@ -58,8 +59,33 @@ struct InstalledPatch {
   u32 code_size = 0;
   std::array<u8, 5> original_entry{};  // bytes replaced by the jmp
   std::array<u8, 5> trampoline{};      // the jmp we wrote
-  crypto::Digest256 memx_hash{};       // hash of the mem_X body
+  crypto::Digest256 memx_hash{};       // hash of the body (mem_X, or the
+                                       // spliced-in text for splice entries)
   Bytes code;                          // SMRAM-kept copy for repair
+  /// In-place splice: `code` was written directly over the old function at
+  /// taddr; paddr is 0, there is no trampoline, and `original_body` holds
+  /// the code_size bytes of kernel text the splice replaced.
+  bool spliced = false;
+  Bytes original_body;
+};
+
+/// One applied patch set: the unit of supersede/revert bookkeeping. Every
+/// successful apply (each package of a batch individually) pushes one unit;
+/// kRollback pops the newest, kRevertPatch removes any unit the dependency
+/// DAG allows.
+struct AppliedUnit {
+  std::string id;
+  std::string kernel_version;
+  u64 id_hash = 0;  // SDBM hash of id (the kRevertTarget key)
+  u64 seq = 0;      // monotonic apply order (survives out-of-order revert)
+  std::vector<size_t> members;  // indices into installed_
+  /// Set-id hashes this unit satisfies as a dependency: its own id plus
+  /// everything inherited from the units it superseded (a cumulative patch
+  /// keeps standing in for its retired predecessors).
+  std::vector<u64> provides;
+  /// Set-id hashes this unit requires to stay applied; reverting a unit
+  /// another unit depends on is refused with kRevertBlocked.
+  std::vector<u64> depends;
 };
 
 struct IntrospectionReport {
@@ -68,9 +94,12 @@ struct IntrospectionReport {
   u32 memx_tampered = 0;         // mem_X body hash mismatches, repaired
   u32 attrs_restored = 0;        // reserved-region page attributes fixed
   u32 text_bytes_restored = 0;   // kernel-text guard repairs (see below)
+  u32 unreadable = 0;            // reads that failed: repair skipped and the
+                                 // condition surfaced as a detection — never
+                                 // a blind repair write off zeroed bytes
   [[nodiscard]] bool clean() const {
     return trampolines_reverted == 0 && memx_tampered == 0 &&
-           attrs_restored == 0 && text_bytes_restored == 0;
+           attrs_restored == 0 && text_bytes_restored == 0 && unreadable == 0;
   }
 };
 
@@ -148,6 +177,17 @@ class SmmPatchHandler {
   [[nodiscard]] const std::vector<InstalledPatch>& installed() const {
     return installed_;
   }
+  [[nodiscard]] const std::vector<AppliedUnit>& applied_units() const {
+    return applied_units_;
+  }
+  /// mem_X bytes currently occupied by installed (non-splice) bodies.
+  [[nodiscard]] u64 memx_used() const {
+    u64 n = 0;
+    for (const auto& p : installed_) {
+      if (!p.spliced) n += p.code_size;
+    }
+    return n;
+  }
   [[nodiscard]] const IntrospectionReport& last_introspection() const {
     return last_introspection_;
   }
@@ -199,6 +239,14 @@ class SmmPatchHandler {
   SmmStatus stage_chunk(machine::Machine& m, Mailbox& mbox,
                         const MailboxSnapshot& snap);
   SmmStatus rollback(machine::Machine& m);
+  /// kRevertPatch: removes the applied unit whose id hash matches
+  /// snap.revert_target, wherever it sits in the stack, unless another
+  /// applied unit still depends on something it provides (kRevertBlocked).
+  SmmStatus revert_patch(machine::Machine& m, const MailboxSnapshot& snap);
+  /// kQueryApplied: writes the deterministic "KSHQ" inventory blob (unit
+  /// ids/versions/seqs, mem_X occupancy + occupied extents) into mem_RW at
+  /// MailboxLayout::kQueryBlob and its size at kQuerySize.
+  SmmStatus query_applied(machine::Machine& m, Mailbox& mbox);
   void introspect(machine::Machine& m);
 
   /// Shared decrypt leg of kApplyPatch/kApplyBatch: session check, single
@@ -234,14 +282,40 @@ class SmmPatchHandler {
                          const patchtool::PatchSet& set);
   SmmStatus rollback_parsed(machine::Machine& m,
                             const patchtool::PatchSet& set);
+
+  /// A byte range an apply would write (mem_X body, trampoline window, or
+  /// splice window) — the unit of overlap rejection.
+  struct ByteWindow {
+    u64 addr = 0;
+    u64 len = 0;
+  };
+  /// Every byte range `p` writes outside SMRAM.
+  static void collect_windows(const patchtool::FunctionPatch& p,
+                              std::vector<ByteWindow>& out);
+  static void collect_windows(const InstalledPatch& p,
+                              std::vector<ByteWindow>& out);
+
   /// Pre-apply validation of one set: bounds, preprocessing, var-edit
-  /// targets. apply_parsed re-runs it; apply_batch runs it over every set
-  /// before applying any, making the whole batch all-or-nothing for
+  /// targets, splice eligibility, and byte-precise overlap rejection — a
+  /// set whose write windows intersect each other, an installed patch's
+  /// windows (minus `retired_installed`, the records a supersede is about
+  /// to free), or `extra_windows` (earlier sets of the same batch) is
+  /// kBadPackage. apply_parsed re-runs it; apply_batch runs it over every
+  /// set before applying any, making the whole batch all-or-nothing for
   /// validation failures.
-  [[nodiscard]] SmmStatus validate_set(const patchtool::PatchSet& set) const;
-  /// Pops the newest rollback unit and restores its entries (reverse
-  /// order), erasing the matching installed_ records. No counters/spans —
-  /// callers (rollback, mid-batch unwind) account for themselves.
+  [[nodiscard]] SmmStatus validate_set(
+      const patchtool::PatchSet& set,
+      const std::vector<bool>* retired_installed = nullptr,
+      const std::vector<ByteWindow>* extra_windows = nullptr) const;
+
+  /// Restores one installed record's kernel-text effect (trampoline's
+  /// original entry, or the pre-splice body).
+  void restore_installed(machine::Machine& m, const InstalledPatch& p);
+  /// Removes applied_units_[unit_idx]: restores members in reverse, erases
+  /// their installed_ records, and re-bases every other unit's member
+  /// indices. No counters/spans — callers account for themselves.
+  void remove_unit(machine::Machine& m, size_t unit_idx);
+  /// Pops the newest unit (mid-batch unwind, kRollback).
   void restore_top_unit(machine::Machine& m);
 
   /// Emits one "smm" span [c0, m.cycles()] named `name` and returns its
@@ -269,14 +343,13 @@ class SmmPatchHandler {
   u32 stream_total_ = 0;
 
   std::vector<InstalledPatch> installed_;
-  /// Stack of rollback units: each successful apply (every package of a
-  /// batch individually) pushes the installed_ indices it created, and each
-  /// kRollback pops one unit — so repeated rollbacks peel a batch off
-  /// package by package, in reverse apply order. Unit k's indices are all
-  /// higher than unit k-1's (installed_ grows monotonically and erasure
-  /// only ever happens from the top), so popping never shifts the indices
-  /// of units below.
-  std::vector<std::vector<size_t>> rollback_units_;
+  /// Stack of applied units in apply order: each successful apply (every
+  /// package of a batch individually) pushes one unit; kRollback pops the
+  /// newest and kRevertPatch removes any unit the dependency DAG allows
+  /// (remove_unit re-bases the surviving units' member indices, so the
+  /// stack no longer relies on LIFO-only erasure).
+  std::vector<AppliedUnit> applied_units_;
+  u64 unit_seq_ = 0;  // monotonic AppliedUnit::seq source
 
   bool introspect_on_idle_ = false;
   bool legacy_wrapping_bounds_ = false;  // self-test seam, see above

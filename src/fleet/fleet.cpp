@@ -282,6 +282,30 @@ void FleetController::patch_one(u32 index, u32 wave, TargetResult& out) {
       rollback_target(index, out, "health check failed");
       return false;
     }
+    if (opts_.verify_applied_inventory) {
+      auto inv = t.kshot().query_applied();
+      std::vector<const std::string*> want;
+      if (batch_parts_.empty()) {
+        want.push_back(&case_.id);
+      } else {
+        for (const std::string& id : opts_.batch_cve_ids) want.push_back(&id);
+      }
+      for (const std::string* id : want) {
+        bool found = false;
+        if (inv.is_ok()) {
+          for (const auto& u : inv->units) {
+            if (u.id == *id) found = true;
+          }
+        }
+        if (!found) {
+          out.healthy = false;
+          std::string why =
+              "inventory probe: applied set missing [" + *id + "]";
+          rollback_target(index, out, why.c_str());
+          return false;
+        }
+      }
+    }
     return true;
   };
 

@@ -108,6 +108,14 @@ struct FleetOptions {
   /// Per-target overrides (e.g. make exactly one wave hostile).
   std::map<u32, netsim::FaultPlan> target_fault_plans;
   std::optional<core::RetryPolicy> retry_policy;
+  /// Extend the post-apply health check with a kQueryApplied probe: the
+  /// applied inventory SMM reports must contain every patch id this step
+  /// installed (case id, or all batch part ids). A syscall probe proves the
+  /// fix behaves; this proves the *stack bookkeeping* agrees — a unit
+  /// missing from SMM's own inventory would strand later supersede/revert
+  /// lifecycle operations fleet-wide. Off by default (one extra SMI per
+  /// target).
+  bool verify_applied_inventory = false;
   /// When set, every target's rollout runs under an AsyncAdversary driving
   /// the schedule generate(adversary_seed ^ target_seed(i)) — a different,
   /// deterministic attack per target. Detections feed the quarantine state

@@ -129,8 +129,15 @@ struct AttackerSurfaceOptions {
 std::unique_ptr<Surface> make_attacker_schedule_surface(
     AttackerSurfaceOptions o = {});
 
+/// Fuzzes patch-stack lifecycle op schedules (apply / supersede / revert /
+/// rollback) against the SMM handler through real SMI sessions. Oracle: a
+/// reference model of the applied stack predicts every op's status and the
+/// exact kQueryApplied blob, and a final rollback drain must restore all
+/// memory outside SMRAM/mailbox/mem_W/mem_X byte-identically.
+std::unique_ptr<Surface> make_lifecycle_surface();
+
 /// Factory by surface name ("package", "netsim", "kcc",
-/// "attacker_schedule"); null for unknown.
+/// "attacker_schedule", "lifecycle"); null for unknown.
 std::unique_ptr<Surface> make_surface(const std::string& name);
 
 /// Runs `opts.iters` generated cases, shrinking any failure.
@@ -172,6 +179,7 @@ std::vector<FuzzReport> replay_corpus(const std::vector<CorpusEntry>& entries,
 std::vector<std::pair<std::string, Bytes>> seed_package_cases();
 std::vector<std::pair<std::string, Bytes>> seed_netsim_cases();
 std::vector<std::pair<std::string, Bytes>> seed_attacker_cases();
+std::vector<std::pair<std::string, Bytes>> seed_lifecycle_cases();
 std::vector<std::pair<std::string, std::string>> seed_kcc_cases();
 
 // ---- Hex helpers (corpus file format) ---------------------------------------

@@ -194,6 +194,7 @@ std::unique_ptr<Surface> make_surface(const std::string& name) {
   if (name == "netsim") return make_netsim_surface();
   if (name == "kcc") return make_kcc_surface();
   if (name == "attacker_schedule") return make_attacker_schedule_surface();
+  if (name == "lifecycle") return make_lifecycle_surface();
   return nullptr;
 }
 

@@ -107,6 +107,44 @@ bool reference_entry_valid(const kernel::MemoryLayout& lay,
   return true;
 }
 
+/// Mirror of the handler's byte-precise write windows: the mem_X body plus
+/// the 5-byte trampoline (splice entries collapse to one in-place window).
+struct RefWindow {
+  u64 addr = 0;
+  u64 len = 0;
+};
+
+void reference_windows(const FunctionPatch& p, std::vector<RefWindow>& out) {
+  if (p.splice) {
+    if (!p.code.empty()) out.push_back({p.taddr, p.code.size()});
+    return;
+  }
+  if (!p.code.empty()) out.push_back({p.paddr, p.code.size()});
+  if (p.taddr != 0) out.push_back({p.taddr + p.ftrace_off, 5});
+}
+
+bool reference_overlaps(const RefWindow& a, const RefWindow& b) {
+  return a.addr < b.addr + b.len && b.addr < a.addr + a.len;
+}
+
+/// A set whose write windows intersect each other (or a prior batch
+/// member's) is rejected by validate_set before anything touches memory.
+bool reference_set_overlap_free(const PatchSet& set,
+                                std::vector<RefWindow>& prior) {
+  std::vector<RefWindow> mine;
+  for (const auto& p : set.patches) reference_windows(p, mine);
+  for (size_t i = 0; i < mine.size(); ++i) {
+    for (size_t j = i + 1; j < mine.size(); ++j) {
+      if (reference_overlaps(mine[i], mine[j])) return false;
+    }
+    for (const auto& b : prior) {
+      if (reference_overlaps(mine[i], b)) return false;
+    }
+  }
+  prior.insert(prior.end(), mine.begin(), mine.end());
+  return true;
+}
+
 /// What the handler is expected to do with one delivered wire. A plain
 /// package wire yields one set; a batch envelope yields one set per inner
 /// package (the handler installs them under a single SMI as one rollback
@@ -153,11 +191,24 @@ Prediction predict(const kernel::MemoryLayout& lay, ByteSpan wire,
       sets.push_back(std::move(*set));
     }
     for (const auto& s : sets) {
+      // Lifecycle directives (depends/supersedes/splice) are a single-
+      // package construct; the handler rejects them inside a batch.
+      if (s.has_lifecycle()) {
+        pred.status = SmmStatus::kBadPackage;
+        return pred;
+      }
+    }
+    std::vector<RefWindow> prior;
+    for (const auto& s : sets) {
       for (const auto& p : s.patches) {
         if (!reference_entry_valid(lay, p)) {
           pred.status = SmmStatus::kBadPackage;
           return pred;
         }
+      }
+      if (!reference_set_overlap_free(s, prior)) {
+        pred.status = SmmStatus::kBadPackage;
+        return pred;
       }
     }
     pred.status = SmmStatus::kOk;
@@ -186,8 +237,21 @@ Prediction predict(const kernel::MemoryLayout& lay, ByteSpan wire,
     pred.status = SmmStatus::kNothingToRollback;
     return pred;
   }
+  // On a fresh rig the applied set is empty, so any dependency is missing
+  // (the handler checks this before set validation).
+  if (!set->depends.empty()) {
+    pred.status = SmmStatus::kMissingDependency;
+    return pred;
+  }
   for (const auto& p : set->patches) {
     if (!reference_entry_valid(lay, p)) {
+      pred.status = SmmStatus::kBadPackage;
+      return pred;
+    }
+  }
+  {
+    std::vector<RefWindow> none;
+    if (!reference_set_overlap_free(*set, none)) {
       pred.status = SmmStatus::kBadPackage;
       return pred;
     }
@@ -466,7 +530,7 @@ Surface::Verdict PackageSurface::execute(ByteSpan encoded) {
     fail("status-unreadable", "mailbox status word unreadable after apply");
     return v;
   }
-  if (*raw_status > static_cast<u64>(SmmStatus::kChunkOutOfOrder)) {
+  if (*raw_status > static_cast<u64>(SmmStatus::kRevertBlocked)) {
     fail("status-unknown",
          "status word not a known SmmStatus: " + std::to_string(*raw_status));
     return v;
@@ -554,8 +618,8 @@ Surface::Verdict PackageSurface::execute(ByteSpan encoded) {
       ++rollbacks_done;
       remaining -= pred.sets[*it].patches.size();
       // Popping unit *it restores the entry bytes captured just before that
-      // set applied — i.e. the earlier sets' trampolines stay live, even at
-      // overlapping jmp addresses.
+      // set applied — the earlier sets' trampolines stay live (overlapping
+      // jmp windows never get this far: validation rejects them).
       Bytes expected = snapshot;
       for (const auto& s : pred.sets) {
         model_apply(s, expected, /*with_trampolines=*/false);

@@ -29,6 +29,10 @@ struct CostModel {
   double verify_cycles_per_byte = 2.40;
   u64 verify_fixed_cycles = 8'700;
   double apply_cycles_per_byte = 1.35;
+  // In-place splice writes the body straight over the old function: no
+  // mem_X copy and no trampoline, so the per-byte charge is the bare text
+  // write (roughly the copy half of the trampoline path's apply charge).
+  double splice_cycles_per_byte = 0.45;
 
   // TOCTOU hardening charged against downtime: one mailbox snapshot per
   // SMI, pinning the staged bytes' hash into SMRAM, and the freshness /

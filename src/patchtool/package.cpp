@@ -21,10 +21,21 @@ Result<std::string> get_string8(ByteReader& r) {
   return std::string(bytes->begin(), bytes->end());
 }
 
-Bytes serialize_entries(const PatchSet& set, const PatchOp* override_op) {
+Bytes serialize_entries(const PatchSet& set, const PatchOp* override_op,
+                        u16 version) {
   ByteWriter w;
   put_string8(w, set.id);
   put_string8(w, set.kernel_version);
+  if (version >= kPackageVersionLifecycle) {
+    w.put_u8(static_cast<u8>(std::min<size_t>(set.depends.size(), 255)));
+    for (size_t i = 0; i < std::min<size_t>(set.depends.size(), 255); ++i) {
+      put_string8(w, set.depends[i]);
+    }
+    w.put_u8(static_cast<u8>(std::min<size_t>(set.supersedes.size(), 255)));
+    for (size_t i = 0; i < std::min<size_t>(set.supersedes.size(), 255); ++i) {
+      put_string8(w, set.supersedes[i]);
+    }
+  }
   for (const auto& p : set.patches) {
     // 42-byte header (see file comment).
     w.put_u16(p.sequence);
@@ -40,6 +51,10 @@ Bytes serialize_entries(const PatchSet& set, const PatchOp* override_op) {
     w.put_u64(crypto::sdbm(to_bytes(p.name)));
     // Trailer: diagnostics + variable-size payloads.
     put_string8(w, p.name);
+    if (version >= kPackageVersionLifecycle) {
+      w.put_u8(p.splice ? 1 : 0);
+      w.put_u32(p.old_size);
+    }
     for (const auto& rel : p.relocs) {
       w.put_u32(rel.offset);
       w.put_u32(static_cast<u32>(rel.patch_index));
@@ -63,12 +78,12 @@ crypto::Digest256 package_digest(ByteSpan wire_after_digest) {
 
 namespace {
 
-Bytes wrap_entries(const PatchSet& set, Bytes entries) {
+Bytes wrap_entries(const PatchSet& set, Bytes entries, u16 version) {
   crypto::Digest256 digest = package_digest(entries);
 
   ByteWriter w;
   w.put_u32(kPackageMagic);
-  w.put_u16(kPackageVersion);
+  w.put_u16(version);
   w.put_u16(static_cast<u16>(set.patches.size()));
   w.put_u32(static_cast<u32>(entries.size()));
   w.put_bytes(ByteSpan(digest.data(), digest.size()));
@@ -76,14 +91,20 @@ Bytes wrap_entries(const PatchSet& set, Bytes entries) {
   return w.take();
 }
 
+u16 wire_version_for(const PatchSet& set) {
+  return set.has_lifecycle() ? kPackageVersionLifecycle : kPackageVersion;
+}
+
 }  // namespace
 
 Bytes serialize_patchset(const PatchSet& set, PatchOp op) {
-  return wrap_entries(set, serialize_entries(set, &op));
+  u16 v = wire_version_for(set);
+  return wrap_entries(set, serialize_entries(set, &op, v), v);
 }
 
 Bytes serialize_patchset_raw(const PatchSet& set) {
-  return wrap_entries(set, serialize_entries(set, nullptr));
+  u16 v = wire_version_for(set);
+  return wrap_entries(set, serialize_entries(set, nullptr, v), v);
 }
 
 Result<PatchOp> peek_op(ByteSpan wire) {
@@ -92,8 +113,13 @@ Result<PatchOp> peek_op(ByteSpan wire) {
   if (!magic || *magic != kPackageMagic) {
     return Status{Errc::kIntegrityFailure, "bad package magic"};
   }
-  // Skip version/count/size/digest, id and kernel version strings.
-  if (!r.skip(2 + 2 + 4 + 32).is_ok()) {
+  auto version = r.get_u16();
+  if (!version ||
+      (*version != kPackageVersion && *version != kPackageVersionLifecycle)) {
+    return Status{Errc::kIntegrityFailure, "unsupported package version"};
+  }
+  // Skip count/size/digest, id and kernel version strings.
+  if (!r.skip(2 + 4 + 32).is_ok()) {
     return Status{Errc::kOutOfRange, "truncated package"};
   }
   ByteReader r2 = r;
@@ -101,6 +127,17 @@ Result<PatchOp> peek_op(ByteSpan wire) {
   if (!id) return id.status();
   auto kver = get_string8(r2);
   if (!kver) return kver.status();
+  if (*version >= kPackageVersionLifecycle) {
+    // Skip the depends / supersedes id lists.
+    for (int list = 0; list < 2; ++list) {
+      auto n = r2.get_u8();
+      if (!n) return n.status();
+      for (u8 k = 0; k < *n; ++k) {
+        auto s = get_string8(r2);
+        if (!s) return s.status();
+      }
+    }
+  }
   KSHOT_RETURN_IF_ERROR(r2.skip(2));  // sequence
   auto op = r2.get_u8();
   if (!op) return op.status();
@@ -117,9 +154,11 @@ Result<PatchSet> parse_patchset(ByteSpan wire) {
     return Status{Errc::kIntegrityFailure, "bad package magic"};
   }
   auto version = r.get_u16();
-  if (!version || *version != kPackageVersion) {
+  if (!version ||
+      (*version != kPackageVersion && *version != kPackageVersionLifecycle)) {
     return Status{Errc::kIntegrityFailure, "unsupported package version"};
   }
+  const bool v2 = *version == kPackageVersionLifecycle;
   auto count = r.get_u16();
   if (!count) return count.status();
   auto entries_size = r.get_u32();
@@ -146,6 +185,22 @@ Result<PatchSet> parse_patchset(ByteSpan wire) {
   auto kver = get_string8(er);
   if (!kver) return kver.status();
   set.kernel_version = std::move(*kver);
+  if (v2) {
+    auto ndep = er.get_u8();
+    if (!ndep) return ndep.status();
+    for (u8 k = 0; k < *ndep; ++k) {
+      auto dep = get_string8(er);
+      if (!dep) return dep.status();
+      set.depends.push_back(std::move(*dep));
+    }
+    auto nsup = er.get_u8();
+    if (!nsup) return nsup.status();
+    for (u8 k = 0; k < *nsup; ++k) {
+      auto sup = get_string8(er);
+      if (!sup) return sup.status();
+      set.supersedes.push_back(std::move(*sup));
+    }
+  }
 
   for (u16 i = 0; i < *count; ++i) {
     FunctionPatch p;
@@ -182,6 +237,23 @@ Result<PatchSet> parse_patchset(ByteSpan wire) {
     p.name = std::move(*name);
     if (crypto::sdbm(to_bytes(p.name)) != *name_hash) {
       return Status{Errc::kIntegrityFailure, "name hash mismatch"};
+    }
+    if (v2) {
+      auto flags = er.get_u8();
+      if (!flags) return flags.status();
+      if (*flags > 1) {
+        return Status{Errc::kIntegrityFailure, "bad function flags"};
+      }
+      p.splice = (*flags & 1) != 0;
+      auto old_size = er.get_u32();
+      if (!old_size) return old_size.status();
+      p.old_size = *old_size;
+      if (p.splice && p.taddr == 0) {
+        return Status{Errc::kIntegrityFailure, "splice without target"};
+      }
+      if (p.splice && p.paddr != 0) {
+        return Status{Errc::kIntegrityFailure, "splice with mem_X paddr"};
+      }
     }
     for (u16 k = 0; k < *nreloc; ++k) {
       auto off = er.get_u32();

@@ -29,6 +29,12 @@ namespace kshot::patchtool {
 
 inline constexpr u32 kPackageMagic = 0x5448534B;  // "KSHT"
 inline constexpr u16 kPackageVersion = 1;
+/// Wire v2 = v1 + patch-stack lifecycle data. After the kernel-version
+/// string: u8 ndep + ndep string8 ids, u8 nsup + nsup string8 ids. After
+/// each function's name string8: u8 flags (bit0 = in-place splice) and
+/// u32 old_size. The serializer only emits v2 when the set actually carries
+/// lifecycle data, so every pre-existing package stays byte-identical.
+inline constexpr u16 kPackageVersionLifecycle = 2;
 inline constexpr size_t kFnHeaderBytes = 42;
 
 /// Serializes a patch set, overriding every entry's op with `op` (the same

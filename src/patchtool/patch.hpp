@@ -54,6 +54,13 @@ struct FunctionPatch {
   Bytes code;            // post-patch function body
   std::vector<RelocEntry> relocs;
   std::vector<VarEdit> var_edits;
+  /// In-place splice: the body is written directly over the old function at
+  /// taddr (no mem_X copy, no trampoline). Chosen by SGX preprocessing when
+  /// the new body fits the old footprint; paddr stays 0. Wire v2 only.
+  bool splice = false;
+  /// Linked size of the function being replaced (splice-eligibility input;
+  /// 0 = unknown). Wire v2 only.
+  u32 old_size = 0;
 
   [[nodiscard]] size_t payload_bytes() const {
     return code.size() + relocs.size() * 16 + var_edits.size() * 17;
@@ -67,11 +74,27 @@ struct PatchSet {
   std::string id;              // e.g. "CVE-2017-17806"
   std::string kernel_version;  // target kernel the patch was built against
   std::vector<FunctionPatch> patches;
+  /// Patch-stack lifecycle metadata (wire v2). `depends`: ids of patch sets
+  /// that must already be applied. `supersedes`: ids of applied sets this
+  /// cumulative patch replaces — the SMM handler retires their trampolines
+  /// and frees their mem_X slots in the same SMI that installs this set.
+  std::vector<std::string> depends;
+  std::vector<std::string> supersedes;
 
   [[nodiscard]] size_t total_code_bytes() const {
     size_t n = 0;
     for (const auto& p : patches) n += p.code.size();
     return n;
+  }
+
+  /// True when the set carries any lifecycle data that only wire v2 can
+  /// represent (the serializer emits byte-identical v1 otherwise).
+  [[nodiscard]] bool has_lifecycle() const {
+    if (!depends.empty() || !supersedes.empty()) return true;
+    for (const auto& p : patches) {
+      if (p.splice || p.old_size != 0) return true;
+    }
+    return false;
   }
 
   friend bool operator==(const PatchSet&, const PatchSet&) = default;

@@ -178,6 +178,36 @@ cve::CveCase make_size_sweep_case(size_t target_bytes) {
   return c;
 }
 
+cve::CveCase make_splice_sweep_case(size_t target_bytes) {
+  cve::CveCase c;
+  c.id = "SPLICE-" + std::to_string(target_bytes);
+  c.kernel = "sim-4.4";
+  c.functions = {"splice_target"};
+  c.types = "1";
+  c.trap_code = 98;
+  c.syscall_nr = 91;
+  c.entry_function = "splice_target";
+  c.exploit_args = {8192, 0, 0, 0, 0};
+  c.benign_args = {123, 0, 0, 0, 0};
+
+  // The vulnerable guard traps on the exploit input; the fix widens the
+  // constant so the trap is unreachable. Both bodies are byte-count
+  // identical (only an immediate changes), which is what makes the patched
+  // function fit the old footprint and splice in place.
+  std::string base = cve::base_kernel_source();
+  size_t pad = target_bytes > 140 ? target_bytes - 140 : 8;
+  auto body = [&](const char* limit) {
+    return std::string("\nfn splice_target(a1, a2) {\n") +
+           "  let t = k_account();\n" +
+           "  if (a1 > " + limit + ") {\n    bug(98);\n  }\n" +
+           "  pad(" + std::to_string(pad) + ");\n" +
+           "  return k_hash(a1 & 4095) + t * 0;\n}\n";
+  };
+  c.pre_source = base + body("4096");
+  c.post_source = base + body("999999999");
+  return c;
+}
+
 kernel::MemoryLayout layout_for_patch_bytes(size_t target_bytes) {
   if (target_bytes <= 512 * 1024) return kernel::MemoryLayout{};
   return kernel::MemoryLayout::for_size_sweep();

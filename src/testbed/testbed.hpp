@@ -114,6 +114,15 @@ kcc::CompileOptions options_for_layout(const kernel::MemoryLayout& lay,
 /// The exact payload size is whatever the compiler emits; benches report it.
 cve::CveCase make_size_sweep_case(size_t target_bytes);
 
+/// Synthesizes a splice-eligible case of approximately `target_bytes`: the
+/// fix only widens a guard constant, so the patched body compiles to
+/// exactly the old function's footprint and the enclave (under
+/// LifecycleOptions::allow_splice) lays it out as an in-place splice — no
+/// mem_X slot, no trampoline. The usual fix shape (bug() → return -ERR)
+/// always grows the body past the old footprint, so the sweep cases above
+/// never qualify.
+cve::CveCase make_splice_sweep_case(size_t target_bytes);
+
 /// A layout that can stage and place a patch of `target_bytes`.
 kernel::MemoryLayout layout_for_patch_bytes(size_t target_bytes);
 

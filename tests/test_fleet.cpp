@@ -219,9 +219,12 @@ TEST(Fleet, AbortRollsBackAppliedTargetsOfTheFailedWave) {
 // AsyncAdversary schedule (generate(adversary_seed ^ target_seed)). In-run
 // retries are off so every detection surfaces to the fleet layer — the
 // quarantine machine, not the pipeline's retry budget, is under test.
-// adversary_seed 4 was picked because its per-target schedules include one
-// persistent attacker (recovery rounds exhausted -> fenced) alongside
-// transient ones (one-shot races that lose on the recovery re-fetch).
+// adversary_seed 23 was picked because its per-target schedules include one
+// persistent attacker *in the canary wave* (recovery rounds exhausted ->
+// fenced) alongside a transient one (a one-shot race that loses on the
+// recovery re-fetch). Attackers that merely garble the reply channel after
+// the apply SMI ran no longer cost a recovery round: the pipeline's
+// kQueryApplied probe disambiguates them into clean applies.
 FleetOptions hostile_options() {
   FleetOptions o;
   o.targets = 6;
@@ -232,7 +235,7 @@ FleetOptions hostile_options() {
   o.rollout.abort_failure_rate = 1.01;   // judge quarantines, not failures
   o.rollout.max_quarantine_rate = 1.01;  // no abort: run the fleet to the end
   o.retry_policy = core::RetryPolicy::none();
-  o.adversary_seed = 4;
+  o.adversary_seed = 23;
   return o;
 }
 
@@ -248,7 +251,7 @@ TEST(FleetQuarantine, FencesPersistentAttackerRecoversTransients) {
   ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
 
   EXPECT_EQ(rep->quarantined, 1u);
-  EXPECT_EQ(rep->recovered, 4u);
+  EXPECT_EQ(rep->recovered, 1u);
   EXPECT_EQ(rep->applied, 5u);
   EXPECT_EQ(rep->failed, 0u);
   EXPECT_EQ(rep->pending, 0u);

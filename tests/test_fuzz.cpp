@@ -56,6 +56,19 @@ TEST(FuzzOracles, NetsimSurfacePassesOnCurrentTree) {
   EXPECT_GT(rep.rejected, 0u);
 }
 
+TEST(FuzzOracles, LifecycleSurfacePassesOnCurrentTree) {
+  FuzzOptions opts;
+  opts.seed = 1;
+  opts.iters = 150;
+  auto s = make_lifecycle_surface();
+  auto rep = run_fuzz(*s, opts);
+  EXPECT_TRUE(rep.failures.empty()) << rep.to_string();
+  // Accepted = at least one op in the schedule applied; rejected covers
+  // both structural garbage and schedules whose every op was refused.
+  EXPECT_GT(rep.accepted, 0u);
+  EXPECT_GT(rep.rejected, 0u);
+}
+
 TEST(FuzzOracles, KccSurfacePassesOnCurrentTree) {
   FuzzOptions opts;
   opts.seed = 1;
@@ -157,17 +170,22 @@ TEST(FuzzCorpus, CheckedInCorpusMatchesCanonicalSeeds) {
     EXPECT_EQ(e->input, bytes)
         << "stale corpus file attacker_schedule/" << name;
   }
+  for (const auto& [name, bytes] : seed_lifecycle_cases()) {
+    const auto* e = find("lifecycle", name + ".hex");
+    ASSERT_NE(e, nullptr) << "missing corpus file lifecycle/" << name;
+    EXPECT_EQ(e->input, bytes) << "stale corpus file lifecycle/" << name;
+  }
 }
 
 TEST(FuzzCorpus, ReplaysCleanOnCurrentTree) {
   auto entries = load_corpus(KSHOT_CORPUS_DIR);
   ASSERT_TRUE(entries.is_ok()) << entries.status().to_string();
-  ASSERT_GE(entries->size(), 20u);
+  ASSERT_GE(entries->size(), 25u);
   FuzzOptions opts;
   opts.seed = 1;
   auto reports = replay_corpus(*entries, opts);
-  // attacker_schedule, kcc, netsim, package
-  ASSERT_EQ(reports.size(), 4u);
+  // attacker_schedule, kcc, lifecycle, netsim, package
+  ASSERT_EQ(reports.size(), 5u);
   for (const auto& r : reports) {
     EXPECT_TRUE(r.failures.empty()) << r.to_string();
   }
@@ -175,6 +193,10 @@ TEST(FuzzCorpus, ReplaysCleanOnCurrentTree) {
   // bare packages plus the batched pair.
   for (const auto& r : reports) {
     if (r.surface == "package") EXPECT_EQ(r.accepted, 3u) << r.to_string();
+    // Every checked-in lifecycle schedule lands at least one apply.
+    if (r.surface == "lifecycle") {
+      EXPECT_EQ(r.accepted, seed_lifecycle_cases().size()) << r.to_string();
+    }
   }
 }
 
@@ -206,6 +228,7 @@ TEST(FuzzSurfaces, FactoryResolvesNames) {
   EXPECT_NE(make_surface("netsim"), nullptr);
   EXPECT_NE(make_surface("kcc"), nullptr);
   EXPECT_NE(make_surface("attacker_schedule"), nullptr);
+  EXPECT_NE(make_surface("lifecycle"), nullptr);
   EXPECT_EQ(make_surface("bogus"), nullptr);
 }
 

@@ -12,6 +12,10 @@
 //       --wave W       size of later waves (default 4)
 //       --abort-rate R abort threshold on a wave's failure fraction
 //       --drop R / --corrupt R   channel fault rates on every target
+//   kshot-sim lifecycle                    scripted patch-stack smoke
+//       apply -> depend -> supersede -> query -> out-of-order revert ->
+//       in-place splice; output is canonical (byte-identical across
+//       --jobs), so CI can cmp two runs
 //   kshot-sim disasm <CVE-ID> <function>   disassemble a kernel function
 //   kshot-sim package <CVE-ID>             show the built patch set / wire
 //
@@ -318,6 +322,136 @@ int cmd_single_batch(const std::string& csv, const CommonFlags& common) {
   return all_dead ? 0 : 1;
 }
 
+/// `lifecycle`: scripted patch-stack smoke walking the full SMM lifecycle —
+/// apply a base set, stack a dependent on top, refuse a missing dependency,
+/// supersede the base, query the inventory, revert out of order (blocked,
+/// then unblocked), and finish with an in-place splice leg. Every printed
+/// line is canonical: byte-identical across --jobs and repeated runs, so CI
+/// can cmp two invocations.
+int cmd_lifecycle(const CommonFlags& common) {
+  const std::string id_a = "CVE-2016-2543";   // base set
+  const std::string id_b = "CVE-2016-4578";   // depends on A
+  const std::string id_c = "CVE-2016-4580";   // supersedes A
+  const std::vector<std::string> ids = {id_a, id_b, id_c};
+  auto batch = cve::combine_cases(ids);
+  auto parts = cve::batch_part_cases(ids);
+  if (!batch.is_ok() || !parts.is_ok()) {
+    std::fprintf(stderr, "cannot build merged lifecycle kernel\n");
+    return 1;
+  }
+  testbed::TestbedOptions topts;
+  topts.seed = common.seed;
+  topts.workload_threads = static_cast<int>(common.jobs) - 1;
+  auto tb = testbed::Testbed::boot(batch->merged, topts);
+  if (!tb.is_ok()) {
+    std::fprintf(stderr, "boot failed: %s\n", tb.status().to_string().c_str());
+    return 1;
+  }
+  testbed::Testbed& t = **tb;
+  for (const auto& p : *parts) {
+    t.server().add_patch({p.id, p.kernel, p.pre_source, p.post_source});
+    if (!t.kernel().register_syscall(p.syscall_nr, p.entry_function).is_ok()) {
+      std::fprintf(stderr, "cannot wire %s's syscall\n", p.id.c_str());
+      return 1;
+    }
+  }
+
+  bool all_ok = true;
+  auto step = [&](const char* what, const Result<core::PatchReport>& rep,
+                  core::SmmStatus want) {
+    const char* got = rep.is_ok() ? core::smm_status_name(rep->smm_status)
+                                  : "transport-error";
+    bool match = rep.is_ok() && rep->smm_status == want;
+    all_ok = all_ok && match;
+    std::printf("%-44s %s%s\n", what, got, match ? "" : "  [UNEXPECTED]");
+  };
+  auto probe = [&](const char* what, const cve::CveCase& c, bool want_oops) {
+    auto e = t.run_syscall(c.syscall_nr, c.exploit_args);
+    bool oops = e.is_ok() && e->oops;
+    all_ok = all_ok && e.is_ok() && oops == want_oops;
+    std::printf("%-44s %s%s\n", what, oops ? "fires" : "dead",
+                oops == want_oops ? "" : "  [UNEXPECTED]");
+  };
+  auto inventory = [&]() {
+    auto inv = t.kshot().query_applied();
+    if (!inv.is_ok()) {
+      all_ok = false;
+      std::printf("inventory: query failed\n");
+      return;
+    }
+    std::printf("inventory: %zu unit(s), mem_X used=%llu extents=%zu\n",
+                inv->units.size(),
+                static_cast<unsigned long long>(inv->memx_used),
+                inv->extents.size());
+    for (const auto& u : inv->units) {
+      std::printf("  seq=%llu %-16s fn=%u code=%uB spliced=%u\n",
+                  static_cast<unsigned long long>(u.seq), u.id.c_str(),
+                  u.functions, u.code_bytes, u.spliced);
+    }
+  };
+
+  probe("exploit A before patching:", (*parts)[0], /*want_oops=*/true);
+  step("apply A:", t.kshot().live_patch(id_a), core::SmmStatus::kOk);
+  probe("exploit A after apply:", (*parts)[0], /*want_oops=*/false);
+  core::LifecycleOptions dep_b;
+  dep_b.depends = {id_a};
+  step("apply B (depends A):", t.kshot().live_patch(id_b, dep_b),
+       core::SmmStatus::kOk);
+  // The dependency fence refuses unapplied prerequisites in SMM; the failed
+  // apply must unwind cleanly (no mem_X leak, no stack entry).
+  core::LifecycleOptions dep_missing;
+  dep_missing.depends = {"CVE-0000-0000"};
+  step("apply C (depends on unapplied id):",
+       t.kshot().live_patch(id_c, dep_missing),
+       core::SmmStatus::kMissingDependency);
+  core::LifecycleOptions sup_a;
+  sup_a.supersedes = {id_a};
+  step("apply C (supersedes A):", t.kshot().live_patch(id_c, sup_a),
+       core::SmmStatus::kOk);
+  // Superseding retires A's text effects, so its exploit fires again; B's
+  // dependency stays satisfied because C inherited A's provides.
+  probe("exploit A after supersede (fix retired):", (*parts)[0],
+        /*want_oops=*/true);
+  inventory();
+  step("revert C (B depends on its provides):", t.kshot().revert_patch(id_c),
+       core::SmmStatus::kRevertBlocked);
+  step("revert B (out of order):", t.kshot().revert_patch(id_b),
+       core::SmmStatus::kOk);
+  step("revert C:", t.kshot().revert_patch(id_c), core::SmmStatus::kOk);
+  step("revert A (already superseded):", t.kshot().revert_patch(id_a),
+       core::SmmStatus::kNothingToRollback);
+  inventory();
+
+  // Splice leg: a size-neutral fix applied in place — no mem_X slot, no
+  // trampoline — then reverted, leaving occupancy at zero.
+  auto sc = testbed::make_splice_sweep_case(256);
+  testbed::TestbedOptions sopts;
+  sopts.seed = common.seed;
+  auto stb = testbed::Testbed::boot(sc, sopts);
+  if (!stb.is_ok()) {
+    std::fprintf(stderr, "splice leg boot failed\n");
+    return 1;
+  }
+  core::LifecycleOptions splice;
+  splice.allow_splice = true;
+  auto srep = (*stb)->kshot().live_patch(sc.id, splice);
+  bool sok = srep.is_ok() && srep->success;
+  auto sinv = (*stb)->kshot().query_applied();
+  u32 spliced = sinv.is_ok() && sinv->units.size() == 1
+                    ? sinv->units[0].spliced
+                    : 0;
+  u64 sused = sinv.is_ok() ? sinv->memx_used : ~0ull;
+  bool sleg = sok && spliced == 1 && sused == 0;
+  all_ok = all_ok && sleg;
+  std::printf("%-44s %s%s\n", "splice leg (in place, mem_X untouched):",
+              sleg ? "spliced" : "not spliced", sleg ? "" : "  [UNEXPECTED]");
+  step("revert splice:", (*stb)->kshot().revert_patch(sc.id),
+       core::SmmStatus::kOk);
+
+  std::printf("lifecycle: %s\n", all_ok ? "OK" : "FAILED");
+  return all_ok ? 0 : 1;
+}
+
 /// `bench`: deterministic modeled-cost harness + optional regression gate.
 int cmd_bench(const CommonFlags& common, bool quick,
               const std::string& out_dir, const std::string& gate_dir,
@@ -616,6 +750,10 @@ void usage() {
       "                 [--gate-tol F] [--cost-scale X]   deterministic\n"
       "                 modeled-cost bench; writes BENCH_table3/4.json (+\n"
       "                 *_wall.json sidecars); --gate fails on regressions\n"
+      "       kshot-sim lifecycle             scripted patch-stack smoke:\n"
+      "                 apply, depend, supersede, query, out-of-order revert,\n"
+      "                 in-place splice; canonical output (byte-identical\n"
+      "                 across --jobs) for CI cmp\n"
       "       kshot-sim disasm <CVE-ID> <function>\n"
       "       kshot-sim package <CVE-ID>\n"
       "       kshot-sim fuzz [--surface package|netsim|kcc|attacker_schedule"
@@ -869,6 +1007,7 @@ int main(int argc, char** argv) {
     }
     return rep->aborted || rep->applied != rep->targets ? 1 : 0;
   }
+  if (cmd == "lifecycle") return cmd_lifecycle(common);
   if (cmd == "disasm" && args.size() >= 3) return cmd_disasm(args[1], args[2]);
   if (cmd == "package" && args.size() >= 2) return cmd_package(args[1]);
   if (cmd == "fuzz") {
