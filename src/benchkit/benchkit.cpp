@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/parallel.hpp"
+#include "cve/synth.hpp"
 #include "fleet/fleet.hpp"
 #include "fleetscale/fleetscale.hpp"
 #include "testbed/testbed.hpp"
@@ -445,6 +446,60 @@ T4ScaleRow run_t4_scale_row(bool quick, u64 seed) {
   return row;
 }
 
+struct T4SynthRow {
+  Status st = Status::ok();
+  u64 cases = 0, failed = 0;
+  u64 live_downtime_cycles = 0;
+  u64 live_code_bytes = 0;
+  double live_modeled_us = 0;
+};
+
+/// Auto-CVE synthesis row (DESIGN.md §14): a fixed-size campaign in which
+/// every synthesized case must pass the probe-contract, differential, and
+/// diff-confinement oracles (`oracle_failures` is gated at 0), plus one
+/// live-patched synthesized case pricing the end-to-end pipeline on
+/// generated input. The campaign's internal jobs width is a fixed constant;
+/// its report is byte-identical across it anyway.
+T4SynthRow run_t4_synth_row(bool quick, u64 seed) {
+  T4SynthRow row;
+  cve::CampaignOptions co;
+  co.seed = seed ^ 0x5D17;
+  co.cases = quick ? 12 : 24;
+  co.jobs = 2;
+  auto rep = cve::run_campaign(co);
+  if (!rep) {
+    row.st = rep.status();
+    return row;
+  }
+  row.cases = rep->cases;
+  row.failed = rep->failed;
+
+  auto sc = cve::make_case(cve::BugClass::kOobWrite,
+                           cve::synth_case_seed(co.seed, 0));
+  if (!sc) {
+    row.st = sc.status();
+    return row;
+  }
+  auto tb = testbed::Testbed::boot(sc->cve, {.seed = seed});
+  if (!tb) {
+    row.st = tb.status();
+    return row;
+  }
+  auto patched = (*tb)->kshot().live_patch(sc->cve.id);
+  if (!patched) {
+    row.st = patched.status();
+    return row;
+  }
+  if (!patched->success) {
+    row.st = Status{Errc::kInternal, "synth live patch failed"};
+    return row;
+  }
+  row.live_downtime_cycles = patched->downtime_cycles;
+  row.live_code_bytes = patched->stats.code_bytes;
+  row.live_modeled_us = patched->smm.modeled_total_us;
+  return row;
+}
+
 void meta_header(const char* bench, const BenchOptions& o, Json& j) {
   j.open_obj();
   j.field("bench", std::string(bench));
@@ -541,16 +596,20 @@ Result<BenchResults> run_bench(const BenchOptions& opts) {
   T4FleetRow fleet_row;
   T4AdversaryRow adv_row;
   T4ScaleRow scale_row;
-  // One thunk per row (the fleet rows are indices ks.size() .. ks.size()+2).
-  parallel_for(static_cast<u32>(ks.size()) + 3, opts.jobs, [&](u32 i) {
+  T4SynthRow synth_row;
+  // One thunk per row (the fleet/synth rows are indices ks.size() ..
+  // ks.size()+3).
+  parallel_for(static_cast<u32>(ks.size()) + 4, opts.jobs, [&](u32 i) {
     if (i < ks.size()) {
       t4[i] = run_t4_batch_row(ks[i], opts.seed + 104729 * (i + 1));
     } else if (i == ks.size()) {
       fleet_row = run_t4_fleet_row(opts.quick, opts.seed);
     } else if (i == ks.size() + 1) {
       adv_row = run_t4_adversary_row(opts.quick, opts.seed);
-    } else {
+    } else if (i == ks.size() + 2) {
       scale_row = run_t4_scale_row(opts.quick, opts.seed);
+    } else {
+      synth_row = run_t4_synth_row(opts.quick, opts.seed);
     }
   });
   for (const T4BatchRow& r : t4) {
@@ -559,6 +618,7 @@ Result<BenchResults> run_bench(const BenchOptions& opts) {
   if (!fleet_row.st.is_ok()) return fleet_row.st;
   if (!adv_row.st.is_ok()) return adv_row.st;
   if (!scale_row.st.is_ok()) return scale_row.st;
+  if (!synth_row.st.is_ok()) return synth_row.st;
 
   {
     Json j;
@@ -608,6 +668,15 @@ Result<BenchResults> run_bench(const BenchOptions& opts) {
     j.field("makespan_us", scale_row.makespan_us * cs);
     j.field("relay_miss_ratio", scale_row.relay_miss_ratio * cs);
     j.field("downtime_p99_us", scale_row.downtime_p99_us * cs);
+    j.close_row();
+    j.open_row();
+    j.field("name", std::string("synth-campaign"));
+    j.field("cases", synth_row.cases);
+    // Gated at 0: any synthesized case failing its oracle stack regresses.
+    j.field("oracle_failures", synth_row.failed);
+    j.field("live_code_bytes", synth_row.live_code_bytes);
+    j.field("live_downtime_cycles", scaled(synth_row.live_downtime_cycles, cs));
+    j.field("live_modeled_us", synth_row.live_modeled_us * cs);
     j.close_row();
     j.close_arr();
     j.close_obj();

@@ -6,7 +6,8 @@
 //                      SMM downtime by payload size, single + batched.
 //   BENCH_table4.json  batched-session matrix (the Table IV batched
 //                      variants): K-CVE sequential vs one batched SMM
-//                      session, plus a batched fleet campaign row.
+//                      session, plus batched-fleet, adversary, planet-scale,
+//                      and auto-CVE synthesis campaign rows.
 //
 // Everything in those documents is *modeled* (virtual-clock cycles, modeled
 // microseconds, counters): for a fixed seed the bytes are identical at any

@@ -361,7 +361,9 @@ Result<BatchCase> combine_cases(const std::vector<std::string>& ids) {
   std::string id = "BATCH(";
 
   for (size_t i = 0; i < ids.size(); ++i) {
-    const CveCase& c = find_case(ids[i]);
+    auto resolved = resolve_case(ids[i]);
+    if (!resolved) return resolved.status();
+    const CveCase& c = *resolved;
     if (kernel.empty()) {
       kernel = c.kernel;
     } else if (kernel != c.kernel) {
@@ -420,6 +422,53 @@ Result<std::vector<CveCase>> batch_part_cases(
 std::vector<std::string> figure_case_ids() {
   return {"CVE-2014-0196", "CVE-2014-3687",  "CVE-2014-4608",
           "CVE-2015-8964", "CVE-2016-5195", "CVE-2017-17806"};
+}
+
+Result<ProbeReport> probe_case(const CveCase& c, const ProbeFn& probe,
+                               bool expect_fixed) {
+  if (!probe) {
+    return Status{Errc::kInvalidArgument, "probe_case: null probe"};
+  }
+  ProbeReport rep;
+  auto note = [&](const std::string& d) {
+    if (rep.detail.empty()) rep.detail = d;
+  };
+
+  auto ex = probe(c.syscall_nr, c.exploit_args);
+  if (!ex) {
+    note("probe [" + c.id + "]: exploit syscall stuck: " +
+         ex.status().message());
+  } else if (ex->oops) {
+    rep.exploit_trapped = ex->trap_code == c.trap_code;
+    if (!rep.exploit_trapped) {
+      note("probe [" + c.id + "]: exploit trapped with code " +
+           std::to_string(ex->trap_code) + ", expected " +
+           std::to_string(c.trap_code));
+    } else if (expect_fixed) {
+      note("probe [" + c.id + "]: exploit still fires");
+    }
+  } else {
+    rep.exploit_rejected = ex->value == kEinval;
+    if (expect_fixed && !rep.exploit_rejected) {
+      note("probe [" + c.id + "]: exploit returned " +
+           std::to_string(ex->value) + ", not -EINVAL");
+    }
+    if (!expect_fixed) {
+      note("probe [" + c.id + "]: exploit did not trap pre-patch");
+    }
+  }
+
+  auto ben = probe(c.syscall_nr, c.benign_args);
+  if (!ben) {
+    note("probe [" + c.id + "]: benign syscall stuck: " +
+         ben.status().message());
+  } else if (ben->oops) {
+    note("probe [" + c.id + "]: benign syscall oopsed");
+  } else {
+    rep.benign_ok = true;
+    rep.benign_value = ben->value;
+  }
+  return rep;
 }
 
 }  // namespace kshot::cve

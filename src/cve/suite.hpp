@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,13 @@ const std::vector<CveCase>& all_cases();
 /// Case lookup by id; aborts if unknown (benchmark ids are compile-time).
 const CveCase& find_case(const std::string& id);
 
+/// Case lookup that also understands synthesized ids: table cases are
+/// returned as-is, "SYNTH-<TAG>-<seed>" ids are regenerated on the fly
+/// (synth.hpp — the id alone is the whole case), anything else is
+/// kNotFound. Fleet, batching and CLI paths resolve through this so a
+/// synthesized case is usable anywhere a table CVE id is.
+Result<CveCase> resolve_case(const std::string& id);
+
 /// The 6 CVEs of Figs. 4 and 5.
 std::vector<std::string> figure_case_ids();
 
@@ -85,5 +93,36 @@ Result<std::vector<CveCase>> batch_part_cases(
 inline constexpr int kSysAccount = 1;  // bumps jiffies
 inline constexpr int kSysBusy = 2;     // CPU-bound loop, arg = iterations
 inline constexpr int kSysHash = 3;     // hashes arg
+
+// ---- Shared exploit/benign probing ----------------------------------------
+
+/// One syscall observation, stripped of any execution-backend detail.
+struct ProbeOutcome {
+  bool oops = false;
+  u8 trap_code = 0;
+  u64 value = 0;
+};
+
+/// Runs syscall `nr` with `args` against some live deployment. Adapters
+/// exist for each backend (testbed::prober); cve stays dependency-free.
+using ProbeFn =
+    std::function<Result<ProbeOutcome>(int, const std::array<u64, 5>&)>;
+
+struct ProbeReport {
+  bool exploit_trapped = false;   // exploit oopsed with the case's trap code
+  bool exploit_rejected = false;  // exploit returned -EINVAL (patched)
+  bool benign_ok = false;         // benign syscall completed without oops
+  u64 benign_value = 0;
+  std::string detail;             // first contract violation, or empty
+};
+
+/// Probes one case through `probe`: runs the exploit and the benign args
+/// and classifies the outcomes against the case's contract. `expect_fixed`
+/// selects which exploit behaviour is a violation (detail is set when the
+/// observation contradicts the expectation, or any probe errors/oopses on
+/// benign input). Both the fleet health checks and the CVE tests layer on
+/// this single implementation.
+Result<ProbeReport> probe_case(const CveCase& c, const ProbeFn& probe,
+                               bool expect_fixed);
 
 }  // namespace kshot::cve

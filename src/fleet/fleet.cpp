@@ -57,12 +57,10 @@ double modeled_makespan_us(const FleetReport& report, u32 jobs) {
 FleetController::FleetController(FleetOptions opts)
     : opts_(std::move(opts)) {
   if (opts_.jobs == 0) opts_.jobs = 1;
-  for (const auto& c : cve::all_cases()) {
-    if (c.id == opts_.cve_id) {
-      case_ = c;
-      break;
-    }
-  }
+  // resolve_case also understands synthesized SYNTH-* ids (regenerated from
+  // the id alone); a failed lookup is reported by boot_fleet.
+  auto resolved = cve::resolve_case(opts_.cve_id);
+  if (resolved) case_ = *resolved;
 }
 
 FleetController::~FleetController() = default;
@@ -159,17 +157,17 @@ bool FleetController::health_check(testbed::Testbed& t,
   } else {
     for (const cve::CveCase& p : batch_parts_) probes.push_back(&p);
   }
+  cve::ProbeFn probe_fn = testbed::prober(t);
   for (u32 probe = 0; probe < opts_.rollout.health_probes; ++probe) {
     for (const cve::CveCase* c : probes) {
-      auto benign = t.run_syscall(c->syscall_nr, c->benign_args);
-      if (!benign.is_ok() || benign->oops) {
-        out.detail = "health probe [" + c->id + "]: benign syscall " +
-                     std::string(benign.is_ok() ? "oopsed" : "stuck");
+      auto rep = cve::probe_case(*c, probe_fn, /*expect_fixed=*/true);
+      if (!rep) {
+        out.detail = "health probe [" + c->id + "]: " +
+                     rep.status().message();
         return false;
       }
-      auto exploit = t.run_syscall(c->syscall_nr, c->exploit_args);
-      if (!exploit.is_ok() || exploit->oops) {
-        out.detail = "health probe [" + c->id + "]: exploit still fires";
+      if (!rep->detail.empty()) {
+        out.detail = "health " + rep->detail;
         return false;
       }
     }

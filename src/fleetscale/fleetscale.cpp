@@ -112,9 +112,9 @@ Status FleetCoordinator::validate(const FleetScaleOptions& opts) {
 Result<FleetScaleReport> FleetCoordinator::run() {
   Status v = validate(opts_);
   if (!v.is_ok()) return v;
-  bool known = false;
-  for (const auto& c : cve::all_cases()) known = known || c.id == opts_.cve_id;
-  if (!known) {
+  // Table ids and synthesized SYNTH-* ids both resolve here.
+  auto resolved = cve::resolve_case(opts_.cve_id);
+  if (!resolved) {
     return Status{Errc::kNotFound,
                   "fleetscale: unknown CVE case " + opts_.cve_id};
   }
@@ -140,7 +140,7 @@ Result<FleetScaleReport> FleetCoordinator::run() {
   // Reference envelope: one real testbed + the real PatchServer build the
   // sealed wire the relay tier distributes. Content addressing starts here —
   // everything downstream is keyed by this digest.
-  auto ref = testbed::Testbed::boot(cve::find_case(opts_.cve_id));
+  auto ref = testbed::Testbed::boot(*resolved);
   if (!ref.is_ok()) return ref.status();
   auto set = (*ref)->server().build_patchset(opts_.cve_id,
                                              (*ref)->kernel().os_info());

@@ -290,7 +290,8 @@ std::vector<std::pair<std::string, std::string>> seed_kcc_cases() {
 Status write_seed_corpus(const std::string& dir) {
   std::error_code ec;
   for (const char* sub :
-       {"package", "netsim", "kcc", "attacker_schedule", "lifecycle"}) {
+       {"package", "netsim", "kcc", "attacker_schedule", "lifecycle",
+        "synth"}) {
     fs::create_directories(fs::path(dir) / sub, ec);
     if (ec) {
       return Status{Errc::kInternal, "cannot create corpus dir: " + dir};
@@ -320,6 +321,11 @@ Status write_seed_corpus(const std::string& dir) {
   for (const auto& [name, bytes] : seed_lifecycle_cases()) {
     auto st = write(fs::path(dir) / "lifecycle" / (name + ".hex"),
                     encode_hex_file(bytes, "lifecycle seed: " + name));
+    if (!st.is_ok()) return st;
+  }
+  for (const auto& [name, bytes] : seed_synth_cases()) {
+    auto st = write(fs::path(dir) / "synth" / (name + ".hex"),
+                    encode_hex_file(bytes, "cve-synth seed: " + name));
     if (!st.is_ok()) return st;
   }
   for (const auto& [name, src] : seed_kcc_cases()) {

@@ -136,8 +136,22 @@ std::unique_ptr<Surface> make_attacker_schedule_surface(
 /// memory outside SMRAM/mailbox/mem_W/mem_X byte-identically.
 std::unique_ptr<Surface> make_lifecycle_surface();
 
+struct SynthSurfaceOptions {
+  /// Self-test seam: plants every generated case's defensive fault-site
+  /// limit one too high (cve::SynthOptions::misplant_off_by_one), so the
+  /// probe-contract oracle must catch the mis-planted guard. Test-only.
+  bool misplant_off_by_one = false;
+};
+
+/// Fuzzes the CVE synthesizer itself: each case decodes to (bug class,
+/// knobs, seed), generates a SynthCase, and runs the full cve::check_case
+/// oracle stack — probe contract on the AST evaluator, evaluator-vs-machine
+/// differential, and structural diff confinement. Corpus dir: "synth".
+std::unique_ptr<Surface> make_cve_synth_surface(SynthSurfaceOptions o = {});
+
 /// Factory by surface name ("package", "netsim", "kcc",
-/// "attacker_schedule", "lifecycle"); null for unknown.
+/// "attacker_schedule", "lifecycle", "cve_synth" — alias "synth", which is
+/// also its corpus dir); null for unknown.
 std::unique_ptr<Surface> make_surface(const std::string& name);
 
 /// Runs `opts.iters` generated cases, shrinking any failure.
@@ -180,6 +194,7 @@ std::vector<std::pair<std::string, Bytes>> seed_package_cases();
 std::vector<std::pair<std::string, Bytes>> seed_netsim_cases();
 std::vector<std::pair<std::string, Bytes>> seed_attacker_cases();
 std::vector<std::pair<std::string, Bytes>> seed_lifecycle_cases();
+std::vector<std::pair<std::string, Bytes>> seed_synth_cases();
 std::vector<std::pair<std::string, std::string>> seed_kcc_cases();
 
 // ---- Hex helpers (corpus file format) ---------------------------------------

@@ -172,15 +172,20 @@ std::vector<FuzzReport> replay_corpus(const std::vector<CorpusEntry>& entries,
   // sorted by surface, so this is also sorted).
   std::vector<FuzzReport> reports;
   std::unique_ptr<Surface> surface;
+  // Group by the *requested* directory name, not surface->name(): aliases
+  // (corpus dir "synth" -> surface "cve_synth") would otherwise re-create
+  // the surface — and open a fresh report — for every entry.
+  std::string current;
   FuzzReport* rep = nullptr;
   u32 index = 0;
   for (const auto& e : entries) {
-    if (!surface || e.surface != surface->name()) {
+    if (!surface || e.surface != current) {
       surface = make_surface(e.surface);
+      current = e.surface;
       if (!surface) continue;  // unknown surface directory: skip
       reports.emplace_back();
       rep = &reports.back();
-      rep->surface = e.surface;
+      rep->surface = surface->name();
       rep->seed = opts.seed;
       index = 0;
     }
@@ -195,6 +200,8 @@ std::unique_ptr<Surface> make_surface(const std::string& name) {
   if (name == "kcc") return make_kcc_surface();
   if (name == "attacker_schedule") return make_attacker_schedule_surface();
   if (name == "lifecycle") return make_lifecycle_surface();
+  // "synth" is both the CLI alias and the corpus directory name.
+  if (name == "cve_synth" || name == "synth") return make_cve_synth_surface();
   return nullptr;
 }
 

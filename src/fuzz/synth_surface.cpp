@@ -1,0 +1,182 @@
+// CVE-synthesizer surface: fuzzes the auto-CVE generator itself. A case is
+// a tiny knob wire — (bug class, shape flags, filler, helpers, seed, limit)
+// — decoded into cve::SynthKnobs; the target is cve::make_case and the
+// oracle is the full cve::check_case stack:
+//
+//   probe contract    exploit traps pre-patch with the planted code,
+//                     returns -EINVAL post-patch, benign agrees pre/post;
+//   differential      the AST evaluator and the compiled machine agree on
+//                     oops/trap/value/globals under two optimizer configs;
+//   diff confinement  pre/post sources differ only at the planted site.
+//
+// Any knob combination must synthesize a case passing all three or be
+// rejected cleanly by make_case — a generated-but-wrong case is a failure.
+// The misplant_off_by_one self-test seam plants the defensive fault-site
+// limit one too high, and the probe-contract oracle must catch it.
+//
+// Wire (1..16 bytes, zero-padded to 16):
+//   [0]      bug class (mod 3)
+//   [1]      shape flags: bit0 inline_flaw, bit1 guard_in_helper,
+//            bit2 add_global_fix, bit3 size_neutral_fix
+//   [2]      filler_lines   [3] helpers
+//   [4..11]  case seed (u64 LE)
+//   [12..15] guard limit (u32 LE)
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "cve/synth.hpp"
+#include "fuzz/fuzz.hpp"
+
+namespace kshot::fuzz {
+
+namespace {
+
+constexpr size_t kWireLen = 16;
+
+struct DecodedCase {
+  cve::SynthKnobs knobs;
+  u64 seed = 0;
+};
+
+DecodedCase decode(ByteSpan encoded) {
+  u8 w[kWireLen] = {};
+  for (size_t i = 0; i < encoded.size() && i < kWireLen; ++i) {
+    w[i] = encoded[i];
+  }
+  DecodedCase d;
+  d.knobs.bug_class = static_cast<cve::BugClass>(w[0] % 3);
+  d.knobs.inline_flaw = (w[1] & 1) != 0;
+  d.knobs.guard_in_helper = (w[1] & 2) != 0;
+  d.knobs.add_global_fix = (w[1] & 4) != 0;
+  d.knobs.size_neutral_fix = (w[1] & 8) != 0;
+  d.knobs.filler_lines = w[2];
+  d.knobs.helpers = w[3];
+  for (int i = 7; i >= 0; --i) d.seed = (d.seed << 8) | w[4 + i];
+  u64 limit = 0;
+  for (int i = 3; i >= 0; --i) limit = (limit << 8) | w[12 + i];
+  d.knobs.limit = limit;
+  // normalize_knobs (inside make_case) clamps ranges and reconciles the
+  // flag interactions, so every wire decodes to a generatable shape.
+  return d;
+}
+
+class SynthSurface final : public Surface {
+ public:
+  explicit SynthSurface(SynthSurfaceOptions o) : opts_(o) {}
+
+  const char* name() const override { return "cve_synth"; }
+
+  Bytes generate(Rng& rng) override {
+    Bytes w(kWireLen, 0);
+    w[0] = rng.next_byte();
+    w[1] = rng.next_byte();
+    w[2] = static_cast<u8>(rng.next_below(10));
+    w[3] = static_cast<u8>(rng.next_below(5));
+    u64 seed = rng.next();
+    for (int i = 0; i < 8; ++i) w[4 + i] = static_cast<u8>(seed >> (8 * i));
+    // Bias toward in-range limits; out-of-range ones exercise the clamp.
+    u64 limit = rng.next_below(4) == 0 ? rng.next() : (8ull << rng.next_below(11));
+    for (int i = 0; i < 4; ++i) w[12 + i] = static_cast<u8>(limit >> (8 * i));
+    // Occasionally truncate: short wires decode zero-padded.
+    if (rng.next_below(8) == 0) {
+      w.resize(1 + rng.next_below(kWireLen));
+    }
+    return w;
+  }
+
+  Verdict execute(ByteSpan encoded) override {
+    Verdict v;
+    if (encoded.empty()) {
+      v.kind = Verdict::Kind::kRejected;
+      return v;
+    }
+    DecodedCase d = decode(encoded);
+    cve::SynthOptions so;
+    so.misplant_off_by_one = opts_.misplant_off_by_one;
+    auto sc = cve::make_case(d.knobs, d.seed, so);
+    if (!sc) {
+      // A clean generator-side rejection is fine; it must be a Status, not
+      // a malformed case.
+      v.kind = Verdict::Kind::kRejected;
+      return v;
+    }
+    Status st = cve::check_case(*sc);
+    if (!st.is_ok()) {
+      v.kind = Verdict::Kind::kAccepted;
+      v.failure = {oracle_for(st.message()),
+                   sc->cve.id + ": " + st.message()};
+      return v;
+    }
+    v.kind = Verdict::Kind::kAccepted;
+    return v;
+  }
+
+  std::string describe(ByteSpan encoded) const override {
+    DecodedCase d = decode(encoded);
+    cve::SynthKnobs k = d.knobs;
+    cve::normalize_knobs(k);
+    std::ostringstream os;
+    os << Surface::describe(encoded);
+    char seedbuf[32];
+    std::snprintf(seedbuf, sizeof(seedbuf), "0x%llx",
+                  static_cast<unsigned long long>(d.seed));
+    os << "decoded: class=" << cve::bug_class_tag(k.bug_class)
+       << " seed=" << seedbuf << " inline=" << k.inline_flaw
+       << " guard_in_helper=" << k.guard_in_helper
+       << " global_add=" << k.add_global_fix
+       << " size_neutral=" << k.size_neutral_fix
+       << " filler=" << k.filler_lines << " helpers=" << k.helpers
+       << " limit=" << k.limit << "\n";
+    return os.str();
+  }
+
+ private:
+  static std::string oracle_for(const std::string& msg) {
+    if (msg.rfind("probe contract", 0) == 0) return "probe-contract";
+    if (msg.find("differential") != std::string::npos) return "differential";
+    if (msg.rfind("diff confinement", 0) == 0) return "diff-confinement";
+    return "synth-oracle";
+  }
+
+  SynthSurfaceOptions opts_;
+};
+
+}  // namespace
+
+std::unique_ptr<Surface> make_cve_synth_surface(SynthSurfaceOptions o) {
+  return std::make_unique<SynthSurface>(o);
+}
+
+std::vector<std::pair<std::string, Bytes>> seed_synth_cases() {
+  // One canonical wire per bug class × a distinctive shape, plus the edge
+  // shapes regressions came from: a zero-padded short wire and a
+  // size-neutral case (the splice-eligible derivation).
+  auto wire = [](u8 cls, u8 flags, u8 filler, u8 helpers, u64 seed,
+                 u32 limit) {
+    Bytes w(kWireLen, 0);
+    w[0] = cls;
+    w[1] = flags;
+    w[2] = filler;
+    w[3] = helpers;
+    for (int i = 0; i < 8; ++i) w[4 + i] = static_cast<u8>(seed >> (8 * i));
+    for (int i = 0; i < 4; ++i) w[12 + i] = static_cast<u8>(limit >> (8 * i));
+    return w;
+  };
+  std::vector<std::pair<std::string, Bytes>> out;
+  // OOB, guard in helper, fix grows (trampoline path).
+  out.emplace_back("oob_grown", wire(0, 0x2, 2, 1, 0x0A0B0C0D, 512));
+  // CHK, inline flaw (Type 2, callers implicated).
+  out.emplace_back("chk_inline", wire(1, 0x3, 1, 2, 0x11223344, 256));
+  // DSP, entry guard + audit global (Type 3).
+  out.emplace_back("dsp_global_entry", wire(2, 0x4, 3, 1, 0x55667788, 1024));
+  // OOB, size-neutral fix: pad-equalized, exercises the splice path.
+  out.emplace_back("oob_size_neutral", wire(0, 0xA, 0, 1, 0x99AABBCC, 128));
+  // Short wire: everything past byte 5 decodes as zero (clamps kick in).
+  Bytes shorty = wire(1, 0x2, 4, 3, 0x42, 64);
+  shorty.resize(5);
+  out.emplace_back("chk_short_wire", shorty);
+  return out;
+}
+
+}  // namespace kshot::fuzz

@@ -1,0 +1,70 @@
+#include "kcc/mutate.hpp"
+
+namespace kshot::kcc {
+
+namespace {
+
+/// Matches the canonical fixed-rejection idioms: `return (0 - 22);` or the
+/// inline-safe assignment form `r = (0 - 22);` (inline functions may not
+/// return early, so fixes planted there clamp a result variable instead).
+bool is_einval_action(const Stmt& s) {
+  if (s.kind != Stmt::Kind::kReturn && s.kind != Stmt::Kind::kAssign) {
+    return false;
+  }
+  if (!s.value) return false;
+  const Expr& e = *s.value;
+  return e.kind == Expr::Kind::kBin && e.op == BinOp::kSub &&
+         e.lhs->kind == Expr::Kind::kNum && e.lhs->num == 0 &&
+         e.rhs->kind == Expr::Kind::kNum && e.rhs->num == 22;
+}
+
+}  // namespace
+
+int find_einval_guard(const Function& fn) {
+  for (size_t i = 0; i < fn.body.size(); ++i) {
+    const Stmt& s = *fn.body[i];
+    if (s.kind != Stmt::Kind::kIf || !s.else_body.empty()) continue;
+    if (!s.body.empty() && is_einval_action(*s.body.back())) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+bool drop_einval_guard(Function& fn) {
+  int i = find_einval_guard(fn);
+  if (i < 0) return false;
+  fn.body.erase(fn.body.begin() + i);
+  return true;
+}
+
+bool trap_einval_guard(Function& fn, i64 trap) {
+  int i = find_einval_guard(fn);
+  if (i < 0) return false;
+  auto bug = std::make_unique<Stmt>();
+  bug->kind = Stmt::Kind::kBug;
+  bug->num = trap;
+  fn.body[static_cast<size_t>(i)]->body.clear();
+  fn.body[static_cast<size_t>(i)]->body.push_back(std::move(bug));
+  return true;
+}
+
+bool drop_global(Module& m, const std::string& name) {
+  for (size_t i = 0; i < m.globals.size(); ++i) {
+    if (m.globals[i].name == name) {
+      m.globals.erase(m.globals.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool set_leading_pad(Function& fn, i64 bytes) {
+  if (fn.body.empty() || fn.body.front()->kind != Stmt::Kind::kPad) {
+    return false;
+  }
+  fn.body.front()->num = bytes;
+  return true;
+}
+
+}  // namespace kshot::kcc

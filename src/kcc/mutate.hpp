@@ -1,0 +1,40 @@
+// AST mutation hooks over ksrc modules. The CVE synthesizer (cve/synth.*)
+// builds the *fixed* source as an AST and derives the matching vulnerable
+// source by mutating a clone at the planted site: dropping the -EINVAL
+// guard (fix-adds-validation, the patch grows), swapping the guard action
+// for a trap (size-neutral fix, splice-eligible), removing a post-only
+// audit global, and retuning pad() size shaping.
+#pragma once
+
+#include <string>
+
+#include "kcc/ast.hpp"
+
+namespace kshot::kcc {
+
+/// Index into fn.body of the first else-less `if` whose then-body ends in
+/// `return (0 - 22);` — the suite's canonical -EINVAL guard idiom — or in
+/// the inline-safe assignment form `r = (0 - 22);` (inline functions may
+/// not return early). Returns -1 when the function has no such guard.
+int find_einval_guard(const Function& fn);
+
+/// Deletes the guard statement entirely, so the vulnerable body is the
+/// fixed body minus the validation. Returns false when no guard exists.
+bool drop_einval_guard(Function& fn);
+
+/// Replaces the guard's then-body with a single `bug(trap);`, keeping the
+/// compare + branch: the vulnerable and fixed bodies then differ only in
+/// the guarded action, the size-neutral shape the in-place splice path
+/// needs. Returns false when no guard exists.
+bool trap_einval_guard(Function& fn, i64 trap);
+
+/// Removes a global declaration (a post-patch-only audit counter). Any
+/// uses are expected to live inside statements removed by
+/// drop_einval_guard. Returns false when the global does not exist.
+bool drop_global(Module& m, const std::string& name);
+
+/// Sets the byte count of the function's leading pad() statement. Returns
+/// false when the first statement is not a pad().
+bool set_leading_pad(Function& fn, i64 bytes);
+
+}  // namespace kshot::kcc

@@ -136,6 +136,19 @@ kcc::CompileOptions Testbed::compile_options() const {
   return options_for_layout(kernel_->layout(), case_.kernel);
 }
 
+cve::ProbeFn prober(Testbed& tb) {
+  return [&tb](int nr,
+               const std::array<u64, 5>& args) -> Result<cve::ProbeOutcome> {
+    auto out = tb.run_syscall(nr, args);
+    if (!out) return out.status();
+    cve::ProbeOutcome po;
+    po.oops = out->oops;
+    po.trap_code = static_cast<u8>(out->trap_code);
+    po.value = out->value;
+    return po;
+  };
+}
+
 cve::CveCase make_size_sweep_case(size_t target_bytes) {
   cve::CveCase c;
   c.id = "SWEEP-" + std::to_string(target_bytes);

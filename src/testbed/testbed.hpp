@@ -109,6 +109,11 @@ class Testbed {
 kcc::CompileOptions options_for_layout(const kernel::MemoryLayout& lay,
                                        const std::string& version);
 
+/// Adapts a booted testbed to the backend-free cve::ProbeFn signature, so
+/// cve::probe_case() (fleet health checks, the CVE tests) can drive this
+/// deployment. The testbed must outlive the returned callable.
+cve::ProbeFn prober(Testbed& tb);
+
 /// Synthesizes a case whose post-patch binary payload is approximately
 /// `target_bytes`, for the Table II/III patch-size sweeps (40 B .. 10 MB).
 /// The exact payload size is whatever the compiler emits; benches report it.

@@ -43,13 +43,14 @@ TEST_P(CveSuite, ExploitFiresPrePatch) {
   const CveCase& c = find_case(GetParam());
   auto tb = testbed::Testbed::boot(c, {.seed = 0x999});
   ASSERT_TRUE(tb.is_ok()) << tb.status().to_string();
-  auto exploit = (*tb)->run_exploit();
-  ASSERT_TRUE(exploit.is_ok()) << exploit.status().to_string();
-  EXPECT_TRUE(exploit->oops) << c.id << " exploit did not fire";
-  EXPECT_EQ(exploit->trap_code, c.trap_code);
-  auto benign = (*tb)->run_benign();
-  ASSERT_TRUE(benign.is_ok());
-  EXPECT_FALSE(benign->oops);
+  // The shared probe contract (cve::probe_case, also the fleet health-check
+  // path): pre-patch, the exploit must trap with the case's code and the
+  // benign syscall must succeed.
+  auto rep = probe_case(c, testbed::prober(**tb), /*expect_fixed=*/false);
+  ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+  EXPECT_TRUE(rep->detail.empty()) << rep->detail;
+  EXPECT_TRUE(rep->exploit_trapped) << c.id << " exploit did not fire";
+  EXPECT_TRUE(rep->benign_ok);
 }
 
 TEST_P(CveSuite, PatchSetHasExpectedShape) {
@@ -106,23 +107,24 @@ TEST_P(CveSuite, KshotLivePatchEndToEnd) {
   auto tb = testbed::Testbed::boot(c, {.seed = 0xABC});
   ASSERT_TRUE(tb.is_ok()) << tb.status().to_string();
   testbed::Testbed& t = **tb;
+  auto probe = testbed::prober(t);
 
-  auto benign_before = t.run_benign();
-  ASSERT_TRUE(benign_before.is_ok());
+  auto before = probe_case(c, probe, /*expect_fixed=*/false);
+  ASSERT_TRUE(before.is_ok()) << before.status().to_string();
+  EXPECT_TRUE(before->detail.empty()) << before->detail;
+  ASSERT_TRUE(before->benign_ok);
 
   auto report = t.kshot().live_patch(c.id);
   ASSERT_TRUE(report.is_ok()) << c.id << ": " << report.status().to_string();
   ASSERT_TRUE(report->success)
       << c.id << " smm status " << static_cast<u64>(report->smm_status);
 
-  auto exploit = t.run_exploit();
-  ASSERT_TRUE(exploit.is_ok()) << exploit.status().to_string();
-  EXPECT_FALSE(exploit->oops) << c.id << " still exploitable after patch";
-
-  auto benign_after = t.run_benign();
-  ASSERT_TRUE(benign_after.is_ok());
-  EXPECT_FALSE(benign_after->oops);
-  EXPECT_EQ(benign_after->value, benign_before->value)
+  auto after = probe_case(c, probe, /*expect_fixed=*/true);
+  ASSERT_TRUE(after.is_ok()) << after.status().to_string();
+  EXPECT_FALSE(after->exploit_trapped)
+      << c.id << " still exploitable after patch";
+  ASSERT_TRUE(after->benign_ok);
+  EXPECT_EQ(after->benign_value, before->benign_value)
       << c.id << " patch changed benign behaviour";
 }
 

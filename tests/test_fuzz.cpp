@@ -175,6 +175,11 @@ TEST(FuzzCorpus, CheckedInCorpusMatchesCanonicalSeeds) {
     ASSERT_NE(e, nullptr) << "missing corpus file lifecycle/" << name;
     EXPECT_EQ(e->input, bytes) << "stale corpus file lifecycle/" << name;
   }
+  for (const auto& [name, bytes] : seed_synth_cases()) {
+    const auto* e = find("synth", name + ".hex");
+    ASSERT_NE(e, nullptr) << "missing corpus file synth/" << name;
+    EXPECT_EQ(e->input, bytes) << "stale corpus file synth/" << name;
+  }
 }
 
 TEST(FuzzCorpus, ReplaysCleanOnCurrentTree) {
@@ -184,8 +189,8 @@ TEST(FuzzCorpus, ReplaysCleanOnCurrentTree) {
   FuzzOptions opts;
   opts.seed = 1;
   auto reports = replay_corpus(*entries, opts);
-  // attacker_schedule, kcc, lifecycle, netsim, package
-  ASSERT_EQ(reports.size(), 5u);
+  // attacker_schedule, kcc, lifecycle, netsim, package, synth (cve_synth)
+  ASSERT_EQ(reports.size(), 6u);
   for (const auto& r : reports) {
     EXPECT_TRUE(r.failures.empty()) << r.to_string();
   }
@@ -196,6 +201,10 @@ TEST(FuzzCorpus, ReplaysCleanOnCurrentTree) {
     // Every checked-in lifecycle schedule lands at least one apply.
     if (r.surface == "lifecycle") {
       EXPECT_EQ(r.accepted, seed_lifecycle_cases().size()) << r.to_string();
+    }
+    // Every checked-in synth wire synthesizes a case passing all oracles.
+    if (r.surface == "cve_synth") {
+      EXPECT_EQ(r.accepted, seed_synth_cases().size()) << r.to_string();
     }
   }
 }

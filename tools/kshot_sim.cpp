@@ -21,9 +21,17 @@
 //
 //   kshot-sim single [CVE-ID]              `patch` with a default case
 //
+//   kshot-sim synth [flags]                auto-CVE campaign (DESIGN.md §14)
+//       --cases N      synthesized cases (default 200), classes cycled
+//       --classes CSV  bug classes to cycle (OOB, CHK, DSP)
+//       --live K       also live-patch the first K cases end to end
+//       every case must pass the probe contract, the evaluator-vs-machine
+//       differential (two optimizer configs), and diff confinement; the
+//       report is byte-identical across --jobs
+//
 //   kshot-sim fuzz [flags]                 invariant-oracle fuzzing (DESIGN.md §9)
-//       --surface S    package | netsim | kcc | attacker_schedule | all
-//                      (default package)
+//       --surface S    package | netsim | kcc | attacker_schedule | synth
+//                      | all (default package)
 //       --iters N      generated cases per surface (default 200)
 //       --time-budget T  wall-clock cap in seconds (0 = off; breaks
 //                      run-to-run case-count determinism)
@@ -31,7 +39,8 @@
 //       --write-corpus DIR   write the canonical seed corpus and exit
 //       --replay FILE  re-execute one corpus file (needs --surface)
 //       --selftest     re-open the fixed seams (wrapping bounds, TOCTOU
-//                      double fetch) and prove the oracles catch both
+//                      double fetch, mis-planted synth guard) and prove
+//                      the oracles catch all three
 //
 //   kshot-sim attack [flags]               seeded async-adversary campaign
 //       --schedule-seed S  base seed for the schedule generator
@@ -63,6 +72,7 @@
 #include "baselines/kpatch_sim.hpp"
 #include "benchkit/benchkit.hpp"
 #include "common/hex.hpp"
+#include "cve/synth.hpp"
 #include "fleet/fleet.hpp"
 #include "fleetscale/fleetscale.hpp"
 #include "fuzz/fuzz.hpp"
@@ -83,6 +93,8 @@ struct CommonFlags {
   std::string trace_out;  // --trace-out FILE: Chrome-trace JSON destination
   bool metrics = false;   // --metrics: dump the metrics snapshot on exit
 };
+
+void usage();
 
 int write_file(const std::string& path, const std::string& body) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -110,8 +122,20 @@ int cmd_list() {
   return 0;
 }
 
+/// Table ids resolve as-is; "SYNTH-<TAG>-<seed>" ids are regenerated on the
+/// fly (cve::resolve_case), so every single-case command accepts both.
+Result<cve::CveCase> resolve_or_report(const std::string& id) {
+  auto resolved = cve::resolve_case(id);
+  if (!resolved.is_ok()) {
+    std::fprintf(stderr, "%s\n", resolved.status().to_string().c_str());
+  }
+  return resolved;
+}
+
 int cmd_exploit(const std::string& id, const CommonFlags& common) {
-  const auto& c = cve::find_case(id);
+  auto rc = resolve_or_report(id);
+  if (!rc.is_ok()) return 1;
+  const cve::CveCase& c = *rc;
   auto tb = testbed::Testbed::boot(c, {.seed = common.seed});
   if (!tb.is_ok()) {
     std::fprintf(stderr, "boot failed: %s\n", tb.status().to_string().c_str());
@@ -130,7 +154,9 @@ int cmd_exploit(const std::string& id, const CommonFlags& common) {
 
 int cmd_patch(const std::string& id, const CommonFlags& common, bool rootkit,
               bool watchdog, bool guard, bool use_kpatch) {
-  const auto& c = cve::find_case(id);
+  auto rc = resolve_or_report(id);
+  if (!rc.is_ok()) return 1;
+  const cve::CveCase& c = *rc;
   obs::TraceRecorder trace;
   obs::MetricsRegistry metrics;
   testbed::TestbedOptions opts;
@@ -206,7 +232,9 @@ int cmd_patch(const std::string& id, const CommonFlags& common, bool rootkit,
 }
 
 int cmd_disasm(const std::string& id, const std::string& fn) {
-  const auto& c = cve::find_case(id);
+  auto rc = resolve_or_report(id);
+  if (!rc.is_ok()) return 1;
+  const cve::CveCase& c = *rc;
   auto tb = testbed::Testbed::boot(c, {.install_kshot = false});
   if (!tb.is_ok()) return 1;
   const auto& img = (*tb)->kernel().image();
@@ -227,7 +255,9 @@ int cmd_disasm(const std::string& id, const std::string& fn) {
 }
 
 int cmd_package(const std::string& id) {
-  const auto& c = cve::find_case(id);
+  auto rc = resolve_or_report(id);
+  if (!rc.is_ok()) return 1;
+  const cve::CveCase& c = *rc;
   auto tb = testbed::Testbed::boot(c, {.install_kshot = false});
   if (!tb.is_ok()) return 1;
   auto set = (*tb)->server().build_patchset(id, (*tb)->kernel().os_info());
@@ -573,7 +603,7 @@ int cmd_fuzz(const FuzzCliOptions& o) {
     if (!surface) {
       std::fprintf(stderr,
                    "--replay needs --surface "
-                   "package|netsim|kcc|attacker_schedule\n");
+                   "package|netsim|kcc|attacker_schedule|synth\n");
       return 2;
     }
     std::printf("%s\n", surface->describe(input).c_str());
@@ -599,10 +629,11 @@ int cmd_fuzz(const FuzzCliOptions& o) {
     return print_reports(fuzz::replay_corpus(*entries, o.fuzz));
   }
   if (o.selftest) {
-    // Re-introduce each fixed bug class in the SMM target and prove the
-    // oracles catch it with a small shrunk repro: the pre-fix wrapping
-    // bounds check (package surface) and the pre-hardening TOCTOU double
-    // fetch (attacker_schedule surface).
+    // Re-introduce each fixed bug class in the target and prove the oracles
+    // catch it with a small shrunk repro: the pre-fix wrapping bounds check
+    // (package surface), the pre-hardening TOCTOU double fetch
+    // (attacker_schedule surface), and an off-by-one mis-planted guard in
+    // the CVE synthesizer (cve_synth surface, probe-contract oracle).
     struct Seam {
       const char* what;
       std::unique_ptr<fuzz::Surface> surface;
@@ -614,6 +645,9 @@ int cmd_fuzz(const FuzzCliOptions& o) {
     seams.push_back({"double-fetch TOCTOU bug",
                      fuzz::make_attacker_schedule_surface(
                          {.legacy_double_fetch = true})});
+    seams.push_back({"mis-planted synth guard",
+                     fuzz::make_cve_synth_surface(
+                         {.misplant_off_by_one = true})});
     for (auto& s : seams) {
       auto rep = fuzz::run_fuzz(*s.surface, o.fuzz);
       std::fputs(rep.to_string().c_str(), stdout);
@@ -630,7 +664,7 @@ int cmd_fuzz(const FuzzCliOptions& o) {
   }
   std::vector<std::string> surfaces;
   if (o.surface == "all") {
-    surfaces = {"package", "netsim", "kcc", "attacker_schedule"};
+    surfaces = {"package", "netsim", "kcc", "attacker_schedule", "cve_synth"};
   } else {
     surfaces = {o.surface};
   }
@@ -724,6 +758,65 @@ int cmd_attack(u64 schedule_seed, u32 variants, u32 jobs) {
   return 0;
 }
 
+/// `synth`: seeded auto-CVE campaign (DESIGN.md §14). Every case is
+/// generated from the campaign seed stream and judged by the full oracle
+/// stack — probe contract on the AST evaluator, evaluator-vs-machine
+/// differential under two optimizer configs, structural diff confinement —
+/// before it is allowed near the live pipeline. `--live N` additionally
+/// pushes the first N cases through a full boot -> seal -> stage -> apply
+/// deployment and re-probes the exploit. stdout carries ONLY the campaign
+/// report, byte-identical across --jobs, so CI can cmp two runs.
+int cmd_synth(const CommonFlags& common, u32 cases,
+              const std::string& classes_csv, u32 live) {
+  cve::CampaignOptions o;
+  o.seed = common.seed;
+  o.cases = cases;
+  o.jobs = common.jobs;
+  if (!classes_csv.empty()) {
+    o.classes.clear();
+    for (const auto& tag : split_ids(classes_csv)) {
+      auto cls = cve::bug_class_from_tag(tag);
+      if (!cls.is_ok()) {
+        std::fprintf(stderr, "synth: %s\n",
+                     cls.status().to_string().c_str());
+        usage();
+        return 2;
+      }
+      o.classes.push_back(*cls);
+    }
+  }
+  if (live > 0) {
+    o.live_cases = live;
+    o.live_probe = [&common](const cve::SynthCase& sc) -> Status {
+      auto tb = testbed::Testbed::boot(sc.cve, {.seed = common.seed});
+      if (!tb.is_ok()) return tb.status();
+      testbed::Testbed& t = **tb;
+      auto probe = testbed::prober(t);
+      auto pre = cve::probe_case(sc.cve, probe, /*expect_fixed=*/false);
+      if (!pre.is_ok()) return pre.status();
+      if (!pre->detail.empty()) return Status{Errc::kInternal, pre->detail};
+      auto rep = t.kshot().live_patch(sc.cve.id);
+      if (!rep.is_ok()) return rep.status();
+      if (!rep->success) {
+        return Status{Errc::kInternal,
+                      std::string("live patch failed: ") +
+                          core::smm_status_name(rep->smm_status)};
+      }
+      auto post = cve::probe_case(sc.cve, probe, /*expect_fixed=*/true);
+      if (!post.is_ok()) return post.status();
+      if (!post->detail.empty()) return Status{Errc::kInternal, post->detail};
+      return Status::ok();
+    };
+  }
+  auto rep = cve::run_campaign(o);
+  if (!rep.is_ok()) {
+    std::fprintf(stderr, "synth: %s\n", rep.status().to_string().c_str());
+    return 1;
+  }
+  std::fputs(rep->report.c_str(), stdout);
+  return rep->ok() ? 0 : 1;
+}
+
 void usage() {
   std::fprintf(
       stderr,
@@ -739,6 +832,8 @@ void usage() {
       "                 [--abort-rate R] [--drop R] [--corrupt R]\n"
       "                 [--batch A,B,C] (batched sessions per target)\n"
       "                 [--prep-jobs N] (server-side parallel patch prep)\n"
+      "                 [--synth-seed S] (roll out a synthesized CVE;\n"
+      "                 class cycles with S, id = SYNTH-<TAG>-<S>)\n"
       "       kshot-sim fleet [CVE-ID] --targets 1000000 [--shards R]\n"
       "                 [--sample K] [--relays M] [--relay-fanout F]\n"
       "                 [--fail-permille P]   planet-scale modeled rollout:\n"
@@ -756,8 +851,14 @@ void usage() {
       "                 across --jobs) for CI cmp\n"
       "       kshot-sim disasm <CVE-ID> <function>\n"
       "       kshot-sim package <CVE-ID>\n"
+      "       kshot-sim synth [--cases N] [--classes OOB,CHK,DSP] [--live K]\n"
+      "                 seeded auto-CVE campaign (DESIGN.md §14): every case\n"
+      "                 passes probe-contract + evaluator-vs-machine\n"
+      "                 differential + diff-confinement oracles; --live K\n"
+      "                 also live-patches the first K cases end to end;\n"
+      "                 report is byte-identical across --jobs for CI cmp\n"
       "       kshot-sim fuzz [--surface package|netsim|kcc|attacker_schedule"
-      "|all]\n"
+      "|synth|all]\n"
       "                 [--iters N] [--time-budget T] [--corpus DIR]\n"
       "                 [--write-corpus DIR] [--replay FILE] [--selftest]\n"
       "       kshot-sim attack [--schedule-seed S] [--variants N]\n"
@@ -797,7 +898,11 @@ int main(int argc, char** argv) {
     for (const char* f : {"--targets", "--canary", "--wave", "--abort-rate",
                           "--drop", "--corrupt", "--batch", "--prep-jobs",
                           "--shards", "--sample", "--relays", "--relay-fanout",
-                          "--fail-permille"}) {
+                          "--fail-permille", "--synth-seed"}) {
+      allowed_value.push_back(f);
+    }
+  } else if (cmd == "synth") {
+    for (const char* f : {"--cases", "--classes", "--live"}) {
       allowed_value.push_back(f);
     }
   } else if (cmd == "bench") {
@@ -902,6 +1007,16 @@ int main(int argc, char** argv) {
       }
       return false;
     };
+    // --synth-seed S targets a synthesized CVE instead of a table one: the
+    // bug class cycles with the seed (S mod 3) and the id round-trips
+    // through cve::resolve_case on every consumer down the line.
+    std::string synth_cve_id;
+    if (flag_present("--synth-seed")) {
+      u64 s = static_cast<u64>(value_flag("--synth-seed", 0));
+      synth_cve_id = cve::synth_id(static_cast<cve::BugClass>(s % 3), s);
+      std::fprintf(stderr, "fleet: synthesized target %s\n",
+                   synth_cve_id.c_str());
+    }
     double targets_v = value_flag("--targets", 8);
     // Planet-scale path: any sharding/relay/sampling flag — or a population
     // too large to boot one real testbed per target — routes to the modeled
@@ -918,6 +1033,7 @@ int main(int argc, char** argv) {
       }
       fleetscale::FleetScaleOptions so;
       if (args.size() >= 2 && args[1].rfind("--", 0) != 0) so.cve_id = args[1];
+      if (!synth_cve_id.empty()) so.cve_id = synth_cve_id;
       so.targets = static_cast<u64>(std::max(0.0, targets_v));
       so.shards = static_cast<u32>(std::max(0.0, value_flag("--shards", 4)));
       so.sample = static_cast<u32>(std::max(0.0, value_flag("--sample", 2)));
@@ -963,6 +1079,8 @@ int main(int argc, char** argv) {
     std::string batch_csv = string_flag("--batch", "");
     if (!batch_csv.empty()) {
       o.batch_cve_ids = split_ids(batch_csv);
+    } else if (!synth_cve_id.empty()) {
+      o.cve_id = synth_cve_id;
     } else if (args[1].rfind("--", 0) != 0) {
       o.cve_id = args[1];
     } else {
@@ -1029,6 +1147,11 @@ int main(int argc, char** argv) {
     u32 variants =
         static_cast<u32>(std::max(1.0, value_flag("--variants", 200)));
     return cmd_attack(schedule_seed, variants, common.jobs);
+  }
+  if (cmd == "synth") {
+    u32 cases = static_cast<u32>(std::max(1.0, value_flag("--cases", 200)));
+    u32 live = static_cast<u32>(std::max(0.0, value_flag("--live", 0)));
+    return cmd_synth(common, cases, string_flag("--classes", ""), live);
   }
   usage();
   return 2;
