@@ -241,6 +241,101 @@ T3SpliceRow run_t3_splice_row(size_t size, u64 seed) {
   return row;
 }
 
+// ---- Multi-CPU rendezvous legs (gated table3 rows) ------------------------
+// Minimal payload, so the rendezvous/resume machinery dominates: the gated
+// ratio proves parallel SMI entry + early AP release keep the 16-CPU
+// downtime within a small multiple of 1-CPU, while the serial row records
+// what the naive one-entry-per-CPU model would cost.
+
+struct T3McpuRow {
+  Status st = Status::ok();
+  u32 cpus = 1;
+  bool serial = false;
+  u64 downtime_cycles = 0;
+  u64 rendezvous_cycles = 0, handler_cycles = 0, resume_cycles = 0;
+};
+
+T3McpuRow run_t3_mcpu_row(u32 cpus, bool serial, u64 seed) {
+  T3McpuRow row;
+  row.cpus = cpus;
+  row.serial = serial;
+  const size_t size = 64;
+  cve::CveCase c = testbed::make_size_sweep_case(size);
+  testbed::TestbedOptions topts;
+  topts.layout = testbed::layout_for_patch_bytes(size);
+  topts.seed = seed;
+  topts.cpus = cpus;
+  topts.serial_rendezvous = serial;
+  auto tb = testbed::Testbed::boot(c, std::move(topts));
+  if (!tb) {
+    row.st = tb.status();
+    return row;
+  }
+  auto rep = (*tb)->kshot().live_patch(c.id);
+  if (!rep || !rep->success) {
+    row.st = !rep ? rep.status()
+                  : Status{Errc::kInternal, "mcpu-leg apply failed"};
+    return row;
+  }
+  row.downtime_cycles = rep->downtime_cycles;
+  row.rendezvous_cycles = rep->rendezvous_cycles;
+  row.handler_cycles = rep->handler_cycles;
+  row.resume_cycles = rep->resume_cycles;
+  return row;
+}
+
+// ---- Zero-copy staging leg (gated table3 row) -----------------------------
+// The same deployment run through the borrowed-span parser (default) and the
+// legacy copying parser (test seam); smm.staged_copies counts actual byte
+// copies of staged package data. Gated: copies_per_package must stay at 1
+// (the SMM write) and the zero-copy/legacy ratio must not grow.
+
+struct T3CopyRow {
+  Status st = Status::ok();
+  u64 zero_copy_copies = 0;
+  u64 legacy_copies = 0;
+};
+
+T3CopyRow run_t3_copy_row(u64 seed) {
+  T3CopyRow row;
+  const size_t size = 4096;
+  cve::CveCase c = testbed::make_size_sweep_case(size);
+  auto leg = [&](bool legacy) -> Result<u64> {
+    obs::MetricsRegistry reg;
+    testbed::TestbedOptions topts;
+    topts.layout = testbed::layout_for_patch_bytes(size);
+    topts.seed = seed;
+    topts.metrics = &reg;
+    auto tb = testbed::Testbed::boot(c, std::move(topts));
+    if (!tb) return tb.status();
+    if (legacy) {
+      (*tb)->kshot().handler().enable_legacy_copy_parser_for_selftest();
+    }
+    auto rep = (*tb)->kshot().live_patch(c.id);
+    if (!rep) return rep.status();
+    if (!rep->success) {
+      return Status{Errc::kInternal, "copy-leg apply failed"};
+    }
+    for (const auto& [name, v] : reg.snapshot().counters) {
+      if (name == "smm.staged_copies") return v;
+    }
+    return Status{Errc::kInternal, "smm.staged_copies counter missing"};
+  };
+  auto zc = leg(false);
+  if (!zc) {
+    row.st = zc.status();
+    return row;
+  }
+  row.zero_copy_copies = *zc;
+  auto legacy = leg(true);
+  if (!legacy) {
+    row.st = legacy.status();
+    return row;
+  }
+  row.legacy_copies = *legacy;
+  return row;
+}
+
 // ---- Table 4: batched-session matrix -------------------------------------
 
 struct T4BatchRow {
@@ -521,18 +616,34 @@ Result<BenchResults> run_bench(const BenchOptions& opts) {
   std::vector<T3Row> t3(sizes.size());
   T3SpliceRow splice_row;
   const size_t splice_bytes = 4096;
-  // One extra thunk for the splice-vs-trampoline leg (index sizes.size()).
-  parallel_for(static_cast<u32>(sizes.size()) + 1, opts.jobs, [&](u32 i) {
+  // Multi-CPU legs share one seed so 1/4/16 differ only in topology.
+  const std::vector<std::pair<u32, bool>> mcpu_cfgs = {
+      {1, false}, {4, false}, {16, false}, {16, true}};
+  std::vector<T3McpuRow> mcpu(mcpu_cfgs.size());
+  T3CopyRow copy_row;
+  // Extra thunks: splice leg, the mcpu legs, and the zero-copy leg.
+  const u32 extra = 2 + static_cast<u32>(mcpu_cfgs.size());
+  parallel_for(static_cast<u32>(sizes.size()) + extra, opts.jobs, [&](u32 i) {
     if (i < sizes.size()) {
       t3[i] = run_t3_row(sizes[i], opts.seed + 7919 * (i + 1));
-    } else {
+    } else if (i == sizes.size()) {
       splice_row = run_t3_splice_row(splice_bytes, opts.seed + 104033);
+    } else if (i == sizes.size() + 1) {
+      copy_row = run_t3_copy_row(opts.seed + 7);
+    } else {
+      size_t m = i - sizes.size() - 2;
+      mcpu[m] = run_t3_mcpu_row(mcpu_cfgs[m].first, mcpu_cfgs[m].second,
+                                opts.seed + 31);
     }
   });
   for (const T3Row& r : t3) {
     if (!r.st.is_ok()) return r.st;
   }
   if (!splice_row.st.is_ok()) return splice_row.st;
+  if (!copy_row.st.is_ok()) return copy_row.st;
+  for (const T3McpuRow& r : mcpu) {
+    if (!r.st.is_ok()) return r.st;
+  }
 
   {
     Json j;
@@ -564,6 +675,41 @@ Result<BenchResults> run_bench(const BenchOptions& opts) {
             static_cast<double>(splice_row.splice_downtime_cycles) /
                 static_cast<double>(splice_row.tramp_downtime_cycles));
     j.field("spliced_members", splice_row.spliced);
+    j.close_row();
+    for (const T3McpuRow& r : mcpu) {
+      j.open_row();
+      j.field("name", std::string("mcpu-") + std::to_string(r.cpus) +
+                          (r.serial ? "-serial" : ""));
+      j.field("cpus", static_cast<u64>(r.cpus));
+      j.field("downtime_cycles", scaled(r.downtime_cycles, cs));
+      j.field("rendezvous_cycles", scaled(r.rendezvous_cycles, cs));
+      j.field("handler_cycles", scaled(r.handler_cycles, cs));
+      j.field("resume_cycles", scaled(r.resume_cycles, cs));
+      j.close_row();
+    }
+    // Gated ratios (lower is better). mcpu[0]=1 cpu, [2]=16 parallel,
+    // [3]=16 serial: parallel rendezvous + early AP release must keep the
+    // 16-CPU downtime within a small multiple of the 1-CPU baseline, while
+    // the serial model's ratio documents what was recovered.
+    j.open_row();
+    j.field("name", std::string("mcpu-ratios"));
+    j.field("mcpu16_vs_1_ratio",
+            cs * static_cast<double>(mcpu[2].downtime_cycles) /
+                static_cast<double>(mcpu[0].downtime_cycles));
+    j.field("serial16_vs_1_ratio",
+            cs * static_cast<double>(mcpu[3].downtime_cycles) /
+                static_cast<double>(mcpu[0].downtime_cycles));
+    j.close_row();
+    // Gated copy accounting: staged package bytes are copied exactly once
+    // (the SMM write) on the zero-copy path; the ratio against the legacy
+    // copying parser must not grow back toward 1.
+    j.open_row();
+    j.field("name", std::string("zero-copy"));
+    j.field("copies_per_package", copy_row.zero_copy_copies);
+    j.field("legacy_copies_per_package", copy_row.legacy_copies);
+    j.field("zero_copy_ratio",
+            cs * static_cast<double>(copy_row.zero_copy_copies) /
+                static_cast<double>(copy_row.legacy_copies));
     j.close_row();
     j.close_arr();
     j.close_obj();
@@ -861,8 +1007,20 @@ Result<std::map<std::string, double>> flatten_json(const std::string& json) {
 }
 
 std::string GateReport::to_string() const {
-  if (ok()) return "bench gate: OK\n";
   std::string s;
+  // Wall warnings first: they never affect ok(), but a gate that passes
+  // with warnings must still show them.
+  for (const auto& f : warnings) {
+    char b[192];
+    std::snprintf(b, sizeof(b),
+                  "bench gate: WALL WARNING (not gated) %s: baseline %.6f -> "
+                  "current %.6f (+%.2f%%)\n",
+                  f.key.c_str(), f.baseline, f.current,
+                  100.0 * (f.current - f.baseline) /
+                      (f.baseline == 0 ? 1 : f.baseline));
+    s += b;
+  }
+  if (ok()) return s + "bench gate: OK\n";
   for (const auto& k : missing_keys) {
     s += "bench gate: key missing from current run: " + k + "\n";
   }
@@ -898,6 +1056,32 @@ Result<GateReport> gate_compare(const std::string& baseline_json,
                              : bval * (1.0 - tolerance) + 1e-9;
     if (it->second > limit) {
       report.regressions.push_back({key, bval, it->second});
+    }
+  }
+  return report;
+}
+
+Result<GateReport> wall_compare(const std::string& baseline_json,
+                                const std::string& current_json,
+                                double tolerance) {
+  auto base = flatten_json(baseline_json);
+  if (!base) return base.status();
+  auto cur = flatten_json(current_json);
+  if (!cur) return cur.status();
+
+  GateReport report;
+  for (const auto& [key, bval] : *base) {
+    auto it = cur->find(key);
+    if (it == cur->end()) {
+      // A vanished wall key is a sidecar-layout change, not a perf event;
+      // note it softly so renames don't fail anyone's build.
+      report.warnings.push_back({key, bval, 0.0});
+      continue;
+    }
+    double limit = bval >= 0 ? bval * (1.0 + tolerance) + 1e-9
+                             : bval * (1.0 - tolerance) + 1e-9;
+    if (it->second > limit) {
+      report.warnings.push_back({key, bval, it->second});
     }
   }
   return report;

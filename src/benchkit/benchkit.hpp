@@ -64,6 +64,9 @@ struct GateFinding {
 struct GateReport {
   std::vector<GateFinding> regressions;   // current > baseline * (1 + tol)
   std::vector<std::string> missing_keys;  // in baseline, absent in current
+  /// Soft findings from the *_wall.json sidecars (wall_compare): printed as
+  /// warnings, never fail the gate. Deliberately excluded from ok().
+  std::vector<GateFinding> warnings;
   [[nodiscard]] bool ok() const {
     return regressions.empty() && missing_keys.empty();
   }
@@ -76,5 +79,15 @@ struct GateReport {
 Result<GateReport> gate_compare(const std::string& baseline_json,
                                 const std::string& current_json,
                                 double tolerance);
+
+/// Soft gate over the wall-clock sidecars: every numeric leaf of `current`
+/// that exceeds its baseline by more than `tolerance` (relative) lands in
+/// GateReport::warnings. Wall time is real and noisy, so these never fail
+/// the gate (ok() stays true); they are surfaced with a distinct
+/// "WALL WARNING" message so a >10% slowdown is visible in CI logs. Missing
+/// sidecar keys are also warnings, not failures.
+Result<GateReport> wall_compare(const std::string& baseline_json,
+                                const std::string& current_json,
+                                double tolerance = 0.10);
 
 }  // namespace kshot::benchkit

@@ -1,0 +1,75 @@
+// Chunked bump allocator for per-session parse objects. The zero-copy
+// package parser allocates its view arrays (function headers, reloc and
+// var-edit tables) here instead of the heap: one reset() per SMM session
+// frees everything at once, and nothing allocated from an arena outlives
+// the session that owns it. Only trivially-destructible types are allowed —
+// reset() never runs destructors.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kshot {
+
+class Arena {
+ public:
+  explicit Arena(size_t chunk_bytes = 16 * 1024) : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw allocation, max_align-aligned. Never returns null (throws
+  /// std::bad_alloc on exhaustion like operator new).
+  void* alloc(size_t n) {
+    constexpr size_t kAlign = alignof(std::max_align_t);
+    n = (n + kAlign - 1) & ~(kAlign - 1);
+    if (chunks_.empty() || chunks_.back().used + n > chunks_.back().size) {
+      size_t want = n > chunk_bytes_ ? n : chunk_bytes_;
+      chunks_.push_back(Chunk{std::make_unique<u8[]>(want), want, 0});
+    }
+    Chunk& c = chunks_.back();
+    void* p = c.data.get() + c.used;
+    c.used += n;
+    allocated_ += n;
+    return p;
+  }
+
+  /// Default-constructed array of `count` Ts. T must be trivially
+  /// destructible (reset() runs no destructors).
+  template <typename T>
+  T* alloc_array(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena types must not need destruction");
+    if (count == 0) return nullptr;
+    T* p = static_cast<T*>(alloc(count * sizeof(T)));
+    for (size_t i = 0; i < count; ++i) new (p + i) T();
+    return p;
+  }
+
+  /// Drops every allocation at once. Keeps the first chunk for reuse so a
+  /// steady-state session loop stops hitting the heap entirely.
+  void reset() {
+    if (chunks_.size() > 1) chunks_.resize(1);
+    if (!chunks_.empty()) chunks_.front().used = 0;
+    allocated_ = 0;
+  }
+
+  [[nodiscard]] size_t bytes_allocated() const { return allocated_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<u8[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+  std::vector<Chunk> chunks_;
+  size_t chunk_bytes_;
+  size_t allocated_ = 0;
+};
+
+}  // namespace kshot

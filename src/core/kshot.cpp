@@ -16,6 +16,29 @@ using Clock = std::chrono::steady_clock;
 double us_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
 }
+
+/// Baseline of the machine's downtime decomposition totals, taken before a
+/// run's SMIs; the deltas land in PatchReport and must sum to the run's
+/// downtime exactly.
+struct DowntimeMark {
+  u64 smm = 0;
+  u64 rdv = 0;
+  u64 hnd = 0;
+  u64 res = 0;
+};
+
+DowntimeMark mark_downtime(const machine::Machine& m) {
+  return {m.smm_cycles(), m.rendezvous_cycles_total(),
+          m.handler_cycles_total(), m.resume_cycles_total()};
+}
+
+void fill_downtime(const machine::Machine& m, const DowntimeMark& before,
+                   PatchReport& report) {
+  report.downtime_cycles = m.smm_cycles() - before.smm;
+  report.rendezvous_cycles = m.rendezvous_cycles_total() - before.rdv;
+  report.handler_cycles = m.handler_cycles_total() - before.hnd;
+  report.resume_cycles = m.resume_cycles_total() - before.res;
+}
 }  // namespace
 
 const char* patch_phase_name(PatchPhase p) {
@@ -244,6 +267,7 @@ Status Kshot::apply_with_retry(
     PatchReport& report,
     const std::function<bool()>& applied_probe) {
   Backoff backoff(retry_, retry_rng_);
+  bool outcome_unknown = false;
   for (u32 attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
     ++report.resilience.apply_attempts;
     metrics().counter("kshot.apply_attempts").inc();
@@ -259,7 +283,14 @@ Status Kshot::apply_with_retry(
     // let the apply SMI run to completion first. Ask the handler what is
     // actually installed before deciding — re-staging an already-applied
     // set would (correctly) be rejected for overlapping its own windows.
-    if (!res && applied_probe && applied_probe()) {
+    // The probe itself rides an SMI the interposer can also garble, so once
+    // any outcome in this call has been unknown, keep asking: a later
+    // attempt's *rejection* is exactly what re-staging an already-applied
+    // set looks like, and trusting it would report failure with the patch
+    // live in kernel text.
+    const bool ask_probe = !res || outcome_unknown;
+    if (!res) outcome_unknown = true;
+    if (ask_probe && applied_probe && applied_probe()) {
       emit_instant("apply_confirmed_by_query",
                    {{"attempt", std::to_string(attempt)}});
       report.smm_status = SmmStatus::kOk;
@@ -307,8 +338,7 @@ Result<PatchReport> Kshot::live_patch(const std::string& patch_id,
 
   PatchReport report;
   report.id = patch_id;
-  u64 smm_cycles_before = m.smm_cycles();
-  u64 smis_before = m.smi_count();
+  const DowntimeMark dt0 = mark_downtime(m);
   u64 run_c0 = m.cycles();
   auto run_t0 = Clock::now();
   metrics().counter("kshot.live_patches").inc();
@@ -412,12 +442,14 @@ Result<PatchReport> Kshot::live_patch(const std::string& patch_id,
   report.smm.decrypt_us = t.decrypt_ns / 1000.0;
   report.smm.verify_us = t.verify_ns / 1000.0;
   report.smm.apply_us = t.apply_ns / 1000.0;
-  report.smm.switch_us = static_cast<double>(m.smi_count() - smis_before) *
-                         cost.to_us(cost.smi_entry_cycles + cost.rsm_cycles);
+  fill_downtime(m, dt0, report);
+  // World-switch time straight from the decomposition: rendezvous + resume
+  // across both SMIs (at one CPU, exactly SMI-count * (smi_entry + rsm)).
+  report.smm.switch_us =
+      cost.to_us(report.rendezvous_cycles + report.resume_cycles);
   report.smm.total_us = report.smm.keygen_us + report.smm.decrypt_us +
                         report.smm.verify_us + report.smm.apply_us +
                         report.smm.switch_us;
-  report.downtime_cycles = m.smm_cycles() - smm_cycles_before;
   report.smm.modeled_total_us = cost.to_us(report.downtime_cycles);
   report.detections = take_detections();
   emit_span("live_patch", run_c0, us_since(run_t0),
@@ -448,8 +480,7 @@ Result<PatchReport> Kshot::live_patch_batch(
     report.id += patch_ids[i];
   }
   report.id += ")";
-  u64 smm_cycles_before = m.smm_cycles();
-  u64 smis_before = m.smi_count();
+  const DowntimeMark dt0 = mark_downtime(m);
   u64 run_c0 = m.cycles();
   auto run_t0 = Clock::now();
   metrics().counter("kshot.live_patches").inc();
@@ -540,12 +571,12 @@ Result<PatchReport> Kshot::live_patch_batch(
   report.smm.decrypt_us = t.decrypt_ns / 1000.0;
   report.smm.verify_us = t.verify_ns / 1000.0;
   report.smm.apply_us = t.apply_ns / 1000.0;
-  report.smm.switch_us = static_cast<double>(m.smi_count() - smis_before) *
-                         cost.to_us(cost.smi_entry_cycles + cost.rsm_cycles);
+  fill_downtime(m, dt0, report);
+  report.smm.switch_us =
+      cost.to_us(report.rendezvous_cycles + report.resume_cycles);
   report.smm.total_us = report.smm.keygen_us + report.smm.decrypt_us +
                         report.smm.verify_us + report.smm.apply_us +
                         report.smm.switch_us;
-  report.downtime_cycles = m.smm_cycles() - smm_cycles_before;
   report.smm.modeled_total_us = cost.to_us(report.downtime_cycles);
   report.detections = take_detections();
   emit_span("live_patch_batch", run_c0, us_since(run_t0),
@@ -571,8 +602,7 @@ Result<PatchReport> Kshot::live_patch_chunked(const std::string& patch_id,
 
   PatchReport report;
   report.id = patch_id;
-  u64 smm_cycles_before = m.smm_cycles();
-  u64 smis_before = m.smi_count();
+  const DowntimeMark dt0 = mark_downtime(m);
   u64 run_c0 = m.cycles();
   auto run_t0 = Clock::now();
   metrics().counter("kshot.live_patches").inc();
@@ -653,9 +683,9 @@ Result<PatchReport> Kshot::live_patch_chunked(const std::string& patch_id,
   report.smm.keygen_us = t.keygen_ns / 1000.0;
   report.smm.verify_us = t.verify_ns / 1000.0;
   report.smm.apply_us = t.apply_ns / 1000.0;
-  report.smm.switch_us = static_cast<double>(m.smi_count() - smis_before) *
-                         cost.to_us(cost.smi_entry_cycles + cost.rsm_cycles);
-  report.downtime_cycles = m.smm_cycles() - smm_cycles_before;
+  fill_downtime(m, dt0, report);
+  report.smm.switch_us =
+      cost.to_us(report.rendezvous_cycles + report.resume_cycles);
   report.smm.modeled_total_us = cost.to_us(report.downtime_cycles);
   report.detections = take_detections();
   emit_span("live_patch_chunked", run_c0, us_since(run_t0),
@@ -672,7 +702,7 @@ Result<PatchReport> Kshot::rollback() {
     return Status{Errc::kFailedPrecondition, "install() first"};
   }
   auto& m = kernel_.machine();
-  u64 before = m.smm_cycles();
+  const DowntimeMark dt0 = mark_downtime(m);
   auto status = trigger_and_status(SmmCommand::kRollback);
   if (!status) return status.status();
 
@@ -680,7 +710,7 @@ Result<PatchReport> Kshot::rollback() {
   report.id = "(rollback)";
   report.smm_status = *status;
   report.success = *status == SmmStatus::kOk;
-  report.downtime_cycles = m.smm_cycles() - before;
+  fill_downtime(m, dt0, report);
   report.smm.modeled_total_us =
       m.cost_model().to_us(report.downtime_cycles);
   return report;
@@ -695,7 +725,7 @@ Result<PatchReport> Kshot::revert_patch(const std::string& patch_id) {
                machine::AccessMode::normal());
   KSHOT_RETURN_IF_ERROR(
       mbox.write_revert_target(crypto::sdbm(to_bytes(patch_id))));
-  u64 before = m.smm_cycles();
+  const DowntimeMark dt0 = mark_downtime(m);
   auto status = trigger_and_status(SmmCommand::kRevertPatch);
   if (!status) return status.status();
 
@@ -703,7 +733,7 @@ Result<PatchReport> Kshot::revert_patch(const std::string& patch_id) {
   report.id = "(revert " + patch_id + ")";
   report.smm_status = *status;
   report.success = *status == SmmStatus::kOk;
-  report.downtime_cycles = m.smm_cycles() - before;
+  fill_downtime(m, dt0, report);
   report.smm.modeled_total_us =
       m.cost_model().to_us(report.downtime_cycles);
   return report;
@@ -892,7 +922,7 @@ size_t Kshot::tcb_bytes() const {
   size_t smm_state = sizeof(SmmPatchHandler);
   if (handler_) {
     for (const auto& p : handler_->installed()) {
-      smm_state += sizeof(InstalledPatch) + p.code.size();
+      smm_state += sizeof(InstalledPatch) + p.code().size();
     }
   }
   constexpr size_t kHandlerCodeEstimate = 24 * 1024;

@@ -68,6 +68,15 @@ struct PatchReport {
   DetectionReport detections;
   /// Virtual cycles the OS was paused (both SMIs), from the machine clock.
   u64 downtime_cycles = 0;
+  /// Per-CPU decomposition of the downtime (deltas of the machine's running
+  /// totals over this run's SMIs): the multi-CPU rendezvous (SMI entry +
+  /// IPIs + slowest-CPU jitter), the handler's own work, and the resume leg
+  /// (RSM + per-AP wakeups not released early). Invariant, asserted by the
+  /// obs tests: rendezvous_cycles + handler_cycles + resume_cycles ==
+  /// downtime_cycles, exactly, at every CPU count.
+  u64 rendezvous_cycles = 0;
+  u64 handler_cycles = 0;
+  u64 resume_cycles = 0;
 };
 
 /// Coarse pipeline phases of one live_patch run, reported through the phase

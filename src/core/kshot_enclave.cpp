@@ -289,24 +289,30 @@ Result<Bytes> KshotEnclave::do_finish_fetch(ByteSpan input) {
   crypto::Key256 session = crypto::derive_key(
       ByteSpan(shared.data(), shared.size()), "server-enclave");
 
-  auto box = crypto::SealedBox::deserialize(resp->sealed_package);
+  // Zero-copy open: decrypt in place inside the response's own envelope
+  // buffer, then validate through borrowed views. The only copy left on this
+  // path is the EPC store, which is a real data movement in the model.
+  auto box = crypto::SealedBoxView::deserialize(
+      MutByteSpan(resp->sealed_package.data(), resp->sealed_package.size()));
   if (!box) return box.status();
-  auto package = crypto::open(session, *box);
-  if (!package) return package.status();
+  auto plain = crypto::open_in_place(session, *box);
+  if (!plain) return plain.status();
+  ByteSpan package(plain->data(), plain->size());
 
   // Integrity check #1 (network transmission errors / tampering): full
   // package validation before anything is kept.
-  auto set = patchtool::parse_patchset(*package);
+  fetch_arena_.reset();
+  auto set = patchtool::parse_patchset_view(package, fetch_arena_);
   if (!set) return set.status();
 
-  KSHOT_RETURN_IF_ERROR(store_package(kRawRegion, *package));
-  raw_size_ = package->size();
+  KSHOT_RETURN_IF_ERROR(store_package(kRawRegion, package));
+  raw_size_ = package.size();
   processed_size_ = 0;
 
   PackageStats stats;
   stats.functions = static_cast<u32>(set->patches.size());
   stats.code_bytes = static_cast<u32>(set->total_code_bytes());
-  stats.package_bytes = static_cast<u32>(package->size());
+  stats.package_bytes = static_cast<u32>(package.size());
   return stats.serialize();
 }
 
@@ -468,13 +474,19 @@ Result<Bytes> KshotEnclave::seal_blob_for(ByteSpan smm_pub_bytes,
   crypto::Nonce96 nonce{};
   rng_.fill(MutByteSpan(nonce.data(), nonce.size()));
 
-  Bytes sealed = crypto::seal(key, nonce, plain).serialize();
-
-  ByteWriter out;
-  out.put_bytes(ByteSpan(smm_session.public_key.data(),
-                         smm_session.public_key.size()));
-  out.put_bytes(sealed);
-  return out.take();
+  // Single-buffer build: pub || nonce || len || ciphertext || mac, with the
+  // plaintext placed once and encrypted in place (no intermediate SealedBox
+  // or serialize() copy). Bytes are identical to seal().serialize().
+  constexpr size_t kPub = 32;
+  constexpr size_t kHdr = sizeof(crypto::Nonce96) + 4;
+  constexpr size_t kMac = sizeof(crypto::Digest256);
+  Bytes out(kPub + kHdr + plain.size() + kMac);
+  std::memcpy(out.data(), smm_session.public_key.data(), kPub);
+  std::memcpy(out.data() + kPub + kHdr, plain.data(), plain.size());
+  KSHOT_RETURN_IF_ERROR(crypto::seal_in_place(
+      key, nonce, MutByteSpan(out.data() + kPub, out.size() - kPub),
+      plain.size()));
+  return out;
 }
 
 Result<Bytes> KshotEnclave::do_seal(ByteSpan input) {

@@ -18,6 +18,7 @@
 
 #include "obs/metrics.hpp"
 
+#include "common/arena.hpp"
 #include "core/mailbox.hpp"
 #include "kernel/kernel.hpp"
 #include "netsim/protocol.hpp"
@@ -185,6 +186,9 @@ class KshotEnclave final : public sgx::Enclave {
   u64 mem_x_cursor_ = 0;
   u64 raw_size_ = 0;
   u64 processed_size_ = 0;
+
+  // Backing store for the zero-copy fetch validation views (reset per fetch).
+  Arena fetch_arena_;
 
   // Pending lifecycle directives (single-shot, consumed by the next
   // preprocess; conceptually EPC-resident).

@@ -46,6 +46,21 @@ SmmPatchHandler::SmmPatchHandler(kernel::MemoryLayout layout, u64 entropy_seed,
   c_batch_applies_ = &metrics_->counter("smm.batch_applies");
   c_detections_ = &metrics_->counter("smm.detections");
   c_introspect_repairs_ = &metrics_->counter("smm.introspect_repairs");
+  c_staged_copies_ = &metrics_->counter("smm.staged_copies");
+}
+
+u64 SmmPatchHandler::parallel_bytes_cost(const machine::Machine& m,
+                                         double per_byte,
+                                         size_t bytes) const {
+  const auto& cost = m.cost_model();
+  u64 c = cost.bytes_cost(per_byte, bytes);
+  const u32 n = m.cpus();
+  if (n > 1) {
+    // The rendezvoused APs are captive in SMM anyway; fan the byte work out
+    // across them and pay a merge charge per AP to combine partial hashes.
+    c = c / n + static_cast<u64>(n - 1) * cost.verify_merge_cycles_per_cpu;
+  }
+  return c;
 }
 
 void SmmPatchHandler::record_detection(machine::Machine& m, DetectionClass cls,
@@ -90,10 +105,11 @@ void SmmPatchHandler::emit_instant(machine::Machine& m, const char* name,
 }
 
 void SmmPatchHandler::on_smi(machine::Machine& m) {
-  // The machine charged smi_entry_cycles before dispatching here and will
-  // charge rsm_cycles on return, so the full residency span is known now.
-  const auto& cost = m.cost_model();
-  const u64 smi_begin = m.cycles() - cost.smi_entry_cycles;
+  // The machine charged the full rendezvous (SMI entry, IPIs, slowest-CPU
+  // jitter) before dispatching here and will charge the resume on return, so
+  // the full residency span is known now. At one CPU these are exactly the
+  // legacy smi_entry/rsm constants.
+  const u64 smi_begin = m.cycles() - m.current_rendezvous_cycles();
   const auto smi_t0 = Clock::now();
 
   Mailbox mbox(m.mem(), layout_.mem_rw_base(), machine::AccessMode::smm());
@@ -202,11 +218,12 @@ void SmmPatchHandler::on_smi(machine::Machine& m) {
   }
 
   if (trace_) {
-    // The span closes at the cycle RSM will complete, so the sum of "smi"
-    // spans equals the machine's total SMM residency exactly.
+    // The span closes at the cycle the resume leg will complete (RSM plus
+    // any APs not already released early), so the sum of "smi" spans equals
+    // the machine's total SMM residency exactly at any CPU count.
     trace_->complete("smm", "smi", trace_target_, smi_begin,
-                     m.cycles() + cost.rsm_cycles, ns_since(smi_t0) / 1000.0,
-                     {{"cmd", cmd_name}});
+                     m.cycles() + m.projected_resume_cycles(),
+                     ns_since(smi_t0) / 1000.0, {{"cmd", cmd_name}});
   }
 }
 
@@ -242,7 +259,7 @@ void SmmPatchHandler::begin_session(machine::Machine& m, Mailbox& mbox) {
   mbox.write_session_epoch(++session_epoch_);
 }
 
-bool SmmPatchHandler::bounds_ok(const patchtool::FunctionPatch& p) const {
+bool SmmPatchHandler::bounds_ok(const patchtool::FunctionPatchView& p) const {
   // All comparisons are in `offset/size <= remaining` form: the natural
   // `base + size > end` wraps for an attacker-chosen base near UINT64_MAX
   // and sails past the end check.
@@ -276,9 +293,10 @@ bool SmmPatchHandler::bounds_ok(const patchtool::FunctionPatch& p) const {
   return true;
 }
 
-SmmStatus SmmPatchHandler::decrypt_staged(machine::Machine& m, Mailbox& mbox,
-                                          const MailboxSnapshot& snap,
-                                          Bytes& out, size_t& out_staged) {
+SmmStatus SmmPatchHandler::decrypt_staged(
+    machine::Machine& m, Mailbox& mbox, const MailboxSnapshot& snap,
+    std::shared_ptr<const Bytes>& out_retain, ByteSpan& out_plain,
+    size_t& out_staged) {
   const auto mode = machine::AccessMode::smm();
   const auto& cost = m.cost_model();
 
@@ -306,12 +324,17 @@ SmmStatus SmmPatchHandler::decrypt_staged(machine::Machine& m, Mailbox& mbox,
   // swap bytes between validation and use.
   auto t0 = Clock::now();
   u64 c0 = m.cycles();
-  auto sealed_wire = m.mem().read_bytes(layout_.mem_w_base(), staged, mode);
-  if (!sealed_wire) return SmmStatus::kBadPackage;
-  crypto::Digest256 pin = crypto::sha256(*sealed_wire);
-  m.charge_cycles(cost.bytes_cost(cost.pin_hash_cycles_per_byte, staged));
-  detection_overhead_cycles_ +=
-      cost.bytes_cost(cost.pin_hash_cycles_per_byte, staged);
+  auto fetched = m.mem().read_bytes(layout_.mem_w_base(), staged, mode);
+  if (!fetched) return SmmStatus::kBadPackage;
+  // The envelope buffer is SMRAM-owned for the rest of the session: on the
+  // zero-copy path it is decrypted in place and every downstream span (the
+  // package views, the installed bodies) borrows straight from it.
+  auto envelope = std::make_shared<Bytes>(std::move(*fetched));
+  crypto::Digest256 pin = crypto::sha256(*envelope);
+  const u64 pin_cycles =
+      parallel_bytes_cost(m, cost.pin_hash_cycles_per_byte, staged);
+  m.charge_cycles(pin_cycles);
+  detection_overhead_cycles_ += pin_cycles;
 
   // The mid-SMI race window: a second core / DMA engine writing while this
   // core is in SMM.
@@ -324,9 +347,9 @@ SmmStatus SmmPatchHandler::decrypt_staged(machine::Machine& m, Mailbox& mbox,
     if (staged2 && *staged2 != 0 && *staged2 <= layout_.mem_w_size) {
       staged = *staged2;
       auto again = m.mem().read_bytes(layout_.mem_w_base(), staged, mode);
-      if (again) sealed_wire = std::move(again);
+      if (again) *envelope = std::move(*again);
     }
-  } else if (!crypto::digest_equal(crypto::sha256(*sealed_wire), pin)) {
+  } else if (!crypto::digest_equal(crypto::sha256(*envelope), pin)) {
     // Defense-in-depth: the SMRAM copy cannot change, so this never fires
     // unless the single-fetch invariant itself regresses.
     record_detection(m, DetectionClass::kMemWRewrite, SmmStatus::kMacFailure,
@@ -344,107 +367,187 @@ SmmStatus SmmPatchHandler::decrypt_staged(machine::Machine& m, Mailbox& mbox,
       crypto::dh_shared(session_keys_->private_key, snap.enclave_pub);
   crypto::Key256 key = crypto::derive_key(
       ByteSpan(shared.data(), shared.size()), "sgx-smm");
-  auto box = crypto::SealedBox::deserialize(*sealed_wire);
-  if (!box) {
-    // Undecodable staging is indistinguishable from tampering; burn the
-    // session either way.
+  if (legacy_copy_parser_) {
+    // Legacy copying pipeline: ciphertext copied out of the envelope, then
+    // the plaintext allocated fresh by the decrypt. Identical statuses,
+    // detections, and modeled charges as below — only the copy count
+    // differs.
+    auto box = crypto::SealedBox::deserialize(*envelope);
+    if (!box) {
+      session_keys_.reset();
+      record_detection(m, replayed ? DetectionClass::kReplay
+                                   : DetectionClass::kMemWRewrite,
+                       SmmStatus::kMacFailure,
+                       "staged bytes do not decode as a sealed envelope");
+      return SmmStatus::kMacFailure;
+    }
+    auto package = crypto::open(key, *box);
+    m.charge_cycles(cost.bytes_cost(cost.decrypt_cycles_per_byte, staged));
+    timings_.decrypt_ns = phase_span(m, "decrypt", c0, t0);
+    if (!package) {
+      session_keys_.reset();
+      emit_instant(m, "mac_failure");
+      record_detection(m, replayed ? DetectionClass::kReplay
+                                   : DetectionClass::kMemWRewrite,
+                       SmmStatus::kMacFailure,
+                       replayed ? "replayed sealed envelope rejected"
+                                : "staged bytes failed authentication");
+      return SmmStatus::kMacFailure;
+    }
+    c_staged_copies_->inc(2);  // deserialize copy-out + open's fresh plaintext
     session_keys_.reset();
-    record_detection(m, replayed ? DetectionClass::kReplay
-                                 : DetectionClass::kMemWRewrite,
-                     SmmStatus::kMacFailure,
-                     "staged bytes do not decode as a sealed envelope");
-    return SmmStatus::kMacFailure;
-  }
-  auto package = crypto::open(key, *box);
-  m.charge_cycles(cost.bytes_cost(cost.decrypt_cycles_per_byte, staged));
-  timings_.decrypt_ns = phase_span(m, "decrypt", c0, t0);
-  if (!package) {
-    // MAC failure: tampered mem_W or a replayed blob from an old session.
+    auto owned = std::make_shared<Bytes>(std::move(*package));
+    out_plain = ByteSpan(owned->data(), owned->size());
+    out_retain = std::move(owned);
+  } else {
+    auto view = crypto::SealedBoxView::deserialize(
+        MutByteSpan(envelope->data(), envelope->size()));
+    if (!view) {
+      // Undecodable staging is indistinguishable from tampering; burn the
+      // session either way.
+      session_keys_.reset();
+      record_detection(m, replayed ? DetectionClass::kReplay
+                                   : DetectionClass::kMemWRewrite,
+                       SmmStatus::kMacFailure,
+                       "staged bytes do not decode as a sealed envelope");
+      return SmmStatus::kMacFailure;
+    }
+    auto plain = crypto::open_in_place(key, *view);
+    m.charge_cycles(cost.bytes_cost(cost.decrypt_cycles_per_byte, staged));
+    timings_.decrypt_ns = phase_span(m, "decrypt", c0, t0);
+    if (!plain) {
+      // MAC failure: tampered mem_W or a replayed blob from an old session.
+      session_keys_.reset();
+      emit_instant(m, "mac_failure");
+      record_detection(m, replayed ? DetectionClass::kReplay
+                                   : DetectionClass::kMemWRewrite,
+                       SmmStatus::kMacFailure,
+                       replayed ? "replayed sealed envelope rejected"
+                                : "staged bytes failed authentication");
+      return SmmStatus::kMacFailure;
+    }
+
+    out_plain = ByteSpan(plain->data(), plain->size());
+    out_retain = std::move(envelope);
+    // Session keys are single-use: replaying this exact ciphertext later
+    // cannot succeed (paper §V-C).
     session_keys_.reset();
-    emit_instant(m, "mac_failure");
-    record_detection(m, replayed ? DetectionClass::kReplay
-                                 : DetectionClass::kMemWRewrite,
-                     SmmStatus::kMacFailure,
-                     replayed ? "replayed sealed envelope rejected"
-                              : "staged bytes failed authentication");
-    return SmmStatus::kMacFailure;
   }
-
-  // Session keys are single-use: replaying this exact ciphertext later
-  // cannot succeed (paper §V-C).
-  session_keys_.reset();
-
-  out = std::move(*package);
   out_staged = staged;
   return SmmStatus::kOk;
 }
 
 SmmStatus SmmPatchHandler::apply_patch(machine::Machine& m, Mailbox& mbox,
                                        const MailboxSnapshot& snap) {
-  Bytes package;
+  std::shared_ptr<const Bytes> retain;
+  ByteSpan package;
   size_t staged = 0;
-  SmmStatus st = decrypt_staged(m, mbox, snap, package, staged);
+  SmmStatus st = decrypt_staged(m, mbox, snap, retain, package, staged);
   if (st != SmmStatus::kOk) return st;
-  return verify_and_apply(m, package, staged);
+  return verify_and_apply(m, retain, package, staged);
 }
 
 SmmStatus SmmPatchHandler::apply_batch(machine::Machine& m, Mailbox& mbox,
                                        const MailboxSnapshot& snap) {
   const auto& cost = m.cost_model();
 
-  Bytes envelope;
+  std::shared_ptr<const Bytes> retain;
+  ByteSpan envelope;
   size_t staged = 0;
-  SmmStatus st = decrypt_staged(m, mbox, snap, envelope, staged);
+  SmmStatus st = decrypt_staged(m, mbox, snap, retain, envelope, staged);
   if (st != SmmStatus::kOk) return st;
 
-  auto pkgs = patchtool::parse_batch(envelope);
-  if (!pkgs) {
-    emit_instant(m, "bad_batch_envelope");
-    return SmmStatus::kBadPackage;
+  arena_.reset();
+  std::vector<ByteSpan> pkg_wires;
+  std::vector<Bytes> pkg_copies;  // legacy mode: owned inner wires
+  if (legacy_copy_parser_) {
+    auto pkgs = patchtool::parse_batch(envelope);
+    if (!pkgs) {
+      emit_instant(m, "bad_batch_envelope");
+      return SmmStatus::kBadPackage;
+    }
+    pkg_copies = std::move(*pkgs);
+    c_staged_copies_->inc(pkg_copies.size());  // inner wires copied out
+    pkg_wires.reserve(pkg_copies.size());
+    for (const Bytes& b : pkg_copies) pkg_wires.emplace_back(b.data(), b.size());
+  } else {
+    auto pkgs = patchtool::parse_batch_view(envelope);
+    if (!pkgs) {
+      emit_instant(m, "bad_batch_envelope");
+      return SmmStatus::kBadPackage;
+    }
+    pkg_wires = std::move(*pkgs);
   }
 
   // ---- Verification: every inner package is digest/CRC-checked and parsed
   //      before anything is applied, charged per package (Table III "Patch
   //      Verification" scales with bytes, so the batch pays the fixed
-  //      verify cost N times but keygen/SMI entry only once). -------------
+  //      verify cost N times but keygen/SMI entry only once). At >1 CPU the
+  //      per-byte hashing fans out across the rendezvoused CPUs. ----------
   auto t0 = Clock::now();
   u64 c0 = m.cycles();
-  std::vector<patchtool::PatchSet> sets;
-  sets.reserve(pkgs->size());
+  std::vector<patchtool::PatchSet> owned_sets;  // legacy: keeps copies alive
+  std::vector<patchtool::PatchSetView> sets;
+  owned_sets.reserve(pkg_wires.size());
+  sets.reserve(pkg_wires.size());
   u64 verify_cycles = 0;
   SmmStatus verdict = SmmStatus::kOk;
   const char* fail_instant = nullptr;
-  for (const Bytes& pkg : *pkgs) {
-    u64 c = cost.verify_fixed_cycles +
-            cost.bytes_cost(cost.verify_cycles_per_byte, pkg.size());
-    m.charge_cycles(c);
-    verify_cycles += c;
-    auto set = patchtool::parse_patchset(pkg);
-    if (!set) {
-      bool digest = set.status().code() == Errc::kIntegrityFailure;
-      verdict = digest ? SmmStatus::kDigestFailure : SmmStatus::kBadPackage;
-      fail_instant = digest ? "digest_failure" : "bad_package";
-      break;
-    }
-    // A batch is an apply-only construct: rollback is a per-unit command on
-    // the mailbox, never an inner package.
-    for (const auto& p : set->patches) {
+  // A batch is an apply-only construct: rollback is a per-unit command on
+  // the mailbox, never an inner package. Lifecycle operations (supersede/
+  // depends/splice) are single-package: retiring units mid-batch while
+  // later members still validate against them has no sane all-or-nothing
+  // semantics, so an inner package carrying lifecycle data is rejected
+  // outright.
+  auto check_set = [&](const auto& set) {
+    for (const auto& p : set.patches) {
       if (p.op == patchtool::PatchOp::kRollback) {
         verdict = SmmStatus::kBadPackage;
         fail_instant = "rollback_in_batch";
-        break;
+        return;
       }
     }
-    // Lifecycle operations (supersede/depends/splice) are single-package:
-    // retiring units mid-batch while later members still validate against
-    // them has no sane all-or-nothing semantics, so an inner package
-    // carrying lifecycle data is rejected outright.
-    if (verdict == SmmStatus::kOk && set->has_lifecycle()) {
+    if (set.has_lifecycle()) {
       verdict = SmmStatus::kBadPackage;
       fail_instant = "lifecycle_in_batch";
     }
-    if (verdict != SmmStatus::kOk) break;
-    sets.push_back(std::move(*set));
+  };
+  for (ByteSpan pkg : pkg_wires) {
+    u64 c = cost.verify_fixed_cycles +
+            parallel_bytes_cost(m, cost.verify_cycles_per_byte, pkg.size());
+    m.charge_cycles(c);
+    verify_cycles += c;
+    if (legacy_copy_parser_) {
+      auto set = patchtool::parse_patchset(pkg);
+      if (!set) {
+        bool digest = set.status().code() == Errc::kIntegrityFailure;
+        verdict = digest ? SmmStatus::kDigestFailure : SmmStatus::kBadPackage;
+        fail_instant = digest ? "digest_failure" : "bad_package";
+        break;
+      }
+      check_set(*set);
+      if (verdict != SmmStatus::kOk) break;
+      c_staged_copies_->inc();  // names + code copied out of the wire
+      owned_sets.push_back(std::move(*set));
+    } else {
+      auto set = patchtool::parse_patchset_view(pkg, arena_);
+      if (!set) {
+        bool digest = set.status().code() == Errc::kIntegrityFailure;
+        verdict = digest ? SmmStatus::kDigestFailure : SmmStatus::kBadPackage;
+        fail_instant = digest ? "digest_failure" : "bad_package";
+        break;
+      }
+      check_set(*set);
+      if (verdict != SmmStatus::kOk) break;
+      sets.push_back(*set);
+    }
+  }
+  if (verdict == SmmStatus::kOk && legacy_copy_parser_) {
+    // Views are built only after owned_sets stops growing: view strings may
+    // point into SSO storage that a vector reallocation would move.
+    for (const auto& s : owned_sets) {
+      sets.push_back(patchtool::view_of_patchset(s, arena_));
+    }
   }
   timings_.verify_ns = phase_span(m, "verify", c0, t0);
   if (verdict != SmmStatus::kOk) {
@@ -467,14 +570,18 @@ SmmStatus SmmPatchHandler::apply_batch(machine::Machine& m, Mailbox& mbox,
   }
 
   // ---- Application: one rollback unit per package; a mid-batch write
-  //      failure unwinds the units already applied, in reverse. -----------
+  //      failure unwinds the units already applied, in reverse. Each
+  //      committed package releases an even share of the rendezvoused APs:
+  //      CPUs whose code later packages do not touch resume before the full
+  //      batch completes (fine-grained commit). -----------
   t0 = Clock::now();
   c0 = m.cycles();
   size_t applied_units = 0;
   size_t total_code = 0;
   u32 total_functions = 0;
+  const u32 aps = m.cpus() > 1 ? m.cpus() - 1 : 0;
   for (const auto& set : sets) {
-    SmmStatus s = apply_parsed(m, set);
+    SmmStatus s = apply_parsed(m, set, legacy_copy_parser_ ? nullptr : retain);
     if (s != SmmStatus::kOk) {
       while (applied_units > 0) {
         restore_top_unit(m);
@@ -485,6 +592,11 @@ SmmStatus SmmPatchHandler::apply_batch(machine::Machine& m, Mailbox& mbox,
       return s;
     }
     ++applied_units;
+    if (aps > 0) {
+      u32 share = aps / static_cast<u32>(sets.size());
+      if (applied_units <= aps % sets.size()) ++share;
+      m.release_aps(share);
+    }
     total_code += set.total_code_bytes();
     total_functions += static_cast<u32>(set.patches.size());
   }
@@ -507,36 +619,59 @@ SmmStatus SmmPatchHandler::apply_batch(machine::Machine& m, Mailbox& mbox,
   return SmmStatus::kOk;
 }
 
-SmmStatus SmmPatchHandler::verify_and_apply(machine::Machine& m,
-                                            const Bytes& package,
-                                            size_t staged_bytes) {
+SmmStatus SmmPatchHandler::verify_and_apply(
+    machine::Machine& m, const std::shared_ptr<const Bytes>& retain,
+    ByteSpan package, size_t staged_bytes) {
   const auto& cost = m.cost_model();
 
   // ---- Patch verification (Table III "Patch Verification": SHA-2 digest
-  //      over the package plus per-function CRCs, done by the parser) ------
+  //      over the package plus per-function CRCs, done by the parser). The
+  //      per-byte hashing fans out across the rendezvoused CPUs when there
+  //      is more than one; the charge is identical under both parsers. -----
   auto t0 = Clock::now();
   u64 c0 = m.cycles();
-  auto set = patchtool::parse_patchset(package);
-  m.charge_cycles(cost.verify_fixed_cycles +
-                  cost.bytes_cost(cost.verify_cycles_per_byte,
-                                  package.size()));
+  arena_.reset();
+  std::optional<patchtool::PatchSet> owned;  // legacy: keeps the copies alive
+  patchtool::PatchSetView set;
+  Status parse_st = Status::ok();
+  if (legacy_copy_parser_) {
+    auto parsed = patchtool::parse_patchset(package);
+    if (parsed) {
+      c_staged_copies_->inc();  // names + code copied out of the wire
+      owned = std::move(*parsed);
+      set = patchtool::view_of_patchset(*owned, arena_);
+    } else {
+      parse_st = parsed.status();
+    }
+  } else {
+    auto parsed = patchtool::parse_patchset_view(package, arena_);
+    if (parsed) {
+      set = *parsed;
+    } else {
+      parse_st = parsed.status();
+    }
+  }
+  const u64 verify_cycles =
+      cost.verify_fixed_cycles +
+      parallel_bytes_cost(m, cost.verify_cycles_per_byte, package.size());
+  m.charge_cycles(verify_cycles);
   timings_.verify_ns = phase_span(m, "verify", c0, t0);
-  if (!set) {
-    bool digest = set.status().code() == Errc::kIntegrityFailure;
+  if (!parse_st.is_ok()) {
+    bool digest = parse_st.code() == Errc::kIntegrityFailure;
     emit_instant(m, digest ? "digest_failure" : "bad_package");
     return digest ? SmmStatus::kDigestFailure : SmmStatus::kBadPackage;
   }
 
   timings_.package_bytes = package.size();
-  timings_.code_bytes = set->total_code_bytes();
-  timings_.functions = static_cast<u32>(set->patches.size());
+  timings_.code_bytes = set.total_code_bytes();
+  timings_.functions = static_cast<u32>(set.patches.size());
 
   // A package is either all-apply or all-rollback. The old first-entry
   // sniff silently dropped the apply entries of a mixed package while
   // reporting kOk — reject the mix outright instead.
   bool any_rollback = false;
   bool any_apply = false;
-  for (const auto& p : set->patches) {
+  for (const auto& p : set.patches) {
     (p.op == patchtool::PatchOp::kRollback ? any_rollback : any_apply) = true;
   }
   if (any_rollback && any_apply) {
@@ -549,17 +684,21 @@ SmmStatus SmmPatchHandler::verify_and_apply(machine::Machine& m,
   // the cheaper splice rate; everything else pays the full apply rate. A set
   // with no splice entries charges exactly what it always did.
   size_t splice_code = 0;
-  for (const auto& p : set->patches) {
+  for (const auto& p : set.patches) {
     if (p.splice) splice_code += p.code.size();
   }
-  size_t tramp_code = set->total_code_bytes() - splice_code;
+  size_t tramp_code = set.total_code_bytes() - splice_code;
   t0 = Clock::now();
   c0 = m.cycles();
   SmmStatus st;
   if (any_rollback) {
-    st = rollback_parsed(m, *set);
+    st = rollback_parsed(m, set);
   } else {
-    st = apply_parsed(m, *set);
+    st = apply_parsed(m, set, legacy_copy_parser_ ? nullptr : retain);
+    // Fine-grained commit: once the text writes land, the rendezvoused APs
+    // have nothing left to wait for — they resume while the BSP finishes
+    // the bookkeeping tail.
+    if (st == SmmStatus::kOk) m.release_aps(m.cpus());
   }
   u64 apply_cycles =
       cost.bytes_cost(cost.apply_cycles_per_byte, tramp_code) +
@@ -569,9 +708,7 @@ SmmStatus SmmPatchHandler::verify_and_apply(machine::Machine& m,
   timings_.modeled_cycles =
       cost.keygen_cycles +
       cost.bytes_cost(cost.decrypt_cycles_per_byte, staged_bytes) +
-      cost.verify_fixed_cycles +
-      cost.bytes_cost(cost.verify_cycles_per_byte, package.size()) +
-      apply_cycles;
+      verify_cycles + apply_cycles;
   return st;
 }
 
@@ -620,9 +757,10 @@ SmmStatus SmmPatchHandler::stage_chunk(machine::Machine& m, Mailbox& mbox,
     return SmmStatus::kBadPackage;
   }
   crypto::Digest256 pin = crypto::sha256(*sealed_wire);
-  m.charge_cycles(cost.bytes_cost(cost.pin_hash_cycles_per_byte, staged));
-  detection_overhead_cycles_ +=
-      cost.bytes_cost(cost.pin_hash_cycles_per_byte, staged);
+  const u64 pin_cycles =
+      parallel_bytes_cost(m, cost.pin_hash_cycles_per_byte, staged);
+  m.charge_cycles(pin_cycles);
+  detection_overhead_cycles_ += pin_cycles;
   if (concurrent_writer_) concurrent_writer_(m);
   if (legacy_double_fetch_) {
     auto staged2 = mbox.read_staged_size();
@@ -688,14 +826,16 @@ SmmStatus SmmPatchHandler::stage_chunk(machine::Machine& m, Mailbox& mbox,
 
   if (stream_expected_ < stream_total_) return SmmStatus::kChunkAccepted;
 
-  // Final chunk: the accumulated plaintext is the full package.
-  Bytes package = std::move(stream_buffer_);
-  size_t staged_total = package.size();
+  // Final chunk: the accumulated plaintext is the full package. The stream
+  // buffer itself becomes the retained envelope — no copy.
+  auto package = std::make_shared<Bytes>(std::move(stream_buffer_));
+  size_t staged_total = package->size();
   abort_stream();
-  return verify_and_apply(m, package, staged_total);
+  ByteSpan span(package->data(), package->size());
+  return verify_and_apply(m, std::move(package), span, staged_total);
 }
 
-void SmmPatchHandler::collect_windows(const patchtool::FunctionPatch& p,
+void SmmPatchHandler::collect_windows(const patchtool::FunctionPatchView& p,
                                       std::vector<ByteWindow>& out) {
   if (p.splice) {
     if (!p.code.empty()) out.push_back({p.taddr, p.code.size()});
@@ -716,7 +856,7 @@ void SmmPatchHandler::collect_windows(const InstalledPatch& p,
 }
 
 SmmStatus SmmPatchHandler::validate_set(
-    const patchtool::PatchSet& set,
+    const patchtool::PatchSetView& set,
     const std::vector<bool>* retired_installed,
     const std::vector<ByteWindow>* extra_windows) const {
   // Validate everything — bounds, preprocessing, variable-edit targets —
@@ -788,9 +928,13 @@ SmmStatus SmmPatchHandler::validate_set(
   return SmmStatus::kOk;
 }
 
-SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
-                                        const patchtool::PatchSet& set) {
+SmmStatus SmmPatchHandler::apply_parsed(
+    machine::Machine& m, const patchtool::PatchSetView& set,
+    const std::shared_ptr<const Bytes>& retain) {
   const auto mode = machine::AccessMode::smm();
+  auto sv_bytes = [](std::string_view s) {
+    return ByteSpan(reinterpret_cast<const u8*>(s.data()), s.size());
+  };
 
   // 0. Resolve the supersede list against the applied stack. Predecessors a
   //    cumulative patch names but that are not applied here (already
@@ -822,7 +966,7 @@ SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
     return false;
   };
   for (const auto& dep : set.depends) {
-    if (!provided(crypto::sdbm(to_bytes(dep)))) {
+    if (!provided(crypto::sdbm(sv_bytes(dep)))) {
       emit_instant(m, "missing_dependency");
       return SmmStatus::kMissingDependency;
     }
@@ -851,7 +995,7 @@ SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
       for (size_t idx : applied_units_[u].members) {
         const InstalledPatch& p = installed_[idx];
         if (p.spliced) {
-          m.mem().write(p.taddr, p.code, mode);
+          m.mem().write(p.taddr, p.code(), mode);
         } else if (p.taddr != 0) {
           write_trampoline(m, p);
         }
@@ -897,15 +1041,27 @@ SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
     }
   };
   std::vector<InstalledPatch> batch;
+  // Legacy retention: without a retained envelope the installed records must
+  // own their bytes, so the bodies are copied out of the parse.
+  if (!retain) c_staged_copies_->inc();
   for (const auto& p : set.patches) {
     InstalledPatch inst;
-    inst.name = p.name;
+    inst.name = std::string(p.name);
     inst.taddr = p.taddr;
     inst.paddr = p.paddr;
     inst.ftrace_off = p.ftrace_off;
     inst.code_size = static_cast<u32>(p.code.size());
     inst.memx_hash = crypto::sha256(p.code);
-    inst.code = p.code;  // SMRAM-kept authoritative copy (§V-D)
+    // SMRAM-kept authoritative body (§V-D): zero-copy installs borrow from
+    // the shared decrypted envelope; legacy installs own a copy.
+    if (retain) {
+      inst.retain = retain;
+      inst.code_ref = p.code;
+    } else {
+      auto copy = std::make_shared<Bytes>(p.code.begin(), p.code.end());
+      inst.code_ref = ByteSpan(copy->data(), copy->size());
+      inst.retain = std::move(copy);
+    }
     inst.spliced = p.splice;
     if (!p.splice) {
       auto prev = m.mem().read_bytes(p.paddr, p.code.size(), mode);
@@ -942,7 +1098,7 @@ SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
     if (inst.spliced) {
       // Capture the replaced text first: it is what revert writes back.
       auto prev = m.mem().read_bytes(inst.taddr, inst.code_size, mode);
-      if (!prev || !m.mem().write(inst.taddr, inst.code, mode).is_ok()) {
+      if (!prev || !m.mem().write(inst.taddr, inst.code(), mode).is_ok()) {
         unwind_text(i);
         unwind_bodies();
         unwind_vars();
@@ -1001,9 +1157,9 @@ SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
     }
   }
   AppliedUnit unit;
-  unit.id = set.id;
-  unit.kernel_version = set.kernel_version;
-  unit.id_hash = crypto::sdbm(to_bytes(set.id));
+  unit.id = std::string(set.id);
+  unit.kernel_version = std::string(set.kernel_version);
+  unit.id_hash = crypto::sdbm(sv_bytes(set.id));
   unit.members.reserve(batch.size());
   for (auto& inst : batch) {
     unit.members.push_back(installed_.size());
@@ -1017,12 +1173,16 @@ SmmStatus SmmPatchHandler::apply_parsed(machine::Machine& m,
                       unit.provides.end());
   unit.depends.reserve(set.depends.size());
   for (const auto& dep : set.depends) {
-    unit.depends.push_back(crypto::sdbm(to_bytes(dep)));
+    unit.depends.push_back(crypto::sdbm(sv_bytes(dep)));
   }
   if (!unit.members.empty() || !superseded.empty()) {
     unit.seq = ++unit_seq_;
     applied_units_.push_back(std::move(unit));
   }
+  // The one copy the zero-copy pipeline cannot eliminate: this package's
+  // bodies were written into machine memory by the steps above (the SMM
+  // write). Everything before it was a borrowed span.
+  c_staged_copies_->inc();
   c_applied_->inc();
   metrics_->histogram("smm.code_bytes").observe(
       static_cast<double>(set.total_code_bytes()));
@@ -1044,7 +1204,7 @@ Status SmmPatchHandler::write_trampoline(machine::Machine& m,
 }
 
 SmmStatus SmmPatchHandler::rollback_parsed(machine::Machine& m,
-                                           const patchtool::PatchSet& set) {
+                                           const patchtool::PatchSetView& set) {
   (void)set;  // a rollback package authorizes the operation; state is local
   return rollback(m);
 }
@@ -1216,7 +1376,7 @@ void SmmPatchHandler::introspect(machine::Machine& m) {
         ++rep.unreadable;
       } else if (!crypto::digest_equal(crypto::sha256(*cur), p.memx_hash)) {
         ++rep.trampolines_reverted;
-        m.mem().write(p.taddr, p.code, mode);
+        m.mem().write(p.taddr, p.code(), mode);
       }
       continue;
     }
@@ -1246,7 +1406,7 @@ void SmmPatchHandler::introspect(machine::Machine& m) {
         ++rep.memx_tampered;
         // Repair from the authoritative copy kept in SMRAM, so the patched
         // version persists (§V-D "Malicious Patch Reversion").
-        m.mem().write(p.paddr, p.code, mode);
+        m.mem().write(p.paddr, p.code(), mode);
       }
     }
   }

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "core/detection.hpp"
 #include "core/mailbox.hpp"
 #include "crypto/aead.hpp"
@@ -61,8 +62,15 @@ struct InstalledPatch {
   std::array<u8, 5> trampoline{};      // the jmp we wrote
   crypto::Digest256 memx_hash{};       // hash of the body (mem_X, or the
                                        // spliced-in text for splice entries)
-  Bytes code;                          // SMRAM-kept copy for repair
-  /// In-place splice: `code` was written directly over the old function at
+  /// SMRAM-kept authoritative body bytes for repair (§V-D). On the zero-copy
+  /// path `code_ref` borrows from `retain` — the decrypted session envelope,
+  /// shared by every record that envelope produced. Under the legacy copying
+  /// parser `retain` is a per-function owned copy instead. Either way the
+  /// record never dangles: the bytes live as long as the record does.
+  std::shared_ptr<const Bytes> retain;
+  ByteSpan code_ref;
+  [[nodiscard]] ByteSpan code() const { return code_ref; }
+  /// In-place splice: the body was written directly over the old function at
   /// taddr; paddr is 0, there is no trampoline, and `original_body` holds
   /// the code_size bytes of kernel text the splice replaced.
   bool spliced = false;
@@ -148,6 +156,14 @@ class SmmPatchHandler {
   void enable_legacy_double_fetch_for_selftest() {
     legacy_double_fetch_ = true;
   }
+
+  /// Differential-test seam: routes every package through the legacy copying
+  /// pipeline (SealedBox::deserialize + crypto::open + parse_patchset)
+  /// instead of the zero-copy span pipeline. Modeled charges are identical
+  /// in both modes — only the smm.staged_copies counter differs — so the
+  /// zero-copy differential suite can assert byte-identical outcomes over
+  /// the whole fuzz corpus. Nothing else may call it.
+  void enable_legacy_copy_parser_for_selftest() { legacy_copy_parser_ = true; }
 
   /// Models a concurrent writer racing the SMI (another core or a DMA
   /// engine scribbling while this core is in SMM): invoked once per staged-
@@ -254,11 +270,14 @@ class SmmPatchHandler {
   /// derivation, authenticated open, decrypt charge, and single-use
   /// session-key reset. All mailbox fields come from `snap` — nothing is
   /// re-read from attacker-writable memory (unless the legacy double-fetch
-  /// seam is enabled). Returns kOk with the plaintext in `out`, or the
-  /// status to report.
+  /// seam is enabled). Returns kOk with the plaintext span in `out_plain`
+  /// and the buffer that owns it in `out_retain` (zero-copy mode: the
+  /// envelope itself, decrypted in place; legacy seam: an owned copy), or
+  /// the status to report.
   SmmStatus decrypt_staged(machine::Machine& m, Mailbox& mbox,
-                           const MailboxSnapshot& snap, Bytes& out,
-                           size_t& out_staged);
+                           const MailboxSnapshot& snap,
+                           std::shared_ptr<const Bytes>& out_retain,
+                           ByteSpan& out_plain, size_t& out_staged);
 
   /// Records one classified tamper detection (counter, report, trace).
   void record_detection(machine::Machine& m, DetectionClass cls,
@@ -274,14 +293,27 @@ class SmmPatchHandler {
   void abort_session(Mailbox& mbox);
 
   /// Shared tail of apply_patch / stage_chunk: verify the plaintext package
-  /// and apply it, charging costs and recording timings.
-  SmmStatus verify_and_apply(machine::Machine& m, const Bytes& package,
-                             size_t staged_bytes);
+  /// and apply it, charging costs and recording timings. `package` borrows
+  /// from `retain` (which installed patches keep alive past the SMI).
+  SmmStatus verify_and_apply(machine::Machine& m,
+                             const std::shared_ptr<const Bytes>& retain,
+                             ByteSpan package, size_t staged_bytes);
 
+  /// Applies one parsed set. `retain` is the buffer the set's code spans
+  /// borrow from; null (legacy copying parser) makes the installed records
+  /// take owned per-function copies instead.
   SmmStatus apply_parsed(machine::Machine& m,
-                         const patchtool::PatchSet& set);
+                         const patchtool::PatchSetView& set,
+                         const std::shared_ptr<const Bytes>& retain);
   SmmStatus rollback_parsed(machine::Machine& m,
-                            const patchtool::PatchSet& set);
+                            const patchtool::PatchSetView& set);
+
+  /// Per-byte work the rendezvoused CPUs share during the SMI window
+  /// (package verify hashing, staged-bytes pinning): the byte cost divides
+  /// across cpus plus a per-AP merge charge. At one CPU this is exactly
+  /// bytes_cost() — the legacy model, untouched.
+  [[nodiscard]] u64 parallel_bytes_cost(const machine::Machine& m,
+                                        double per_byte, size_t bytes) const;
 
   /// A byte range an apply would write (mem_X body, trampoline window, or
   /// splice window) — the unit of overlap rejection.
@@ -290,7 +322,7 @@ class SmmPatchHandler {
     u64 len = 0;
   };
   /// Every byte range `p` writes outside SMRAM.
-  static void collect_windows(const patchtool::FunctionPatch& p,
+  static void collect_windows(const patchtool::FunctionPatchView& p,
                               std::vector<ByteWindow>& out);
   static void collect_windows(const InstalledPatch& p,
                               std::vector<ByteWindow>& out);
@@ -304,7 +336,7 @@ class SmmPatchHandler {
   /// set before applying any, making the whole batch all-or-nothing for
   /// validation failures.
   [[nodiscard]] SmmStatus validate_set(
-      const patchtool::PatchSet& set,
+      const patchtool::PatchSetView& set,
       const std::vector<bool>* retired_installed = nullptr,
       const std::vector<ByteWindow>* extra_windows = nullptr) const;
 
@@ -327,10 +359,14 @@ class SmmPatchHandler {
                     std::vector<obs::TraceArg> args = {});
 
   Status write_trampoline(machine::Machine& m, const InstalledPatch& p);
-  [[nodiscard]] bool bounds_ok(const patchtool::FunctionPatch& p) const;
+  [[nodiscard]] bool bounds_ok(const patchtool::FunctionPatchView& p) const;
 
   kernel::MemoryLayout layout_;
   Rng rng_;  // hardware entropy for DH keys
+
+  /// Per-session parse arena: the view parser's tables (function headers,
+  /// reloc/var-edit arrays) live here; reset at the start of each parse.
+  Arena arena_;
 
   // Session state (fresh per patch, defeating replay §V-C).
   std::optional<crypto::DhKeyPair> session_keys_;
@@ -354,6 +390,7 @@ class SmmPatchHandler {
   bool introspect_on_idle_ = false;
   bool legacy_wrapping_bounds_ = false;  // self-test seam, see above
   bool legacy_double_fetch_ = false;     // self-test seam, see above
+  bool legacy_copy_parser_ = false;      // differential-test seam, see above
   ConcurrentWriter concurrent_writer_;
   u64 detection_overhead_cycles_ = 0;  // hardening cycles, see accessor
 
@@ -387,6 +424,12 @@ class SmmPatchHandler {
   obs::Counter* c_batch_applies_ = nullptr;
   obs::Counter* c_detections_ = nullptr;
   obs::Counter* c_introspect_repairs_ = nullptr;
+  /// Buffer copies of staged package payload per pipeline run. Zero-copy
+  /// mode: exactly one per applied package (the SMM write into machine
+  /// memory). Legacy mode additionally counts the envelope deserialize, the
+  /// AEAD open, the parser's code copy-out, and the installed-record
+  /// retention — the copies the span pipeline eliminated.
+  obs::Counter* c_staged_copies_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
   u32 trace_target_ = 0;
 };

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/simd.hpp"
+
 namespace kshot::crypto {
 
 namespace {
@@ -38,10 +40,29 @@ void Sha256::compress(const u8 block[64]) {
            (static_cast<u32>(block[4 * i + 2]) << 8) |
            static_cast<u32>(block[4 * i + 3]);
   }
-  for (int i = 16; i < 64; ++i) {
-    u32 s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    u32 s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  if (simd_enabled()) {
+    // Vectorize the independent part of the schedule recurrence: for four
+    // consecutive words, t[k] = w[i+k-16] + s0(w[i+k-15]) + w[i+k-7] only
+    // reads words below i, so it computes in one 4-lane pass. The s1 term
+    // reads w[i+k-2] — inside the group for lanes 2 and 3 — and is fixed up
+    // sequentially. All adds are mod 2^32, so the result is bit-identical
+    // to the scalar loop.
+    for (int i = 16; i < 64; i += 4) {
+      u32x4 wm15 = u32x4::make(w[i - 15], w[i - 14], w[i - 13], w[i - 12]);
+      u32x4 s0 = vrotr(wm15, 7) ^ vrotr(wm15, 18) ^ vshr(wm15, 3);
+      u32x4 t = u32x4::make(w[i - 16], w[i - 15], w[i - 14], w[i - 13]) + s0 +
+                u32x4::make(w[i - 7], w[i - 6], w[i - 5], w[i - 4]);
+      for (int k = 0; k < 4; ++k) {
+        u32 x = w[i + k - 2];
+        w[i + k] = t.lane(k) + (rotr(x, 17) ^ rotr(x, 19) ^ (x >> 10));
+      }
+    }
+  } else {
+    for (int i = 16; i < 64; ++i) {
+      u32 s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      u32 s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
   }
 
   u32 a = h_[0], b = h_[1], c = h_[2], d = h_[3];

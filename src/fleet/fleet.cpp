@@ -110,6 +110,7 @@ Status FleetController::boot_fleet() {
     topts.seed = target_seed(i);
     topts.shared_server = server_.get();
     topts.workload_threads = opts_.workload_threads;
+    topts.cpus = opts_.cpus;
     topts.metrics = &metrics_;
     if (opts_.capture_trace) {
       topts.trace = target_traces_[i].get();
@@ -265,6 +266,10 @@ void FleetController::patch_one(u32 index, u32 wave, TargetResult& out) {
     // Failed rounds still burned real (modeled) time — charge them so the
     // quarantine recovery cost is honest, not just the winning round.
     out.downtime_us += rep->smm.modeled_total_us;
+    out.downtime_cycles += rep->downtime_cycles;
+    out.rendezvous_cycles += rep->rendezvous_cycles;
+    out.handler_cycles += rep->handler_cycles;
+    out.resume_cycles += rep->resume_cycles;
     out.e2e_us += link_us + rep->resilience.backoff_us +
                   rep->smm.modeled_total_us;
     if (!rep->success) {
@@ -347,6 +352,7 @@ Result<FleetReport> FleetController::run_campaign() {
   report.cve_id = opts_.cve_id;
   report.targets = opts_.targets;
   report.jobs = opts_.jobs;
+  report.cpus = opts_.cpus;
   report.results.resize(opts_.targets);
   for (u32 i = 0; i < opts_.targets; ++i) {
     report.results[i].index = i;
@@ -474,6 +480,10 @@ Result<FleetReport> FleetController::run_campaign() {
       report.total_retries += r.resilience.apply_attempts - 1;
     }
     report.total_session_aborts += r.resilience.session_aborts;
+    report.total_downtime_cycles += r.downtime_cycles;
+    report.total_rendezvous_cycles += r.rendezvous_cycles;
+    report.total_handler_cycles += r.handler_cycles;
+    report.total_resume_cycles += r.resume_cycles;
   }
   report.downtime_us = percentiles_of(std::move(downtime));
   report.e2e_us = percentiles_of(std::move(e2e));
@@ -509,8 +519,8 @@ std::string FleetReport::to_string() const {
     std::snprintf(line, sizeof(line), fmt, args...);
     out += line;
   };
-  append("fleet campaign %s: %u targets, jobs=%u, %u wave(s)\n",
-         cve_id.c_str(), targets, jobs, waves_run);
+  append("fleet campaign %s: %u targets, jobs=%u, cpus=%u, %u wave(s)\n",
+         cve_id.c_str(), targets, jobs, cpus, waves_run);
   append("  applied %u  failed %u  rolled_back %u  quarantined %u  "
          "pending %u%s\n",
          applied, failed, rolled_back, quarantined, pending,
@@ -537,6 +547,11 @@ std::string FleetReport::to_string() const {
          static_cast<unsigned long long>(cache.image_hits));
   append("  smm downtime us: p50 %.3f  p95 %.3f  p99 %.3f\n",
          downtime_us.p50, downtime_us.p95, downtime_us.p99);
+  append("  smm cycles: rendezvous %llu + handler %llu + resume %llu = %llu\n",
+         static_cast<unsigned long long>(total_rendezvous_cycles),
+         static_cast<unsigned long long>(total_handler_cycles),
+         static_cast<unsigned long long>(total_resume_cycles),
+         static_cast<unsigned long long>(total_downtime_cycles));
   append("  e2e latency us:  p50 %.3f  p95 %.3f  p99 %.3f\n", e2e_us.p50,
          e2e_us.p95, e2e_us.p99);
   for (const TargetResult& r : results) {

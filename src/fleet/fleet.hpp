@@ -122,6 +122,9 @@ struct FleetOptions {
   /// machine instead of counting as plain failures.
   std::optional<u64> adversary_seed;
   int workload_threads = 0;  // background workload per target
+  /// Simulated CPUs per target (>= 1); >1 engages the SMI rendezvous model
+  /// and the per-CPU downtime decomposition in every TargetResult.
+  u32 cpus = 1;
   /// Record per-target pipeline traces and fleet-level events; the campaign
   /// report then carries a deterministic Chrome-trace JSON (virtual
   /// timestamps only, byte-identical across --jobs levels).
@@ -136,6 +139,12 @@ struct TargetResult {
   bool healthy = false;  // post-patch probes passed
   core::ResilienceStats resilience;
   double downtime_us = 0;  // modeled SMM downtime (virtual clock)
+  /// Per-CPU decomposition of the modeled downtime, in integer cycles so the
+  /// identity rendezvous + handler + resume == downtime_cycles is exact.
+  u64 downtime_cycles = 0;
+  u64 rendezvous_cycles = 0;  // all-CPU SMI entry (incl. IPI + jitter)
+  u64 handler_cycles = 0;     // BSP handler work between entry and resume
+  u64 resume_cycles = 0;      // RSM + AP staggered release
   double e2e_us = 0;       // modeled end-to-end latency: link + backoff +
                            // downtime
   u32 detection_events = 0;   // classified detections across all rounds
@@ -156,6 +165,7 @@ struct FleetReport {
   std::string cve_id;
   u32 targets = 0;
   u32 jobs = 0;
+  u32 cpus = 1;
   u32 waves_run = 0;
 
   u32 applied = 0;
@@ -183,6 +193,14 @@ struct FleetReport {
   /// Over applied targets, in sorted-sample order.
   LatencyPercentiles downtime_us;
   LatencyPercentiles e2e_us;
+
+  /// Fleet-wide per-CPU downtime decomposition, summed over all targets in
+  /// index order. Invariant: rendezvous + handler + resume == downtime,
+  /// exactly (integer cycles end to end).
+  u64 total_downtime_cycles = 0;
+  u64 total_rendezvous_cycles = 0;
+  u64 total_handler_cycles = 0;
+  u64 total_resume_cycles = 0;
 
   std::vector<TargetResult> results;  // index order, one per target
 

@@ -131,6 +131,7 @@ Result<FleetScaleReport> FleetCoordinator::run() {
   rep.relays = relays;
   rep.relay_fanout = opts_.relay_fanout;
   rep.sample_per_wave = opts_.sample;
+  rep.cpus = opts_.cpus;
 
   states_.assign(targets, ScaleTargetState::kPending);
 
@@ -201,6 +202,7 @@ Result<FleetScaleReport> FleetCoordinator::run() {
       fleet::FleetOptions fo;
       fo.cve_id = opts_.cve_id;
       fo.targets = k;
+      fo.cpus = opts_.cpus;
       fo.jobs = 1;  // K is tiny; serial keeps the sample fully deterministic
       fo.base_seed = splitmix64(opts_.base_seed ^ (kGolden * (wave_idx + 1)));
       fo.rollout.canary = k;  // one wave: the sample is not itself staged
@@ -218,6 +220,10 @@ Result<FleetScaleReport> FleetCoordinator::run() {
           ++applied;
         }
         sample_span_us = std::max(sample_span_us, r.e2e_us);
+        rep.sampled_downtime_cycles += r.downtime_cycles;
+        rep.sampled_rendezvous_cycles += r.rendezvous_cycles;
+        rep.sampled_handler_cycles += r.handler_cycles;
+        rep.sampled_resume_cycles += r.resume_cycles;
       }
       wv.sampled = k;
       wv.sampled_applied = applied;
@@ -489,6 +495,10 @@ std::string FleetScaleReport::to_string() const {
   append("  ground truth: %llu sampled run(s), %llu applied, calibrated "
          "downtime %.3f us\n",
          ull(sampled_runs), ull(sampled_applied), calibrated_downtime_us);
+  append("  sampled smm cycles (cpus=%u): rendezvous %llu + handler %llu + "
+         "resume %llu = %llu\n",
+         cpus, ull(sampled_rendezvous_cycles), ull(sampled_handler_cycles),
+         ull(sampled_resume_cycles), ull(sampled_downtime_cycles));
   append("  downtime us (sketch, +/-1%%): p50 %.3f  p95 %.3f  p99 %.3f\n",
          downtime_us.p50, downtime_us.p95, downtime_us.p99);
   append("  e2e latency us (sketch, +/-1%%): p50 %.3f  p95 %.3f  p99 %.3f\n",

@@ -97,6 +97,10 @@ struct FleetScaleOptions {
   /// Worker threads driving the shards. Never changes the report.
   u32 jobs = 1;
   u64 base_seed = 0x5EED;
+  /// Simulated CPUs per sampled ground-truth testbed (>= 1). Semantics, not
+  /// topology: more CPUs means a longer rendezvous, so the calibrated base
+  /// (and hence the whole modeled population) shifts with it.
+  u32 cpus = 1;
   /// Modeled per-target failure rate, in permille (deterministic per-target
   /// draw). 0 in production-shaped runs; tests raise it to exercise wave
   /// aborts and rollback accounting.
@@ -155,6 +159,13 @@ struct FleetScaleReport {
   double calibrated_downtime_us = 0;
   u64 sampled_runs = 0;
   u64 sampled_applied = 0;
+  /// Per-CPU downtime decomposition summed over every sampled testbed
+  /// (integer cycles; rendezvous + handler + resume == downtime exactly).
+  u32 cpus = 1;
+  u64 sampled_downtime_cycles = 0;
+  u64 sampled_rendezvous_cycles = 0;
+  u64 sampled_handler_cycles = 0;
+  u64 sampled_resume_cycles = 0;
 
   /// Streaming-sketch percentiles over the applied modeled population
   /// (guaranteed within QuantileSketch::kRelativeError of exact).

@@ -41,6 +41,18 @@ struct CostModel {
   double pin_hash_cycles_per_byte = 0.50;
   u64 detect_fixed_cycles = 1'200;
 
+  // Multi-CPU SMM rendezvous (SmmPack-style honest accounting): the BSP
+  // IPIs every AP into SMM and waits for the slowest arrival; each AP's
+  // entry latency jitters uniformly in [0, rendezvous_jitter_max_cycles].
+  // On RSM the BSP pays a small per-AP wakeup unless the handler released
+  // that AP early (release_aps), in which case its resume overlaps handler
+  // work and costs nothing on the critical path.
+  u64 ipi_cycles_per_cpu = 400;
+  u64 rendezvous_jitter_max_cycles = 12'000;
+  u64 resume_cycles_per_cpu = 300;
+  // Combining per-CPU partial verify/hash results inside the handler.
+  u64 verify_merge_cycles_per_cpu = 250;
+
   [[nodiscard]] double to_us(u64 cycles) const {
     return static_cast<double>(cycles) / (ghz * 1000.0);
   }

@@ -9,8 +9,57 @@ namespace kshot::machine {
 
 Machine::Machine(size_t mem_bytes, PhysAddr smram_base, size_t smram_size,
                  u64 entropy_seed)
-    : mem_(mem_bytes), rng_(entropy_seed) {
+    : mem_(mem_bytes),
+      rng_(entropy_seed),
+      jitter_rng_(entropy_seed ^ 0x9E3779B97F4A7C15ULL) {
   mem_.set_smram(smram_base, smram_size);
+}
+
+Status Machine::set_cpus(u32 n) {
+  if (n == 0) return {Errc::kInvalidArgument, "cpu count must be >= 1"};
+  if (in_smi_) return {Errc::kFailedPrecondition, "cannot hotplug inside SMM"};
+  slots_.assign(n, CpuSlot{});
+  return Status::ok();
+}
+
+void Machine::release_aps(u32 k) {
+  if (!in_smi_ || serial_rendezvous_) return;
+  const u32 aps = cpus() - 1;
+  released_aps_ = released_aps_ + k < aps ? released_aps_ + k : aps;
+}
+
+u64 Machine::projected_resume_cycles() const {
+  const u32 n = cpus();
+  if (n == 1) return cost_.rsm_cycles;
+  if (serial_rendezvous_) {
+    // Naive model: every CPU pays a full RSM back to back.
+    return static_cast<u64>(n) * cost_.rsm_cycles;
+  }
+  // Parallel: one RSM plus a per-AP wakeup for every AP still parked in SMM.
+  // Early-released APs resumed under the handler's remaining work for free.
+  return cost_.rsm_cycles +
+         static_cast<u64>(n - 1 - released_aps_) * cost_.resume_cycles_per_cpu;
+}
+
+u64 Machine::rendezvous_cost() {
+  const u32 n = cpus();
+  if (n == 1) return cost_.smi_entry_cycles;  // legacy model, no RNG draw
+  u64 jitter_max = 0;
+  u64 jitter_sum = 0;
+  for (u32 i = 1; i < n; ++i) {
+    u64 j = jitter_rng_.next_below(cost_.rendezvous_jitter_max_cycles + 1);
+    slots_[i].entry_latency_cycles = j;
+    if (j > jitter_max) jitter_max = j;
+    jitter_sum += j;
+  }
+  slots_[0].entry_latency_cycles = 0;
+  const u64 ipi = static_cast<u64>(n - 1) * cost_.ipi_cycles_per_cpu;
+  if (serial_rendezvous_) {
+    // Every CPU pays a full SMI entry, one after another.
+    return static_cast<u64>(n) * cost_.smi_entry_cycles + ipi + jitter_sum;
+  }
+  // All APs enter concurrently: the BSP waits for the slowest arrival.
+  return cost_.smi_entry_cycles + ipi + jitter_max;
 }
 
 Status Machine::set_smm_handler(std::function<void(Machine&)> handler) {
@@ -59,9 +108,12 @@ void Machine::trigger_smi() {
   assert(!in_smi_ && "nested SMI not modeled");
   in_smi_ = true;
   ++smi_count_;
+  released_aps_ = 0;
+  for (auto& s : slots_) ++s.smi_count;
 
   u64 entered = cycles_;
-  charge_cycles(cost_.smi_entry_cycles);
+  current_rendezvous_cycles_ = rendezvous_cost();
+  charge_cycles(current_rendezvous_cycles_);
   save_state_to_smram();
   mode_ = CpuMode::kSmm;
 
@@ -74,9 +126,14 @@ void Machine::trigger_smi() {
   // RSM: restore the architectural state the hardware saved.
   restore_state_from_smram();
   mode_ = CpuMode::kProtected;
-  charge_cycles(cost_.rsm_cycles);
+  const u64 resume = projected_resume_cycles();
+  charge_cycles(resume);
 
   smm_cycles_ += cycles_ - entered;
+  rendezvous_cycles_total_ += current_rendezvous_cycles_;
+  resume_cycles_total_ += resume;
+  handler_cycles_total_ +=
+      cycles_ - entered - current_rendezvous_cycles_ - resume;
   in_smi_ = false;
 }
 

@@ -8,6 +8,7 @@
 #include <array>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "isa/isa.hpp"
@@ -106,8 +107,57 @@ class Machine {
   /// Raises a System Management Interrupt: saves the architectural state into
   /// the SMRAM save-state area, switches to SMM, runs the handler, and
   /// resumes (RSM) by restoring the saved state. Charges modeled entry/exit
-  /// cycles and accounts the SMM residency as downtime.
+  /// cycles and accounts the SMM residency as downtime. With more than one
+  /// CPU the entry charge becomes a full rendezvous (IPI every AP, wait for
+  /// the slowest jittered arrival) and the RSM charge a per-AP wakeup.
   void trigger_smi();
+
+  // Multi-CPU topology -------------------------------------------------------
+  /// Bookkeeping for one simulated CPU. Index 0 is the BSP.
+  struct CpuSlot {
+    u64 entry_latency_cycles = 0;  // jitter drawn for the last rendezvous
+    u64 smi_count = 0;             // SMIs this CPU rendezvoused into
+  };
+
+  /// Sets the simulated CPU count (>= 1). A 1-CPU machine is byte-for-byte
+  /// the pre-multi-CPU model: fixed entry/RSM charges, no RNG draws.
+  Status set_cpus(u32 n);
+  [[nodiscard]] u32 cpus() const { return static_cast<u32>(slots_.size()); }
+  [[nodiscard]] const std::vector<CpuSlot>& cpu_slots() const {
+    return slots_;
+  }
+  /// Naive serial rendezvous (every CPU pays full SMI entry + RSM back to
+  /// back) — the contrast model for the bench gate; default is parallel.
+  void set_serial_rendezvous(bool serial) { serial_rendezvous_ = serial; }
+  [[nodiscard]] bool serial_rendezvous() const { return serial_rendezvous_; }
+
+  /// Handler-side early resume: releases `k` more application processors
+  /// before RSM (clamped to cpus()-1 total). A released AP's resume overlaps
+  /// the handler's remaining work and drops out of the RSM charge. Reset at
+  /// every SMI entry; no-op outside SMM or in serial mode.
+  void release_aps(u32 k);
+  [[nodiscard]] u32 released_aps() const { return released_aps_; }
+
+  /// Entry (rendezvous) charge of the in-flight SMI — valid inside the
+  /// handler; retains the last SMI's value afterwards.
+  [[nodiscard]] u64 current_rendezvous_cycles() const {
+    return current_rendezvous_cycles_;
+  }
+  /// What RSM will charge given the current early-release state. trigger_smi
+  /// charges exactly this value at RSM, so handler span math is exact.
+  [[nodiscard]] u64 projected_resume_cycles() const;
+
+  // Downtime decomposition: rendezvous + handler + resume == smm_cycles(),
+  // exactly, by construction.
+  [[nodiscard]] u64 rendezvous_cycles_total() const {
+    return rendezvous_cycles_total_;
+  }
+  [[nodiscard]] u64 handler_cycles_total() const {
+    return handler_cycles_total_;
+  }
+  [[nodiscard]] u64 resume_cycles_total() const {
+    return resume_cycles_total_;
+  }
 
   // Attack modeling ---------------------------------------------------------
   /// Models a rootkit gating SMI delivery (the DoS the paper's §VI-C
@@ -154,12 +204,18 @@ class Machine {
 
  private:
   StepResult exec(const isa::Instr& in, size_t len);
+  /// Entry charge for the next SMI; draws one jitter per AP (never touches
+  /// hw_rng, and draws nothing at all on a 1-CPU machine).
+  u64 rendezvous_cost();
 
   PhysMem mem_;
   CpuState cpu_;
   CpuMode mode_ = CpuMode::kProtected;
   CostModel cost_;
   Rng rng_;
+  /// Dedicated stream for rendezvous jitter so multi-CPU never perturbs the
+  /// hw_rng draws existing goldens depend on.
+  Rng jitter_rng_;
 
   std::function<void(Machine&)> smm_handler_;
   std::function<void(Machine&)> pre_smi_hook_;
@@ -176,6 +232,14 @@ class Machine {
   u64 smm_cycles_ = 0;
   u64 smi_count_ = 0;
   u64 instret_ = 0;
+
+  std::vector<CpuSlot> slots_{1};
+  bool serial_rendezvous_ = false;
+  u32 released_aps_ = 0;
+  u64 current_rendezvous_cycles_ = 0;
+  u64 rendezvous_cycles_total_ = 0;
+  u64 handler_cycles_total_ = 0;
+  u64 resume_cycles_total_ = 0;
 };
 
 }  // namespace kshot::machine

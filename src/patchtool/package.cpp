@@ -21,6 +21,15 @@ Result<std::string> get_string8(ByteReader& r) {
   return std::string(bytes->begin(), bytes->end());
 }
 
+Result<std::string_view> get_string8_view(ByteReader& r) {
+  auto len = r.get_u8();
+  if (!len) return len.status();
+  auto bytes = r.get_span(*len);
+  if (!bytes) return bytes.status();
+  return std::string_view(reinterpret_cast<const char*>(bytes->data()),
+                          bytes->size());
+}
+
 Bytes serialize_entries(const PatchSet& set, const PatchOp* override_op,
                         u16 version) {
   ByteWriter w;
@@ -292,6 +301,195 @@ Result<PatchSet> parse_patchset(ByteSpan wire) {
   return set;
 }
 
+Result<PatchSetView> parse_patchset_view(ByteSpan wire, Arena& arena) {
+  // Mirrors parse_patchset check for check — including the exact Status
+  // messages — so a package is accepted/rejected identically by both
+  // parsers and the zero-copy differential suite can compare verdicts.
+  ByteReader r(wire);
+  auto magic = r.get_u32();
+  if (!magic || *magic != kPackageMagic) {
+    return Status{Errc::kIntegrityFailure, "bad package magic"};
+  }
+  auto version = r.get_u16();
+  if (!version ||
+      (*version != kPackageVersion && *version != kPackageVersionLifecycle)) {
+    return Status{Errc::kIntegrityFailure, "unsupported package version"};
+  }
+  const bool v2 = *version == kPackageVersionLifecycle;
+  auto count = r.get_u16();
+  if (!count) return count.status();
+  auto entries_size = r.get_u32();
+  if (!entries_size) return entries_size.status();
+  auto digest_bytes = r.get_span(32);
+  if (!digest_bytes) return digest_bytes.status();
+  auto entries = r.get_span(*entries_size);
+  if (!entries) return Status{Errc::kIntegrityFailure, "truncated package"};
+  if (!r.exhausted()) {
+    return Status{Errc::kIntegrityFailure, "trailing bytes after package"};
+  }
+
+  crypto::Digest256 stored;
+  std::copy(digest_bytes->begin(), digest_bytes->end(), stored.begin());
+  if (!crypto::digest_equal(stored, package_digest(*entries))) {
+    return Status{Errc::kIntegrityFailure, "package digest mismatch"};
+  }
+
+  ByteReader er(*entries);
+  PatchSetView set;
+  auto id = get_string8_view(er);
+  if (!id) return id.status();
+  set.id = *id;
+  auto kver = get_string8_view(er);
+  if (!kver) return kver.status();
+  set.kernel_version = *kver;
+  if (v2) {
+    for (int list = 0; list < 2; ++list) {
+      auto n = er.get_u8();
+      if (!n) return n.status();
+      std::string_view* ids = arena.alloc_array<std::string_view>(*n);
+      for (u8 k = 0; k < *n; ++k) {
+        auto s = get_string8_view(er);
+        if (!s) return s.status();
+        ids[k] = *s;
+      }
+      auto span = std::span<const std::string_view>(ids, *n);
+      if (list == 0) {
+        set.depends = span;
+      } else {
+        set.supersedes = span;
+      }
+    }
+  }
+
+  FunctionPatchView* patches = arena.alloc_array<FunctionPatchView>(*count);
+  for (u16 i = 0; i < *count; ++i) {
+    FunctionPatchView& p = patches[i];
+    auto seq = er.get_u16();
+    auto op = er.get_u8();
+    auto type = er.get_u8();
+    auto taddr = er.get_u64();
+    auto paddr = er.get_u64();
+    auto size = er.get_u32();
+    auto ftrace_off = er.get_u16();
+    auto nreloc = er.get_u16();
+    auto nvar = er.get_u16();
+    auto crc = er.get_u32();
+    auto name_hash = er.get_u64();
+    if (!seq || !op || !type || !taddr || !paddr || !size || !ftrace_off ||
+        !nreloc || !nvar || !crc || !name_hash) {
+      return Status{Errc::kIntegrityFailure, "truncated function header"};
+    }
+    if (*op != 1 && *op != 2) {
+      return Status{Errc::kIntegrityFailure, "bad op field"};
+    }
+    if (*type < 1 || *type > 3) {
+      return Status{Errc::kIntegrityFailure, "bad type field"};
+    }
+    p.sequence = *seq;
+    p.op = static_cast<PatchOp>(*op);
+    p.type = static_cast<PatchType>(*type);
+    p.taddr = *taddr;
+    p.paddr = *paddr;
+    p.ftrace_off = *ftrace_off;
+
+    auto name = get_string8_view(er);
+    if (!name) return name.status();
+    p.name = *name;
+    if (crypto::sdbm(ByteSpan(reinterpret_cast<const u8*>(p.name.data()),
+                              p.name.size())) != *name_hash) {
+      return Status{Errc::kIntegrityFailure, "name hash mismatch"};
+    }
+    if (v2) {
+      auto flags = er.get_u8();
+      if (!flags) return flags.status();
+      if (*flags > 1) {
+        return Status{Errc::kIntegrityFailure, "bad function flags"};
+      }
+      p.splice = (*flags & 1) != 0;
+      auto old_size = er.get_u32();
+      if (!old_size) return old_size.status();
+      p.old_size = *old_size;
+      if (p.splice && p.taddr == 0) {
+        return Status{Errc::kIntegrityFailure, "splice without target"};
+      }
+      if (p.splice && p.paddr != 0) {
+        return Status{Errc::kIntegrityFailure, "splice with mem_X paddr"};
+      }
+    }
+    RelocEntry* relocs = arena.alloc_array<RelocEntry>(*nreloc);
+    for (u16 k = 0; k < *nreloc; ++k) {
+      auto off = er.get_u32();
+      auto idx = er.get_u32();
+      auto target = er.get_u64();
+      if (!off || !idx || !target) {
+        return Status{Errc::kIntegrityFailure, "truncated reloc"};
+      }
+      relocs[k] = {*off, static_cast<i32>(*idx), *target};
+    }
+    p.relocs = std::span<const RelocEntry>(relocs, *nreloc);
+    VarEdit* vars = arena.alloc_array<VarEdit>(*nvar);
+    for (u16 k = 0; k < *nvar; ++k) {
+      auto addr = er.get_u64();
+      auto value = er.get_u64();
+      auto kind = er.get_u8();
+      if (!addr || !value || !kind) {
+        return Status{Errc::kIntegrityFailure, "truncated var edit"};
+      }
+      if (*kind != 1 && *kind != 2) {
+        return Status{Errc::kIntegrityFailure, "bad var edit kind"};
+      }
+      vars[k] = {*addr, *value, static_cast<VarEdit::Kind>(*kind)};
+    }
+    p.var_edits = std::span<const VarEdit>(vars, *nvar);
+    auto code = er.get_span(*size);
+    if (!code) return Status{Errc::kIntegrityFailure, "truncated code"};
+    p.code = *code;
+    if (crypto::crc32(p.code) != *crc) {
+      return Status{Errc::kIntegrityFailure, "function payload CRC mismatch"};
+    }
+  }
+  if (!er.exhausted()) {
+    return Status{Errc::kIntegrityFailure, "trailing bytes in package"};
+  }
+  set.patches = std::span<const FunctionPatchView>(patches, *count);
+  return set;
+}
+
+PatchSetView view_of_patchset(const PatchSet& set, Arena& arena) {
+  PatchSetView v;
+  v.id = set.id;
+  v.kernel_version = set.kernel_version;
+  std::string_view* deps = arena.alloc_array<std::string_view>(
+      set.depends.size() + set.supersedes.size());
+  for (size_t i = 0; i < set.depends.size(); ++i) deps[i] = set.depends[i];
+  for (size_t i = 0; i < set.supersedes.size(); ++i) {
+    deps[set.depends.size() + i] = set.supersedes[i];
+  }
+  v.depends = std::span<const std::string_view>(deps, set.depends.size());
+  v.supersedes = std::span<const std::string_view>(deps + set.depends.size(),
+                                                   set.supersedes.size());
+  FunctionPatchView* patches =
+      arena.alloc_array<FunctionPatchView>(set.patches.size());
+  for (size_t i = 0; i < set.patches.size(); ++i) {
+    const FunctionPatch& p = set.patches[i];
+    FunctionPatchView& pv = patches[i];
+    pv.sequence = p.sequence;
+    pv.op = p.op;
+    pv.type = p.type;
+    pv.name = p.name;
+    pv.taddr = p.taddr;
+    pv.paddr = p.paddr;
+    pv.ftrace_off = p.ftrace_off;
+    pv.code = ByteSpan(p.code);
+    pv.relocs = std::span<const RelocEntry>(p.relocs);
+    pv.var_edits = std::span<const VarEdit>(p.var_edits);
+    pv.splice = p.splice;
+    pv.old_size = p.old_size;
+  }
+  v.patches = std::span<const FunctionPatchView>(patches, set.patches.size());
+  return v;
+}
+
 Bytes serialize_batch(const std::vector<Bytes>& packages) {
   ByteWriter w;
   w.put_u32(kBatchMagic);
@@ -323,6 +521,33 @@ Result<std::vector<Bytes>> parse_batch(ByteSpan wire) {
     auto pkg = r.get_bytes(*len);
     if (!pkg) return Status{Errc::kIntegrityFailure, "truncated batch entry"};
     out.push_back(std::move(*pkg));
+  }
+  if (!r.exhausted()) {
+    return Status{Errc::kIntegrityFailure, "trailing bytes in batch"};
+  }
+  return out;
+}
+
+Result<std::vector<ByteSpan>> parse_batch_view(ByteSpan wire) {
+  ByteReader r(wire);
+  auto magic = r.get_u32();
+  if (!magic || *magic != kBatchMagic) {
+    return Status{Errc::kIntegrityFailure, "bad batch magic"};
+  }
+  auto count = r.get_u32();
+  if (!count || *count == 0 || *count > kMaxBatchPackages) {
+    return Status{Errc::kIntegrityFailure, "bad batch count"};
+  }
+  std::vector<ByteSpan> out;
+  out.reserve(*count);
+  for (u32 i = 0; i < *count; ++i) {
+    auto len = r.get_u32();
+    if (!len || *len == 0 || *len > r.remaining()) {
+      return Status{Errc::kIntegrityFailure, "truncated batch entry"};
+    }
+    auto pkg = r.get_span(*len);
+    if (!pkg) return Status{Errc::kIntegrityFailure, "truncated batch entry"};
+    out.push_back(*pkg);
   }
   if (!r.exhausted()) {
     return Status{Errc::kIntegrityFailure, "trailing bytes in batch"};

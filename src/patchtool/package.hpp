@@ -21,6 +21,10 @@
 // entries; the SMM handler recomputes it before applying anything (§V-C).
 #pragma once
 
+#include <span>
+#include <string_view>
+
+#include "common/arena.hpp"
 #include "common/status.hpp"
 #include "crypto/sha256.hpp"
 #include "patchtool/patch.hpp"
@@ -48,8 +52,71 @@ Bytes serialize_patchset(const PatchSet& set, PatchOp op);
 Bytes serialize_patchset_raw(const PatchSet& set);
 
 /// Parses and fully verifies a package (magic, version, set digest, per-
-/// function CRCs). Returns kIntegrityFailure on any mismatch.
+/// function CRCs). Returns kIntegrityFailure on any mismatch. This is the
+/// legacy copying parser: every name and code payload is copied out of the
+/// wire. The hot path uses parse_patchset_view; this stays as the reference
+/// the zero-copy differential suite replays against.
 Result<PatchSet> parse_patchset(ByteSpan wire);
+
+// ---- Zero-copy views ------------------------------------------------------
+// Borrowed-span mirror of FunctionPatch/PatchSet. Strings and code payloads
+// point straight into the parsed wire; the structured tables (relocs,
+// var_edits, patches) are materialized into a caller-owned Arena because the
+// wire stores them unaligned. Ownership rule (DESIGN.md §15): a view is
+// valid only while BOTH the wire buffer and the arena outlive it — consumers
+// that keep patch bodies past the parse (installed-patch bookkeeping) must
+// retain the envelope buffer itself, not copy out of it.
+
+struct FunctionPatchView {
+  u16 sequence = 0;
+  PatchOp op = PatchOp::kPatch;
+  PatchType type = PatchType::kType1;
+  std::string_view name;
+  u64 taddr = 0;
+  u64 paddr = 0;
+  u16 ftrace_off = 0;
+  ByteSpan code;
+  std::span<const RelocEntry> relocs;
+  std::span<const VarEdit> var_edits;
+  bool splice = false;
+  u32 old_size = 0;
+
+  [[nodiscard]] size_t payload_bytes() const {
+    return code.size() + relocs.size() * 16 + var_edits.size() * 17;
+  }
+};
+
+struct PatchSetView {
+  std::string_view id;
+  std::string_view kernel_version;
+  std::span<const std::string_view> depends;
+  std::span<const std::string_view> supersedes;
+  std::span<const FunctionPatchView> patches;
+
+  [[nodiscard]] size_t total_code_bytes() const {
+    size_t n = 0;
+    for (const auto& p : patches) n += p.code.size();
+    return n;
+  }
+  [[nodiscard]] bool has_lifecycle() const {
+    if (!depends.empty() || !supersedes.empty()) return true;
+    for (const auto& p : patches) {
+      if (p.splice || p.old_size != 0) return true;
+    }
+    return false;
+  }
+};
+
+/// Span-parsing twin of parse_patchset: identical validation and rejection
+/// behavior, but name/code stay borrowed from `wire` and the view tables
+/// live in `arena`. The returned view dangles if `wire`'s backing buffer or
+/// `arena` dies first.
+Result<PatchSetView> parse_patchset_view(ByteSpan wire, Arena& arena);
+
+/// Builds a view over an owned PatchSet (legacy-parser bridge: lets every
+/// downstream consumer take PatchSetView regardless of which parser ran).
+/// The view borrows from `set` and `arena`.
+PatchSetView view_of_patchset(const PatchSet& set, Arena& arena);
 
 /// The set digest stored in (and checked against) the set header.
 crypto::Digest256 package_digest(ByteSpan wire_after_digest);
@@ -76,8 +143,12 @@ Bytes serialize_batch(const std::vector<Bytes>& packages);
 
 /// Splits a batch envelope back into its inner package wires. Structural
 /// validation only (magic, count bounds, length framing); each inner wire
-/// still needs parse_patchset.
+/// still needs parse_patchset. Legacy copying variant.
 Result<std::vector<Bytes>> parse_batch(ByteSpan wire);
+
+/// Zero-copy variant: identical framing validation, but each inner wire is
+/// a borrowed span into `wire`.
+Result<std::vector<ByteSpan>> parse_batch_view(ByteSpan wire);
 
 /// True if `wire` starts with the batch envelope magic.
 bool is_batch_wire(ByteSpan wire);

@@ -21,6 +21,8 @@ Result<std::unique_ptr<Testbed>> Testbed::boot(const cve::CveCase& c,
 
   tb->machine_ = std::make_unique<machine::Machine>(
       lay.mem_bytes, lay.smram_base, lay.smram_size, opts.seed);
+  KSHOT_RETURN_IF_ERROR(tb->machine_->set_cpus(opts.cpus));
+  tb->machine_->set_serial_rendezvous(opts.serial_rendezvous);
   tb->sgx_ = std::make_unique<sgx::SgxRuntime>(
       *tb->machine_, lay.epc_base, lay.epc_size, opts.seed ^ 0xA77E57);
   if (opts.fault_plan) {

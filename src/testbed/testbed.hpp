@@ -27,6 +27,12 @@ struct TestbedOptions {
   kernel::MemoryLayout layout{};
   u64 seed = 0x1234;
   bool install_kshot = true;
+  /// Number of simulated CPUs on the target (1 = classic single-CPU model;
+  /// >1 engages the SMI rendezvous cost model). Must be >= 1.
+  u32 cpus = 1;
+  /// Serial (pessimistic, one-SMI-entry-per-CPU) rendezvous instead of the
+  /// default broadcast-parallel model. Only meaningful when cpus > 1.
+  bool serial_rendezvous = false;
   /// Spawn this many looping background workload threads (sys_busy).
   int workload_threads = 0;
   /// Nonzero arms the firmware periodic-SMI introspection watchdog.

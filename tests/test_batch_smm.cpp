@@ -443,5 +443,41 @@ TEST(BenchGate, PassesOnBaselineAndFailsOnInflatedCosts) {
   EXPECT_FALSE(missing->missing_keys.empty());
 }
 
+TEST(BenchGate, WallSidecarsWarnSoftlyAndNeverFail) {
+  // Wall time is real and noisy, so the sidecar gate is soft: a >10%
+  // regression lands in warnings with a distinct message, but ok() — and
+  // therefore the build — is untouched.
+  const std::string baseline = R"({"rows": [{"name": "a", "wall_us": 100.0},
+                                            {"name": "b", "wall_us": 50.0}]})";
+  const std::string slower = R"({"rows": [{"name": "a", "wall_us": 150.0},
+                                          {"name": "b", "wall_us": 51.0}]})";
+  auto gate = benchkit::wall_compare(baseline, slower, 0.10);
+  ASSERT_TRUE(gate.is_ok()) << gate.status().to_string();
+  ASSERT_EQ(gate->warnings.size(), 1u);  // only the 50% jump, not the 2%
+  EXPECT_TRUE(gate->regressions.empty());
+  EXPECT_TRUE(gate->ok()) << "wall warnings must not fail the gate";
+  EXPECT_NE(gate->to_string().find("WALL WARNING"), std::string::npos);
+
+  // Within tolerance (and improvements): silent pass.
+  auto clean = benchkit::wall_compare(baseline, baseline, 0.10);
+  ASSERT_TRUE(clean.is_ok());
+  EXPECT_TRUE(clean->warnings.empty());
+
+  // A key that vanished from the sidecar warns instead of failing.
+  const std::string partial = R"({"rows": [{"name": "a", "wall_us": 100.0}]})";
+  auto sparse = benchkit::wall_compare(baseline, partial, 0.10);
+  ASSERT_TRUE(sparse.is_ok());
+  EXPECT_FALSE(sparse->warnings.empty());
+  EXPECT_TRUE(sparse->ok());
+  EXPECT_TRUE(sparse->missing_keys.empty());
+
+  // And the modeled-cost hard gate is unchanged by all of this: the same
+  // 50% jump through gate_compare is a real regression.
+  auto hard = benchkit::gate_compare(baseline, slower, 0.10);
+  ASSERT_TRUE(hard.is_ok());
+  EXPECT_FALSE(hard->ok());
+  EXPECT_FALSE(hard->regressions.empty());
+}
+
 }  // namespace
 }  // namespace kshot

@@ -250,6 +250,34 @@ TEST(FleetScale, ReportByteIdenticalAcrossJobsAndShardCounts) {
   EXPECT_EQ(a.metrics.to_json(), c.metrics.to_json());
 }
 
+TEST(FleetScale, ReportByteIdenticalAcrossTopologyAtEveryCpuCount) {
+  // cpus is target semantics (it changes the modeled numbers); jobs/shards
+  // are coordinator topology (they must never change a byte). Pin each CPU
+  // count and vary topology around it.
+  for (u32 cpus : {1u, 4u, 16u}) {
+    auto run_with = [&](u32 jobs, u32 shards) {
+      FleetScaleOptions o = small_opts();
+      o.jobs = jobs;
+      o.shards = shards;
+      o.cpus = cpus;
+      FleetCoordinator fc(o);
+      auto rep = fc.run();
+      EXPECT_TRUE(rep.is_ok()) << rep.status().to_string();
+      return *rep;
+    };
+    FleetScaleReport a = run_with(1, 1);
+    FleetScaleReport b = run_with(8, 7);
+    EXPECT_EQ(a.to_string(), b.to_string()) << "cpus=" << cpus;
+    EXPECT_EQ(a.cpus, cpus);
+    // The sampled ground-truth decomposition obeys the exact-sum identity.
+    EXPECT_EQ(a.sampled_rendezvous_cycles + a.sampled_handler_cycles +
+                  a.sampled_resume_cycles,
+              a.sampled_downtime_cycles)
+        << "cpus=" << cpus;
+    EXPECT_GT(a.sampled_downtime_cycles, 0u);
+  }
+}
+
 TEST(FleetScale, DivergenceBetweenModelAndSampleAbortsWave) {
   FleetScaleOptions o = small_opts();
   // Pretend the model was calibrated to a wildly wrong base downtime: the

@@ -322,5 +322,126 @@ TEST(CostModel, UsConversion) {
   EXPECT_NEAR(c.to_us(c.keygen_cycles), 5.2, 0.01);
 }
 
+// ---- Multi-CPU SMI rendezvous -------------------------------------------
+
+TEST(SmmRendezvous, ZeroCpusRejected) {
+  Machine m = make_machine();
+  EXPECT_EQ(m.set_cpus(0).code(), Errc::kInvalidArgument);
+  EXPECT_EQ(m.cpus(), 1u);
+}
+
+TEST(SmmRendezvous, HotplugInsideSmiRejected) {
+  Machine m = make_machine();
+  Status inner = Status::ok();
+  ASSERT_TRUE(
+      m.set_smm_handler([&inner](Machine& mm) { inner = mm.set_cpus(4); })
+          .is_ok());
+  m.trigger_smi();
+  EXPECT_EQ(inner.code(), Errc::kFailedPrecondition);
+  EXPECT_EQ(m.cpus(), 1u);
+}
+
+TEST(SmmRendezvous, SingleCpuByteCompatibleWithLegacyModel) {
+  // set_cpus(1) must be indistinguishable from never calling it: same SMI
+  // charges, same clock, no jitter RNG draws.
+  Machine a = make_machine();
+  Machine b = make_machine();
+  ASSERT_TRUE(b.set_cpus(1).is_ok());
+  auto handler = [](Machine& mm) { mm.charge_cycles(12'345); };
+  ASSERT_TRUE(a.set_smm_handler(handler).is_ok());
+  ASSERT_TRUE(b.set_smm_handler(handler).is_ok());
+  for (int i = 0; i < 3; ++i) {
+    a.trigger_smi();
+    b.trigger_smi();
+  }
+  EXPECT_EQ(a.smm_cycles(), b.smm_cycles());
+  EXPECT_EQ(a.cycles(), b.cycles());
+  EXPECT_EQ(a.rendezvous_cycles_total(), b.rendezvous_cycles_total());
+  EXPECT_EQ(a.resume_cycles_total(), b.resume_cycles_total());
+}
+
+TEST(SmmRendezvous, DecompositionSumsToDowntimeExactly) {
+  for (u32 n : {1u, 4u, 16u}) {
+    Machine m = make_machine();
+    ASSERT_TRUE(m.set_cpus(n).is_ok());
+    ASSERT_TRUE(
+        m.set_smm_handler([](Machine& mm) { mm.charge_cycles(777); })
+            .is_ok());
+    for (int i = 0; i < 5; ++i) m.trigger_smi();
+    EXPECT_EQ(m.rendezvous_cycles_total() + m.handler_cycles_total() +
+                  m.resume_cycles_total(),
+              m.smm_cycles())
+        << "cpus=" << n;
+    EXPECT_GT(m.handler_cycles_total(), 0u);
+  }
+}
+
+TEST(SmmRendezvous, ParallelSixteenWithinBudgetSerialBlowsPast) {
+  // The tentpole's acceptance numbers: broadcast rendezvous keeps a 16-CPU
+  // SMI within 2.5x of single-CPU downtime while the naive serial model is
+  // at least 8x.
+  auto downtime = [](u32 n, bool serial) {
+    Machine m = make_machine();
+    EXPECT_TRUE(m.set_cpus(n).is_ok());
+    m.set_serial_rendezvous(serial);
+    EXPECT_TRUE(
+        m.set_smm_handler([](Machine& mm) { mm.charge_cycles(30'000); })
+            .is_ok());
+    m.trigger_smi();
+    return m.smm_cycles();
+  };
+  const u64 one = downtime(1, false);
+  const u64 par16 = downtime(16, false);
+  const u64 ser16 = downtime(16, true);
+  EXPECT_LE(par16, one * 5 / 2) << "parallel 16-CPU exceeds the 2.5x budget";
+  EXPECT_GE(ser16, one * 8) << "serial model suspiciously cheap";
+  EXPECT_LT(par16, ser16);
+}
+
+TEST(SmmRendezvous, EarlyApReleaseShrinksResumeExactly) {
+  Machine m = make_machine();
+  ASSERT_TRUE(m.set_cpus(16).is_ok());
+  u64 before = 0;
+  u64 after = 0;
+  ASSERT_TRUE(m.set_smm_handler([&](Machine& mm) {
+                 before = mm.projected_resume_cycles();
+                 mm.release_aps(10);
+                 after = mm.projected_resume_cycles();
+               }).is_ok());
+  m.trigger_smi();
+  EXPECT_LT(after, before);
+  EXPECT_EQ(m.released_aps(), 10u);
+  // RSM charges exactly the projection the handler saw.
+  EXPECT_EQ(m.resume_cycles_total(), after);
+  EXPECT_EQ(m.rendezvous_cycles_total() + m.handler_cycles_total() +
+                m.resume_cycles_total(),
+            m.smm_cycles());
+}
+
+TEST(SmmRendezvous, ReleaseClampsAndIgnoresOutsideSmm) {
+  Machine m = make_machine();
+  ASSERT_TRUE(m.set_cpus(4).is_ok());
+  m.release_aps(2);  // outside SMM: no-op
+  EXPECT_EQ(m.released_aps(), 0u);
+  ASSERT_TRUE(m.set_smm_handler([](Machine& mm) {
+                 mm.release_aps(100);  // clamped to cpus()-1
+               }).is_ok());
+  m.trigger_smi();
+  EXPECT_EQ(m.released_aps(), 3u);
+}
+
+TEST(SmmRendezvous, JitterIsSeedDeterministic) {
+  auto run = [](u64 seed) {
+    Machine m(8 << 20, kSmramBase, kSmramSize, seed);
+    EXPECT_TRUE(m.set_cpus(16).is_ok());
+    EXPECT_TRUE(
+        m.set_smm_handler([](Machine& mm) { mm.charge_cycles(1); }).is_ok());
+    for (int i = 0; i < 4; ++i) m.trigger_smi();
+    return m.smm_cycles();
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // jitter stream actually depends on the seed
+}
+
 }  // namespace
 }  // namespace kshot::machine

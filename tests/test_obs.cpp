@@ -315,5 +315,83 @@ TEST(FleetTrace, ByteIdenticalAcrossJobsLevels) {
   EXPECT_EQ(serial.trace_json.find("wall_us"), std::string::npos);
 }
 
+// ---- Multi-CPU downtime decomposition ----------------------------------------
+
+TEST(MultiCpuDecomposition, SpansSumToDowntimeExactlyAtEveryCpuCount) {
+  // The tentpole's accounting identity, integer-exact (no float rounding):
+  // rendezvous + handler + resume == downtime at every CPU count.
+  for (u32 cpus : {1u, 4u, 16u}) {
+    testbed::TestbedOptions topts;
+    topts.seed = 0x5EED;
+    topts.cpus = cpus;
+    auto tb = testbed::Testbed::boot(cve::find_case("CVE-2014-0196"),
+                                     std::move(topts));
+    ASSERT_TRUE(tb.is_ok()) << tb.status().to_string();
+    auto rep = (*tb)->kshot().live_patch("CVE-2014-0196");
+    ASSERT_TRUE(rep.is_ok()) << rep.status().to_string();
+    ASSERT_TRUE(rep->success);
+    EXPECT_EQ(rep->rendezvous_cycles + rep->handler_cycles +
+                  rep->resume_cycles,
+              rep->downtime_cycles)
+        << "cpus=" << cpus;
+    EXPECT_GT(rep->rendezvous_cycles, 0u);
+    EXPECT_GT(rep->handler_cycles, 0u);
+    EXPECT_GT(rep->resume_cycles, 0u);
+  }
+}
+
+TEST(MultiCpuDecomposition, MoreCpusNeverShrinkRendezvous) {
+  auto decomposed = [](u32 cpus) {
+    testbed::TestbedOptions topts;
+    topts.seed = 0x5EED;
+    topts.cpus = cpus;
+    auto tb = testbed::Testbed::boot(cve::find_case("CVE-2014-0196"),
+                                     std::move(topts));
+    EXPECT_TRUE(tb.is_ok());
+    auto rep = (*tb)->kshot().live_patch("CVE-2014-0196");
+    EXPECT_TRUE(rep.is_ok() && rep->success);
+    return *rep;
+  };
+  auto r1 = decomposed(1);
+  auto r4 = decomposed(4);
+  auto r16 = decomposed(16);
+  EXPECT_LT(r1.rendezvous_cycles, r4.rendezvous_cycles);
+  EXPECT_LT(r4.rendezvous_cycles, r16.rendezvous_cycles);
+  // Parallel verify: the handler phase must not blow up 16x with the CPUs.
+  EXPECT_LT(r16.downtime_cycles, r1.downtime_cycles * 5 / 2);
+}
+
+TEST(FleetTrace, ReportByteIdenticalAcrossJobsAtEveryCpuCount) {
+  for (u32 cpus : {1u, 4u, 16u}) {
+    auto run = [&](u32 jobs) {
+      fleet::FleetOptions o;
+      o.targets = 4;
+      o.jobs = jobs;
+      o.base_seed = 99;
+      o.rollout.canary = 1;
+      o.rollout.wave = 3;
+      o.cpus = cpus;
+      fleet::FleetController fc(o);
+      auto rep = fc.run_campaign();
+      EXPECT_TRUE(rep.is_ok()) << rep.status().to_string();
+      return rep.is_ok() ? *rep : fleet::FleetReport{};
+    };
+    fleet::FleetReport a = run(1);
+    fleet::FleetReport b = run(4);
+    // Everything below the header (which prints the jobs level) matches.
+    auto body = [](const fleet::FleetReport& r) {
+      std::string s = r.to_string();
+      return s.substr(s.find('\n') + 1);
+    };
+    EXPECT_EQ(body(a), body(b)) << "cpus=" << cpus;
+    EXPECT_EQ(a.cpus, cpus);
+    EXPECT_EQ(a.total_rendezvous_cycles + a.total_handler_cycles +
+                  a.total_resume_cycles,
+              a.total_downtime_cycles)
+        << "cpus=" << cpus;
+    EXPECT_GT(a.total_downtime_cycles, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace kshot::obs
